@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the pdf primitives the relational operators are
+//! built on: range queries per representation, floors, products,
+//! marginalization, approximation construction, and the storage codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_pdf::prelude::*;
+use std::hint::black_box;
+
+fn bench_range_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_prob");
+    let exact = Pdf1::gaussian(50.0, 4.0).unwrap();
+    let iv = Interval::new(48.0, 52.5);
+    g.bench_function("symbolic", |b| {
+        b.iter(|| black_box(&exact).range_prob(black_box(&iv)))
+    });
+    for bins in [5usize, 25, 100] {
+        let h = Pdf1::Histogram(exact.to_histogram(bins).unwrap());
+        g.bench_with_input(BenchmarkId::new("histogram", bins), &h, |b, h| {
+            b.iter(|| black_box(h).range_prob(black_box(&iv)))
+        });
+        let d = Pdf1::Discrete(exact.to_discrete(bins).unwrap());
+        g.bench_with_input(BenchmarkId::new("discrete", bins), &d, |b, d| {
+            b.iter(|| black_box(d).range_prob(black_box(&iv)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_floors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("floor");
+    let region = RegionSet::from_interval(Interval::at_least(50.0));
+    let exact = Pdf1::gaussian(50.0, 4.0).unwrap();
+    g.bench_function("symbolic_keeps_floor", |b| {
+        b.iter(|| black_box(&exact).floor_region(black_box(&region)))
+    });
+    let h = Pdf1::Histogram(exact.to_histogram(25).unwrap());
+    g.bench_function("histogram_25", |b| {
+        b.iter(|| black_box(&h).floor_region(black_box(&region)))
+    });
+    let d = Pdf1::Discrete(exact.to_discrete(25).unwrap());
+    g.bench_function("discrete_25", |b| {
+        b.iter(|| black_box(&d).floor_region(black_box(&region)))
+    });
+    g.finish();
+}
+
+fn bench_joint_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("joint");
+    let a = Pdf1::discrete((0..8).map(|i| (i as f64, 0.125)).collect()).unwrap();
+    let b = Pdf1::discrete((0..8).map(|i| (i as f64, 0.125)).collect()).unwrap();
+    let joint = JointPdf::independent(vec![a, b]).unwrap();
+    g.bench_function("product_8x8", |bch| {
+        let l = joint.clone();
+        bch.iter(|| black_box(&l).product(black_box(&joint)))
+    });
+    g.bench_function("floor_predicate_8x8", |bch| {
+        bch.iter(|| {
+            black_box(&joint)
+                .floor_predicate(&[0, 1], 64, |v| v[0] < v[1])
+                .unwrap()
+        })
+    });
+    let merged = joint.floor_predicate(&[0, 1], 64, |v| v[0] < v[1]).unwrap();
+    g.bench_function("marginalize_merged", |bch| {
+        bch.iter(|| black_box(&merged).marginalize(&[0]).unwrap())
+    });
+    // Continuous grid path.
+    let cont = JointPdf::independent(vec![
+        Pdf1::uniform(0.0, 1.0).unwrap(),
+        Pdf1::uniform(0.0, 1.0).unwrap(),
+    ])
+    .unwrap();
+    g.bench_function("floor_predicate_grid_32", |bch| {
+        bch.iter(|| {
+            black_box(&cont)
+                .floor_predicate(&[0, 1], 32, |v| v[0] < v[1])
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_approximation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approximate");
+    let exact = Pdf1::gaussian(50.0, 4.0).unwrap();
+    for n in [5usize, 25] {
+        g.bench_with_input(BenchmarkId::new("to_histogram", n), &n, |b, &n| {
+            b.iter(|| black_box(&exact).to_histogram(n).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("to_discrete", n), &n, |b, &n| {
+            b.iter(|| black_box(&exact).to_discrete(n).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let exact = Pdf1::gaussian(50.0, 4.0).unwrap();
+    let variants = [
+        ("symbolic", exact.clone()),
+        ("hist5", Pdf1::Histogram(exact.to_histogram(5).unwrap())),
+        ("disc25", Pdf1::Discrete(exact.to_discrete(25).unwrap())),
+    ];
+    for (name, pdf) in &variants {
+        g.bench_function(format!("encode_{name}"), |b| {
+            let mut buf = Vec::with_capacity(512);
+            b.iter(|| {
+                buf.clear();
+                orion_storage::codec::encode_pdf1(black_box(pdf), &mut buf);
+                buf.len()
+            })
+        });
+        let mut buf = Vec::new();
+        orion_storage::codec::encode_pdf1(pdf, &mut buf);
+        g.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| orion_storage::codec::decode_pdf1(&mut black_box(&buf[..])).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_range_queries,
+    bench_floors,
+    bench_joint_ops,
+    bench_approximation,
+    bench_codec
+);
+criterion_main!(benches);

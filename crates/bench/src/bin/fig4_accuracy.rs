@@ -1,0 +1,51 @@
+//! Regenerates Figure 4: accuracy vs sample size for histogram vs discrete
+//! approximations of Gaussian pdfs under random range queries.
+//!
+//! Usage: `fig4_accuracy [--quick] [--json PATH]`
+
+use orion_bench::fig4::{run, Fig4Config};
+use orion_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    let mut cfg = Fig4Config::default();
+    if quick {
+        cfg.n_pdfs = 50;
+        cfg.n_queries = 50;
+    }
+    eprintln!(
+        "Figure 4: {} Gaussian pdfs x {} range queries, sizes {:?}",
+        cfg.n_pdfs, cfg.n_queries, cfg.sample_sizes
+    );
+    let rows = run(&cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sample_size.to_string(),
+                format!("{:.5}", r.hist_mean_err),
+                format!("{:.5}", r.hist_err_std),
+                format!("{:.5}", r.disc_mean_err),
+                format!("{:.5}", r.disc_err_std),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::text_table(
+            &["size", "hist_err", "hist_std", "disc_err", "disc_std"],
+            &table
+        )
+    );
+    if let Some(p) = json_path {
+        report::write_json(&p, &rows).expect("write json");
+        eprintln!("wrote {}", p.display());
+    }
+}

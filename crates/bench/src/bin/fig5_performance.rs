@@ -1,0 +1,54 @@
+//! Regenerates Figure 5: range-query runtime and physical reads over
+//! on-disk relations of uncertain tuples, per representation.
+//!
+//! Usage: `fig5_performance [--full] [--json PATH]`
+//! Default is a 10x scaled-down sweep (50K-300K tuples); `--full` runs the
+//! paper's 0.5M-3M.
+
+use orion_bench::fig5::{cleanup, run, Fig5Config};
+use orion_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    let cfg = if full { Fig5Config::default() } else { Fig5Config::quick() };
+    eprintln!(
+        "Figure 5: tuples {:?}, pool {} pages, reprs {:?}",
+        cfg.tuple_counts,
+        cfg.pool_pages,
+        cfg.reprs.iter().map(|r| r.label()).collect::<Vec<_>>()
+    );
+    let rows = run(&cfg).expect("sweep");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_tuples.to_string(),
+                r.repr.clone(),
+                report::fmt_secs(r.build_secs),
+                report::fmt_secs(r.query_secs),
+                r.physical_reads.to_string(),
+                r.pages.to_string(),
+                r.matches.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::text_table(
+            &["tuples", "repr", "build", "query", "phys_reads", "pages", "matches"],
+            &table
+        )
+    );
+    if let Some(p) = json_path {
+        report::write_json(&p, &rows).expect("write json");
+        eprintln!("wrote {}", p.display());
+    }
+    cleanup(&cfg.dir);
+}

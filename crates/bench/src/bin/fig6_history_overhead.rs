@@ -1,0 +1,43 @@
+//! Regenerates Figure 6: runtime of joins over range queries and of
+//! projections of correlated data, with and without history maintenance.
+//!
+//! Usage: `fig6_history_overhead [--json PATH]`
+
+use orion_bench::fig6::{run, Fig6Config};
+use orion_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    let cfg = Fig6Config::default();
+    eprintln!("Figure 6: tuples {:?}", cfg.tuple_counts);
+    let rows = run(&cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_tuples.to_string(),
+                r.query.clone(),
+                report::fmt_secs(r.with_hist_secs),
+                report::fmt_secs(r.without_hist_secs),
+                format!("{:.1}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::text_table(
+            &["tuples", "query", "with_hist", "wo_hist", "overhead"],
+            &table
+        )
+    );
+    if let Some(p) = json_path {
+        report::write_json(&p, &rows).expect("write json");
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,62 @@
+//! Engine error type.
+
+use orion_pdf::error::PdfError;
+use std::fmt;
+
+/// Errors raised by the probabilistic relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Schema construction or lookup failure.
+    Schema(String),
+    /// Predicate typing/structure failure.
+    Predicate(String),
+    /// Operator misuse (unknown relation, arity mismatch, ...).
+    Operator(String),
+    /// Underlying pdf computation failed.
+    Pdf(PdfError),
+    /// Storage I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Schema(m) => write!(f, "schema error: {m}"),
+            EngineError::Predicate(m) => write!(f, "predicate error: {m}"),
+            EngineError::Operator(m) => write!(f, "operator error: {m}"),
+            EngineError::Pdf(e) => write!(f, "pdf error: {e}"),
+            EngineError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PdfError> for EngineError {
+    fn from(e: PdfError) -> Self {
+        EngineError::Pdf(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = PdfError::Numeric("nan".into()).into();
+        assert_eq!(e.to_string(), "pdf error: numeric error: nan");
+        let e: EngineError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(e.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Histories — the inter-tuple dependency mechanism of Section II-C.
+//!
+//! Every dependency set inserted into a base table registers its joint pdf
+//! here and receives a [`PdfId`]. Derived pdfs carry the union of their
+//! sources' ancestor sets (Definition 2); two pdfs whose ancestor sets
+//! intersect are *historically dependent* (Definition 3) and may only be
+//! combined through their common ancestors' base distributions.
+//!
+//! Deleting a base tuple keeps its registered pdfs alive as *phantom nodes*
+//! while any derived tuple still references them (reference counting, as
+//! the paper prescribes).
+
+use crate::error::{EngineError, Result};
+use crate::schema::AttrId;
+use orion_pdf::prelude::JointPdf;
+use std::collections::{BTreeSet, HashMap};
+
+/// Identity of a registered base pdf (one dependency set of one base tuple).
+pub type PdfId = u64;
+
+/// The ancestor set `A(t.S)` of a pdf node.
+pub type Ancestors = BTreeSet<PdfId>;
+
+/// A registered base pdf: the original joint distribution of one dependency
+/// set, with the identities of the attributes it covers.
+#[derive(Debug, Clone)]
+pub struct BasePdf {
+    /// Attribute identities, in the joint's dimension order (`N_j`).
+    pub attrs: Vec<AttrId>,
+    /// The original (unfloored) joint distribution.
+    pub joint: JointPdf,
+    /// Whether the owning base tuple has been deleted (phantom node).
+    pub phantom: bool,
+}
+
+/// The history registry: base pdfs, reference counts, and dependency tests.
+#[derive(Debug, Default)]
+pub struct HistoryRegistry {
+    next: PdfId,
+    bases: HashMap<PdfId, BasePdf>,
+    /// Number of derived pdf nodes referencing each base.
+    refs: HashMap<PdfId, usize>,
+}
+
+impl HistoryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a base pdf (at tuple insertion), returning its id.
+    pub fn register(&mut self, attrs: Vec<AttrId>, joint: JointPdf) -> PdfId {
+        self.next += 1;
+        let id = self.next;
+        self.bases.insert(id, BasePdf { attrs, joint, phantom: false });
+        id
+    }
+
+    /// Looks up a base pdf.
+    pub fn base(&self, id: PdfId) -> Result<&BasePdf> {
+        self.bases
+            .get(&id)
+            .ok_or_else(|| EngineError::Operator(format!("unknown base pdf {id}")))
+    }
+
+    /// Number of registered (live + phantom) base pdfs.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Increments the reference count of every ancestor in `anc`
+    /// (called when a derived node is created).
+    pub fn add_refs(&mut self, anc: &Ancestors) {
+        for &id in anc {
+            *self.refs.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Decrements reference counts (derived node dropped); phantom bases
+    /// whose count reaches zero are reclaimed.
+    pub fn release_refs(&mut self, anc: &Ancestors) {
+        for &id in anc {
+            if let Some(n) = self.refs.get_mut(&id) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.refs.remove(&id);
+                    if self.bases.get(&id).is_some_and(|b| b.phantom) {
+                        self.bases.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current reference count of a base pdf.
+    pub fn ref_count(&self, id: PdfId) -> usize {
+        self.refs.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Marks a base tuple's pdfs deleted: unreferenced bases are removed,
+    /// referenced ones survive as phantom nodes until their count drops to
+    /// zero.
+    pub fn delete_base(&mut self, id: PdfId) {
+        if self.ref_count(id) == 0 {
+            self.bases.remove(&id);
+        } else if let Some(b) = self.bases.get_mut(&id) {
+            b.phantom = true;
+        }
+    }
+
+    /// Iterates all registered base pdfs (persistence support).
+    pub fn iter_bases(&self) -> impl Iterator<Item = (PdfId, &BasePdf)> {
+        self.bases.iter().map(|(&id, b)| (id, b))
+    }
+
+    /// Restores a base pdf under a specific id (loading a saved database).
+    /// Future `register` calls will allocate ids above every restored one.
+    pub fn restore(&mut self, id: PdfId, base: BasePdf) {
+        self.next = self.next.max(id);
+        self.bases.insert(id, base);
+    }
+
+    /// Whether two ancestor sets are historically dependent (Definition 3).
+    pub fn dependent(a: &Ancestors, b: &Ancestors) -> bool {
+        // Walk the smaller set.
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small.iter().any(|id| large.contains(id))
+    }
+
+    /// The common ancestors of two sets.
+    pub fn common(a: &Ancestors, b: &Ancestors) -> Vec<PdfId> {
+        a.intersection(b).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_pdf::prelude::*;
+
+    fn joint() -> JointPdf {
+        JointPdf::from_pdf1(Pdf1::certain(1.0))
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = HistoryRegistry::new();
+        let a = reg.register(vec![10], joint());
+        let b = reg.register(vec![11, 12], joint());
+        assert_ne!(a, b);
+        assert_eq!(reg.base(a).unwrap().attrs, vec![10]);
+        assert_eq!(reg.base(b).unwrap().attrs, vec![11, 12]);
+        assert!(reg.base(999).is_err());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn dependence_is_intersection() {
+        let a: Ancestors = [1, 2, 3].into_iter().collect();
+        let b: Ancestors = [3, 4].into_iter().collect();
+        let c: Ancestors = [5].into_iter().collect();
+        assert!(HistoryRegistry::dependent(&a, &b));
+        assert!(!HistoryRegistry::dependent(&a, &c));
+        assert_eq!(HistoryRegistry::common(&a, &b), vec![3]);
+        assert!(HistoryRegistry::common(&b, &c).is_empty());
+    }
+
+    #[test]
+    fn unreferenced_base_is_removed_on_delete() {
+        let mut reg = HistoryRegistry::new();
+        let id = reg.register(vec![1], joint());
+        reg.delete_base(id);
+        assert!(reg.base(id).is_err());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn referenced_base_becomes_phantom() {
+        let mut reg = HistoryRegistry::new();
+        let id = reg.register(vec![1], joint());
+        let anc: Ancestors = [id].into_iter().collect();
+        reg.add_refs(&anc);
+        reg.add_refs(&anc);
+        reg.delete_base(id);
+        assert!(reg.base(id).unwrap().phantom, "survives as phantom");
+        reg.release_refs(&anc);
+        assert!(reg.base(id).is_ok(), "still one reference");
+        reg.release_refs(&anc);
+        assert!(reg.base(id).is_err(), "reclaimed at refcount zero");
+    }
+
+    #[test]
+    fn live_base_survives_release_to_zero() {
+        let mut reg = HistoryRegistry::new();
+        let id = reg.register(vec![1], joint());
+        let anc: Ancestors = [id].into_iter().collect();
+        reg.add_refs(&anc);
+        reg.release_refs(&anc);
+        assert!(reg.base(id).is_ok(), "not phantom, so not reclaimed");
+        assert_eq!(reg.ref_count(id), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Converts comparison atoms into floor regions.
+//!
+//! For a predicate `x op c`, the *failing region* is the part of the domain
+//! where the predicate is false — the region the `floor` operation zeroes
+//! (Section III-A). Regions are closed interval unions; the measure-zero
+//! boundary overlap is irrelevant for continuous pdfs, and discrete pdfs
+//! resolve endpoint membership through exact point containment, so strict
+//! and non-strict comparisons floor the correct points:
+//! e.g. `x < 5` fails on `[5, +inf)` and `x <= 5` fails on `(5, +inf)`,
+//! which we represent as `[nextafter(5), +inf)`.
+
+use crate::predicate::CmpOp;
+use orion_pdf::prelude::{Interval, RegionSet};
+
+/// The region where `x op c` is FALSE.
+pub fn failing_region(op: CmpOp, c: f64) -> RegionSet {
+    match op {
+        // x < c fails when x >= c.
+        CmpOp::Lt => RegionSet::from_interval(Interval::at_least(c)),
+        // x <= c fails when x > c.
+        CmpOp::Le => RegionSet::from_interval(Interval::at_least(c.next_up())),
+        // x > c fails when x <= c.
+        CmpOp::Gt => RegionSet::from_interval(Interval::at_most(c)),
+        // x >= c fails when x < c.
+        CmpOp::Ge => RegionSet::from_interval(Interval::at_most(c.next_down())),
+        // x = c fails everywhere except the point c.
+        CmpOp::Eq => RegionSet::from_intervals(vec![
+            Interval::new(f64::NEG_INFINITY, c.next_down()),
+            Interval::new(c.next_up(), f64::INFINITY),
+        ]),
+        // x <> c fails only at the point c.
+        CmpOp::Ne => RegionSet::from_interval(Interval::point(c)),
+    }
+}
+
+/// The region where `x op c` is TRUE (complement of the failing region).
+pub fn passing_region(op: CmpOp, c: f64) -> RegionSet {
+    failing_region(op, c).complement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_vs_nonstrict_boundaries() {
+        let lt = failing_region(CmpOp::Lt, 5.0);
+        assert!(lt.contains(5.0), "x<5 fails at 5");
+        let le = failing_region(CmpOp::Le, 5.0);
+        assert!(!le.contains(5.0), "x<=5 passes at 5");
+        assert!(le.contains(5.000001));
+        let gt = failing_region(CmpOp::Gt, 5.0);
+        assert!(gt.contains(5.0) && gt.contains(-1e9) && !gt.contains(5.1));
+        let ge = failing_region(CmpOp::Ge, 5.0);
+        assert!(!ge.contains(5.0) && ge.contains(4.999999));
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        let eq = failing_region(CmpOp::Eq, 3.0);
+        assert!(!eq.contains(3.0) && eq.contains(3.0000001) && eq.contains(-7.0));
+        let ne = failing_region(CmpOp::Ne, 3.0);
+        assert!(ne.contains(3.0) && !ne.contains(3.0000001));
+    }
+
+    #[test]
+    fn passing_complements_failing() {
+        // Away from the boundary the regions are exact complements; the
+        // boundary point itself may belong to both closed representations
+        // (measure zero for continuous pdfs; discrete floors use exact
+        // point containment on the *failing* region only).
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            let pass = passing_region(op, 2.0);
+            let fail = failing_region(op, 2.0);
+            for &x in &[-10.0, 1.999, 2.001, 50.0] {
+                assert_ne!(pass.contains(x), fail.contains(x), "{op:?} at {x}");
+            }
+            assert!(pass.contains(2.0) || fail.contains(2.0), "{op:?} boundary covered");
+        }
+    }
+}

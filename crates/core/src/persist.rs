@@ -1,0 +1,443 @@
+//! Database persistence: saving and loading a set of probabilistic
+//! relations plus their history registry through the paged storage layer.
+//!
+//! The on-disk format is a single heap file of tagged records:
+//!
+//! ```text
+//! [1: schema]  table name, columns (id, name, type, uncertain), Δ sets
+//! [2: base]    registered base pdf: id, attrs, phantom flag, joint
+//! [3: tuple]   owning table, certain values, pdf nodes
+//!              (node = dims (VarId + optional column) + ancestors + joint)
+//! ```
+//!
+//! Schemas are written first, then bases, then tuples, so a single pass
+//! loads everything. Reference counts are rebuilt from the loaded tuples'
+//! ancestor sets, and both the attribute-id and pdf-id allocators are
+//! bumped past every persisted id so later inserts cannot collide.
+
+use crate::error::{EngineError, Result};
+use crate::history::{Ancestors, BasePdf, HistoryRegistry};
+use crate::relation::Relation;
+use crate::schema::{ensure_attr_floor, AttrId, Column, ColumnType, ProbSchema};
+use crate::tuple::{NodeDim, PdfNode, ProbTuple, VarId};
+use crate::value::Value;
+use bytes::{Buf, BufMut};
+use orion_storage::codec::{decode_joint, encode_joint, DecodeError};
+use orion_storage::{FileStore, HeapFile};
+use std::collections::HashMap;
+use std::path::Path;
+
+const TAG_SCHEMA: u8 = 1;
+const TAG_BASE: u8 = 2;
+const TAG_TUPLE: u8 = 3;
+
+fn put_str(s: &str, out: &mut impl BufMut) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut impl Buf) -> std::result::Result<String, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError("truncated string length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(DecodeError("truncated string".into()));
+    }
+    let mut bytes = vec![0u8; n];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|e| DecodeError(format!("invalid utf8: {e}")))
+}
+
+fn put_value(v: &Value, out: &mut impl BufMut) {
+    match v {
+        Value::Null => out.put_u8(0),
+        Value::Int(i) => {
+            out.put_u8(1);
+            out.put_i64_le(*i);
+        }
+        Value::Real(r) => {
+            out.put_u8(2);
+            out.put_f64_le(*r);
+        }
+        Value::Text(s) => {
+            out.put_u8(3);
+            put_str(s, out);
+        }
+        Value::Bool(b) => {
+            out.put_u8(4);
+            out.put_u8(u8::from(*b));
+        }
+    }
+}
+
+fn get_value(buf: &mut impl Buf) -> std::result::Result<Value, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError("truncated value tag".into()));
+    }
+    Ok(match buf.get_u8() {
+        0 => Value::Null,
+        1 => Value::Int(buf.get_i64_le()),
+        2 => Value::Real(buf.get_f64_le()),
+        3 => Value::Text(get_str(buf)?),
+        4 => Value::Bool(buf.get_u8() != 0),
+        t => return Err(DecodeError(format!("unknown value tag {t}"))),
+    })
+}
+
+fn type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Int => 0,
+        ColumnType::Real => 1,
+        ColumnType::Text => 2,
+        ColumnType::Bool => 3,
+    }
+}
+
+fn type_of(tag: u8) -> std::result::Result<ColumnType, DecodeError> {
+    Ok(match tag {
+        0 => ColumnType::Int,
+        1 => ColumnType::Real,
+        2 => ColumnType::Text,
+        3 => ColumnType::Bool,
+        t => return Err(DecodeError(format!("unknown column type {t}"))),
+    })
+}
+
+fn encode_schema(rel: &Relation, out: &mut Vec<u8>) {
+    out.put_u8(TAG_SCHEMA);
+    put_str(&rel.name, out);
+    out.put_u32_le(rel.schema.columns().len() as u32);
+    for c in rel.schema.columns() {
+        out.put_u64_le(c.id);
+        put_str(&c.name, out);
+        out.put_u8(type_tag(c.ty));
+        out.put_u8(u8::from(c.uncertain));
+    }
+    out.put_u32_le(rel.schema.deps().len() as u32);
+    for set in rel.schema.deps() {
+        out.put_u32_le(set.len() as u32);
+        for &a in set {
+            out.put_u64_le(a);
+        }
+    }
+}
+
+fn encode_tuple(table: &str, t: &ProbTuple, out: &mut Vec<u8>) {
+    out.put_u8(TAG_TUPLE);
+    put_str(table, out);
+    out.put_u32_le(t.certain.len() as u32);
+    for v in &t.certain {
+        put_value(v, out);
+    }
+    out.put_u32_le(t.nodes.len() as u32);
+    for n in &t.nodes {
+        out.put_u32_le(n.dims.len() as u32);
+        for d in &n.dims {
+            out.put_u64_le(d.var.base);
+            out.put_u16_le(d.var.dim);
+            match d.column {
+                Some(a) => {
+                    out.put_u8(1);
+                    out.put_u64_le(a);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        out.put_u32_le(n.ancestors.len() as u32);
+        for &a in &n.ancestors {
+            out.put_u64_le(a);
+        }
+        encode_joint(&n.joint, out);
+    }
+}
+
+/// Saves every relation and the registry into one file at `path`
+/// (overwriting it).
+pub fn save_database(
+    path: &Path,
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+) -> Result<()> {
+    let mut heap = HeapFile::new(FileStore::create(path)?, 64);
+    let mut buf = Vec::with_capacity(4096);
+    let mut names: Vec<&String> = tables.keys().collect();
+    names.sort();
+    for name in &names {
+        buf.clear();
+        encode_schema(&tables[*name], &mut buf);
+        heap.insert(&buf)?;
+    }
+    let mut bases: Vec<_> = reg.iter_bases().collect();
+    bases.sort_by_key(|(id, _)| *id);
+    for (id, base) in bases {
+        buf.clear();
+        buf.put_u8(TAG_BASE);
+        buf.put_u64_le(id);
+        buf.put_u8(u8::from(base.phantom));
+        buf.put_u32_le(base.attrs.len() as u32);
+        for &a in &base.attrs {
+            buf.put_u64_le(a);
+        }
+        encode_joint(&base.joint, &mut buf);
+        heap.insert(&buf)?;
+    }
+    for name in &names {
+        for t in &tables[*name].tuples {
+            buf.clear();
+            encode_tuple(name, t, &mut buf);
+            heap.insert(&buf)?;
+        }
+    }
+    heap.pool().flush()?;
+    Ok(())
+}
+
+fn bad(e: DecodeError) -> EngineError {
+    EngineError::Io(e.to_string())
+}
+
+/// Loads a database saved by [`save_database`]. Rebuilds reference counts
+/// and bumps the attribute/pdf id allocators past every persisted id.
+pub fn load_database(path: &Path) -> Result<(HashMap<String, Relation>, HistoryRegistry)> {
+    let heap = HeapFile::new(FileStore::open(path)?, 64);
+    let mut tables: HashMap<String, Relation> = HashMap::new();
+    let mut reg = HistoryRegistry::new();
+    let mut max_attr: AttrId = 0;
+    let mut err: Option<EngineError> = None;
+    heap.scan(|_, rec| {
+        let mut buf = rec;
+        let r = (|| -> std::result::Result<(), EngineError> {
+            let tag = buf.get_u8();
+            match tag {
+                TAG_SCHEMA => {
+                    let name = get_str(&mut buf).map_err(bad)?;
+                    let ncols = buf.get_u32_le() as usize;
+                    let mut columns = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        let id = buf.get_u64_le();
+                        max_attr = max_attr.max(id);
+                        let cname = get_str(&mut buf).map_err(bad)?;
+                        let ty = type_of(buf.get_u8()).map_err(bad)?;
+                        let uncertain = buf.get_u8() != 0;
+                        columns.push(Column { id, name: cname, ty, uncertain });
+                    }
+                    let nsets = buf.get_u32_le() as usize;
+                    let mut deps = Vec::with_capacity(nsets);
+                    for _ in 0..nsets {
+                        let k = buf.get_u32_le() as usize;
+                        deps.push((0..k).map(|_| buf.get_u64_le()).collect());
+                    }
+                    let schema = ProbSchema::from_columns(columns, deps);
+                    tables.insert(name.clone(), Relation::new(name, schema));
+                }
+                TAG_BASE => {
+                    let id = buf.get_u64_le();
+                    let phantom = buf.get_u8() != 0;
+                    let k = buf.get_u32_le() as usize;
+                    let attrs: Vec<AttrId> = (0..k).map(|_| buf.get_u64_le()).collect();
+                    for &a in &attrs {
+                        max_attr = max_attr.max(a);
+                    }
+                    let joint = decode_joint(&mut buf).map_err(bad)?;
+                    reg.restore(id, BasePdf { attrs, joint, phantom });
+                }
+                TAG_TUPLE => {
+                    let table = get_str(&mut buf).map_err(bad)?;
+                    let ncert = buf.get_u32_le() as usize;
+                    let mut certain = Vec::with_capacity(ncert);
+                    for _ in 0..ncert {
+                        certain.push(get_value(&mut buf).map_err(bad)?);
+                    }
+                    let nnodes = buf.get_u32_le() as usize;
+                    let mut nodes = Vec::with_capacity(nnodes);
+                    for _ in 0..nnodes {
+                        let ndims = buf.get_u32_le() as usize;
+                        let mut dims = Vec::with_capacity(ndims);
+                        for _ in 0..ndims {
+                            let base = buf.get_u64_le();
+                            let dim = buf.get_u16_le();
+                            let column = if buf.get_u8() != 0 {
+                                let a = buf.get_u64_le();
+                                max_attr = max_attr.max(a);
+                                Some(a)
+                            } else {
+                                None
+                            };
+                            dims.push(NodeDim { var: VarId { base, dim }, column });
+                        }
+                        let nanc = buf.get_u32_le() as usize;
+                        let ancestors: Ancestors =
+                            (0..nanc).map(|_| buf.get_u64_le()).collect();
+                        let joint = decode_joint(&mut buf).map_err(bad)?;
+                        reg.add_refs(&ancestors);
+                        nodes.push(PdfNode::new(dims, joint, ancestors));
+                    }
+                    let rel = tables.get_mut(&table).ok_or_else(|| {
+                        EngineError::Io(format!("tuple for unknown table '{table}'"))
+                    })?;
+                    rel.tuples.push(ProbTuple { certain, nodes });
+                }
+                t => return Err(EngineError::Io(format!("unknown record tag {t}"))),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            err = Some(e);
+            return false;
+        }
+        true
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    ensure_attr_floor(max_attr);
+    Ok((tables, reg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate};
+    use crate::select::{select, ExecOptions};
+    use orion_pdf::prelude::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("orion_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_db() -> (HashMap<String, Relation>, HistoryRegistry) {
+        let mut reg = HistoryRegistry::new();
+        let schema = ProbSchema::new(
+            vec![
+                ("id", ColumnType::Int, false),
+                ("name", ColumnType::Text, false),
+                ("x", ColumnType::Real, true),
+                ("y", ColumnType::Real, true),
+            ],
+            vec![vec!["x", "y"]],
+        )
+        .unwrap();
+        let mut rel = Relation::new("objects", schema);
+        rel.insert(
+            &mut reg,
+            &[("id", Value::Int(1)), ("name", Value::Text("alpha".into()))],
+            vec![(
+                vec!["x", "y"],
+                JointPdf::from_points(
+                    JointDiscrete::from_points(
+                        2,
+                        vec![(vec![1.0, 2.0], 0.5), (vec![3.0, 4.0], 0.5)],
+                    )
+                    .unwrap(),
+                ),
+            )],
+        )
+        .unwrap();
+        let schema2 = ProbSchema::new(
+            vec![("rid", ColumnType::Int, false), ("v", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel2 = Relation::new("readings", schema2);
+        rel2.insert_simple(
+            &mut reg,
+            &[("rid", Value::Int(7))],
+            &[("v", Pdf1::gaussian(20.0, 5.0).unwrap())],
+        )
+        .unwrap();
+        let mut tables = HashMap::new();
+        tables.insert("objects".to_string(), rel);
+        tables.insert("readings".to_string(), rel2);
+        (tables, reg)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (tables, reg) = sample_db();
+        let path = temp("roundtrip.db");
+        save_database(&path, &tables, &reg).unwrap();
+        let (loaded, lreg) = load_database(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let obj = &loaded["objects"];
+        assert_eq!(obj.schema, tables["objects"].schema);
+        assert_eq!(obj.tuples, tables["objects"].tuples);
+        assert_eq!(lreg.len(), reg.len());
+        // Marginal query works identically after reload.
+        let m = loaded["readings"].marginal(0, "v").unwrap();
+        assert_eq!(m.to_string(), "Gaus(20,5)");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn histories_survive_reload() {
+        // Save, reload, then run the dependent-merge pipeline on the
+        // loaded data: ancestors must still resolve.
+        let (tables, reg) = sample_db();
+        let path = temp("histories.db");
+        save_database(&path, &tables, &reg).unwrap();
+        let (loaded, mut lreg) = load_database(&path).unwrap();
+        let obj = &loaded["objects"];
+        let opts = ExecOptions::default();
+        let sel = select(obj, &Predicate::cmp("x", CmpOp::Gt, 2.0), &mut lreg, &opts).unwrap();
+        assert_eq!(sel.len(), 1);
+        assert!((sel.tuples[0].naive_existence() - 0.5).abs() < 1e-12);
+        // The loaded node's ancestor id must resolve in the loaded registry.
+        let anc = *sel.tuples[0].nodes[0].ancestors.iter().next().unwrap();
+        assert!(lreg.base(anc).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reload_does_not_collide_with_new_ids() {
+        let (tables, reg) = sample_db();
+        let path = temp("collide.db");
+        save_database(&path, &tables, &reg).unwrap();
+        let (loaded, mut lreg) = load_database(&path).unwrap();
+        // Fresh schema after loading: ids must not collide with loaded ones.
+        let fresh = ProbSchema::new(vec![("z", ColumnType::Real, true)], vec![]).unwrap();
+        let loaded_ids: Vec<AttrId> = loaded
+            .values()
+            .flat_map(|r| r.schema.columns().iter().map(|c| c.id))
+            .collect();
+        assert!(!loaded_ids.contains(&fresh.column("z").unwrap().id));
+        // Fresh base registration must not collide with loaded pdf ids.
+        let new_id = lreg.register(vec![1], JointPdf::from_pdf1(Pdf1::certain(0.0)));
+        assert!(loaded.values().all(|r| r
+            .tuples
+            .iter()
+            .all(|t| t.nodes.iter().all(|n| !n.ancestors.contains(&new_id)))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn refcounts_rebuilt_on_load() {
+        let (tables, reg) = sample_db();
+        let path = temp("refs.db");
+        save_database(&path, &tables, &reg).unwrap();
+        let (loaded, lreg) = load_database(&path).unwrap();
+        for rel in loaded.values() {
+            for t in &rel.tuples {
+                for n in &t.nodes {
+                    for &a in &n.ancestors {
+                        assert!(lreg.ref_count(a) >= 1, "ancestor {a} unreferenced");
+                    }
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let path = temp("corrupt.db");
+        let mut heap = HeapFile::new(FileStore::create(&path).unwrap(), 8);
+        heap.insert(&[99u8, 1, 2, 3]).unwrap();
+        heap.pool().flush().unwrap();
+        drop(heap);
+        assert!(load_database(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

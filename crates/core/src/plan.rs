@@ -1,0 +1,178 @@
+//! Logical query plans and their execution over the probabilistic engine.
+//!
+//! A [`Plan`] is a small algebra tree (scan / select / project / join /
+//! threshold). The same tree can be executed by the probabilistic operators
+//! ([`execute`]) and by the brute-force possible-worlds reference engine
+//! ([`crate::pws`]), which is how the test suite certifies PWS consistency.
+
+use crate::error::{EngineError, Result};
+use crate::history::HistoryRegistry;
+use crate::join::join;
+use crate::predicate::{CmpOp, Predicate};
+use crate::project::project;
+use crate::relation::Relation;
+use crate::select::{select, ExecOptions};
+use crate::threshold::{threshold_attrs, threshold_pred};
+use std::collections::HashMap;
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a named base table.
+    Scan(String),
+    /// σ_θ.
+    Select(Box<Plan>, Predicate),
+    /// Π_cols.
+    Project(Box<Plan>, Vec<String>),
+    /// `left ⋈_θ right` (cross product when the predicate is `None`).
+    Join(Box<Plan>, Box<Plan>, Option<Predicate>),
+    /// σ_{Pr(attrs) ⊙ p} (outside PWS, Section III-E).
+    ThresholdAttrs(Box<Plan>, Vec<String>, CmpOp, f64),
+    /// σ_{Pr(θ) ⊙ p} (outside PWS, Section III-E).
+    ThresholdPred(Box<Plan>, Predicate, CmpOp, f64),
+}
+
+impl Plan {
+    /// Convenience: scan.
+    pub fn scan(name: &str) -> Plan {
+        Plan::Scan(name.to_string())
+    }
+
+    /// Convenience: σ_θ over this plan.
+    pub fn select(self, pred: Predicate) -> Plan {
+        Plan::Select(Box::new(self), pred)
+    }
+
+    /// Convenience: Π_cols over this plan.
+    pub fn project(self, cols: &[&str]) -> Plan {
+        Plan::Project(Box::new(self), cols.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Convenience: join with another plan.
+    pub fn join_on(self, other: Plan, pred: Option<Predicate>) -> Plan {
+        Plan::Join(Box::new(self), Box::new(other), pred)
+    }
+
+    /// Whether the plan contains threshold operators (which possible-worlds
+    /// semantics does not define).
+    pub fn has_threshold(&self) -> bool {
+        match self {
+            Plan::Scan(_) => false,
+            Plan::Select(p, _) | Plan::Project(p, _) => p.has_threshold(),
+            Plan::Join(l, r, _) => l.has_threshold() || r.has_threshold(),
+            Plan::ThresholdAttrs(..) | Plan::ThresholdPred(..) => true,
+        }
+    }
+}
+
+/// Executes a plan with the probabilistic operators.
+pub fn execute(
+    plan: &Plan,
+    tables: &HashMap<String, Relation>,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
+    match plan {
+        Plan::Scan(name) => tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::Operator(format!("unknown table '{name}'"))),
+        Plan::Select(p, pred) => {
+            let input = execute(p, tables, reg, opts)?;
+            select(&input, pred, reg, opts)
+        }
+        Plan::Project(p, cols) => {
+            let input = execute(p, tables, reg, opts)?;
+            let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+            project(&input, &refs, reg)
+        }
+        Plan::Join(l, r, pred) => {
+            let left = execute(l, tables, reg, opts)?;
+            let right = execute(r, tables, reg, opts)?;
+            join(&left, &right, pred.as_ref(), reg, opts)
+        }
+        Plan::ThresholdAttrs(p, attrs, op, prob) => {
+            let input = execute(p, tables, reg, opts)?;
+            let refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+            threshold_attrs(&input, &refs, *op, *prob, reg, opts)
+        }
+        Plan::ThresholdPred(p, pred, op, prob) => {
+            let input = execute(p, tables, reg, opts)?;
+            threshold_pred(&input, pred, *op, *prob, reg, opts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, ProbSchema};
+    use crate::value::Value;
+    use orion_pdf::prelude::*;
+
+    fn db() -> (HashMap<String, Relation>, HistoryRegistry) {
+        let mut reg = HistoryRegistry::new();
+        let schema = ProbSchema::new(
+            vec![("id", ColumnType::Int, false), ("x", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("t", schema);
+        for (id, lo, hi) in [(1, 0.0, 10.0), (2, 5.0, 15.0)] {
+            rel.insert_simple(
+                &mut reg,
+                &[("id", Value::Int(id))],
+                &[("x", Pdf1::uniform(lo, hi).unwrap())],
+            )
+            .unwrap();
+        }
+        let mut tables = HashMap::new();
+        tables.insert("t".to_string(), rel);
+        (tables, reg)
+    }
+
+    #[test]
+    fn execute_pipeline() {
+        let (tables, mut reg) = db();
+        let plan = Plan::scan("t")
+            .select(Predicate::cmp("x", CmpOp::Lt, 8.0))
+            .project(&["id"]);
+        let out = execute(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema.columns().len(), 1);
+        // Tuple 2 exists with probability 0.3 after the floor.
+        assert!((out.tuples[1].naive_existence() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execute_threshold() {
+        let (tables, mut reg) = db();
+        let plan = Plan::ThresholdPred(
+            Box::new(Plan::scan("t")),
+            Predicate::cmp("x", CmpOp::Lt, 8.0),
+            CmpOp::Gt,
+            0.5,
+        );
+        let out = execute(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
+        assert_eq!(out.len(), 1, "only id=1 has P(x<8) = 0.8 > 0.5");
+        assert_eq!(out.value(0, "id").unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let (tables, mut reg) = db();
+        assert!(execute(&Plan::scan("nope"), &tables, &mut reg, &ExecOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn has_threshold_detection() {
+        let p = Plan::scan("t").select(Predicate::cmp("x", CmpOp::Lt, 1.0));
+        assert!(!p.has_threshold());
+        let t = Plan::ThresholdAttrs(Box::new(p), vec!["x".into()], CmpOp::Gt, 0.5);
+        assert!(t.has_threshold());
+        assert!(Plan::scan("a")
+            .join_on(t, None)
+            .has_threshold());
+    }
+}

@@ -1,0 +1,286 @@
+//! Probabilistic schemas: `(Σ_T, Δ_T)` — regular column typing plus
+//! dependency information (paper Section II).
+//!
+//! Every attribute carries a globally unique [`AttrId`] assigned at table
+//! creation, so renames and joins never confuse attribute identity — the
+//! history mechanism (Section II-C) relies on identity, not names.
+
+use crate::error::{EngineError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Globally unique attribute identity.
+pub type AttrId = u64;
+
+static NEXT_ATTR: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh attribute id.
+pub fn fresh_attr_id() -> AttrId {
+    NEXT_ATTR.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Raises the allocator above `max_seen`, so ids loaded from a saved
+/// database never collide with freshly created columns.
+pub fn ensure_attr_floor(max_seen: AttrId) {
+    NEXT_ATTR.fetch_max(max_seen + 1, Ordering::Relaxed);
+}
+
+/// Data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    Real,
+    Text,
+    Bool,
+}
+
+impl ColumnType {
+    /// Whether pdfs may be declared over this type (pdfs live on ℝ).
+    pub fn supports_uncertainty(&self) -> bool {
+        matches!(self, ColumnType::Int | ColumnType::Real)
+    }
+}
+
+/// One column of a probabilistic schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Stable identity (survives renames and joins).
+    pub id: AttrId,
+    /// Display name, unique within its relation.
+    pub name: String,
+    /// Data type.
+    pub ty: ColumnType,
+    /// Whether the column is uncertain (pdf-valued).
+    pub uncertain: bool,
+}
+
+/// The probabilistic schema `(Σ, Δ)` of a relation.
+///
+/// `deps` partitions the uncertain columns into dependency sets: columns in
+/// the same set are jointly distributed within each tuple. Uncertain
+/// columns not mentioned get their own singleton set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbSchema {
+    columns: Vec<Column>,
+    deps: Vec<Vec<AttrId>>,
+}
+
+impl ProbSchema {
+    /// Builds a schema from `(name, type, uncertain)` column specs and
+    /// dependency groups given by column name. Unlisted uncertain columns
+    /// become singleton dependency sets.
+    pub fn new(
+        cols: Vec<(&str, ColumnType, bool)>,
+        dep_groups: Vec<Vec<&str>>,
+    ) -> Result<Self> {
+        let mut columns = Vec::with_capacity(cols.len());
+        for (name, ty, uncertain) in cols {
+            if uncertain && !ty.supports_uncertainty() {
+                return Err(EngineError::Schema(format!(
+                    "column '{name}' of type {ty:?} cannot be uncertain"
+                )));
+            }
+            if columns.iter().any(|c: &Column| c.name == name) {
+                return Err(EngineError::Schema(format!("duplicate column '{name}'")));
+            }
+            columns.push(Column { id: fresh_attr_id(), name: name.to_string(), ty, uncertain });
+        }
+        let mut deps: Vec<Vec<AttrId>> = Vec::new();
+        let mut grouped: Vec<AttrId> = Vec::new();
+        for group in dep_groups {
+            let mut ids = Vec::with_capacity(group.len());
+            for name in group {
+                let col = columns
+                    .iter()
+                    .find(|c| c.name == name)
+                    .ok_or_else(|| EngineError::Schema(format!("unknown column '{name}'")))?;
+                if !col.uncertain {
+                    return Err(EngineError::Schema(format!(
+                        "certain column '{name}' cannot join a dependency set"
+                    )));
+                }
+                if grouped.contains(&col.id) {
+                    return Err(EngineError::Schema(format!(
+                        "column '{name}' appears in two dependency sets"
+                    )));
+                }
+                grouped.push(col.id);
+                ids.push(col.id);
+            }
+            if !ids.is_empty() {
+                deps.push(ids);
+            }
+        }
+        for c in &columns {
+            if c.uncertain && !grouped.contains(&c.id) {
+                deps.push(vec![c.id]);
+            }
+        }
+        Ok(ProbSchema { columns, deps })
+    }
+
+    /// Builds a schema from pre-existing columns (joins, projections).
+    pub fn from_columns(columns: Vec<Column>, deps: Vec<Vec<AttrId>>) -> Self {
+        ProbSchema { columns, deps }
+    }
+
+    /// The visible columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The dependency partition Δ (over visible uncertain columns).
+    pub fn deps(&self) -> &[Vec<AttrId>] {
+        &self.deps
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a column by id.
+    pub fn column_by_id(&self, id: AttrId) -> Option<&Column> {
+        self.columns.iter().find(|c| c.id == id)
+    }
+
+    /// Position of a column in the row layout.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Replaces the dependency partition (used after selections merge sets).
+    pub fn set_deps(&mut self, deps: Vec<Vec<AttrId>>) {
+        self.deps = deps;
+    }
+}
+
+/// The closure Ω of Definition 4: merges the connected components of a set
+/// system (hyper-graph). Input sets that share any element end up merged;
+/// the output is a partition of the union.
+pub fn closure(sets: &[Vec<AttrId>]) -> Vec<Vec<AttrId>> {
+    // Union-find over the distinct elements.
+    let mut elems: Vec<AttrId> = sets.iter().flatten().copied().collect();
+    elems.sort_unstable();
+    elems.dedup();
+    let index = |id: AttrId| elems.binary_search(&id).expect("element present");
+    let mut parent: Vec<usize> = (0..elems.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for set in sets {
+        if let Some(&first) = set.first() {
+            let r = find(&mut parent, index(first));
+            for &e in &set[1..] {
+                let s = find(&mut parent, index(e));
+                parent[s] = r;
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<AttrId>> = Default::default();
+    for (i, &e) in elems.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(e);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_schema() -> ProbSchema {
+        ProbSchema::new(
+            vec![
+                ("id", ColumnType::Int, false),
+                ("x", ColumnType::Real, true),
+                ("y", ColumnType::Real, true),
+            ],
+            vec![vec!["x", "y"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_construction_and_lookup() {
+        let s = sensor_schema();
+        assert_eq!(s.columns().len(), 3);
+        assert_eq!(s.deps().len(), 1);
+        assert_eq!(s.deps()[0].len(), 2);
+        assert!(s.column("id").is_some());
+        assert!(!s.column("id").unwrap().uncertain);
+        assert!(s.column("x").unwrap().uncertain);
+        assert_eq!(s.index_of("y"), Some(2));
+        assert!(s.column("z").is_none());
+    }
+
+    #[test]
+    fn unlisted_uncertain_gets_singleton() {
+        let s = ProbSchema::new(
+            vec![
+                ("a", ColumnType::Real, true),
+                ("b", ColumnType::Real, true),
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(s.deps().len(), 2);
+    }
+
+    #[test]
+    fn schema_validation() {
+        assert!(ProbSchema::new(vec![("t", ColumnType::Text, true)], vec![]).is_err());
+        assert!(ProbSchema::new(
+            vec![("a", ColumnType::Int, false), ("a", ColumnType::Int, false)],
+            vec![]
+        )
+        .is_err());
+        assert!(ProbSchema::new(
+            vec![("a", ColumnType::Int, false)],
+            vec![vec!["a"]]
+        )
+        .is_err());
+        assert!(ProbSchema::new(
+            vec![("a", ColumnType::Real, true)],
+            vec![vec!["a"], vec!["a"]]
+        )
+        .is_err());
+        assert!(ProbSchema::new(vec![("a", ColumnType::Real, true)], vec![vec!["b"]]).is_err());
+    }
+
+    #[test]
+    fn attr_ids_are_unique() {
+        let s1 = sensor_schema();
+        let s2 = sensor_schema();
+        for c1 in s1.columns() {
+            for c2 in s2.columns() {
+                assert_ne!(c1.id, c2.id);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_merges_connected_components() {
+        // Paper Section III-C: Δ = {{a,b},{c,d},{e,f}}, A = {b,c,g}
+        // => {{a,b,c,d,g},{e,f}}.
+        let (a, b, c, d, e, f, g) = (1, 2, 3, 4, 5, 6, 7);
+        let merged = closure(&[vec![a, b], vec![c, d], vec![e, f], vec![b, c, g]]);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.contains(&vec![a, b, c, d, g]));
+        assert!(merged.contains(&vec![e, f]));
+    }
+
+    #[test]
+    fn closure_of_disjoint_sets_is_identity() {
+        let merged = closure(&[vec![1, 2], vec![3], vec![4, 5]]);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn closure_of_empty_is_empty() {
+        assert!(closure(&[]).is_empty());
+    }
+}

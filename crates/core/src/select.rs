@@ -1,0 +1,588 @@
+//! The selection operator σ_θ (paper Section III-C).
+//!
+//! * **Case 1** — every predicate attribute is certain: classical filtering.
+//! * **Case 2(a)** — dependency sets disjoint from the predicate are copied.
+//! * **Case 2(b)** — dependency sets intersecting the predicate are merged
+//!   (`product`, history-aware) and floored where the predicate is false;
+//!   fully-floored tuples are removed.
+//!
+//! A fast path keeps floors **symbolic** when the predicate decomposes into
+//! single-attribute comparisons against constants (`[Gaus(5,1),
+//! Floor{[5,∞]}]` instead of a materialized histogram) — the paper's
+//! Section III-A optimization.
+
+use crate::collapse;
+use crate::error::{EngineError, Result};
+use crate::history::HistoryRegistry;
+use crate::predicate::Predicate;
+use crate::relation::Relation;
+use crate::schema::{closure, AttrId};
+use crate::tuple::{PdfNode, ProbTuple};
+use crate::value::Value;
+
+/// Execution options shared by the relational operators.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Grid bins per dimension when continuous pdfs must be materialized.
+    pub resolution: usize,
+    /// Maintain and honor histories (turning this off reproduces the
+    /// paper's incorrect-but-fast Figure 6 baseline).
+    pub use_histories: bool,
+    /// Collapse historically dependent nodes eagerly after joins
+    /// (Section III-D leaves the timing to the implementation).
+    pub eager_collapse: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            resolution: collapse::DEFAULT_RESOLUTION,
+            use_histories: true,
+            eager_collapse: true,
+        }
+    }
+}
+
+/// Evaluates σ_θ over a relation.
+pub fn select(
+    rel: &Relation,
+    pred: &Predicate,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
+    pred.validate(&rel.schema)?;
+    let pred_cols = pred.columns();
+    let uncertain_cols: Vec<&str> = pred_cols
+        .iter()
+        .filter(|c| rel.schema.column(c).expect("validated").uncertain)
+        .map(|s| s.as_str())
+        .collect();
+
+    let mut out = Relation::new(format!("sigma({})", rel.name), rel.schema.clone());
+    if uncertain_cols.is_empty() {
+        // Case 1: certain-only predicate.
+        for t in &rel.tuples {
+            let lookup = certain_lookup(rel, t);
+            if pred.eval(&lookup) == Some(true) {
+                push_tuple(&mut out, t.clone(), reg);
+            }
+        }
+        return Ok(out);
+    }
+
+    // Update the visible dependency information: Δ_R = Ω(Δ_T ∪ {A}).
+    let a_ids: Vec<AttrId> = uncertain_cols
+        .iter()
+        .map(|c| rel.schema.column(c).expect("validated").id)
+        .collect();
+    let mut sets: Vec<Vec<AttrId>> = rel.schema.deps().to_vec();
+    sets.push(a_ids.clone());
+    out.schema.set_deps(closure(&sets));
+
+    let fast = fast_path_atoms(rel, pred);
+    for t in &rel.tuples {
+        let new_t = match &fast {
+            Some(atoms) => select_tuple_fast(rel, t, atoms, pred)?,
+            None => select_tuple_general(rel, t, pred, &a_ids, reg, opts)?,
+        };
+        if let Some(nt) = new_t {
+            if !nt.is_vacuous() {
+                push_tuple(&mut out, nt, reg);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_tuple(out: &mut Relation, t: ProbTuple, reg: &mut HistoryRegistry) {
+    for n in &t.nodes {
+        reg.add_refs(&n.ancestors);
+    }
+    out.tuples.push(t);
+}
+
+/// Value lookup over a tuple's certain columns.
+pub(crate) fn certain_lookup<'a>(
+    rel: &'a Relation,
+    t: &'a ProbTuple,
+) -> impl Fn(&str) -> Value + 'a {
+    move |name| {
+        rel.schema
+            .index_of(name)
+            .map(|i| t.certain[i].clone())
+            .unwrap_or(Value::Null)
+    }
+}
+
+/// One fast-path conjunct: either a certain-only atom, or a single
+/// uncertain column with its failing region.
+enum FastAtom {
+    Certain(Predicate),
+    Floor { col: String, region: orion_pdf::prelude::RegionSet },
+}
+
+/// Decomposes the predicate into fast-path atoms when possible: a
+/// conjunction in which each conjunct is either certain-only or a
+/// single-uncertain-column comparison against a constant.
+fn fast_path_atoms(rel: &Relation, pred: &Predicate) -> Option<Vec<FastAtom>> {
+    let mut atoms = Vec::new();
+    for conj in pred.conjuncts() {
+        // OR/NOT inside a conjunct disables the fast path unless certain-only.
+        let cols = conj.columns();
+        let all_certain = cols
+            .iter()
+            .all(|c| rel.schema.column(c).is_some_and(|col| !col.uncertain));
+        if all_certain {
+            atoms.push(FastAtom::Certain(conj.clone()));
+            continue;
+        }
+        let (col, region) = conj.single_column_floor()?;
+        if !rel.schema.column(&col)?.uncertain {
+            // Shape matched but the column is certain — treat as certain atom.
+            atoms.push(FastAtom::Certain(conj.clone()));
+            continue;
+        }
+        atoms.push(FastAtom::Floor { col, region });
+    }
+    Some(atoms)
+}
+
+/// Fast path: apply symbolic floors per uncertain column; evaluate certain
+/// atoms directly. Returns `None` when the tuple is filtered out.
+fn select_tuple_fast(
+    rel: &Relation,
+    t: &ProbTuple,
+    atoms: &[FastAtom],
+    _pred: &Predicate,
+) -> Result<Option<ProbTuple>> {
+    let mut nt = t.clone();
+    for atom in atoms {
+        match atom {
+            FastAtom::Certain(p) => {
+                let lookup = certain_lookup(rel, &nt);
+                if p.eval(&lookup) != Some(true) {
+                    return Ok(None);
+                }
+            }
+            FastAtom::Floor { col, region } => {
+                let attr = rel
+                    .schema
+                    .column(col)
+                    .ok_or_else(|| EngineError::Predicate(format!("unknown column '{col}'")))?
+                    .id;
+                let ni = nt
+                    .node_index_for(attr)
+                    .ok_or_else(|| EngineError::Operator(format!("no pdf node for '{col}'")))?;
+                let node = &nt.nodes[ni];
+                let dim = node.dim_of(attr).expect("node covers attr");
+                let floored = node.joint.floor_axis(dim, region);
+                nt.nodes[ni] = PdfNode::new(node.dims.clone(), floored, node.ancestors.clone());
+            }
+        }
+    }
+    Ok(Some(nt))
+}
+
+/// General path (Case 2(b)): merge the dependency sets intersecting the
+/// predicate, bind certain attributes, and floor where θ is false.
+fn select_tuple_general(
+    rel: &Relation,
+    t: &ProbTuple,
+    pred: &Predicate,
+    a_ids: &[AttrId],
+    reg: &HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Option<ProbTuple>> {
+    // Nodes touched by the predicate.
+    let mut touched: Vec<usize> = Vec::new();
+    for &a in a_ids {
+        match t.node_index_for(a) {
+            Some(i) => {
+                if !touched.contains(&i) {
+                    touched.push(i);
+                }
+            }
+            None => {
+                return Err(EngineError::Operator(format!(
+                    "uncertain attribute {a} has no pdf node"
+                )))
+            }
+        }
+    }
+    touched.sort_unstable();
+
+    // Merge them (history-aware product; naive product when histories are
+    // disabled for the Figure 6 ablation).
+    let merged = if touched.len() == 1 {
+        t.nodes[touched[0]].clone()
+    } else {
+        let refs: Vec<&PdfNode> = touched.iter().map(|&i| &t.nodes[i]).collect();
+        if opts.use_histories {
+            collapse::merge_nodes(&refs, reg, opts.resolution)?
+        } else {
+            naive_merge(&refs)?
+        }
+    };
+
+    // Bind every predicate column: uncertain -> dim index, certain -> value.
+    let dims: Vec<usize> = a_ids
+        .iter()
+        .map(|&a| {
+            merged
+                .dim_of(a)
+                .ok_or_else(|| EngineError::Operator(format!("merged node misses attr {a}")))
+        })
+        .collect::<Result<_>>()?;
+    let col_names: Vec<String> = a_ids
+        .iter()
+        .map(|&a| rel.schema.column_by_id(a).expect("validated").name.clone())
+        .collect();
+
+    // Pre-compute the dimension reorder floor_predicate will apply.
+    let order = merged.joint.dim_order_after_merge(&dims);
+
+    let certain_vals: Vec<(String, Value)> = pred
+        .columns()
+        .into_iter()
+        .filter(|c| !rel.schema.column(c).expect("validated").uncertain)
+        .map(|c| {
+            let idx = rel.schema.index_of(&c).expect("validated");
+            (c, t.certain[idx].clone())
+        })
+        .collect();
+
+    let pred_cloned = pred.clone();
+    let names = col_names.clone();
+    let floored = merged.joint.floor_predicate(&dims, opts.resolution, move |x| {
+        let lookup = |name: &str| -> Value {
+            if let Some(i) = names.iter().position(|n| n == name) {
+                return Value::Real(x[i]);
+            }
+            certain_vals
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Null)
+        };
+        pred_cloned.eval(&lookup) == Some(true)
+    })?;
+    let new_dims: Vec<crate::tuple::NodeDim> =
+        order.iter().map(|&i| merged.dims[i]).collect();
+    let new_node = PdfNode::new(new_dims, floored, merged.ancestors);
+
+    let mut nodes = Vec::with_capacity(t.nodes.len() - touched.len() + 1);
+    for (i, n) in t.nodes.iter().enumerate() {
+        if i == touched[0] {
+            nodes.push(new_node.clone());
+        } else if !touched.contains(&i) {
+            nodes.push(n.clone());
+        }
+    }
+    Ok(Some(ProbTuple { certain: t.certain.clone(), nodes }))
+}
+
+/// Applies σ_θ to a single tuple without touching the registry's reference
+/// counts: returns the floored tuple, or `None` when it is filtered out
+/// (certain-predicate failure). Callers must still check for vacuity.
+/// Used by threshold queries (Section III-E) to evaluate `Pr(θ)` without
+/// materializing a result relation.
+pub(crate) fn apply_predicate_tuple(
+    rel: &Relation,
+    t: &ProbTuple,
+    pred: &Predicate,
+    reg: &HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Option<ProbTuple>> {
+    let pred_cols = pred.columns();
+    let uncertain: Vec<AttrId> = pred_cols
+        .iter()
+        .filter_map(|c| {
+            let col = rel.schema.column(c)?;
+            col.uncertain.then_some(col.id)
+        })
+        .collect();
+    if uncertain.is_empty() {
+        let lookup = certain_lookup(rel, t);
+        return Ok((pred.eval(&lookup) == Some(true)).then(|| t.clone()));
+    }
+    match fast_path_atoms(rel, pred) {
+        Some(atoms) => select_tuple_fast(rel, t, &atoms, pred),
+        None => select_tuple_general(rel, t, pred, &uncertain, reg, opts),
+    }
+}
+
+/// Plain product of nodes, ignoring histories — the paper's incorrect
+/// Figure 3 baseline (public for the ablation harness).
+pub fn naive_merge(nodes: &[&PdfNode]) -> Result<PdfNode> {
+    let mut it = nodes.iter();
+    let first = it
+        .next()
+        .ok_or_else(|| EngineError::Operator("merge of zero nodes".into()))?;
+    let mut dims = first.dims.clone();
+    let mut joint = first.joint.clone();
+    let mut ancestors = first.ancestors.clone();
+    for n in it {
+        for d in &n.dims {
+            if let Some(a) = d.column {
+                if dims.iter().any(|e| e.column == Some(a)) {
+                    return Err(EngineError::Operator(
+                        "naive merge of nodes sharing a visible column".into(),
+                    ));
+                }
+            }
+        }
+        dims.extend_from_slice(&n.dims);
+        joint = joint.product(&n.joint);
+        ancestors.extend(n.ancestors.iter().copied());
+    }
+    Ok(PdfNode::new(dims, joint, ancestors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::schema::{ColumnType, ProbSchema};
+    use orion_pdf::prelude::*;
+
+    /// The paper's Table II relation.
+    fn table2() -> (Relation, HistoryRegistry) {
+        let schema = ProbSchema::new(
+            vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("T", schema);
+        let mut reg = HistoryRegistry::new();
+        rel.insert_simple(
+            &mut reg,
+            &[],
+            &[
+                ("a", Pdf1::discrete(vec![(0.0, 0.1), (1.0, 0.9)]).unwrap()),
+                ("b", Pdf1::discrete(vec![(1.0, 0.6), (2.0, 0.4)]).unwrap()),
+            ],
+        )
+        .unwrap();
+        rel.insert_simple(
+            &mut reg,
+            &[],
+            &[
+                ("a", Pdf1::certain(7.0)),
+                ("b", Pdf1::certain(3.0)),
+            ],
+        )
+        .unwrap();
+        (rel, reg)
+    }
+
+    #[test]
+    fn selection_a_lt_b_matches_paper() {
+        // Section III-C: σ_{a<b}(T) yields one tuple with joint
+        // Discrete({0,1}:0.06, {0,2}:0.04, {1,2}:0.36).
+        let (rel, mut reg) = table2();
+        let out = select(
+            &rel,
+            &Predicate::cmp_cols("a", CmpOp::Lt, "b"),
+            &mut reg,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1, "tuple 2 (7 !< 3) is fully floored");
+        let t = &out.tuples[0];
+        assert_eq!(t.nodes.len(), 1, "a and b merged into one dependency set");
+        let n = &t.nodes[0];
+        let (pa, pb) = (
+            n.dim_of(rel.schema.column("a").unwrap().id).unwrap(),
+            n.dim_of(rel.schema.column("b").unwrap().id).unwrap(),
+        );
+        let d = |a: f64, b: f64| {
+            let mut pt = vec![0.0; 2];
+            pt[pa] = a;
+            pt[pb] = b;
+            n.joint.density(&pt)
+        };
+        assert!((d(0.0, 1.0) - 0.06).abs() < 1e-12);
+        assert!((d(0.0, 2.0) - 0.04).abs() < 1e-12);
+        assert!((d(1.0, 2.0) - 0.36).abs() < 1e-12);
+        assert_eq!(d(1.0, 1.0), 0.0);
+        assert!((n.mass() - 0.46).abs() < 1e-12);
+        // History: the new set descends from both base pdfs.
+        assert_eq!(n.ancestors.len(), 2);
+        // Visible dependency info merged: Δ = {{a, b}}.
+        assert_eq!(out.schema.deps().len(), 1);
+        assert_eq!(out.schema.deps()[0].len(), 2);
+    }
+
+    #[test]
+    fn case1_certain_selection() {
+        // σ_{id=1} on the Table I relation keeps one tuple, pdf untouched.
+        let schema = ProbSchema::new(
+            vec![("id", ColumnType::Int, false), ("loc", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("readings", schema);
+        let mut reg = HistoryRegistry::new();
+        for (id, m, v) in [(1, 20.0, 5.0), (2, 25.0, 4.0), (3, 13.0, 1.0)] {
+            rel.insert_simple(
+                &mut reg,
+                &[("id", Value::Int(id))],
+                &[("loc", Pdf1::gaussian(m, v).unwrap())],
+            )
+            .unwrap();
+        }
+        let out = select(
+            &rel,
+            &Predicate::cmp("id", CmpOp::Eq, 1i64),
+            &mut reg,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.marginal(0, "loc").unwrap().to_string(), "Gaus(20,5)");
+    }
+
+    #[test]
+    fn fast_path_keeps_symbolic_floor() {
+        let schema = ProbSchema::new(vec![("x", ColumnType::Real, true)], vec![]).unwrap();
+        let mut rel = Relation::new("t", schema);
+        let mut reg = HistoryRegistry::new();
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(5.0, 1.0).unwrap())])
+            .unwrap();
+        let out = select(
+            &rel,
+            &Predicate::cmp("x", CmpOp::Lt, 5.0),
+            &mut reg,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let m = out.marginal(0, "x").unwrap();
+        // The representation stays symbolic: [Gaus(5,1), Floor{[5,inf]}].
+        assert_eq!(m.to_string(), "[Gaus(5,1), Floor{[5,inf]}]");
+        assert!((m.mass() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_path_mixed_certain_and_uncertain_conjuncts() {
+        let schema = ProbSchema::new(
+            vec![("id", ColumnType::Int, false), ("x", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("t", schema);
+        let mut reg = HistoryRegistry::new();
+        for id in 1..=3i64 {
+            rel.insert_simple(
+                &mut reg,
+                &[("id", Value::Int(id))],
+                &[("x", Pdf1::uniform(0.0, 10.0).unwrap())],
+            )
+            .unwrap();
+        }
+        let pred = Predicate::And(vec![
+            Predicate::cmp("id", CmpOp::Le, 2i64),
+            Predicate::cmp("x", CmpOp::Ge, 5.0),
+        ]);
+        let out = select(&rel, &pred, &mut reg, &ExecOptions::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        for i in 0..2 {
+            let m = out.marginal(i, "x").unwrap();
+            assert!((m.mass() - 0.5).abs() < 1e-9);
+            assert_eq!(m.density(4.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn fully_floored_tuple_removed() {
+        let (rel, mut reg) = table2();
+        // a < 0 is impossible for both tuples.
+        let out = select(
+            &rel,
+            &Predicate::cmp("a", CmpOp::Lt, -1i64),
+            &mut reg,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uncertain_vs_certain_column_comparison() {
+        // Predicate mixes an uncertain column with a certain one:
+        // x > bound, where bound is a certain per-tuple value.
+        let schema = ProbSchema::new(
+            vec![("bound", ColumnType::Int, false), ("x", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("t", schema);
+        let mut reg = HistoryRegistry::new();
+        rel.insert_simple(
+            &mut reg,
+            &[("bound", Value::Int(5))],
+            &[("x", Pdf1::uniform(0.0, 10.0).unwrap())],
+        )
+        .unwrap();
+        let out = select(
+            &rel,
+            &Predicate::cmp_cols("x", CmpOp::Gt, "bound"),
+            &mut reg,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        let m = out.marginal(0, "x").unwrap();
+        assert!((m.mass() - 0.5).abs() < 0.05);
+        assert!(m.density(2.0) < 1e-9);
+    }
+
+    #[test]
+    fn or_predicate_takes_general_path() {
+        let (rel, mut reg) = table2();
+        // a = 0 OR a = 7: keeps world a=0 of tuple 1 (p 0.1) and tuple 2.
+        let pred = Predicate::Or(vec![
+            Predicate::cmp("a", CmpOp::Eq, 0i64),
+            Predicate::cmp("a", CmpOp::Eq, 7i64),
+        ]);
+        let out = select(&rel, &pred, &mut reg, &ExecOptions::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        let m0 = out
+            .tuples[0]
+            .node_for(rel.schema.column("a").unwrap().id)
+            .unwrap();
+        assert!((m0.mass() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_is_composable_and_order_independent() {
+        let schema = ProbSchema::new(vec![("x", ColumnType::Real, true)], vec![]).unwrap();
+        let mut rel = Relation::new("t", schema);
+        let mut reg = HistoryRegistry::new();
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(0.0, 1.0).unwrap())])
+            .unwrap();
+        let opts = ExecOptions::default();
+        let p1 = Predicate::cmp("x", CmpOp::Gt, -1.0);
+        let p2 = Predicate::cmp("x", CmpOp::Lt, 1.0);
+        let ab = select(&select(&rel, &p1, &mut reg, &opts).unwrap(), &p2, &mut reg, &opts)
+            .unwrap();
+        let ba = select(&select(&rel, &p2, &mut reg, &opts).unwrap(), &p1, &mut reg, &opts)
+            .unwrap();
+        let (ma, mb) = (ab.marginal(0, "x").unwrap(), ba.marginal(0, "x").unwrap());
+        assert!((ma.mass() - mb.mass()).abs() < 1e-12);
+        for &x in &[-1.5, -0.5, 0.0, 0.5, 1.5] {
+            assert!((ma.density(x) - mb.density(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let (rel, mut reg) = table2();
+        assert!(select(
+            &rel,
+            &Predicate::cmp("zzz", CmpOp::Eq, 1i64),
+            &mut reg,
+            &ExecOptions::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Operations on probability values (paper Section III-E).
+//!
+//! These operators act on the probabilistic *model* rather than on possible
+//! worlds: `σ_{Pr(A) ⊙ p}` filters tuples by the probability mass of an
+//! attribute set, and `σ_{Pr(θ) ⊙ p}` by the probability that a predicate
+//! holds. Result tuples are unchanged (no flooring); histories are copied
+//! over, as in selection Case 1.
+
+use crate::collapse;
+use crate::error::{EngineError, Result};
+use crate::history::HistoryRegistry;
+use crate::predicate::{CmpOp, Predicate};
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::select::{apply_predicate_tuple, ExecOptions};
+use crate::tuple::{PdfNode, ProbTuple};
+
+/// `σ_{Pr(A) ⊙ p}`: keeps tuples whose probability over the attribute set
+/// `A` (the mass of its — history-merged — dependency sets) satisfies the
+/// comparison.
+pub fn threshold_attrs(
+    rel: &Relation,
+    attrs: &[&str],
+    op: CmpOp,
+    p: f64,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
+    if attrs.is_empty() {
+        return Err(EngineError::Operator("Pr() of an empty attribute set".into()));
+    }
+    let ids: Vec<AttrId> = attrs
+        .iter()
+        .map(|a| {
+            let col = rel
+                .schema
+                .column(a)
+                .ok_or_else(|| EngineError::Schema(format!("unknown column '{a}'")))?;
+            if !col.uncertain {
+                return Err(EngineError::Operator(format!(
+                    "Pr() over certain column '{a}'"
+                )));
+            }
+            Ok(col.id)
+        })
+        .collect::<Result<_>>()?;
+
+    let mut out = Relation::new(format!("sigma_pr({})", rel.name), rel.schema.clone());
+    for t in &rel.tuples {
+        let prob = attr_set_probability(t, &ids, reg, opts)?;
+        if op.test(prob.partial_cmp(&p).ok_or_else(|| {
+            EngineError::Operator("non-finite probability".into())
+        })?) {
+            for n in &t.nodes {
+                reg.add_refs(&n.ancestors);
+            }
+            out.tuples.push(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// The probability mass of the (merged) dependency sets covering `ids`.
+pub fn attr_set_probability(
+    t: &ProbTuple,
+    ids: &[AttrId],
+    reg: &HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<f64> {
+    let mut touched: Vec<usize> = Vec::new();
+    for &a in ids {
+        let i = t
+            .node_index_for(a)
+            .ok_or_else(|| EngineError::Operator(format!("no pdf node for attr {a}")))?;
+        if !touched.contains(&i) {
+            touched.push(i);
+        }
+    }
+    let nodes: Vec<&PdfNode> = touched.iter().map(|&i| &t.nodes[i]).collect();
+    if nodes.len() == 1 {
+        return Ok(nodes[0].mass());
+    }
+    if opts.use_histories {
+        Ok(collapse::merge_nodes(&nodes, reg, opts.resolution)?.mass())
+    } else {
+        Ok(nodes.iter().map(|n| n.mass()).product())
+    }
+}
+
+/// `σ_{Pr(θ) ⊙ p}`: keeps tuples for which the probability that θ holds
+/// (and the tuple exists) satisfies the comparison. This is the paper's
+/// probabilistic threshold range query when θ is a range predicate.
+pub fn threshold_pred(
+    rel: &Relation,
+    pred: &Predicate,
+    op: CmpOp,
+    p: f64,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
+    pred.validate(&rel.schema)?;
+    let mut out = Relation::new(format!("sigma_prob({})", rel.name), rel.schema.clone());
+    for t in &rel.tuples {
+        let prob = predicate_probability(rel, t, pred, reg, opts)?;
+        if op.test(prob.partial_cmp(&p).ok_or_else(|| {
+            EngineError::Operator("non-finite probability".into())
+        })?) {
+            for n in &t.nodes {
+                reg.add_refs(&n.ancestors);
+            }
+            out.tuples.push(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// `Pr(θ ∧ tuple exists)` for one tuple: floors a scratch copy and takes
+/// the collapsed existence probability of the result.
+pub fn predicate_probability(
+    rel: &Relation,
+    t: &ProbTuple,
+    pred: &Predicate,
+    reg: &HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<f64> {
+    let p = match apply_predicate_tuple(rel, t, pred, reg, opts)? {
+        None => 0.0,
+        Some(ft) => {
+            if opts.use_histories {
+                collapse::existence_prob(&ft, reg, opts.resolution)?
+            } else {
+                ft.naive_existence()
+            }
+        }
+    };
+    if !p.is_finite() {
+        return Err(EngineError::Operator("non-finite probability".into()));
+    }
+    // Clamp rounding residue (including negative zero) into [0, 1].
+    Ok(if p <= 0.0 { 0.0 } else { p.min(1.0) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, ProbSchema};
+    use crate::value::Value;
+    use orion_pdf::prelude::*;
+
+    fn readings() -> (Relation, HistoryRegistry) {
+        let schema = ProbSchema::new(
+            vec![("id", ColumnType::Int, false), ("v", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("readings", schema);
+        let mut reg = HistoryRegistry::new();
+        for (id, m, var) in [(1, 20.0, 5.0), (2, 25.0, 4.0), (3, 13.0, 1.0)] {
+            rel.insert_simple(
+                &mut reg,
+                &[("id", Value::Int(id))],
+                &[("v", Pdf1::gaussian(m, var).unwrap())],
+            )
+            .unwrap();
+        }
+        (rel, reg)
+    }
+
+    #[test]
+    fn probabilistic_threshold_range_query() {
+        // Which sensors are in [18, 22] with probability > 0.5? Only the
+        // Gaus(20, 5) reading.
+        let (rel, mut reg) = readings();
+        let pred = Predicate::And(vec![
+            Predicate::cmp("v", CmpOp::Ge, 18.0),
+            Predicate::cmp("v", CmpOp::Le, 22.0),
+        ]);
+        let out = threshold_pred(
+            &rel,
+            &pred,
+            CmpOp::Gt,
+            0.5,
+            &mut reg,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value(0, "id").unwrap(), &Value::Int(1));
+        // Result pdfs are NOT floored (operation on probability values).
+        assert_eq!(out.marginal(0, "v").unwrap().to_string(), "Gaus(20,5)");
+    }
+
+    #[test]
+    fn predicate_probability_matches_range_prob() {
+        let (rel, reg) = readings();
+        let pred = Predicate::And(vec![
+            Predicate::cmp("v", CmpOp::Ge, 18.0),
+            Predicate::cmp("v", CmpOp::Le, 22.0),
+        ]);
+        let p = predicate_probability(&rel, &rel.tuples[0], &pred, &reg, &ExecOptions::default())
+            .unwrap();
+        let want = Pdf1::gaussian(20.0, 5.0)
+            .unwrap()
+            .range_prob(&Interval::new(18.0, 22.0));
+        assert!((p - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_attrs_filters_on_existence_mass() {
+        // One certain tuple (mass 1) and one partial tuple (mass 0.4).
+        let schema = ProbSchema::new(vec![("x", ColumnType::Real, true)], vec![]).unwrap();
+        let mut rel = Relation::new("t", schema);
+        let mut reg = HistoryRegistry::new();
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::certain(1.0))]).unwrap();
+        rel.insert_simple(
+            &mut reg,
+            &[],
+            &[("x", Pdf1::discrete(vec![(2.0, 0.4)]).unwrap())],
+        )
+        .unwrap();
+        let out = threshold_attrs(
+            &rel,
+            &["x"],
+            CmpOp::Gt,
+            0.5,
+            &mut reg,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!((out.marginal(0, "x").unwrap().density(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_attrs_validation() {
+        let (rel, mut reg) = readings();
+        let opts = ExecOptions::default();
+        assert!(threshold_attrs(&rel, &[], CmpOp::Gt, 0.5, &mut reg, &opts).is_err());
+        assert!(threshold_attrs(&rel, &["id"], CmpOp::Gt, 0.5, &mut reg, &opts).is_err());
+        assert!(threshold_attrs(&rel, &["nope"], CmpOp::Gt, 0.5, &mut reg, &opts).is_err());
+    }
+
+    #[test]
+    fn certain_predicate_probability_is_zero_or_one() {
+        let (rel, reg) = readings();
+        let opts = ExecOptions::default();
+        let p = predicate_probability(
+            &rel,
+            &rel.tuples[0],
+            &Predicate::cmp("id", CmpOp::Eq, 1i64),
+            &reg,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(p, 1.0);
+        let p = predicate_probability(
+            &rel,
+            &rel.tuples[0],
+            &Predicate::cmp("id", CmpOp::Eq, 2i64),
+            &reg,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(p, 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Probabilistic tuples and their pdf nodes.
+//!
+//! A [`ProbTuple`] holds the certain attribute values plus one [`PdfNode`]
+//! per dependency set. Every dimension of a node's joint pdf carries a
+//! [`VarId`] — the identity of the *base random variable* it descends from
+//! (which base pdf instance, which dimension) — and optionally the visible
+//! column it currently surfaces as. Projected-out dimensions lose their
+//! column (*phantom attributes*, Section III-B) but keep their `VarId`, so
+//! later history-aware recombination (Section II-C) can still line them up
+//! with their ancestors. Two dimensions denote the same random variable iff
+//! their `VarId`s are equal — column names and ids are just the user-facing
+//! addressing layer.
+
+use crate::history::{Ancestors, PdfId};
+use crate::schema::AttrId;
+use crate::value::Value;
+use orion_pdf::prelude::{JointPdf, Pdf1};
+
+/// Identity of a base random variable: one dimension of one registered
+/// base pdf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId {
+    /// The registered base pdf this variable originates from.
+    pub base: PdfId,
+    /// Dimension within that base pdf.
+    pub dim: u16,
+}
+
+/// One dimension of a pdf node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDim {
+    /// The underlying random variable.
+    pub var: VarId,
+    /// The visible column this dimension surfaces as; `None` for phantom
+    /// (projected-out) dimensions.
+    pub column: Option<AttrId>,
+}
+
+/// The distribution of one dependency set within one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdfNode {
+    /// Per-dimension identities (same order as the joint).
+    pub dims: Vec<NodeDim>,
+    /// The (possibly partial) joint pdf.
+    pub joint: JointPdf,
+    /// Ancestor base pdfs, `A(t.S)` (Definition 2).
+    pub ancestors: Ancestors,
+}
+
+impl PdfNode {
+    /// Creates a node; `dims.len()` must equal the joint arity.
+    pub fn new(dims: Vec<NodeDim>, joint: JointPdf, ancestors: Ancestors) -> Self {
+        assert_eq!(dims.len(), joint.arity(), "dims must match joint arity");
+        PdfNode { dims, joint, ancestors }
+    }
+
+    /// Creates a freshly inserted base node: variable `d` of base pdf
+    /// `base`, surfacing as `attrs[d]`.
+    pub fn base(base: PdfId, attrs: &[AttrId], joint: JointPdf, ancestors: Ancestors) -> Self {
+        let dims = attrs
+            .iter()
+            .enumerate()
+            .map(|(d, &a)| NodeDim { var: VarId { base, dim: d as u16 }, column: Some(a) })
+            .collect();
+        PdfNode::new(dims, joint, ancestors)
+    }
+
+    /// Dimension index of the visible column `attr`.
+    pub fn dim_of(&self, attr: AttrId) -> Option<usize> {
+        self.dims.iter().position(|d| d.column == Some(attr))
+    }
+
+    /// Whether the node visibly covers `attr`.
+    pub fn covers(&self, attr: AttrId) -> bool {
+        self.dim_of(attr).is_some()
+    }
+
+    /// Dimension index of a specific variable.
+    pub fn dim_of_var(&self, var: VarId) -> Option<usize> {
+        self.dims.iter().position(|d| d.var == var)
+    }
+
+    /// The 1-D marginal of the visible column `attr` (carrying the node's
+    /// existence mass).
+    pub fn marginal(&self, attr: AttrId) -> Option<Pdf1> {
+        let d = self.dim_of(attr)?;
+        self.joint.marginal1(d).ok()
+    }
+
+    /// The node's total mass (its contribution to tuple existence).
+    pub fn mass(&self) -> f64 {
+        self.joint.mass()
+    }
+
+    /// Returns a copy with the listed columns hidden (made phantom).
+    pub fn hide_columns(&self, hidden: &[AttrId]) -> PdfNode {
+        let dims = self
+            .dims
+            .iter()
+            .map(|d| NodeDim {
+                var: d.var,
+                column: d.column.filter(|a| !hidden.contains(a)),
+            })
+            .collect();
+        PdfNode { dims, joint: self.joint.clone(), ancestors: self.ancestors.clone() }
+    }
+}
+
+/// One probabilistic tuple: certain values aligned with the relation's
+/// columns (placeholder `Null` at uncertain positions) plus pdf nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbTuple {
+    /// Certain values, one per visible column (`Null` where uncertain).
+    pub certain: Vec<Value>,
+    /// Pdf nodes, one per dependency set (order is not significant).
+    pub nodes: Vec<PdfNode>,
+}
+
+impl ProbTuple {
+    /// The node visibly covering `attr`, if any.
+    pub fn node_for(&self, attr: AttrId) -> Option<&PdfNode> {
+        self.nodes.iter().find(|n| n.covers(attr))
+    }
+
+    /// Index of the node visibly covering `attr`.
+    pub fn node_index_for(&self, attr: AttrId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.covers(attr))
+    }
+
+    /// Naive existence probability: the product of node masses. Correct
+    /// when the nodes are historically independent; callers that may hold
+    /// dependent nodes (lazy join mode) must collapse first — see
+    /// [`crate::collapse::collapse_tuple`].
+    pub fn naive_existence(&self) -> f64 {
+        self.nodes.iter().map(PdfNode::mass).product()
+    }
+
+    /// Whether any node is vacuous (no possible world keeps the tuple).
+    pub fn is_vacuous(&self) -> bool {
+        self.nodes.iter().any(|n| n.joint.is_vacuous())
+    }
+
+    /// Union of all node ancestor sets.
+    pub fn all_ancestors(&self) -> Ancestors {
+        let mut out = Ancestors::new();
+        for n in &self.nodes {
+            out.extend(n.ancestors.iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_pdf::prelude::DiscretePdf;
+
+    fn node(base: PdfId, attr: AttrId, pdf: Pdf1) -> PdfNode {
+        PdfNode::base(base, &[attr], JointPdf::from_pdf1(pdf), [base].into_iter().collect())
+    }
+
+    #[test]
+    fn node_lookup_and_marginal() {
+        let n = PdfNode::base(
+            7,
+            &[10, 11],
+            JointPdf::independent(vec![
+                Pdf1::discrete(vec![(0.0, 0.1), (1.0, 0.9)]).unwrap(),
+                Pdf1::certain(5.0),
+            ])
+            .unwrap(),
+            Ancestors::new(),
+        );
+        assert_eq!(n.dim_of(11), Some(1));
+        assert_eq!(n.dim_of(12), None);
+        assert!(n.covers(10));
+        assert_eq!(n.dim_of_var(VarId { base: 7, dim: 0 }), Some(0));
+        assert_eq!(n.dim_of_var(VarId { base: 8, dim: 0 }), None);
+        let m = n.marginal(10).unwrap();
+        assert!((m.density(1.0) - 0.9).abs() < 1e-12);
+        assert!(n.marginal(42).is_none());
+        assert!((n.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hidden_columns_become_phantom() {
+        let n = PdfNode::base(
+            1,
+            &[10, 11],
+            JointPdf::independent(vec![Pdf1::certain(1.0), Pdf1::certain(2.0)]).unwrap(),
+            Ancestors::new(),
+        );
+        let h = n.hide_columns(&[11]);
+        assert!(h.covers(10));
+        assert!(!h.covers(11), "phantom dims do not resolve by column");
+        assert_eq!(h.dim_of_var(VarId { base: 1, dim: 1 }), Some(1), "variable identity kept");
+        assert_eq!(h.joint, n.joint);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must match joint arity")]
+    fn node_arity_mismatch_panics() {
+        PdfNode::base(1, &[1, 2], JointPdf::from_pdf1(Pdf1::certain(0.0)), Ancestors::new());
+    }
+
+    #[test]
+    fn tuple_existence_and_vacuity() {
+        let t = ProbTuple {
+            certain: vec![Value::Int(1), Value::Null],
+            nodes: vec![
+                node(10, 10, Pdf1::discrete(vec![(1.0, 0.5)]).unwrap()),
+                node(11, 11, Pdf1::discrete(vec![(2.0, 0.8)]).unwrap()),
+            ],
+        };
+        assert!((t.naive_existence() - 0.4).abs() < 1e-12);
+        assert!(!t.is_vacuous());
+        let anc = t.all_ancestors();
+        assert!(anc.contains(&10) && anc.contains(&11));
+        assert_eq!(t.node_index_for(11), Some(1));
+        assert!(t.node_for(99).is_none());
+    }
+
+    #[test]
+    fn phantom_does_not_shadow_visible_node() {
+        // The Figure 3 t'2 case: node A holds column 20 visibly and column
+        // 21 as phantom (different base tuple); node B holds column 21
+        // visibly. Resolution of column 21 must find node B.
+        let a = PdfNode::base(
+            1,
+            &[20, 21],
+            JointPdf::independent(vec![Pdf1::certain(7.0), Pdf1::certain(3.0)]).unwrap(),
+            [1].into_iter().collect(),
+        )
+        .hide_columns(&[21]);
+        let b = node(2, 21, Pdf1::certain(5.0));
+        let t = ProbTuple { certain: vec![], nodes: vec![a, b] };
+        let n = t.node_for(21).unwrap();
+        assert!((n.marginal(21).unwrap().density(5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_node_detected() {
+        let t = ProbTuple {
+            certain: vec![],
+            nodes: vec![node(1, 1, Pdf1::Discrete(DiscretePdf::vacuous()))],
+        };
+        assert!(t.is_vacuous());
+    }
+}

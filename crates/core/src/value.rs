@@ -1,0 +1,141 @@
+//! Certain (precise) attribute values.
+//!
+//! Uncertain attributes always range over the reals (their pdfs are defined
+//! on ℝ); certain attributes may additionally be text or boolean. `NULL`
+//! represents a *missing attribute value* — which the paper carefully
+//! distinguishes from a *missing tuple* (a partial pdf), see Table IV.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A certain attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing attribute value (Section II-B: distinct from a missing tuple).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// Double-precision real.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view, when the value is `Int` or `Real`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Three-valued-logic comparison: `None` when either side is `NULL` or
+    /// the types are incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(3).compare(&Value::Real(3.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).compare(&Value::Real(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Real(7.1).compare(&Value::Int(7)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn null_never_compares() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+        assert_eq!(Value::Null.compare(&Value::Null), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn incomparable_types() {
+        assert_eq!(Value::Text("a".into()).compare(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Real(1.0)), None);
+    }
+
+    #[test]
+    fn text_and_bool_ordering() {
+        assert_eq!(
+            Value::Text("abc".into()).compare(&Value::Text("abd".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Text("x".into()).to_string(), "'x'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5), Value::Real(2.5));
+        assert_eq!(Value::from("hi"), Value::Text("hi".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::Text("t".into()).as_f64(), None);
+    }
+}

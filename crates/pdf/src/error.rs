@@ -1,0 +1,48 @@
+//! Error type shared across the pdf crate.
+
+use std::fmt;
+
+/// Errors raised by distribution constructors and pdf operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdfError {
+    /// A distribution parameter was outside its legal domain
+    /// (e.g. a non-positive variance, a probability outside `[0, 1]`).
+    InvalidParameter(String),
+    /// An operation was applied to pdfs whose shapes are incompatible
+    /// (e.g. a product over overlapping dimension sets).
+    IncompatibleOperands(String),
+    /// The operation would produce a pdf with zero total mass where a
+    /// non-vacuous result is required (e.g. conditioning on a null event).
+    VacuousResult(String),
+    /// A numeric routine failed to converge or produced a non-finite value.
+    Numeric(String),
+}
+
+impl fmt::Display for PdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdfError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            PdfError::IncompatibleOperands(m) => write!(f, "incompatible operands: {m}"),
+            PdfError::VacuousResult(m) => write!(f, "vacuous result: {m}"),
+            PdfError::Numeric(m) => write!(f, "numeric error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PdfError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PdfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = PdfError::InvalidParameter("variance must be positive".into());
+        assert_eq!(e.to_string(), "invalid parameter: variance must be positive");
+        let e = PdfError::VacuousResult("all mass floored".into());
+        assert_eq!(e.to_string(), "vacuous result: all mass floored");
+    }
+}

@@ -1,0 +1,464 @@
+//! Correlated joint *continuous* distributions on a k-dimensional
+//! equi-width grid (a multi-dimensional histogram).
+//!
+//! Grids are the materialized form a continuous dependency set takes once a
+//! non-axis-aligned selection predicate (e.g. `x < y`) correlates its
+//! dimensions. Mass is stored per cell; density is uniform within a cell.
+
+use crate::error::{PdfError, Result};
+use crate::interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// One axis of a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridDim {
+    /// Lower edge of the first cell.
+    pub lo: f64,
+    /// Cell width (> 0).
+    pub width: f64,
+    /// Number of cells (>= 1).
+    pub bins: usize,
+}
+
+impl GridDim {
+    /// Builds an axis covering `[lo, hi]` with `bins` cells.
+    pub fn over(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if lo >= hi || lo.is_nan() || hi.is_nan() || bins == 0 {
+            return Err(PdfError::InvalidParameter(format!(
+                "grid axis requires lo < hi and bins >= 1, got ([{lo},{hi}], {bins})"
+            )));
+        }
+        Ok(GridDim { lo, width: (hi - lo) / bins as f64, bins })
+    }
+
+    /// Upper edge of the last cell.
+    pub fn hi(&self) -> f64 {
+        self.lo + self.width * self.bins as f64
+    }
+
+    /// Cell index containing `x`, or `None` if outside the axis range
+    /// (the closed upper edge belongs to the last cell).
+    pub fn cell_of(&self, x: f64) -> Option<usize> {
+        if x < self.lo || x > self.hi() {
+            return None;
+        }
+        Some((((x - self.lo) / self.width) as usize).min(self.bins - 1))
+    }
+
+    /// Midpoint of cell `i`.
+    pub fn midpoint(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+
+    /// The interval spanned by cell `i`.
+    pub fn cell_interval(&self, i: usize) -> Interval {
+        let lo = self.lo + i as f64 * self.width;
+        Interval::new(lo, lo + self.width)
+    }
+
+    /// Fraction of cell `i`'s width that overlaps `iv` (in `[0, 1]`).
+    pub fn overlap_fraction(&self, i: usize, iv: &Interval) -> f64 {
+        match self.cell_interval(i).intersect(iv) {
+            Some(x) => (x.length() / self.width).clamp(0.0, 1.0),
+            None => 0.0,
+        }
+    }
+}
+
+/// Sub-samples per axis used to estimate the surviving fraction of a cell
+/// under a general (non-axis-aligned) predicate floor.
+const FLOOR_SUBSAMPLES: usize = 4;
+
+/// A k-dimensional histogram: cell masses in row-major order
+/// (last dimension fastest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointGrid {
+    dims: Vec<GridDim>,
+    masses: Vec<f64>,
+}
+
+impl JointGrid {
+    /// Builds a grid from axes and row-major cell masses.
+    pub fn from_masses(dims: Vec<GridDim>, masses: Vec<f64>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(PdfError::InvalidParameter("grid needs >= 1 dimension".into()));
+        }
+        let cells: usize = dims.iter().map(|d| d.bins).product();
+        if masses.len() != cells {
+            return Err(PdfError::InvalidParameter(format!(
+                "expected {cells} cell masses, got {}",
+                masses.len()
+            )));
+        }
+        let mut total = 0.0;
+        for &m in &masses {
+            if !m.is_finite() || m < 0.0 {
+                return Err(PdfError::InvalidParameter(format!(
+                    "cell masses must be finite and >= 0, got {m}"
+                )));
+            }
+            total += m;
+        }
+        if total > 1.0 + 1e-6 {
+            return Err(PdfError::InvalidParameter(format!(
+                "total grid mass {total} exceeds 1"
+            )));
+        }
+        Ok(JointGrid { dims, masses })
+    }
+
+    /// Builds a grid by evaluating a joint density at cell midpoints and
+    /// normalizing to `target_mass`. Used to materialize product-form
+    /// continuous pdfs.
+    pub fn from_density(
+        dims: Vec<GridDim>,
+        target_mass: f64,
+        density: impl Fn(&[f64]) -> f64,
+    ) -> Result<Self> {
+        let cells: usize = dims.iter().map(|d| d.bins).product();
+        let mut masses = vec![0.0; cells];
+        let mut point = vec![0.0; dims.len()];
+        let mut idx = vec![0usize; dims.len()];
+        let mut total = 0.0;
+        for (c, m) in masses.iter_mut().enumerate() {
+            decode_index(c, &dims, &mut idx);
+            for (d, &i) in idx.iter().enumerate() {
+                point[d] = dims[d].midpoint(i);
+            }
+            let vol: f64 = dims.iter().map(|d| d.width).product();
+            *m = density(&point).max(0.0) * vol;
+            total += *m;
+        }
+        if total > 0.0 && target_mass > 0.0 {
+            let k = target_mass / total;
+            for m in &mut masses {
+                *m *= k;
+            }
+        }
+        JointGrid::from_masses(dims, masses)
+    }
+
+    /// The grid axes.
+    pub fn dims(&self) -> &[GridDim] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Row-major cell masses.
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Total mass.
+    pub fn mass(&self) -> f64 {
+        self.masses.iter().sum()
+    }
+
+    /// Density at `point` (uniform within a cell; zero outside the grid).
+    pub fn density(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.arity(), "point dimensionality mismatch");
+        let mut cell = 0usize;
+        for (d, &x) in point.iter().enumerate() {
+            match self.dims[d].cell_of(x) {
+                Some(i) => cell = cell * self.dims[d].bins + i,
+                None => return 0.0,
+            }
+        }
+        let vol: f64 = self.dims.iter().map(|d| d.width).product();
+        self.masses[cell] / vol
+    }
+
+    /// Marginalizes onto the dimensions listed in `keep` (in order).
+    pub fn marginalize(&self, keep: &[usize]) -> Result<JointGrid> {
+        if keep.is_empty() || keep.iter().any(|&d| d >= self.arity()) {
+            return Err(PdfError::IncompatibleOperands(format!(
+                "marginalize dims {keep:?} out of range for arity {}",
+                self.arity()
+            )));
+        }
+        let new_dims: Vec<GridDim> = keep.iter().map(|&d| self.dims[d]).collect();
+        let cells: usize = new_dims.iter().map(|d| d.bins).product();
+        let mut out = vec![0.0; cells];
+        let mut idx = vec![0usize; self.arity()];
+        for (c, &m) in self.masses.iter().enumerate() {
+            if m == 0.0 {
+                continue;
+            }
+            decode_index(c, &self.dims, &mut idx);
+            let mut nc = 0usize;
+            for (k, &d) in keep.iter().enumerate() {
+                nc = nc * new_dims[k].bins + idx[d];
+            }
+            out[nc] += m;
+        }
+        JointGrid::from_masses(new_dims, out)
+    }
+
+    /// Axis-aligned floor: zeroes the part of each cell overlapping
+    /// `region` on dimension `dim` (exact under uniform-within-cell).
+    pub fn floor_axis(&self, dim: usize, region: &crate::interval::RegionSet) -> JointGrid {
+        assert!(dim < self.arity());
+        // Precompute kept fraction per cell index along `dim`.
+        let axis = self.dims[dim];
+        let kept: Vec<f64> = (0..axis.bins)
+            .map(|i| {
+                let mut removed = 0.0;
+                for iv in region.intervals() {
+                    removed += axis.overlap_fraction(i, iv);
+                }
+                (1.0 - removed).clamp(0.0, 1.0)
+            })
+            .collect();
+        let mut masses = self.masses.clone();
+        let mut idx = vec![0usize; self.arity()];
+        for (c, m) in masses.iter_mut().enumerate() {
+            if *m == 0.0 {
+                continue;
+            }
+            decode_index(c, &self.dims, &mut idx);
+            *m *= kept[idx[dim]];
+        }
+        JointGrid { dims: self.dims.clone(), masses }
+    }
+
+    /// General predicate floor: each cell keeps the fraction of
+    /// `FLOOR_SUBSAMPLES^k` stratified sample points satisfying `pred`.
+    /// Exact for predicates constant within cells; an approximation
+    /// otherwise (resolution-controlled by the grid).
+    pub fn floor_predicate(&self, mut pred: impl FnMut(&[f64]) -> bool) -> JointGrid {
+        let k = self.arity();
+        let s = if k <= 2 { FLOOR_SUBSAMPLES } else { 2 };
+        let samples_per_cell = s.pow(k as u32);
+        let mut masses = self.masses.clone();
+        let mut idx = vec![0usize; k];
+        let mut point = vec![0.0; k];
+        let mut sub = vec![0usize; k];
+        for (c, m) in masses.iter_mut().enumerate() {
+            if *m == 0.0 {
+                continue;
+            }
+            decode_index(c, &self.dims, &mut idx);
+            let mut hit = 0usize;
+            for sc in 0..samples_per_cell {
+                let mut rem = sc;
+                for d in (0..k).rev() {
+                    sub[d] = rem % s;
+                    rem /= s;
+                }
+                for d in 0..k {
+                    let cell_lo = self.dims[d].lo + idx[d] as f64 * self.dims[d].width;
+                    point[d] =
+                        cell_lo + (sub[d] as f64 + 0.5) / s as f64 * self.dims[d].width;
+                }
+                if pred(&point) {
+                    hit += 1;
+                }
+            }
+            *m *= hit as f64 / samples_per_cell as f64;
+        }
+        JointGrid { dims: self.dims.clone(), masses }
+    }
+
+    /// Independent product: grid over `self`'s dims then `other`'s dims.
+    pub fn product(&self, other: &JointGrid) -> JointGrid {
+        let mut dims = self.dims.clone();
+        dims.extend_from_slice(&other.dims);
+        let mut masses = Vec::with_capacity(self.masses.len() * other.masses.len());
+        for &m1 in &self.masses {
+            for &m2 in &other.masses {
+                masses.push(m1 * m2);
+            }
+        }
+        JointGrid { dims, masses }
+    }
+
+    /// Probability of the axis-aligned box, interpolating partial cells.
+    pub fn box_prob(&self, bounds: &[Interval]) -> f64 {
+        assert_eq!(bounds.len(), self.arity(), "box dimensionality mismatch");
+        let mut total = 0.0;
+        let mut idx = vec![0usize; self.arity()];
+        for (c, &m) in self.masses.iter().enumerate() {
+            if m == 0.0 {
+                continue;
+            }
+            decode_index(c, &self.dims, &mut idx);
+            let mut frac = 1.0;
+            for (d, iv) in bounds.iter().enumerate() {
+                frac *= self.dims[d].overlap_fraction(idx[d], iv);
+                if frac == 0.0 {
+                    break;
+                }
+            }
+            total += m * frac;
+        }
+        total
+    }
+
+    /// Expected value of dimension `dim`, conditioned on existence,
+    /// using cell midpoints.
+    pub fn expected(&self, dim: usize) -> Option<f64> {
+        if dim >= self.arity() {
+            return None;
+        }
+        let mass = self.mass();
+        if mass <= 0.0 {
+            return None;
+        }
+        let mut num = 0.0;
+        let mut idx = vec![0usize; self.arity()];
+        for (c, &m) in self.masses.iter().enumerate() {
+            if m == 0.0 {
+                continue;
+            }
+            decode_index(c, &self.dims, &mut idx);
+            num += m * self.dims[dim].midpoint(idx[dim]);
+        }
+        Some(num / mass)
+    }
+
+    /// Rescales all masses by `factor` in `[0, 1]`.
+    pub fn scale(&self, factor: f64) -> JointGrid {
+        debug_assert!((0.0..=1.0 + 1e-12).contains(&factor));
+        JointGrid {
+            dims: self.dims.clone(),
+            masses: self.masses.iter().map(|m| m * factor).collect(),
+        }
+    }
+}
+
+/// Decodes a row-major cell index into per-dimension indices.
+fn decode_index(mut c: usize, dims: &[GridDim], out: &mut [usize]) {
+    for d in (0..dims.len()).rev() {
+        out[d] = c % dims[d].bins;
+        c /= dims[d].bins;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::RegionSet;
+
+    fn grid_2x2() -> JointGrid {
+        // x axis [0,2] 2 cells, y axis [0,2] 2 cells; masses row-major
+        JointGrid::from_masses(
+            vec![
+                GridDim::over(0.0, 2.0, 2).unwrap(),
+                GridDim::over(0.0, 2.0, 2).unwrap(),
+            ],
+            vec![0.1, 0.2, 0.3, 0.4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(GridDim::over(1.0, 1.0, 2).is_err());
+        assert!(GridDim::over(0.0, 1.0, 0).is_err());
+        assert!(JointGrid::from_masses(vec![], vec![]).is_err());
+        assert!(JointGrid::from_masses(
+            vec![GridDim::over(0.0, 1.0, 2).unwrap()],
+            vec![0.5]
+        )
+        .is_err());
+        assert!(JointGrid::from_masses(
+            vec![GridDim::over(0.0, 1.0, 2).unwrap()],
+            vec![0.9, 0.9]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn density_and_mass() {
+        let g = grid_2x2();
+        assert!((g.mass() - 1.0).abs() < 1e-12);
+        // cell (0,0): mass .1 over unit volume => density .1
+        assert!((g.density(&[0.5, 0.5]) - 0.1).abs() < 1e-12);
+        assert!((g.density(&[1.5, 1.5]) - 0.4).abs() < 1e-12);
+        assert_eq!(g.density(&[2.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn marginalize_sums_axes() {
+        let g = grid_2x2();
+        let mx = g.marginalize(&[0]).unwrap();
+        assert!((mx.masses()[0] - 0.3).abs() < 1e-12);
+        assert!((mx.masses()[1] - 0.7).abs() < 1e-12);
+        let my = g.marginalize(&[1]).unwrap();
+        assert!((my.masses()[0] - 0.4).abs() < 1e-12);
+        assert!((my.masses()[1] - 0.6).abs() < 1e-12);
+        assert!(g.marginalize(&[3]).is_err());
+    }
+
+    #[test]
+    fn floor_axis_partial_cells() {
+        let g = grid_2x2();
+        // Remove y > 1.5: cell rows with y-index 1 keep half.
+        let f = g.floor_axis(1, &RegionSet::from_interval(Interval::at_least(1.5)));
+        assert!((f.mass() - (0.1 + 0.2 * 0.5 + 0.3 + 0.4 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_predicate_diagonal() {
+        // Uniform mass on [0,1]^2, predicate x < y keeps half the mass.
+        let dims = vec![
+            GridDim::over(0.0, 1.0, 16).unwrap(),
+            GridDim::over(0.0, 1.0, 16).unwrap(),
+        ];
+        let uniform = JointGrid::from_masses(dims.clone(), vec![1.0 / 256.0; 256]).unwrap();
+        let f = uniform.floor_predicate(|p| p[0] < p[1]);
+        assert!((f.mass() - 0.5).abs() < 0.02, "mass = {}", f.mass());
+    }
+
+    #[test]
+    fn product_concatenates_dims() {
+        let a = JointGrid::from_masses(vec![GridDim::over(0.0, 1.0, 2).unwrap()], vec![0.5, 0.5])
+            .unwrap();
+        let b = JointGrid::from_masses(vec![GridDim::over(0.0, 1.0, 2).unwrap()], vec![0.25, 0.75])
+            .unwrap();
+        let p = a.product(&b);
+        assert_eq!(p.arity(), 2);
+        assert!((p.mass() - 1.0).abs() < 1e-12);
+        assert!((p.masses()[1] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_prob_interpolates() {
+        let g = grid_2x2();
+        // Full box.
+        assert!((g.box_prob(&[Interval::all(), Interval::all()]) - 1.0).abs() < 1e-12);
+        // Left half of x: cells (0,*) fully => 0.3.
+        assert!((g.box_prob(&[Interval::new(0.0, 1.0), Interval::all()]) - 0.3).abs() < 1e-12);
+        // Partial: x in [0, 0.5] takes half of left cells.
+        assert!((g.box_prob(&[Interval::new(0.0, 0.5), Interval::all()]) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_uses_midpoints() {
+        let g = grid_2x2();
+        // E[x] = 0.3 * 0.5 + 0.7 * 1.5
+        assert!((g.expected(0).unwrap() - (0.3 * 0.5 + 0.7 * 1.5)).abs() < 1e-12);
+        assert!(g.expected(2).is_none());
+    }
+
+    #[test]
+    fn from_density_normalizes() {
+        let dims = vec![GridDim::over(0.0, 1.0, 8).unwrap()];
+        let g = JointGrid::from_density(dims, 0.7, |_| 1.0).unwrap();
+        assert!((g.mass() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_of_edges() {
+        let d = GridDim::over(0.0, 4.0, 4).unwrap();
+        assert_eq!(d.cell_of(0.0), Some(0));
+        assert_eq!(d.cell_of(4.0), Some(3), "closed upper edge");
+        assert_eq!(d.cell_of(-0.01), None);
+        assert_eq!(d.cell_of(4.01), None);
+        assert_eq!(d.cell_of(1.0), Some(1));
+    }
+}

@@ -1,0 +1,345 @@
+//! Correlated joint *discrete* distributions: explicit probability mass on a
+//! finite set of k-dimensional points.
+//!
+//! This is the exact representation behind the paper's worked examples
+//! (Table II/III, the `a < b` selection of Section III-C, and the history
+//! example of Figure 3), and the representation the possible-worlds
+//! reference engine checks operators against.
+
+use crate::error::{PdfError, Result};
+use crate::interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// A joint pmf over `arity`-dimensional real points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointDiscrete {
+    arity: usize,
+    /// Lexicographically sorted, deduplicated `(point, probability)` pairs.
+    points: Vec<(Vec<f64>, f64)>,
+}
+
+fn cmp_points(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match x.partial_cmp(y).expect("finite coordinates") {
+            std::cmp::Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+impl JointDiscrete {
+    /// Builds a joint pmf; points must all have dimension `arity`, be
+    /// finite, and carry non-negative mass totaling at most `1 + 1e-9`.
+    /// Duplicates are merged; zero-mass points dropped.
+    pub fn from_points(arity: usize, mut points: Vec<(Vec<f64>, f64)>) -> Result<Self> {
+        if arity == 0 {
+            return Err(PdfError::InvalidParameter("joint arity must be >= 1".into()));
+        }
+        for (v, p) in &points {
+            if v.len() != arity {
+                return Err(PdfError::InvalidParameter(format!(
+                    "point has dimension {}, expected {arity}",
+                    v.len()
+                )));
+            }
+            if v.iter().any(|x| !x.is_finite()) || !p.is_finite() || *p < 0.0 {
+                return Err(PdfError::InvalidParameter(
+                    "joint points must be finite with mass >= 0".into(),
+                ));
+            }
+        }
+        points.sort_by(|a, b| cmp_points(&a.0, &b.0));
+        let mut merged: Vec<(Vec<f64>, f64)> = Vec::with_capacity(points.len());
+        for (v, p) in points {
+            if p == 0.0 {
+                continue;
+            }
+            match merged.last_mut() {
+                Some(last) if cmp_points(&last.0, &v) == std::cmp::Ordering::Equal => last.1 += p,
+                _ => merged.push((v, p)),
+            }
+        }
+        let total: f64 = merged.iter().map(|(_, p)| p).sum();
+        if total > 1.0 + 1e-9 {
+            return Err(PdfError::InvalidParameter(format!(
+                "total joint mass {total} exceeds 1"
+            )));
+        }
+        Ok(JointDiscrete { arity, points: merged })
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The sorted `(point, probability)` pairs.
+    pub fn points(&self) -> &[(Vec<f64>, f64)] {
+        &self.points
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no support point remains.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total mass (< 1 for partial pdfs).
+    pub fn mass(&self) -> f64 {
+        self.points.iter().map(|(_, p)| p).sum()
+    }
+
+    /// Probability mass at exactly `point`.
+    pub fn prob_at(&self, point: &[f64]) -> f64 {
+        match self
+            .points
+            .binary_search_by(|(v, _)| cmp_points(v, point))
+        {
+            Ok(i) => self.points[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Marginalizes onto the dimensions listed in `keep` (in the given
+    /// order). Corresponds to the paper's `marginalize(f, A)`.
+    pub fn marginalize(&self, keep: &[usize]) -> Result<JointDiscrete> {
+        if keep.is_empty() || keep.iter().any(|&d| d >= self.arity) {
+            return Err(PdfError::IncompatibleOperands(format!(
+                "marginalize dims {keep:?} out of range for arity {}",
+                self.arity
+            )));
+        }
+        let projected = self
+            .points
+            .iter()
+            .map(|(v, p)| (keep.iter().map(|&d| v[d]).collect::<Vec<_>>(), *p))
+            .collect();
+        JointDiscrete::from_points(keep.len(), projected)
+    }
+
+    /// Keeps only the points satisfying `pred` — the exact, general floor.
+    pub fn filter(&self, mut pred: impl FnMut(&[f64]) -> bool) -> JointDiscrete {
+        JointDiscrete {
+            arity: self.arity,
+            points: self
+                .points
+                .iter()
+                .filter(|(v, _)| pred(v))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Independent product: the cartesian joint over `self`'s dims followed
+    /// by `other`'s dims.
+    pub fn product(&self, other: &JointDiscrete) -> JointDiscrete {
+        let mut points = Vec::with_capacity(self.points.len() * other.points.len());
+        for (v1, p1) in &self.points {
+            for (v2, p2) in &other.points {
+                let mut v = Vec::with_capacity(self.arity + other.arity);
+                v.extend_from_slice(v1);
+                v.extend_from_slice(v2);
+                points.push((v, p1 * p2));
+            }
+        }
+        // Cartesian products of sorted inputs stay sorted and deduplicated.
+        JointDiscrete { arity: self.arity + other.arity, points }
+    }
+
+    /// Probability that every dimension lies inside its box interval.
+    pub fn box_prob(&self, bounds: &[Interval]) -> f64 {
+        assert_eq!(bounds.len(), self.arity, "box dimensionality mismatch");
+        self.points
+            .iter()
+            .filter(|(v, _)| v.iter().zip(bounds).all(|(x, iv)| iv.contains(*x)))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// Expected value of dimension `dim`, conditioned on existence.
+    pub fn expected(&self, dim: usize) -> Option<f64> {
+        let mass = self.mass();
+        if mass <= 0.0 || dim >= self.arity {
+            return None;
+        }
+        Some(
+            self.points.iter().map(|(v, p)| v[dim] * p).sum::<f64>() / mass,
+        )
+    }
+
+    /// Rescales all masses by `factor` in `[0, 1]`.
+    pub fn scale(&self, factor: f64) -> JointDiscrete {
+        debug_assert!((0.0..=1.0 + 1e-12).contains(&factor));
+        JointDiscrete {
+            arity: self.arity,
+            points: self
+                .points
+                .iter()
+                .map(|(v, p)| (v.clone(), p * factor))
+                .collect(),
+        }
+    }
+
+    /// Reorders dimensions: output dim `i` is input dim `perm[i]`.
+    pub fn permute(&self, perm: &[usize]) -> Result<JointDiscrete> {
+        if perm.len() != self.arity {
+            return Err(PdfError::IncompatibleOperands(format!(
+                "permutation arity {} != {}",
+                perm.len(),
+                self.arity
+            )));
+        }
+        let pts = self
+            .points
+            .iter()
+            .map(|(v, p)| (perm.iter().map(|&d| v[d]).collect(), *p))
+            .collect();
+        JointDiscrete::from_points(self.arity, pts)
+    }
+}
+
+impl std::fmt::Display for JointDiscrete {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Discrete(")?;
+        for (i, (v, p)) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if v.len() == 1 {
+                write!(f, "{}:{p}", v[0])?;
+            } else {
+                write!(f, "{{")?;
+                for (j, x) in v.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}:{p}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_joint() -> JointDiscrete {
+        // The Section III-C result: Discrete({0,1}:0.06, {0,2}:0.04, {1,2}:0.36)
+        JointDiscrete::from_points(
+            2,
+            vec![
+                (vec![0.0, 1.0], 0.06),
+                (vec![0.0, 2.0], 0.04),
+                (vec![1.0, 2.0], 0.36),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_merges_validates() {
+        let j = JointDiscrete::from_points(
+            2,
+            vec![
+                (vec![1.0, 0.0], 0.2),
+                (vec![0.0, 1.0], 0.3),
+                (vec![1.0, 0.0], 0.1),
+            ],
+        )
+        .unwrap();
+        assert_eq!(j.len(), 2);
+        assert!((j.prob_at(&[1.0, 0.0]) - 0.3).abs() < 1e-12);
+        assert!(JointDiscrete::from_points(0, vec![]).is_err());
+        assert!(JointDiscrete::from_points(2, vec![(vec![1.0], 0.5)]).is_err());
+        assert!(JointDiscrete::from_points(1, vec![(vec![1.0], 1.5)]).is_err());
+    }
+
+    #[test]
+    fn mass_is_partial() {
+        let j = paper_joint();
+        assert!((j.mass() - 0.46).abs() < 1e-12, "paper: tuple exists with 0.46");
+    }
+
+    #[test]
+    fn marginalize_matches_hand_computation() {
+        let j = paper_joint();
+        let a = j.marginalize(&[0]).unwrap();
+        assert!((a.prob_at(&[0.0]) - 0.10).abs() < 1e-12);
+        assert!((a.prob_at(&[1.0]) - 0.36).abs() < 1e-12);
+        let b = j.marginalize(&[1]).unwrap();
+        assert!((b.prob_at(&[1.0]) - 0.06).abs() < 1e-12);
+        assert!((b.prob_at(&[2.0]) - 0.40).abs() < 1e-12);
+        assert!(j.marginalize(&[2]).is_err());
+        assert!(j.marginalize(&[]).is_err());
+    }
+
+    #[test]
+    fn product_is_cartesian_and_sorted() {
+        let a = JointDiscrete::from_points(1, vec![(vec![0.0], 0.1), (vec![1.0], 0.9)]).unwrap();
+        let b = JointDiscrete::from_points(1, vec![(vec![1.0], 0.6), (vec![2.0], 0.4)]).unwrap();
+        let j = a.product(&b);
+        assert_eq!(j.arity(), 2);
+        assert_eq!(j.len(), 4);
+        assert!((j.prob_at(&[0.0, 1.0]) - 0.06).abs() < 1e-12);
+        assert!((j.prob_at(&[1.0, 2.0]) - 0.36).abs() < 1e-12);
+        assert!((j.mass() - 1.0).abs() < 1e-12);
+        // Sorted invariant holds (prob_at relies on binary search).
+        let again = JointDiscrete::from_points(2, j.points().to_vec()).unwrap();
+        assert_eq!(again, j);
+    }
+
+    #[test]
+    fn filter_reproduces_paper_selection() {
+        // product of Table II tuple-1 pdfs filtered by a < b
+        let a = JointDiscrete::from_points(1, vec![(vec![0.0], 0.1), (vec![1.0], 0.9)]).unwrap();
+        let b = JointDiscrete::from_points(1, vec![(vec![1.0], 0.6), (vec![2.0], 0.4)]).unwrap();
+        let sel = a.product(&b).filter(|v| v[0] < v[1]);
+        let want = paper_joint();
+        assert_eq!(sel.len(), want.len());
+        for (v, p) in want.points() {
+            assert!((sel.prob_at(v) - p).abs() < 1e-12, "point {v:?}");
+        }
+    }
+
+    #[test]
+    fn box_prob_counts_contained_points() {
+        let j = paper_joint();
+        let p = j.box_prob(&[Interval::new(0.0, 0.0), Interval::all()]);
+        assert!((p - 0.10).abs() < 1e-12);
+        let p = j.box_prob(&[Interval::all(), Interval::new(2.0, 2.0)]);
+        assert!((p - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_conditions_on_existence() {
+        let j = paper_joint();
+        // E[a | exists] = (0*0.1 + 1*0.36) / 0.46
+        assert!((j.expected(0).unwrap() - 0.36 / 0.46).abs() < 1e-12);
+        assert!(j.expected(5).is_none());
+    }
+
+    #[test]
+    fn permute_swaps_dimensions() {
+        let j = paper_joint();
+        let p = j.permute(&[1, 0]).unwrap();
+        assert!((p.prob_at(&[1.0, 0.0]) - 0.06).abs() < 1e-12);
+        assert!((p.prob_at(&[2.0, 1.0]) - 0.36).abs() < 1e-12);
+        assert!(j.permute(&[0]).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            paper_joint().to_string(),
+            "Discrete({0,1}:0.06, {0,2}:0.04, {1,2}:0.36)"
+        );
+    }
+}

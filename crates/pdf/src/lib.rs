@@ -1,0 +1,60 @@
+//! # orion-pdf — the probability engine of Orion-RS
+//!
+//! This crate implements the distribution layer of *"Database Support for
+//! Probabilistic Attributes and Tuples"* (ICDE 2008): symbolic, histogram
+//! and discrete one-dimensional pdfs; joint multi-attribute distributions;
+//! and the three internal operators the relational model is built on —
+//! **marginalize**, **floor**, and **product**.
+//!
+//! Key concepts, mapped to the paper:
+//!
+//! * [`symbolic::Symbolic`] — the built-in standard distributions
+//!   (`Gaus`, `Unif`, `Pois`, `Binom`, `Bern`, …), stored by parameters.
+//! * [`histogram::Histogram`] / [`discrete::DiscretePdf`] — the generic
+//!   `Hist` and `Discrete` representations for non-standard distributions.
+//! * [`pdf1d::Pdf1`] — a (possibly *partial*) attribute pdf; total mass
+//!   below 1 encodes the probability the tuple does not exist
+//!   (closed-world, Section II-B).
+//! * [`interval::RegionSet`] — symbolic `Floor{...}` regions, kept exactly
+//!   alongside symbolic distributions (Section III-A).
+//! * [`joint::JointPdf`] — the distribution of a dependency set: a product
+//!   of independent correlated blocks, supporting `marginalize`, axis and
+//!   general-predicate `floor`s, and independent `product`.
+//!
+//! ```
+//! use orion_pdf::prelude::*;
+//!
+//! // A sensor reading: Gaus(20, 5), as in the paper's Table I.
+//! let reading = Pdf1::gaussian(20.0, 5.0).unwrap();
+//!
+//! // Range query: P(18 <= x <= 22).
+//! let p = reading.range_prob(&Interval::new(18.0, 22.0));
+//! assert!(p > 0.6 && p < 0.7);
+//!
+//! // Selection x < 20 floors the upper half symbolically.
+//! let after = reading.floor_region(&RegionSet::from_interval(Interval::at_least(20.0)));
+//! assert!((after.mass() - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod discrete;
+pub mod error;
+pub mod histogram;
+pub mod interval;
+pub mod joint;
+pub mod ops;
+pub mod pdf1d;
+pub mod sample;
+pub mod special;
+pub mod symbolic;
+
+/// Commonly used types, re-exported for ergonomic imports.
+pub mod prelude {
+    pub use crate::discrete::DiscretePdf;
+    pub use crate::error::{PdfError, Result as PdfResult};
+    pub use crate::histogram::Histogram;
+    pub use crate::interval::{Interval, RegionSet};
+    pub use crate::joint::{Block, GridDim, JointDiscrete, JointGrid, JointPdf, DEFAULT_GRID_BINS};
+    pub use crate::pdf1d::Pdf1;
+    pub use crate::sample::{Uniform, XorShift};
+    pub use crate::symbolic::Symbolic;
+}

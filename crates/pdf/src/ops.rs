@@ -1,0 +1,299 @@
+//! Cross-representation operations: approximation-error metrics (Figure 4's
+//! measurement) and sum-aggregation over pdfs (the paper's motivating case
+//! for approximating exponential-size discrete results with a continuous
+//! pdf).
+
+use crate::discrete::DiscretePdf;
+use crate::error::{PdfError, Result};
+use crate::interval::Interval;
+use crate::pdf1d::Pdf1;
+use crate::symbolic::Symbolic;
+
+/// Absolute error of an approximation when answering the range query
+/// `P(X in [iv.lo, iv.hi])`, against the exact pdf.
+pub fn range_query_error(exact: &Pdf1, approx: &Pdf1, iv: &Interval) -> f64 {
+    (exact.range_prob(iv) - approx.range_prob(iv)).abs()
+}
+
+/// Mean and standard deviation of a sample (population variant).
+/// Returns `(0, 0)` for an empty sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Exact convolution of two discrete pdfs: the distribution of `X + Y` for
+/// independent `X`, `Y`. The support grows multiplicatively — the blow-up
+/// the paper cites for aggregates over discrete uncertainty.
+pub fn convolve_discrete(a: &DiscretePdf, b: &DiscretePdf) -> Result<DiscretePdf> {
+    let mut pts = Vec::with_capacity(a.len() * b.len());
+    for &(va, pa) in a.points() {
+        for &(vb, pb) in b.points() {
+            pts.push((va + vb, pa * pb));
+        }
+    }
+    DiscretePdf::from_points(pts)
+}
+
+/// Sum of independent pdfs approximated by a moment-matched Gaussian
+/// (central limit): mean = sum of conditional means, variance = sum of
+/// variances. The existence probability is the product of masses.
+/// This is the constant-size alternative the paper proposes for
+/// aggregate results.
+pub fn sum_gaussian_approx(pdfs: &[Pdf1]) -> Result<Pdf1> {
+    if pdfs.is_empty() {
+        return Err(PdfError::IncompatibleOperands("sum of zero pdfs".into()));
+    }
+    let mut mean = 0.0;
+    let mut var = 0.0;
+    let mut mass = 1.0;
+    for p in pdfs {
+        mass *= p.mass();
+        let m = p
+            .expected_value()
+            .ok_or_else(|| PdfError::VacuousResult("vacuous pdf in sum".into()))?;
+        mean += m;
+        var += variance_of(p, m);
+    }
+    let g = Pdf1::gaussian(mean, var.max(1e-12))?;
+    Ok(if mass < 1.0 { g.scale(mass) } else { g })
+}
+
+/// Variance of a pdf around its conditional mean (delegates to
+/// [`Pdf1::variance`]; the `mean` parameter is retained by the caller only
+/// for the moment sum itself).
+fn variance_of(p: &Pdf1, _mean: f64) -> f64 {
+    p.variance().unwrap_or(0.0)
+}
+
+/// Grid convolution: the distribution of `X + Y` for independent
+/// continuous (or mixed) `X`, `Y`, materialized onto `bins`-bucket
+/// histograms. This is the "exact-ish" middle ground between the
+/// exponential discrete convolution and the constant-size Gaussian
+/// approximation: O(bins²) work, O(bins) result.
+pub fn convolve_grid(a: &Pdf1, b: &Pdf1, bins: usize) -> Result<crate::histogram::Histogram> {
+    if bins < 2 {
+        return Err(PdfError::InvalidParameter(format!(
+            "convolve_grid needs bins >= 2, got {bins}"
+        )));
+    }
+    let ha = a
+        .to_histogram(bins)
+        .ok_or_else(|| PdfError::VacuousResult("vacuous left operand".into()))?;
+    let hb = b
+        .to_histogram(bins)
+        .ok_or_else(|| PdfError::VacuousResult("vacuous right operand".into()))?;
+    let lo = ha.lo() + hb.lo();
+    let hi = ha.hi() + hb.hi();
+    let out_bins = bins.max(2);
+    let width = (hi - lo) / out_bins as f64;
+    let mut masses = vec![0.0; out_bins];
+    // Cloud-in-cell deposition: split each point mass linearly between the
+    // two buckets whose midpoints bracket it, so bucket quantization does
+    // not bias the moments of the result.
+    let mut deposit = |x: f64, m: f64| {
+        // Clamp before splitting so edge deposits stay in their edge bucket
+        // instead of leaking a fraction inward.
+        let pos = ((x - lo) / width - 0.5).clamp(0.0, (out_bins - 1) as f64);
+        let i0f = pos.floor();
+        let frac = pos - i0f;
+        let i0 = i0f as usize;
+        let i1 = (i0 + 1).min(out_bins - 1);
+        masses[i0] += m * (1.0 - frac);
+        masses[i1] += m * frac;
+    };
+    for (i, &ma) in ha.masses().iter().enumerate() {
+        if ma == 0.0 {
+            continue;
+        }
+        let xa = ha.lo() + (i as f64 + 0.5) * ha.width();
+        for (j, &mb) in hb.masses().iter().enumerate() {
+            if mb == 0.0 {
+                continue;
+            }
+            let xb = hb.lo() + (j as f64 + 0.5) * hb.width();
+            deposit(xa + xb, ma * mb);
+        }
+    }
+    crate::histogram::Histogram::from_masses(lo, width, masses)
+}
+
+/// Kolmogorov–Smirnov-style distance between two pdfs: the max |cdf
+/// difference| over a probe grid spanning both supports. Used by tests to
+/// bound approximation drift.
+pub fn cdf_distance(a: &Pdf1, b: &Pdf1, probes: usize) -> f64 {
+    let sa = a.effective_support();
+    let sb = b.effective_support();
+    let (lo, hi) = match (sa, sb) {
+        (Some(x), Some(y)) => (x.lo.min(y.lo), x.hi.max(y.hi)),
+        (Some(x), None) | (None, Some(x)) => (x.lo, x.hi),
+        (None, None) => return 0.0,
+    };
+    if lo >= hi {
+        return (a.cumulative(lo) - b.cumulative(lo)).abs();
+    }
+    let mut worst = 0.0f64;
+    for i in 0..=probes {
+        let x = lo + (hi - lo) * i as f64 / probes as f64;
+        worst = worst.max((a.cumulative(x) - b.cumulative(x)).abs());
+    }
+    worst
+}
+
+/// Expected value of a symbolic distribution truncated to an interval —
+/// closed-form for Gaussian, used to sanity-check grid expectations.
+pub fn gaussian_truncated_mean(mean: f64, variance: f64, iv: &Interval) -> f64 {
+    let sd = variance.sqrt();
+    let a = (iv.lo - mean) / sd;
+    let b = (iv.hi - mean) / sd;
+    let phi = crate::special::std_normal_pdf;
+    let cap = crate::special::std_normal_cdf;
+    let (pa, pb) = (
+        if a.is_finite() { phi(a) } else { 0.0 },
+        if b.is_finite() { phi(b) } else { 0.0 },
+    );
+    let z = cap(b) - cap(a);
+    mean + sd * (pa - pb) / z
+}
+
+/// Builds the paper's two approximations of a symbolic pdf at a common
+/// "sample size" `n`: an `n`-bin histogram and an `n`-point discrete
+/// sampling. Returns `(histogram, discrete)`.
+pub fn approximate_both(exact: &Pdf1, n: usize) -> Option<(Pdf1, Pdf1)> {
+    let h = exact.to_histogram(n)?;
+    let d = exact.to_discrete(n)?;
+    Some((Pdf1::Histogram(h), Pdf1::Discrete(d)))
+}
+
+/// Convenience: the exact range probability of a symbolic Gaussian —
+/// used as ground truth in the Figure 4 harness.
+pub fn gaussian_range_prob(mean: f64, variance: f64, iv: &Interval) -> f64 {
+    let g = Symbolic::Gaussian { mean, variance };
+    g.interval_prob(iv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!((s - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn convolution_of_two_dice() {
+        let die = DiscretePdf::from_points((1..=6).map(|v| (v as f64, 1.0 / 6.0)).collect())
+            .unwrap();
+        let two = convolve_discrete(&die, &die).unwrap();
+        assert_eq!(two.len(), 11);
+        assert!((two.prob_at(7.0) - 6.0 / 36.0).abs() < 1e-12);
+        assert!((two.prob_at(2.0) - 1.0 / 36.0).abs() < 1e-12);
+        assert!((two.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_support_blowup() {
+        // 10 coin flips -> 2^10 products collapse to 11 integer sums, but a
+        // generic-valued pdf keeps multiplying supports; verify the
+        // generic (irrational-offset) case really blows up.
+        let a = DiscretePdf::from_points(vec![(0.0, 0.5), (1.0, 0.5)]).unwrap();
+        let b = DiscretePdf::from_points(vec![(0.0, 0.5), (std::f64::consts::SQRT_2, 0.5)])
+            .unwrap();
+        let c = convolve_discrete(&a, &b).unwrap();
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn gaussian_sum_matches_exact_for_gaussians() {
+        // Sum of N(1,2) and N(3,4) is exactly N(4,6).
+        let s = sum_gaussian_approx(&[
+            Pdf1::gaussian(1.0, 2.0).unwrap(),
+            Pdf1::gaussian(3.0, 4.0).unwrap(),
+        ])
+        .unwrap();
+        match s {
+            Pdf1::Symbolic { dist: Symbolic::Gaussian { mean, variance }, .. } => {
+                assert!((mean - 4.0).abs() < 1e-12);
+                assert!((variance - 6.0).abs() < 1e-12);
+            }
+            other => panic!("expected Gaussian, got {other}"),
+        }
+    }
+
+    #[test]
+    fn gaussian_sum_clt_on_discrete() {
+        // Sum of 30 fair coins ~ N(15, 7.5); check the cdf at the mean.
+        let coin = Pdf1::discrete(vec![(0.0, 0.5), (1.0, 0.5)]).unwrap();
+        let pdfs: Vec<Pdf1> = (0..30).map(|_| coin.clone()).collect();
+        let s = sum_gaussian_approx(&pdfs).unwrap();
+        assert!((s.expected_value().unwrap() - 15.0).abs() < 1e-9);
+        assert!((s.cumulative(15.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_carries_existence_mass() {
+        let part = Pdf1::discrete(vec![(1.0, 0.5)]).unwrap();
+        let full = Pdf1::discrete(vec![(2.0, 1.0)]).unwrap();
+        let s = sum_gaussian_approx(&[part, full]).unwrap();
+        assert!((s.mass() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_convolution_of_gaussians() {
+        // N(1, 2) + N(3, 4) = N(4, 6): compare cdfs.
+        let a = Pdf1::gaussian(1.0, 2.0).unwrap();
+        let b = Pdf1::gaussian(3.0, 4.0).unwrap();
+        let conv = convolve_grid(&a, &b, 128).unwrap();
+        let exact = Symbolic::gaussian(4.0, 6.0).unwrap();
+        assert!((conv.mass() - 1.0).abs() < 1e-6);
+        for &x in &[0.0, 2.0, 4.0, 6.0, 8.0] {
+            assert!(
+                (conv.cumulative(x) - exact.cdf(x)).abs() < 0.02,
+                "cdf at {x}: {} vs {}",
+                conv.cumulative(x),
+                exact.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn grid_convolution_carries_partial_mass() {
+        let a = Pdf1::discrete(vec![(0.0, 0.25), (1.0, 0.25)]).unwrap();
+        let b = Pdf1::uniform(0.0, 1.0).unwrap();
+        let conv = convolve_grid(&a, &b, 64).unwrap();
+        assert!((conv.mass() - 0.5).abs() < 1e-9, "product of masses");
+        assert!(convolve_grid(&Pdf1::Discrete(DiscretePdf::vacuous()), &b, 8).is_err());
+    }
+
+    #[test]
+    fn cdf_distance_zero_for_identical() {
+        let g = Pdf1::gaussian(5.0, 2.0).unwrap();
+        assert!(cdf_distance(&g, &g.clone(), 100) < 1e-15);
+        let h = Pdf1::Histogram(g.to_histogram(256).unwrap());
+        assert!(cdf_distance(&g, &h, 200) < 0.01);
+    }
+
+    #[test]
+    fn truncated_gaussian_mean_shifts_upward() {
+        // Truncating N(0,1) to [0, inf) gives mean phi(0)/ (1 - Phi(0)) ≈ 0.7979.
+        let m = gaussian_truncated_mean(0.0, 1.0, &Interval::at_least(0.0));
+        assert!((m - (2.0 / std::f64::consts::PI).sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn approximate_both_produces_equal_mass() {
+        let g = Pdf1::gaussian(50.0, 4.0).unwrap();
+        let (h, d) = approximate_both(&g, 10).unwrap();
+        assert!((h.mass() - d.mass()).abs() < 1e-9);
+        assert!((h.mass() - 1.0).abs() < 1e-6);
+    }
+}

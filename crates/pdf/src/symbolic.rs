@@ -1,0 +1,523 @@
+//! Symbolic (closed-form) probability distributions.
+//!
+//! These are the paper's "standard distributions" stored symbolically in the
+//! database: continuous Gaussian, Uniform, Exponential; discrete Poisson,
+//! Binomial, Bernoulli, Geometric. Storing them symbolically (rather than as
+//! sampled approximations) is the headline representational advantage of the
+//! model — exact cdf evaluation, constant-size storage, no approximation
+//! error.
+
+use crate::error::{PdfError, Result};
+use crate::interval::Interval;
+use crate::special;
+use serde::{Deserialize, Serialize};
+
+/// A closed-form distribution, stored by its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Symbolic {
+    /// Normal distribution `N(mean, variance)`. Note the second parameter is
+    /// the **variance**, matching the paper's `Gaus(20, 5)` notation.
+    Gaussian { mean: f64, variance: f64 },
+    /// Continuous uniform on `[lo, hi]`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with the given rate `lambda` (mean `1/lambda`).
+    Exponential { rate: f64 },
+    /// Poisson with mean `lambda`, support `{0, 1, 2, ...}`.
+    Poisson { lambda: f64 },
+    /// Binomial with `n` trials of success probability `p`.
+    Binomial { n: u64, p: f64 },
+    /// Bernoulli with success probability `p`, support `{0, 1}`.
+    Bernoulli { p: f64 },
+    /// Geometric: number of trials until first success, support `{1, 2, ...}`.
+    Geometric { p: f64 },
+}
+
+/// Tolerance used when matching a continuous value against an integer
+/// support point of a discrete distribution.
+const INT_EPS: f64 = 1e-9;
+
+fn as_support_int(x: f64) -> Option<u64> {
+    let r = x.round();
+    ((x - r).abs() < INT_EPS && r >= 0.0 && r <= u64::MAX as f64).then_some(r as u64)
+}
+
+impl Symbolic {
+    /// Gaussian constructor with parameter validation.
+    pub fn gaussian(mean: f64, variance: f64) -> Result<Self> {
+        if !mean.is_finite() || !variance.is_finite() || variance <= 0.0 {
+            return Err(PdfError::InvalidParameter(format!(
+                "Gaussian requires finite mean and variance > 0, got ({mean}, {variance})"
+            )));
+        }
+        Ok(Symbolic::Gaussian { mean, variance })
+    }
+
+    /// Uniform constructor with parameter validation.
+    pub fn uniform(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(PdfError::InvalidParameter(format!(
+                "Uniform requires finite lo < hi, got ({lo}, {hi})"
+            )));
+        }
+        Ok(Symbolic::Uniform { lo, hi })
+    }
+
+    /// Exponential constructor with parameter validation.
+    pub fn exponential(rate: f64) -> Result<Self> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(PdfError::InvalidParameter(format!(
+                "Exponential requires rate > 0, got {rate}"
+            )));
+        }
+        Ok(Symbolic::Exponential { rate })
+    }
+
+    /// Poisson constructor with parameter validation.
+    pub fn poisson(lambda: f64) -> Result<Self> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(PdfError::InvalidParameter(format!(
+                "Poisson requires lambda > 0, got {lambda}"
+            )));
+        }
+        Ok(Symbolic::Poisson { lambda })
+    }
+
+    /// Binomial constructor with parameter validation.
+    pub fn binomial(n: u64, p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) || n == 0 {
+            return Err(PdfError::InvalidParameter(format!(
+                "Binomial requires n >= 1 and p in [0,1], got ({n}, {p})"
+            )));
+        }
+        Ok(Symbolic::Binomial { n, p })
+    }
+
+    /// Bernoulli constructor with parameter validation.
+    pub fn bernoulli(p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(PdfError::InvalidParameter(format!(
+                "Bernoulli requires p in [0,1], got {p}"
+            )));
+        }
+        Ok(Symbolic::Bernoulli { p })
+    }
+
+    /// Geometric constructor with parameter validation.
+    pub fn geometric(p: f64) -> Result<Self> {
+        if p.is_nan() || p <= 0.0 || p > 1.0 {
+            return Err(PdfError::InvalidParameter(format!(
+                "Geometric requires p in (0,1], got {p}"
+            )));
+        }
+        Ok(Symbolic::Geometric { p })
+    }
+
+    /// Whether the distribution is discrete (pmf over integers).
+    pub fn is_discrete(&self) -> bool {
+        matches!(
+            self,
+            Symbolic::Poisson { .. }
+                | Symbolic::Binomial { .. }
+                | Symbolic::Bernoulli { .. }
+                | Symbolic::Geometric { .. }
+        )
+    }
+
+    /// Probability density at `x` (continuous) or probability mass at `x`
+    /// (discrete; zero off the integer support).
+    pub fn density(&self, x: f64) -> f64 {
+        match *self {
+            Symbolic::Gaussian { mean, variance } => {
+                let sd = variance.sqrt();
+                special::std_normal_pdf((x - mean) / sd) / sd
+            }
+            Symbolic::Uniform { lo, hi } => {
+                if x >= lo && x <= hi {
+                    1.0 / (hi - lo)
+                } else {
+                    0.0
+                }
+            }
+            Symbolic::Exponential { rate } => {
+                if x >= 0.0 {
+                    rate * (-rate * x).exp()
+                } else {
+                    0.0
+                }
+            }
+            Symbolic::Poisson { lambda } => match as_support_int(x) {
+                Some(k) => {
+                    (k as f64 * lambda.ln() - lambda - special::ln_factorial(k)).exp()
+                }
+                None => 0.0,
+            },
+            Symbolic::Binomial { n, p } => match as_support_int(x) {
+                Some(k) if k <= n => {
+                    if p == 0.0 {
+                        return if k == 0 { 1.0 } else { 0.0 };
+                    }
+                    if p == 1.0 {
+                        return if k == n { 1.0 } else { 0.0 };
+                    }
+                    (special::ln_binomial(n, k)
+                        + k as f64 * p.ln()
+                        + (n - k) as f64 * (1.0 - p).ln())
+                    .exp()
+                }
+                _ => 0.0,
+            },
+            Symbolic::Bernoulli { p } => match as_support_int(x) {
+                Some(0) => 1.0 - p,
+                Some(1) => p,
+                _ => 0.0,
+            },
+            Symbolic::Geometric { p } => match as_support_int(x) {
+                Some(k) if k >= 1 => (1.0 - p).powi((k - 1) as i32) * p,
+                _ => 0.0,
+            },
+        }
+    }
+
+    /// Cumulative distribution function `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            Symbolic::Gaussian { mean, variance } => {
+                special::std_normal_cdf((x - mean) / variance.sqrt())
+            }
+            Symbolic::Uniform { lo, hi } => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+            Symbolic::Exponential { rate } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-rate * x).exp()
+                }
+            }
+            Symbolic::Poisson { lambda } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    // P(X <= k) = Q(k + 1, lambda).
+                    let k = x.floor();
+                    special::gamma_q(k + 1.0, lambda)
+                }
+            }
+            Symbolic::Binomial { n, .. } => {
+                if x < 0.0 {
+                    return 0.0;
+                }
+                let k = x.floor().min(n as f64) as u64;
+                (0..=k).map(|i| self.density(i as f64)).sum::<f64>().min(1.0)
+            }
+            Symbolic::Bernoulli { p } => {
+                if x < 0.0 {
+                    0.0
+                } else if x < 1.0 {
+                    1.0 - p
+                } else {
+                    1.0
+                }
+            }
+            Symbolic::Geometric { p } => {
+                if x < 1.0 {
+                    0.0
+                } else {
+                    1.0 - (1.0 - p).powf(x.floor())
+                }
+            }
+        }
+    }
+
+    /// Probability mass on the closed interval `[iv.lo, iv.hi]`.
+    ///
+    /// For continuous distributions this is `cdf(hi) - cdf(lo)`; for discrete
+    /// ones, endpoint inclusion is handled exactly.
+    pub fn interval_prob(&self, iv: &Interval) -> f64 {
+        if self.is_discrete() {
+            // P(lo <= X <= hi) = cdf(hi) - cdf(lo - 1) on integer support;
+            // use nextafter-style nudge via floor/ceil arithmetic.
+            let hi = self.cdf(iv.hi);
+            let lo = if iv.lo.is_finite() {
+                self.cdf(iv.lo.ceil() - 1.0)
+            } else {
+                0.0
+            };
+            (hi - lo).max(0.0)
+        } else {
+            (self.cdf(iv.hi) - self.cdf(iv.lo)).max(0.0)
+        }
+    }
+
+    /// Quantile function: the smallest `x` with `cdf(x) >= q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile domain: q in [0,1]");
+        match *self {
+            Symbolic::Gaussian { mean, variance } => {
+                mean + variance.sqrt() * special::std_normal_quantile(q)
+            }
+            Symbolic::Uniform { lo, hi } => lo + q * (hi - lo),
+            Symbolic::Exponential { rate } => {
+                if q >= 1.0 {
+                    f64::INFINITY
+                } else {
+                    -(1.0 - q).ln() / rate
+                }
+            }
+            // Discrete distributions: walk the support.
+            Symbolic::Poisson { .. }
+            | Symbolic::Binomial { .. }
+            | Symbolic::Bernoulli { .. }
+            | Symbolic::Geometric { .. } => {
+                let mut k = self.support().lo;
+                let mut acc = 0.0;
+                loop {
+                    acc += self.density(k);
+                    if acc >= q - 1e-12 || k >= self.support().hi {
+                        return k;
+                    }
+                    k += 1.0;
+                }
+            }
+        }
+    }
+
+    /// Expected value.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Symbolic::Gaussian { mean, .. } => mean,
+            Symbolic::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Symbolic::Exponential { rate } => 1.0 / rate,
+            Symbolic::Poisson { lambda } => lambda,
+            Symbolic::Binomial { n, p } => n as f64 * p,
+            Symbolic::Bernoulli { p } => p,
+            Symbolic::Geometric { p } => 1.0 / p,
+        }
+    }
+
+    /// Variance.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Symbolic::Gaussian { variance, .. } => variance,
+            Symbolic::Uniform { lo, hi } => (hi - lo) * (hi - lo) / 12.0,
+            Symbolic::Exponential { rate } => 1.0 / (rate * rate),
+            Symbolic::Poisson { lambda } => lambda,
+            Symbolic::Binomial { n, p } => n as f64 * p * (1.0 - p),
+            Symbolic::Bernoulli { p } => p * (1.0 - p),
+            Symbolic::Geometric { p } => (1.0 - p) / (p * p),
+        }
+    }
+
+    /// The (closed) support of the distribution.
+    pub fn support(&self) -> Interval {
+        match *self {
+            Symbolic::Gaussian { .. } => Interval::all(),
+            Symbolic::Uniform { lo, hi } => Interval::new(lo, hi),
+            Symbolic::Exponential { .. } => Interval::at_least(0.0),
+            Symbolic::Poisson { .. } => Interval::at_least(0.0),
+            Symbolic::Binomial { n, .. } => Interval::new(0.0, n as f64),
+            Symbolic::Bernoulli { .. } => Interval::new(0.0, 1.0),
+            Symbolic::Geometric { .. } => Interval::at_least(1.0),
+        }
+    }
+
+    /// A bounded interval containing at least `1 - eps` of the mass, used
+    /// when materializing histogram approximations of unbounded supports.
+    pub fn effective_support(&self, eps: f64) -> Interval {
+        let s = self.support();
+        if s.is_bounded() {
+            return s;
+        }
+        let lo = if s.lo.is_finite() { s.lo } else { self.quantile(eps / 2.0) };
+        let hi = if s.hi.is_finite() { s.hi } else { self.quantile(1.0 - eps / 2.0) };
+        Interval::new(lo, hi)
+    }
+
+    /// For discrete distributions, enumerate `(value, probability)` support
+    /// points covering at least `1 - eps` of the mass. Returns `None` for
+    /// continuous distributions.
+    pub fn enumerate_discrete(&self, eps: f64) -> Option<Vec<(f64, f64)>> {
+        if !self.is_discrete() {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut k = self.support().lo;
+        let mut acc = 0.0;
+        let hi = self.support().hi;
+        while acc < 1.0 - eps && k <= hi {
+            let p = self.density(k);
+            if p > 0.0 {
+                out.push((k, p));
+                acc += p;
+            }
+            if k == hi {
+                break;
+            }
+            k += 1.0;
+        }
+        Some(out)
+    }
+}
+
+impl std::fmt::Display for Symbolic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Symbolic::Gaussian { mean, variance } => write!(f, "Gaus({mean},{variance})"),
+            Symbolic::Uniform { lo, hi } => write!(f, "Unif({lo},{hi})"),
+            Symbolic::Exponential { rate } => write!(f, "Expo({rate})"),
+            Symbolic::Poisson { lambda } => write!(f, "Pois({lambda})"),
+            Symbolic::Binomial { n, p } => write!(f, "Binom({n},{p})"),
+            Symbolic::Bernoulli { p } => write!(f, "Bern({p})"),
+            Symbolic::Geometric { p } => write!(f, "Geom({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaus(m: f64, v: f64) -> Symbolic {
+        Symbolic::gaussian(m, v).unwrap()
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Symbolic::gaussian(0.0, 0.0).is_err());
+        assert!(Symbolic::gaussian(f64::NAN, 1.0).is_err());
+        assert!(Symbolic::uniform(2.0, 2.0).is_err());
+        assert!(Symbolic::exponential(-1.0).is_err());
+        assert!(Symbolic::poisson(0.0).is_err());
+        assert!(Symbolic::binomial(0, 0.5).is_err());
+        assert!(Symbolic::binomial(5, 1.5).is_err());
+        assert!(Symbolic::bernoulli(-0.1).is_err());
+        assert!(Symbolic::geometric(0.0).is_err());
+        assert!(Symbolic::geometric(1.0).is_ok());
+    }
+
+    #[test]
+    fn gaussian_moments_and_cdf() {
+        let g = gaus(20.0, 5.0);
+        assert_eq!(g.mean(), 20.0);
+        assert_eq!(g.variance(), 5.0);
+        assert!((g.cdf(20.0) - 0.5).abs() < 1e-12);
+        // One sd above the mean.
+        let sd = 5.0_f64.sqrt();
+        assert!((g.cdf(20.0 + sd) - 0.841_344_746_068_543).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_density_integrates() {
+        let u = Symbolic::uniform(2.0, 6.0).unwrap();
+        assert_eq!(u.density(4.0), 0.25);
+        assert_eq!(u.density(1.0), 0.0);
+        assert_eq!(u.cdf(2.0), 0.0);
+        assert_eq!(u.cdf(6.0), 1.0);
+        assert!((u.cdf(3.0) - 0.25).abs() < 1e-12);
+        assert_eq!(u.mean(), 4.0);
+        assert!((u.variance() - 16.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_cdf_and_quantile() {
+        let e = Symbolic::exponential(0.5).unwrap();
+        assert!((e.cdf(2.0) - (1.0 - (-1.0_f64).exp())).abs() < 1e-12);
+        assert_eq!(e.cdf(-1.0), 0.0);
+        let q = e.quantile(0.95);
+        assert!((e.cdf(q) - 0.95).abs() < 1e-12);
+        assert_eq!(e.mean(), 2.0);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_and_cdf_matches() {
+        let p = Symbolic::poisson(3.0).unwrap();
+        let total: f64 = (0..60).map(|k| p.density(k as f64)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // cdf via incomplete gamma must match the pmf sum.
+        let direct: f64 = (0..=5).map(|k| p.density(k as f64)).sum();
+        assert!((p.cdf(5.0) - direct).abs() < 1e-10);
+        assert!((p.cdf(5.7) - direct).abs() < 1e-10, "cdf is a step function");
+        assert_eq!(p.density(2.5), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_known_values() {
+        let b = Symbolic::binomial(10, 0.5).unwrap();
+        assert!((b.density(5.0) - 252.0 / 1024.0).abs() < 1e-12);
+        assert!((b.cdf(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(b.mean(), 5.0);
+        assert_eq!(b.variance(), 2.5);
+        // Degenerate p.
+        let b0 = Symbolic::binomial(4, 0.0).unwrap();
+        assert_eq!(b0.density(0.0), 1.0);
+        assert_eq!(b0.density(1.0), 0.0);
+        let b1 = Symbolic::binomial(4, 1.0).unwrap();
+        assert_eq!(b1.density(4.0), 1.0);
+    }
+
+    #[test]
+    fn bernoulli_and_geometric() {
+        let be = Symbolic::bernoulli(0.3).unwrap();
+        assert!((be.density(0.0) - 0.7).abs() < 1e-15);
+        assert!((be.density(1.0) - 0.3).abs() < 1e-15);
+        assert!((be.cdf(0.5) - 0.7).abs() < 1e-15);
+        let ge = Symbolic::geometric(0.25).unwrap();
+        assert!((ge.density(1.0) - 0.25).abs() < 1e-15);
+        assert!((ge.density(3.0) - 0.75 * 0.75 * 0.25).abs() < 1e-15);
+        assert!((ge.cdf(3.0) - (1.0 - 0.75_f64.powi(3))).abs() < 1e-12);
+        assert_eq!(ge.mean(), 4.0);
+    }
+
+    #[test]
+    fn interval_prob_discrete_endpoints() {
+        let b = Symbolic::binomial(4, 0.5).unwrap();
+        // P(1 <= X <= 2) = 4/16 + 6/16
+        let p = b.interval_prob(&Interval::new(1.0, 2.0));
+        assert!((p - 10.0 / 16.0).abs() < 1e-12);
+        // Half-open-looking floats: [0.5, 2.5] contains {1, 2}.
+        let p = b.interval_prob(&Interval::new(0.5, 2.5));
+        assert!((p - 10.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_continuous() {
+        let g = gaus(-3.0, 2.25);
+        for &q in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+            assert!((g.cdf(g.quantile(q)) - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn quantile_discrete_is_smallest_support_point() {
+        let b = Symbolic::binomial(4, 0.5).unwrap();
+        // cdf: 1/16, 5/16, 11/16, 15/16, 16/16
+        assert_eq!(b.quantile(0.05), 0.0);
+        assert_eq!(b.quantile(0.2), 1.0);
+        assert_eq!(b.quantile(0.5), 2.0);
+        assert_eq!(b.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn effective_support_covers_requested_mass() {
+        let g = gaus(0.0, 1.0);
+        let iv = g.effective_support(1e-6);
+        assert!(g.interval_prob(&iv) >= 1.0 - 1e-6);
+        assert!(iv.is_bounded());
+        let u = Symbolic::uniform(0.0, 1.0).unwrap();
+        assert_eq!(u.effective_support(1e-6), Interval::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn enumerate_discrete_covers_mass() {
+        let p = Symbolic::poisson(4.0).unwrap();
+        let pts = p.enumerate_discrete(1e-9).unwrap();
+        let total: f64 = pts.iter().map(|(_, p)| p).sum();
+        assert!(total >= 1.0 - 1e-9);
+        assert!(gaus(0.0, 1.0).enumerate_discrete(1e-9).is_none());
+        let be = Symbolic::bernoulli(0.4).unwrap();
+        assert_eq!(be.enumerate_discrete(0.0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(gaus(20.0, 5.0).to_string(), "Gaus(20,5)");
+    }
+}

@@ -1,0 +1,58 @@
+//! SQL front-end error type.
+
+use orion_core::error::EngineError;
+use std::fmt;
+
+/// Errors from lexing, parsing, or executing Orion SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexer failure.
+    Lex(String),
+    /// Parser failure.
+    Parse(String),
+    /// Semantic / execution failure.
+    Exec(String),
+    /// Engine-level failure.
+    Engine(EngineError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Exec(m) => write!(f, "execution error: {m}"),
+            SqlError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<EngineError> for SqlError {
+    fn from(e: EngineError) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+impl From<orion_pdf::error::PdfError> for SqlError {
+    fn from(e: orion_pdf::error::PdfError) -> Self {
+        SqlError::Engine(EngineError::Pdf(e))
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = SqlError::Parse("expected FROM".into());
+        assert_eq!(e.to_string(), "parse error: expected FROM");
+        let e: SqlError = EngineError::Operator("x".into()).into();
+        assert!(matches!(e, SqlError::Engine(_)));
+    }
+}

@@ -1,0 +1,1104 @@
+//! SQL execution: a [`Database`] session holding named relations, the
+//! shared history registry, and execution options.
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::parser::parse;
+use orion_core::agg;
+use orion_core::join::join;
+use orion_core::prelude::*;
+use orion_core::project::project;
+use orion_core::select::select;
+use orion_core::threshold::{predicate_probability, threshold_attrs, threshold_pred};
+use orion_pdf::prelude::*;
+use std::collections::HashMap;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// A probabilistic relation (SELECT of plain columns or `*`).
+    Table(Relation),
+    /// Computed rows (EXPECTED / PROB select items, aggregates).
+    Rows { header: Vec<String>, rows: Vec<Vec<String>> },
+    /// Number of affected tuples (INSERT / DELETE).
+    Count(usize),
+    /// Statement completed with nothing to return (CREATE / DROP).
+    Ok,
+}
+
+/// An in-memory Orion SQL session.
+pub struct Database {
+    tables: HashMap<String, Relation>,
+    reg: HistoryRegistry,
+    opts: ExecOptions,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// An empty database with default execution options.
+    pub fn new() -> Self {
+        Database { tables: HashMap::new(), reg: HistoryRegistry::new(), opts: ExecOptions::default() }
+    }
+
+    /// Overrides execution options (resolution, history maintenance, ...).
+    pub fn with_options(opts: ExecOptions) -> Self {
+        Database { tables: HashMap::new(), reg: HistoryRegistry::new(), opts }
+    }
+
+    /// Direct access to a stored relation.
+    pub fn table(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(name)
+    }
+
+    /// Names of all stored tables (unordered).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Registers an externally built relation (e.g. from a workload
+    /// generator that used [`Database::registry_mut`]).
+    pub fn register_table(&mut self, rel: Relation) {
+        self.tables.insert(rel.name.clone(), rel);
+    }
+
+    /// The shared history registry.
+    pub fn registry_mut(&mut self) -> &mut HistoryRegistry {
+        &mut self.reg
+    }
+
+    /// Saves every table and the history registry to one file.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        orion_core::persist::save_database(path, &self.tables, &self.reg)?;
+        Ok(())
+    }
+
+    /// Opens a database previously written by [`Database::save`].
+    pub fn open(path: &std::path::Path) -> Result<Self> {
+        Self::open_with_options(path, ExecOptions::default())
+    }
+
+    /// Opens a saved database with specific execution options.
+    pub fn open_with_options(path: &std::path::Path, opts: ExecOptions) -> Result<Self> {
+        let (tables, reg) = orion_core::persist::load_database(path)?;
+        Ok(Database { tables, reg, opts })
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Output> {
+        let stmt = parse(sql)?;
+        self.run(stmt)
+    }
+
+    fn run(&mut self, stmt: Statement) -> Result<Output> {
+        match stmt {
+            Statement::CreateTable { name, columns, correlated } => {
+                if self.tables.contains_key(&name) {
+                    return Err(SqlError::Exec(format!("table '{name}' already exists")));
+                }
+                let cols: Vec<(&str, ColumnType, bool)> = columns
+                    .iter()
+                    .map(|c| (c.name.as_str(), c.ty, c.uncertain))
+                    .collect();
+                let groups: Vec<Vec<&str>> = correlated
+                    .iter()
+                    .map(|g| g.iter().map(|s| s.as_str()).collect())
+                    .collect();
+                let schema = ProbSchema::new(cols, groups)?;
+                self.tables.insert(name.clone(), Relation::new(name, schema));
+                Ok(Output::Ok)
+            }
+            Statement::Insert { table, rows } => {
+                let n = rows.len();
+                for row in rows {
+                    self.insert_row(&table, row)?;
+                }
+                Ok(Output::Count(n))
+            }
+            Statement::Select { items, from, filter, distinct, order_by, limit } => {
+                self.select(items, from, filter, distinct, order_by, limit)
+            }
+            Statement::Update { table, sets, filter } => self.update(table, sets, filter),
+            Statement::Delete { table, filter } => {
+                let pred = filter.map(|p| translate_pred(&p)).transpose()?;
+                let rel = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| SqlError::Exec(format!("unknown table '{table}'")))?;
+                // DELETE decides tuple-by-tuple on the certain attributes
+                // (deleting by uncertain predicate would need user-specified
+                // semantics: a tuple either stays or goes).
+                let schema = rel.schema.clone();
+                let removed = match pred {
+                    None => {
+                        let all = rel.len();
+                        let reg = &mut self.reg;
+                        rel.delete_where(reg, |_| true);
+                        all
+                    }
+                    Some(p) => {
+                        for c in p.columns() {
+                            match schema.column(&c) {
+                                None => {
+                                    return Err(SqlError::Exec(format!(
+                                        "unknown column '{c}'"
+                                    )))
+                                }
+                                Some(col) if col.uncertain => {
+                                    return Err(SqlError::Exec(format!(
+                                        "DELETE predicates must use certain columns \
+                                         ('{c}' is uncertain); use PROB() thresholds \
+                                         with SELECT instead"
+                                    )))
+                                }
+                                Some(_) => {}
+                            }
+                        }
+                        let reg = &mut self.reg;
+                        rel.delete_where(reg, |t| {
+                            let lookup = |name: &str| -> Value {
+                                schema
+                                    .index_of(name)
+                                    .map(|i| t.certain[i].clone())
+                                    .unwrap_or(Value::Null)
+                            };
+                            p.eval(&lookup) == Some(true)
+                        })
+                    }
+                };
+                Ok(Output::Count(removed))
+            }
+            Statement::DropTable { name } => {
+                let rel = self
+                    .tables
+                    .remove(&name)
+                    .ok_or_else(|| SqlError::Exec(format!("unknown table '{name}'")))?;
+                rel.release(&mut self.reg);
+                Ok(Output::Ok)
+            }
+        }
+    }
+
+    fn insert_row(&mut self, table: &str, row: Vec<InsertValue>) -> Result<()> {
+        let rel = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::Exec(format!("unknown table '{table}'")))?;
+        let schema = rel.schema.clone();
+        // Walk columns in order; a correlated group consumes ONE value (a
+        // JOINT constructor) at the position of its first column.
+        let mut certain: Vec<(String, Value)> = Vec::new();
+        let mut uncertain: Vec<(Vec<String>, JointPdf)> = Vec::new();
+        let mut vals = row.into_iter();
+        let mut consumed: Vec<AttrId> = Vec::new();
+        for col in schema.columns() {
+            if consumed.contains(&col.id) {
+                continue;
+            }
+            let v = vals
+                .next()
+                .ok_or_else(|| SqlError::Exec("too few values in INSERT".into()))?;
+            if !col.uncertain {
+                let val = match v {
+                    InsertValue::Null => Value::Null,
+                    InsertValue::Number(n) => match col.ty {
+                        ColumnType::Int => Value::Int(n as i64),
+                        _ => Value::Real(n),
+                    },
+                    InsertValue::Text(s) => Value::Text(s),
+                    InsertValue::Bool(b) => Value::Bool(b),
+                    InsertValue::Pdf(_) => {
+                        return Err(SqlError::Exec(format!(
+                            "column '{}' is certain; got a pdf",
+                            col.name
+                        )))
+                    }
+                };
+                certain.push((col.name.clone(), val));
+                continue;
+            }
+            // Uncertain: which dependency group does this column lead?
+            let group: Vec<AttrId> = schema
+                .deps()
+                .iter()
+                .find(|g| g.contains(&col.id))
+                .cloned()
+                .unwrap_or_else(|| vec![col.id]);
+            let names: Vec<String> = group
+                .iter()
+                .map(|id| schema.column_by_id(*id).expect("dep attr visible").name.clone())
+                .collect();
+            consumed.extend(&group);
+            let joint = match v {
+                InsertValue::Pdf(expr) => build_joint(&expr, group.len())?,
+                InsertValue::Number(n) => {
+                    if group.len() != 1 {
+                        return Err(SqlError::Exec(format!(
+                            "correlated group led by '{}' needs a JOINT(...) value",
+                            col.name
+                        )));
+                    }
+                    JointPdf::from_pdf1(Pdf1::certain(n))
+                }
+                other => {
+                    return Err(SqlError::Exec(format!(
+                        "uncertain column '{}' needs a pdf, got {other:?}",
+                        col.name
+                    )))
+                }
+            };
+            uncertain.push((names, joint));
+        }
+        if vals.next().is_some() {
+            return Err(SqlError::Exec("too many values in INSERT".into()));
+        }
+        let certain_refs: Vec<(&str, Value)> =
+            certain.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let uncertain_refs: Vec<(Vec<&str>, JointPdf)> = uncertain
+            .iter()
+            .map(|(ns, j)| (ns.iter().map(|s| s.as_str()).collect(), j.clone()))
+            .collect();
+        rel.insert(&mut self.reg, &certain_refs, uncertain_refs)?;
+        Ok(())
+    }
+
+    /// `UPDATE t SET col = v [WHERE pred]`: the predicate must be over
+    /// certain columns (a tuple is either updated or not). Updating an
+    /// uncertain column replaces its dependency set with a fresh base pdf
+    /// (new history); updating one member of a correlated group is
+    /// rejected — supply the whole group via JOINT.
+    fn update(
+        &mut self,
+        table: String,
+        sets: Vec<(String, InsertValue)>,
+        filter: Option<Pred>,
+    ) -> Result<Output> {
+        let pred = filter.map(|p| translate_pred(&p)).transpose()?;
+        let rel = self
+            .tables
+            .get_mut(&table)
+            .ok_or_else(|| SqlError::Exec(format!("unknown table '{table}'")))?;
+        let schema = rel.schema.clone();
+        if let Some(p) = &pred {
+            for c in p.columns() {
+                match schema.column(&c) {
+                    None => return Err(SqlError::Exec(format!("unknown column '{c}'"))),
+                    Some(col) if col.uncertain => {
+                        return Err(SqlError::Exec(format!(
+                            "UPDATE predicates must use certain columns ('{c}' is uncertain)"
+                        )))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // Pre-validate and pre-build the assignments.
+        enum Assign {
+            Certain(usize, Value),
+            Node(Vec<AttrId>, Vec<String>, JointPdf),
+        }
+        let mut assigns = Vec::with_capacity(sets.len());
+        for (col_name, v) in &sets {
+            let col = schema
+                .column(col_name)
+                .ok_or_else(|| SqlError::Exec(format!("unknown column '{col_name}'")))?;
+            if !col.uncertain {
+                let val = match v {
+                    InsertValue::Null => Value::Null,
+                    InsertValue::Number(n) => match col.ty {
+                        ColumnType::Int => Value::Int(*n as i64),
+                        _ => Value::Real(*n),
+                    },
+                    InsertValue::Text(s) => Value::Text(s.clone()),
+                    InsertValue::Bool(b) => Value::Bool(*b),
+                    InsertValue::Pdf(_) => {
+                        return Err(SqlError::Exec(format!(
+                            "column '{col_name}' is certain; got a pdf"
+                        )))
+                    }
+                };
+                assigns.push(Assign::Certain(
+                    schema.index_of(col_name).expect("column exists"),
+                    val,
+                ));
+                continue;
+            }
+            let group: Vec<AttrId> = schema
+                .deps()
+                .iter()
+                .find(|g| g.contains(&col.id))
+                .cloned()
+                .unwrap_or_else(|| vec![col.id]);
+            let names: Vec<String> = group
+                .iter()
+                .map(|id| schema.column_by_id(*id).expect("visible").name.clone())
+                .collect();
+            let joint = match v {
+                InsertValue::Pdf(expr) => build_joint(expr, group.len())?,
+                InsertValue::Number(n) if group.len() == 1 => {
+                    JointPdf::from_pdf1(Pdf1::certain(*n))
+                }
+                other => {
+                    return Err(SqlError::Exec(format!(
+                        "uncertain column '{col_name}' needs a pdf \
+                         (its correlated group has {} columns), got {other:?}",
+                        group.len()
+                    )))
+                }
+            };
+            assigns.push(Assign::Node(group, names, joint));
+        }
+        let mut updated = 0usize;
+        for t in &mut rel.tuples {
+            let keep = match &pred {
+                None => true,
+                Some(p) => {
+                    let lookup = |name: &str| -> Value {
+                        schema
+                            .index_of(name)
+                            .map(|i| t.certain[i].clone())
+                            .unwrap_or(Value::Null)
+                    };
+                    p.eval(&lookup) == Some(true)
+                }
+            };
+            if !keep {
+                continue;
+            }
+            updated += 1;
+            for a in &assigns {
+                match a {
+                    Assign::Certain(idx, v) => t.certain[*idx] = v.clone(),
+                    Assign::Node(group, _names, joint) => {
+                        // Replace the node covering the group with a fresh
+                        // base pdf, releasing the old history.
+                        let ni = t.node_index_for(group[0]).ok_or_else(|| {
+                            SqlError::Exec("uncertain column lost its node".into())
+                        })?;
+                        let old = t.nodes[ni].clone();
+                        self.reg.release_refs(&old.ancestors);
+                        if old.ancestors.len() == 1 {
+                            let id = *old.ancestors.iter().next().expect("one ancestor");
+                            self.reg.delete_base(id);
+                        }
+                        let id = self.reg.register(group.clone(), joint.clone());
+                        let anc: orion_core::history::Ancestors =
+                            [id].into_iter().collect();
+                        self.reg.add_refs(&anc);
+                        t.nodes[ni] =
+                            orion_core::tuple::PdfNode::base(id, group, joint.clone(), anc);
+                    }
+                }
+            }
+        }
+        Ok(Output::Count(updated))
+    }
+
+    fn select(
+        &mut self,
+        items: Vec<SelectItem>,
+        from: FromClause,
+        filter: Option<Pred>,
+        distinct: bool,
+        order_by: Option<(String, bool)>,
+        limit: Option<usize>,
+    ) -> Result<Output> {
+        // Build the input relation.
+        let mut input = match from {
+            FromClause::Table(name) => self
+                .tables
+                .get(&name)
+                .cloned()
+                .ok_or_else(|| SqlError::Exec(format!("unknown table '{name}'")))?,
+            FromClause::Join { left, right, on } => {
+                let l = self
+                    .tables
+                    .get(&left)
+                    .cloned()
+                    .ok_or_else(|| SqlError::Exec(format!("unknown table '{left}'")))?;
+                let r = self
+                    .tables
+                    .get(&right)
+                    .cloned()
+                    .ok_or_else(|| SqlError::Exec(format!("unknown table '{right}'")))?;
+                let on_pred = on.map(|p| translate_pred(&p)).transpose()?;
+                join(&l, &r, on_pred.as_ref(), &mut self.reg, &self.opts)?
+            }
+        };
+
+        // Apply the WHERE clause: split top-level conjuncts into PWS
+        // predicates and probability thresholds.
+        if let Some(f) = filter {
+            let conjuncts = split_conjuncts(f);
+            let mut pws_parts: Vec<Predicate> = Vec::new();
+            let mut thresholds: Vec<Pred> = Vec::new();
+            for c in conjuncts {
+                match c {
+                    Pred::ProbThreshold(..) | Pred::AttrThreshold(..) => thresholds.push(c),
+                    other => pws_parts.push(translate_pred(&other)?),
+                }
+            }
+            if !pws_parts.is_empty() {
+                let pred = if pws_parts.len() == 1 {
+                    pws_parts.pop().expect("one part")
+                } else {
+                    Predicate::And(pws_parts)
+                };
+                input = select(&input, &pred, &mut self.reg, &self.opts)?;
+            }
+            for t in thresholds {
+                input = match t {
+                    Pred::ProbThreshold(inner, op, p) => {
+                        let pred = translate_pred(&inner)?;
+                        threshold_pred(&input, &pred, op, p, &mut self.reg, &self.opts)?
+                    }
+                    Pred::AttrThreshold(attrs, op, p) => {
+                        let refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+                        threshold_attrs(&input, &refs, op, p, &mut self.reg, &self.opts)?
+                    }
+                    _ => unreachable!("partitioned above"),
+                };
+            }
+        }
+
+        // ORDER BY: certain columns sort by value; uncertain columns by
+        // their conditional expectation.
+        if let Some((col, desc)) = &order_by {
+            let c = input
+                .schema
+                .column(col)
+                .ok_or_else(|| SqlError::Exec(format!("unknown column '{col}'")))?
+                .clone();
+            let idx = input.schema.index_of(col).expect("column exists");
+            let mut keyed: Vec<(f64, usize)> = Vec::with_capacity(input.len());
+            for (ti, t) in input.tuples.iter().enumerate() {
+                let key = if c.uncertain {
+                    input.marginal(ti, col)?.expected_value().unwrap_or(f64::NEG_INFINITY)
+                } else {
+                    t.certain[idx].as_f64().unwrap_or(f64::NEG_INFINITY)
+                };
+                keyed.push((key, ti));
+            }
+            keyed.sort_by(|a, b| {
+                let ord = a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            // Permute in place: pair keys with the owned tuples instead of
+            // deep-cloning every pdf node just to reorder.
+            let mut slots: Vec<Option<_>> =
+                std::mem::take(&mut input.tuples).into_iter().map(Some).collect();
+            input.tuples = keyed
+                .into_iter()
+                .map(|(_, ti)| slots[ti].take().expect("each index used once"))
+                .collect();
+        }
+        if let Some(n) = limit {
+            for t in input.tuples.drain(n.min(input.tuples.len())..) {
+                for node in &t.nodes {
+                    self.reg.release_refs(&node.ancestors);
+                }
+            }
+        }
+        // Resolve the SELECT list.
+        if items.iter().any(SelectItem::is_aggregate) {
+            if !items.iter().all(SelectItem::is_aggregate) {
+                return Err(SqlError::Exec(
+                    "aggregates cannot be mixed with per-tuple select items".into(),
+                ));
+            }
+            let mut header = Vec::new();
+            let mut row = Vec::new();
+            for item in &items {
+                match item {
+                    SelectItem::CountAgg => {
+                        header.push("ecount".to_string());
+                        row.push(format!(
+                            "{:.6}",
+                            agg::count_expected(&input, &self.reg, &self.opts)?
+                        ));
+                    }
+                    SelectItem::SumAgg(col) => {
+                        header.push(format!("esum({col})"));
+                        row.push(agg::sum_gaussian(&input, col)?.to_string());
+                    }
+                    SelectItem::AvgAgg(col) => {
+                        header.push(format!("eavg({col})"));
+                        row.push(match agg::avg_expected(&input, col)? {
+                            Some(v) => format!("{v:.6}"),
+                            None => "NULL".to_string(),
+                        });
+                    }
+                    _ => unreachable!("all aggregates"),
+                }
+            }
+            return Ok(Output::Rows { header, rows: vec![row] });
+        }
+
+        let computed = items.iter().any(|i| {
+            matches!(
+                i,
+                SelectItem::Expected(_)
+                    | SelectItem::ProbOf(_)
+                    | SelectItem::Variance(_)
+                    | SelectItem::Quantile(..)
+                    | SelectItem::Median(_)
+            )
+        });
+        if computed {
+            // Mixed per-tuple computed output: render values per tuple.
+            let mut header = Vec::new();
+            for item in &items {
+                match item {
+                    SelectItem::Wildcard => {
+                        for c in input.schema.columns() {
+                            header.push(c.name.clone());
+                        }
+                    }
+                    SelectItem::Column(c) => header.push(c.clone()),
+                    SelectItem::Expected(c) => header.push(format!("expected({c})")),
+                    SelectItem::Variance(c) => header.push(format!("variance({c})")),
+                    SelectItem::Quantile(c, q) => header.push(format!("quantile({c},{q})")),
+                    SelectItem::Median(c) => header.push(format!("median({c})")),
+                    SelectItem::ProbOf(_) => header.push("prob".to_string()),
+                    _ => unreachable!("aggregates handled above"),
+                }
+            }
+            let mut rows = Vec::new();
+            for (ti, t) in input.tuples.iter().enumerate() {
+                let mut row = Vec::new();
+                for item in &items {
+                    match item {
+                        SelectItem::Wildcard => {
+                            for c in input.schema.columns() {
+                                row.push(render_cell(&input, ti, &c.name)?);
+                            }
+                        }
+                        SelectItem::Column(c) => row.push(render_cell(&input, ti, c)?),
+                        SelectItem::Expected(c) => {
+                            let col = input.schema.column(c).ok_or_else(|| {
+                                SqlError::Exec(format!("unknown column '{c}'"))
+                            })?;
+                            let s = if col.uncertain {
+                                match input.marginal(ti, c)?.expected_value() {
+                                    Some(v) => format!("{v:.6}"),
+                                    None => "NULL".to_string(),
+                                }
+                            } else {
+                                t.certain[input.schema.index_of(c).expect("col")].to_string()
+                            };
+                            row.push(s);
+                        }
+                        SelectItem::Variance(c) => {
+                            row.push(uncertain_stat(&input, ti, c, "VARIANCE", |m| {
+                                m.variance()
+                            })?);
+                        }
+                        SelectItem::Quantile(c, q) => {
+                            let q = *q;
+                            row.push(uncertain_stat(&input, ti, c, "QUANTILE", move |m| {
+                                m.quantile(q)
+                            })?);
+                        }
+                        SelectItem::Median(c) => {
+                            row.push(uncertain_stat(&input, ti, c, "MEDIAN", |m| {
+                                m.quantile(0.5)
+                            })?);
+                        }
+                        SelectItem::ProbOf(p) => {
+                            let pred = translate_pred(p)?;
+                            let prob =
+                                predicate_probability(&input, t, &pred, &self.reg, &self.opts)?;
+                            row.push(format!("{prob:.6}"));
+                        }
+                        _ => unreachable!("aggregates handled above"),
+                    }
+                }
+                rows.push(row);
+            }
+            return Ok(Output::Rows { header, rows });
+        }
+
+        // Plain relational output.
+        let wildcard = items.iter().any(|i| matches!(i, SelectItem::Wildcard));
+        if wildcard {
+            if items.len() != 1 {
+                return Err(SqlError::Exec("'*' cannot be combined with columns".into()));
+            }
+            if distinct {
+                return Err(SqlError::Exec(
+                    "DISTINCT requires an explicit certain-column projection".into(),
+                ));
+            }
+            return Ok(Output::Table(input));
+        }
+        let cols: Vec<&str> = items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Column(c) => Ok(c.as_str()),
+                other => Err(SqlError::Exec(format!("unsupported select item {other:?}"))),
+            })
+            .collect::<Result<_>>()?;
+        let mut projected = project(&input, &cols, &mut self.reg)?;
+        if distinct {
+            // Probabilistic duplicate elimination induces complex
+            // historical dependencies (the paper defers it as future
+            // work): support only the classical case — every result tuple
+            // fully certain and certainly present.
+            let certain_ok = projected
+                .tuples
+                .iter()
+                .all(|t| t.nodes.is_empty() && (t.naive_existence() - 1.0).abs() < 1e-12);
+            if !certain_ok {
+                return Err(SqlError::Exec(
+                    "DISTINCT over uncertain data is not supported (probabilistic \
+                     duplicate elimination is deferred, as in the paper); project to \
+                     certain columns of certainly-present tuples first"
+                        .into(),
+                ));
+            }
+            let mut seen: std::collections::HashSet<Vec<orion_core::pws::CanonValue>> =
+                Default::default();
+            let mut kept = Vec::new();
+            for t in projected.tuples.drain(..) {
+                let key: Vec<orion_core::pws::CanonValue> =
+                    t.certain.iter().map(orion_core::pws::CanonValue::from).collect();
+                if seen.insert(key) {
+                    kept.push(t);
+                }
+            }
+            projected.tuples = kept;
+        }
+        Ok(Output::Table(projected))
+    }
+}
+
+/// Evaluates a per-tuple statistic over an uncertain column's marginal,
+/// rendering `NULL` when the statistic is undefined.
+fn uncertain_stat(
+    rel: &Relation,
+    tuple: usize,
+    col: &str,
+    what: &str,
+    stat: impl Fn(&Pdf1) -> Option<f64>,
+) -> Result<String> {
+    let c = rel
+        .schema
+        .column(col)
+        .ok_or_else(|| SqlError::Exec(format!("unknown column '{col}'")))?;
+    if !c.uncertain {
+        // A certain value is a point mass: every statistic degenerates to
+        // the obvious constant, consistent with EXPECTED's behavior.
+        let v = &rel.tuples[tuple].certain[rel.schema.index_of(col).expect("col")];
+        return match v.as_f64() {
+            Some(x) => Ok(match stat(&Pdf1::certain(x)) {
+                Some(r) => format!("{r:.6}"),
+                None => "NULL".to_string(),
+            }),
+            None => Err(SqlError::Exec(format!(
+                "{what} over non-numeric certain column '{col}'"
+            ))),
+        };
+    }
+    Ok(match stat(&rel.marginal(tuple, col)?) {
+        Some(v) => format!("{v:.6}"),
+        None => "NULL".to_string(),
+    })
+}
+
+/// Renders one visible cell: certain value or pdf summary.
+fn render_cell(rel: &Relation, tuple: usize, col: &str) -> Result<String> {
+    let c = rel
+        .schema
+        .column(col)
+        .ok_or_else(|| SqlError::Exec(format!("unknown column '{col}'")))?;
+    if c.uncertain {
+        Ok(rel.marginal(tuple, col)?.to_string())
+    } else {
+        Ok(rel.tuples[tuple].certain[rel.schema.index_of(col).expect("col")].to_string())
+    }
+}
+
+/// Splits a predicate's top-level AND into conjuncts.
+fn split_conjuncts(p: Pred) -> Vec<Pred> {
+    match p {
+        Pred::And(ps) => ps.into_iter().flat_map(split_conjuncts).collect(),
+        other => vec![other],
+    }
+}
+
+/// Translates an AST predicate into an engine predicate. Threshold forms
+/// are rejected here — they are only legal as top-level conjuncts.
+pub fn translate_pred(p: &Pred) -> Result<Predicate> {
+    let term = |t: &Term| -> Scalar {
+        match t {
+            Term::Col(c) => Scalar::Col(c.clone()),
+            Term::Num(n) => Scalar::Lit(Value::Real(*n)),
+            Term::Str(s) => Scalar::Lit(Value::Text(s.clone())),
+            Term::Bool(b) => Scalar::Lit(Value::Bool(*b)),
+            Term::Null => Scalar::Lit(Value::Null),
+        }
+    };
+    Ok(match p {
+        Pred::Cmp(a, op, b) => Predicate::Cmp(term(a), *op, term(b)),
+        Pred::Between(col, lo, hi) => Predicate::And(vec![
+            Predicate::cmp(col, CmpOp::Ge, *lo),
+            Predicate::cmp(col, CmpOp::Le, *hi),
+        ]),
+        Pred::And(ps) => {
+            Predicate::And(ps.iter().map(translate_pred).collect::<Result<_>>()?)
+        }
+        Pred::Or(ps) => Predicate::Or(ps.iter().map(translate_pred).collect::<Result<_>>()?),
+        Pred::Not(inner) => Predicate::Not(Box::new(translate_pred(inner)?)),
+        Pred::ProbThreshold(..) | Pred::AttrThreshold(..) => {
+            return Err(SqlError::Exec(
+                "PROB() thresholds must be top-level WHERE conjuncts".into(),
+            ))
+        }
+    })
+}
+
+/// Builds the joint pdf for one dependency group from a constructor.
+fn build_joint(expr: &PdfExpr, group_arity: usize) -> Result<JointPdf> {
+    let single = |p: Pdf1| -> Result<JointPdf> {
+        if group_arity != 1 {
+            return Err(SqlError::Exec(format!(
+                "correlated group of {group_arity} columns needs a JOINT(...) value"
+            )));
+        }
+        Ok(JointPdf::from_pdf1(p))
+    };
+    match expr {
+        PdfExpr::Gaussian(m, v) => single(Pdf1::gaussian(*m, *v)?),
+        PdfExpr::Uniform(a, b) => single(Pdf1::uniform(*a, *b)?),
+        PdfExpr::Exponential(r) => single(Pdf1::symbolic(Symbolic::exponential(*r)?)),
+        PdfExpr::Poisson(l) => single(Pdf1::symbolic(Symbolic::poisson(*l)?)),
+        PdfExpr::Binomial(n, p) => single(Pdf1::symbolic(Symbolic::binomial(*n, *p)?)),
+        PdfExpr::Bernoulli(p) => single(Pdf1::symbolic(Symbolic::bernoulli(*p)?)),
+        PdfExpr::Geometric(p) => single(Pdf1::symbolic(Symbolic::geometric(*p)?)),
+        PdfExpr::Discrete(pts) => single(Pdf1::discrete(pts.clone())?),
+        PdfExpr::Histogram { lo, width, masses } => {
+            single(Pdf1::histogram(*lo, *width, masses.clone())?)
+        }
+        PdfExpr::Joint(pts) => {
+            if pts.is_empty() {
+                return Err(SqlError::Exec("JOINT needs at least one point".into()));
+            }
+            let arity = pts[0].0.len();
+            if arity != group_arity {
+                return Err(SqlError::Exec(format!(
+                    "JOINT arity {arity} does not match correlated group of {group_arity}"
+                )));
+            }
+            Ok(JointPdf::from_points(JointDiscrete::from_points(arity, pts.clone())?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE readings (rid INT, value REAL UNCERTAIN)").unwrap();
+        db.execute(
+            "INSERT INTO readings VALUES (1, GAUSSIAN(20, 5)), (2, GAUSSIAN(25, 4)), \
+             (3, GAUSSIAN(13, 1))",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut db = sensor_db();
+        let out = db.execute("SELECT * FROM readings WHERE rid = 2").unwrap();
+        match out {
+            Output::Table(rel) => {
+                assert_eq!(rel.len(), 1);
+                assert_eq!(rel.marginal(0, "value").unwrap().to_string(), "Gaus(25,4)");
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncertain_selection_floors() {
+        let mut db = sensor_db();
+        let out = db.execute("SELECT * FROM readings WHERE value < 20").unwrap();
+        match out {
+            Output::Table(rel) => {
+                assert_eq!(rel.len(), 3);
+                let m = rel.marginal(0, "value").unwrap();
+                assert!((m.mass() - 0.5).abs() < 1e-9, "Gaus(20,5) floored at 20");
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prob_threshold_query() {
+        let mut db = sensor_db();
+        let out = db
+            .execute("SELECT * FROM readings WHERE PROB(value BETWEEN 18 AND 22) > 0.5")
+            .unwrap();
+        match out {
+            Output::Table(rel) => {
+                assert_eq!(rel.len(), 1);
+                assert_eq!(rel.value(0, "rid").unwrap(), &Value::Int(1));
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_and_prob_items() {
+        let mut db = sensor_db();
+        let out = db
+            .execute("SELECT rid, EXPECTED(value), PROB(value < 20) FROM readings")
+            .unwrap();
+        match out {
+            Output::Rows { header, rows } => {
+                assert_eq!(header, vec!["rid", "expected(value)", "prob"]);
+                assert_eq!(rows.len(), 3);
+                assert_eq!(rows[0][0], "1");
+                assert!((rows[0][1].parse::<f64>().unwrap() - 20.0).abs() < 1e-6);
+                assert!((rows[0][2].parse::<f64>().unwrap() - 0.5).abs() < 1e-6);
+                assert!(rows[2][2].parse::<f64>().unwrap() > 0.99, "Gaus(13,1) < 20");
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut db = sensor_db();
+        let out = db.execute("SELECT ECOUNT(*), ESUM(value), EAVG(value) FROM readings").unwrap();
+        match out {
+            Output::Rows { header, rows } => {
+                assert_eq!(header[0], "ecount");
+                assert!((rows[0][0].parse::<f64>().unwrap() - 3.0).abs() < 1e-6);
+                assert!(rows[0][1].starts_with("Gaus(58,"), "sum = Gaus(58, 10): {}", rows[0][1]);
+                assert!(
+                    (rows[0][2].parse::<f64>().unwrap() - 58.0 / 3.0).abs() < 1e-4,
+                    "avg: {}",
+                    rows[0][2]
+                );
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn correlated_group_with_joint_insert() {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE t (a INT UNCERTAIN, b INT UNCERTAIN, CORRELATED (a, b))",
+        )
+        .unwrap();
+        db.execute("INSERT INTO t VALUES (JOINT((4,5):0.9, (2,3):0.1))").unwrap();
+        let rel = db.table("t").unwrap();
+        assert_eq!(rel.tuples[0].nodes.len(), 1);
+        assert_eq!(rel.tuples[0].nodes[0].dims.len(), 2);
+        // Joint arity mismatch is rejected.
+        assert!(db.execute("INSERT INTO t VALUES (JOINT((1):1.0))").is_err());
+        // Plain pdf for a correlated group is rejected.
+        assert!(db.execute("INSERT INTO t VALUES (GAUSSIAN(0,1))").is_err());
+    }
+
+    #[test]
+    fn join_via_sql() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE l (id INT, x REAL UNCERTAIN)").unwrap();
+        db.execute("CREATE TABLE r (id INT, y REAL UNCERTAIN)").unwrap();
+        db.execute("INSERT INTO l VALUES (1, DISCRETE(1:0.5, 3:0.5))").unwrap();
+        db.execute("INSERT INTO r VALUES (2, DISCRETE(2:0.5, 4:0.5))").unwrap();
+        let out = db.execute("SELECT * FROM l JOIN r ON x < y").unwrap();
+        match out {
+            Output::Table(rel) => {
+                assert_eq!(rel.len(), 1);
+                assert!((rel.tuples[0].naive_existence() - 0.75).abs() < 1e-9);
+                assert!(rel.schema.column("l.id").is_some(), "qualified on conflict");
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_and_drop() {
+        let mut db = sensor_db();
+        let out = db.execute("DELETE FROM readings WHERE rid = 1").unwrap();
+        assert!(matches!(out, Output::Count(1)));
+        assert_eq!(db.table("readings").unwrap().len(), 2);
+        // Uncertain predicate deletion is rejected.
+        assert!(db.execute("DELETE FROM readings WHERE value < 20").is_err());
+        db.execute("DROP TABLE readings").unwrap();
+        assert!(db.table("readings").is_none());
+        assert!(db.execute("SELECT * FROM readings").is_err());
+    }
+
+    #[test]
+    fn certain_value_for_uncertain_column() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x REAL UNCERTAIN)").unwrap();
+        db.execute("INSERT INTO t VALUES (7.5)").unwrap();
+        let m = db.table("t").unwrap().marginal(0, "x").unwrap();
+        assert_eq!(m.density(7.5), 1.0);
+    }
+
+    #[test]
+    fn insert_arity_errors() {
+        let mut db = sensor_db();
+        assert!(db.execute("INSERT INTO readings VALUES (4)").is_err());
+        assert!(db
+            .execute("INSERT INTO readings VALUES (4, GAUSSIAN(1,1), 9)")
+            .is_err());
+        assert!(db
+            .execute("INSERT INTO readings VALUES (GAUSSIAN(1,1), GAUSSIAN(1,1))")
+            .is_err());
+    }
+
+    #[test]
+    fn null_for_certain_column() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+        db.execute("INSERT INTO t VALUES (NULL, UNIFORM(0, 1))").unwrap();
+        assert_eq!(db.table("t").unwrap().value(0, "a").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn variance_median_quantile_items() {
+        let mut db = sensor_db();
+        let out = db
+            .execute("SELECT rid, VARIANCE(value), MEDIAN(value), QUANTILE(value, 0.975) FROM readings WHERE rid = 1")
+            .unwrap();
+        let Output::Rows { header, rows } = out else { panic!("expected rows") };
+        assert_eq!(header[1], "variance(value)");
+        assert_eq!(header[2], "median(value)");
+        assert!((rows[0][1].parse::<f64>().unwrap() - 5.0).abs() < 1e-6);
+        assert!((rows[0][2].parse::<f64>().unwrap() - 20.0).abs() < 1e-6);
+        // 97.5th percentile of Gaus(20,5): 20 + 1.96 * sqrt(5).
+        let q = rows[0][3].parse::<f64>().unwrap();
+        assert!((q - (20.0 + 1.959_964 * 5.0_f64.sqrt())).abs() < 1e-3, "q = {q}");
+        assert!(db.execute("SELECT QUANTILE(value, 1.5) FROM readings").is_err());
+        // Certain columns degenerate: variance 0, median = the value.
+        let Output::Rows { rows, .. } =
+            db.execute("SELECT VARIANCE(rid), MEDIAN(rid) FROM readings WHERE rid = 2").unwrap()
+        else {
+            panic!("expected rows")
+        };
+        assert!((rows[0][0].parse::<f64>().unwrap()).abs() < 1e-9);
+        assert!((rows[0][1].parse::<f64>().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_statement() {
+        let mut db = sensor_db();
+        let out = db
+            .execute("UPDATE readings SET value = GAUSSIAN(99, 1) WHERE rid = 2")
+            .unwrap();
+        assert!(matches!(out, Output::Count(1)));
+        let m = db.table("readings").unwrap().marginal(1, "value").unwrap();
+        assert_eq!(m.to_string(), "Gaus(99,1)");
+        // Other tuples untouched.
+        let m = db.table("readings").unwrap().marginal(0, "value").unwrap();
+        assert_eq!(m.to_string(), "Gaus(20,5)");
+        // Certain-column update.
+        db.execute("UPDATE readings SET rid = 42 WHERE rid = 3").unwrap();
+        assert_eq!(db.table("readings").unwrap().value(2, "rid").unwrap(), &Value::Int(42));
+        // Uncertain predicate rejected.
+        assert!(db.execute("UPDATE readings SET rid = 1 WHERE value < 5").is_err());
+        // Pdf into certain column rejected.
+        assert!(db.execute("UPDATE readings SET rid = GAUSSIAN(0,1)").is_err());
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut db = sensor_db();
+        let out = db
+            .execute("SELECT rid FROM readings ORDER BY value DESC LIMIT 2")
+            .unwrap();
+        match out {
+            Output::Table(rel) => {
+                // Expected values: 25 > 20 > 13.
+                assert_eq!(rel.len(), 2);
+                assert_eq!(rel.value(0, "rid").unwrap(), &Value::Int(2));
+                assert_eq!(rel.value(1, "rid").unwrap(), &Value::Int(1));
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+        let out = db.execute("SELECT rid FROM readings ORDER BY rid ASC LIMIT 1").unwrap();
+        match out {
+            Output::Table(rel) => assert_eq!(rel.value(0, "rid").unwrap(), &Value::Int(1)),
+            other => panic!("wrong output: {other:?}"),
+        }
+        assert!(db.execute("SELECT rid FROM readings LIMIT -1").is_err());
+    }
+
+    #[test]
+    fn distinct_on_certain_columns() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (region TEXT, v REAL UNCERTAIN)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES ('a', GAUSSIAN(0,1)), ('a', GAUSSIAN(1,1)), \
+             ('b', GAUSSIAN(2,1))",
+        )
+        .unwrap();
+        let out = db.execute("SELECT DISTINCT region FROM t").unwrap();
+        match out {
+            Output::Table(rel) => assert_eq!(rel.len(), 2),
+            other => panic!("wrong output: {other:?}"),
+        }
+        // DISTINCT over an uncertain projection is rejected (paper's
+        // deferred duplicate elimination).
+        assert!(db.execute("SELECT DISTINCT v FROM t").is_err());
+        assert!(db.execute("SELECT DISTINCT * FROM t").is_err());
+    }
+
+    #[test]
+    fn save_and_open_round_trip() {
+        let dir = std::env::temp_dir().join("orion_sql_persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.orion");
+        {
+            let mut db = sensor_db();
+            db.execute("CREATE TABLE tags (rid INT, label TEXT)").unwrap();
+            db.execute("INSERT INTO tags VALUES (1, 'calibrated')").unwrap();
+            db.save(&path).unwrap();
+        }
+        let mut db = Database::open(&path).unwrap();
+        let out = db.execute("SELECT * FROM readings WHERE rid = 1").unwrap();
+        match out {
+            Output::Table(rel) => {
+                assert_eq!(rel.marginal(0, "value").unwrap().to_string(), "Gaus(20,5)");
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+        // The reopened database accepts further statements and joins.
+        let out = db
+            .execute("SELECT * FROM readings JOIN tags ON readings.rid = tags.rid")
+            .unwrap();
+        match out {
+            Output::Table(rel) => assert_eq!(rel.len(), 1),
+            other => panic!("wrong output: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wildcard_with_columns_rejected() {
+        let mut db = sensor_db();
+        assert!(db.execute("SELECT *, rid FROM readings").is_err());
+        assert!(db
+            .execute("SELECT ECOUNT(*), rid FROM readings")
+            .is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Text rendering of query outputs (used by the examples and the REPL-style
+//! binaries).
+
+use crate::error::Result;
+use crate::exec::Output;
+use orion_core::prelude::Relation;
+
+/// Renders a relation as an aligned text table, showing certain values and
+/// pdf summaries for uncertain columns (plus an `exists` column when any
+/// tuple is a maybe-tuple).
+pub fn render_relation(rel: &Relation) -> Result<String> {
+    let mut header: Vec<String> =
+        rel.schema.columns().iter().map(|c| c.name.clone()).collect();
+    let show_exists = rel
+        .tuples
+        .iter()
+        .any(|t| (t.naive_existence() - 1.0).abs() > 1e-9);
+    if show_exists {
+        header.push("Pr(exists)".to_string());
+    }
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(rel.len());
+    for (ti, t) in rel.tuples.iter().enumerate() {
+        let mut row = Vec::with_capacity(header.len());
+        for c in rel.schema.columns() {
+            if c.uncertain {
+                row.push(rel.marginal(ti, &c.name)?.to_string());
+            } else {
+                row.push(t.certain[rel.schema.index_of(&c.name).expect("col")].to_string());
+            }
+        }
+        if show_exists {
+            row.push(format!("{:.4}", t.naive_existence()));
+        }
+        rows.push(row);
+    }
+    Ok(render_grid(&header, &rows))
+}
+
+/// Renders an [`Output`] for display.
+pub fn render_output(out: &Output) -> Result<String> {
+    match out {
+        Output::Table(rel) => render_relation(rel),
+        Output::Rows { header, rows } => Ok(render_grid(header, rows)),
+        Output::Count(n) => Ok(format!("{n} tuple(s) affected")),
+        Output::Ok => Ok("OK".to_string()),
+    }
+}
+
+/// Aligns a header and rows into a text grid.
+fn render_grid(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:width$} |", c, width = widths[i]));
+        }
+        s
+    };
+    let sep = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push('\n');
+    out.push_str(&line(header));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Database;
+
+    #[test]
+    fn renders_sensor_table() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE r (rid INT, v REAL UNCERTAIN)").unwrap();
+        db.execute("INSERT INTO r VALUES (1, GAUSSIAN(20, 5))").unwrap();
+        let out = db.execute("SELECT * FROM r").unwrap();
+        let text = render_output(&out).unwrap();
+        assert!(text.contains("rid"), "{text}");
+        assert!(text.contains("Gaus(20,5)"), "{text}");
+        assert!(!text.contains("Pr(exists)"), "full-mass table: {text}");
+    }
+
+    #[test]
+    fn shows_existence_for_maybe_tuples() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE r (v REAL UNCERTAIN)").unwrap();
+        db.execute("INSERT INTO r VALUES (DISCRETE(1:0.4))").unwrap();
+        let out = db.execute("SELECT * FROM r").unwrap();
+        let text = render_output(&out).unwrap();
+        assert!(text.contains("Pr(exists)"), "{text}");
+        assert!(text.contains("0.4000"), "{text}");
+    }
+
+    #[test]
+    fn renders_counts_and_ok() {
+        assert_eq!(render_output(&Output::Count(2)).unwrap(), "2 tuple(s) affected");
+        assert_eq!(render_output(&Output::Ok).unwrap(), "OK");
+    }
+
+    #[test]
+    fn grid_alignment() {
+        let g = render_grid(
+            &["a".to_string(), "long_header".to_string()],
+            &[vec!["xxxx".to_string(), "y".to_string()]],
+        );
+        for l in g.lines() {
+            assert_eq!(l.len(), g.lines().next().unwrap().len(), "aligned: {g}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Lexer for the Orion SQL dialect.
+
+use crate::error::SqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare or dotted identifier (`value`, `t.x`). Keywords are resolved by
+    /// the parser via case-insensitive matching on `Ident`.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Colon,
+    Star,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    Minus,
+    Eof,
+}
+
+impl Token {
+    /// Case-insensitive keyword check.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a statement.
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '-' => {
+                // Comment `--` or negative-number prefix handled at parse
+                // time via Minus.
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '-' {
+                    while i < bytes.len() && bytes[i] as char != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] as char == '>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex("unexpected '!'".into()));
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != '\'' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(SqlError::Lex("unterminated string literal".into()));
+                }
+                out.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !seen_dot && !seen_exp {
+                        // Lookahead: `1.` followed by a non-digit means the
+                        // dot is a qualifier only if we started with ident —
+                        // numbers here always own the dot.
+                        seen_dot = true;
+                        j += 1;
+                    } else if (d == 'e' || d == 'E') && !seen_exp && j > start {
+                        seen_exp = true;
+                        j += 1;
+                        if j < bytes.len() && (bytes[j] as char == '-' || bytes[j] as char == '+')
+                        {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| SqlError::Lex(format!("bad number '{text}'")))?;
+                out.push(Token::Number(n));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => return Err(SqlError::Lex(format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let ts = lex("SELECT * FROM t WHERE x <= 5.5;").unwrap();
+        assert!(ts[0].is_kw("select"));
+        assert_eq!(ts[1], Token::Star);
+        assert!(ts[2].is_kw("FROM"));
+        assert_eq!(ts[3], Token::Ident("t".into()));
+        assert_eq!(ts[5], Token::Ident("x".into()));
+        assert_eq!(ts[6], Token::Le);
+        assert_eq!(ts[7], Token::Number(5.5));
+        assert_eq!(ts[8], Token::Semicolon);
+        assert_eq!(*ts.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        let ts = lex("< <= > >= = <> !=").unwrap();
+        assert_eq!(
+            &ts[..7],
+            &[Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne, Token::Ne]
+        );
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        let ts = lex("3 3.5 -2 1e3 2.5e-2").unwrap();
+        assert_eq!(ts[0], Token::Number(3.0));
+        assert_eq!(ts[1], Token::Number(3.5));
+        assert_eq!(ts[2], Token::Minus);
+        assert_eq!(ts[3], Token::Number(2.0));
+        assert_eq!(ts[4], Token::Number(1000.0));
+        assert_eq!(ts[5], Token::Number(0.025));
+    }
+
+    #[test]
+    fn strings_and_errors() {
+        let ts = lex("'hello world'").unwrap();
+        assert_eq!(ts[0], Token::Str("hello world".into()));
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = lex("SELECT -- a comment\n 1").unwrap();
+        assert!(ts[0].is_kw("select"));
+        assert_eq!(ts[1], Token::Number(1.0));
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        let ts = lex("t.x").unwrap();
+        assert_eq!(ts[0], Token::Ident("t.x".into()));
+    }
+
+    #[test]
+    fn discrete_pdf_syntax() {
+        let ts = lex("DISCRETE(0:0.1, 1:0.9)").unwrap();
+        assert!(ts[0].is_kw("discrete"));
+        assert_eq!(ts[1], Token::LParen);
+        assert_eq!(ts[2], Token::Number(0.0));
+        assert_eq!(ts[3], Token::Colon);
+        assert_eq!(ts[4], Token::Number(0.1));
+    }
+}

@@ -1,0 +1,216 @@
+//! Page-granular storage backends: on-disk files and in-memory stores.
+
+use crate::page::{Page, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies a page within one storage unit.
+pub type PageId = u32;
+
+/// Physical I/O counters, shared by backends and the buffer pool.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Pages read from the backend (buffer-pool misses).
+    pub physical_reads: AtomicU64,
+    /// Pages written to the backend (evictions + flushes).
+    pub physical_writes: AtomicU64,
+    /// Page requests served from the buffer pool.
+    pub cache_hits: AtomicU64,
+}
+
+impl IoStats {
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub physical_reads: u64,
+    pub physical_writes: u64,
+    pub cache_hits: u64,
+}
+
+/// A backend that stores fixed-size pages addressed by [`PageId`].
+pub trait PageStore: Send {
+    /// Number of allocated pages.
+    fn page_count(&self) -> u32;
+    /// Reads page `id` into `page`.
+    fn read_page(&mut self, id: PageId, page: &mut Page) -> std::io::Result<()>;
+    /// Writes `page` at `id` (which must be allocated).
+    fn write_page(&mut self, id: PageId, page: &Page) -> std::io::Result<()>;
+    /// Allocates a fresh zeroed page, returning its id.
+    fn allocate(&mut self) -> std::io::Result<PageId>;
+}
+
+/// An on-disk page store backed by a single file.
+pub struct FileStore {
+    file: File,
+    pages: u32,
+}
+
+impl FileStore {
+    /// Creates (truncating) a page file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStore { file, pages: 0 })
+    }
+
+    /// Opens an existing page file.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileStore { file, pages: (len / PAGE_SIZE as u64) as u32 })
+    }
+}
+
+impl PageStore for FileStore {
+    fn page_count(&self) -> u32 {
+        self.pages
+    }
+
+    fn read_page(&mut self, id: PageId, page: &mut Page) -> std::io::Result<()> {
+        let mut buf = [0u8; PAGE_SIZE];
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.read_exact(&mut buf)?;
+        *page = Page::from_bytes(&buf);
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> std::io::Result<()> {
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(page.bytes())?;
+        Ok(())
+    }
+
+    fn allocate(&mut self) -> std::io::Result<PageId> {
+        let id = self.pages;
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(Page::new().bytes())?;
+        self.pages += 1;
+        Ok(id)
+    }
+}
+
+/// An in-memory page store (tests and small catalogs).
+#[derive(Default)]
+pub struct MemStore {
+    pages: Vec<Page>,
+}
+
+impl MemStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemStore {
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn read_page(&mut self, id: PageId, page: &mut Page) -> std::io::Result<()> {
+        match self.pages.get(id as usize) {
+            Some(p) => {
+                *page = p.clone();
+                Ok(())
+            }
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("page {id} not allocated"),
+            )),
+        }
+    }
+
+    fn write_page(&mut self, id: PageId, page: &Page) -> std::io::Result<()> {
+        match self.pages.get_mut(id as usize) {
+            Some(p) => {
+                *p = page.clone();
+                Ok(())
+            }
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("page {id} not allocated"),
+            )),
+        }
+    }
+
+    fn allocate(&mut self) -> std::io::Result<PageId> {
+        self.pages.push(Page::new());
+        Ok(self.pages.len() as u32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_round_trip() {
+        let mut s = MemStore::new();
+        let id = s.allocate().unwrap();
+        let mut p = Page::new();
+        p.insert(b"record").unwrap();
+        s.write_page(id, &p).unwrap();
+        let mut q = Page::new();
+        s.read_page(id, &mut q).unwrap();
+        assert_eq!(q.get(0), Some(&b"record"[..]));
+        assert_eq!(s.page_count(), 1);
+        assert!(s.read_page(9, &mut q).is_err());
+        assert!(s.write_page(9, &p).is_err());
+    }
+
+    #[test]
+    fn file_store_round_trip() {
+        let dir = std::env::temp_dir().join("orion_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.dat");
+        let mut s = FileStore::create(&path).unwrap();
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        assert_eq!((a, b), (0, 1));
+        let mut p = Page::new();
+        p.insert(b"on disk").unwrap();
+        s.write_page(b, &p).unwrap();
+        drop(s);
+        let mut s = FileStore::open(&path).unwrap();
+        assert_eq!(s.page_count(), 2);
+        let mut q = Page::new();
+        s.read_page(b, &mut q).unwrap();
+        assert_eq!(q.get(0), Some(&b"on disk"[..]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn io_stats_snapshot_and_reset() {
+        let st = IoStats::default();
+        st.physical_reads.fetch_add(3, Ordering::Relaxed);
+        st.cache_hits.fetch_add(5, Ordering::Relaxed);
+        let snap = st.snapshot();
+        assert_eq!(snap.physical_reads, 3);
+        assert_eq!(snap.cache_hits, 5);
+        st.reset();
+        assert_eq!(st.snapshot(), IoSnapshot::default());
+    }
+}

@@ -1,0 +1,21 @@
+//! # orion-storage — paged storage substrate for Orion-RS
+//!
+//! A from-scratch storage engine standing in for the PostgreSQL layer the
+//! paper's Orion extension ran inside: 8 KiB slotted [`page::Page`]s,
+//! on-disk/in-memory [`file::PageStore`] backends, a bounded LRU
+//! [`buffer::BufferPool`] with physical-I/O counters, and append-oriented
+//! [`heap::HeapFile`]s. The [`codec`] module packs pdf attribute values into
+//! records, making the on-disk footprint of each representation (symbolic
+//! vs histogram vs discrete) measurable — the cost model of the paper's
+//! Figure 5.
+
+pub mod buffer;
+pub mod codec;
+pub mod file;
+pub mod heap;
+pub mod page;
+
+pub use buffer::BufferPool;
+pub use file::{FileStore, IoSnapshot, IoStats, MemStore, PageId, PageStore};
+pub use heap::{HeapFile, RecordId};
+pub use page::{Page, PAGE_SIZE};

@@ -1,0 +1,194 @@
+//! Slotted pages: the fixed-size on-disk unit.
+//!
+//! Layout (offsets in bytes):
+//! ```text
+//! [0..2)   slot count (u16)
+//! [2..4)   free-space offset (u16) — start of the record heap, grows down
+//! [4..)    slot directory: (offset: u16, len: u16) per slot, grows up
+//! [...]    record data, packed from the end of the page downward
+//! ```
+//! A slot with `len == DEAD` marks a deleted record.
+
+/// Size of every page in bytes (matches PostgreSQL's default block size).
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+const DEAD: u16 = u16::MAX;
+
+/// A fixed-size slotted page holding variable-length records.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// An empty page.
+    pub fn new() -> Self {
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        // Free space starts at the end of the page and grows downward.
+        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        Page { data }
+    }
+
+    /// Wraps raw page bytes read from disk.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), PAGE_SIZE, "page must be {PAGE_SIZE} bytes");
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data.copy_from_slice(bytes);
+        Page { data }
+    }
+
+    /// The raw bytes, for writing to disk.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.data[at], self.data[at + 1]])
+    }
+
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.data[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots (live and dead).
+    pub fn slot_count(&self) -> usize {
+        self.read_u16(0) as usize
+    }
+
+    fn free_offset(&self) -> usize {
+        self.read_u16(2) as usize
+    }
+
+    /// Bytes available for one more record (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() * SLOT;
+        self.free_offset().saturating_sub(dir_end)
+    }
+
+    /// Whether a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT
+    }
+
+    /// Inserts a record, returning its slot index, or `None` if it does not
+    /// fit. Records larger than the page payload never fit.
+    pub fn insert(&mut self, record: &[u8]) -> Option<usize> {
+        if !self.fits(record.len()) || record.len() >= DEAD as usize {
+            return None;
+        }
+        let slot = self.slot_count();
+        let new_free = self.free_offset() - record.len();
+        self.data[new_free..new_free + record.len()].copy_from_slice(record);
+        self.write_u16(2, new_free as u16);
+        let dir = HEADER + slot * SLOT;
+        self.write_u16(dir, new_free as u16);
+        self.write_u16(dir + 2, record.len() as u16);
+        self.write_u16(0, (slot + 1) as u16);
+        Some(slot)
+    }
+
+    /// Reads the record in `slot`, or `None` if out of range or deleted.
+    pub fn get(&self, slot: usize) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let dir = HEADER + slot * SLOT;
+        let off = self.read_u16(dir) as usize;
+        let len = self.read_u16(dir + 2);
+        if len == DEAD {
+            return None;
+        }
+        Some(&self.data[off..off + len as usize])
+    }
+
+    /// Marks the record in `slot` deleted (space is not reclaimed;
+    /// compaction is a higher-level concern).
+    pub fn delete(&mut self, slot: usize) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let dir = HEADER + slot * SLOT;
+        if self.read_u16(dir + 2) == DEAD {
+            return false;
+        }
+        self.write_u16(dir + 2, DEAD);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_page_geometry() {
+        let p = Page::new();
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - HEADER);
+        assert!(p.get(0).is_none());
+    }
+
+    #[test]
+    fn insert_and_get_round_trip() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(p.get(0), Some(&b"hello"[..]));
+        assert_eq!(p.get(1), Some(&b"world!"[..]));
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fill_page_until_full() {
+        let mut p = Page::new();
+        let rec = vec![0xAB; 100];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 8188 bytes available / 104 per record.
+        assert_eq!(n, (PAGE_SIZE - HEADER) / (100 + SLOT));
+        assert!(!p.fits(100));
+        assert!(p.get(n - 1).is_some());
+    }
+
+    #[test]
+    fn delete_marks_dead() {
+        let mut p = Page::new();
+        p.insert(b"a").unwrap();
+        p.insert(b"b").unwrap();
+        assert!(p.delete(0));
+        assert!(p.get(0).is_none());
+        assert_eq!(p.get(1), Some(&b"b"[..]));
+        assert!(!p.delete(0), "double delete");
+        assert!(!p.delete(7), "out of range");
+        // Slot count unchanged (scan skips dead slots).
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut p = Page::new();
+        p.insert(b"persisted").unwrap();
+        let q = Page::from_bytes(p.bytes());
+        assert_eq!(q.get(0), Some(&b"persisted"[..]));
+        assert_eq!(q.slot_count(), 1);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = Page::new();
+        assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_none());
+        assert!(p.insert(&vec![0u8; PAGE_SIZE - HEADER - SLOT]).is_some());
+    }
+}

@@ -1,0 +1,20 @@
+//! # orion-workload — synthetic workloads from the ICDE 2008 evaluation
+//!
+//! Seeded generators reproducing the paper's Section IV datasets:
+//!
+//! * **Sensor readings** `Readings(rid, value)` — Gaussian pdfs whose means
+//!   are uniform on `[0, 100]` and whose standard deviations are normal
+//!   with `mu = 2`, `sigma = 0.5`.
+//! * **Range queries** — midpoints uniform on `[0, 100]`, interval lengths
+//!   normal with `mu = 10`, `sigma = 3`.
+//!
+//! Plus the workloads used by the examples: 2-D moving objects (jointly
+//! distributed x/y) and data-cleaning alternatives (discrete pdfs).
+
+pub mod cleaning;
+pub mod moving;
+pub mod sensors;
+
+pub use cleaning::CleaningWorkload;
+pub use moving::MovingObjectsWorkload;
+pub use sensors::{RangeQuery, SensorReading, SensorWorkload};

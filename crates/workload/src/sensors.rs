@@ -1,0 +1,167 @@
+//! The paper's Section IV evaluation workload: random "sensor readings"
+//! with Gaussian uncertainty, and random range queries.
+
+use orion_pdf::prelude::{Interval, Pdf1};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_lite::Normal;
+
+/// A minimal Box–Muller normal sampler (avoids the rand_distr dependency).
+mod rand_distr_lite {
+    use rand::Rng;
+
+    /// Normal distribution sampler.
+    pub struct Normal {
+        pub mean: f64,
+        pub sd: f64,
+    }
+
+    impl Normal {
+        /// Samples using the Box–Muller transform.
+        pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            self.mean + self.sd * z
+        }
+    }
+}
+
+/// One uncertain sensor reading.
+#[derive(Debug, Clone)]
+pub struct SensorReading {
+    /// Reading id.
+    pub rid: i64,
+    /// Mean of the Gaussian (uniform on `[0, 100]`).
+    pub mean: f64,
+    /// Standard deviation (normal, `mu = 2`, `sigma = 0.5`, clamped > 0).
+    pub sd: f64,
+}
+
+impl SensorReading {
+    /// The exact symbolic pdf of this reading.
+    pub fn pdf(&self) -> Pdf1 {
+        Pdf1::gaussian(self.mean, self.sd * self.sd).expect("valid parameters")
+    }
+}
+
+/// One range query over the value domain.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeQuery {
+    /// Query interval lower bound.
+    pub lo: f64,
+    /// Query interval upper bound.
+    pub hi: f64,
+}
+
+impl RangeQuery {
+    /// The query interval.
+    pub fn interval(&self) -> Interval {
+        Interval::new(self.lo, self.hi)
+    }
+}
+
+/// Seeded generator for the sensor workload.
+pub struct SensorWorkload {
+    rng: StdRng,
+    next_rid: i64,
+}
+
+impl SensorWorkload {
+    /// A deterministic workload from a seed.
+    pub fn new(seed: u64) -> Self {
+        SensorWorkload { rng: StdRng::seed_from_u64(seed), next_rid: 1 }
+    }
+
+    /// Generates one reading: mean ~ U(0, 100), sd ~ N(2, 0.5) clamped to a
+    /// sane positive range.
+    pub fn reading(&mut self) -> SensorReading {
+        let mean = self.rng.gen_range(0.0..100.0);
+        let sd = Normal { mean: 2.0, sd: 0.5 }
+            .sample(&mut self.rng)
+            .clamp(0.25, 5.0);
+        let rid = self.next_rid;
+        self.next_rid += 1;
+        SensorReading { rid, mean, sd }
+    }
+
+    /// Generates `n` readings.
+    pub fn readings(&mut self, n: usize) -> Vec<SensorReading> {
+        (0..n).map(|_| self.reading()).collect()
+    }
+
+    /// Generates one range query: midpoint ~ U(0, 100), length ~ N(10, 3)
+    /// clamped positive.
+    pub fn range_query(&mut self) -> RangeQuery {
+        let mid = self.rng.gen_range(0.0..100.0);
+        let len = Normal { mean: 10.0, sd: 3.0 }
+            .sample(&mut self.rng)
+            .clamp(0.5, 30.0);
+        RangeQuery { lo: mid - len / 2.0, hi: mid + len / 2.0 }
+    }
+
+    /// Generates `n` range queries.
+    pub fn range_queries(&mut self, n: usize) -> Vec<RangeQuery> {
+        (0..n).map(|_| self.range_query()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = SensorWorkload::new(42).readings(10);
+        let b = SensorWorkload::new(42).readings(10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rid, y.rid);
+            assert_eq!(x.mean, y.mean);
+            assert_eq!(x.sd, y.sd);
+        }
+        let c = SensorWorkload::new(43).readings(10);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.mean != y.mean));
+    }
+
+    #[test]
+    fn reading_parameters_in_paper_ranges() {
+        let readings = SensorWorkload::new(7).readings(2000);
+        let mut mean_sum = 0.0;
+        let mut sd_sum = 0.0;
+        for r in &readings {
+            assert!((0.0..100.0).contains(&r.mean));
+            assert!(r.sd > 0.0);
+            mean_sum += r.mean;
+            sd_sum += r.sd;
+        }
+        let n = readings.len() as f64;
+        assert!((mean_sum / n - 50.0).abs() < 3.0, "means uniform on [0,100]");
+        assert!((sd_sum / n - 2.0).abs() < 0.1, "sds normal around 2");
+    }
+
+    #[test]
+    fn query_parameters_in_paper_ranges() {
+        let mut w = SensorWorkload::new(9);
+        let qs = w.range_queries(2000);
+        let mut len_sum = 0.0;
+        for q in &qs {
+            assert!(q.lo < q.hi);
+            len_sum += q.hi - q.lo;
+        }
+        assert!((len_sum / qs.len() as f64 - 10.0).abs() < 0.5, "lengths around 10");
+    }
+
+    #[test]
+    fn pdf_construction() {
+        let r = SensorReading { rid: 1, mean: 20.0, sd: 5.0_f64.sqrt() };
+        let p = r.pdf();
+        assert!((p.expected_value().unwrap() - 20.0).abs() < 1e-12);
+        assert!((p.range_prob(&RangeQuery { lo: 0.0, hi: 100.0 }.interval()) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rids_are_sequential() {
+        let rs = SensorWorkload::new(1).readings(5);
+        assert_eq!(rs.iter().map(|r| r.rid).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,122 @@
+//! An interactive Orion SQL shell.
+//!
+//! ```text
+//! cargo run -p orion-examples --bin orion_shell [-- database.orion]
+//! ```
+//!
+//! Reads statements from stdin (terminated by `;`), executes them against
+//! an in-memory database, and renders results. Meta-commands:
+//!
+//! * `\tables` — list tables with tuple counts;
+//! * `\save PATH` / `\open PATH` — persist / load the whole database;
+//! * `\quit` — exit (also Ctrl-D).
+//!
+//! If a path is given on the command line and exists, it is opened; on
+//! exit the database is saved back to it.
+
+use orion_sql::{render_output, Database};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let path = std::env::args().nth(1).map(std::path::PathBuf::from);
+    let mut db = match &path {
+        Some(p) if p.exists() => match Database::open(p) {
+            Ok(db) => {
+                eprintln!("opened {}", p.display());
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", p.display());
+                std::process::exit(1);
+            }
+        },
+        _ => Database::new(),
+    };
+
+    eprintln!("Orion-RS SQL shell — end statements with ';', \\quit to exit");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print!("orion> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match run_meta(&mut db, trimmed) {
+                MetaResult::Continue => {}
+                MetaResult::Quit => break,
+            }
+            print!("orion> ");
+            std::io::stdout().flush().ok();
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            let stmt = std::mem::take(&mut buffer);
+            match db.execute(&stmt) {
+                Ok(out) => match render_output(&out) {
+                    Ok(text) => println!("{text}"),
+                    Err(e) => eprintln!("render error: {e}"),
+                },
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        let prompt = if buffer.is_empty() { "orion> " } else { "   ... " };
+        print!("{prompt}");
+        std::io::stdout().flush().ok();
+    }
+    if let Some(p) = path {
+        match db.save(&p) {
+            Ok(()) => eprintln!("\nsaved {}", p.display()),
+            Err(e) => eprintln!("\nsave failed: {e}"),
+        }
+    }
+}
+
+enum MetaResult {
+    Continue,
+    Quit,
+}
+
+fn run_meta(db: &mut Database, cmd: &str) -> MetaResult {
+    let mut parts = cmd.splitn(2, ' ');
+    match parts.next().unwrap_or("") {
+        "\\quit" | "\\q" => return MetaResult::Quit,
+        "\\tables" => {
+            // Render via a throwaway query per table name is wasteful;
+            // Database exposes direct table access instead.
+            let mut names = db.table_names();
+            names.sort();
+            if names.is_empty() {
+                println!("(no tables)");
+            }
+            for n in names {
+                let len = db.table(&n).map(|r| r.len()).unwrap_or(0);
+                println!("{n}  ({len} tuples)");
+            }
+        }
+        "\\save" => match parts.next() {
+            Some(p) => match db.save(std::path::Path::new(p.trim())) {
+                Ok(()) => println!("saved {p}"),
+                Err(e) => eprintln!("save failed: {e}"),
+            },
+            None => eprintln!("usage: \\save PATH"),
+        },
+        "\\open" => match parts.next() {
+            Some(p) => match Database::open(std::path::Path::new(p.trim())) {
+                Ok(loaded) => {
+                    *db = loaded;
+                    println!("opened {p}");
+                }
+                Err(e) => eprintln!("open failed: {e}"),
+            },
+            None => eprintln!("usage: \\open PATH"),
+        },
+        other => eprintln!("unknown meta-command '{other}' (try \\tables, \\save, \\open, \\quit)"),
+    }
+    MetaResult::Continue
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for Orion-RS integration tests.
+
+use orion_core::prelude::*;
+use orion_pdf::prelude::*;
+use std::collections::HashMap;
+
+/// Builds the paper's Table II relation and its registry.
+pub fn table2() -> (HashMap<String, Relation>, HistoryRegistry) {
+    let mut reg = HistoryRegistry::new();
+    let schema = ProbSchema::new(
+        vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)],
+        vec![],
+    )
+    .unwrap();
+    let mut rel = Relation::new("T", schema);
+    rel.insert_simple(
+        &mut reg,
+        &[],
+        &[
+            ("a", Pdf1::discrete(vec![(0.0, 0.1), (1.0, 0.9)]).unwrap()),
+            ("b", Pdf1::discrete(vec![(1.0, 0.6), (2.0, 0.4)]).unwrap()),
+        ],
+    )
+    .unwrap();
+    rel.insert_simple(&mut reg, &[], &[("a", Pdf1::certain(7.0)), ("b", Pdf1::certain(3.0))])
+        .unwrap();
+    let mut tables = HashMap::new();
+    tables.insert("T".to_string(), rel);
+    (tables, reg)
+}

@@ -1,0 +1,165 @@
+//! Property-based tests on the pdf layer invariants: cdf monotonicity,
+//! approximation convergence, floor algebra, and marginal/product
+//! round-trips.
+
+use orion_pdf::ops::cdf_distance;
+use orion_pdf::prelude::*;
+use proptest::prelude::*;
+
+fn arb_gaussian() -> impl Strategy<Value = Pdf1> {
+    (-50.0..50.0f64, 0.1..25.0f64)
+        .prop_map(|(m, v)| Pdf1::gaussian(m, v).expect("valid"))
+}
+
+fn arb_uniform() -> impl Strategy<Value = Pdf1> {
+    (-50.0..50.0f64, 0.5..40.0f64)
+        .prop_map(|(lo, w)| Pdf1::uniform(lo, lo + w).expect("valid"))
+}
+
+fn arb_discrete() -> impl Strategy<Value = Pdf1> {
+    prop::collection::vec((-20i64..20, 1u32..6), 1..6).prop_map(|raw| {
+        let denom: u32 = raw.iter().map(|(_, w)| w).sum();
+        let pts = raw
+            .into_iter()
+            .map(|(v, w)| (v as f64, w as f64 / denom as f64))
+            .collect();
+        Pdf1::discrete(pts).expect("valid")
+    })
+}
+
+fn arb_pdf() -> impl Strategy<Value = Pdf1> {
+    prop_oneof![arb_gaussian(), arb_uniform(), arb_discrete()]
+}
+
+fn arb_region() -> impl Strategy<Value = RegionSet> {
+    prop::collection::vec((-60.0..60.0f64, 0.1..30.0f64), 1..4).prop_map(|ivs| {
+        RegionSet::from_intervals(
+            ivs.into_iter().map(|(lo, w)| Interval::new(lo, lo + w)).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cumulative_is_monotone_and_bounded(pdf in arb_pdf(), probes in prop::collection::vec(-80.0..80.0f64, 2..10)) {
+        let mut sorted = probes.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = 0.0;
+        for &x in &sorted {
+            let c = pdf.cumulative(x);
+            prop_assert!(c >= prev - 1e-12, "monotone at {x}");
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn mass_equals_cumulative_at_infinity(pdf in arb_pdf()) {
+        prop_assert!((pdf.mass() - pdf.cumulative(f64::INFINITY)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_prob_is_cdf_difference(pdf in arb_pdf(), lo in -60.0..60.0f64, w in 0.0..40.0f64) {
+        let iv = Interval::new(lo, lo + w);
+        let p = pdf.range_prob(&iv);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        if !pdf.is_discrete() {
+            let diff = pdf.cumulative(iv.hi) - pdf.cumulative(iv.lo);
+            prop_assert!((p - diff).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn floor_removes_exactly_region_mass(pdf in arb_pdf(), region in arb_region()) {
+        let floored = pdf.floor_region(&region);
+        // Total mass drops by the regional mass.
+        let removed: f64 = region
+            .intervals()
+            .iter()
+            .map(|iv| pdf.range_prob(iv))
+            .sum();
+        prop_assert!((pdf.mass() - floored.mass() - removed).abs() < 1e-6,
+            "mass {} -> {}, removed {}", pdf.mass(), floored.mass(), removed);
+        // Density is zero inside the region.
+        for iv in region.intervals() {
+            let mid = (iv.lo + iv.hi) / 2.0;
+            prop_assert_eq!(floored.density(mid), 0.0);
+        }
+    }
+
+    #[test]
+    fn floor_is_order_independent(pdf in arb_pdf(), r1 in arb_region(), r2 in arb_region()) {
+        let ab = pdf.floor_region(&r1).floor_region(&r2);
+        let ba = pdf.floor_region(&r2).floor_region(&r1);
+        let joined = pdf.floor_region(&r1.union(&r2));
+        for &x in &[-55.0, -20.0, -1.0, 0.0, 3.0, 17.0, 42.0] {
+            prop_assert!((ab.density(x) - ba.density(x)).abs() < 1e-9);
+            prop_assert!((ab.density(x) - joined.density(x)).abs() < 1e-9);
+        }
+        prop_assert!((ab.mass() - joined.mass()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximations_converge(pdf in arb_gaussian()) {
+        let coarse_h = Pdf1::Histogram(pdf.to_histogram(4).expect("ok"));
+        let fine_h = Pdf1::Histogram(pdf.to_histogram(64).expect("ok"));
+        prop_assert!(cdf_distance(&pdf, &fine_h, 200) <= cdf_distance(&pdf, &coarse_h, 200) + 1e-9);
+        let coarse_d = Pdf1::Discrete(pdf.to_discrete(4).expect("ok"));
+        let fine_d = Pdf1::Discrete(pdf.to_discrete(64).expect("ok"));
+        prop_assert!(cdf_distance(&pdf, &fine_d, 200) <= cdf_distance(&pdf, &coarse_d, 200) + 1e-9);
+        prop_assert!(cdf_distance(&pdf, &fine_h, 200) < 0.05);
+    }
+
+    #[test]
+    fn approximation_preserves_mass(pdf in arb_pdf(), n in 2usize..40) {
+        if let Some(h) = pdf.to_histogram(n) {
+            prop_assert!((h.mass() - pdf.mass()).abs() < 1e-6);
+        }
+        if let Some(d) = pdf.to_discrete(n) {
+            prop_assert!((d.mass() - pdf.mass()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn joint_marginal_recovers_independent_factor(a in arb_discrete(), b in arb_discrete()) {
+        let j = JointPdf::independent(vec![a.clone(), b.clone()]).expect("ok");
+        let ma = j.marginal1(0).expect("ok");
+        let mb = j.marginal1(1).expect("ok");
+        // Masses multiply: marginal carries the partner's existence mass.
+        prop_assert!((ma.mass() - a.mass() * b.mass()).abs() < 1e-9);
+        for &x in &[-10.0, -1.0, 0.0, 2.0, 7.0] {
+            prop_assert!((ma.density(x) - a.density(x) * b.mass()).abs() < 1e-9);
+            prop_assert!((mb.density(x) - b.density(x) * a.mass()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn joint_box_prob_factorizes_for_independent(a in arb_discrete(), b in arb_discrete(),
+                                                  lo in -25.0..25.0f64, w in 0.0..20.0f64) {
+        let j = JointPdf::independent(vec![a.clone(), b.clone()]).expect("ok");
+        let iv = Interval::new(lo, lo + w);
+        let p = j.box_prob(&[(0, iv)]);
+        prop_assert!((p - a.range_prob(&iv) * b.mass()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_value_lies_in_support(pdf in arb_pdf()) {
+        if pdf.mass() > 1e-9 {
+            if let (Some(e), Some(s)) = (pdf.expected_value(), pdf.effective_support()) {
+                prop_assert!(e >= s.lo - 1e-6 && e <= s.hi + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_queries(pdf in arb_pdf(), lo in -30.0..30.0f64, w in 0.0..20.0f64) {
+        let mut buf = Vec::new();
+        orion_storage::codec::encode_pdf1(&pdf, &mut buf);
+        let back = orion_storage::codec::decode_pdf1(&mut &buf[..]).expect("decodes");
+        let iv = Interval::new(lo, lo + w);
+        prop_assert!((pdf.range_prob(&iv) - back.range_prob(&iv)).abs() < 1e-12);
+        prop_assert!((pdf.mass() - back.mass()).abs() < 1e-12);
+    }
+}

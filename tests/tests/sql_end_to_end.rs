@@ -1,0 +1,187 @@
+//! End-to-end SQL scenarios spanning the parser, planner, engine, and pdf
+//! layers.
+
+use orion_core::prelude::Value;
+use orion_sql::{Database, Output};
+
+fn table(out: Output) -> orion_core::prelude::Relation {
+    match out {
+        Output::Table(rel) => rel,
+        other => panic!("expected table, got {other:?}"),
+    }
+}
+
+fn rows(out: Output) -> (Vec<String>, Vec<Vec<String>>) {
+    match out {
+        Output::Rows { header, rows } => (header, rows),
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn sensor_monitoring_scenario() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE readings (rid INT, site TEXT, temp REAL UNCERTAIN)").unwrap();
+    db.execute(
+        "INSERT INTO readings VALUES \
+         (1, 'north', GAUSSIAN(20, 4)), \
+         (2, 'north', GAUSSIAN(35, 9)), \
+         (3, 'south', GAUSSIAN(50, 1)), \
+         (4, 'south', UNIFORM(10, 30))",
+    )
+    .unwrap();
+
+    // Mixed certain + uncertain predicates.
+    let rel = table(
+        db.execute("SELECT * FROM readings WHERE site = 'north' AND temp < 30").unwrap(),
+    );
+    assert_eq!(rel.len(), 2);
+    // Gaus(20,4): nearly all mass below 30; Gaus(35,9): small tail mass.
+    assert!(rel.tuples[0].naive_existence() > 0.99);
+    assert!(rel.tuples[1].naive_existence() < 0.05);
+
+    // Threshold prunes low-probability matches.
+    let rel = table(
+        db.execute(
+            "SELECT * FROM readings WHERE site = 'north' AND PROB(temp < 30) > 0.5",
+        )
+        .unwrap(),
+    );
+    assert_eq!(rel.len(), 1);
+    assert_eq!(rel.value(0, "rid").unwrap(), &Value::Int(1));
+
+    // Expected values across mixed distribution families.
+    let (_, out_rows) =
+        rows(db.execute("SELECT rid, EXPECTED(temp) FROM readings").unwrap());
+    let expected: Vec<f64> =
+        out_rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    assert!((expected[0] - 20.0).abs() < 1e-6);
+    assert!((expected[3] - 20.0).abs() < 1e-6, "uniform [10,30] mean");
+}
+
+#[test]
+fn join_pipeline_scenario() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE trucks (tid INT, pos REAL UNCERTAIN)").unwrap();
+    db.execute("CREATE TABLE zones (zid INT, boundary REAL UNCERTAIN)").unwrap();
+    db.execute(
+        "INSERT INTO trucks VALUES (1, GAUSSIAN(10, 4)), (2, GAUSSIAN(45, 4))",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO zones VALUES (7, UNIFORM(20, 30)), (8, UNIFORM(40, 60))",
+    )
+    .unwrap();
+    // Which (truck, zone) pairs have the truck west of the boundary?
+    let rel = table(db.execute("SELECT * FROM trucks JOIN zones ON pos < boundary").unwrap());
+    // Truck 1 is west of both zones almost surely; truck 2 of zone 8 with
+    // moderate probability and of zone 7 almost never.
+    assert!(rel.len() >= 3);
+    let find = |tid: i64, zid: i64| {
+        rel.tuples
+            .iter()
+            .find(|t| {
+                t.certain[rel.schema.index_of("tid").unwrap()] == Value::Int(tid)
+                    && t.certain[rel.schema.index_of("zid").unwrap()] == Value::Int(zid)
+            })
+            .map(|t| t.naive_existence())
+    };
+    assert!(find(1, 7).unwrap() > 0.99);
+    assert!(find(1, 8).unwrap() > 0.99);
+    let t2z8 = find(2, 8).unwrap();
+    assert!(t2z8 > 0.3 && t2z8 < 0.9, "t2z8 = {t2z8}");
+}
+
+#[test]
+fn correlated_insert_and_query() {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE obj (oid INT, x REAL UNCERTAIN, y REAL UNCERTAIN, CORRELATED (x, y))",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO obj VALUES (1, JOINT((0, 0):0.5, (10, 10):0.5)), \
+         (2, JOINT((0, 10):0.5, (10, 0):0.5))",
+    )
+    .unwrap();
+    // x < 5 AND y < 5: object 1 satisfies with p 0.5 (world (0,0));
+    // object 2 never (its worlds are anti-correlated).
+    let rel = table(db.execute("SELECT * FROM obj WHERE x < 5 AND y < 5").unwrap());
+    assert_eq!(rel.len(), 1);
+    assert_eq!(rel.value(0, "oid").unwrap(), &Value::Int(1));
+    assert!((rel.tuples[0].naive_existence() - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn discrete_and_symbolic_families_coexist() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE mixed (k INT, v REAL UNCERTAIN)").unwrap();
+    db.execute(
+        "INSERT INTO mixed VALUES \
+         (1, POISSON(3)), (2, BINOMIAL(10, 0.5)), (3, BERNOULLI(0.25)), \
+         (4, GEOMETRIC(0.5)), (5, EXPONENTIAL(0.1)), \
+         (6, HISTOGRAM(0, 2, 0.25, 0.25, 0.5)), (7, DISCRETE(1:0.4, 2:0.6))",
+    )
+    .unwrap();
+    let (_, out_rows) = rows(db.execute("SELECT k, EXPECTED(v) FROM mixed").unwrap());
+    let means: Vec<f64> = out_rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    assert!((means[0] - 3.0).abs() < 1e-6);
+    assert!((means[1] - 5.0).abs() < 1e-6);
+    assert!((means[2] - 0.25).abs() < 1e-6);
+    assert!((means[3] - 2.0).abs() < 1e-6);
+    assert!((means[4] - 10.0).abs() < 1e-6);
+    // Histogram buckets [0,2):.25, [2,4):.25, [4,6):.5 -> 1*.25+3*.25+5*.5.
+    assert!((means[5] - 3.5).abs() < 1e-6);
+    assert!((means[6] - 1.6).abs() < 1e-6);
+
+    // A selection floors all families consistently.
+    let rel = table(db.execute("SELECT * FROM mixed WHERE v >= 2").unwrap());
+    for t in &rel.tuples {
+        assert!(t.naive_existence() > 0.0);
+    }
+    // Bernoulli(0.25) has no mass at v >= 2: its tuple is gone.
+    assert!(rel
+        .tuples
+        .iter()
+        .all(|t| t.certain[rel.schema.index_of("k").unwrap()] != Value::Int(3)));
+}
+
+#[test]
+fn update_workflow_delete_and_reinsert() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k INT, v REAL UNCERTAIN)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, GAUSSIAN(0, 1)), (2, GAUSSIAN(5, 1))").unwrap();
+    assert!(matches!(db.execute("DELETE FROM t WHERE k = 1").unwrap(), Output::Count(1)));
+    db.execute("INSERT INTO t VALUES (1, GAUSSIAN(100, 1))").unwrap();
+    let (_, out_rows) =
+        rows(db.execute("SELECT k, EXPECTED(v) FROM t WHERE k = 1").unwrap());
+    assert_eq!(out_rows.len(), 1);
+    assert!((out_rows[0][1].parse::<f64>().unwrap() - 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn error_paths_are_reported() {
+    let mut db = Database::new();
+    assert!(db.execute("SELECT * FROM missing").is_err());
+    db.execute("CREATE TABLE t (v REAL UNCERTAIN)").unwrap();
+    assert!(db.execute("CREATE TABLE t (v REAL UNCERTAIN)").is_err());
+    assert!(db.execute("INSERT INTO t VALUES (GAUSSIAN(0, -1))").is_err(), "bad variance");
+    assert!(db.execute("INSERT INTO t VALUES (DISCRETE(1:0.9, 2:0.9))").is_err(), "mass > 1");
+    assert!(db.execute("SELECT nope FROM t").is_err());
+    assert!(db.execute("SELECT * FROM t WHERE PROB(v < 1) > 0.5 OR v > 2").is_err(),
+        "thresholds must be top-level conjuncts");
+}
+
+#[test]
+fn three_statement_composition_keeps_histories_consistent() {
+    // Build a view chain through SQL and check existence probabilities stay
+    // PWS-consistent (composition of floors).
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k INT, v REAL UNCERTAIN)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, DISCRETE(1:0.25, 2:0.25, 3:0.25, 4:0.25))")
+        .unwrap();
+    let rel = table(db.execute("SELECT * FROM t WHERE v > 1 AND v < 4").unwrap());
+    assert!((rel.tuples[0].naive_existence() - 0.5).abs() < 1e-12);
+    let rel = table(db.execute("SELECT * FROM t WHERE v > 1 AND v < 4 AND v <> 2").unwrap());
+    assert!((rel.tuples[0].naive_existence() - 0.25).abs() < 1e-12);
+}
