@@ -26,9 +26,7 @@ fn bench_symbolic_vs_materialized_floors(c: &mut Criterion) {
         b.iter(|| {
             let mut p = black_box(&exact).clone();
             for i in 0..5 {
-                p = p.floor_region(&RegionSet::from_interval(Interval::at_least(
-                    55.0 - i as f64,
-                )));
+                p = p.floor_region(&RegionSet::from_interval(Interval::at_least(55.0 - i as f64)));
             }
             p.mass()
         })
@@ -38,9 +36,7 @@ fn bench_symbolic_vs_materialized_floors(c: &mut Criterion) {
         b.iter(|| {
             let mut h = black_box(&exact).to_histogram(64).unwrap();
             for i in 0..5 {
-                h = h.floor_region(&RegionSet::from_interval(Interval::at_least(
-                    55.0 - i as f64,
-                )));
+                h = h.floor_region(&RegionSet::from_interval(Interval::at_least(55.0 - i as f64)));
             }
             h.mass()
         })
@@ -66,13 +62,8 @@ fn bench_eager_vs_lazy_collapse(c: &mut Criterion) {
                 let base = joint_table(500, &mut reg);
                 let mut ta = project(&base, &["id", "a"], &mut reg).unwrap();
                 ta.name = "Ta".into();
-                let sel = select(
-                    &base,
-                    &Predicate::cmp("b", CmpOp::Gt, 20.0),
-                    &mut reg,
-                    &opts,
-                )
-                .unwrap();
+                let sel =
+                    select(&base, &Predicate::cmp("b", CmpOp::Gt, 20.0), &mut reg, &opts).unwrap();
                 let mut tb = project(&sel, &["id", "b"], &mut reg).unwrap();
                 tb.name = "Tb".into();
                 orion_core::join::join(
@@ -101,10 +92,7 @@ fn bench_merge_resolution(c: &mut Criterion) {
     for res in [16usize, 32, 64, 128] {
         g.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, &res| {
             b.iter(|| {
-                black_box(&joint)
-                    .floor_predicate(&[0, 1], res, |v| v[0] < v[1])
-                    .unwrap()
-                    .mass()
+                black_box(&joint).floor_predicate(&[0, 1], res, |v| v[0] < v[1]).unwrap().mass()
             })
         });
     }
@@ -133,8 +121,7 @@ fn bench_support_index(c: &mut Criterion) {
     let mut rel = Relation::new("r", schema);
     let mut workload = orion_workload::SensorWorkload::new(5);
     for r in workload.readings(20_000) {
-        rel.insert_simple(&mut reg, &[("rid", Value::Int(r.rid))], &[("v", r.pdf())])
-            .unwrap();
+        rel.insert_simple(&mut reg, &[("rid", Value::Int(r.rid))], &[("v", r.pdf())]).unwrap();
     }
     let idx = SupportIndex::build(&rel, "v").unwrap();
     let iv = Interval::new(40.0, 44.0);
@@ -142,8 +129,7 @@ fn bench_support_index(c: &mut Criterion) {
     g.bench_function("indexed", |b| {
         b.iter(|| {
             let mut rg = HistoryRegistry::new();
-            idx.threshold_range(black_box(&rel), &iv, CmpOp::Gt, 0.5, &mut rg, &opts)
-                .unwrap()
+            idx.threshold_range(black_box(&rel), &iv, CmpOp::Gt, 0.5, &mut rg, &opts).unwrap()
         })
     });
     let pred = Predicate::And(vec![

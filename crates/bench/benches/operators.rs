@@ -20,8 +20,7 @@ fn sensor_relation(n: usize, reg: &mut HistoryRegistry) -> Relation {
     let mut rel = Relation::new("readings", schema);
     let mut w = SensorWorkload::new(7);
     for r in w.readings(n) {
-        rel.insert_simple(reg, &[("rid", Value::Int(r.rid))], &[("v", r.pdf())])
-            .unwrap();
+        rel.insert_simple(reg, &[("rid", Value::Int(r.rid))], &[("v", r.pdf())]).unwrap();
     }
     rel
 }
@@ -56,13 +55,7 @@ fn bench_selection(c: &mut Criterion) {
     g.bench_function("fast_path_symbolic_floor", |b| {
         b.iter(|| {
             let mut r = HistoryRegistry::new();
-            select(
-                black_box(&rel),
-                &Predicate::cmp("v", CmpOp::Lt, 50.0),
-                &mut r,
-                &opts,
-            )
-            .unwrap()
+            select(black_box(&rel), &Predicate::cmp("v", CmpOp::Lt, 50.0), &mut r, &opts).unwrap()
         })
     });
     // General path: an OR forces the merge + predicate-floor machinery.
@@ -80,13 +73,8 @@ fn bench_selection(c: &mut Criterion) {
     g.bench_function("certain_only", |b| {
         b.iter(|| {
             let mut r = HistoryRegistry::new();
-            select(
-                black_box(&rel),
-                &Predicate::cmp("rid", CmpOp::Le, 500i64),
-                &mut r,
-                &opts,
-            )
-            .unwrap()
+            select(black_box(&rel), &Predicate::cmp("rid", CmpOp::Le, 500i64), &mut r, &opts)
+                .unwrap()
         })
     });
     g.finish();
@@ -157,11 +145,9 @@ fn bench_pws_reference(c: &mut Criterion) {
     let mut g = c.benchmark_group("pws_reference");
     g.sample_size(10);
     let mut reg = HistoryRegistry::new();
-    let schema = ProbSchema::new(
-        vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)],
-        vec![],
-    )
-    .unwrap();
+    let schema =
+        ProbSchema::new(vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)], vec![])
+            .unwrap();
     let mut rel = Relation::new("T", schema);
     for i in 0..5 {
         rel.insert_simple(
@@ -183,13 +169,8 @@ fn bench_pws_reference(c: &mut Criterion) {
     g.bench_function("efficient_engine_same_query", |b| {
         b.iter(|| {
             let mut rg = HistoryRegistry::new();
-            orion_core::plan::execute(
-                black_box(&plan),
-                &tables,
-                &mut rg,
-                &ExecOptions::default(),
-            )
-            .unwrap()
+            orion_core::plan::execute(black_box(&plan), &tables, &mut rg, &ExecOptions::default())
+                .unwrap()
         })
     });
     g.finish();

@@ -10,9 +10,7 @@ fn bench_range_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("range_prob");
     let exact = Pdf1::gaussian(50.0, 4.0).unwrap();
     let iv = Interval::new(48.0, 52.5);
-    g.bench_function("symbolic", |b| {
-        b.iter(|| black_box(&exact).range_prob(black_box(&iv)))
-    });
+    g.bench_function("symbolic", |b| b.iter(|| black_box(&exact).range_prob(black_box(&iv))));
     for bins in [5usize, 25, 100] {
         let h = Pdf1::Histogram(exact.to_histogram(bins).unwrap());
         g.bench_with_input(BenchmarkId::new("histogram", bins), &h, |b, h| {
@@ -34,13 +32,9 @@ fn bench_floors(c: &mut Criterion) {
         b.iter(|| black_box(&exact).floor_region(black_box(&region)))
     });
     let h = Pdf1::Histogram(exact.to_histogram(25).unwrap());
-    g.bench_function("histogram_25", |b| {
-        b.iter(|| black_box(&h).floor_region(black_box(&region)))
-    });
+    g.bench_function("histogram_25", |b| b.iter(|| black_box(&h).floor_region(black_box(&region))));
     let d = Pdf1::Discrete(exact.to_discrete(25).unwrap());
-    g.bench_function("discrete_25", |b| {
-        b.iter(|| black_box(&d).floor_region(black_box(&region)))
-    });
+    g.bench_function("discrete_25", |b| b.iter(|| black_box(&d).floor_region(black_box(&region))));
     g.finish();
 }
 
@@ -54,11 +48,7 @@ fn bench_joint_ops(c: &mut Criterion) {
         bch.iter(|| black_box(&l).product(black_box(&joint)))
     });
     g.bench_function("floor_predicate_8x8", |bch| {
-        bch.iter(|| {
-            black_box(&joint)
-                .floor_predicate(&[0, 1], 64, |v| v[0] < v[1])
-                .unwrap()
-        })
+        bch.iter(|| black_box(&joint).floor_predicate(&[0, 1], 64, |v| v[0] < v[1]).unwrap())
     });
     let merged = joint.floor_predicate(&[0, 1], 64, |v| v[0] < v[1]).unwrap();
     g.bench_function("marginalize_merged", |bch| {
@@ -71,11 +61,7 @@ fn bench_joint_ops(c: &mut Criterion) {
     ])
     .unwrap();
     g.bench_function("floor_predicate_grid_32", |bch| {
-        bch.iter(|| {
-            black_box(&cont)
-                .floor_predicate(&[0, 1], 32, |v| v[0] < v[1])
-                .unwrap()
-        })
+        bch.iter(|| black_box(&cont).floor_predicate(&[0, 1], 32, |v| v[0] < v[1]).unwrap())
     });
     g.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! Usage: `fig4_accuracy [--quick] [--json PATH]`
 
-use orion_bench::fig4::{run, Fig4Config};
+use orion_bench::fig4::{rows_to_json, run, Fig4Config};
 use orion_bench::report;
 
 fn main() {
@@ -39,13 +39,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        report::text_table(
-            &["size", "hist_err", "hist_std", "disc_err", "disc_std"],
-            &table
-        )
+        report::text_table(&["size", "hist_err", "hist_std", "disc_err", "disc_std"], &table)
     );
     if let Some(p) = json_path {
-        report::write_json(&p, &rows).expect("write json");
+        report::write_json(&p, &rows_to_json(&rows)).expect("write json");
         eprintln!("wrote {}", p.display());
     }
 }

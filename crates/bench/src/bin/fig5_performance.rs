@@ -5,7 +5,7 @@
 //! Default is a 10x scaled-down sweep (50K-300K tuples); `--full` runs the
 //! paper's 0.5M-3M.
 
-use orion_bench::fig5::{cleanup, run, Fig5Config};
+use orion_bench::fig5::{cleanup, rows_to_json, run, stats_json, Fig5Config};
 use orion_bench::report;
 
 fn main() {
@@ -47,8 +47,11 @@ fn main() {
         )
     );
     if let Some(p) = json_path {
-        report::write_json(&p, &rows).expect("write json");
+        report::write_json(&p, &rows_to_json(&rows)).expect("write json");
         eprintln!("wrote {}", p.display());
+        let sp = report::stats_path(&p);
+        report::write_json(&sp, &stats_json(&rows)).expect("write stats json");
+        eprintln!("wrote {}", sp.display());
     }
     cleanup(&cfg.dir);
 }

@@ -3,7 +3,7 @@
 //!
 //! Usage: `fig6_history_overhead [--json PATH]`
 
-use orion_bench::fig6::{run, Fig6Config};
+use orion_bench::fig6::{rows_to_json, run, stats_json, Fig6Config};
 use orion_bench::report;
 
 fn main() {
@@ -31,13 +31,13 @@ fn main() {
         .collect();
     print!(
         "{}",
-        report::text_table(
-            &["tuples", "query", "with_hist", "wo_hist", "overhead"],
-            &table
-        )
+        report::text_table(&["tuples", "query", "with_hist", "wo_hist", "overhead"], &table)
     );
     if let Some(p) = json_path {
-        report::write_json(&p, &rows).expect("write json");
+        report::write_json(&p, &rows_to_json(&rows)).expect("write json");
         eprintln!("wrote {}", p.display());
+        let sp = report::stats_path(&p);
+        report::write_json(&sp, &stats_json(&rows)).expect("write stats json");
+        eprintln!("wrote {}", sp.display());
     }
 }

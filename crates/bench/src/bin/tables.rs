@@ -35,11 +35,9 @@ fn table1() {
 
 fn table2_relation() -> (HashMap<String, Relation>, HistoryRegistry) {
     let mut reg = HistoryRegistry::new();
-    let schema = ProbSchema::new(
-        vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)],
-        vec![],
-    )
-    .unwrap();
+    let schema =
+        ProbSchema::new(vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)], vec![])
+            .unwrap();
     let mut rel = Relation::new("T", schema);
     rel.insert_simple(
         &mut reg,
@@ -105,10 +103,8 @@ fn section3c_selection() {
 fn table4() {
     println!("== Table IV: missing attribute values vs missing tuples ==");
     let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE t (a INT, b REAL UNCERTAIN, c REAL UNCERTAIN, CORRELATED (b, c))",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE t (a INT, b REAL UNCERTAIN, c REAL UNCERTAIN, CORRELATED (b, c))")
+        .unwrap();
     // Row 1: tuple certainly exists (mass 1).
     db.execute("INSERT INTO t VALUES (1, JOINT((2, 3):0.8, (9, 9):0.2))").unwrap();
     // Row 2: closed-world partial pdf; the tuple exists with probability 0.8.
@@ -116,10 +112,7 @@ fn table4() {
     match db.execute("SELECT * FROM t").unwrap() {
         Output::Table(rel) => {
             println!("{}", render_relation(&rel).unwrap());
-            println!(
-                "  tuple 2 existence probability: {:.2}\n",
-                rel.tuples[1].naive_existence()
-            );
+            println!("  tuple 2 existence probability: {:.2}\n", rel.tuples[1].naive_existence());
         }
         _ => unreachable!(),
     }
@@ -160,13 +153,9 @@ fn fig3() {
     let opts = ExecOptions::default();
     let mut ta = orion_core::project::project(&t, &["a"], &mut reg).unwrap();
     ta.name = "Ta".to_string();
-    let sel = orion_core::select::select(
-        &t,
-        &Predicate::cmp("b", CmpOp::Gt, 4i64),
-        &mut reg,
-        &opts,
-    )
-    .unwrap();
+    let sel =
+        orion_core::select::select(&t, &Predicate::cmp("b", CmpOp::Gt, 4i64), &mut reg, &opts)
+            .unwrap();
     let mut tb = orion_core::project::project(&sel, &["b"], &mut reg).unwrap();
     tb.name = "Tb".to_string();
     let joined = orion_core::join::join(&ta, &tb, None, &mut reg, &opts).unwrap();

@@ -11,10 +11,10 @@
 //! needs ~25 points for comparable accuracy, and its error variance is much
 //! larger (boundary misses).
 
+use orion_obs::json;
 use orion_pdf::ops::{mean_std, range_query_error};
 use orion_pdf::prelude::Pdf1;
 use orion_workload::SensorWorkload;
-use serde::Serialize;
 
 /// Configuration for the Figure 4 sweep.
 #[derive(Debug, Clone)]
@@ -41,7 +41,7 @@ impl Default for Fig4Config {
 }
 
 /// One point of the Figure 4 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Row {
     /// Bucket / sample-point count.
     pub sample_size: usize,
@@ -53,6 +53,27 @@ pub struct Fig4Row {
     pub disc_mean_err: f64,
     /// Standard deviation of the discrete errors.
     pub disc_err_std: f64,
+}
+
+impl Fig4Row {
+    /// JSON form with one field per measurement.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object()
+            .with("sample_size", self.sample_size)
+            .with("hist_mean_err", self.hist_mean_err)
+            .with("hist_err_std", self.hist_err_std)
+            .with("disc_mean_err", self.disc_mean_err)
+            .with("disc_err_std", self.disc_err_std)
+    }
+}
+
+/// JSON array over the whole sweep.
+pub fn rows_to_json(rows: &[Fig4Row]) -> json::Value {
+    let mut arr = json::Value::array();
+    for r in rows {
+        arr.push(r.to_json());
+    }
+    arr
 }
 
 /// Runs the sweep.
@@ -93,12 +114,7 @@ mod tests {
     use super::*;
 
     fn small() -> Vec<Fig4Row> {
-        run(&Fig4Config {
-            n_pdfs: 40,
-            n_queries: 40,
-            sample_sizes: vec![3, 5, 10, 25],
-            seed: 7,
-        })
+        run(&Fig4Config { n_pdfs: 40, n_queries: 40, sample_sizes: vec![3, 5, 10, 25], seed: 7 })
     }
 
     #[test]

@@ -12,16 +12,16 @@
 //! original) and measures a cold full-scan range query plus the physical
 //! reads it triggers.
 
+use orion_obs::json;
 use orion_pdf::prelude::{Interval, Pdf1};
 use orion_storage::codec::{decode_pdf1, encode_pdf1};
-use orion_storage::{FileStore, HeapFile};
+use orion_storage::{FileStore, HeapFile, IoSnapshot};
 use orion_workload::SensorWorkload;
-use serde::Serialize;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// The three physical representations compared.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Repr {
     /// Exact symbolic pdfs (`Gaus(m, v)` parameters).
     Symbolic,
@@ -92,7 +92,7 @@ impl Fig5Config {
 }
 
 /// One measurement of the Figure 5 sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Row {
     pub n_tuples: usize,
     pub repr: String,
@@ -107,6 +107,49 @@ pub struct Fig5Row {
     /// Number of tuples whose probability in the first query range
     /// exceeded 0.5 (sanity output so work is not optimized away).
     pub matches: usize,
+    /// Full buffer-pool counter snapshot for the query phase.
+    pub io: IoSnapshot,
+}
+
+impl Fig5Row {
+    /// JSON form with one field per measurement plus the nested I/O
+    /// snapshot.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object()
+            .with("n_tuples", self.n_tuples)
+            .with("repr", self.repr.as_str())
+            .with("build_secs", self.build_secs)
+            .with("query_secs", self.query_secs)
+            .with("physical_reads", self.physical_reads)
+            .with("pages", self.pages)
+            .with("matches", self.matches)
+            .with("io", self.io.to_json())
+    }
+}
+
+/// JSON array over the whole sweep.
+pub fn rows_to_json(rows: &[Fig5Row]) -> json::Value {
+    let mut arr = json::Value::array();
+    for r in rows {
+        arr.push(r.to_json());
+    }
+    arr
+}
+
+/// The operator-stats snapshot the `fig5_performance` binary writes next
+/// to its results: the per-configuration buffer-pool counters that explain
+/// the figure's read curve.
+pub fn stats_json(rows: &[Fig5Row]) -> json::Value {
+    let mut arr = json::Value::array();
+    for r in rows {
+        arr.push(
+            json::Value::object()
+                .with("n_tuples", r.n_tuples)
+                .with("repr", r.repr.as_str())
+                .with("io", r.io.to_json()),
+        );
+    }
+    json::Value::object().with("figure", "fig5").with("buffer_pool", arr)
 }
 
 /// Builds one on-disk relation and runs the range-query scan.
@@ -114,11 +157,8 @@ pub fn run_one(cfg: &Fig5Config, n: usize, repr: Repr) -> std::io::Result<Fig5Ro
     std::fs::create_dir_all(&cfg.dir)?;
     let path: PathBuf = cfg.dir.join(format!("readings_{}_{}.dat", n, repr.label()));
     let mut workload = SensorWorkload::new(cfg.seed);
-    let queries: Vec<Interval> = workload
-        .range_queries(cfg.n_queries)
-        .iter()
-        .map(|q| q.interval())
-        .collect();
+    let queries: Vec<Interval> =
+        workload.range_queries(cfg.n_queries).iter().map(|q| q.interval()).collect();
 
     // Build phase: generate, convert, encode, append.
     let build_start = Instant::now();
@@ -172,6 +212,7 @@ pub fn run_one(cfg: &Fig5Config, n: usize, repr: Repr) -> std::io::Result<Fig5Ro
         physical_reads: stats.physical_reads,
         pages: heap.page_count(),
         matches,
+        io: stats,
     };
     std::fs::remove_file(&path).ok();
     Ok(row)
@@ -230,6 +271,18 @@ mod tests {
         let tol = 2_000 / 20; // 5% of tuples
         assert!((hist.matches as i64 - symb.matches as i64).unsigned_abs() < tol as u64);
         assert!((disc.matches as i64 - symb.matches as i64).unsigned_abs() < tol as u64);
+        cleanup(&cfg.dir);
+    }
+
+    #[test]
+    fn io_snapshot_rides_along_in_json() {
+        let cfg = tiny_cfg();
+        let row = run_one(&cfg, 1_000, Repr::Histogram(5)).unwrap();
+        assert_eq!(row.io.physical_reads, row.physical_reads);
+        let text = stats_json(&[row]).to_string_compact();
+        assert!(text.contains("\"physical_reads\""), "{text}");
+        assert!(text.contains("\"cache_misses\""), "{text}");
+        assert!(text.contains("\"evictions\""), "{text}");
         cleanup(&cfg.dir);
     }
 

@@ -15,12 +15,13 @@
 use orion_core::prelude::*;
 use orion_core::project::project;
 use orion_core::select::select;
+use orion_obs::{json, ExecStats, ExecStatsSnapshot};
 use orion_pdf::prelude::*;
 use orion_storage::codec::{decode_joint, encode_joint};
 use orion_storage::{FileStore, HeapFile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration for the Figure 6 sweep.
@@ -48,7 +49,7 @@ impl Default for Fig6Config {
 }
 
 /// One measurement of the Figure 6 sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     pub n_tuples: usize,
     /// `"join"` or `"project"`.
@@ -59,6 +60,52 @@ pub struct Fig6Row {
     pub without_hist_secs: f64,
     /// Relative overhead, percent.
     pub overhead_pct: f64,
+    /// Pdf-operation counters with histories on, cumulative over the
+    /// measurement repeats.
+    pub with_hist_ops: ExecStatsSnapshot,
+    /// Pdf-operation counters with histories off, cumulative over the
+    /// measurement repeats.
+    pub without_hist_ops: ExecStatsSnapshot,
+}
+
+impl Fig6Row {
+    /// JSON form: timings plus the two nested operator-stats snapshots.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object()
+            .with("n_tuples", self.n_tuples)
+            .with("query", self.query.as_str())
+            .with("with_hist_secs", self.with_hist_secs)
+            .with("without_hist_secs", self.without_hist_secs)
+            .with("overhead_pct", self.overhead_pct)
+            .with("with_hist_ops", self.with_hist_ops.to_json())
+            .with("without_hist_ops", self.without_hist_ops.to_json())
+    }
+}
+
+/// JSON array over the whole sweep.
+pub fn rows_to_json(rows: &[Fig6Row]) -> json::Value {
+    let mut arr = json::Value::array();
+    for r in rows {
+        arr.push(r.to_json());
+    }
+    arr
+}
+
+/// The operator-stats snapshot the `fig6_history_overhead` binary writes
+/// next to its results: the pdf-operation counts that explain where the
+/// history overhead comes from (extra collapses and marginalizations).
+pub fn stats_json(rows: &[Fig6Row]) -> json::Value {
+    let mut arr = json::Value::array();
+    for r in rows {
+        arr.push(
+            json::Value::object()
+                .with("n_tuples", r.n_tuples)
+                .with("query", r.query.as_str())
+                .with("with_hist", r.with_hist_ops.to_json())
+                .with("without_hist", r.without_hist_ops.to_json()),
+        );
+    }
+    json::Value::object().with("figure", "fig6").with("operators", arr)
 }
 
 /// Builds the base table `T(id, a, b)` with correlated discrete joints.
@@ -86,9 +133,7 @@ pub fn base_table(n: usize, points: usize, seed: u64, reg: &mut HistoryRegistry)
             let b = (a + rng.gen_range(-10.0..10.0f64)).round();
             pts.push((vec![a, b], p));
         }
-        let joint = JointPdf::from_points(
-            JointDiscrete::from_points(2, pts).expect("valid joint"),
-        );
+        let joint = JointPdf::from_points(JointDiscrete::from_points(2, pts).expect("valid joint"));
         rel.insert(reg, &[("id", Value::Int(id))], vec![(vec!["a", "b"], joint)])
             .expect("valid insert");
     }
@@ -152,18 +197,15 @@ fn join_query(
     heap.pool().clear_cache().expect("cache clear");
     let t0 = Instant::now();
     let base = &load_base(heap, reg);
-    let sel_a = select(base, &Predicate::cmp("a", CmpOp::Lt, 80.0), reg, opts)
-        .expect("select a");
+    let sel_a = select(base, &Predicate::cmp("a", CmpOp::Lt, 80.0), reg, opts).expect("select a");
     let mut ta = project(&sel_a, &["id", "a"], reg).expect("project a");
     ta.name = "Ta".to_string();
-    let sel_b = select(base, &Predicate::cmp("b", CmpOp::Gt, 20.0), reg, opts)
-        .expect("select b");
+    let sel_b = select(base, &Predicate::cmp("b", CmpOp::Gt, 20.0), reg, opts).expect("select b");
     let mut tb = project(&sel_b, &["id", "b"], reg).expect("project b");
     tb.name = "Tb".to_string();
     // The shared `id` column gets qualified by the view names.
     let join_pred = Predicate::cmp_cols("Ta.id", CmpOp::Eq, "Tb.id");
-    let joined =
-        orion_core::join::join(&ta, &tb, Some(&join_pred), reg, opts).expect("join");
+    let joined = orion_core::join::join(&ta, &tb, Some(&join_pred), reg, opts).expect("join");
     let secs = t0.elapsed().as_secs_f64();
     let n = joined.len();
     (secs, n, joined)
@@ -193,7 +235,14 @@ fn project_query(
         collapsed.tuples = joined
             .tuples
             .iter()
-            .map(|t| orion_core::collapse::collapse_tuple(t, reg, opts.resolution))
+            .map(|t| {
+                orion_core::collapse::collapse_tuple_with_stats(
+                    t,
+                    reg,
+                    opts.resolution,
+                    opts.stats_ref(),
+                )
+            })
             .collect::<Result<_, _>>()
             .expect("collapse");
         collapsed
@@ -209,8 +258,18 @@ fn project_query(
 pub fn run(cfg: &Fig6Config) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     for &n in &cfg.tuple_counts {
-        let with = ExecOptions::default();
-        let without = ExecOptions { use_histories: false, ..ExecOptions::default() };
+        // One collector per (query, policy) cell; counts accumulate over
+        // the repeats and ride along in the row for the stats exporter.
+        let join_w_stats = Arc::new(ExecStats::new());
+        let join_wo_stats = Arc::new(ExecStats::new());
+        let proj_w_stats = Arc::new(ExecStats::new());
+        let proj_wo_stats = Arc::new(ExecStats::new());
+        let with = ExecOptions::default().with_stats(join_w_stats.clone());
+        let without = ExecOptions { use_histories: false, ..ExecOptions::default() }
+            .with_stats(join_wo_stats.clone());
+        let proj_with = ExecOptions::default().with_stats(proj_w_stats.clone());
+        let proj_without = ExecOptions { use_histories: false, ..ExecOptions::default() }
+            .with_stats(proj_wo_stats.clone());
         // Lazy mode defers the dependent-node merge to the projection.
         let lazy = ExecOptions { eager_collapse: false, ..ExecOptions::default() };
 
@@ -240,9 +299,9 @@ pub fn run(cfg: &Fig6Config) -> Vec<Fig6Row> {
             // Projection overhead: same lazily-joined input, collapse on/off.
             let mut reg3 = HistoryRegistry::new();
             let (_, _, lazy_joined) = join_query(&heap, &mut reg3, &lazy);
-            let (pw, _) = project_query(&lazy_joined, &mut reg3, true, &with);
+            let (pw, _) = project_query(&lazy_joined, &mut reg3, true, &proj_with);
             proj_w = proj_w.min(pw);
-            let (pwo, _) = project_query(&lazy_joined, &mut reg3, false, &without);
+            let (pwo, _) = project_query(&lazy_joined, &mut reg3, false, &proj_without);
             proj_wo = proj_wo.min(pwo);
         }
         drop(heap);
@@ -254,6 +313,8 @@ pub fn run(cfg: &Fig6Config) -> Vec<Fig6Row> {
             with_hist_secs: join_w,
             without_hist_secs: join_wo,
             overhead_pct: (join_w / join_wo - 1.0) * 100.0,
+            with_hist_ops: join_w_stats.snapshot(),
+            without_hist_ops: join_wo_stats.snapshot(),
         });
         rows.push(Fig6Row {
             n_tuples: n,
@@ -261,6 +322,8 @@ pub fn run(cfg: &Fig6Config) -> Vec<Fig6Row> {
             with_hist_secs: proj_w,
             without_hist_secs: proj_wo,
             overhead_pct: (proj_w / proj_wo - 1.0) * 100.0,
+            with_hist_ops: proj_w_stats.snapshot(),
+            without_hist_ops: proj_wo_stats.snapshot(),
         });
     }
     rows
@@ -316,5 +379,27 @@ mod tests {
         for r in &rows {
             assert!(r.with_hist_secs > 0.0 && r.without_hist_secs > 0.0);
         }
+    }
+
+    #[test]
+    fn sweep_records_operator_stats() {
+        let rows =
+            run(&Fig6Config { tuple_counts: vec![100], points_per_pdf: 3, seed: 3, repeats: 1 });
+        let join = rows.iter().find(|r| r.query == "join").unwrap();
+        assert!(join.with_hist_ops.pdf_floors > 0, "{:?}", join.with_hist_ops);
+        assert!(join.without_hist_ops.pdf_floors > 0, "{:?}", join.without_hist_ops);
+        // History maintenance is the source of collapse + marginalization
+        // work; the naive join never does either.
+        assert!(join.with_hist_ops.collapses > 0, "{:?}", join.with_hist_ops);
+        assert_eq!(join.without_hist_ops.collapses, 0);
+        assert_eq!(join.without_hist_ops.pdf_marginalizations, 0);
+        let proj = rows.iter().find(|r| r.query == "project").unwrap();
+        // Only the with-histories projection collapses the dependent pdfs;
+        // the naive one records no pdf operations at all.
+        assert!(proj.with_hist_ops.collapses > 0, "{:?}", proj.with_hist_ops);
+        assert_eq!(proj.without_hist_ops, ExecStatsSnapshot::default());
+        let text = stats_json(&rows).to_string_compact();
+        assert!(text.contains("\"with_hist\""), "{text}");
+        assert!(text.contains("\"pdf_floors\""), "{text}");
     }
 }

@@ -1,6 +1,6 @@
 //! Shared reporting helpers: aligned text tables and JSON artifacts.
 
-use serde::Serialize;
+use orion_obs::json;
 use std::path::Path;
 
 /// Renders rows of cells into an aligned text table.
@@ -30,14 +30,18 @@ pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Writes any serializable experiment result as pretty JSON.
-pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+/// Writes an experiment result as pretty JSON.
+pub fn write_json(path: &Path, value: &json::Value) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(path, json)
+    std::fs::write(path, value.to_string_pretty())
+}
+
+/// The sibling path where a binary's operator-stats snapshot goes: the
+/// results path with `.stats.json` in place of its extension.
+pub fn stats_path(results: &Path) -> std::path::PathBuf {
+    results.with_extension("stats.json")
 }
 
 /// Formats a duration in adaptive units.
@@ -70,10 +74,20 @@ mod tests {
     fn json_round_trip() {
         let dir = std::env::temp_dir().join("orion_bench_report_test");
         let path = dir.join("x.json");
-        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let mut arr = json::Value::array();
+        for v in [1u64, 2, 3] {
+            arr.push(v);
+        }
+        write_json(&path, &arr).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains('1'));
+        assert!(text.contains('1') && text.contains('3'), "{text}");
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn stats_path_is_sibling() {
+        let p = stats_path(Path::new("results/fig5.json"));
+        assert_eq!(p, Path::new("results/fig5.stats.json"));
     }
 
     #[test]

@@ -39,9 +39,10 @@ fn marginals(rel: &Relation, col: &str) -> Result<Vec<Pdf1>> {
         let n = t.node_for(c.id).ok_or_else(|| {
             EngineError::Operator(format!("tuple {i} has no pdf node for '{col}'"))
         })?;
-        out.push(n.marginal(c.id).ok_or_else(|| {
-            EngineError::Operator("marginal extraction failed".into())
-        })?);
+        out.push(
+            n.marginal(c.id)
+                .ok_or_else(|| EngineError::Operator("marginal extraction failed".into()))?,
+        );
     }
     Ok(out)
 }
@@ -62,9 +63,9 @@ pub fn sum_exact(rel: &Relation, col: &str) -> Result<DiscretePdf> {
                 "sum_exact requires full-mass (certainly existing) tuples".into(),
             ));
         }
-        let d = m.enumerate().map_err(|_| {
-            EngineError::Operator("sum_exact requires discrete pdfs".into())
-        })?;
+        let d = m
+            .enumerate()
+            .map_err(|_| EngineError::Operator("sum_exact requires discrete pdfs".into()))?;
         acc = Some(match acc {
             None => d,
             Some(a) => convolve_discrete(&a, &d)?,
@@ -116,11 +117,7 @@ pub fn sum_gaussian(rel: &Relation, col: &str) -> Result<Pdf1> {
 
 /// Expected COUNT: the sum of tuple existence probabilities
 /// (history-aware).
-pub fn count_expected(
-    rel: &Relation,
-    reg: &HistoryRegistry,
-    opts: &ExecOptions,
-) -> Result<f64> {
+pub fn count_expected(rel: &Relation, reg: &HistoryRegistry, opts: &ExecOptions) -> Result<f64> {
     let mut total = 0.0;
     for t in &rel.tuples {
         total += if opts.use_histories {
@@ -143,9 +140,8 @@ pub fn avg_expected(rel: &Relation, col: &str) -> Result<Option<f64>> {
         if mass <= 0.0 {
             continue;
         }
-        let e = m
-            .expected_value()
-            .ok_or_else(|| EngineError::Operator("vacuous pdf in AVG".into()))?;
+        let e =
+            m.expected_value().ok_or_else(|| EngineError::Operator("vacuous pdf in AVG".into()))?;
         num += mass * e;
         den += mass;
     }
@@ -156,7 +152,6 @@ pub fn avg_expected(rel: &Relation, col: &str) -> Result<Option<f64>> {
 mod tests {
     use super::*;
     use crate::schema::{ColumnType, ProbSchema};
-    
 
     fn coins(n: usize) -> (Relation, HistoryRegistry) {
         let schema = ProbSchema::new(vec![("x", ColumnType::Int, true)], vec![]).unwrap();
@@ -211,9 +206,7 @@ mod tests {
         let g = sum_gaussian(&rel, "x").unwrap();
         assert_eq!(g.param_count(), 3, "constant-size approximation");
         // The approximation matches the exact mean.
-        assert!(
-            (g.expected_value().unwrap() - exact.expected_value().unwrap()).abs() < 1e-9
-        );
+        assert!((g.expected_value().unwrap() - exact.expected_value().unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -229,8 +222,7 @@ mod tests {
         let mut cont = Relation::new("c", schema);
         let mut reg = HistoryRegistry::new();
         for _ in 0..2 {
-            cont.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(1.0, 1.0).unwrap())])
-                .unwrap();
+            cont.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(1.0, 1.0).unwrap())]).unwrap();
         }
         assert!(sum_exact(&cont, "x").is_err());
         let g = sum_grid(&cont, "x", 64).unwrap();
@@ -242,17 +234,14 @@ mod tests {
         let schema = ProbSchema::new(vec![("x", ColumnType::Real, true)], vec![]).unwrap();
         let mut rel = Relation::new("t", schema);
         let mut reg = HistoryRegistry::new();
-        rel.insert_simple(
-            &mut reg,
-            &[],
-            &[("x", Pdf1::discrete(vec![(1.0, 0.5)]).unwrap())],
-        )
-        .unwrap();
-        assert!(sum_exact(&rel, "x").is_err(), "partial pdf");
-        let mut rel2 = Relation::new("t2", ProbSchema::new(
-            vec![("x", ColumnType::Real, true)], vec![]).unwrap());
-        rel2.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(0.0, 1.0).unwrap())])
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::discrete(vec![(1.0, 0.5)]).unwrap())])
             .unwrap();
+        assert!(sum_exact(&rel, "x").is_err(), "partial pdf");
+        let mut rel2 = Relation::new(
+            "t2",
+            ProbSchema::new(vec![("x", ColumnType::Real, true)], vec![]).unwrap(),
+        );
+        rel2.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(0.0, 1.0).unwrap())]).unwrap();
         assert!(sum_exact(&rel2, "x").is_err(), "continuous pdf");
     }
 
@@ -262,12 +251,8 @@ mod tests {
         let mut rel = Relation::new("t", schema);
         let mut reg = HistoryRegistry::new();
         rel.insert_simple(&mut reg, &[], &[("x", Pdf1::certain(10.0))]).unwrap();
-        rel.insert_simple(
-            &mut reg,
-            &[],
-            &[("x", Pdf1::discrete(vec![(20.0, 0.5)]).unwrap())],
-        )
-        .unwrap();
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::discrete(vec![(20.0, 0.5)]).unwrap())])
+            .unwrap();
         let opts = ExecOptions::default();
         assert!((count_expected(&rel, &reg, &opts).unwrap() - 1.5).abs() < 1e-12);
         // AVG weighted by existence: (1*10 + 0.5*20) / 1.5
@@ -296,4 +281,3 @@ mod tests {
         assert!(sum_exact(&rel, "nope").is_err());
     }
 }
-

@@ -23,6 +23,7 @@
 use crate::error::{EngineError, Result};
 use crate::history::HistoryRegistry;
 use crate::tuple::{NodeDim, PdfNode, ProbTuple};
+use orion_obs::ExecStats;
 use orion_pdf::prelude::JointPdf;
 
 /// Grid resolution (bins per dimension) used when continuous nodes must be
@@ -40,6 +41,20 @@ pub fn merge_pair(
     reg: &HistoryRegistry,
     resolution: usize,
 ) -> Result<PdfNode> {
+    merge_pair_with_stats(n1, n2, reg, resolution, None)
+}
+
+/// [`merge_pair`] with an optional stats collector counting the pdf
+/// operations performed: one `product` for an independent merge; for a
+/// dependent merge, one `collapse` plus the per-part products,
+/// marginalizations, and the final floor of the reconstruction.
+pub fn merge_pair_with_stats(
+    n1: &PdfNode,
+    n2: &PdfNode,
+    reg: &HistoryRegistry,
+    resolution: usize,
+    stats: Option<&ExecStats>,
+) -> Result<PdfNode> {
     let mut ancestors = n1.ancestors.clone();
     ancestors.extend(n2.ancestors.iter().copied());
 
@@ -52,21 +67,34 @@ pub fn merge_pair(
             n1.dims.iter().all(|d| n2.dim_of_var(d.var).is_none()),
             "independent nodes must cover disjoint variables"
         );
+        if let Some(s) = stats {
+            s.pdf_products.inc();
+        }
         let mut dims = n1.dims.clone();
         dims.extend_from_slice(&n2.dims);
         return Ok(PdfNode::new(dims, n1.joint.product(&n2.joint), ancestors));
+    }
+    if let Some(s) = stats {
+        s.collapses.inc();
     }
 
     // Dependent: rebuild through common ancestors. Assemble parts in the
     // order D1, D2, C_1 .. C_m.
     let mut dims: Vec<NodeDim> = Vec::new();
     let mut joint: Option<JointPdf> = None;
-    let push = |part_dims: Vec<NodeDim>, j: JointPdf, acc: &mut Option<JointPdf>,
-                    dims: &mut Vec<NodeDim>| {
+    let push = |part_dims: Vec<NodeDim>,
+                j: JointPdf,
+                acc: &mut Option<JointPdf>,
+                dims: &mut Vec<NodeDim>| {
         dims.extend(part_dims);
         *acc = Some(match acc.take() {
             None => j,
-            Some(a) => a.product(&j),
+            Some(a) => {
+                if let Some(s) = stats {
+                    s.pdf_products.inc();
+                }
+                a.product(&j)
+            }
         });
     };
 
@@ -81,13 +109,11 @@ pub fn merge_pair(
             .map(|(i, _)| i)
             .collect();
         if !d_idx.is_empty() {
+            if let Some(s) = stats {
+                s.pdf_marginalizations.inc();
+            }
             let part = n.joint.marginalize(&d_idx)?;
-            push(
-                d_idx.iter().map(|&i| n.dims[i]).collect(),
-                part,
-                &mut joint,
-                &mut dims,
-            );
+            push(d_idx.iter().map(|&i| n.dims[i]).collect(), part, &mut joint, &mut dims);
         }
     }
     // A variable outside every common ancestor can belong to only one of
@@ -115,21 +141,22 @@ pub fn merge_pair(
             if in1.is_none() && in2.is_none() {
                 continue;
             }
-            let column = in1
-                .and_then(|i| n1.dims[i].column)
-                .or_else(|| in2.and_then(|i| n2.dims[i].column));
+            let column =
+                in1.and_then(|i| n1.dims[i].column).or_else(|| in2.and_then(|i| n2.dims[i].column));
             keep.push(d);
             part_dims.push(NodeDim { var, column });
         }
         if keep.is_empty() {
             continue;
         }
+        if let Some(s) = stats {
+            s.pdf_marginalizations.inc();
+        }
         let marginal = base.joint.marginalize(&keep)?;
         push(part_dims, marginal, &mut joint, &mut dims);
     }
-    let joint = joint.ok_or_else(|| {
-        EngineError::Operator("dependent merge produced no components".into())
-    })?;
+    let joint = joint
+        .ok_or_else(|| EngineError::Operator("dependent merge produced no components".into()))?;
 
     // Propagate the observed floors: zero wherever either descendant's
     // density is zero at the corresponding coordinates.
@@ -144,6 +171,9 @@ pub fn merge_pair(
     let j2 = n2.joint.clone();
     let mut buf1 = vec![0.0; idx1.len()];
     let mut buf2 = vec![0.0; idx2.len()];
+    if let Some(s) = stats {
+        s.pdf_floors.inc();
+    }
     let floored = joint.floor_predicate(&all_dims, resolution, move |x| {
         for (b, &i) in buf1.iter_mut().zip(&idx1) {
             *b = x[i];
@@ -169,13 +199,21 @@ pub fn merge_nodes(
     reg: &HistoryRegistry,
     resolution: usize,
 ) -> Result<PdfNode> {
+    merge_nodes_with_stats(nodes, reg, resolution, None)
+}
+
+/// [`merge_nodes`] with an optional stats collector.
+pub fn merge_nodes_with_stats(
+    nodes: &[&PdfNode],
+    reg: &HistoryRegistry,
+    resolution: usize,
+    stats: Option<&ExecStats>,
+) -> Result<PdfNode> {
     let mut it = nodes.iter();
-    let first = it
-        .next()
-        .ok_or_else(|| EngineError::Operator("merge of zero nodes".into()))?;
+    let first = it.next().ok_or_else(|| EngineError::Operator("merge of zero nodes".into()))?;
     let mut acc = (*first).clone();
     for n in it {
-        acc = merge_pair(&acc, n, reg, resolution)?;
+        acc = merge_pair_with_stats(&acc, n, reg, resolution, stats)?;
     }
     Ok(acc)
 }
@@ -187,6 +225,16 @@ pub fn collapse_tuple(
     tuple: &ProbTuple,
     reg: &HistoryRegistry,
     resolution: usize,
+) -> Result<ProbTuple> {
+    collapse_tuple_with_stats(tuple, reg, resolution, None)
+}
+
+/// [`collapse_tuple`] with an optional stats collector.
+pub fn collapse_tuple_with_stats(
+    tuple: &ProbTuple,
+    reg: &HistoryRegistry,
+    resolution: usize,
+    stats: Option<&ExecStats>,
 ) -> Result<ProbTuple> {
     // Union-find over node indices, linked by ancestor intersection.
     let n = tuple.nodes.len();
@@ -200,8 +248,7 @@ pub fn collapse_tuple(
     }
     for i in 0..n {
         for j in i + 1..n {
-            if HistoryRegistry::dependent(&tuple.nodes[i].ancestors, &tuple.nodes[j].ancestors)
-            {
+            if HistoryRegistry::dependent(&tuple.nodes[i].ancestors, &tuple.nodes[j].ancestors) {
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 if ri != rj {
                     parent[rj] = ri;
@@ -220,7 +267,7 @@ pub fn collapse_tuple(
             nodes.push(tuple.nodes[members[0]].clone());
         } else {
             let refs: Vec<&PdfNode> = members.iter().map(|&i| &tuple.nodes[i]).collect();
-            nodes.push(merge_nodes(&refs, reg, resolution)?);
+            nodes.push(merge_nodes_with_stats(&refs, reg, resolution, stats)?);
         }
     }
     Ok(ProbTuple { certain: tuple.certain.clone(), nodes })
@@ -228,12 +275,18 @@ pub fn collapse_tuple(
 
 /// The true existence probability of a tuple, collapsing dependent nodes
 /// first.
-pub fn existence_prob(
+pub fn existence_prob(tuple: &ProbTuple, reg: &HistoryRegistry, resolution: usize) -> Result<f64> {
+    existence_prob_with_stats(tuple, reg, resolution, None)
+}
+
+/// [`existence_prob`] with an optional stats collector.
+pub fn existence_prob_with_stats(
     tuple: &ProbTuple,
     reg: &HistoryRegistry,
     resolution: usize,
+    stats: Option<&ExecStats>,
 ) -> Result<f64> {
-    Ok(collapse_tuple(tuple, reg, resolution)?.naive_existence())
+    Ok(collapse_tuple_with_stats(tuple, reg, resolution, stats)?.naive_existence())
 }
 
 #[cfg(test)]
@@ -250,11 +303,8 @@ mod tests {
         let mut reg = HistoryRegistry::new();
         let (a, b) = (100u64, 101u64);
         let base = JointPdf::from_points(
-            JointDiscrete::from_points(
-                2,
-                vec![(vec![4.0, 5.0], 0.9), (vec![2.0, 3.0], 0.1)],
-            )
-            .unwrap(),
+            JointDiscrete::from_points(2, vec![(vec![4.0, 5.0], 0.9), (vec![2.0, 3.0], 0.1)])
+                .unwrap(),
         );
         let id = reg.register(vec![a, b], base.clone());
         let anc: Ancestors = [id].into_iter().collect();
@@ -352,11 +402,8 @@ mod tests {
         let mut reg = HistoryRegistry::new();
         let (a, b, c) = (1u64, 2u64, 3u64);
         let base = JointPdf::from_points(
-            JointDiscrete::from_points(
-                2,
-                vec![(vec![0.0, 0.0], 0.5), (vec![1.0, 1.0], 0.5)],
-            )
-            .unwrap(),
+            JointDiscrete::from_points(2, vec![(vec![0.0, 0.0], 0.5), (vec![1.0, 1.0], 0.5)])
+                .unwrap(),
         );
         let id_ab = reg.register(vec![a, b], base.clone());
         let c_pdf = JointPdf::from_pdf1(Pdf1::discrete(vec![(9.0, 1.0)]).unwrap());
@@ -382,8 +429,7 @@ mod tests {
         assert_eq!(m.dims.len(), 3);
         // Only the world (a=1, b=1, c=9) survives, with probability 0.5.
         assert!((m.mass() - 0.5).abs() < 1e-12);
-        let (pa, pb, pc) =
-            (m.dim_of(a).unwrap(), m.dim_of(b).unwrap(), m.dim_of(c).unwrap());
+        let (pa, pb, pc) = (m.dim_of(a).unwrap(), m.dim_of(b).unwrap(), m.dim_of(c).unwrap());
         let mut pt = vec![0.0; 3];
         pt[pa] = 1.0;
         pt[pb] = 1.0;

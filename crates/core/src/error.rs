@@ -55,8 +55,7 @@ mod tests {
     fn conversions_and_display() {
         let e: EngineError = PdfError::Numeric("nan".into()).into();
         assert_eq!(e.to_string(), "pdf error: numeric error: nan");
-        let e: EngineError =
-            std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        let e: EngineError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
         assert!(e.to_string().contains("missing"));
     }
 }

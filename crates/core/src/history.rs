@@ -58,9 +58,7 @@ impl HistoryRegistry {
 
     /// Looks up a base pdf.
     pub fn base(&self, id: PdfId) -> Result<&BasePdf> {
-        self.bases
-            .get(&id)
-            .ok_or_else(|| EngineError::Operator(format!("unknown base pdf {id}")))
+        self.bases.get(&id).ok_or_else(|| EngineError::Operator(format!("unknown base pdf {id}")))
     }
 
     /// Number of registered (live + phantom) base pdfs.

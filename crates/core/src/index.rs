@@ -71,15 +71,8 @@ impl SupportIndex {
             let marginal = node
                 .marginal(col.id)
                 .ok_or_else(|| EngineError::Operator("marginal extraction failed".into()))?;
-            let support = marginal
-                .effective_support()
-                .unwrap_or_else(|| Interval::point(f64::NAN));
-            entries.push(Entry {
-                lo: support.lo,
-                hi: support.hi,
-                mass: node.mass(),
-                tuple: i,
-            });
+            let support = marginal.effective_support().unwrap_or_else(|| Interval::point(f64::NAN));
+            entries.push(Entry { lo: support.lo, hi: support.hi, mass: node.mass(), tuple: i });
         }
         entries.sort_by(|a, b| a.lo.partial_cmp(&b.lo).expect("finite supports"));
         let mut max_hi = Vec::with_capacity(entries.len());
@@ -107,9 +100,7 @@ impl SupportIndex {
     pub fn candidates(&self, iv: &Interval, min_mass: f64) -> Vec<usize> {
         // Entries with lo > iv.hi can never intersect; the sort bounds the
         // scan. Within the prefix, skip runs whose max_hi < iv.lo.
-        let end = self
-            .entries
-            .partition_point(|e| e.lo <= iv.hi);
+        let end = self.entries.partition_point(|e| e.lo <= iv.hi);
         let mut out = Vec::new();
         for i in 0..end {
             if self.max_hi[i] < iv.lo {
@@ -157,9 +148,10 @@ impl SupportIndex {
         for ti in candidates {
             let t = &rel.tuples[ti];
             let prob = crate::threshold::predicate_probability(rel, t, &pred, reg, opts)?;
-            if op.test(prob.partial_cmp(&p).ok_or_else(|| {
-                EngineError::Operator("non-finite probability".into())
-            })?) {
+            if op.test(
+                prob.partial_cmp(&p)
+                    .ok_or_else(|| EngineError::Operator("non-finite probability".into()))?,
+            ) {
                 for n in &t.nodes {
                     reg.add_refs(&n.ancestors);
                 }
@@ -229,8 +221,7 @@ mod tests {
         let idx = SupportIndex::build(&rel, "v").unwrap();
         let opts = ExecOptions::default();
         let iv = Interval::new(20.0, 28.0);
-        for (op, p) in [(CmpOp::Gt, 0.5), (CmpOp::Ge, 0.9), (CmpOp::Lt, 0.1), (CmpOp::Gt, 1e-6)]
-        {
+        for (op, p) in [(CmpOp::Gt, 0.5), (CmpOp::Ge, 0.9), (CmpOp::Lt, 0.1), (CmpOp::Gt, 1e-6)] {
             let indexed = idx.threshold_range(&rel, &iv, op, p, &mut reg, &opts).unwrap();
             let pred = Predicate::And(vec![
                 Predicate::cmp("v", CmpOp::Ge, iv.lo),
@@ -261,12 +252,8 @@ mod tests {
         let mut rel = Relation::new("t", schema);
         let mut reg = HistoryRegistry::new();
         // Mass 0.4 tuple can never satisfy Pr > 0.5.
-        rel.insert_simple(
-            &mut reg,
-            &[],
-            &[("v", Pdf1::discrete(vec![(5.0, 0.4)]).unwrap())],
-        )
-        .unwrap();
+        rel.insert_simple(&mut reg, &[], &[("v", Pdf1::discrete(vec![(5.0, 0.4)]).unwrap())])
+            .unwrap();
         rel.insert_simple(&mut reg, &[], &[("v", Pdf1::certain(5.0))]).unwrap();
         let idx = SupportIndex::build(&rel, "v").unwrap();
         let iv = Interval::new(0.0, 10.0);

@@ -130,10 +130,7 @@ fn cross_matching(
     let mut out = Relation::new(template.name.clone(), template.schema.clone());
     let mut buckets: std::collections::HashMap<CanonValue, Vec<usize>> = Default::default();
     for (i, t) in right.tuples.iter().enumerate() {
-        buckets
-            .entry(CanonValue::from(&t.certain[key.1]))
-            .or_default()
-            .push(i);
+        buckets.entry(CanonValue::from(&t.certain[key.1])).or_default().push(i);
     }
     for tl in &left.tuples {
         let Some(matches) = buckets.get(&CanonValue::from(&tl.certain[key.0])) else {
@@ -172,12 +169,11 @@ pub fn join(
     opts: &ExecOptions,
 ) -> Result<Relation> {
     let template = cross(&left.clone_empty(), &right.clone_empty(), reg)?;
-    let crossed = match pred
-        .and_then(|p| equi_key(&template.schema, left.schema.columns().len(), p))
-    {
-        Some(key) => cross_matching(left, right, &template, key, reg)?,
-        None => cross(left, right, reg)?,
-    };
+    let crossed =
+        match pred.and_then(|p| equi_key(&template.schema, left.schema.columns().len(), p)) {
+            Some(key) => cross_matching(left, right, &template, key, reg)?,
+            None => cross(left, right, reg)?,
+        };
     finish_join(crossed, pred, reg, opts)
 }
 
@@ -199,7 +195,7 @@ fn finish_join(
     if opts.eager_collapse && opts.use_histories {
         let mut collapsed = Vec::with_capacity(result.tuples.len());
         for t in &result.tuples {
-            let c = collapse::collapse_tuple(t, reg, opts.resolution)?;
+            let c = collapse::collapse_tuple_with_stats(t, reg, opts.resolution, opts.stats_ref())?;
             if c.is_vacuous() {
                 // Historically impossible combination (e.g. Figure 3's
                 // phantom pairs): drop it.

@@ -44,8 +44,7 @@ fn sample_world(
                 };
                 for (dim, nd) in n.dims.iter().enumerate() {
                     let Some(attr) = nd.column else { continue };
-                    if let Some(pos) = rel.schema.columns().iter().position(|c| c.id == attr)
-                    {
+                    if let Some(pos) = rel.schema.columns().iter().position(|c| c.id == attr) {
                         row[pos] = Value::Real(point[dim]);
                     }
                 }
@@ -54,11 +53,7 @@ fn sample_world(
         }
         world.insert(
             name.clone(),
-            ConcreteTable {
-                name: name.clone(),
-                columns: rel.schema.columns().to_vec(),
-                rows,
-            },
+            ConcreteTable { name: name.clone(), columns: rel.schema.columns().to_vec(), rows },
         );
     }
     world
@@ -105,10 +100,7 @@ pub fn mc_key_distribution(
             }
         }
     }
-    Ok(counts
-        .into_iter()
-        .map(|(k, c)| (k, c as f64 / samples as f64))
-        .collect())
+    Ok(counts.into_iter().map(|(k, c)| (k, c as f64 / samples as f64)).collect())
 }
 
 /// The engine side: executes the plan with the probabilistic operators and
@@ -224,10 +216,8 @@ mod tests {
             .unwrap();
             tables.insert(name.to_string(), rel);
         }
-        let plan = Plan::scan("l").join_on(
-            Plan::scan("r"),
-            Some(Predicate::cmp_cols("x", CmpOp::Lt, "y")),
-        );
+        let plan = Plan::scan("l")
+            .join_on(Plan::scan("r"), Some(Predicate::cmp_cols("x", CmpOp::Lt, "y")));
         let mut rng = XorShift::new(7);
         let mc = mc_key_distribution(&plan, &tables, SAMPLES, &mut rng).unwrap();
         let eng = engine_key_distribution(
@@ -260,14 +250,10 @@ mod tests {
         .unwrap();
         let mut rel = Relation::new("t", schema);
         // Correlated band: b concentrated near a.
-        let dims = vec![
-            GridDim::over(0.0, 10.0, 16).unwrap(),
-            GridDim::over(0.0, 10.0, 16).unwrap(),
-        ];
-        let grid = JointGrid::from_density(dims, 1.0, |p| {
-            (-(p[1] - p[0]) * (p[1] - p[0])).exp()
-        })
-        .unwrap();
+        let dims =
+            vec![GridDim::over(0.0, 10.0, 16).unwrap(), GridDim::over(0.0, 10.0, 16).unwrap()];
+        let grid =
+            JointGrid::from_density(dims, 1.0, |p| (-(p[1] - p[0]) * (p[1] - p[0])).exp()).unwrap();
         rel.insert(
             &mut reg,
             &[("id", Value::Int(1))],
@@ -278,13 +264,9 @@ mod tests {
         tables.insert("t".to_string(), rel);
 
         let ta = Plan::scan("t").project(&["id", "a"]);
-        let tb = Plan::scan("t")
-            .select(Predicate::cmp("b", CmpOp::Gt, 5.0))
-            .project(&["id", "b"]);
-        let plan = ta.join_on(
-            tb,
-            Some(Predicate::cmp_cols("pi(t).id", CmpOp::Eq, "pi(sigma(t)).id")),
-        );
+        let tb = Plan::scan("t").select(Predicate::cmp("b", CmpOp::Gt, 5.0)).project(&["id", "b"]);
+        let plan =
+            ta.join_on(tb, Some(Predicate::cmp_cols("pi(t).id", CmpOp::Eq, "pi(sigma(t)).id")));
         let mut rng = XorShift::new(99);
         let mc = mc_key_distribution(&plan, &tables, SAMPLES, &mut rng).unwrap();
         let eng =
@@ -296,9 +278,11 @@ mod tests {
     #[test]
     fn partial_pdfs_reduce_presence_frequency() {
         let mut reg = HistoryRegistry::new();
-        let schema =
-            ProbSchema::new(vec![("id", ColumnType::Int, false), ("x", ColumnType::Real, true)], vec![])
-                .unwrap();
+        let schema = ProbSchema::new(
+            vec![("id", ColumnType::Int, false), ("x", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
         let mut rel = Relation::new("p", schema);
         rel.insert_simple(
             &mut reg,
@@ -318,12 +302,8 @@ mod tests {
     #[test]
     fn threshold_plans_rejected() {
         let (tables, _) = gaussian_table();
-        let plan = Plan::ThresholdAttrs(
-            Box::new(Plan::scan("g")),
-            vec!["x".into()],
-            CmpOp::Gt,
-            0.5,
-        );
+        let plan =
+            Plan::ThresholdAttrs(Box::new(Plan::scan("g")), vec!["x".into()], CmpOp::Gt, 0.5);
         let mut rng = XorShift::new(1);
         assert!(mc_key_distribution(&plan, &tables, 10, &mut rng).is_err());
         assert!(mc_key_distribution(&Plan::scan("g"), &tables, 0, &mut rng).is_err());

@@ -267,8 +267,7 @@ pub fn load_database(path: &Path) -> Result<(HashMap<String, Relation>, HistoryR
                             dims.push(NodeDim { var: VarId { base, dim }, column });
                         }
                         let nanc = buf.get_u32_le() as usize;
-                        let ancestors: Ancestors =
-                            (0..nanc).map(|_| buf.get_u64_le()).collect();
+                        let ancestors: Ancestors = (0..nanc).map(|_| buf.get_u64_le()).collect();
                         let joint = decode_joint(&mut buf).map_err(bad)?;
                         reg.add_refs(&ancestors);
                         nodes.push(PdfNode::new(dims, joint, ancestors));
@@ -398,10 +397,8 @@ mod tests {
         let (loaded, mut lreg) = load_database(&path).unwrap();
         // Fresh schema after loading: ids must not collide with loaded ones.
         let fresh = ProbSchema::new(vec![("z", ColumnType::Real, true)], vec![]).unwrap();
-        let loaded_ids: Vec<AttrId> = loaded
-            .values()
-            .flat_map(|r| r.schema.columns().iter().map(|c| c.id))
-            .collect();
+        let loaded_ids: Vec<AttrId> =
+            loaded.values().flat_map(|r| r.schema.columns().iter().map(|c| c.id)).collect();
         assert!(!loaded_ids.contains(&fresh.column("z").unwrap().id));
         // Fresh base registration must not collide with loaded pdf ids.
         let new_id = lreg.register(vec![1], JointPdf::from_pdf1(Pdf1::certain(0.0)));

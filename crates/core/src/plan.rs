@@ -13,7 +13,9 @@ use crate::project::project;
 use crate::relation::Relation;
 use crate::select::{select, ExecOptions};
 use crate::threshold::{threshold_attrs, threshold_pred};
+use orion_obs::{ExecStats, OpProfile};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A logical query plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +105,80 @@ pub fn execute(
     }
 }
 
+/// Executes a plan like [`execute`], additionally building an [`OpProfile`]
+/// tree mirroring the plan. Each operator runs with its own
+/// [`ExecStats`] collector (pdf-operation counters flow in through
+/// `ExecOptions::stats`); tuple flow and wall time are recorded here, at
+/// the operator boundaries.
+pub fn execute_profiled(
+    plan: &Plan,
+    tables: &HashMap<String, Relation>,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<(Relation, OpProfile)> {
+    let stats = Arc::new(ExecStats::new());
+    let node_opts = ExecOptions { stats: Some(stats.clone()), ..opts.clone() };
+    // Children run before each node's timer starts, so elapsed time is
+    // per-operator (self time), not inclusive of inputs.
+    let (rel, mut profile) = match plan {
+        Plan::Scan(name) => {
+            let _t = stats.timer();
+            let rel = tables
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EngineError::Operator(format!("unknown table '{name}'")))?;
+            (rel, OpProfile::new("Scan", name.as_str()))
+        }
+        Plan::Select(p, pred) => {
+            let (input, child) = execute_profiled(p, tables, reg, opts)?;
+            stats.tuples_in.add(input.len() as u64);
+            let _t = stats.timer();
+            let out = select(&input, pred, reg, &node_opts)?;
+            (out, OpProfile::new("Select", pred.to_string()).with_child(child))
+        }
+        Plan::Project(p, cols) => {
+            let (input, child) = execute_profiled(p, tables, reg, opts)?;
+            stats.tuples_in.add(input.len() as u64);
+            let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+            let _t = stats.timer();
+            let out = project(&input, &refs, reg)?;
+            (out, OpProfile::new("Project", cols.join(", ")).with_child(child))
+        }
+        Plan::Join(l, r, pred) => {
+            let (left, lp) = execute_profiled(l, tables, reg, opts)?;
+            let (right, rp) = execute_profiled(r, tables, reg, opts)?;
+            stats.tuples_in.add((left.len() + right.len()) as u64);
+            let _t = stats.timer();
+            let out = join(&left, &right, pred.as_ref(), reg, &node_opts)?;
+            let detail = match pred {
+                Some(p) => p.to_string(),
+                None => "cross".to_string(),
+            };
+            (out, OpProfile::new("Join", detail).with_child(lp).with_child(rp))
+        }
+        Plan::ThresholdAttrs(p, attrs, op, prob) => {
+            let (input, child) = execute_profiled(p, tables, reg, opts)?;
+            stats.tuples_in.add(input.len() as u64);
+            let refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+            let _t = stats.timer();
+            let out = threshold_attrs(&input, &refs, *op, *prob, reg, &node_opts)?;
+            let detail = format!("Pr({}) {op} {prob}", attrs.join(", "));
+            (out, OpProfile::new("ThresholdAttrs", detail).with_child(child))
+        }
+        Plan::ThresholdPred(p, pred, op, prob) => {
+            let (input, child) = execute_profiled(p, tables, reg, opts)?;
+            stats.tuples_in.add(input.len() as u64);
+            let _t = stats.timer();
+            let out = threshold_pred(&input, pred, *op, *prob, reg, &node_opts)?;
+            let detail = format!("Pr({pred}) {op} {prob}");
+            (out, OpProfile::new("ThresholdPred", detail).with_child(child))
+        }
+    };
+    stats.tuples_out.add(rel.len() as u64);
+    profile.stats = stats.snapshot();
+    Ok((rel, profile))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,9 +210,7 @@ mod tests {
     #[test]
     fn execute_pipeline() {
         let (tables, mut reg) = db();
-        let plan = Plan::scan("t")
-            .select(Predicate::cmp("x", CmpOp::Lt, 8.0))
-            .project(&["id"]);
+        let plan = Plan::scan("t").select(Predicate::cmp("x", CmpOp::Lt, 8.0)).project(&["id"]);
         let out = execute(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.schema.columns().len(), 1);
@@ -159,10 +233,30 @@ mod tests {
     }
 
     #[test]
+    fn execute_profiled_matches_execute_and_counts() {
+        let (tables, mut reg) = db();
+        let plan = Plan::scan("t").select(Predicate::cmp("x", CmpOp::Lt, 8.0)).project(&["id"]);
+        let (out, profile) =
+            execute_profiled(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(profile.name, "Project");
+        assert_eq!(profile.stats.tuples_in, 2);
+        assert_eq!(profile.stats.tuples_out, 2);
+        let sel = &profile.children[0];
+        assert_eq!(sel.name, "Select");
+        assert_eq!(sel.detail, "x < 8");
+        assert_eq!(sel.stats.tuples_in, 2);
+        assert_eq!(sel.stats.tuples_out, 2);
+        assert_eq!(sel.stats.pdf_floors, 2, "one symbolic floor per tuple");
+        let scan = &sel.children[0];
+        assert_eq!(scan.name, "Scan");
+        assert_eq!(scan.stats.tuples_out, 2);
+    }
+
+    #[test]
     fn unknown_table_errors() {
         let (tables, mut reg) = db();
-        assert!(execute(&Plan::scan("nope"), &tables, &mut reg, &ExecOptions::default())
-            .is_err());
+        assert!(execute(&Plan::scan("nope"), &tables, &mut reg, &ExecOptions::default()).is_err());
     }
 
     #[test]
@@ -171,8 +265,6 @@ mod tests {
         assert!(!p.has_threshold());
         let t = Plan::ThresholdAttrs(Box::new(p), vec!["x".into()], CmpOp::Gt, 0.5);
         assert!(t.has_threshold());
-        assert!(Plan::scan("a")
-            .join_on(t, None)
-            .has_threshold());
+        assert!(Plan::scan("a").join_on(t, None).has_threshold());
     }
 }

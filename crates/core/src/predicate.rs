@@ -253,11 +253,7 @@ mod tests {
 
     fn lookup<'a>(pairs: &'a [(&'a str, Value)]) -> impl Fn(&str) -> Value + 'a {
         move |name| {
-            pairs
-                .iter()
-                .find(|(n, _)| *n == name)
-                .map(|(_, v)| v.clone())
-                .unwrap_or(Value::Null)
+            pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| v.clone()).unwrap_or(Value::Null)
         }
     }
 
@@ -276,29 +272,17 @@ mod tests {
             Predicate::cmp("b", CmpOp::Gt, 0i64),
         ]);
         // FALSE AND UNKNOWN = FALSE.
-        assert_eq!(
-            p.eval(&lookup(&[("a", Value::Int(-1)), ("b", Value::Null)])),
-            Some(false)
-        );
+        assert_eq!(p.eval(&lookup(&[("a", Value::Int(-1)), ("b", Value::Null)])), Some(false));
         // TRUE AND UNKNOWN = UNKNOWN.
-        assert_eq!(
-            p.eval(&lookup(&[("a", Value::Int(1)), ("b", Value::Null)])),
-            None
-        );
+        assert_eq!(p.eval(&lookup(&[("a", Value::Int(1)), ("b", Value::Null)])), None);
         let q = Predicate::Or(vec![
             Predicate::cmp("a", CmpOp::Gt, 0i64),
             Predicate::cmp("b", CmpOp::Gt, 0i64),
         ]);
         // TRUE OR UNKNOWN = TRUE.
-        assert_eq!(
-            q.eval(&lookup(&[("a", Value::Int(1)), ("b", Value::Null)])),
-            Some(true)
-        );
+        assert_eq!(q.eval(&lookup(&[("a", Value::Int(1)), ("b", Value::Null)])), Some(true));
         // FALSE OR UNKNOWN = UNKNOWN.
-        assert_eq!(
-            q.eval(&lookup(&[("a", Value::Int(-1)), ("b", Value::Null)])),
-            None
-        );
+        assert_eq!(q.eval(&lookup(&[("a", Value::Int(-1)), ("b", Value::Null)])), None);
     }
 
     #[test]
@@ -340,9 +324,7 @@ mod tests {
     #[test]
     fn single_column_floor_shapes() {
         // x < 5 fails on [5, inf).
-        let (c, r) = Predicate::cmp("x", CmpOp::Lt, 5i64)
-            .single_column_floor()
-            .unwrap();
+        let (c, r) = Predicate::cmp("x", CmpOp::Lt, 5i64).single_column_floor().unwrap();
         assert_eq!(c, "x");
         assert!(r.contains(5.0) && r.contains(100.0) && !r.contains(4.999));
         // Mirrored: 5 > x  ==  x < 5.
@@ -352,25 +334,17 @@ mod tests {
         assert_eq!(c2, "x");
         assert_eq!(r2, r);
         // Column-column atoms have no single-column floor.
-        assert!(Predicate::cmp_cols("x", CmpOp::Lt, "y")
-            .single_column_floor()
-            .is_none());
+        assert!(Predicate::cmp_cols("x", CmpOp::Lt, "y").single_column_floor().is_none());
         // Text literal: not a numeric floor.
-        assert!(Predicate::cmp("x", CmpOp::Eq, "abc")
-            .single_column_floor()
-            .is_none());
+        assert!(Predicate::cmp("x", CmpOp::Eq, "abc").single_column_floor().is_none());
     }
 
     #[test]
     fn failing_region_eq_ne() {
-        let (_, r) = Predicate::cmp("x", CmpOp::Eq, 3i64)
-            .single_column_floor()
-            .unwrap();
+        let (_, r) = Predicate::cmp("x", CmpOp::Eq, 3i64).single_column_floor().unwrap();
         // Everything except the point 3 fails.
         assert!(r.contains(2.999) && r.contains(3.001) && !r.contains(3.0));
-        let (_, r) = Predicate::cmp("x", CmpOp::Ne, 3i64)
-            .single_column_floor()
-            .unwrap();
+        let (_, r) = Predicate::cmp("x", CmpOp::Ne, 3i64).single_column_floor().unwrap();
         assert!(!r.contains(2.0) && r.contains(3.0));
         let _ = Interval::all();
     }

@@ -21,11 +21,7 @@ use crate::tuple::ProbTuple;
 const FULL_MASS_EPS: f64 = 1e-9;
 
 /// Evaluates Π_cols over a relation.
-pub fn project(
-    rel: &Relation,
-    cols: &[&str],
-    reg: &mut HistoryRegistry,
-) -> Result<Relation> {
+pub fn project(rel: &Relation, cols: &[&str], reg: &mut HistoryRegistry) -> Result<Relation> {
     if cols.is_empty() {
         return Err(EngineError::Operator("projection onto zero columns".into()));
     }
@@ -61,10 +57,7 @@ pub fn project(
         let certain: Vec<_> = kept_idx.iter().map(|&i| t.certain[i].clone()).collect();
         let mut nodes = Vec::new();
         for n in &t.nodes {
-            let intersects = n
-                .dims
-                .iter()
-                .any(|d| d.column.is_some_and(|a| kept_ids.contains(&a)));
+            let intersects = n.dims.iter().any(|d| d.column.is_some_and(|a| kept_ids.contains(&a)));
             if intersects || n.mass() < 1.0 - FULL_MASS_EPS {
                 // Kept in full; columns outside `kept_ids` become phantom
                 // dimensions (visible to histories, hidden from users).
@@ -135,13 +128,9 @@ mod tests {
         // Select b > 1 (mass 0.4), project to a: the b node must be kept
         // (phantom) because its floor constrains tuple existence.
         let (rel, mut reg) = ab_relation();
-        let sel = select(
-            &rel,
-            &Predicate::cmp("b", CmpOp::Gt, 1i64),
-            &mut reg,
-            &ExecOptions::default(),
-        )
-        .unwrap();
+        let sel =
+            select(&rel, &Predicate::cmp("b", CmpOp::Gt, 1i64), &mut reg, &ExecOptions::default())
+                .unwrap();
         let out = project(&sel, &["a"], &mut reg).unwrap();
         assert_eq!(out.schema.columns().len(), 1);
         let t = &out.tuples[0];

@@ -201,7 +201,10 @@ fn for_each_world(
 
 /// Executes a plan classically within one world, mirroring the engine's
 /// derived-relation naming so join-time column qualification matches.
-pub(crate) fn run_classical(plan: &Plan, world: &HashMap<String, ConcreteTable>) -> Result<ConcreteTable> {
+pub(crate) fn run_classical(
+    plan: &Plan,
+    world: &HashMap<String, ConcreteTable>,
+) -> Result<ConcreteTable> {
     match plan {
         Plan::Scan(name) => world
             .get(name)
@@ -240,11 +243,7 @@ pub(crate) fn run_classical(plan: &Plan, world: &HashMap<String, ConcreteTable>)
             Ok(ConcreteTable {
                 name: format!("pi({})", t.name),
                 columns: idx.iter().map(|&i| t.columns[i].clone()).collect(),
-                rows: t
-                    .rows
-                    .iter()
-                    .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
-                    .collect(),
+                rows: t.rows.iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect()).collect(),
             })
         }
         Plan::Join(l, r, pred) => {
@@ -289,11 +288,7 @@ pub(crate) fn run_classical(plan: &Plan, world: &HashMap<String, ConcreteTable>)
                     }
                 }
             }
-            Ok(ConcreteTable {
-                name: format!("({} x {})", lt.name, rt.name),
-                columns,
-                rows,
-            })
+            Ok(ConcreteTable { name: format!("({} x {})", lt.name, rt.name), columns, rows })
         }
         Plan::ThresholdAttrs(..) | Plan::ThresholdPred(..) => Err(EngineError::Operator(
             "threshold operators are defined outside possible-worlds semantics".into(),
@@ -385,9 +380,9 @@ pub fn pws_row_distribution_via_ancestors(
                             d.var.base
                         )));
                     }
-                    let row_pos = d.column.and_then(|attr| {
-                        rel.schema.columns().iter().position(|c| c.id == attr)
-                    });
+                    let row_pos = d
+                        .column
+                        .and_then(|attr| rel.schema.columns().iter().position(|c| c.id == attr));
                     dims.push(DimMap { base_idx, base_dim, row_pos });
                 }
                 nodes.push((dims, &n.joint));
@@ -432,11 +427,7 @@ pub fn pws_row_distribution_via_ancestors(
                 }
                 world.insert(
                     p.name.clone(),
-                    ConcreteTable {
-                        name: p.name.clone(),
-                        columns: p.columns.clone(),
-                        rows,
-                    },
+                    ConcreteTable { name: p.name.clone(), columns: p.columns.clone(), rows },
                 );
             }
             let out = run_classical(plan, &world)?;
@@ -546,12 +537,7 @@ pub fn engine_row_distribution(
                 outcomes: grouped
                     .into_iter()
                     .map(|(k, p)| {
-                        (
-                            k.into_iter()
-                                .map(|(pos, bits)| (pos, f64::from_bits(bits)))
-                                .collect(),
-                            p,
-                        )
+                        (k.into_iter().map(|(pos, bits)| (pos, f64::from_bits(bits))).collect(), p)
                     })
                     .collect(),
             });
@@ -648,12 +634,8 @@ mod tests {
             ],
         )
         .unwrap();
-        rel.insert_simple(
-            &mut reg,
-            &[],
-            &[("a", Pdf1::certain(7.0)), ("b", Pdf1::certain(3.0))],
-        )
-        .unwrap();
+        rel.insert_simple(&mut reg, &[], &[("a", Pdf1::certain(7.0)), ("b", Pdf1::certain(3.0))])
+            .unwrap();
         let mut tables = HashMap::new();
         tables.insert("T".to_string(), rel);
         (tables, reg)
@@ -689,9 +671,7 @@ mod tests {
     #[test]
     fn projection_conforms_to_pws() {
         let (tables, mut reg) = table2();
-        let plan = Plan::scan("T")
-            .select(Predicate::cmp("b", CmpOp::Gt, 1i64))
-            .project(&["a"]);
+        let plan = Plan::scan("T").select(Predicate::cmp("b", CmpOp::Gt, 1i64)).project(&["a"]);
         let (truth, engine) =
             conformance_report(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
         assert!(distribution_distance(&truth, &engine) < 1e-9, "{truth:?} vs {engine:?}");
@@ -702,8 +682,7 @@ mod tests {
         let mut reg = HistoryRegistry::new();
         let schema = ProbSchema::new(vec![("x", ColumnType::Real, true)], vec![]).unwrap();
         let mut rel = Relation::new("g", schema);
-        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(0.0, 1.0).unwrap())])
-            .unwrap();
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(0.0, 1.0).unwrap())]).unwrap();
         let mut tables = HashMap::new();
         tables.insert("g".to_string(), rel);
         assert!(pws_row_distribution(&Plan::scan("g"), &tables).is_err());
@@ -712,12 +691,8 @@ mod tests {
     #[test]
     fn threshold_rejected_under_pws() {
         let (tables, _) = table2();
-        let plan = Plan::ThresholdAttrs(
-            Box::new(Plan::scan("T")),
-            vec!["a".into()],
-            CmpOp::Gt,
-            0.5,
-        );
+        let plan =
+            Plan::ThresholdAttrs(Box::new(Plan::scan("T")), vec!["a".into()], CmpOp::Gt, 0.5);
         assert!(pws_row_distribution(&plan, &tables).is_err());
     }
 

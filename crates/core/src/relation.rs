@@ -166,9 +166,7 @@ impl Relation {
         probs: &[f64],
     ) -> Result<()> {
         if alternatives.len() != probs.len() || alternatives.is_empty() {
-            return Err(EngineError::Operator(
-                "need one probability per alternative".into(),
-            ));
+            return Err(EngineError::Operator("need one probability per alternative".into()));
         }
         let total: f64 = probs.iter().sum();
         if probs.iter().any(|p| !(0.0..=1.0).contains(p)) || total > 1.0 + 1e-9 {
@@ -227,19 +225,12 @@ impl Relation {
                     .ok_or_else(|| EngineError::Schema(format!("unknown column '{name}'")))?;
                 let joint = JointPdf::from_pdf1(p.clone());
                 let id = reg.register(vec![col.id], joint.clone());
-                nodes.push(PdfNode::base(
-                    id,
-                    &[col.id],
-                    joint,
-                    [id].into_iter().collect(),
-                ));
+                nodes.push(PdfNode::base(id, &[col.id], joint, [id].into_iter().collect()));
             }
             // The existence-constraint node: the selector floored to i
             // (zero everywhere the selector differs from i).
-            let not_i = crate::interval_of_cmp::failing_region(
-                crate::predicate::CmpOp::Eq,
-                i as f64,
-            );
+            let not_i =
+                crate::interval_of_cmp::failing_region(crate::predicate::CmpOp::Eq, i as f64);
             let floored = selector.floor_axis(0, &not_i);
             nodes.push(PdfNode::new(
                 vec![crate::tuple::NodeDim {
@@ -262,10 +253,8 @@ impl Relation {
         certain: &[(&str, Value)],
         pdfs: &[(&str, Pdf1)],
     ) -> Result<()> {
-        let uncertain = pdfs
-            .iter()
-            .map(|(name, p)| (vec![*name], JointPdf::from_pdf1(p.clone())))
-            .collect();
+        let uncertain =
+            pdfs.iter().map(|(name, p)| (vec![*name], JointPdf::from_pdf1(p.clone()))).collect();
         self.insert(reg, certain, uncertain)
     }
 
@@ -384,9 +373,7 @@ mod tests {
     fn insert_validation() {
         let (mut rel, mut reg) = sensor_relation();
         // Pdf for a certain column.
-        assert!(rel
-            .insert_simple(&mut reg, &[], &[("id", Pdf1::certain(1.0))])
-            .is_err());
+        assert!(rel.insert_simple(&mut reg, &[], &[("id", Pdf1::certain(1.0))]).is_err());
         // Value for an uncertain column.
         assert!(rel
             .insert(
@@ -398,9 +385,7 @@ mod tests {
         // Missing pdf.
         assert!(rel.insert(&mut reg, &[("id", Value::Int(9))], vec![]).is_err());
         // Unknown column.
-        assert!(rel
-            .insert_simple(&mut reg, &[("nope", Value::Int(1))], &[])
-            .is_err());
+        assert!(rel.insert_simple(&mut reg, &[("nope", Value::Int(1))], &[]).is_err());
         // Arity mismatch.
         assert!(rel
             .insert(
@@ -429,14 +414,10 @@ mod tests {
         let mut rel = Relation::new("t", schema);
         let mut reg = HistoryRegistry::new();
         let joint = JointPdf::from_points(
-            JointDiscrete::from_points(
-                2,
-                vec![(vec![4.0, 7.0], 0.2), (vec![4.1, 3.7], 0.6)],
-            )
-            .unwrap(),
+            JointDiscrete::from_points(2, vec![(vec![4.0, 7.0], 0.2), (vec![4.1, 3.7], 0.6)])
+                .unwrap(),
         );
-        rel.insert(&mut reg, &[("a", Value::Int(2))], vec![(vec!["b", "c"], joint)])
-            .unwrap();
+        rel.insert(&mut reg, &[("a", Value::Int(2))], vec![(vec!["b", "c"], joint)]).unwrap();
         assert!((rel.tuples[0].naive_existence() - 0.8).abs() < 1e-12);
     }
 

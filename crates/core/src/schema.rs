@@ -68,10 +68,7 @@ impl ProbSchema {
     /// Builds a schema from `(name, type, uncertain)` column specs and
     /// dependency groups given by column name. Unlisted uncertain columns
     /// become singleton dependency sets.
-    pub fn new(
-        cols: Vec<(&str, ColumnType, bool)>,
-        dep_groups: Vec<Vec<&str>>,
-    ) -> Result<Self> {
+    pub fn new(cols: Vec<(&str, ColumnType, bool)>, dep_groups: Vec<Vec<&str>>) -> Result<Self> {
         let mut columns = Vec::with_capacity(cols.len());
         for (name, ty, uncertain) in cols {
             if uncertain && !ty.supports_uncertainty() {
@@ -220,10 +217,7 @@ mod tests {
     #[test]
     fn unlisted_uncertain_gets_singleton() {
         let s = ProbSchema::new(
-            vec![
-                ("a", ColumnType::Real, true),
-                ("b", ColumnType::Real, true),
-            ],
+            vec![("a", ColumnType::Real, true), ("b", ColumnType::Real, true)],
             vec![],
         )
         .unwrap();
@@ -238,16 +232,9 @@ mod tests {
             vec![]
         )
         .is_err());
-        assert!(ProbSchema::new(
-            vec![("a", ColumnType::Int, false)],
-            vec![vec!["a"]]
-        )
-        .is_err());
-        assert!(ProbSchema::new(
-            vec![("a", ColumnType::Real, true)],
-            vec![vec!["a"], vec!["a"]]
-        )
-        .is_err());
+        assert!(ProbSchema::new(vec![("a", ColumnType::Int, false)], vec![vec!["a"]]).is_err());
+        assert!(ProbSchema::new(vec![("a", ColumnType::Real, true)], vec![vec!["a"], vec!["a"]])
+            .is_err());
         assert!(ProbSchema::new(vec![("a", ColumnType::Real, true)], vec![vec!["b"]]).is_err());
     }
 

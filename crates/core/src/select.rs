@@ -19,9 +19,11 @@ use crate::relation::Relation;
 use crate::schema::{closure, AttrId};
 use crate::tuple::{PdfNode, ProbTuple};
 use crate::value::Value;
+use orion_obs::ExecStats;
+use std::sync::Arc;
 
 /// Execution options shared by the relational operators.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Grid bins per dimension when continuous pdfs must be materialized.
     pub resolution: usize,
@@ -31,6 +33,11 @@ pub struct ExecOptions {
     /// Collapse historically dependent nodes eagerly after joins
     /// (Section III-D leaves the timing to the implementation).
     pub eager_collapse: bool,
+    /// Execution-stats collector. When present, the operators count the pdf
+    /// operations they perform (products, floors, marginalizations,
+    /// history collapses) into it; tuple flow and wall time are recorded by
+    /// the profiled executors, which know operator boundaries.
+    pub stats: Option<Arc<ExecStats>>,
 }
 
 impl Default for ExecOptions {
@@ -39,7 +46,21 @@ impl Default for ExecOptions {
             resolution: collapse::DEFAULT_RESOLUTION,
             use_histories: true,
             eager_collapse: true,
+            stats: None,
         }
+    }
+}
+
+impl ExecOptions {
+    /// This options set with a stats collector attached.
+    pub fn with_stats(mut self, stats: Arc<ExecStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Borrows the collector in the form the collapse helpers take.
+    pub fn stats_ref(&self) -> Option<&ExecStats> {
+        self.stats.as_deref()
     }
 }
 
@@ -71,10 +92,8 @@ pub fn select(
     }
 
     // Update the visible dependency information: Δ_R = Ω(Δ_T ∪ {A}).
-    let a_ids: Vec<AttrId> = uncertain_cols
-        .iter()
-        .map(|c| rel.schema.column(c).expect("validated").id)
-        .collect();
+    let a_ids: Vec<AttrId> =
+        uncertain_cols.iter().map(|c| rel.schema.column(c).expect("validated").id).collect();
     let mut sets: Vec<Vec<AttrId>> = rel.schema.deps().to_vec();
     sets.push(a_ids.clone());
     out.schema.set_deps(closure(&sets));
@@ -82,7 +101,7 @@ pub fn select(
     let fast = fast_path_atoms(rel, pred);
     for t in &rel.tuples {
         let new_t = match &fast {
-            Some(atoms) => select_tuple_fast(rel, t, atoms, pred)?,
+            Some(atoms) => select_tuple_fast(rel, t, atoms, opts.stats_ref())?,
             None => select_tuple_general(rel, t, pred, &a_ids, reg, opts)?,
         };
         if let Some(nt) = new_t {
@@ -106,12 +125,7 @@ pub(crate) fn certain_lookup<'a>(
     rel: &'a Relation,
     t: &'a ProbTuple,
 ) -> impl Fn(&str) -> Value + 'a {
-    move |name| {
-        rel.schema
-            .index_of(name)
-            .map(|i| t.certain[i].clone())
-            .unwrap_or(Value::Null)
-    }
+    move |name| rel.schema.index_of(name).map(|i| t.certain[i].clone()).unwrap_or(Value::Null)
 }
 
 /// One fast-path conjunct: either a certain-only atom, or a single
@@ -129,9 +143,8 @@ fn fast_path_atoms(rel: &Relation, pred: &Predicate) -> Option<Vec<FastAtom>> {
     for conj in pred.conjuncts() {
         // OR/NOT inside a conjunct disables the fast path unless certain-only.
         let cols = conj.columns();
-        let all_certain = cols
-            .iter()
-            .all(|c| rel.schema.column(c).is_some_and(|col| !col.uncertain));
+        let all_certain =
+            cols.iter().all(|c| rel.schema.column(c).is_some_and(|col| !col.uncertain));
         if all_certain {
             atoms.push(FastAtom::Certain(conj.clone()));
             continue;
@@ -153,7 +166,7 @@ fn select_tuple_fast(
     rel: &Relation,
     t: &ProbTuple,
     atoms: &[FastAtom],
-    _pred: &Predicate,
+    stats: Option<&ExecStats>,
 ) -> Result<Option<ProbTuple>> {
     let mut nt = t.clone();
     for atom in atoms {
@@ -175,6 +188,9 @@ fn select_tuple_fast(
                     .ok_or_else(|| EngineError::Operator(format!("no pdf node for '{col}'")))?;
                 let node = &nt.nodes[ni];
                 let dim = node.dim_of(attr).expect("node covers attr");
+                if let Some(s) = stats {
+                    s.pdf_floors.inc();
+                }
                 let floored = node.joint.floor_axis(dim, region);
                 nt.nodes[ni] = PdfNode::new(node.dims.clone(), floored, node.ancestors.clone());
             }
@@ -218,8 +234,11 @@ fn select_tuple_general(
     } else {
         let refs: Vec<&PdfNode> = touched.iter().map(|&i| &t.nodes[i]).collect();
         if opts.use_histories {
-            collapse::merge_nodes(&refs, reg, opts.resolution)?
+            collapse::merge_nodes_with_stats(&refs, reg, opts.resolution, opts.stats_ref())?
         } else {
+            if let Some(s) = opts.stats_ref() {
+                s.pdf_products.add(refs.len() as u64 - 1);
+            }
             naive_merge(&refs)?
         }
     };
@@ -253,6 +272,9 @@ fn select_tuple_general(
 
     let pred_cloned = pred.clone();
     let names = col_names.clone();
+    if let Some(s) = opts.stats_ref() {
+        s.pdf_floors.inc();
+    }
     let floored = merged.joint.floor_predicate(&dims, opts.resolution, move |x| {
         let lookup = |name: &str| -> Value {
             if let Some(i) = names.iter().position(|n| n == name) {
@@ -266,8 +288,7 @@ fn select_tuple_general(
         };
         pred_cloned.eval(&lookup) == Some(true)
     })?;
-    let new_dims: Vec<crate::tuple::NodeDim> =
-        order.iter().map(|&i| merged.dims[i]).collect();
+    let new_dims: Vec<crate::tuple::NodeDim> = order.iter().map(|&i| merged.dims[i]).collect();
     let new_node = PdfNode::new(new_dims, floored, merged.ancestors);
 
     let mut nodes = Vec::with_capacity(t.nodes.len() - touched.len() + 1);
@@ -306,7 +327,7 @@ pub(crate) fn apply_predicate_tuple(
         return Ok((pred.eval(&lookup) == Some(true)).then(|| t.clone()));
     }
     match fast_path_atoms(rel, pred) {
-        Some(atoms) => select_tuple_fast(rel, t, &atoms, pred),
+        Some(atoms) => select_tuple_fast(rel, t, &atoms, opts.stats_ref()),
         None => select_tuple_general(rel, t, pred, &uncertain, reg, opts),
     }
 }
@@ -315,9 +336,7 @@ pub(crate) fn apply_predicate_tuple(
 /// Figure 3 baseline (public for the ablation harness).
 pub fn naive_merge(nodes: &[&PdfNode]) -> Result<PdfNode> {
     let mut it = nodes.iter();
-    let first = it
-        .next()
-        .ok_or_else(|| EngineError::Operator("merge of zero nodes".into()))?;
+    let first = it.next().ok_or_else(|| EngineError::Operator("merge of zero nodes".into()))?;
     let mut dims = first.dims.clone();
     let mut joint = first.joint.clone();
     let mut ancestors = first.ancestors.clone();
@@ -363,15 +382,8 @@ mod tests {
             ],
         )
         .unwrap();
-        rel.insert_simple(
-            &mut reg,
-            &[],
-            &[
-                ("a", Pdf1::certain(7.0)),
-                ("b", Pdf1::certain(3.0)),
-            ],
-        )
-        .unwrap();
+        rel.insert_simple(&mut reg, &[], &[("a", Pdf1::certain(7.0)), ("b", Pdf1::certain(3.0))])
+            .unwrap();
         (rel, reg)
     }
 
@@ -431,13 +443,9 @@ mod tests {
             )
             .unwrap();
         }
-        let out = select(
-            &rel,
-            &Predicate::cmp("id", CmpOp::Eq, 1i64),
-            &mut reg,
-            &ExecOptions::default(),
-        )
-        .unwrap();
+        let out =
+            select(&rel, &Predicate::cmp("id", CmpOp::Eq, 1i64), &mut reg, &ExecOptions::default())
+                .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.marginal(0, "loc").unwrap().to_string(), "Gaus(20,5)");
     }
@@ -447,15 +455,10 @@ mod tests {
         let schema = ProbSchema::new(vec![("x", ColumnType::Real, true)], vec![]).unwrap();
         let mut rel = Relation::new("t", schema);
         let mut reg = HistoryRegistry::new();
-        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(5.0, 1.0).unwrap())])
-            .unwrap();
-        let out = select(
-            &rel,
-            &Predicate::cmp("x", CmpOp::Lt, 5.0),
-            &mut reg,
-            &ExecOptions::default(),
-        )
-        .unwrap();
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(5.0, 1.0).unwrap())]).unwrap();
+        let out =
+            select(&rel, &Predicate::cmp("x", CmpOp::Lt, 5.0), &mut reg, &ExecOptions::default())
+                .unwrap();
         let m = out.marginal(0, "x").unwrap();
         // The representation stays symbolic: [Gaus(5,1), Floor{[5,inf]}].
         assert_eq!(m.to_string(), "[Gaus(5,1), Floor{[5,inf]}]");
@@ -496,13 +499,9 @@ mod tests {
     fn fully_floored_tuple_removed() {
         let (rel, mut reg) = table2();
         // a < 0 is impossible for both tuples.
-        let out = select(
-            &rel,
-            &Predicate::cmp("a", CmpOp::Lt, -1i64),
-            &mut reg,
-            &ExecOptions::default(),
-        )
-        .unwrap();
+        let out =
+            select(&rel, &Predicate::cmp("a", CmpOp::Lt, -1i64), &mut reg, &ExecOptions::default())
+                .unwrap();
         assert!(out.is_empty());
     }
 
@@ -546,10 +545,7 @@ mod tests {
         ]);
         let out = select(&rel, &pred, &mut reg, &ExecOptions::default()).unwrap();
         assert_eq!(out.len(), 2);
-        let m0 = out
-            .tuples[0]
-            .node_for(rel.schema.column("a").unwrap().id)
-            .unwrap();
+        let m0 = out.tuples[0].node_for(rel.schema.column("a").unwrap().id).unwrap();
         assert!((m0.mass() - 0.1).abs() < 1e-12);
     }
 
@@ -558,15 +554,14 @@ mod tests {
         let schema = ProbSchema::new(vec![("x", ColumnType::Real, true)], vec![]).unwrap();
         let mut rel = Relation::new("t", schema);
         let mut reg = HistoryRegistry::new();
-        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(0.0, 1.0).unwrap())])
-            .unwrap();
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::gaussian(0.0, 1.0).unwrap())]).unwrap();
         let opts = ExecOptions::default();
         let p1 = Predicate::cmp("x", CmpOp::Gt, -1.0);
         let p2 = Predicate::cmp("x", CmpOp::Lt, 1.0);
-        let ab = select(&select(&rel, &p1, &mut reg, &opts).unwrap(), &p2, &mut reg, &opts)
-            .unwrap();
-        let ba = select(&select(&rel, &p2, &mut reg, &opts).unwrap(), &p1, &mut reg, &opts)
-            .unwrap();
+        let ab =
+            select(&select(&rel, &p1, &mut reg, &opts).unwrap(), &p2, &mut reg, &opts).unwrap();
+        let ba =
+            select(&select(&rel, &p2, &mut reg, &opts).unwrap(), &p1, &mut reg, &opts).unwrap();
         let (ma, mb) = (ab.marginal(0, "x").unwrap(), ba.marginal(0, "x").unwrap());
         assert!((ma.mass() - mb.mass()).abs() < 1e-12);
         for &x in &[-1.5, -0.5, 0.0, 0.5, 1.5] {

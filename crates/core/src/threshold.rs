@@ -37,9 +37,7 @@ pub fn threshold_attrs(
                 .column(a)
                 .ok_or_else(|| EngineError::Schema(format!("unknown column '{a}'")))?;
             if !col.uncertain {
-                return Err(EngineError::Operator(format!(
-                    "Pr() over certain column '{a}'"
-                )));
+                return Err(EngineError::Operator(format!("Pr() over certain column '{a}'")));
             }
             Ok(col.id)
         })
@@ -48,9 +46,10 @@ pub fn threshold_attrs(
     let mut out = Relation::new(format!("sigma_pr({})", rel.name), rel.schema.clone());
     for t in &rel.tuples {
         let prob = attr_set_probability(t, &ids, reg, opts)?;
-        if op.test(prob.partial_cmp(&p).ok_or_else(|| {
-            EngineError::Operator("non-finite probability".into())
-        })?) {
+        if op.test(
+            prob.partial_cmp(&p)
+                .ok_or_else(|| EngineError::Operator("non-finite probability".into()))?,
+        ) {
             for n in &t.nodes {
                 reg.add_refs(&n.ancestors);
             }
@@ -81,8 +80,11 @@ pub fn attr_set_probability(
         return Ok(nodes[0].mass());
     }
     if opts.use_histories {
-        Ok(collapse::merge_nodes(&nodes, reg, opts.resolution)?.mass())
+        Ok(collapse::merge_nodes_with_stats(&nodes, reg, opts.resolution, opts.stats_ref())?.mass())
     } else {
+        if let Some(s) = opts.stats_ref() {
+            s.pdf_products.add(nodes.len() as u64 - 1);
+        }
         Ok(nodes.iter().map(|n| n.mass()).product())
     }
 }
@@ -102,9 +104,10 @@ pub fn threshold_pred(
     let mut out = Relation::new(format!("sigma_prob({})", rel.name), rel.schema.clone());
     for t in &rel.tuples {
         let prob = predicate_probability(rel, t, pred, reg, opts)?;
-        if op.test(prob.partial_cmp(&p).ok_or_else(|| {
-            EngineError::Operator("non-finite probability".into())
-        })?) {
+        if op.test(
+            prob.partial_cmp(&p)
+                .ok_or_else(|| EngineError::Operator("non-finite probability".into()))?,
+        ) {
             for n in &t.nodes {
                 reg.add_refs(&n.ancestors);
             }
@@ -127,7 +130,7 @@ pub fn predicate_probability(
         None => 0.0,
         Some(ft) => {
             if opts.use_histories {
-                collapse::existence_prob(&ft, reg, opts.resolution)?
+                collapse::existence_prob_with_stats(&ft, reg, opts.resolution, opts.stats_ref())?
             } else {
                 ft.naive_existence()
             }
@@ -175,15 +178,8 @@ mod tests {
             Predicate::cmp("v", CmpOp::Ge, 18.0),
             Predicate::cmp("v", CmpOp::Le, 22.0),
         ]);
-        let out = threshold_pred(
-            &rel,
-            &pred,
-            CmpOp::Gt,
-            0.5,
-            &mut reg,
-            &ExecOptions::default(),
-        )
-        .unwrap();
+        let out =
+            threshold_pred(&rel, &pred, CmpOp::Gt, 0.5, &mut reg, &ExecOptions::default()).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.value(0, "id").unwrap(), &Value::Int(1));
         // Result pdfs are NOT floored (operation on probability values).
@@ -199,9 +195,7 @@ mod tests {
         ]);
         let p = predicate_probability(&rel, &rel.tuples[0], &pred, &reg, &ExecOptions::default())
             .unwrap();
-        let want = Pdf1::gaussian(20.0, 5.0)
-            .unwrap()
-            .range_prob(&Interval::new(18.0, 22.0));
+        let want = Pdf1::gaussian(20.0, 5.0).unwrap().range_prob(&Interval::new(18.0, 22.0));
         assert!((p - want).abs() < 1e-9);
     }
 
@@ -212,21 +206,10 @@ mod tests {
         let mut rel = Relation::new("t", schema);
         let mut reg = HistoryRegistry::new();
         rel.insert_simple(&mut reg, &[], &[("x", Pdf1::certain(1.0))]).unwrap();
-        rel.insert_simple(
-            &mut reg,
-            &[],
-            &[("x", Pdf1::discrete(vec![(2.0, 0.4)]).unwrap())],
-        )
-        .unwrap();
-        let out = threshold_attrs(
-            &rel,
-            &["x"],
-            CmpOp::Gt,
-            0.5,
-            &mut reg,
-            &ExecOptions::default(),
-        )
-        .unwrap();
+        rel.insert_simple(&mut reg, &[], &[("x", Pdf1::discrete(vec![(2.0, 0.4)]).unwrap())])
+            .unwrap();
+        let out = threshold_attrs(&rel, &["x"], CmpOp::Gt, 0.5, &mut reg, &ExecOptions::default())
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!((out.marginal(0, "x").unwrap().density(1.0) - 1.0).abs() < 1e-12);
     }

@@ -97,10 +97,7 @@ impl PdfNode {
         let dims = self
             .dims
             .iter()
-            .map(|d| NodeDim {
-                var: d.var,
-                column: d.column.filter(|a| !hidden.contains(a)),
-            })
+            .map(|d| NodeDim { var: d.var, column: d.column.filter(|a| !hidden.contains(a)) })
             .collect();
         PdfNode { dims, joint: self.joint.clone(), ancestors: self.ancestors.clone() }
     }

@@ -1,0 +1,290 @@
+//! Dependency-free JSON values and pretty printing.
+//!
+//! The offline build environment rules out `serde_json`, and the engine's
+//! observability output (metric snapshots, operator profiles, bench
+//! artifacts) only ever needs to *produce* JSON — so this module implements
+//! exactly that: a [`Value`] tree, `From` conversions for the primitive
+//! types the exporters use, and a stable two-space pretty printer. Object
+//! keys keep insertion order so exported artifacts diff cleanly.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (emitted without a decimal point).
+    Int(i64),
+    /// Unsigned integer — counters are u64 and must not lose precision.
+    UInt(u64),
+    /// Floating-point number; non-finite values print as `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object, for builder-style construction with [`Value::set`].
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn array() -> Value {
+        Value::Array(Vec::new())
+    }
+
+    /// Builder-style field insertion; replaces an existing key in place.
+    /// Panics when `self` is not an object.
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Value {
+        self.set(key, value);
+        self
+    }
+
+    /// Inserts or replaces a field. Panics when `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) {
+        let Value::Object(fields) = self else {
+            panic!("Value::set on a non-object");
+        };
+        let value = value.into();
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => fields.push((key.to_string(), value)),
+        }
+    }
+
+    /// Appends an element. Panics when `self` is not an array.
+    pub fn push(&mut self, value: impl Into<Value>) {
+        let Value::Array(items) = self else {
+            panic!("Value::push on a non-array");
+        };
+        items.push(value.into());
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline, the
+    /// format all Orion-RS JSON artifacts use.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1)
+                })
+            }
+            Value::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::UInt(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::UInt(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::UInt(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Value::Null.to_string_compact(), "null");
+        assert_eq!(Value::from(true).to_string_compact(), "true");
+        assert_eq!(Value::from(-3i64).to_string_compact(), "-3");
+        assert_eq!(Value::from(u64::MAX).to_string_compact(), "18446744073709551615");
+        assert_eq!(Value::from(2.5).to_string_compact(), "2.5");
+        assert_eq!(Value::from(f64::NAN).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let v = Value::from("a\"b\\c\nd\u{1}");
+        assert_eq!(v.to_string_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn builder_and_pretty_shape() {
+        let v = Value::object()
+            .with("name", "scan")
+            .with("rows", 3u64)
+            .with("children", Vec::<Value>::new());
+        assert_eq!(v.to_string_compact(), r#"{"name":"scan","rows":3,"children":[]}"#);
+        let pretty = v.to_string_pretty();
+        assert!(pretty.starts_with("{\n  \"name\": \"scan\",\n"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let mut v = Value::object().with("k", 1u64);
+        v.set("k", 2u64);
+        assert_eq!(v.get("k"), Some(&Value::UInt(2)));
+    }
+
+    #[test]
+    fn nested_array_pretty() {
+        let mut rows = Value::array();
+        rows.push(Value::object().with("n", 1u64));
+        let text = Value::object()
+            .with(
+                "rows",
+                Value::Array(match rows {
+                    Value::Array(v) => v,
+                    _ => unreachable!(),
+                }),
+            )
+            .to_string_pretty();
+        assert!(text.contains("\"rows\": [\n    {\n      \"n\": 1\n    }\n  ]"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # orion-obs — the Orion-RS observability layer
+//!
+//! The paper's evaluation (Figures 5–6) is entirely about *where time
+//! goes*: operator cost and the overhead of history maintenance. This crate
+//! gives the engine the counters to answer that question without guessing:
+//!
+//! * [`metrics`] — named atomic [`Counter`]s and log2-bucketed latency
+//!   [`Histogram`]s grouped in an instance-scoped (global-free)
+//!   [`MetricsRegistry`], plus the RAII [`SpanTimer`];
+//! * [`stats`] — the per-operator [`ExecStats`] collector threaded through
+//!   the relational operators (tuples in/out, pdf products / floors /
+//!   marginalizations, history collapses, wall time);
+//! * [`profile`] — the [`OpProfile`] tree rendered by `EXPLAIN ANALYZE`
+//!   and exported by the bench binaries;
+//! * [`json`] — a dependency-free JSON value builder and pretty printer
+//!   (the build environment is offline, so no `serde_json`).
+//!
+//! Everything is instance-based: libraries never touch global state, and
+//! two engines in one process keep independent metrics.
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod stats;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer};
+pub use profile::OpProfile;
+pub use stats::{ExecStats, ExecStatsSnapshot, ExecTimer};
+
+/// Formats a nanosecond count in adaptive human units (`412ns`, `3.1us`,
+/// `2.4ms`, `1.20s`).
+pub fn fmt_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}us", n / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", n / 1e6)
+    } else {
+        format!("{:.2}s", n / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_nanos;
+
+    #[test]
+    fn nanos_formatting_units() {
+        assert_eq!(fmt_nanos(17), "17ns");
+        assert_eq!(fmt_nanos(4_200), "4.2us");
+        assert_eq!(fmt_nanos(7_350_000), "7.3ms");
+        assert_eq!(fmt_nanos(2_500_000_000), "2.50s");
+    }
+}

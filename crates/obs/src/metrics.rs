@@ -1,0 +1,372 @@
+//! Named counters, log2-bucketed latency histograms and the registry that
+//! holds them — all instance-based (no global state) and lock-free on the
+//! hot path: incrementing a counter or recording a latency touches only
+//! relaxed atomics; the registry lock is paid once at handle lookup.
+
+use crate::json;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and bench warm-up only).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: bucket 0 holds zeros, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of a bucket (`2^i - 1`; bucket 0 is exactly 0).
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1) —
+    /// an upper estimate with log2 resolution.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(i);
+            }
+        }
+        Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// JSON form: count, sum, mean, and the non-empty buckets as
+    /// `{"le": upper_bound, "n": count}` entries.
+    pub fn to_json(&self) -> json::Value {
+        let mut buckets = json::Value::array();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                buckets.push(
+                    json::Value::object().with("le", Histogram::bucket_upper_bound(i)).with("n", c),
+                );
+            }
+        }
+        json::Value::object()
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("mean", self.mean())
+            .with("buckets", buckets)
+    }
+}
+
+/// An instance-scoped registry of named counters and histograms.
+///
+/// Handles are `Arc`s: look a metric up once, then increment without ever
+/// touching the registry lock again. Cloning the registry shares the
+/// underlying metrics.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.counters.lock();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Returns (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock();
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Current value of a counter, 0 when it was never created.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner.counters.lock().get(name).map_or(0, |c| c.get())
+    }
+
+    /// Starts an RAII timer recording into the histogram named `name` when
+    /// dropped.
+    pub fn span(&self, name: &str) -> SpanTimer {
+        SpanTimer::new(self.histogram(name))
+    }
+
+    /// Snapshot of every metric, keys sorted, as a JSON object with
+    /// `counters` and `histograms` sections.
+    pub fn snapshot_json(&self) -> json::Value {
+        let mut counters = json::Value::object();
+        for (name, c) in self.inner.counters.lock().iter() {
+            counters.set(name, c.get());
+        }
+        let mut histograms = json::Value::object();
+        for (name, h) in self.inner.histograms.lock().iter() {
+            histograms.set(name, h.snapshot().to_json());
+        }
+        json::Value::object().with("counters", counters).with("histograms", histograms)
+    }
+}
+
+/// RAII span timer: records the elapsed wall time into a histogram when
+/// dropped (or explicitly via [`SpanTimer::stop`]).
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing into `hist`.
+    pub fn new(hist: Arc<Histogram>) -> SpanTimer {
+        SpanTimer { hist, start: Instant::now() }
+    }
+
+    /// Stops and records now instead of at scope end.
+    pub fn stop(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 is exactly zero; bucket i covers [2^(i-1), 2^i).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(11), 2047);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        // Every power of two starts a fresh bucket.
+        for i in 1..64u32 {
+            let v = 1u64 << i;
+            assert_eq!(Histogram::bucket_index(v), Histogram::bucket_index(v - 1) + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_record_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1105);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[2], 1);
+        assert!((s.mean() - 1105.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.quantile_upper_bound(0.0), 0);
+        assert_eq!(s.quantile_upper_bound(1.0), 1023);
+    }
+
+    #[test]
+    fn registry_reuses_handles_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("ops.select");
+        let b = reg.counter("ops.select");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter_value("ops.select"), 2);
+        assert_eq!(reg.counter_value("missing"), 0);
+        reg.histogram("lat").record(7);
+        let snap = reg.snapshot_json();
+        let text = snap.to_string_compact();
+        assert!(text.contains("\"ops.select\":2"));
+        assert!(text.contains("\"lat\""));
+    }
+
+    #[test]
+    fn concurrent_increments_from_many_threads() {
+        let reg = MetricsRegistry::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    let c = reg.counter("shared");
+                    let h = reg.histogram("lat");
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record(i % 17);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_value("shared"), threads * per_thread);
+        let snap = reg.histogram("lat").snapshot();
+        assert_eq!(snap.count, threads * per_thread);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        {
+            let _t = reg.span("phase");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let s = reg.histogram("phase").snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 1_000_000, "recorded at least 1ms, got {}ns", s.sum);
+    }
+}

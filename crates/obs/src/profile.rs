@@ -1,0 +1,164 @@
+//! Per-query operator profiles: a tree mirroring the executed plan, one
+//! node per operator, each carrying an [`ExecStatsSnapshot`]. Rendered as
+//! text by `EXPLAIN ANALYZE` and exported as JSON by the bench binaries.
+
+use crate::json;
+use crate::stats::ExecStatsSnapshot;
+
+/// One operator node of an executed plan, with its children (inputs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpProfile {
+    /// Operator name (`Scan`, `Select`, `Project`, `Join`, ...).
+    pub name: String,
+    /// Operator argument summary (predicate, column list, table name).
+    pub detail: String,
+    /// Counters recorded while this operator ran (children excluded).
+    pub stats: ExecStatsSnapshot,
+    /// Input operators.
+    pub children: Vec<OpProfile>,
+}
+
+impl OpProfile {
+    /// A node with zeroed stats.
+    pub fn new(name: impl Into<String>, detail: impl Into<String>) -> OpProfile {
+        OpProfile {
+            name: name.into(),
+            detail: detail.into(),
+            stats: ExecStatsSnapshot::default(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: attaches a child input.
+    pub fn with_child(mut self, child: OpProfile) -> OpProfile {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder: sets the stats snapshot.
+    pub fn with_stats(mut self, stats: ExecStatsSnapshot) -> OpProfile {
+        self.stats = stats;
+        self
+    }
+
+    /// Sum of this node's and all descendants' counters.
+    pub fn total(&self) -> ExecStatsSnapshot {
+        let mut acc = self.stats;
+        for c in &self.children {
+            acc.merge(&c.total());
+        }
+        acc
+    }
+
+    /// Renders the tree. With `with_stats` each row carries its counters
+    /// (the `EXPLAIN ANALYZE` form); without, only the plan shape (the
+    /// plain `EXPLAIN` form).
+    pub fn render(&self, with_stats: bool) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", "", with_stats);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, child_prefix: &str, with_stats: bool) {
+        out.push_str(prefix);
+        out.push_str(&self.name);
+        if !self.detail.is_empty() {
+            out.push_str(" [");
+            out.push_str(&self.detail);
+            out.push(']');
+        }
+        if with_stats {
+            out.push_str("  (");
+            out.push_str(&self.stats.render());
+            out.push(')');
+        }
+        out.push('\n');
+        for (i, child) in self.children.iter().enumerate() {
+            let last = i + 1 == self.children.len();
+            let (branch, extend) = if last { ("└─ ", "   ") } else { ("├─ ", "│  ") };
+            child.render_into(
+                out,
+                &format!("{child_prefix}{branch}"),
+                &format!("{child_prefix}{extend}"),
+                with_stats,
+            );
+        }
+    }
+
+    /// JSON form: operator, detail, stats object, children array.
+    pub fn to_json(&self) -> json::Value {
+        let mut children = json::Value::array();
+        for c in &self.children {
+            children.push(c.to_json());
+        }
+        json::Value::object()
+            .with("operator", self.name.as_str())
+            .with("detail", self.detail.as_str())
+            .with("stats", self.stats.to_json())
+            .with("children", children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OpProfile {
+        OpProfile::new("Project", "a")
+            .with_stats(ExecStatsSnapshot { tuples_in: 1, tuples_out: 1, ..Default::default() })
+            .with_child(
+                OpProfile::new("Select", "a < b")
+                    .with_stats(ExecStatsSnapshot {
+                        tuples_in: 2,
+                        tuples_out: 1,
+                        pdf_products: 1,
+                        pdf_floors: 1,
+                        ..Default::default()
+                    })
+                    .with_child(
+                        OpProfile::new("Scan", "T")
+                            .with_stats(ExecStatsSnapshot { tuples_out: 2, ..Default::default() }),
+                    ),
+            )
+    }
+
+    #[test]
+    fn render_tree_shape() {
+        let text = sample().render(false);
+        assert_eq!(text, "Project [a]\n└─ Select [a < b]\n   └─ Scan [T]\n");
+    }
+
+    #[test]
+    fn render_with_stats_has_counters_per_row() {
+        let text = sample().render(true);
+        for needle in ["Project [a]", "in=2 out=1 products=1 floors=1", "Scan [T]"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn two_children_use_tee_branch() {
+        let j = OpProfile::new("Join", "l.id = r.id")
+            .with_child(OpProfile::new("Scan", "l"))
+            .with_child(OpProfile::new("Scan", "r"));
+        let text = j.render(false);
+        assert_eq!(text, "Join [l.id = r.id]\n├─ Scan [l]\n└─ Scan [r]\n");
+    }
+
+    #[test]
+    fn total_aggregates_subtree() {
+        let t = sample().total();
+        assert_eq!(t.tuples_in, 3);
+        assert_eq!(t.tuples_out, 4);
+        assert_eq!(t.pdf_products, 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        let v = sample().to_json();
+        let text = v.to_string_compact();
+        assert!(text.starts_with(r#"{"operator":"Project","detail":"a","stats":{"tuples_in":1"#));
+        assert!(text.contains(r#""operator":"Scan"#));
+    }
+}

@@ -1,0 +1,194 @@
+//! The per-operator execution-stats collector.
+//!
+//! An [`ExecStats`] is a bundle of atomic counters that the relational
+//! operators increment while they run: tuple flow, the three pdf operations
+//! the paper's cost model is built on (`product`, `floor`, `marginalize`),
+//! history-dependent collapses, and wall time. The profiled executors hand
+//! each operator its own `Arc<ExecStats>` (via `ExecOptions::stats`), then
+//! snapshot it into an [`crate::OpProfile`] node.
+
+use crate::metrics::Counter;
+use crate::{fmt_nanos, json};
+use std::time::Instant;
+
+/// Atomic execution counters for one operator (or one whole query).
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Tuples entering the operator.
+    pub tuples_in: Counter,
+    /// Tuples in the operator's output.
+    pub tuples_out: Counter,
+    /// Joint-pdf products taken (independent or history-aware merges).
+    pub pdf_products: Counter,
+    /// Floors applied (symbolic `floor_axis` and materialized
+    /// `floor_predicate` alike).
+    pub pdf_floors: Counter,
+    /// Marginalizations evaluated during history reconstruction.
+    pub pdf_marginalizations: Counter,
+    /// History-dependent merges (the paper's Section III-D collapses).
+    pub collapses: Counter,
+    /// Wall time attributed to the operator, in nanoseconds.
+    pub elapsed_nanos: Counter,
+}
+
+impl ExecStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Starts an RAII timer adding to `elapsed_nanos` when dropped.
+    pub fn timer(&self) -> ExecTimer<'_> {
+        ExecTimer { stats: self, start: Instant::now() }
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ExecStatsSnapshot {
+        ExecStatsSnapshot {
+            tuples_in: self.tuples_in.get(),
+            tuples_out: self.tuples_out.get(),
+            pdf_products: self.pdf_products.get(),
+            pdf_floors: self.pdf_floors.get(),
+            pdf_marginalizations: self.pdf_marginalizations.get(),
+            collapses: self.collapses.get(),
+            elapsed_nanos: self.elapsed_nanos.get(),
+        }
+    }
+}
+
+/// RAII timer feeding [`ExecStats::elapsed_nanos`].
+#[derive(Debug)]
+pub struct ExecTimer<'a> {
+    stats: &'a ExecStats,
+    start: Instant,
+}
+
+impl ExecTimer<'_> {
+    /// Stops and records now instead of at scope end.
+    pub fn stop(self) {}
+}
+
+impl Drop for ExecTimer<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stats.elapsed_nanos.add(nanos);
+    }
+}
+
+/// Plain-value copy of an [`ExecStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStatsSnapshot {
+    /// Tuples entering the operator.
+    pub tuples_in: u64,
+    /// Tuples in the operator's output.
+    pub tuples_out: u64,
+    /// Joint-pdf products taken.
+    pub pdf_products: u64,
+    /// Floors applied.
+    pub pdf_floors: u64,
+    /// Marginalizations evaluated.
+    pub pdf_marginalizations: u64,
+    /// History-dependent merges.
+    pub collapses: u64,
+    /// Attributed wall time in nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+impl ExecStatsSnapshot {
+    /// Adds another snapshot's counters into this one.
+    pub fn merge(&mut self, other: &ExecStatsSnapshot) {
+        self.tuples_in += other.tuples_in;
+        self.tuples_out += other.tuples_out;
+        self.pdf_products += other.pdf_products;
+        self.pdf_floors += other.pdf_floors;
+        self.pdf_marginalizations += other.pdf_marginalizations;
+        self.collapses += other.collapses;
+        self.elapsed_nanos += other.elapsed_nanos;
+    }
+
+    /// One-line rendering used by `EXPLAIN ANALYZE` rows.
+    pub fn render(&self) -> String {
+        format!(
+            "in={} out={} products={} floors={} marginalize={} collapses={} time={}",
+            self.tuples_in,
+            self.tuples_out,
+            self.pdf_products,
+            self.pdf_floors,
+            self.pdf_marginalizations,
+            self.collapses,
+            fmt_nanos(self.elapsed_nanos),
+        )
+    }
+
+    /// JSON form with one field per counter.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object()
+            .with("tuples_in", self.tuples_in)
+            .with("tuples_out", self.tuples_out)
+            .with("pdf_products", self.pdf_products)
+            .with("pdf_floors", self.pdf_floors)
+            .with("pdf_marginalizations", self.pdf_marginalizations)
+            .with("collapses", self.collapses)
+            .with("elapsed_nanos", self.elapsed_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = ExecStats::new();
+        s.tuples_in.add(10);
+        s.tuples_out.add(4);
+        s.pdf_products.inc();
+        s.pdf_floors.add(2);
+        s.pdf_marginalizations.add(3);
+        s.collapses.inc();
+        let snap = s.snapshot();
+        assert_eq!(snap.tuples_in, 10);
+        assert_eq!(snap.tuples_out, 4);
+        assert_eq!(snap.pdf_products, 1);
+        assert_eq!(snap.pdf_floors, 2);
+        assert_eq!(snap.pdf_marginalizations, 3);
+        assert_eq!(snap.collapses, 1);
+    }
+
+    #[test]
+    fn timer_accumulates_elapsed() {
+        let s = ExecStats::new();
+        {
+            let _t = s.timer();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(s.snapshot().elapsed_nanos >= 1_000_000);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = ExecStatsSnapshot { tuples_in: 1, pdf_floors: 2, ..Default::default() };
+        let b = ExecStatsSnapshot { tuples_in: 3, collapses: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.tuples_in, 4);
+        assert_eq!(a.pdf_floors, 2);
+        assert_eq!(a.collapses, 5);
+    }
+
+    #[test]
+    fn render_mentions_every_counter() {
+        let snap = ExecStatsSnapshot {
+            tuples_in: 2,
+            tuples_out: 1,
+            pdf_products: 3,
+            pdf_floors: 4,
+            pdf_marginalizations: 5,
+            collapses: 6,
+            elapsed_nanos: 1_500,
+        };
+        assert_eq!(
+            snap.render(),
+            "in=2 out=1 products=3 floors=4 marginalize=5 collapses=6 time=1.5us"
+        );
+    }
+}

@@ -88,21 +88,13 @@ impl DiscretePdf {
 
     /// Unnormalized cumulative `P(X <= x and tuple exists)`.
     pub fn cumulative(&self, x: f64) -> f64 {
-        self.points
-            .iter()
-            .take_while(|(v, _)| *v <= x)
-            .map(|(_, p)| p)
-            .sum()
+        self.points.iter().take_while(|(v, _)| *v <= x).map(|(_, p)| p).sum()
     }
 
     /// Probability mass on the closed interval.
     pub fn range_prob(&self, iv: &Interval) -> f64 {
         let start = self.points.partition_point(|(v, _)| *v < iv.lo);
-        self.points[start..]
-            .iter()
-            .take_while(|(v, _)| *v <= iv.hi)
-            .map(|(_, p)| p)
-            .sum()
+        self.points[start..].iter().take_while(|(v, _)| *v <= iv.hi).map(|(_, p)| p).sum()
     }
 
     /// Smallest and largest support values, or `None` when vacuous.
@@ -117,21 +109,14 @@ impl DiscretePdf {
     /// worlds fail the selection, so the tuple does not exist there).
     pub fn floor_region(&self, region: &RegionSet) -> DiscretePdf {
         DiscretePdf {
-            points: self
-                .points
-                .iter()
-                .filter(|(v, _)| !region.contains(*v))
-                .copied()
-                .collect(),
+            points: self.points.iter().filter(|(v, _)| !region.contains(*v)).copied().collect(),
         }
     }
 
     /// Retains only the points satisfying `keep` (generalized floor for
     /// predicates that are not interval-shaped).
     pub fn filter(&self, mut keep: impl FnMut(f64) -> bool) -> DiscretePdf {
-        DiscretePdf {
-            points: self.points.iter().filter(|(v, _)| keep(*v)).copied().collect(),
-        }
+        DiscretePdf { points: self.points.iter().filter(|(v, _)| keep(*v)).copied().collect() }
     }
 
     /// Expected value conditioned on existence; `None` when vacuous.
@@ -146,9 +131,7 @@ impl DiscretePdf {
     /// Rescales all probabilities by `factor` in `[0, 1]`.
     pub fn scale(&self, factor: f64) -> DiscretePdf {
         debug_assert!((0.0..=1.0 + 1e-12).contains(&factor));
-        DiscretePdf {
-            points: self.points.iter().map(|(v, p)| (*v, p * factor)).collect(),
-        }
+        DiscretePdf { points: self.points.iter().map(|(v, p)| (*v, p * factor)).collect() }
     }
 }
 

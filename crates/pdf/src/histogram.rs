@@ -247,7 +247,10 @@ mod tests {
         let h = Histogram::from_cdf(0.0, 4.0, 8, cdf).unwrap();
         assert!((h.mass() - 1.0).abs() < 1e-12);
         for &x in &[0.3, 1.7, 2.2, 3.9] {
-            assert!((h.cumulative(x) - cdf(x)).abs() < 1e-12, "piecewise-linear cdf is exact for uniform");
+            assert!(
+                (h.cumulative(x) - cdf(x)).abs() < 1e-12,
+                "piecewise-linear cdf is exact for uniform"
+            );
         }
     }
 

@@ -203,9 +203,7 @@ impl RegionSet {
         // contains it (members are disjoint with gaps of positive length,
         // except for touching endpoints which from_intervals merges).
         let idx = self.intervals.partition_point(|m| m.hi < iv.lo);
-        self.intervals
-            .get(idx)
-            .is_some_and(|m| m.lo <= iv.lo && iv.hi <= m.hi)
+        self.intervals.get(idx).is_some_and(|m| m.lo <= iv.lo && iv.hi <= m.hi)
     }
 
     /// Total length of the region (may be `+inf`).
@@ -260,10 +258,7 @@ mod tests {
             Interval::new(1.0, 3.0),
             Interval::new(3.0, 4.0),
         ]);
-        assert_eq!(
-            r.intervals(),
-            &[Interval::new(0.0, 4.0), Interval::new(5.0, 7.0)]
-        );
+        assert_eq!(r.intervals(), &[Interval::new(0.0, 4.0), Interval::new(5.0, 7.0)]);
     }
 
     #[test]
@@ -284,10 +279,7 @@ mod tests {
         let u = a.union(&b);
         assert_eq!(u.intervals(), &[Interval::new(0.0, 6.0)]);
         let i = a.intersect(&b);
-        assert_eq!(
-            i.intervals(),
-            &[Interval::new(1.0, 2.0), Interval::new(4.0, 5.0)]
-        );
+        assert_eq!(i.intervals(), &[Interval::new(1.0, 2.0), Interval::new(4.0, 5.0)]);
     }
 
     #[test]

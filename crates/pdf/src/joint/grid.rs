@@ -100,9 +100,7 @@ impl JointGrid {
             total += m;
         }
         if total > 1.0 + 1e-6 {
-            return Err(PdfError::InvalidParameter(format!(
-                "total grid mass {total} exceeds 1"
-            )));
+            return Err(PdfError::InvalidParameter(format!("total grid mass {total} exceeds 1")));
         }
         Ok(JointGrid { dims, masses })
     }
@@ -251,8 +249,7 @@ impl JointGrid {
                 }
                 for d in 0..k {
                     let cell_lo = self.dims[d].lo + idx[d] as f64 * self.dims[d].width;
-                    point[d] =
-                        cell_lo + (sub[d] as f64 + 0.5) / s as f64 * self.dims[d].width;
+                    point[d] = cell_lo + (sub[d] as f64 + 0.5) / s as f64 * self.dims[d].width;
                 }
                 if pred(&point) {
                     hit += 1;
@@ -346,10 +343,7 @@ mod tests {
     fn grid_2x2() -> JointGrid {
         // x axis [0,2] 2 cells, y axis [0,2] 2 cells; masses row-major
         JointGrid::from_masses(
-            vec![
-                GridDim::over(0.0, 2.0, 2).unwrap(),
-                GridDim::over(0.0, 2.0, 2).unwrap(),
-            ],
+            vec![GridDim::over(0.0, 2.0, 2).unwrap(), GridDim::over(0.0, 2.0, 2).unwrap()],
             vec![0.1, 0.2, 0.3, 0.4],
         )
         .unwrap()
@@ -360,16 +354,11 @@ mod tests {
         assert!(GridDim::over(1.0, 1.0, 2).is_err());
         assert!(GridDim::over(0.0, 1.0, 0).is_err());
         assert!(JointGrid::from_masses(vec![], vec![]).is_err());
-        assert!(JointGrid::from_masses(
-            vec![GridDim::over(0.0, 1.0, 2).unwrap()],
-            vec![0.5]
-        )
-        .is_err());
-        assert!(JointGrid::from_masses(
-            vec![GridDim::over(0.0, 1.0, 2).unwrap()],
-            vec![0.9, 0.9]
-        )
-        .is_err());
+        assert!(
+            JointGrid::from_masses(vec![GridDim::over(0.0, 1.0, 2).unwrap()], vec![0.5]).is_err()
+        );
+        assert!(JointGrid::from_masses(vec![GridDim::over(0.0, 1.0, 2).unwrap()], vec![0.9, 0.9])
+            .is_err());
     }
 
     #[test]
@@ -405,10 +394,7 @@ mod tests {
     #[test]
     fn floor_predicate_diagonal() {
         // Uniform mass on [0,1]^2, predicate x < y keeps half the mass.
-        let dims = vec![
-            GridDim::over(0.0, 1.0, 16).unwrap(),
-            GridDim::over(0.0, 1.0, 16).unwrap(),
-        ];
+        let dims = vec![GridDim::over(0.0, 1.0, 16).unwrap(), GridDim::over(0.0, 1.0, 16).unwrap()];
         let uniform = JointGrid::from_masses(dims.clone(), vec![1.0 / 256.0; 256]).unwrap();
         let f = uniform.floor_predicate(|p| p[0] < p[1]);
         assert!((f.mass() - 0.5).abs() < 0.02, "mass = {}", f.mass());

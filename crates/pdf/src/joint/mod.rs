@@ -117,9 +117,9 @@ impl Block {
     fn to_grid(&self, bins: usize) -> Result<JointGrid> {
         match self {
             Block::Uni(p) => {
-                let h = p.to_histogram(bins).ok_or_else(|| {
-                    PdfError::VacuousResult("cannot grid a vacuous pdf".into())
-                })?;
+                let h = p
+                    .to_histogram(bins)
+                    .ok_or_else(|| PdfError::VacuousResult("cannot grid a vacuous pdf".into()))?;
                 let dim = GridDim::over(h.lo(), h.hi(), h.bins())?;
                 JointGrid::from_masses(vec![dim], h.masses().to_vec())
             }
@@ -136,11 +136,8 @@ impl Block {
                 }
                 let dims: Vec<GridDim> = (0..arity)
                     .map(|d| {
-                        let (l, h) = if lo[d] < hi[d] {
-                            (lo[d], hi[d])
-                        } else {
-                            (lo[d] - 0.5, hi[d] + 0.5)
-                        };
+                        let (l, h) =
+                            if lo[d] < hi[d] { (lo[d], hi[d]) } else { (lo[d] - 0.5, hi[d] + 0.5) };
                         // Widen slightly so max points land inside.
                         let pad = (h - l) * 1e-9;
                         GridDim::over(l - pad, h + pad, bins)
@@ -442,11 +439,8 @@ impl JointPdf {
         let mut new_blocks: Vec<Block> = Vec::new();
         let mut dropped_mass = 1.0;
         for (bi, b) in self.blocks.iter().enumerate() {
-            let kept_offsets: Vec<usize> = located
-                .iter()
-                .filter(|&&(blk, _)| blk == bi)
-                .map(|&(_, o)| o)
-                .collect();
+            let kept_offsets: Vec<usize> =
+                located.iter().filter(|&&(blk, _)| blk == bi).map(|&(_, o)| o).collect();
             if kept_offsets.is_empty() {
                 dropped_mass *= b.mass();
                 continue;
@@ -459,9 +453,7 @@ impl JointPdf {
             new_blocks.push(nb);
         }
         if new_blocks.is_empty() {
-            return Err(PdfError::IncompatibleOperands(
-                "all dimensions were dropped".into(),
-            ));
+            return Err(PdfError::IncompatibleOperands("all dimensions were dropped".into()));
         }
         if dropped_mass < 1.0 {
             new_blocks[0] = new_blocks[0].scale(dropped_mass.max(0.0));
@@ -483,11 +475,7 @@ impl JointPdf {
             Block::Grid(g) => {
                 debug_assert_eq!(g.arity(), 1);
                 let d = g.dims()[0];
-                Ok(Pdf1::Histogram(Histogram::from_masses(
-                    d.lo,
-                    d.width,
-                    g.masses().to_vec(),
-                )?))
+                Ok(Pdf1::Histogram(Histogram::from_masses(d.lo, d.width, g.masses().to_vec())?))
             }
         }
     }
@@ -495,11 +483,8 @@ impl JointPdf {
     /// Probability that each listed dimension lies within its interval
     /// (and the tuple exists). Unlisted dimensions are unconstrained.
     pub fn box_prob(&self, constraints: &[(usize, Interval)]) -> f64 {
-        let mut per_block: Vec<Vec<Interval>> = self
-            .blocks
-            .iter()
-            .map(|b| vec![Interval::all(); b.arity()])
-            .collect();
+        let mut per_block: Vec<Vec<Interval>> =
+            self.blocks.iter().map(|b| vec![Interval::all(); b.arity()]).collect();
         for &(d, iv) in constraints {
             let (bi, off) = self.locate(d);
             per_block[bi][off] = match per_block[bi][off].intersect(&iv) {
@@ -507,11 +492,7 @@ impl JointPdf {
                 None => return 0.0,
             };
         }
-        self.blocks
-            .iter()
-            .zip(&per_block)
-            .map(|(b, bounds)| b.box_prob(bounds))
-            .product()
+        self.blocks.iter().zip(&per_block).map(|(b, bounds)| b.box_prob(bounds)).product()
     }
 
     /// Expected value of one dimension, conditioned on existence.
@@ -593,9 +574,7 @@ mod tests {
     fn floor_predicate_reproduces_paper_selection() {
         // sigma_{a<b} on Table II tuple 1 (Section III-C).
         let j = table2_tuple1();
-        let sel = j
-            .floor_predicate(&[0, 1], DEFAULT_GRID_BINS, |v| v[0] < v[1])
-            .unwrap();
+        let sel = j.floor_predicate(&[0, 1], DEFAULT_GRID_BINS, |v| v[0] < v[1]).unwrap();
         assert!((sel.mass() - 0.46).abs() < 1e-12);
         assert!((sel.density(&[0.0, 1.0]) - 0.06).abs() < 1e-12);
         assert!((sel.density(&[0.0, 2.0]) - 0.04).abs() < 1e-12);
@@ -619,9 +598,7 @@ mod tests {
     #[test]
     fn marginalize_preserves_existence_mass() {
         let j = table2_tuple1();
-        let sel = j
-            .floor_predicate(&[0, 1], DEFAULT_GRID_BINS, |v| v[0] < v[1])
-            .unwrap();
+        let sel = j.floor_predicate(&[0, 1], DEFAULT_GRID_BINS, |v| v[0] < v[1]).unwrap();
         let ma = sel.marginalize(&[0]).unwrap();
         assert!((ma.mass() - 0.46).abs() < 1e-12, "projection keeps existence probability");
         let p = ma.marginal1(0).unwrap_or_else(|_| unreachable!());

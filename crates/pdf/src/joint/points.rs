@@ -62,9 +62,7 @@ impl JointDiscrete {
         }
         let total: f64 = merged.iter().map(|(_, p)| p).sum();
         if total > 1.0 + 1e-9 {
-            return Err(PdfError::InvalidParameter(format!(
-                "total joint mass {total} exceeds 1"
-            )));
+            return Err(PdfError::InvalidParameter(format!("total joint mass {total} exceeds 1")));
         }
         Ok(JointDiscrete { arity, points: merged })
     }
@@ -96,10 +94,7 @@ impl JointDiscrete {
 
     /// Probability mass at exactly `point`.
     pub fn prob_at(&self, point: &[f64]) -> f64 {
-        match self
-            .points
-            .binary_search_by(|(v, _)| cmp_points(v, point))
-        {
+        match self.points.binary_search_by(|(v, _)| cmp_points(v, point)) {
             Ok(i) => self.points[i].1,
             Err(_) => 0.0,
         }
@@ -126,12 +121,7 @@ impl JointDiscrete {
     pub fn filter(&self, mut pred: impl FnMut(&[f64]) -> bool) -> JointDiscrete {
         JointDiscrete {
             arity: self.arity,
-            points: self
-                .points
-                .iter()
-                .filter(|(v, _)| pred(v))
-                .cloned()
-                .collect(),
+            points: self.points.iter().filter(|(v, _)| pred(v)).cloned().collect(),
         }
     }
 
@@ -167,9 +157,7 @@ impl JointDiscrete {
         if mass <= 0.0 || dim >= self.arity {
             return None;
         }
-        Some(
-            self.points.iter().map(|(v, p)| v[dim] * p).sum::<f64>() / mass,
-        )
+        Some(self.points.iter().map(|(v, p)| v[dim] * p).sum::<f64>() / mass)
     }
 
     /// Rescales all masses by `factor` in `[0, 1]`.
@@ -177,11 +165,7 @@ impl JointDiscrete {
         debug_assert!((0.0..=1.0 + 1e-12).contains(&factor));
         JointDiscrete {
             arity: self.arity,
-            points: self
-                .points
-                .iter()
-                .map(|(v, p)| (v.clone(), p * factor))
-                .collect(),
+            points: self.points.iter().map(|(v, p)| (v.clone(), p * factor)).collect(),
         }
     }
 
@@ -194,11 +178,8 @@ impl JointDiscrete {
                 self.arity
             )));
         }
-        let pts = self
-            .points
-            .iter()
-            .map(|(v, p)| (perm.iter().map(|&d| v[d]).collect(), *p))
-            .collect();
+        let pts =
+            self.points.iter().map(|(v, p)| (perm.iter().map(|&d| v[d]).collect(), *p)).collect();
         JointDiscrete::from_points(self.arity, pts)
     }
 }
@@ -235,11 +216,7 @@ mod tests {
         // The Section III-C result: Discrete({0,1}:0.06, {0,2}:0.04, {1,2}:0.36)
         JointDiscrete::from_points(
             2,
-            vec![
-                (vec![0.0, 1.0], 0.06),
-                (vec![0.0, 2.0], 0.04),
-                (vec![1.0, 2.0], 0.36),
-            ],
+            vec![(vec![0.0, 1.0], 0.06), (vec![0.0, 2.0], 0.04), (vec![1.0, 2.0], 0.36)],
         )
         .unwrap()
     }
@@ -248,11 +225,7 @@ mod tests {
     fn construction_sorts_merges_validates() {
         let j = JointDiscrete::from_points(
             2,
-            vec![
-                (vec![1.0, 0.0], 0.2),
-                (vec![0.0, 1.0], 0.3),
-                (vec![1.0, 0.0], 0.1),
-            ],
+            vec![(vec![1.0, 0.0], 0.2), (vec![0.0, 1.0], 0.3), (vec![1.0, 0.0], 0.1)],
         )
         .unwrap();
         assert_eq!(j.len(), 2);
@@ -337,9 +310,6 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        assert_eq!(
-            paper_joint().to_string(),
-            "Discrete({0,1}:0.06, {0,2}:0.04, {1,2}:0.36)"
-        );
+        assert_eq!(paper_joint().to_string(), "Discrete({0,1}:0.06, {0,2}:0.04, {1,2}:0.36)");
     }
 }

@@ -153,10 +153,8 @@ pub fn gaussian_truncated_mean(mean: f64, variance: f64, iv: &Interval) -> f64 {
     let b = (iv.hi - mean) / sd;
     let phi = crate::special::std_normal_pdf;
     let cap = crate::special::std_normal_cdf;
-    let (pa, pb) = (
-        if a.is_finite() { phi(a) } else { 0.0 },
-        if b.is_finite() { phi(b) } else { 0.0 },
-    );
+    let (pa, pb) =
+        (if a.is_finite() { phi(a) } else { 0.0 }, if b.is_finite() { phi(b) } else { 0.0 });
     let z = cap(b) - cap(a);
     mean + sd * (pa - pb) / z
 }
@@ -191,8 +189,8 @@ mod tests {
 
     #[test]
     fn convolution_of_two_dice() {
-        let die = DiscretePdf::from_points((1..=6).map(|v| (v as f64, 1.0 / 6.0)).collect())
-            .unwrap();
+        let die =
+            DiscretePdf::from_points((1..=6).map(|v| (v as f64, 1.0 / 6.0)).collect()).unwrap();
         let two = convolve_discrete(&die, &die).unwrap();
         assert_eq!(two.len(), 11);
         assert!((two.prob_at(7.0) - 6.0 / 36.0).abs() < 1e-12);
@@ -206,8 +204,8 @@ mod tests {
         // generic-valued pdf keeps multiplying supports; verify the
         // generic (irrational-offset) case really blows up.
         let a = DiscretePdf::from_points(vec![(0.0, 0.5), (1.0, 0.5)]).unwrap();
-        let b = DiscretePdf::from_points(vec![(0.0, 0.5), (std::f64::consts::SQRT_2, 0.5)])
-            .unwrap();
+        let b =
+            DiscretePdf::from_points(vec![(0.0, 0.5), (std::f64::consts::SQRT_2, 0.5)]).unwrap();
         let c = convolve_discrete(&a, &b).unwrap();
         assert_eq!(c.len(), 4);
     }

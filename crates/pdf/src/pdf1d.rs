@@ -27,11 +27,7 @@ pub enum Pdf1 {
     /// A symbolic distribution with an attached floored-out region and an
     /// existence scale factor (`scale` multiplies all densities; floors from
     /// *other* attributes in the same dependency set shrink it).
-    Symbolic {
-        dist: Symbolic,
-        floor: RegionSet,
-        scale: f64,
-    },
+    Symbolic { dist: Symbolic, floor: RegionSet, scale: f64 },
     /// A generic histogram.
     Histogram(Histogram),
     /// A discrete value–probability list.
@@ -74,11 +70,7 @@ impl Pdf1 {
     pub fn mass(&self) -> f64 {
         match self {
             Pdf1::Symbolic { dist, floor, scale } => {
-                let floored: f64 = floor
-                    .intervals()
-                    .iter()
-                    .map(|iv| dist.interval_prob(iv))
-                    .sum();
+                let floored: f64 = floor.intervals().iter().map(|iv| dist.interval_prob(iv)).sum();
                 scale * (1.0 - floored).max(0.0)
             }
             Pdf1::Histogram(h) => h.mass(),
@@ -158,11 +150,9 @@ impl Pdf1 {
     /// pdfs absorb it.
     pub fn floor_region(&self, region: &RegionSet) -> Pdf1 {
         match self {
-            Pdf1::Symbolic { dist, floor, scale } => Pdf1::Symbolic {
-                dist: *dist,
-                floor: floor.union(region),
-                scale: *scale,
-            },
+            Pdf1::Symbolic { dist, floor, scale } => {
+                Pdf1::Symbolic { dist: *dist, floor: floor.union(region), scale: *scale }
+            }
             Pdf1::Histogram(h) => Pdf1::Histogram(h.floor_region(region)),
             Pdf1::Discrete(d) => Pdf1::Discrete(d.floor_region(region)),
         }
@@ -172,11 +162,9 @@ impl Pdf1 {
     /// on *sibling* attributes reduce the joint existence probability.
     pub fn scale(&self, factor: f64) -> Pdf1 {
         match self {
-            Pdf1::Symbolic { dist, floor, scale } => Pdf1::Symbolic {
-                dist: *dist,
-                floor: floor.clone(),
-                scale: scale * factor,
-            },
+            Pdf1::Symbolic { dist, floor, scale } => {
+                Pdf1::Symbolic { dist: *dist, floor: floor.clone(), scale: scale * factor }
+            }
             Pdf1::Histogram(h) => Pdf1::Histogram(h.scale(factor)),
             Pdf1::Discrete(d) => Pdf1::Discrete(d.scale(factor)),
         }
@@ -229,11 +217,7 @@ impl Pdf1 {
         };
         // A discrete atom exactly at `lo` is already included in cdf(lo) and
         // would otherwise be lost; nudge the left edge outward.
-        let lo = if self.is_discrete() {
-            lo - ((hi - lo) * 1e-6 + 1e-9)
-        } else {
-            lo
-        };
+        let lo = if self.is_discrete() { lo - ((hi - lo) * 1e-6 + 1e-9) } else { lo };
         match self {
             Pdf1::Symbolic { dist, floor, scale } => {
                 let base = Histogram::from_cdf(lo, hi, bins, |x| dist.cdf(x)).ok()?;
@@ -304,15 +288,11 @@ impl Pdf1 {
         match self {
             Pdf1::Discrete(d) => Ok(d.clone()),
             Pdf1::Symbolic { dist, floor, scale } if dist.is_discrete() => {
-                let pts = dist
-                    .enumerate_discrete(TAIL_EPS)
-                    .expect("discrete symbolic enumerates");
+                let pts = dist.enumerate_discrete(TAIL_EPS).expect("discrete symbolic enumerates");
                 let d = DiscretePdf::from_points(pts)?;
                 Ok(d.floor_region(floor).scale(*scale))
             }
-            _ => Err(PdfError::IncompatibleOperands(
-                "cannot enumerate a continuous pdf".into(),
-            )),
+            _ => Err(PdfError::IncompatibleOperands("cannot enumerate a continuous pdf".into())),
         }
     }
 
@@ -404,11 +384,7 @@ impl Pdf1 {
             Pdf1::Discrete(d) => {
                 let mean = d.expected_value()?;
                 Some(
-                    d.points()
-                        .iter()
-                        .map(|(v, p)| p * (v - mean) * (v - mean))
-                        .sum::<f64>()
-                        / mass,
+                    d.points().iter().map(|(v, p)| p * (v - mean) * (v - mean)).sum::<f64>() / mass,
                 )
             }
             Pdf1::Histogram(h) => Some(histogram_variance(h)?),
@@ -431,11 +407,7 @@ impl Pdf1 {
         }
         match self {
             Pdf1::Discrete(d) => {
-                let pts = d
-                    .points()
-                    .iter()
-                    .map(|&(v, p)| (v, p / mass))
-                    .collect();
+                let pts = d.points().iter().map(|&(v, p)| (v, p / mass)).collect();
                 Pdf1::discrete(pts)
             }
             Pdf1::Histogram(h) => {
@@ -444,9 +416,7 @@ impl Pdf1 {
             }
             // A scale-only partial (no floor) normalizes exactly back to
             // the symbolic distribution.
-            Pdf1::Symbolic { dist, floor, .. } if floor.is_empty() => {
-                Ok(Pdf1::symbolic(*dist))
-            }
+            Pdf1::Symbolic { dist, floor, .. } if floor.is_empty() => Ok(Pdf1::symbolic(*dist)),
             Pdf1::Symbolic { dist, .. } if dist.is_discrete() => {
                 let d = self.enumerate()?;
                 let pts = d.points().iter().map(|&(v, p)| (v, p / mass)).collect();
@@ -722,6 +692,9 @@ mod tests {
     fn scale_compounds() {
         let g = Pdf1::gaussian(0.0, 1.0).unwrap().scale(0.5).scale(0.5);
         assert!((g.mass() - 0.25).abs() < 1e-12);
-        assert!((g.density(0.0) - 0.25 * Symbolic::gaussian(0.0, 1.0).unwrap().density(0.0)).abs() < 1e-15);
+        assert!(
+            (g.density(0.0) - 0.25 * Symbolic::gaussian(0.0, 1.0).unwrap().density(0.0)).abs()
+                < 1e-15
+        );
     }
 }

@@ -245,11 +245,8 @@ mod tests {
     #[test]
     fn joint_sampling_respects_correlation() {
         let j = JointPdf::from_points(
-            JointDiscrete::from_points(
-                2,
-                vec![(vec![0.0, 0.0], 0.5), (vec![1.0, 1.0], 0.5)],
-            )
-            .unwrap(),
+            JointDiscrete::from_points(2, vec![(vec![0.0, 0.0], 0.5), (vec![1.0, 1.0], 0.5)])
+                .unwrap(),
         );
         let mut rng = XorShift::new(17);
         for _ in 0..200 {
@@ -280,8 +277,7 @@ mod tests {
     fn scaled_pdf_reduces_existence() {
         let g = Pdf1::gaussian(0.0, 1.0).unwrap().scale(0.25);
         let mut rng = XorShift::new(31);
-        let exist = (0..20_000).filter(|_| g.sample(&mut rng).is_some()).count() as f64
-            / 20_000.0;
+        let exist = (0..20_000).filter(|_| g.sample(&mut rng).is_some()).count() as f64 / 20_000.0;
         assert!((exist - 0.25).abs() < 0.02, "existence {exist}");
     }
 }

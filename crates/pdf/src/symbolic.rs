@@ -146,9 +146,7 @@ impl Symbolic {
                 }
             }
             Symbolic::Poisson { lambda } => match as_support_int(x) {
-                Some(k) => {
-                    (k as f64 * lambda.ln() - lambda - special::ln_factorial(k)).exp()
-                }
+                Some(k) => (k as f64 * lambda.ln() - lambda - special::ln_factorial(k)).exp(),
                 None => 0.0,
             },
             Symbolic::Binomial { n, p } => match as_support_int(x) {
@@ -236,11 +234,7 @@ impl Symbolic {
             // P(lo <= X <= hi) = cdf(hi) - cdf(lo - 1) on integer support;
             // use nextafter-style nudge via floor/ceil arithmetic.
             let hi = self.cdf(iv.hi);
-            let lo = if iv.lo.is_finite() {
-                self.cdf(iv.lo.ceil() - 1.0)
-            } else {
-                0.0
-            };
+            let lo = if iv.lo.is_finite() { self.cdf(iv.lo.ceil() - 1.0) } else { 0.0 };
             (hi - lo).max(0.0)
         } else {
             (self.cdf(iv.hi) - self.cdf(iv.lo)).max(0.0)

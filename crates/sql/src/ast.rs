@@ -11,11 +11,7 @@ use orion_core::prelude::{CmpOp, ColumnType};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// `CREATE TABLE name (col type [UNCERTAIN], ..., [CORRELATED (a, b)])`.
-    CreateTable {
-        name: String,
-        columns: Vec<ColumnDef>,
-        correlated: Vec<Vec<String>>,
-    },
+    CreateTable { name: String, columns: Vec<ColumnDef>, correlated: Vec<Vec<String>> },
     /// `INSERT INTO name VALUES (expr, ...), (expr, ...)`.
     Insert { table: String, rows: Vec<Vec<InsertValue>> },
     /// `SELECT [DISTINCT] items FROM source [WHERE pred]
@@ -29,15 +25,15 @@ pub enum Statement {
         limit: Option<usize>,
     },
     /// `UPDATE name SET col = value, ... [WHERE pred]` (certain predicate).
-    Update {
-        table: String,
-        sets: Vec<(String, InsertValue)>,
-        filter: Option<Pred>,
-    },
+    Update { table: String, sets: Vec<(String, InsertValue)>, filter: Option<Pred> },
     /// `DELETE FROM name [WHERE pred]`.
     Delete { table: String, filter: Option<Pred> },
     /// `DROP TABLE name`.
     DropTable { name: String },
+    /// `EXPLAIN [ANALYZE] stmt` — renders the operator tree the statement
+    /// would run; with `ANALYZE`, executes it and annotates each operator
+    /// with its execution stats.
+    Explain { analyze: bool, inner: Box<Statement> },
 }
 
 /// A column definition.
@@ -71,7 +67,11 @@ pub enum PdfExpr {
     /// `DISCRETE(v:p, v:p, ...)`.
     Discrete(Vec<(f64, f64)>),
     /// `HISTOGRAM(lo, width, m1, m2, ...)`.
-    Histogram { lo: f64, width: f64, masses: Vec<f64> },
+    Histogram {
+        lo: f64,
+        width: f64,
+        masses: Vec<f64>,
+    },
     /// `JOINT((v1, v2):p, ...)` — a correlated joint pmf supplied for a
     /// CORRELATED column group; spans as many columns as the group.
     Joint(Vec<(Vec<f64>, f64)>),
@@ -115,7 +115,11 @@ impl SelectItem {
 pub enum FromClause {
     Table(String),
     /// `a JOIN b ON pred` (`pred` empty = cross join).
-    Join { left: String, right: String, on: Option<Pred> },
+    Join {
+        left: String,
+        right: String,
+        on: Option<Pred>,
+    },
 }
 
 /// A scalar term in a predicate.

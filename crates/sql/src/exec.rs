@@ -6,10 +6,12 @@ use crate::error::{Result, SqlError};
 use crate::parser::parse;
 use orion_core::agg;
 use orion_core::join::join;
+use orion_core::plan::{execute_profiled, Plan};
 use orion_core::prelude::*;
 use orion_core::project::project;
 use orion_core::select::select;
 use orion_core::threshold::{predicate_probability, threshold_attrs, threshold_pred};
+use orion_obs::OpProfile;
 use orion_pdf::prelude::*;
 use std::collections::HashMap;
 
@@ -24,6 +26,10 @@ pub enum Output {
     Count(usize),
     /// Statement completed with nothing to return (CREATE / DROP).
     Ok,
+    /// The operator tree of an `EXPLAIN [ANALYZE]` statement. With
+    /// `analyze` the profile carries real execution stats; without, only
+    /// the plan shape is meaningful.
+    Explain { profile: OpProfile, analyze: bool },
 }
 
 /// An in-memory Orion SQL session.
@@ -42,7 +48,11 @@ impl Default for Database {
 impl Database {
     /// An empty database with default execution options.
     pub fn new() -> Self {
-        Database { tables: HashMap::new(), reg: HistoryRegistry::new(), opts: ExecOptions::default() }
+        Database {
+            tables: HashMap::new(),
+            reg: HistoryRegistry::new(),
+            opts: ExecOptions::default(),
+        }
     }
 
     /// Overrides execution options (resolution, history maintenance, ...).
@@ -100,14 +110,10 @@ impl Database {
                 if self.tables.contains_key(&name) {
                     return Err(SqlError::Exec(format!("table '{name}' already exists")));
                 }
-                let cols: Vec<(&str, ColumnType, bool)> = columns
-                    .iter()
-                    .map(|c| (c.name.as_str(), c.ty, c.uncertain))
-                    .collect();
-                let groups: Vec<Vec<&str>> = correlated
-                    .iter()
-                    .map(|g| g.iter().map(|s| s.as_str()).collect())
-                    .collect();
+                let cols: Vec<(&str, ColumnType, bool)> =
+                    columns.iter().map(|c| (c.name.as_str(), c.ty, c.uncertain)).collect();
+                let groups: Vec<Vec<&str>> =
+                    correlated.iter().map(|g| g.iter().map(|s| s.as_str()).collect()).collect();
                 let schema = ProbSchema::new(cols, groups)?;
                 self.tables.insert(name.clone(), Relation::new(name, schema));
                 Ok(Output::Ok)
@@ -144,9 +150,7 @@ impl Database {
                         for c in p.columns() {
                             match schema.column(&c) {
                                 None => {
-                                    return Err(SqlError::Exec(format!(
-                                        "unknown column '{c}'"
-                                    )))
+                                    return Err(SqlError::Exec(format!("unknown column '{c}'")))
                                 }
                                 Some(col) if col.uncertain => {
                                     return Err(SqlError::Exec(format!(
@@ -180,7 +184,83 @@ impl Database {
                 rel.release(&mut self.reg);
                 Ok(Output::Ok)
             }
+            Statement::Explain { analyze, inner } => self.explain(analyze, *inner),
         }
+    }
+
+    /// `EXPLAIN [ANALYZE] SELECT ...`: lowers the statement onto the core
+    /// plan algebra and executes it with per-operator profiling. Both forms
+    /// run the query (the result relation is discarded); the plain form
+    /// renders only the plan shape. Post-relational stages (DISTINCT,
+    /// ORDER BY, LIMIT, computed select items, aggregates) are not part of
+    /// the operator algebra and are rejected.
+    fn explain(&mut self, analyze: bool, inner: Statement) -> Result<Output> {
+        let Statement::Select { items, from, filter, distinct, order_by, limit } = inner else {
+            return Err(SqlError::Exec("EXPLAIN supports only SELECT statements".into()));
+        };
+        if distinct || order_by.is_some() || limit.is_some() {
+            return Err(SqlError::Exec(
+                "EXPLAIN covers the relational pipeline only \
+                 (no DISTINCT / ORDER BY / LIMIT)"
+                    .into(),
+            ));
+        }
+        let mut plan = match from {
+            FromClause::Table(name) => Plan::Scan(name),
+            FromClause::Join { left, right, on } => Plan::Join(
+                Box::new(Plan::Scan(left)),
+                Box::new(Plan::Scan(right)),
+                on.map(|p| translate_pred(&p)).transpose()?,
+            ),
+        };
+        // Mirror `select()`: one σ for all PWS conjuncts, then thresholds.
+        if let Some(f) = filter {
+            let mut pws_parts: Vec<Predicate> = Vec::new();
+            let mut thresholds: Vec<Pred> = Vec::new();
+            for c in split_conjuncts(f) {
+                match c {
+                    Pred::ProbThreshold(..) | Pred::AttrThreshold(..) => thresholds.push(c),
+                    other => pws_parts.push(translate_pred(&other)?),
+                }
+            }
+            if !pws_parts.is_empty() {
+                let pred = if pws_parts.len() == 1 {
+                    pws_parts.pop().expect("one part")
+                } else {
+                    Predicate::And(pws_parts)
+                };
+                plan = plan.select(pred);
+            }
+            for t in thresholds {
+                plan = match t {
+                    Pred::ProbThreshold(inner, op, p) => {
+                        Plan::ThresholdPred(Box::new(plan), translate_pred(&inner)?, op, p)
+                    }
+                    Pred::AttrThreshold(attrs, op, p) => {
+                        Plan::ThresholdAttrs(Box::new(plan), attrs, op, p)
+                    }
+                    _ => unreachable!("partitioned above"),
+                };
+            }
+        }
+        if !items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+            let cols: Vec<String> = items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Column(c) => Ok(c.clone()),
+                    other => Err(SqlError::Exec(format!(
+                        "EXPLAIN covers the relational pipeline only \
+                         (unsupported select item {other:?})"
+                    ))),
+                })
+                .collect::<Result<_>>()?;
+            plan = Plan::Project(Box::new(plan), cols);
+        }
+        // The result relation is discarded like any undisplayed SELECT
+        // output (a bare Scan result holds no refs of its own, so an
+        // explicit release here could over-release the stored table).
+        let (_rel, profile) = execute_profiled(&plan, &self.tables, &mut self.reg, &self.opts)?;
+        Ok(Output::Explain { profile, analyze })
     }
 
     fn insert_row(&mut self, table: &str, row: Vec<InsertValue>) -> Result<()> {
@@ -199,9 +279,7 @@ impl Database {
             if consumed.contains(&col.id) {
                 continue;
             }
-            let v = vals
-                .next()
-                .ok_or_else(|| SqlError::Exec("too few values in INSERT".into()))?;
+            let v = vals.next().ok_or_else(|| SqlError::Exec("too few values in INSERT".into()))?;
             if !col.uncertain {
                 let val = match v {
                     InsertValue::Null => Value::Null,
@@ -321,10 +399,8 @@ impl Database {
                         )))
                     }
                 };
-                assigns.push(Assign::Certain(
-                    schema.index_of(col_name).expect("column exists"),
-                    val,
-                ));
+                assigns
+                    .push(Assign::Certain(schema.index_of(col_name).expect("column exists"), val));
                 continue;
             }
             let group: Vec<AttrId> = schema
@@ -358,10 +434,7 @@ impl Database {
                 None => true,
                 Some(p) => {
                     let lookup = |name: &str| -> Value {
-                        schema
-                            .index_of(name)
-                            .map(|i| t.certain[i].clone())
-                            .unwrap_or(Value::Null)
+                        schema.index_of(name).map(|i| t.certain[i].clone()).unwrap_or(Value::Null)
                     };
                     p.eval(&lookup) == Some(true)
                 }
@@ -386,8 +459,7 @@ impl Database {
                             self.reg.delete_base(id);
                         }
                         let id = self.reg.register(group.clone(), joint.clone());
-                        let anc: orion_core::history::Ancestors =
-                            [id].into_iter().collect();
+                        let anc: orion_core::history::Ancestors = [id].into_iter().collect();
                         self.reg.add_refs(&anc);
                         t.nodes[ni] =
                             orion_core::tuple::PdfNode::base(id, group, joint.clone(), anc);
@@ -583,9 +655,10 @@ impl Database {
                         }
                         SelectItem::Column(c) => row.push(render_cell(&input, ti, c)?),
                         SelectItem::Expected(c) => {
-                            let col = input.schema.column(c).ok_or_else(|| {
-                                SqlError::Exec(format!("unknown column '{c}'"))
-                            })?;
+                            let col = input
+                                .schema
+                                .column(c)
+                                .ok_or_else(|| SqlError::Exec(format!("unknown column '{c}'")))?;
                             let s = if col.uncertain {
                                 match input.marginal(ti, c)?.expected_value() {
                                     Some(v) => format!("{v:.6}"),
@@ -597,9 +670,7 @@ impl Database {
                             row.push(s);
                         }
                         SelectItem::Variance(c) => {
-                            row.push(uncertain_stat(&input, ti, c, "VARIANCE", |m| {
-                                m.variance()
-                            })?);
+                            row.push(uncertain_stat(&input, ti, c, "VARIANCE", |m| m.variance())?);
                         }
                         SelectItem::Quantile(c, q) => {
                             let q = *q;
@@ -608,9 +679,7 @@ impl Database {
                             })?);
                         }
                         SelectItem::Median(c) => {
-                            row.push(uncertain_stat(&input, ti, c, "MEDIAN", |m| {
-                                m.quantile(0.5)
-                            })?);
+                            row.push(uncertain_stat(&input, ti, c, "MEDIAN", |m| m.quantile(0.5))?);
                         }
                         SelectItem::ProbOf(p) => {
                             let pred = translate_pred(p)?;
@@ -689,10 +758,8 @@ fn uncertain_stat(
     what: &str,
     stat: impl Fn(&Pdf1) -> Option<f64>,
 ) -> Result<String> {
-    let c = rel
-        .schema
-        .column(col)
-        .ok_or_else(|| SqlError::Exec(format!("unknown column '{col}'")))?;
+    let c =
+        rel.schema.column(col).ok_or_else(|| SqlError::Exec(format!("unknown column '{col}'")))?;
     if !c.uncertain {
         // A certain value is a point mass: every statistic degenerates to
         // the obvious constant, consistent with EXPECTED's behavior.
@@ -702,9 +769,7 @@ fn uncertain_stat(
                 Some(r) => format!("{r:.6}"),
                 None => "NULL".to_string(),
             }),
-            None => Err(SqlError::Exec(format!(
-                "{what} over non-numeric certain column '{col}'"
-            ))),
+            None => Err(SqlError::Exec(format!("{what} over non-numeric certain column '{col}'"))),
         };
     }
     Ok(match stat(&rel.marginal(tuple, col)?) {
@@ -715,10 +780,8 @@ fn uncertain_stat(
 
 /// Renders one visible cell: certain value or pdf summary.
 fn render_cell(rel: &Relation, tuple: usize, col: &str) -> Result<String> {
-    let c = rel
-        .schema
-        .column(col)
-        .ok_or_else(|| SqlError::Exec(format!("unknown column '{col}'")))?;
+    let c =
+        rel.schema.column(col).ok_or_else(|| SqlError::Exec(format!("unknown column '{col}'")))?;
     if c.uncertain {
         Ok(rel.marginal(tuple, col)?.to_string())
     } else {
@@ -752,9 +815,7 @@ pub fn translate_pred(p: &Pred) -> Result<Predicate> {
             Predicate::cmp(col, CmpOp::Ge, *lo),
             Predicate::cmp(col, CmpOp::Le, *hi),
         ]),
-        Pred::And(ps) => {
-            Predicate::And(ps.iter().map(translate_pred).collect::<Result<_>>()?)
-        }
+        Pred::And(ps) => Predicate::And(ps.iter().map(translate_pred).collect::<Result<_>>()?),
         Pred::Or(ps) => Predicate::Or(ps.iter().map(translate_pred).collect::<Result<_>>()?),
         Pred::Not(inner) => Predicate::Not(Box::new(translate_pred(inner)?)),
         Pred::ProbThreshold(..) | Pred::AttrThreshold(..) => {
@@ -847,9 +908,8 @@ mod tests {
     #[test]
     fn prob_threshold_query() {
         let mut db = sensor_db();
-        let out = db
-            .execute("SELECT * FROM readings WHERE PROB(value BETWEEN 18 AND 22) > 0.5")
-            .unwrap();
+        let out =
+            db.execute("SELECT * FROM readings WHERE PROB(value BETWEEN 18 AND 22) > 0.5").unwrap();
         match out {
             Output::Table(rel) => {
                 assert_eq!(rel.len(), 1);
@@ -862,9 +922,8 @@ mod tests {
     #[test]
     fn expected_and_prob_items() {
         let mut db = sensor_db();
-        let out = db
-            .execute("SELECT rid, EXPECTED(value), PROB(value < 20) FROM readings")
-            .unwrap();
+        let out =
+            db.execute("SELECT rid, EXPECTED(value), PROB(value < 20) FROM readings").unwrap();
         match out {
             Output::Rows { header, rows } => {
                 assert_eq!(header, vec!["rid", "expected(value)", "prob"]);
@@ -900,10 +959,7 @@ mod tests {
     #[test]
     fn correlated_group_with_joint_insert() {
         let mut db = Database::new();
-        db.execute(
-            "CREATE TABLE t (a INT UNCERTAIN, b INT UNCERTAIN, CORRELATED (a, b))",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE t (a INT UNCERTAIN, b INT UNCERTAIN, CORRELATED (a, b))").unwrap();
         db.execute("INSERT INTO t VALUES (JOINT((4,5):0.9, (2,3):0.1))").unwrap();
         let rel = db.table("t").unwrap();
         assert_eq!(rel.tuples[0].nodes.len(), 1);
@@ -958,12 +1014,8 @@ mod tests {
     fn insert_arity_errors() {
         let mut db = sensor_db();
         assert!(db.execute("INSERT INTO readings VALUES (4)").is_err());
-        assert!(db
-            .execute("INSERT INTO readings VALUES (4, GAUSSIAN(1,1), 9)")
-            .is_err());
-        assert!(db
-            .execute("INSERT INTO readings VALUES (GAUSSIAN(1,1), GAUSSIAN(1,1))")
-            .is_err());
+        assert!(db.execute("INSERT INTO readings VALUES (4, GAUSSIAN(1,1), 9)").is_err());
+        assert!(db.execute("INSERT INTO readings VALUES (GAUSSIAN(1,1), GAUSSIAN(1,1))").is_err());
     }
 
     #[test]
@@ -1002,9 +1054,7 @@ mod tests {
     #[test]
     fn update_statement() {
         let mut db = sensor_db();
-        let out = db
-            .execute("UPDATE readings SET value = GAUSSIAN(99, 1) WHERE rid = 2")
-            .unwrap();
+        let out = db.execute("UPDATE readings SET value = GAUSSIAN(99, 1) WHERE rid = 2").unwrap();
         assert!(matches!(out, Output::Count(1)));
         let m = db.table("readings").unwrap().marginal(1, "value").unwrap();
         assert_eq!(m.to_string(), "Gaus(99,1)");
@@ -1023,9 +1073,7 @@ mod tests {
     #[test]
     fn order_by_and_limit() {
         let mut db = sensor_db();
-        let out = db
-            .execute("SELECT rid FROM readings ORDER BY value DESC LIMIT 2")
-            .unwrap();
+        let out = db.execute("SELECT rid FROM readings ORDER BY value DESC LIMIT 2").unwrap();
         match out {
             Output::Table(rel) => {
                 // Expected values: 25 > 20 > 13.
@@ -1083,9 +1131,8 @@ mod tests {
             other => panic!("wrong output: {other:?}"),
         }
         // The reopened database accepts further statements and joins.
-        let out = db
-            .execute("SELECT * FROM readings JOIN tags ON readings.rid = tags.rid")
-            .unwrap();
+        let out =
+            db.execute("SELECT * FROM readings JOIN tags ON readings.rid = tags.rid").unwrap();
         match out {
             Output::Table(rel) => assert_eq!(rel.len(), 1),
             other => panic!("wrong output: {other:?}"),
@@ -1093,12 +1140,84 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Replaces the variable `time=...` token of each EXPLAIN ANALYZE row
+    /// with `time=_` so the rest of the line can be compared exactly.
+    fn normalize_times(text: &str) -> String {
+        let mut out = String::new();
+        for line in text.lines() {
+            match line.find("time=") {
+                Some(i) => {
+                    out.push_str(&line[..i]);
+                    out.push_str("time=_)");
+                }
+                None => out.push_str(line),
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn explain_analyze_golden_select_project_join() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE l (id INT, x REAL UNCERTAIN)").unwrap();
+        db.execute("CREATE TABLE r (id INT, y REAL UNCERTAIN)").unwrap();
+        db.execute("INSERT INTO l VALUES (1, DISCRETE(1:0.5, 3:0.5))").unwrap();
+        db.execute("INSERT INTO r VALUES (2, DISCRETE(2:0.5, 4:0.5))").unwrap();
+        let out = db.execute("EXPLAIN ANALYZE SELECT l.id FROM l JOIN r ON x < y").unwrap();
+        let Output::Explain { profile, analyze } = out else { panic!("expected explain") };
+        assert!(analyze);
+        // x < y merges the two independent nodes (one product) and floors
+        // the merged joint once per surviving crossed tuple.
+        assert_eq!(
+            normalize_times(&profile.render(true)),
+            "Project [l.id]  \
+             (in=1 out=1 products=0 floors=0 marginalize=0 collapses=0 time=_)\n\
+             └─ Join [x < y]  \
+             (in=2 out=1 products=1 floors=1 marginalize=0 collapses=0 time=_)\n\
+             \u{20}  ├─ Scan [l]  \
+             (in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 time=_)\n\
+             \u{20}  └─ Scan [r]  \
+             (in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 time=_)\n"
+        );
+    }
+
+    #[test]
+    fn explain_without_analyze_shows_plan_shape() {
+        let mut db = sensor_db();
+        let out = db.execute("EXPLAIN SELECT rid FROM readings WHERE value < 20").unwrap();
+        let Output::Explain { profile, analyze } = out else { panic!("expected explain") };
+        assert!(!analyze);
+        assert_eq!(
+            profile.render(false),
+            "Project [rid]\n└─ Select [value < 20]\n   └─ Scan [readings]\n"
+        );
+    }
+
+    #[test]
+    fn explain_threshold_pipeline_and_rejections() {
+        let mut db = sensor_db();
+        let out = db
+            .execute(
+                "EXPLAIN ANALYZE SELECT * FROM readings \
+                 WHERE PROB(value BETWEEN 18 AND 22) > 0.5",
+            )
+            .unwrap();
+        let Output::Explain { profile, .. } = out else { panic!("expected explain") };
+        assert_eq!(profile.name, "ThresholdPred");
+        assert_eq!(profile.stats.tuples_in, 3);
+        assert_eq!(profile.stats.tuples_out, 1);
+        assert!(profile.stats.pdf_floors >= 3, "one floor per candidate tuple");
+        // Non-SELECT and post-relational stages are rejected.
+        assert!(db.execute("EXPLAIN DROP TABLE readings").is_err());
+        assert!(db.execute("EXPLAIN SELECT rid FROM readings LIMIT 1").is_err());
+        assert!(db.execute("EXPLAIN SELECT ECOUNT(*) FROM readings").is_err());
+    }
+
     #[test]
     fn wildcard_with_columns_rejected() {
         let mut db = sensor_db();
         assert!(db.execute("SELECT *, rid FROM readings").is_err());
-        assert!(db
-            .execute("SELECT ECOUNT(*), rid FROM readings")
-            .is_err());
+        assert!(db.execute("SELECT ECOUNT(*), rid FROM readings").is_err());
     }
 }

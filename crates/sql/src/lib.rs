@@ -16,7 +16,10 @@
 //!   aggregates (Gaussian-approximated, Section I);
 //! * `UPDATE`, `DELETE`, `ORDER BY` (expectation order for uncertain
 //!   columns), `LIMIT`, certain-only `DISTINCT`, and whole-database
-//!   `save`/`open` persistence.
+//!   `save`/`open` persistence;
+//! * `EXPLAIN [ANALYZE] SELECT ...` — the executed operator tree, with
+//!   per-operator tuple counts, pdf-operation counts, and wall time under
+//!   `ANALYZE` (both forms execute the query).
 //!
 //! ```
 //! use orion_sql::{Database, Output};

@@ -95,6 +95,11 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
+            let inner = self.statement()?;
+            return Ok(Statement::Explain { analyze, inner: Box::new(inner) });
+        }
         if self.eat_kw("create") {
             self.create_table()
         } else if self.eat_kw("insert") {
@@ -297,9 +302,7 @@ impl Parser {
                 }
                 PdfExpr::Joint(pts)
             }
-            other => {
-                return Err(SqlError::Parse(format!("unknown pdf constructor '{other}'")))
-            }
+            other => return Err(SqlError::Parse(format!("unknown pdf constructor '{other}'"))),
         };
         self.expect(&Token::RParen, "')'")?;
         Ok(expr)
@@ -530,9 +533,7 @@ impl Parser {
             Token::Ge => CmpOp::Ge,
             Token::Eq => CmpOp::Eq,
             Token::Ne => CmpOp::Ne,
-            other => {
-                return Err(SqlError::Parse(format!("expected comparison, found {other:?}")))
-            }
+            other => return Err(SqlError::Parse(format!("expected comparison, found {other:?}"))),
         };
         self.next();
         Ok(op)
@@ -583,10 +584,9 @@ mod tests {
 
     #[test]
     fn insert_with_pdf_constructors() {
-        let s = parse(
-            "INSERT INTO readings VALUES (1, GAUSSIAN(20, 5)), (2, DISCRETE(0:0.1, 1:0.9))",
-        )
-        .unwrap();
+        let s =
+            parse("INSERT INTO readings VALUES (1, GAUSSIAN(20, 5)), (2, DISCRETE(0:0.1, 1:0.9))")
+                .unwrap();
         match s {
             Statement::Insert { table, rows } => {
                 assert_eq!(table, "readings");
@@ -648,7 +648,9 @@ mod tests {
     fn prob_threshold_forms() {
         let s = parse("SELECT * FROM t WHERE PROB(x BETWEEN 10 AND 20) > 0.5").unwrap();
         match s {
-            Statement::Select { filter: Some(Pred::ProbThreshold(inner, CmpOp::Gt, p)), .. } => {
+            Statement::Select {
+                filter: Some(Pred::ProbThreshold(inner, CmpOp::Gt, p)), ..
+            } => {
                 assert_eq!(*inner, Pred::Between("x".into(), 10.0, 20.0));
                 assert_eq!(p, 0.5);
             }
@@ -695,10 +697,7 @@ mod tests {
                 filter: Some(Pred::Cmp(Term::Col("rid".into()), CmpOp::Eq, Term::Num(3.0))),
             }
         );
-        assert_eq!(
-            parse("DROP TABLE t;").unwrap(),
-            Statement::DropTable { name: "t".into() }
-        );
+        assert_eq!(parse("DROP TABLE t;").unwrap(), Statement::DropTable { name: "t".into() });
     }
 
     #[test]

@@ -9,12 +9,8 @@ use orion_core::prelude::Relation;
 /// pdf summaries for uncertain columns (plus an `exists` column when any
 /// tuple is a maybe-tuple).
 pub fn render_relation(rel: &Relation) -> Result<String> {
-    let mut header: Vec<String> =
-        rel.schema.columns().iter().map(|c| c.name.clone()).collect();
-    let show_exists = rel
-        .tuples
-        .iter()
-        .any(|t| (t.naive_existence() - 1.0).abs() > 1e-9);
+    let mut header: Vec<String> = rel.schema.columns().iter().map(|c| c.name.clone()).collect();
+    let show_exists = rel.tuples.iter().any(|t| (t.naive_existence() - 1.0).abs() > 1e-9);
     if show_exists {
         header.push("Pr(exists)".to_string());
     }
@@ -43,6 +39,7 @@ pub fn render_output(out: &Output) -> Result<String> {
         Output::Rows { header, rows } => Ok(render_grid(header, rows)),
         Output::Count(n) => Ok(format!("{n} tuple(s) affected")),
         Output::Ok => Ok("OK".to_string()),
+        Output::Explain { profile, analyze } => Ok(profile.render(*analyze)),
     }
 }
 

@@ -143,8 +143,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                     } else if (d == 'e' || d == 'E') && !seen_exp && j > start {
                         seen_exp = true;
                         j += 1;
-                        if j < bytes.len() && (bytes[j] as char == '-' || bytes[j] as char == '+')
-                        {
+                        if j < bytes.len() && (bytes[j] as char == '-' || bytes[j] as char == '+') {
                             j += 1;
                         }
                     } else {
@@ -152,9 +151,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                     }
                 }
                 let text = &input[start..j];
-                let n: f64 = text
-                    .parse()
-                    .map_err(|_| SqlError::Lex(format!("bad number '{text}'")))?;
+                let n: f64 =
+                    text.parse().map_err(|_| SqlError::Lex(format!("bad number '{text}'")))?;
                 out.push(Token::Number(n));
                 i = j;
             }

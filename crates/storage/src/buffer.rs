@@ -45,7 +45,10 @@ impl<S: PageStore> BufferPool<S> {
         }
     }
 
-    /// Shared I/O counters.
+    /// Handle to the pool's [`IoStats`] (orion-obs atomic counters):
+    /// physical page reads/writes, cache hits/misses, and evictions. The
+    /// `Arc` stays live across `reset()` calls, so callers can hold it for
+    /// the lifetime of the pool and snapshot per measurement phase.
     pub fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
@@ -59,9 +62,7 @@ impl<S: PageStore> BufferPool<S> {
     pub fn allocate(&self) -> std::io::Result<PageId> {
         let mut g = self.inner.lock();
         let id = g.store.allocate()?;
-        self.stats
-            .physical_writes
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.physical_writes.inc();
         let stamp = Self::bump(&mut g);
         Self::make_room(&mut g, &self.stats)?;
         g.frames.insert(id, Frame { page: Page::new(), dirty: false, last_used: stamp });
@@ -82,11 +83,10 @@ impl<S: PageStore> BufferPool<S> {
                 .map(|(&id, _)| id)
                 .expect("non-empty frame table");
             let frame = g.frames.remove(&victim).expect("victim present");
+            stats.evictions.inc();
             if frame.dirty {
                 g.store.write_page(victim, &frame.page)?;
-                stats
-                    .physical_writes
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.physical_writes.inc();
             }
         }
         Ok(())
@@ -98,17 +98,14 @@ impl<S: PageStore> BufferPool<S> {
         let stamp = Self::bump(&mut g);
         if let Some(frame) = g.frames.get_mut(&id) {
             frame.last_used = stamp;
-            self.stats
-                .cache_hits
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.stats.cache_hits.inc();
             return Ok(f(&frame.page));
         }
+        self.stats.cache_misses.inc();
         Self::make_room(&mut g, &self.stats)?;
         let mut page = Page::new();
         g.store.read_page(id, &mut page)?;
-        self.stats
-            .physical_reads
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.physical_reads.inc();
         let r = f(&page);
         g.frames.insert(id, Frame { page, dirty: false, last_used: stamp });
         Ok(r)
@@ -125,17 +122,14 @@ impl<S: PageStore> BufferPool<S> {
         if let Some(frame) = g.frames.get_mut(&id) {
             frame.last_used = stamp;
             frame.dirty = true;
-            self.stats
-                .cache_hits
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.stats.cache_hits.inc();
             return Ok(f(&mut frame.page));
         }
+        self.stats.cache_misses.inc();
         Self::make_room(&mut g, &self.stats)?;
         let mut page = Page::new();
         g.store.read_page(id, &mut page)?;
-        self.stats
-            .physical_reads
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.physical_reads.inc();
         let r = f(&mut page);
         g.frames.insert(id, Frame { page, dirty: true, last_used: stamp });
         Ok(r)
@@ -144,19 +138,13 @@ impl<S: PageStore> BufferPool<S> {
     /// Writes all dirty frames back to the store.
     pub fn flush(&self) -> std::io::Result<()> {
         let mut g = self.inner.lock();
-        let dirty: Vec<PageId> = g
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(&id, _)| id)
-            .collect();
+        let dirty: Vec<PageId> =
+            g.frames.iter().filter(|(_, f)| f.dirty).map(|(&id, _)| id).collect();
         for id in dirty {
             let page = g.frames.get(&id).expect("frame present").page.clone();
             g.store.write_page(id, &page)?;
             g.frames.get_mut(&id).expect("frame present").dirty = false;
-            self.stats
-                .physical_writes
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.stats.physical_writes.inc();
         }
         Ok(())
     }
@@ -205,7 +193,10 @@ mod tests {
             assert_eq!(p.get(0), Some(&b"rec0"[..]));
         })
         .unwrap();
-        assert!(pool.stats().snapshot().physical_reads >= 1);
+        let snap = pool.stats().snapshot();
+        assert!(snap.physical_reads >= 1);
+        assert!(snap.evictions >= 2, "pool of 2 held 4 pages");
+        assert_eq!(snap.cache_misses, snap.physical_reads);
     }
 
     #[test]
@@ -225,6 +216,7 @@ mod tests {
         let snap = pool.stats().snapshot();
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, 1);
     }
 
     #[test]

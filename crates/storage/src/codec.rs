@@ -6,8 +6,8 @@
 //! storage-cost driver of the paper's Figure 5.
 
 use bytes::{Buf, BufMut};
-use orion_pdf::prelude::*;
 use orion_pdf::joint::Block;
+use orion_pdf::prelude::*;
 
 /// Errors raised while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -378,11 +378,8 @@ mod tests {
         assert_eq!(out, j);
         // Correlated points block.
         let corr = JointPdf::from_points(
-            JointDiscrete::from_points(
-                2,
-                vec![(vec![0.0, 1.0], 0.06), (vec![1.0, 2.0], 0.36)],
-            )
-            .unwrap(),
+            JointDiscrete::from_points(2, vec![(vec![0.0, 1.0], 0.06), (vec![1.0, 2.0], 0.36)])
+                .unwrap(),
         );
         let mut buf = Vec::new();
         encode_joint(&corr, &mut buf);

@@ -1,10 +1,10 @@
 //! Page-granular storage backends: on-disk files and in-memory stores.
 
 use crate::page::{Page, PAGE_SIZE};
+use orion_obs::{json, Counter};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifies a page within one storage unit.
 pub type PageId = u32;
@@ -13,27 +13,35 @@ pub type PageId = u32;
 #[derive(Debug, Default)]
 pub struct IoStats {
     /// Pages read from the backend (buffer-pool misses).
-    pub physical_reads: AtomicU64,
+    pub physical_reads: Counter,
     /// Pages written to the backend (evictions + flushes).
-    pub physical_writes: AtomicU64,
+    pub physical_writes: Counter,
     /// Page requests served from the buffer pool.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
+    /// Page requests that missed the pool and faulted a page in.
+    pub cache_misses: Counter,
+    /// Frames evicted from the pool to make room.
+    pub evictions: Counter,
 }
 
 impl IoStats {
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.physical_reads.store(0, Ordering::Relaxed);
-        self.physical_writes.store(0, Ordering::Relaxed);
-        self.cache_hits.store(0, Ordering::Relaxed);
+        self.physical_reads.reset();
+        self.physical_writes.reset();
+        self.cache_hits.reset();
+        self.cache_misses.reset();
+        self.evictions.reset();
     }
 
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            physical_reads: self.physical_reads.load(Ordering::Relaxed),
-            physical_writes: self.physical_writes.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.get(),
+            physical_writes: self.physical_writes.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            evictions: self.evictions.get(),
         }
     }
 }
@@ -44,6 +52,20 @@ pub struct IoSnapshot {
     pub physical_reads: u64,
     pub physical_writes: u64,
     pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub evictions: u64,
+}
+
+impl IoSnapshot {
+    /// JSON form with one field per counter (for the bench exporters).
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object()
+            .with("physical_reads", self.physical_reads)
+            .with("physical_writes", self.physical_writes)
+            .with("cache_hits", self.cache_hits)
+            .with("cache_misses", self.cache_misses)
+            .with("evictions", self.evictions)
+    }
 }
 
 /// A backend that stores fixed-size pages addressed by [`PageId`].
@@ -67,12 +89,8 @@ pub struct FileStore {
 impl FileStore {
     /// Creates (truncating) a page file at `path`.
     pub fn create(path: &Path) -> std::io::Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(FileStore { file, pages: 0 })
     }
 
@@ -205,12 +223,25 @@ mod tests {
     #[test]
     fn io_stats_snapshot_and_reset() {
         let st = IoStats::default();
-        st.physical_reads.fetch_add(3, Ordering::Relaxed);
-        st.cache_hits.fetch_add(5, Ordering::Relaxed);
+        st.physical_reads.add(3);
+        st.cache_hits.add(5);
+        st.cache_misses.add(2);
+        st.evictions.inc();
         let snap = st.snapshot();
         assert_eq!(snap.physical_reads, 3);
         assert_eq!(snap.cache_hits, 5);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.evictions, 1);
         st.reset();
         assert_eq!(st.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn io_snapshot_json_lists_every_counter() {
+        let snap = IoSnapshot { physical_reads: 1, evictions: 4, ..Default::default() };
+        let text = snap.to_json().to_string_compact();
+        assert!(text.contains("\"physical_reads\":1"));
+        assert!(text.contains("\"evictions\":4"));
+        assert!(text.contains("\"cache_misses\":0"));
     }
 }

@@ -38,30 +38,24 @@ impl<S: PageStore> HeapFile<S> {
     /// Appends a record, allocating pages as needed.
     pub fn insert(&mut self, record: &[u8]) -> std::io::Result<RecordId> {
         if let Some(pid) = self.tail {
-            if let Some(slot) =
-                self.pool.with_page_mut(pid, |p| p.insert(record))?
-            {
+            if let Some(slot) = self.pool.with_page_mut(pid, |p| p.insert(record))? {
                 return Ok(RecordId { page: pid, slot: slot as u16 });
             }
         }
         let pid = self.pool.allocate()?;
         self.tail = Some(pid);
-        let slot = self
-            .pool
-            .with_page_mut(pid, |p| p.insert(record))?
-            .ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidInput,
-                    format!("record of {} bytes exceeds page capacity", record.len()),
-                )
-            })?;
+        let slot = self.pool.with_page_mut(pid, |p| p.insert(record))?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("record of {} bytes exceeds page capacity", record.len()),
+            )
+        })?;
         Ok(RecordId { page: pid, slot: slot as u16 })
     }
 
     /// Reads one record (a copy), or `None` if deleted/absent.
     pub fn get(&self, rid: RecordId) -> std::io::Result<Option<Vec<u8>>> {
-        self.pool
-            .with_page(rid.page, |p| p.get(rid.slot as usize).map(|b| b.to_vec()))
+        self.pool.with_page(rid.page, |p| p.get(rid.slot as usize).map(|b| b.to_vec()))
     }
 
     /// Deletes one record; returns whether it existed.

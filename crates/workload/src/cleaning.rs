@@ -46,10 +46,7 @@ impl CleaningWorkload {
     /// amounts carry discrete repair uncertainty.
     pub fn relation(&mut self, n: usize, reg: &mut HistoryRegistry) -> Relation {
         let schema = ProbSchema::new(
-            vec![
-                ("rid", ColumnType::Int, false),
-                ("amount", ColumnType::Real, true),
-            ],
+            vec![("rid", ColumnType::Int, false), ("amount", ColumnType::Real, true)],
             vec![],
         )
         .expect("valid schema");

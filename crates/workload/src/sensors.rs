@@ -77,9 +77,7 @@ impl SensorWorkload {
     /// sane positive range.
     pub fn reading(&mut self) -> SensorReading {
         let mean = self.rng.gen_range(0.0..100.0);
-        let sd = Normal { mean: 2.0, sd: 0.5 }
-            .sample(&mut self.rng)
-            .clamp(0.25, 5.0);
+        let sd = Normal { mean: 2.0, sd: 0.5 }.sample(&mut self.rng).clamp(0.25, 5.0);
         let rid = self.next_rid;
         self.next_rid += 1;
         SensorReading { rid, mean, sd }
@@ -94,9 +92,7 @@ impl SensorWorkload {
     /// clamped positive.
     pub fn range_query(&mut self) -> RangeQuery {
         let mid = self.rng.gen_range(0.0..100.0);
-        let len = Normal { mean: 10.0, sd: 3.0 }
-            .sample(&mut self.rng)
-            .clamp(0.5, 30.0);
+        let len = Normal { mean: 10.0, sd: 3.0 }.sample(&mut self.rng).clamp(0.5, 30.0);
         RangeQuery { lo: mid - len / 2.0, hi: mid + len / 2.0 }
     }
 

@@ -13,10 +13,7 @@ use orion_sql::Database;
 fn main() {
     banner("Data cleaning: candidate repairs as discrete pdfs");
     let mut db = Database::new();
-    run_and_show(
-        &mut db,
-        "CREATE TABLE invoices (inv INT, amount REAL UNCERTAIN, region TEXT)",
-    );
+    run_and_show(&mut db, "CREATE TABLE invoices (inv INT, amount REAL UNCERTAIN, region TEXT)");
     // Three dirty rows: OCR produced candidate amounts with confidences.
     run_and_show(
         &mut db,

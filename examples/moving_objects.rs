@@ -28,10 +28,7 @@ fn main() {
     let (ex, ey) = (node.joint.expected(0).unwrap(), node.joint.expected(1).unwrap());
     // A diagonal box aligned with the heading captures more joint mass than
     // the product of its marginals suggests.
-    let box_q = [
-        (0, Interval::new(ex - 1.0, ex + 1.0)),
-        (1, Interval::new(ey - 1.0, ey + 1.0)),
-    ];
+    let box_q = [(0, Interval::new(ex - 1.0, ex + 1.0)), (1, Interval::new(ey - 1.0, ey + 1.0))];
     let joint_p = node.joint.box_prob(&box_q);
     let mx = node.joint.marginal1(0).unwrap();
     let my = node.joint.marginal1(1).unwrap();
@@ -42,13 +39,9 @@ fn main() {
     println!("  relative error of independence: {:+.1}%\n", (indep_p / joint_p - 1.0) * 100.0);
 
     banner("Window query: objects west of x = 50 (floors the joint)");
-    let west = select(
-        &fleet,
-        &Predicate::cmp("x", CmpOp::Lt, 50.0),
-        &mut reg,
-        &ExecOptions::default(),
-    )
-    .unwrap();
+    let west =
+        select(&fleet, &Predicate::cmp("x", CmpOp::Lt, 50.0), &mut reg, &ExecOptions::default())
+            .unwrap();
     println!("{} of {} objects have mass west of the line:", west.len(), fleet.len());
     for t in west.tuples.iter().take(5) {
         let Value::Int(oid) = t.certain[0] else { continue };
@@ -59,7 +52,10 @@ fn main() {
     banner("Projection keeps the correlated y as a phantom dimension");
     let xs = project(&west, &["oid", "x"], &mut reg).unwrap();
     let t = &xs.tuples[0];
-    println!("visible columns: {:?}", xs.schema.columns().iter().map(|c| &c.name).collect::<Vec<_>>());
+    println!(
+        "visible columns: {:?}",
+        xs.schema.columns().iter().map(|c| &c.name).collect::<Vec<_>>()
+    );
     println!(
         "node dimensions: {} ({} visible, {} phantom)",
         t.nodes[0].dims.len(),
@@ -75,10 +71,7 @@ fn main() {
     let mut in_corridor = 0;
     for t in &fleet.tuples {
         let n = &t.nodes[0];
-        let floored = n
-            .joint
-            .floor_predicate(&[0, 1], 32, |p| (p[1] - p[0]).abs() < 10.0)
-            .unwrap();
+        let floored = n.joint.floor_predicate(&[0, 1], 32, |p| (p[1] - p[0]).abs() < 10.0).unwrap();
         if floored.mass() > 0.5 {
             in_corridor += 1;
         }

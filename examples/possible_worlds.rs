@@ -37,11 +37,9 @@ fn show_distribution(dist: &HashMap<Vec<CanonValue>, f64>) {
 fn main() {
     banner("The paper's Table II relation");
     let mut reg = HistoryRegistry::new();
-    let schema = ProbSchema::new(
-        vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)],
-        vec![],
-    )
-    .unwrap();
+    let schema =
+        ProbSchema::new(vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)], vec![])
+            .unwrap();
     let mut rel = Relation::new("T", schema);
     rel.insert_simple(
         &mut reg,
@@ -72,9 +70,7 @@ fn main() {
     println!("max deviation: {:.2e}", distribution_distance(&truth, &engine));
 
     banner("A full select-project pipeline is still PWS-consistent");
-    let plan = Plan::scan("T")
-        .select(Predicate::cmp("b", CmpOp::Gt, 1i64))
-        .project(&["a"]);
+    let plan = Plan::scan("T").select(Predicate::cmp("b", CmpOp::Gt, 1i64)).project(&["a"]);
     let (truth, engine) =
         conformance_report(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
     println!("possible-worlds ground truth:");

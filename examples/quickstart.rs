@@ -43,10 +43,7 @@ fn main() {
     );
 
     banner("Probabilistic threshold range query (Section III-E)");
-    run_and_show(
-        &mut db,
-        "SELECT * FROM sensors WHERE PROB(location BETWEEN 18 AND 22) > 0.5",
-    );
+    run_and_show(&mut db, "SELECT * FROM sensors WHERE PROB(location BETWEEN 18 AND 22) > 0.5");
 
     banner("Aggregates with continuous approximation (Section I)");
     run_and_show(&mut db, "SELECT ECOUNT(*), ESUM(location), EAVG(location) FROM sensors");

@@ -26,13 +26,14 @@ fn main() {
             .iter()
             .map(|r| format!("({}, GAUSSIAN({:.4}, {:.6}))", r.rid, r.mean, r.sd * r.sd))
             .collect();
-        db.execute(&format!("INSERT INTO readings VALUES {}", values.join(", ")))
-            .unwrap();
+        db.execute(&format!("INSERT INTO readings VALUES {}", values.join(", "))).unwrap();
     }
 
     banner("Alarm query: which sensors read above 90 with > 50% confidence?");
     let out = db
-        .execute("SELECT rid, EXPECTED(temp), PROB(temp > 90) FROM readings WHERE PROB(temp > 90) > 0.5")
+        .execute(
+            "SELECT rid, EXPECTED(temp), PROB(temp > 90) FROM readings WHERE PROB(temp > 90) > 0.5",
+        )
         .unwrap();
     println!("{}\n", render_output(&out).unwrap());
 

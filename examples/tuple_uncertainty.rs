@@ -22,10 +22,7 @@ fn main() {
     banner("OCR alternatives as a mutual-exclusion group");
     let mut reg = HistoryRegistry::new();
     let schema = ProbSchema::new(
-        vec![
-            ("line", ColumnType::Int, false),
-            ("amount", ColumnType::Real, true),
-        ],
+        vec![("line", ColumnType::Int, false), ("amount", ColumnType::Real, true)],
         vec![],
     )
     .unwrap();
@@ -79,10 +76,7 @@ fn main() {
         .project(&["line"])
         .join_on(Plan::scan("invoices").project(&["line"]), None);
     let dist = pws_row_distribution_via_ancestors(&both, &tables, &reg).unwrap();
-    let mut rows: Vec<(String, f64)> = dist
-        .iter()
-        .map(|(k, p)| (format!("{k:?}"), *p))
-        .collect();
+    let mut rows: Vec<(String, f64)> = dist.iter().map(|(k, p)| (format!("{k:?}"), *p)).collect();
     rows.sort_by(|a, b| a.0.cmp(&b.0));
     for (k, p) in rows {
         println!("  pair {k} : {p:.2}");

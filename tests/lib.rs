@@ -7,11 +7,9 @@ use std::collections::HashMap;
 /// Builds the paper's Table II relation and its registry.
 pub fn table2() -> (HashMap<String, Relation>, HistoryRegistry) {
     let mut reg = HistoryRegistry::new();
-    let schema = ProbSchema::new(
-        vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)],
-        vec![],
-    )
-    .unwrap();
+    let schema =
+        ProbSchema::new(vec![("a", ColumnType::Int, true), ("b", ColumnType::Int, true)], vec![])
+            .unwrap();
     let mut rel = Relation::new("T", schema);
     rel.insert_simple(
         &mut reg,

@@ -24,11 +24,8 @@ fn base_with_joint(reg: &mut HistoryRegistry) -> Relation {
         vec![(
             vec!["a", "b"],
             JointPdf::from_points(
-                JointDiscrete::from_points(
-                    2,
-                    vec![(vec![4.0, 5.0], 0.9), (vec![2.0, 3.0], 0.1)],
-                )
-                .unwrap(),
+                JointDiscrete::from_points(2, vec![(vec![4.0, 5.0], 0.9), (vec![2.0, 3.0], 0.1)])
+                    .unwrap(),
             ),
         )],
     )
@@ -104,21 +101,10 @@ fn threshold_and_selection_share_history_semantics() {
     let mut reg = HistoryRegistry::new();
     let rel = base_with_joint(&mut reg);
     let opts = ExecOptions::default();
-    let sel = select(
-        &rel,
-        &Predicate::cmp_cols("a", CmpOp::Lt, "b"),
-        &mut reg,
-        &opts,
-    )
-    .unwrap();
+    let sel = select(&rel, &Predicate::cmp_cols("a", CmpOp::Lt, "b"), &mut reg, &opts).unwrap();
     let a_id = rel.schema.column("a").unwrap().id;
-    let prob = orion_core::threshold::attr_set_probability(
-        &sel.tuples[0],
-        &[a_id],
-        &reg,
-        &opts,
-    )
-    .unwrap();
+    let prob =
+        orion_core::threshold::attr_set_probability(&sel.tuples[0], &[a_id], &reg, &opts).unwrap();
     assert!((prob - 1.0).abs() < 1e-12, "a < b always holds in this joint");
 }
 
@@ -151,8 +137,7 @@ fn eager_and_lazy_collapse_agree() {
     assert_eq!(je.tuples[0].nodes.len(), 1);
     assert_eq!(jl.tuples[0].nodes.len(), 2);
     let pe = je.tuples[0].naive_existence();
-    let pl =
-        orion_core::collapse::existence_prob(&jl.tuples[0], &reg, eager.resolution).unwrap();
+    let pl = orion_core::collapse::existence_prob(&jl.tuples[0], &reg, eager.resolution).unwrap();
     assert!((pe - pl).abs() < 1e-12);
     assert!((pe - 0.9).abs() < 1e-12);
 }

@@ -111,10 +111,7 @@ fn figure3_complete_pipeline() {
     )
     .unwrap();
     let mut t = Relation::new("T", schema);
-    for pts in [
-        vec![(vec![4.0, 5.0], 0.9), (vec![2.0, 3.0], 0.1)],
-        vec![(vec![7.0, 3.0], 0.7)],
-    ] {
+    for pts in [vec![(vec![4.0, 5.0], 0.9), (vec![2.0, 3.0], 0.1)], vec![(vec![7.0, 3.0], 0.7)]] {
         t.insert(
             &mut reg,
             &[],
@@ -135,13 +132,9 @@ fn figure3_complete_pipeline() {
     assert!((ma.density(4.0) - 0.9).abs() < 1e-12);
     assert!((ma.density(2.0) - 0.1).abs() < 1e-12);
 
-    let sel = orion_core::select::select(
-        &t,
-        &Predicate::cmp("b", CmpOp::Gt, 4i64),
-        &mut reg,
-        &opts,
-    )
-    .unwrap();
+    let sel =
+        orion_core::select::select(&t, &Predicate::cmp("b", CmpOp::Gt, 4i64), &mut reg, &opts)
+            .unwrap();
     let mut tb = orion_core::project::project(&sel, &["b"], &mut reg).unwrap();
     tb.name = "Tb".into();
     assert_eq!(tb.len(), 1, "t2 fails b > 4");

@@ -7,22 +7,17 @@ use orion_pdf::prelude::*;
 use proptest::prelude::*;
 
 fn arb_gaussian() -> impl Strategy<Value = Pdf1> {
-    (-50.0..50.0f64, 0.1..25.0f64)
-        .prop_map(|(m, v)| Pdf1::gaussian(m, v).expect("valid"))
+    (-50.0..50.0f64, 0.1..25.0f64).prop_map(|(m, v)| Pdf1::gaussian(m, v).expect("valid"))
 }
 
 fn arb_uniform() -> impl Strategy<Value = Pdf1> {
-    (-50.0..50.0f64, 0.5..40.0f64)
-        .prop_map(|(lo, w)| Pdf1::uniform(lo, lo + w).expect("valid"))
+    (-50.0..50.0f64, 0.5..40.0f64).prop_map(|(lo, w)| Pdf1::uniform(lo, lo + w).expect("valid"))
 }
 
 fn arb_discrete() -> impl Strategy<Value = Pdf1> {
     prop::collection::vec((-20i64..20, 1u32..6), 1..6).prop_map(|raw| {
         let denom: u32 = raw.iter().map(|(_, w)| w).sum();
-        let pts = raw
-            .into_iter()
-            .map(|(v, w)| (v as f64, w as f64 / denom as f64))
-            .collect();
+        let pts = raw.into_iter().map(|(v, w)| (v as f64, w as f64 / denom as f64)).collect();
         Pdf1::discrete(pts).expect("valid")
     })
 }

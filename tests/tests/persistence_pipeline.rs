@@ -36,11 +36,9 @@ fn mutex_groups_survive_save_load() {
     // round trip: the ancestor-level PWS over the *loaded* registry still
     // sees the mutual exclusion.
     let mut reg = HistoryRegistry::new();
-    let schema = ProbSchema::new(
-        vec![("id", ColumnType::Int, false), ("a", ColumnType::Int, true)],
-        vec![],
-    )
-    .unwrap();
+    let schema =
+        ProbSchema::new(vec![("id", ColumnType::Int, false), ("a", ColumnType::Int, true)], vec![])
+            .unwrap();
     let mut rel = Relation::new("T", schema);
     rel.insert_mutex_group(
         &mut reg,
@@ -64,16 +62,10 @@ fn mutex_groups_survive_save_load() {
     assert!((dist[&key(2)] - 0.4).abs() < 1e-12);
     // Joint presence of both alternatives is impossible: check via the
     // self-pair join of projections.
-    let both = Plan::scan("T").project(&["id"]).join_on(
-        Plan::scan("T").project(&["id"]),
-        None,
-    );
+    let both = Plan::scan("T").project(&["id"]).join_on(Plan::scan("T").project(&["id"]), None);
     let dist = pws_row_distribution_via_ancestors(&both, &loaded, &lreg).unwrap();
     let pair = |l: i64, r: i64| {
-        vec![
-            orion_core::pws::CanonValue::Int(l),
-            orion_core::pws::CanonValue::Int(r),
-        ]
+        vec![orion_core::pws::CanonValue::Int(l), orion_core::pws::CanonValue::Int(r)]
     };
     assert!(!dist.contains_key(&pair(1, 2)), "mutually exclusive after reload");
     assert!((dist[&pair(1, 1)] - 0.4).abs() < 1e-12);

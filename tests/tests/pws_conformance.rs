@@ -15,18 +15,14 @@ const TOL: f64 = 1e-9;
 /// A generated uncertain attribute: up to 3 integer support points with
 /// rational-ish probabilities summing to <= 1.
 fn arb_discrete_pdf() -> impl Strategy<Value = Pdf1> {
-    (
-        prop::collection::vec((0i64..6, 1u32..5), 1..3),
-        prop::bool::ANY,
-    )
-        .prop_map(|(raw, partial)| {
-            let mut points: Vec<(f64, f64)> = Vec::new();
-            let denom: u32 = raw.iter().map(|(_, w)| w).sum::<u32>() + u32::from(partial);
-            for (v, w) in raw {
-                points.push((v as f64, w as f64 / denom as f64));
-            }
-            Pdf1::discrete(points).expect("valid pdf")
-        })
+    (prop::collection::vec((0i64..6, 1u32..5), 1..3), prop::bool::ANY).prop_map(|(raw, partial)| {
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        let denom: u32 = raw.iter().map(|(_, w)| w).sum::<u32>() + u32::from(partial);
+        for (v, w) in raw {
+            points.push((v as f64, w as f64 / denom as f64));
+        }
+        Pdf1::discrete(points).expect("valid pdf")
+    })
 }
 
 /// A generated joint 2-attribute pdf (correlated dependency set).
@@ -43,9 +39,7 @@ fn arb_joint2() -> impl Strategy<Value = JointPdf> {
 
 /// Builds a small random relation T(id, a, b) where (a, b) is either a
 /// correlated joint or two independent pdfs, per tuple count 1..=2.
-fn arb_relation(
-    name: &'static str,
-) -> impl Strategy<Value = (&'static str, Vec<TupleSpec>)> {
+fn arb_relation(name: &'static str) -> impl Strategy<Value = (&'static str, Vec<TupleSpec>)> {
     prop::collection::vec(arb_tuple_spec(), 1..3).prop_map(move |ts| (name, ts))
 }
 
@@ -57,8 +51,7 @@ enum TupleSpec {
 
 fn arb_tuple_spec() -> impl Strategy<Value = TupleSpec> {
     prop_oneof![
-        (arb_discrete_pdf(), arb_discrete_pdf())
-            .prop_map(|(a, b)| TupleSpec::Independent(a, b)),
+        (arb_discrete_pdf(), arb_discrete_pdf()).prop_map(|(a, b)| TupleSpec::Independent(a, b)),
         arb_joint2().prop_map(TupleSpec::Correlated),
     ]
 }
@@ -116,18 +109,14 @@ fn arb_pred() -> impl Strategy<Value = Predicate> {
         (op.clone(), 0i64..6).prop_map(|(o, c)| Predicate::cmp("b", o, c)),
         op.clone().prop_map(|o| Predicate::cmp_cols("a", o, "b")),
         (op.clone(), op).prop_map(|(o1, o2)| {
-            Predicate::And(vec![
-                Predicate::cmp("a", o1, 2i64),
-                Predicate::cmp("b", o2, 2i64),
-            ])
+            Predicate::And(vec![Predicate::cmp("a", o1, 2i64), Predicate::cmp("b", o2, 2i64)])
         }),
     ]
 }
 
 fn check(plan: &Plan, tables: &HashMap<String, Relation>, reg: &mut HistoryRegistry) {
     let opts = ExecOptions::default();
-    let (truth, engine) =
-        conformance_report(plan, tables, reg, &opts).expect("both engines run");
+    let (truth, engine) = conformance_report(plan, tables, reg, &opts).expect("both engines run");
     let d = distribution_distance(&truth, &engine);
     assert!(d < TOL, "deviation {d} for plan {plan:?}\ntruth: {truth:?}\nengine: {engine:?}");
 }
@@ -196,9 +185,7 @@ proptest! {
 fn join_project_join_composition() {
     // A deterministic deeper pipeline kept out of proptest for speed.
     let (tables, mut reg) = orion_tests::table2();
-    let plan = Plan::scan("T")
-        .select(Predicate::cmp_cols("a", CmpOp::Lt, "b"))
-        .project(&["a"]);
+    let plan = Plan::scan("T").select(Predicate::cmp_cols("a", CmpOp::Lt, "b")).project(&["a"]);
     let opts = ExecOptions::default();
     let (truth, engine) = conformance_report(&plan, &tables, &mut reg, &opts).unwrap();
     assert!(distribution_distance(&truth, &engine) < TOL);

@@ -32,9 +32,8 @@ fn sensor_monitoring_scenario() {
     .unwrap();
 
     // Mixed certain + uncertain predicates.
-    let rel = table(
-        db.execute("SELECT * FROM readings WHERE site = 'north' AND temp < 30").unwrap(),
-    );
+    let rel =
+        table(db.execute("SELECT * FROM readings WHERE site = 'north' AND temp < 30").unwrap());
     assert_eq!(rel.len(), 2);
     // Gaus(20,4): nearly all mass below 30; Gaus(35,9): small tail mass.
     assert!(rel.tuples[0].naive_existence() > 0.99);
@@ -42,19 +41,15 @@ fn sensor_monitoring_scenario() {
 
     // Threshold prunes low-probability matches.
     let rel = table(
-        db.execute(
-            "SELECT * FROM readings WHERE site = 'north' AND PROB(temp < 30) > 0.5",
-        )
-        .unwrap(),
+        db.execute("SELECT * FROM readings WHERE site = 'north' AND PROB(temp < 30) > 0.5")
+            .unwrap(),
     );
     assert_eq!(rel.len(), 1);
     assert_eq!(rel.value(0, "rid").unwrap(), &Value::Int(1));
 
     // Expected values across mixed distribution families.
-    let (_, out_rows) =
-        rows(db.execute("SELECT rid, EXPECTED(temp) FROM readings").unwrap());
-    let expected: Vec<f64> =
-        out_rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    let (_, out_rows) = rows(db.execute("SELECT rid, EXPECTED(temp) FROM readings").unwrap());
+    let expected: Vec<f64> = out_rows.iter().map(|r| r[1].parse().unwrap()).collect();
     assert!((expected[0] - 20.0).abs() < 1e-6);
     assert!((expected[3] - 20.0).abs() < 1e-6, "uniform [10,30] mean");
 }
@@ -64,14 +59,8 @@ fn join_pipeline_scenario() {
     let mut db = Database::new();
     db.execute("CREATE TABLE trucks (tid INT, pos REAL UNCERTAIN)").unwrap();
     db.execute("CREATE TABLE zones (zid INT, boundary REAL UNCERTAIN)").unwrap();
-    db.execute(
-        "INSERT INTO trucks VALUES (1, GAUSSIAN(10, 4)), (2, GAUSSIAN(45, 4))",
-    )
-    .unwrap();
-    db.execute(
-        "INSERT INTO zones VALUES (7, UNIFORM(20, 30)), (8, UNIFORM(40, 60))",
-    )
-    .unwrap();
+    db.execute("INSERT INTO trucks VALUES (1, GAUSSIAN(10, 4)), (2, GAUSSIAN(45, 4))").unwrap();
+    db.execute("INSERT INTO zones VALUES (7, UNIFORM(20, 30)), (8, UNIFORM(40, 60))").unwrap();
     // Which (truck, zone) pairs have the truck west of the boundary?
     let rel = table(db.execute("SELECT * FROM trucks JOIN zones ON pos < boundary").unwrap());
     // Truck 1 is west of both zones almost surely; truck 2 of zone 8 with
@@ -95,10 +84,8 @@ fn join_pipeline_scenario() {
 #[test]
 fn correlated_insert_and_query() {
     let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE obj (oid INT, x REAL UNCERTAIN, y REAL UNCERTAIN, CORRELATED (x, y))",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE obj (oid INT, x REAL UNCERTAIN, y REAL UNCERTAIN, CORRELATED (x, y))")
+        .unwrap();
     db.execute(
         "INSERT INTO obj VALUES (1, JOINT((0, 0):0.5, (10, 10):0.5)), \
          (2, JOINT((0, 10):0.5, (10, 0):0.5))",
@@ -153,8 +140,7 @@ fn update_workflow_delete_and_reinsert() {
     db.execute("INSERT INTO t VALUES (1, GAUSSIAN(0, 1)), (2, GAUSSIAN(5, 1))").unwrap();
     assert!(matches!(db.execute("DELETE FROM t WHERE k = 1").unwrap(), Output::Count(1)));
     db.execute("INSERT INTO t VALUES (1, GAUSSIAN(100, 1))").unwrap();
-    let (_, out_rows) =
-        rows(db.execute("SELECT k, EXPECTED(v) FROM t WHERE k = 1").unwrap());
+    let (_, out_rows) = rows(db.execute("SELECT k, EXPECTED(v) FROM t WHERE k = 1").unwrap());
     assert_eq!(out_rows.len(), 1);
     assert!((out_rows[0][1].parse::<f64>().unwrap() - 100.0).abs() < 1e-6);
 }
@@ -168,8 +154,10 @@ fn error_paths_are_reported() {
     assert!(db.execute("INSERT INTO t VALUES (GAUSSIAN(0, -1))").is_err(), "bad variance");
     assert!(db.execute("INSERT INTO t VALUES (DISCRETE(1:0.9, 2:0.9))").is_err(), "mass > 1");
     assert!(db.execute("SELECT nope FROM t").is_err());
-    assert!(db.execute("SELECT * FROM t WHERE PROB(v < 1) > 0.5 OR v > 2").is_err(),
-        "thresholds must be top-level conjuncts");
+    assert!(
+        db.execute("SELECT * FROM t WHERE PROB(v < 1) > 0.5 OR v > 2").is_err(),
+        "thresholds must be top-level conjuncts"
+    );
 }
 
 #[test]
@@ -178,8 +166,7 @@ fn three_statement_composition_keeps_histories_consistent() {
     // PWS-consistent (composition of floors).
     let mut db = Database::new();
     db.execute("CREATE TABLE t (k INT, v REAL UNCERTAIN)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, DISCRETE(1:0.25, 2:0.25, 3:0.25, 4:0.25))")
-        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, DISCRETE(1:0.25, 2:0.25, 3:0.25, 4:0.25))").unwrap();
     let rel = table(db.execute("SELECT * FROM t WHERE v > 1 AND v < 4").unwrap());
     assert!((rel.tuples[0].naive_existence() - 0.5).abs() < 1e-12);
     let rel = table(db.execute("SELECT * FROM t WHERE v > 1 AND v < 4 AND v <> 2").unwrap());

@@ -50,8 +50,7 @@ fn sensor_relation_round_trips_through_disk() {
 fn joint_pdfs_round_trip_through_disk() {
     let path = temp_path("joints.dat");
     let joint = JointPdf::from_points(
-        JointDiscrete::from_points(2, vec![(vec![4.0, 5.0], 0.9), (vec![2.0, 3.0], 0.1)])
-            .unwrap(),
+        JointDiscrete::from_points(2, vec![(vec![4.0, 5.0], 0.9), (vec![2.0, 3.0], 0.1)]).unwrap(),
     );
     let grid = JointPdf::from_grid(
         JointGrid::from_masses(

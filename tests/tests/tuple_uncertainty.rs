@@ -9,8 +9,7 @@
 use orion_core::plan::{execute, Plan};
 use orion_core::prelude::*;
 use orion_core::pws::{
-    distribution_distance, engine_row_distribution, pws_row_distribution_via_ancestors,
-    CanonValue,
+    distribution_distance, engine_row_distribution, pws_row_distribution_via_ancestors, CanonValue,
 };
 use orion_pdf::prelude::*;
 use std::collections::HashMap;
@@ -82,12 +81,10 @@ fn ancestor_level_pws_sees_mutual_exclusion() {
     assert!((dist[&int_key(3)] - 1.0).abs() < 1e-12);
     // A query whose output combines both alternatives can never fire: the
     // self-combination (a from alt 1, b from alt 2) is impossible.
-    let both = Plan::scan("T")
-        .project(&["id", "a"])
-        .join_on(
-            Plan::scan("T").project(&["id", "b"]),
-            Some(Predicate::cmp_cols("a", CmpOp::Lt, "b")),
-        );
+    let both = Plan::scan("T").project(&["id", "a"]).join_on(
+        Plan::scan("T").project(&["id", "b"]),
+        Some(Predicate::cmp_cols("a", CmpOp::Lt, "b")),
+    );
     let dist = pws_row_distribution_via_ancestors(&both, &tables, &reg).unwrap();
     // Output rows: (left id, a, right id, b). Surviving pairs are the
     // diagonal and the always-compatible pairs with tuple 3; the
@@ -112,12 +109,10 @@ fn ancestor_level_pws_sees_mutual_exclusion() {
 fn engine_join_drops_mutually_exclusive_pairs() {
     let (tables, mut reg) = mutex_table();
     let opts = ExecOptions::default();
-    let plan = Plan::scan("T")
-        .project(&["id", "a"])
-        .join_on(
-            Plan::scan("T").project(&["id", "b"]),
-            Some(Predicate::cmp_cols("a", CmpOp::Lt, "b")),
-        );
+    let plan = Plan::scan("T").project(&["id", "a"]).join_on(
+        Plan::scan("T").project(&["id", "b"]),
+        Some(Predicate::cmp_cols("a", CmpOp::Lt, "b")),
+    );
     let truth = pws_row_distribution_via_ancestors(&plan, &tables, &reg).unwrap();
     let result = execute(&plan, &tables, &mut reg, &opts).unwrap();
     let engine = engine_row_distribution(&result, &reg, &opts).unwrap();
@@ -169,10 +164,7 @@ fn mutex_group_validation() {
     // Residual: with probability 0.2 neither exists.
     rel.insert_mutex_group(
         &mut reg,
-        vec![
-            (vec![], vec![("a", Pdf1::certain(1.0))]),
-            (vec![], vec![("a", Pdf1::certain(2.0))]),
-        ],
+        vec![(vec![], vec![("a", Pdf1::certain(1.0))]), (vec![], vec![("a", Pdf1::certain(2.0))])],
         &[0.3, 0.5],
     )
     .unwrap();

@@ -1,0 +1,11 @@
+//! Offline vendored serde facade: marker traits plus the no-op derives from
+//! the vendored `serde_derive`. See that crate's docs for why the derives
+//! expand to nothing in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline vendored no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The Orion-RS pdf types carry serde derives for downstream users, but
+//! nothing in this workspace consumes the generated impls (persistence goes
+//! through the hand-written binary codecs in `orion-storage::codec`, and
+//! bench JSON goes through `orion_obs::json`). In the offline build the
+//! derives therefore expand to nothing: the attribute parses and the
+//! `#[serde(...)]` helper is accepted, but no trait impl is emitted.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
