@@ -14,8 +14,29 @@ pub enum EngineError {
     Operator(String),
     /// Underlying pdf computation failed.
     Pdf(PdfError),
-    /// Storage I/O failure.
+    /// Storage I/O failure (fatal: the operation should not be retried
+    /// verbatim — the file is missing, permissions are wrong, ...).
     Io(String),
+    /// Transient I/O failure (interrupted syscall, would-block, timeout):
+    /// the same operation may succeed if retried.
+    IoRetryable(String),
+    /// On-disk corruption: a checksum mismatch, torn page, or undecodable
+    /// record. Retrying cannot help; recovery must re-read from a good
+    /// snapshot/WAL prefix.
+    Corrupt(String),
+}
+
+impl EngineError {
+    /// Whether the failed operation may succeed if simply retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, EngineError::IoRetryable(_))
+    }
+
+    /// Whether this error signals on-disk corruption (torn page, bad
+    /// checksum, undecodable record) rather than an environmental failure.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, EngineError::Corrupt(_))
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -26,6 +47,8 @@ impl fmt::Display for EngineError {
             EngineError::Operator(m) => write!(f, "operator error: {m}"),
             EngineError::Pdf(e) => write!(f, "pdf error: {e}"),
             EngineError::Io(m) => write!(f, "io error: {m}"),
+            EngineError::IoRetryable(m) => write!(f, "transient io error: {m}"),
+            EngineError::Corrupt(m) => write!(f, "corruption detected: {m}"),
         }
     }
 }
@@ -39,8 +62,20 @@ impl From<PdfError> for EngineError {
 }
 
 impl From<std::io::Error> for EngineError {
+    /// Classifies an I/O error: interrupted/would-block/timed-out are
+    /// retryable, invalid-data/unexpected-EOF signal corruption (the buffer
+    /// pool reports torn pages as `InvalidData`), everything else is fatal.
     fn from(e: std::io::Error) -> Self {
-        EngineError::Io(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                EngineError::IoRetryable(e.to_string())
+            }
+            ErrorKind::InvalidData | ErrorKind::UnexpectedEof => {
+                EngineError::Corrupt(e.to_string())
+            }
+            _ => EngineError::Io(e.to_string()),
+        }
     }
 }
 
@@ -57,5 +92,24 @@ mod tests {
         assert_eq!(e.to_string(), "pdf error: numeric error: nan");
         let e: EngineError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
         assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn io_errors_are_classified() {
+        use std::io::{Error, ErrorKind};
+        let retry: EngineError = Error::new(ErrorKind::Interrupted, "EINTR").into();
+        assert!(retry.is_retryable());
+        assert!(!retry.is_corruption());
+        let retry: EngineError = Error::new(ErrorKind::TimedOut, "slow disk").into();
+        assert!(retry.is_retryable());
+
+        let corrupt: EngineError = Error::new(ErrorKind::InvalidData, "torn page 3").into();
+        assert!(corrupt.is_corruption());
+        assert!(!corrupt.is_retryable());
+        assert!(corrupt.to_string().starts_with("corruption detected"));
+
+        let fatal: EngineError = Error::new(ErrorKind::NotFound, "gone").into();
+        assert!(!fatal.is_retryable());
+        assert!(!fatal.is_corruption());
     }
 }

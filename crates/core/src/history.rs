@@ -116,6 +116,12 @@ impl HistoryRegistry {
         self.bases.iter().map(|(&id, b)| (id, b))
     }
 
+    /// Highest pdf id allocated so far (0 if none). Durable logging uses
+    /// this to discover which base pdfs an insert registered.
+    pub fn last_id(&self) -> PdfId {
+        self.next
+    }
+
     /// Restores a base pdf under a specific id (loading a saved database).
     /// Future `register` calls will allocate ids above every restored one.
     pub fn restore(&mut self, id: PdfId, base: BasePdf) {

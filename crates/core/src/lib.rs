@@ -26,9 +26,13 @@
 //! * [`agg`] — aggregation over uncertain attributes with exact
 //!   convolution and continuous (Gaussian) approximation, the paper's
 //!   motivating extension.
+//! * [`persist`] / [`durable`] — atomic snapshots, a write-ahead log with
+//!   fsync'd commits, and crash recovery that replays the WAL over the
+//!   last good snapshot.
 
 pub mod agg;
 pub mod collapse;
+pub mod durable;
 pub mod error;
 pub mod history;
 pub mod index;
@@ -50,6 +54,7 @@ pub mod value;
 /// Commonly used types, re-exported for ergonomic imports.
 pub mod prelude {
     pub use crate::collapse::{collapse_tuple, existence_prob, DEFAULT_RESOLUTION};
+    pub use crate::durable::{check_invariants, DurableDb, RecoveryReport};
     pub use crate::error::{EngineError, Result as EngineResult};
     pub use crate::history::{Ancestors, HistoryRegistry, PdfId};
     pub use crate::join::{cross, join};

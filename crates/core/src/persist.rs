@@ -14,36 +14,73 @@
 //! loads everything. Reference counts are rebuilt from the loaded tuples'
 //! ancestor sets, and both the attribute-id and pdf-id allocators are
 //! bumped past every persisted id so later inserts cannot collide.
+//!
+//! Durability: [`save_database`] is **atomic** — it writes a temp file,
+//! fsyncs it, and renames it over the target, so a crash mid-save leaves
+//! the previous snapshot intact. Every decoder is hardened against
+//! arbitrary bytes (bounds checks before every read, overflow-checked size
+//! computations), surfacing [`EngineError::Corrupt`] instead of panicking.
+//! [`apply_record`] applies one tagged record to an in-memory database and
+//! is shared between snapshot loading and WAL replay
+//! ([`crate::durable::DurableDb`]).
 
 use crate::error::{EngineError, Result};
-use crate::history::{Ancestors, BasePdf, HistoryRegistry};
+use crate::history::{Ancestors, BasePdf, HistoryRegistry, PdfId};
 use crate::relation::Relation;
 use crate::schema::{ensure_attr_floor, AttrId, Column, ColumnType, ProbSchema};
 use crate::tuple::{NodeDim, PdfNode, ProbTuple, VarId};
 use crate::value::Value;
 use bytes::{Buf, BufMut};
-use orion_storage::codec::{decode_joint, encode_joint, DecodeError};
+use orion_storage::codec::{checked_size, decode_joint, encode_joint, need, DecodeError};
 use orion_storage::{FileStore, HeapFile};
 use std::collections::HashMap;
 use std::path::Path;
 
-const TAG_SCHEMA: u8 = 1;
-const TAG_BASE: u8 = 2;
-const TAG_TUPLE: u8 = 3;
+pub(crate) const TAG_SCHEMA: u8 = 1;
+pub(crate) const TAG_BASE: u8 = 2;
+pub(crate) const TAG_TUPLE: u8 = 3;
 
 fn put_str(s: &str, out: &mut impl BufMut) {
     out.put_u32_le(s.len() as u32);
     out.put_slice(s.as_bytes());
 }
 
+fn get_u8c(buf: &mut impl Buf, what: &str) -> std::result::Result<u8, DecodeError> {
+    need(buf, 1, what)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u16c(buf: &mut impl Buf, what: &str) -> std::result::Result<u16, DecodeError> {
+    need(buf, 2, what)?;
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32c(buf: &mut impl Buf, what: &str) -> std::result::Result<u32, DecodeError> {
+    need(buf, 4, what)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64c(buf: &mut impl Buf, what: &str) -> std::result::Result<u64, DecodeError> {
+    need(buf, 8, what)?;
+    Ok(buf.get_u64_le())
+}
+
+/// Reads a count field and verifies the buffer can possibly hold that many
+/// elements of at least `min_elem` bytes each — rejecting absurd counts
+/// before any `Vec::with_capacity` can abort on them.
+fn get_count(
+    buf: &mut impl Buf,
+    min_elem: usize,
+    what: &str,
+) -> std::result::Result<usize, DecodeError> {
+    let n = get_u32c(buf, what)? as usize;
+    need(buf, checked_size(n, min_elem, what)?, what)?;
+    Ok(n)
+}
+
 fn get_str(buf: &mut impl Buf) -> std::result::Result<String, DecodeError> {
-    if buf.remaining() < 4 {
-        return Err(DecodeError("truncated string length".into()));
-    }
-    let n = buf.get_u32_le() as usize;
-    if buf.remaining() < n {
-        return Err(DecodeError("truncated string".into()));
-    }
+    let n = get_u32c(buf, "string length")? as usize;
+    need(buf, n, "string")?;
     let mut bytes = vec![0u8; n];
     buf.copy_to_slice(&mut bytes);
     String::from_utf8(bytes).map_err(|e| DecodeError(format!("invalid utf8: {e}")))
@@ -72,15 +109,18 @@ fn put_value(v: &Value, out: &mut impl BufMut) {
 }
 
 fn get_value(buf: &mut impl Buf) -> std::result::Result<Value, DecodeError> {
-    if buf.remaining() < 1 {
-        return Err(DecodeError("truncated value tag".into()));
-    }
-    Ok(match buf.get_u8() {
+    Ok(match get_u8c(buf, "value tag")? {
         0 => Value::Null,
-        1 => Value::Int(buf.get_i64_le()),
-        2 => Value::Real(buf.get_f64_le()),
+        1 => {
+            need(buf, 8, "int value")?;
+            Value::Int(buf.get_i64_le())
+        }
+        2 => {
+            need(buf, 8, "real value")?;
+            Value::Real(buf.get_f64_le())
+        }
         3 => Value::Text(get_str(buf)?),
-        4 => Value::Bool(buf.get_u8() != 0),
+        4 => Value::Bool(get_u8c(buf, "bool value")? != 0),
         t => return Err(DecodeError(format!("unknown value tag {t}"))),
     })
 }
@@ -104,7 +144,7 @@ fn type_of(tag: u8) -> std::result::Result<ColumnType, DecodeError> {
     })
 }
 
-fn encode_schema(rel: &Relation, out: &mut Vec<u8>) {
+pub(crate) fn encode_schema(rel: &Relation, out: &mut Vec<u8>) {
     out.put_u8(TAG_SCHEMA);
     put_str(&rel.name, out);
     out.put_u32_le(rel.schema.columns().len() as u32);
@@ -123,7 +163,18 @@ fn encode_schema(rel: &Relation, out: &mut Vec<u8>) {
     }
 }
 
-fn encode_tuple(table: &str, t: &ProbTuple, out: &mut Vec<u8>) {
+pub(crate) fn encode_base(id: PdfId, base: &BasePdf, out: &mut Vec<u8>) {
+    out.put_u8(TAG_BASE);
+    out.put_u64_le(id);
+    out.put_u8(u8::from(base.phantom));
+    out.put_u32_le(base.attrs.len() as u32);
+    for &a in &base.attrs {
+        out.put_u64_le(a);
+    }
+    encode_joint(&base.joint, out);
+}
+
+pub(crate) fn encode_tuple(table: &str, t: &ProbTuple, out: &mut Vec<u8>) {
     out.put_u8(TAG_TUPLE);
     put_str(table, out);
     out.put_u32_le(t.certain.len() as u32);
@@ -153,13 +204,20 @@ fn encode_tuple(table: &str, t: &ProbTuple, out: &mut Vec<u8>) {
 }
 
 /// Saves every relation and the registry into one file at `path`
-/// (overwriting it).
+/// **atomically**: the snapshot is written to a `.tmp` sibling, fsynced,
+/// and renamed over `path`, so a crash at any point leaves either the old
+/// snapshot or the new one — never a half-written file.
 pub fn save_database(
     path: &Path,
     tables: &HashMap<String, Relation>,
     reg: &HistoryRegistry,
 ) -> Result<()> {
-    let mut heap = HeapFile::new(FileStore::create(path)?, 64);
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let mut heap = HeapFile::new(FileStore::create(&tmp)?, 64);
     let mut buf = Vec::with_capacity(4096);
     let mut names: Vec<&String> = tables.keys().collect();
     names.sort();
@@ -172,14 +230,7 @@ pub fn save_database(
     bases.sort_by_key(|(id, _)| *id);
     for (id, base) in bases {
         buf.clear();
-        buf.put_u8(TAG_BASE);
-        buf.put_u64_le(id);
-        buf.put_u8(u8::from(base.phantom));
-        buf.put_u32_le(base.attrs.len() as u32);
-        for &a in &base.attrs {
-            buf.put_u64_le(a);
-        }
-        encode_joint(&base.joint, &mut buf);
+        encode_base(id, base, &mut buf);
         heap.insert(&buf)?;
     }
     for name in &names {
@@ -189,109 +240,167 @@ pub fn save_database(
             heap.insert(&buf)?;
         }
     }
-    heap.pool().flush()?;
+    heap.sync()?;
+    drop(heap);
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable: fsync the containing directory.
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
     Ok(())
 }
 
 fn bad(e: DecodeError) -> EngineError {
-    EngineError::Io(e.to_string())
+    EngineError::Corrupt(e.to_string())
 }
 
-/// Loads a database saved by [`save_database`]. Rebuilds reference counts
-/// and bumps the attribute/pdf id allocators past every persisted id.
-pub fn load_database(path: &Path) -> Result<(HashMap<String, Relation>, HistoryRegistry)> {
+/// State threaded through [`apply_record`] across a load or WAL replay:
+/// the tables and registry being rebuilt, plus the highest attribute id
+/// seen (for bumping the allocator afterwards via
+/// [`ensure_attr_floor`]).
+#[derive(Debug, Default)]
+pub struct LoadState {
+    /// Relations rebuilt so far, by table name.
+    pub tables: HashMap<String, Relation>,
+    /// Registry rebuilt so far (refcounts accumulate from tuple records).
+    pub reg: HistoryRegistry,
+    /// Highest attribute id observed in any decoded record.
+    pub max_attr: AttrId,
+}
+
+impl LoadState {
+    /// Bumps the global attribute allocator past every id seen, so fresh
+    /// schemas created after this load cannot collide. Call once after the
+    /// last [`apply_record`].
+    pub fn finish(self) -> (HashMap<String, Relation>, HistoryRegistry) {
+        ensure_attr_floor(self.max_attr);
+        (self.tables, self.reg)
+    }
+}
+
+/// Applies one tagged record (as produced by [`save_database`]'s encoders
+/// or logged to the WAL) to `state`. Shared by snapshot loading and WAL
+/// replay, so both paths rebuild identical in-memory structures.
+///
+/// Base records do **not** bump reference counts — counts are rebuilt
+/// solely from tuple records' ancestor sets, making replay idempotent with
+/// respect to orphan bases (a crash between base and tuple records leaves
+/// refcount-0 bases, which are harmless).
+pub fn apply_record(rec: &[u8], state: &mut LoadState) -> Result<()> {
+    let mut buf = rec;
+    let buf = &mut buf;
+    let tag = get_u8c(buf, "record tag").map_err(bad)?;
+    match tag {
+        TAG_SCHEMA => {
+            let name = get_str(buf).map_err(bad)?;
+            // Column: id(8) + name-len(4) + type(1) + uncertain(1) minimum.
+            let ncols = get_count(buf, 14, "schema columns").map_err(bad)?;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let id = get_u64c(buf, "column id").map_err(bad)?;
+                state.max_attr = state.max_attr.max(id);
+                let cname = get_str(buf).map_err(bad)?;
+                let ty = type_of(get_u8c(buf, "column type").map_err(bad)?).map_err(bad)?;
+                let uncertain = get_u8c(buf, "column uncertainty").map_err(bad)? != 0;
+                columns.push(Column { id, name: cname, ty, uncertain });
+            }
+            let nsets = get_count(buf, 4, "dependency sets").map_err(bad)?;
+            let mut deps = Vec::with_capacity(nsets);
+            for _ in 0..nsets {
+                let k = get_count(buf, 8, "dependency set").map_err(bad)?;
+                let mut set = Vec::with_capacity(k);
+                for _ in 0..k {
+                    set.push(get_u64c(buf, "dependency attr").map_err(bad)?);
+                }
+                deps.push(set);
+            }
+            let schema = ProbSchema::from_columns(columns, deps);
+            state.tables.insert(name.clone(), Relation::new(name, schema));
+        }
+        TAG_BASE => {
+            let id = get_u64c(buf, "base id").map_err(bad)?;
+            let phantom = get_u8c(buf, "phantom flag").map_err(bad)? != 0;
+            let k = get_count(buf, 8, "base attrs").map_err(bad)?;
+            let mut attrs: Vec<AttrId> = Vec::with_capacity(k);
+            for _ in 0..k {
+                attrs.push(get_u64c(buf, "base attr").map_err(bad)?);
+            }
+            for &a in &attrs {
+                state.max_attr = state.max_attr.max(a);
+            }
+            let joint = decode_joint(buf).map_err(bad)?;
+            state.reg.restore(id, BasePdf { attrs, joint, phantom });
+        }
+        TAG_TUPLE => {
+            let table = get_str(buf).map_err(bad)?;
+            let ncert = get_count(buf, 1, "certain values").map_err(bad)?;
+            let mut certain = Vec::with_capacity(ncert);
+            for _ in 0..ncert {
+                certain.push(get_value(buf).map_err(bad)?);
+            }
+            let nnodes = get_count(buf, 8, "pdf nodes").map_err(bad)?;
+            let mut nodes = Vec::with_capacity(nnodes);
+            for _ in 0..nnodes {
+                // Dim: base(8) + dim(2) + column flag(1) minimum.
+                let ndims = get_count(buf, 11, "node dims").map_err(bad)?;
+                let mut dims = Vec::with_capacity(ndims);
+                for _ in 0..ndims {
+                    let base = get_u64c(buf, "dim base").map_err(bad)?;
+                    let dim = get_u16c(buf, "dim index").map_err(bad)?;
+                    let column = if get_u8c(buf, "dim column flag").map_err(bad)? != 0 {
+                        let a = get_u64c(buf, "dim column").map_err(bad)?;
+                        state.max_attr = state.max_attr.max(a);
+                        Some(a)
+                    } else {
+                        None
+                    };
+                    dims.push(NodeDim { var: VarId { base, dim }, column });
+                }
+                let nanc = get_count(buf, 8, "ancestors").map_err(bad)?;
+                let mut ancestors = Ancestors::new();
+                for _ in 0..nanc {
+                    ancestors.insert(get_u64c(buf, "ancestor id").map_err(bad)?);
+                }
+                let joint = decode_joint(buf).map_err(bad)?;
+                state.reg.add_refs(&ancestors);
+                nodes.push(PdfNode::new(dims, joint, ancestors));
+            }
+            let rel = state.tables.get_mut(&table).ok_or_else(|| {
+                EngineError::Corrupt(format!("tuple for unknown table '{table}'"))
+            })?;
+            rel.tuples.push(ProbTuple { certain, nodes });
+        }
+        t => return Err(EngineError::Corrupt(format!("unknown record tag {t}"))),
+    }
+    Ok(())
+}
+
+/// Loads every record of the snapshot at `path` into `state`, without
+/// finishing it — [`crate::durable::DurableDb`] replays WAL records into
+/// the same state afterwards.
+pub fn load_into(path: &Path, state: &mut LoadState) -> Result<()> {
     let heap = HeapFile::new(FileStore::open(path)?, 64);
-    let mut tables: HashMap<String, Relation> = HashMap::new();
-    let mut reg = HistoryRegistry::new();
-    let mut max_attr: AttrId = 0;
     let mut err: Option<EngineError> = None;
     heap.scan(|_, rec| {
-        let mut buf = rec;
-        let r = (|| -> std::result::Result<(), EngineError> {
-            let tag = buf.get_u8();
-            match tag {
-                TAG_SCHEMA => {
-                    let name = get_str(&mut buf).map_err(bad)?;
-                    let ncols = buf.get_u32_le() as usize;
-                    let mut columns = Vec::with_capacity(ncols);
-                    for _ in 0..ncols {
-                        let id = buf.get_u64_le();
-                        max_attr = max_attr.max(id);
-                        let cname = get_str(&mut buf).map_err(bad)?;
-                        let ty = type_of(buf.get_u8()).map_err(bad)?;
-                        let uncertain = buf.get_u8() != 0;
-                        columns.push(Column { id, name: cname, ty, uncertain });
-                    }
-                    let nsets = buf.get_u32_le() as usize;
-                    let mut deps = Vec::with_capacity(nsets);
-                    for _ in 0..nsets {
-                        let k = buf.get_u32_le() as usize;
-                        deps.push((0..k).map(|_| buf.get_u64_le()).collect());
-                    }
-                    let schema = ProbSchema::from_columns(columns, deps);
-                    tables.insert(name.clone(), Relation::new(name, schema));
-                }
-                TAG_BASE => {
-                    let id = buf.get_u64_le();
-                    let phantom = buf.get_u8() != 0;
-                    let k = buf.get_u32_le() as usize;
-                    let attrs: Vec<AttrId> = (0..k).map(|_| buf.get_u64_le()).collect();
-                    for &a in &attrs {
-                        max_attr = max_attr.max(a);
-                    }
-                    let joint = decode_joint(&mut buf).map_err(bad)?;
-                    reg.restore(id, BasePdf { attrs, joint, phantom });
-                }
-                TAG_TUPLE => {
-                    let table = get_str(&mut buf).map_err(bad)?;
-                    let ncert = buf.get_u32_le() as usize;
-                    let mut certain = Vec::with_capacity(ncert);
-                    for _ in 0..ncert {
-                        certain.push(get_value(&mut buf).map_err(bad)?);
-                    }
-                    let nnodes = buf.get_u32_le() as usize;
-                    let mut nodes = Vec::with_capacity(nnodes);
-                    for _ in 0..nnodes {
-                        let ndims = buf.get_u32_le() as usize;
-                        let mut dims = Vec::with_capacity(ndims);
-                        for _ in 0..ndims {
-                            let base = buf.get_u64_le();
-                            let dim = buf.get_u16_le();
-                            let column = if buf.get_u8() != 0 {
-                                let a = buf.get_u64_le();
-                                max_attr = max_attr.max(a);
-                                Some(a)
-                            } else {
-                                None
-                            };
-                            dims.push(NodeDim { var: VarId { base, dim }, column });
-                        }
-                        let nanc = buf.get_u32_le() as usize;
-                        let ancestors: Ancestors = (0..nanc).map(|_| buf.get_u64_le()).collect();
-                        let joint = decode_joint(&mut buf).map_err(bad)?;
-                        reg.add_refs(&ancestors);
-                        nodes.push(PdfNode::new(dims, joint, ancestors));
-                    }
-                    let rel = tables.get_mut(&table).ok_or_else(|| {
-                        EngineError::Io(format!("tuple for unknown table '{table}'"))
-                    })?;
-                    rel.tuples.push(ProbTuple { certain, nodes });
-                }
-                t => return Err(EngineError::Io(format!("unknown record tag {t}"))),
-            }
-            Ok(())
-        })();
-        if let Err(e) = r {
+        if let Err(e) = apply_record(rec, state) {
             err = Some(e);
             return false;
         }
         true
     })?;
-    if let Some(e) = err {
-        return Err(e);
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    ensure_attr_floor(max_attr);
-    Ok((tables, reg))
+}
+
+/// Loads a database saved by [`save_database`]. Rebuilds reference counts
+/// and bumps the attribute/pdf id allocators past every persisted id.
+pub fn load_database(path: &Path) -> Result<(HashMap<String, Relation>, HistoryRegistry)> {
+    let mut state = LoadState::default();
+    load_into(path, &mut state)?;
+    Ok(state.finish())
 }
 
 #[cfg(test)]
@@ -434,7 +543,41 @@ mod tests {
         heap.insert(&[99u8, 1, 2, 3]).unwrap();
         heap.pool().flush().unwrap();
         drop(heap);
-        assert!(load_database(&path).is_err());
+        let err = load_database(&path).unwrap_err();
+        assert!(err.is_corruption(), "unknown tag must classify as corruption: {err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_tmp() {
+        let (tables, reg) = sample_db();
+        let path = temp("atomic.db");
+        save_database(&path, &tables, &reg).unwrap();
+        // Saving again renames over the existing snapshot.
+        save_database(&path, &tables, &reg).unwrap();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "temp snapshot must be renamed away");
+        assert!(load_database(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_records_error_without_panicking() {
+        // Every strict prefix of a valid tuple record must decode to an
+        // error — never a panic, never an accidental success.
+        let (tables, _reg) = sample_db();
+        let mut rec = Vec::new();
+        encode_tuple("objects", &tables["objects"].tuples[0], &mut rec);
+        for cut in 0..rec.len() {
+            let mut state = LoadState::default();
+            // A tuple record needs its schema applied first.
+            let mut schema_rec = Vec::new();
+            encode_schema(&tables["objects"], &mut schema_rec);
+            apply_record(&schema_rec, &mut state).unwrap();
+            let r = apply_record(&rec[..cut], &mut state);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+            assert!(r.unwrap_err().is_corruption(), "prefix errors classify as corruption");
+        }
     }
 }

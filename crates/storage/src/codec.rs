@@ -23,11 +23,19 @@ impl std::error::Error for DecodeError {}
 
 type Result<T> = std::result::Result<T, DecodeError>;
 
-fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
+/// Fails unless at least `n` more bytes remain. Every decoder calls this
+/// before consuming bytes or sizing an allocation, so corrupt input always
+/// surfaces a [`DecodeError`] — never a panic or an absurd allocation.
+pub fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
     if buf.remaining() < n {
         return Err(DecodeError(format!("truncated {what}")));
     }
     Ok(())
+}
+
+/// `a * b` with overflow reported as corruption (a garbage length field).
+pub fn checked_size(a: usize, b: usize, what: &str) -> Result<usize> {
+    a.checked_mul(b).ok_or_else(|| DecodeError(format!("absurd {what} size")))
 }
 
 const T_GAUSSIAN: u8 = 1;
@@ -124,6 +132,7 @@ fn encode_region(r: &RegionSet, out: &mut impl BufMut) {
 fn decode_region(buf: &mut impl Buf) -> Result<RegionSet> {
     need(buf, 4, "region length")?;
     let n = buf.get_u32_le() as usize;
+    need(buf, checked_size(n, 16, "region")?, "region intervals")?;
     let mut ivs = Vec::with_capacity(n);
     for _ in 0..n {
         need(buf, 16, "region interval")?;
@@ -184,7 +193,7 @@ pub fn decode_pdf1(buf: &mut impl Buf) -> Result<Pdf1> {
             let lo = buf.get_f64_le();
             let width = buf.get_f64_le();
             let bins = buf.get_u32_le() as usize;
-            need(buf, bins * 8, "histogram masses")?;
+            need(buf, checked_size(bins, 8, "histogram")?, "histogram masses")?;
             let masses = (0..bins).map(|_| buf.get_f64_le()).collect();
             Histogram::from_masses(lo, width, masses)
                 .map(Pdf1::Histogram)
@@ -193,7 +202,7 @@ pub fn decode_pdf1(buf: &mut impl Buf) -> Result<Pdf1> {
         P_DISCRETE => {
             need(buf, 4, "discrete length")?;
             let n = buf.get_u32_le() as usize;
-            need(buf, n * 16, "discrete points")?;
+            need(buf, checked_size(n, 16, "discrete")?, "discrete points")?;
             let pts = (0..n)
                 .map(|_| {
                     let v = buf.get_f64_le();
@@ -255,7 +264,8 @@ fn decode_block(buf: &mut impl Buf) -> Result<Block> {
             need(buf, 8, "points header")?;
             let arity = buf.get_u32_le() as usize;
             let n = buf.get_u32_le() as usize;
-            need(buf, n * (arity + 1) * 8, "points data")?;
+            let per_point = checked_size(arity.saturating_add(1), 8, "points row")?;
+            need(buf, checked_size(n, per_point, "points")?, "points data")?;
             let mut pts = Vec::with_capacity(n);
             for _ in 0..n {
                 let v: Vec<f64> = (0..arity).map(|_| buf.get_f64_le()).collect();
@@ -269,7 +279,7 @@ fn decode_block(buf: &mut impl Buf) -> Result<Block> {
         B_GRID => {
             need(buf, 4, "grid arity")?;
             let arity = buf.get_u32_le() as usize;
-            need(buf, arity * 20, "grid dims")?;
+            need(buf, checked_size(arity, 20, "grid")?, "grid dims")?;
             let dims: Vec<GridDim> = (0..arity)
                 .map(|_| {
                     let lo = buf.get_f64_le();
@@ -280,7 +290,7 @@ fn decode_block(buf: &mut impl Buf) -> Result<Block> {
                 .collect();
             need(buf, 4, "grid mass count")?;
             let n = buf.get_u32_le() as usize;
-            need(buf, n * 8, "grid masses")?;
+            need(buf, checked_size(n, 8, "grid mass")?, "grid masses")?;
             let masses = (0..n).map(|_| buf.get_f64_le()).collect();
             JointGrid::from_masses(dims, masses)
                 .map(Block::Grid)

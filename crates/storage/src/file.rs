@@ -22,6 +22,10 @@ pub struct IoStats {
     pub cache_misses: Counter,
     /// Frames evicted from the pool to make room.
     pub evictions: Counter,
+    /// Pages whose CRC32 seal failed verification on read (torn writes).
+    pub torn_pages: Counter,
+    /// Page writes that returned an I/O error (the frame stays dirty).
+    pub write_errors: Counter,
 }
 
 impl IoStats {
@@ -32,6 +36,8 @@ impl IoStats {
         self.cache_hits.reset();
         self.cache_misses.reset();
         self.evictions.reset();
+        self.torn_pages.reset();
+        self.write_errors.reset();
     }
 
     /// A point-in-time copy of the counters.
@@ -42,6 +48,8 @@ impl IoStats {
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             evictions: self.evictions.get(),
+            torn_pages: self.torn_pages.get(),
+            write_errors: self.write_errors.get(),
         }
     }
 }
@@ -54,6 +62,8 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub evictions: u64,
+    pub torn_pages: u64,
+    pub write_errors: u64,
 }
 
 impl IoSnapshot {
@@ -65,10 +75,16 @@ impl IoSnapshot {
             .with("cache_hits", self.cache_hits)
             .with("cache_misses", self.cache_misses)
             .with("evictions", self.evictions)
+            .with("torn_pages", self.torn_pages)
+            .with("write_errors", self.write_errors)
     }
 }
 
 /// A backend that stores fixed-size pages addressed by [`PageId`].
+///
+/// Pages handed to `write_page` are expected to carry a valid CRC32 seal
+/// (the buffer pool stamps one before every write-back); `read_page`
+/// returns raw bytes and leaves verification to the caller.
 pub trait PageStore: Send {
     /// Number of allocated pages.
     fn page_count(&self) -> u32;
@@ -78,6 +94,11 @@ pub trait PageStore: Send {
     fn write_page(&mut self, id: PageId, page: &Page) -> std::io::Result<()>;
     /// Allocates a fresh zeroed page, returning its id.
     fn allocate(&mut self) -> std::io::Result<PageId>;
+    /// Forces previously written pages to stable storage (fsync). In-memory
+    /// backends are durable-by-definition, so the default is a no-op.
+    fn sync(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// An on-disk page store backed by a single file.
@@ -123,10 +144,16 @@ impl PageStore for FileStore {
 
     fn allocate(&mut self) -> std::io::Result<PageId> {
         let id = self.pages;
+        let mut fresh = Page::new();
+        fresh.seal();
         self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(Page::new().bytes())?;
+        self.file.write_all(fresh.bytes())?;
         self.pages += 1;
         Ok(id)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()
     }
 }
 
@@ -175,7 +202,9 @@ impl PageStore for MemStore {
     }
 
     fn allocate(&mut self) -> std::io::Result<PageId> {
-        self.pages.push(Page::new());
+        let mut fresh = Page::new();
+        fresh.seal();
+        self.pages.push(fresh);
         Ok(self.pages.len() as u32 - 1)
     }
 }
@@ -238,10 +267,13 @@ mod tests {
 
     #[test]
     fn io_snapshot_json_lists_every_counter() {
-        let snap = IoSnapshot { physical_reads: 1, evictions: 4, ..Default::default() };
+        let snap =
+            IoSnapshot { physical_reads: 1, evictions: 4, torn_pages: 2, ..Default::default() };
         let text = snap.to_json().to_string_compact();
         assert!(text.contains("\"physical_reads\":1"));
         assert!(text.contains("\"evictions\":4"));
         assert!(text.contains("\"cache_misses\":0"));
+        assert!(text.contains("\"torn_pages\":2"));
+        assert!(text.contains("\"write_errors\":0"));
     }
 }

@@ -35,6 +35,13 @@ impl<S: PageStore> HeapFile<S> {
         self.pool.page_count()
     }
 
+    /// Writes every dirty page back and forces it to stable storage
+    /// (flush + fsync) — the durability point for heap contents.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.pool.flush()?;
+        self.pool.sync()
+    }
+
     /// Appends a record, allocating pages as needed.
     pub fn insert(&mut self, record: &[u8]) -> std::io::Result<RecordId> {
         if let Some(pid) = self.tail {

@@ -1,0 +1,270 @@
+//! Write-ahead log: an append-only file of length+CRC32-framed records.
+//!
+//! Frame layout (little-endian):
+//! ```text
+//! [0..4)  payload length (u32)
+//! [4..8)  CRC32 of the payload
+//! [8..)   payload bytes
+//! ```
+//!
+//! Durability discipline: [`Wal::append`] buffers into the OS; callers
+//! decide the commit point by calling [`Wal::sync`] (fdatasync). A record
+//! is *committed* iff its full frame is on stable storage with a matching
+//! CRC.
+//!
+//! Replay ([`Wal::open`]) walks frames from the start and stops at the
+//! first incomplete or CRC-mismatched frame — the signature of a crash
+//! mid-append — then **truncates the file back to the last good frame**,
+//! discarding trailing garbage so later appends never interleave with it.
+
+use crate::checksum::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Frame header size: payload length + CRC32.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on one record's payload — a sanity check that stops replay
+/// from trusting a garbage length field.
+pub const MAX_RECORD: usize = 1 << 24;
+
+/// What replay found in an existing log.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    /// Every committed record's payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of trailing garbage discarded (torn final append).
+    pub truncated_bytes: u64,
+    /// Offset of the end of the last committed record.
+    pub valid_bytes: u64,
+}
+
+/// An open write-ahead log positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    len: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replaying every
+    /// committed record and truncating any torn tail. Returns the log
+    /// positioned at its end plus the replay report.
+    pub fn open(path: &Path) -> std::io::Result<(Wal, WalReplay)> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+
+        let mut records = Vec::new();
+        let mut off = 0usize;
+        while let Some(header) = bytes.get(off..off + FRAME_HEADER) {
+            let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD {
+                break;
+            }
+            let Some(payload) = bytes.get(off + FRAME_HEADER..off + FRAME_HEADER + len) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            records.push(payload.to_vec());
+            off += FRAME_HEADER + len;
+        }
+
+        let truncated = (bytes.len() - off) as u64;
+        if truncated > 0 {
+            file.set_len(off as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(off as u64))?;
+        let replay = WalReplay { records, truncated_bytes: truncated, valid_bytes: off as u64 };
+        Ok((Wal { file, len: off as u64 }, replay))
+    }
+
+    /// Appends one record (not yet durable — see [`Wal::sync`]). Returns
+    /// the log length after the append.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<u64> {
+        if payload.len() > MAX_RECORD {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("wal record of {} bytes exceeds MAX_RECORD", payload.len()),
+            ));
+        }
+        // One contiguous write per frame: header and payload are assembled
+        // first so a crash can tear at most this single append.
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(self.len)
+    }
+
+    /// Forces every appended record to stable storage — the commit point.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Empties the log (after a checkpoint has made its records redundant).
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_all()?;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("orion_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    #[test]
+    fn append_sync_replay_round_trip() {
+        let path = temp("roundtrip.wal");
+        {
+            let (mut wal, replay) = Wal::open(&path).unwrap();
+            assert!(replay.records.is_empty());
+            assert!(wal.is_empty());
+            wal.append(b"first").unwrap();
+            wal.append(b"").unwrap();
+            wal.append(&[7u8; 1000]).unwrap();
+            wal.sync().unwrap();
+        }
+        let (wal, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[0], b"first");
+        assert_eq!(replay.records[1], b"");
+        assert_eq!(replay.records[2], vec![7u8; 1000]);
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(wal.len(), replay.valid_bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut() {
+        let path = temp("torn.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"alpha").unwrap();
+        let committed = wal.append(b"beta").unwrap();
+        wal.append(b"gamma-torn").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Simulate a crash at every possible point inside the last append.
+        for cut in committed as usize..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, replay) = Wal::open(&path).unwrap();
+            assert_eq!(replay.records.len(), 2, "cut at {cut}");
+            assert_eq!(replay.truncated_bytes, (cut as u64).saturating_sub(committed), "at {cut}");
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), committed, "truncated at {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_discards_record_and_everything_after() {
+        let path = temp("crc.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let first_end = wal.append(b"good").unwrap();
+        wal.append(b"to be corrupted").unwrap();
+        wal.append(b"unreachable").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the middle record.
+        bytes[first_end as usize + FRAME_HEADER] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0], b"good");
+        assert_eq!(replay.valid_bytes, first_end);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_length_field_does_not_overrun() {
+        let path = temp("garbage.wal");
+        // A "length" of u32::MAX must not be trusted.
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 12]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (wal, replay) = Wal::open(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.truncated_bytes, 16);
+        assert!(wal.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appends_after_truncation_do_not_interleave_with_garbage() {
+        let path = temp("reappend.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"one").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Torn second append.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xFF, 0x00, 0x03]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut wal, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.truncated_bytes, 3);
+        wal.append(b"two").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(replay.truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp("reset.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"checkpointed away").unwrap();
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        wal.append(b"fresh").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"fresh".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let path = temp("oversize.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let err = wal.append(&vec![0u8; MAX_RECORD + 1]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -10,7 +10,13 @@ cargo fmt --check
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo clippy (failpoints) =="
+cargo clippy -p orion-storage -p orion-tests --all-targets --features failpoints -- -D warnings
+
 echo "== cargo test -q =="
 cargo test -q
+
+echo "== cargo test -q (fault injection, fixed seeds) =="
+cargo test -q -p orion-storage -p orion-tests --features failpoints
 
 echo "All checks passed."

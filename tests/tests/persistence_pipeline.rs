@@ -1,6 +1,7 @@
 //! Persistence under load: databases survive save/load with their
 //! histories intact, and queries over reloaded data remain PWS-consistent.
 
+use orion_core::durable::{DurableDb, WAL_FILE};
 use orion_core::persist::{load_database, save_database};
 use orion_core::plan::Plan;
 use orion_core::prelude::*;
@@ -91,6 +92,95 @@ fn save_load_save_is_stable() {
     assert_eq!(r1.len(), r2.len());
     std::fs::remove_file(&p1).ok();
     std::fs::remove_file(&p2).ok();
+}
+
+#[test]
+fn atomic_save_leaves_no_tmp_and_survives_overwrite() {
+    let (tables, reg) = orion_tests::table2();
+    let path = temp("atomic.db");
+    save_database(&path, &tables, &reg).unwrap();
+    save_database(&path, &tables, &reg).unwrap();
+    let mut tmp = path.clone().into_os_string();
+    tmp.push(".tmp");
+    assert!(!std::path::Path::new(&tmp).exists(), "temp file must be renamed away");
+    let (loaded, _) = load_database(&path).unwrap();
+    assert_eq!(loaded.len(), tables.len());
+    std::fs::remove_file(&path).ok();
+}
+
+fn durable_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("orion_persist_pipeline").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn durable_db_recovers_committed_inserts_after_wal_corruption() {
+    let dir = durable_dir("wal_garbage");
+    {
+        let mut db = DurableDb::open(&dir).unwrap();
+        let schema = ProbSchema::new(
+            vec![("id", ColumnType::Int, false), ("v", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        db.create_table("readings", schema).unwrap();
+        for i in 0..4 {
+            db.insert_simple(
+                "readings",
+                &[("id", Value::Int(i))],
+                &[("v", Pdf1::gaussian(i as f64, 1.0).unwrap())],
+            )
+            .unwrap();
+        }
+    }
+    // Crash mid-append: garbage lands after the committed records.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(dir.join(WAL_FILE)).unwrap();
+    f.write_all(&[0xEE; 23]).unwrap();
+    drop(f);
+    let mut db = DurableDb::open(&dir).unwrap();
+    assert_eq!(db.recovery().wal_bytes_truncated, 23);
+    assert_eq!(db.table("readings").unwrap().len(), 4, "every committed insert survives");
+    db.check_invariants().unwrap();
+    // Queries over the recovered data still work.
+    let opts = ExecOptions::default();
+    let pred = Predicate::cmp("v", CmpOp::Gt, 1.5);
+    let rel = db.table("readings").unwrap().clone();
+    let sel = orion_core::select::select(&rel, &pred, db.registry_mut(), &opts).unwrap();
+    assert!(!sel.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_truncates_wal_and_snapshot_takes_over() {
+    let dir = durable_dir("checkpoint");
+    {
+        let mut db = DurableDb::open(&dir).unwrap();
+        let schema = ProbSchema::new(
+            vec![("id", ColumnType::Int, false), ("v", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        db.create_table("readings", schema).unwrap();
+        for i in 0..3 {
+            db.insert_simple(
+                "readings",
+                &[("id", Value::Int(i))],
+                &[("v", Pdf1::gaussian(0.0, 1.0).unwrap())],
+            )
+            .unwrap();
+        }
+        assert!(db.wal_len() > 0);
+        db.checkpoint().unwrap();
+        assert_eq!(db.wal_len(), 0, "checkpoint empties the WAL");
+    }
+    let db = DurableDb::open(&dir).unwrap();
+    assert!(db.recovery().snapshot_loaded);
+    assert_eq!(db.recovery().wal_records_replayed, 0);
+    assert_eq!(db.table("readings").unwrap().len(), 3);
+    db.check_invariants().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

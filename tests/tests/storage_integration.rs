@@ -4,7 +4,7 @@
 
 use orion_pdf::prelude::*;
 use orion_storage::codec::{decode_joint, decode_pdf1, encode_joint, encode_pdf1};
-use orion_storage::{FileStore, HeapFile, MemStore};
+use orion_storage::{BufferPool, FileStore, HeapFile, MemStore, Page, PageId, PageStore, Wal};
 use orion_workload::SensorWorkload;
 use std::path::PathBuf;
 
@@ -131,6 +131,86 @@ fn small_pool_scan_touches_every_page_once() {
     assert_eq!(n, 64);
     let stats = heap.pool().stats().snapshot();
     assert_eq!(stats.physical_reads, pages as u64, "sequential scan: one read per page");
+}
+
+#[test]
+fn wal_survives_trailing_garbage_across_reopen() {
+    let path = temp_path("garbage.wal");
+    std::fs::remove_file(&path).ok();
+    {
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"committed-1").unwrap();
+        wal.append(b"committed-2").unwrap();
+        wal.sync().unwrap();
+    }
+    // A crash mid-append leaves frame fragments behind.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+    f.write_all(&[0x5A; 11]).unwrap();
+    drop(f);
+    let (mut wal, replay) = Wal::open(&path).unwrap();
+    assert_eq!(replay.records, vec![b"committed-1".to_vec(), b"committed-2".to_vec()]);
+    assert_eq!(replay.truncated_bytes, 11);
+    // The log is usable again and the garbage never resurfaces.
+    wal.append(b"committed-3").unwrap();
+    wal.sync().unwrap();
+    drop(wal);
+    let (_, replay) = Wal::open(&path).unwrap();
+    assert_eq!(replay.records.len(), 3);
+    assert_eq!(replay.truncated_bytes, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A store whose next `fail` writes error without touching the data —
+/// exercising the pool's keep-dirty-on-failure contract from outside the
+/// storage crate.
+struct FlakyStore {
+    inner: MemStore,
+    fail: std::sync::Arc<std::sync::atomic::AtomicU32>,
+}
+
+impl PageStore for FlakyStore {
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+    fn read_page(&mut self, id: PageId, page: &mut Page) -> std::io::Result<()> {
+        self.inner.read_page(id, page)
+    }
+    fn write_page(&mut self, id: PageId, page: &Page) -> std::io::Result<()> {
+        use std::sync::atomic::Ordering;
+        if self.fail.load(Ordering::SeqCst) > 0 {
+            self.fail.fetch_sub(1, Ordering::SeqCst);
+            return Err(std::io::Error::other("transient write failure"));
+        }
+        self.inner.write_page(id, page)
+    }
+    fn allocate(&mut self) -> std::io::Result<PageId> {
+        self.inner.allocate()
+    }
+}
+
+#[test]
+fn buffer_pool_retries_after_transient_write_errors_without_data_loss() {
+    let fail = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let pool = BufferPool::new(FlakyStore { inner: MemStore::new(), fail: fail.clone() }, 8);
+    let mut ids = Vec::new();
+    for i in 0..5u8 {
+        let id = pool.allocate().unwrap();
+        pool.with_page_mut(id, |p| p.insert(&[i; 64]).unwrap()).unwrap();
+        ids.push(id);
+    }
+    // Two flushes fail transiently; no write must be silently dropped.
+    fail.store(2, std::sync::atomic::Ordering::SeqCst);
+    assert!(pool.flush().is_err());
+    assert!(pool.flush().is_err());
+    assert_eq!(pool.stats().snapshot().write_errors, 2);
+    // The device recovers; the retry lands every dirty page.
+    pool.flush().unwrap();
+    pool.clear_cache().unwrap();
+    for (i, id) in ids.iter().enumerate() {
+        let ok = pool.with_page(*id, |p| p.get(0) == Some(&[i as u8; 64][..])).unwrap();
+        assert!(ok, "page {id} lost its data");
+    }
 }
 
 #[test]
