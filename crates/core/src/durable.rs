@@ -15,12 +15,25 @@
 //! tuple that references them, and a crash after the bases but before the
 //! tuple leaves refcount-0 orphan bases — harmless, reclaimed at the next
 //! checkpoint (reference counts are rebuilt only from tuple records).
+//! If logging fails, the in-memory mutation is **rolled back** (tuple
+//! popped, freshly registered bases released) and the WAL is truncated to
+//! its pre-insert length, so memory never diverges from what recovery
+//! would rebuild.
+//!
+//! **Checkpoints.** A checkpoint writes an atomic snapshot stamped with a
+//! fresh *epoch*, then empties the WAL. The first record logged after a
+//! checkpoint restamps the WAL with the snapshot's epoch. A crash in the
+//! window between the snapshot rename and the WAL reset leaves the old
+//! WAL (carrying the *previous* epoch) beside the new snapshot; recovery
+//! compares epochs and discards such a stale WAL instead of replaying it
+//! over state that already contains its records.
 //!
 //! **Recovery.** [`DurableDb::open`] loads the snapshot (if present),
-//! truncates any torn WAL tail, replays every committed WAL record through
-//! the same [`crate::persist::apply_record`] decoder the snapshot loader
-//! uses, and reports what it did in a [`RecoveryReport`]. Re-opening a
-//! recovered database is idempotent: the second open replays the same
+//! truncates any torn WAL tail, discards the whole WAL if its epoch
+//! predates the snapshot's, and otherwise replays every committed record
+//! through the same [`crate::persist::apply_record`] decoder the snapshot
+//! loader uses, reporting what it did in a [`RecoveryReport`]. Re-opening
+//! a recovered database is idempotent: the second open replays the same
 //! records and truncates nothing.
 
 use crate::error::{EngineError, Result};
@@ -48,14 +61,20 @@ pub struct RecoveryReport {
     pub wal_records_replayed: u64,
     /// Bytes of torn WAL tail discarded (crash mid-append).
     pub wal_bytes_truncated: u64,
+    /// Records discarded because the whole WAL predated the snapshot's
+    /// checkpoint epoch (crash between snapshot rename and WAL reset).
+    pub stale_wal_records_discarded: u64,
 }
 
 impl RecoveryReport {
     /// Stable JSON rendering for stats exporters and test grepping.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"snapshot_loaded\":{},\"wal_records_replayed\":{},\"wal_bytes_truncated\":{}}}",
-            self.snapshot_loaded, self.wal_records_replayed, self.wal_bytes_truncated
+            "{{\"snapshot_loaded\":{},\"wal_records_replayed\":{},\"wal_bytes_truncated\":{},\"stale_wal_records_discarded\":{}}}",
+            self.snapshot_loaded,
+            self.wal_records_replayed,
+            self.wal_bytes_truncated,
+            self.stale_wal_records_discarded
         )
     }
 }
@@ -67,12 +86,16 @@ pub struct DurableDb {
     tables: HashMap<String, Relation>,
     reg: HistoryRegistry,
     wal: Wal,
+    /// Checkpoint epoch of the current snapshot (0 before any checkpoint).
+    /// WAL records only count at recovery if their log carries this epoch.
+    epoch: u64,
     recovery: RecoveryReport,
 }
 
 impl DurableDb {
     /// Opens (creating if absent) the database in `dir`, running crash
-    /// recovery: snapshot load, torn-tail truncation, WAL replay.
+    /// recovery: snapshot load, torn-tail truncation, stale-WAL rejection,
+    /// WAL replay.
     pub fn open(dir: &Path) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
         let snap = dir.join(SNAPSHOT_FILE);
@@ -81,35 +104,67 @@ impl DurableDb {
         if snapshot_loaded {
             persist::load_into(&snap, &mut state)?;
         }
-        let (wal, replay) = Wal::open(&dir.join(WAL_FILE))?;
-        for rec in &replay.records {
-            persist::apply_record(rec, &mut state)?;
+        let snap_epoch = state.wal_epoch;
+        let (mut wal, replay) = Wal::open(&dir.join(WAL_FILE))?;
+        let wal_epoch = replay.records.first().and_then(|r| persist::record_epoch(r)).unwrap_or(0);
+        let mut replayed = 0u64;
+        let mut stale_discarded = 0u64;
+        if wal_epoch < snap_epoch {
+            // The WAL predates the snapshot: a crash hit the window between
+            // a checkpoint's snapshot rename and its WAL reset. Every record
+            // here is already folded into the snapshot — replaying would
+            // duplicate tuples and double-count refcounts.
+            stale_discarded = replay.records.len() as u64;
+            if stale_discarded > 0 {
+                wal.reset()?;
+            }
+        } else {
+            for rec in &replay.records {
+                persist::apply_record(rec, &mut state)?;
+                if persist::record_epoch(rec).is_none() {
+                    replayed += 1;
+                }
+            }
         }
         let recovery = RecoveryReport {
             snapshot_loaded,
-            wal_records_replayed: replay.records.len() as u64,
+            wal_records_replayed: replayed,
             wal_bytes_truncated: replay.truncated_bytes,
+            stale_wal_records_discarded: stale_discarded,
         };
+        let epoch = state.wal_epoch.max(snap_epoch);
         let (tables, reg) = state.finish();
-        Ok(DurableDb { dir: dir.to_path_buf(), tables, reg, wal, recovery })
+        Ok(DurableDb { dir: dir.to_path_buf(), tables, reg, wal, epoch, recovery })
     }
 
-    /// Creates a table and durably logs its schema.
+    /// Creates a table and durably logs its schema. On failure the WAL is
+    /// rolled back to its pre-call length and the table is not created.
     pub fn create_table(&mut self, name: &str, schema: ProbSchema) -> Result<()> {
         if self.tables.contains_key(name) {
             return Err(EngineError::Schema(format!("table '{name}' already exists")));
         }
         let rel = Relation::new(name, schema);
-        let mut buf = Vec::new();
-        persist::encode_schema(&rel, &mut buf);
-        self.wal.append(&buf)?;
-        self.wal.sync()?;
+        let wal_start = self.wal.len();
+        let logged: Result<()> = (|| {
+            self.ensure_epoch_stamp()?;
+            let mut buf = Vec::new();
+            persist::encode_schema(&rel, &mut buf);
+            self.wal.append(&buf)?;
+            self.wal.sync()?;
+            Ok(())
+        })();
+        if let Err(e) = logged {
+            let _ = self.wal.truncate_to(wal_start);
+            return Err(e);
+        }
         self.tables.insert(name.to_string(), rel);
         Ok(())
     }
 
     /// Inserts a tuple (see [`Relation::insert`]) and commits it through
-    /// the WAL. On return the insert is durable.
+    /// the WAL. On return the insert is durable; on error nothing is
+    /// applied — a failed WAL append/sync rolls the in-memory mutation
+    /// back, so memory and log never diverge.
     pub fn insert(
         &mut self,
         table: &str,
@@ -126,7 +181,8 @@ impl DurableDb {
     }
 
     /// Inserts a tuple of independent 1-D pdfs (see
-    /// [`Relation::insert_simple`]) and commits it through the WAL.
+    /// [`Relation::insert_simple`]) and commits it through the WAL, with
+    /// the same rollback-on-failure guarantee as [`DurableDb::insert`].
     pub fn insert_simple(
         &mut self,
         table: &str,
@@ -142,10 +198,38 @@ impl DurableDb {
         self.log_tail(table, before)
     }
 
+    /// Restamps an empty WAL with the current checkpoint epoch. Must run
+    /// before the first record after a checkpoint: recovery treats a WAL
+    /// whose epoch is below the snapshot's as stale, so records logged
+    /// without the stamp would be skipped. Written lazily (not inside
+    /// `checkpoint`) so a crash right after a checkpoint leaves a plain
+    /// empty log, and a failed stamp write is simply retried by the next
+    /// mutation.
+    fn ensure_epoch_stamp(&mut self) -> Result<()> {
+        if self.epoch > 0 && self.wal.is_empty() {
+            let mut buf = Vec::new();
+            persist::encode_epoch(self.epoch, &mut buf);
+            self.wal.append(&buf)?;
+        }
+        Ok(())
+    }
+
     /// Logs the base pdfs the last insert registered (ids in
     /// `before..=last`), then the tuple record, then fsyncs — the tuple
-    /// record is the commit point.
+    /// record is the commit point. Any failure rolls back both the WAL
+    /// (truncated to its pre-insert length) and the in-memory mutation.
     fn log_tail(&mut self, table: &str, before: u64) -> Result<()> {
+        let wal_start = self.wal.len();
+        if let Err(e) = self.log_tail_inner(table, before) {
+            let _ = self.wal.truncate_to(wal_start);
+            self.rollback_last_insert(table, before);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn log_tail_inner(&mut self, table: &str, before: u64) -> Result<()> {
+        self.ensure_epoch_stamp()?;
         let mut buf = Vec::new();
         for id in before + 1..=self.reg.last_id() {
             if let Ok(base) = self.reg.base(id) {
@@ -165,10 +249,35 @@ impl DurableDb {
         Ok(())
     }
 
-    /// Checkpoints: atomically writes a fresh snapshot, then empties the
-    /// WAL (whose records the snapshot now subsumes).
+    /// Undoes the in-memory effects of the insert that registered bases
+    /// `before+1..=last`: pops its tuple, releases the references the
+    /// tuple's nodes took, and deletes the bases it registered (now
+    /// unreferenced). Restores the exact pre-insert state recovery would
+    /// rebuild from the (also rolled-back) WAL.
+    fn rollback_last_insert(&mut self, table: &str, before: u64) {
+        if let Some(rel) = self.tables.get_mut(table) {
+            if let Some(t) = rel.tuples.pop() {
+                for n in &t.nodes {
+                    self.reg.release_refs(&n.ancestors);
+                }
+            }
+        }
+        for id in before + 1..=self.reg.last_id() {
+            self.reg.delete_base(id);
+        }
+    }
+
+    /// Checkpoints: atomically writes a fresh snapshot stamped with the
+    /// next epoch, then empties the WAL (whose records the snapshot now
+    /// subsumes). Crash-atomic at every point: until the snapshot rename
+    /// lands, recovery uses the old snapshot + full WAL; once it lands, a
+    /// WAL still carrying the old epoch is recognized as stale and
+    /// discarded instead of replayed. A checkpoint that returns an error
+    /// never corrupts state — at worst the WAL keeps accumulating.
     pub fn checkpoint(&mut self) -> Result<()> {
-        persist::save_database(&self.dir.join(SNAPSHOT_FILE), &self.tables, &self.reg)?;
+        let new_epoch = self.epoch + 1;
+        persist::save_snapshot(&self.dir.join(SNAPSHOT_FILE), &self.tables, &self.reg, new_epoch)?;
+        self.epoch = new_epoch;
         self.wal.reset()?;
         Ok(())
     }
@@ -190,6 +299,31 @@ impl DurableDb {
         &mut self.reg
     }
 
+    /// The history registry, read-only (e.g. for snapshotting alongside
+    /// [`DurableDb::tables`]).
+    pub fn registry(&self) -> &HistoryRegistry {
+        &self.reg
+    }
+
+    /// Checkpoint epoch of the current snapshot (0 before any checkpoint).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fault injection: the `nth` next WAL append (0 = the very next one)
+    /// fails with an injected I/O error.
+    #[cfg(feature = "failpoints")]
+    pub fn inject_wal_append_failure(&mut self, nth: u32) {
+        self.wal.fail_nth_append(nth);
+    }
+
+    /// Fault injection: the next WAL fsync fails with an injected I/O
+    /// error (commit ambiguity — the insert must roll back).
+    #[cfg(feature = "failpoints")]
+    pub fn inject_wal_sync_failure(&mut self) {
+        self.wal.fail_next_sync();
+    }
+
     /// What recovery did when this handle was opened.
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery
@@ -203,9 +337,10 @@ impl DurableDb {
     /// Recovery + size stats as JSON, for the observability exporters.
     pub fn stats_json(&self) -> String {
         format!(
-            "{{\"recovery\":{},\"wal_len\":{},\"tables\":{},\"bases\":{}}}",
+            "{{\"recovery\":{},\"wal_len\":{},\"epoch\":{},\"tables\":{},\"bases\":{}}}",
             self.recovery.to_json(),
             self.wal.len(),
+            self.epoch,
             self.tables.len(),
             self.reg.len()
         )
@@ -316,6 +451,67 @@ mod tests {
         assert_eq!(db.recovery().wal_records_replayed, 2, "one base + one tuple after ckpt");
         assert_eq!(db.table("readings").unwrap().len(), 3);
         db.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_between_snapshot_rename_and_wal_reset_discards_stale_wal() {
+        // The checkpoint crash window: the new snapshot is renamed into
+        // place but the process dies before the WAL reset truncates the
+        // old log. Recovery must NOT replay that log over the snapshot —
+        // doing so would duplicate every tuple and double-count refcounts.
+        let dir = temp_dir("ckpt_window");
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 3);
+            // First half of checkpoint(): snapshot written and renamed,
+            // stamped with the next epoch. Then "crash" before wal.reset().
+            persist::save_snapshot(
+                &dir.join(SNAPSHOT_FILE),
+                db.tables(),
+                db.registry(),
+                db.epoch() + 1,
+            )
+            .unwrap();
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        assert!(db.recovery().snapshot_loaded);
+        assert_eq!(db.recovery().wal_records_replayed, 0);
+        assert!(db.recovery().stale_wal_records_discarded > 0, "stale WAL detected");
+        assert_eq!(db.table("readings").unwrap().len(), 3, "no duplicated tuples");
+        db.check_invariants().unwrap();
+        assert_eq!(db.wal_len(), 0, "stale WAL emptied");
+        // Second open finds nothing stale left.
+        drop(db);
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.recovery().stale_wal_records_discarded, 0);
+        assert_eq!(db.table("readings").unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_is_monotonic_across_checkpoints_and_reopens() {
+        let dir = temp_dir("epochs");
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            assert_eq!(db.epoch(), 0);
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 1);
+            db.checkpoint().unwrap();
+            assert_eq!(db.epoch(), 1);
+            insert_n(&mut db, 1, 1);
+            db.checkpoint().unwrap();
+            assert_eq!(db.epoch(), 2);
+            insert_n(&mut db, 2, 1);
+        }
+        let mut db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.epoch(), 2, "epoch survives reopen");
+        assert_eq!(db.recovery().wal_records_replayed, 2, "post-checkpoint base + tuple");
+        assert_eq!(db.table("readings").unwrap().len(), 3);
+        db.check_invariants().unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(db.epoch(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

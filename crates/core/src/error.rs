@@ -63,17 +63,21 @@ impl From<PdfError> for EngineError {
 
 impl From<std::io::Error> for EngineError {
     /// Classifies an I/O error: interrupted/would-block/timed-out are
-    /// retryable, invalid-data/unexpected-EOF signal corruption (the buffer
-    /// pool reports torn pages as `InvalidData`), everything else is fatal.
+    /// retryable, invalid-data signals corruption, everything else is
+    /// fatal. Only `InvalidData` maps to [`EngineError::Corrupt`] — the
+    /// storage layer reports every integrity failure it detects (checksum
+    /// mismatches, short reads of allocated pages) under that kind. A bare
+    /// `UnexpectedEof` can also arise from environmental short-read
+    /// conditions (a file another process is truncating, an empty file
+    /// reaching a `read_exact` path) that are not on-disk corruption, so
+    /// it stays a fatal I/O error rather than triggering recovery.
     fn from(e: std::io::Error) -> Self {
         use std::io::ErrorKind;
         match e.kind() {
             ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
                 EngineError::IoRetryable(e.to_string())
             }
-            ErrorKind::InvalidData | ErrorKind::UnexpectedEof => {
-                EngineError::Corrupt(e.to_string())
-            }
+            ErrorKind::InvalidData => EngineError::Corrupt(e.to_string()),
             _ => EngineError::Io(e.to_string()),
         }
     }
@@ -111,5 +115,12 @@ mod tests {
         let fatal: EngineError = Error::new(ErrorKind::NotFound, "gone").into();
         assert!(!fatal.is_retryable());
         assert!(!fatal.is_corruption());
+
+        // A bare short read is environmental (file truncated under us,
+        // empty file through a read_exact path) — fatal, not corruption.
+        let eof: EngineError = Error::new(ErrorKind::UnexpectedEof, "short read").into();
+        assert!(!eof.is_corruption());
+        assert!(!eof.is_retryable());
+        assert!(eof.to_string().starts_with("io error"));
     }
 }

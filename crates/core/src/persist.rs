@@ -8,6 +8,8 @@
 //! [2: base]    registered base pdf: id, attrs, phantom flag, joint
 //! [3: tuple]   owning table, certain values, pdf nodes
 //!              (node = dims (VarId + optional column) + ancestors + joint)
+//! [4: epoch]   checkpoint epoch stamp (u64) — the fence recovery uses to
+//!              reject a stale WAL left by a crashed checkpoint
 //! ```
 //!
 //! Schemas are written first, then bases, then tuples, so a single pass
@@ -39,6 +41,7 @@ use std::path::Path;
 pub(crate) const TAG_SCHEMA: u8 = 1;
 pub(crate) const TAG_BASE: u8 = 2;
 pub(crate) const TAG_TUPLE: u8 = 3;
+pub(crate) const TAG_EPOCH: u8 = 4;
 
 fn put_str(s: &str, out: &mut impl BufMut) {
     out.put_u32_le(s.len() as u32);
@@ -203,6 +206,20 @@ pub(crate) fn encode_tuple(table: &str, t: &ProbTuple, out: &mut Vec<u8>) {
     }
 }
 
+pub(crate) fn encode_epoch(epoch: u64, out: &mut Vec<u8>) {
+    out.put_u8(TAG_EPOCH);
+    out.put_u64_le(epoch);
+}
+
+/// If `rec` is a checkpoint-epoch record, the epoch it carries.
+pub(crate) fn record_epoch(rec: &[u8]) -> Option<u64> {
+    if rec.len() == 9 && rec[0] == TAG_EPOCH {
+        Some(u64::from_le_bytes(rec[1..9].try_into().expect("8 bytes")))
+    } else {
+        None
+    }
+}
+
 /// Saves every relation and the registry into one file at `path`
 /// **atomically**: the snapshot is written to a `.tmp` sibling, fsynced,
 /// and renamed over `path`, so a crash at any point leaves either the old
@@ -212,6 +229,21 @@ pub fn save_database(
     tables: &HashMap<String, Relation>,
     reg: &HistoryRegistry,
 ) -> Result<()> {
+    save_snapshot(path, tables, reg, 0)
+}
+
+/// [`save_database`] stamped with a checkpoint `epoch`. The epoch is the
+/// fence recovery uses to detect a WAL left behind by a checkpoint that
+/// crashed between the snapshot rename and the WAL reset: such a WAL
+/// carries a smaller epoch than the snapshot and must be discarded, not
+/// replayed (its records are already folded into the snapshot). Epoch 0
+/// (no checkpoint yet) writes no stamp, matching the legacy format.
+pub fn save_snapshot(
+    path: &Path,
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    epoch: u64,
+) -> Result<()> {
     let tmp = {
         let mut os = path.as_os_str().to_os_string();
         os.push(".tmp");
@@ -219,6 +251,10 @@ pub fn save_database(
     };
     let mut heap = HeapFile::new(FileStore::create(&tmp)?, 64);
     let mut buf = Vec::with_capacity(4096);
+    if epoch > 0 {
+        encode_epoch(epoch, &mut buf);
+        heap.insert(&buf)?;
+    }
     let mut names: Vec<&String> = tables.keys().collect();
     names.sort();
     for name in &names {
@@ -267,6 +303,10 @@ pub struct LoadState {
     pub reg: HistoryRegistry,
     /// Highest attribute id observed in any decoded record.
     pub max_attr: AttrId,
+    /// Highest checkpoint epoch observed (0 when no stamp has been seen):
+    /// the fence below which WAL records are stale — see
+    /// [`save_snapshot`].
+    pub wal_epoch: u64,
 }
 
 impl LoadState {
@@ -370,6 +410,10 @@ pub fn apply_record(rec: &[u8], state: &mut LoadState) -> Result<()> {
                 EngineError::Corrupt(format!("tuple for unknown table '{table}'"))
             })?;
             rel.tuples.push(ProbTuple { certain, nodes });
+        }
+        TAG_EPOCH => {
+            let e = get_u64c(buf, "checkpoint epoch").map_err(bad)?;
+            state.wal_epoch = state.wal_epoch.max(e);
         }
         t => return Err(EngineError::Corrupt(format!("unknown record tag {t}"))),
     }
@@ -560,6 +604,37 @@ mod tests {
         assert!(!std::path::Path::new(&tmp).exists(), "temp snapshot must be renamed away");
         assert!(load_database(&path).is_ok());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_epoch_round_trips() {
+        let (tables, reg) = sample_db();
+        let path = temp("epoch.db");
+        save_snapshot(&path, &tables, &reg, 7).unwrap();
+        let mut state = LoadState::default();
+        load_into(&path, &mut state).unwrap();
+        assert_eq!(state.wal_epoch, 7);
+        assert_eq!(state.tables.len(), 2, "epoch stamp does not disturb the payload");
+        // Epoch 0 writes no stamp, matching the legacy format.
+        save_snapshot(&path, &tables, &reg, 0).unwrap();
+        let mut state = LoadState::default();
+        load_into(&path, &mut state).unwrap();
+        assert_eq!(state.wal_epoch, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn epoch_records_decode_strictly() {
+        let mut rec = Vec::new();
+        encode_epoch(3, &mut rec);
+        assert_eq!(record_epoch(&rec), Some(3));
+        assert_eq!(record_epoch(&rec[..5]), None, "truncated stamp is not an epoch");
+        assert_eq!(record_epoch(b"xx"), None);
+        let mut state = LoadState::default();
+        apply_record(&rec, &mut state).unwrap();
+        assert_eq!(state.wal_epoch, 3);
+        let err = apply_record(&rec[..5], &mut LoadState::default()).unwrap_err();
+        assert!(err.is_corruption(), "truncated epoch record classifies as corruption");
     }
 
     #[test]

@@ -131,7 +131,20 @@ impl PageStore for FileStore {
     fn read_page(&mut self, id: PageId, page: &mut Page) -> std::io::Result<()> {
         let mut buf = [0u8; PAGE_SIZE];
         self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        self.file.read_exact(&mut buf)?;
+        // A short read of an *allocated* page means the file shrank under
+        // us — a torn/lost write of the tail page. Report it as integrity
+        // failure (`InvalidData`, like a checksum mismatch) so the engine
+        // classifies it as corruption, not as a bare EOF.
+        self.file.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("torn page {id}: short read of an allocated page"),
+                )
+            } else {
+                e
+            }
+        })?;
         *page = Page::from_bytes(&buf);
         Ok(())
     }
@@ -247,6 +260,27 @@ mod tests {
         s.read_page(b, &mut q).unwrap();
         assert_eq!(q.get(0), Some(&b"on disk"[..]));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shrunk_file_read_reports_torn_page() {
+        let dir = std::env::temp_dir().join("orion_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shrunk.dat");
+        let mut s = FileStore::create(&path).unwrap();
+        s.allocate().unwrap();
+        s.allocate().unwrap();
+        s.sync().unwrap();
+        // The file loses half its tail page behind the store's back.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(PAGE_SIZE as u64 + PAGE_SIZE as u64 / 2).unwrap();
+        drop(f);
+        let mut p = Page::new();
+        s.read_page(0, &mut p).unwrap();
+        let err = s.read_page(1, &mut p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("torn page 1"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

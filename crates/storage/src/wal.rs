@@ -45,6 +45,14 @@ pub struct WalReplay {
 pub struct Wal {
     file: File,
     len: u64,
+    /// Set when a physical truncation failed: the on-disk tail may hold
+    /// stale committed-looking frames we could not remove, so appends are
+    /// refused until a truncation succeeds (see [`Wal::truncate_to`]).
+    poisoned: bool,
+    #[cfg(feature = "failpoints")]
+    fail_append_in: Option<u32>,
+    #[cfg(feature = "failpoints")]
+    fail_next_sync: bool,
 }
 
 impl Wal {
@@ -83,12 +91,40 @@ impl Wal {
         }
         file.seek(SeekFrom::Start(off as u64))?;
         let replay = WalReplay { records, truncated_bytes: truncated, valid_bytes: off as u64 };
-        Ok((Wal { file, len: off as u64 }, replay))
+        let wal = Wal {
+            file,
+            len: off as u64,
+            poisoned: false,
+            #[cfg(feature = "failpoints")]
+            fail_append_in: None,
+            #[cfg(feature = "failpoints")]
+            fail_next_sync: false,
+        };
+        Ok((wal, replay))
     }
 
     /// Appends one record (not yet durable — see [`Wal::sync`]). Returns
     /// the log length after the append.
+    ///
+    /// Always seeks to the tracked length first: a previously failed
+    /// `write_all` leaves the file cursor at an unknown offset past a torn
+    /// partial frame, and without the seek a later append would land after
+    /// that garbage — committed-looking but unreachable on replay, which
+    /// stops at the first bad frame.
     pub fn append(&mut self, payload: &[u8]) -> std::io::Result<u64> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "wal poisoned: a truncation failed and stale frames may remain on disk",
+            ));
+        }
+        #[cfg(feature = "failpoints")]
+        if let Some(n) = self.fail_append_in {
+            if n == 0 {
+                self.fail_append_in = None;
+                return Err(std::io::Error::other("injected wal append failure"));
+            }
+            self.fail_append_in = Some(n - 1);
+        }
         if payload.len() > MAX_RECORD {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -101,6 +137,7 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
+        self.file.seek(SeekFrom::Start(self.len))?;
         self.file.write_all(&frame)?;
         self.len += frame.len() as u64;
         Ok(self.len)
@@ -108,15 +145,40 @@ impl Wal {
 
     /// Forces every appended record to stable storage — the commit point.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        #[cfg(feature = "failpoints")]
+        if self.fail_next_sync {
+            self.fail_next_sync = false;
+            return Err(std::io::Error::other("injected wal sync failure"));
+        }
         self.file.sync_data()
+    }
+
+    /// Rolls the log back to `len` bytes, aborting frames appended after
+    /// that point (an insert whose commit failed). The tracked length is
+    /// reset even when the physical `set_len` fails — every append seeks to
+    /// the tracked length, so retried records overwrite the aborted tail —
+    /// but because fully written stale frames past the new tail could then
+    /// align with a later frame boundary and replay as committed, a failed
+    /// truncation also **poisons** the log: appends are refused until a
+    /// truncation succeeds.
+    pub fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        self.len = self.len.min(len);
+        match self.file.set_len(len) {
+            Ok(()) => {
+                self.poisoned = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 
     /// Empties the log (after a checkpoint has made its records redundant).
     pub fn reset(&mut self) -> std::io::Result<()> {
-        self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
+        self.truncate_to(0)?;
         self.file.sync_all()?;
-        self.len = 0;
         Ok(())
     }
 
@@ -128,6 +190,20 @@ impl Wal {
     /// Whether the log holds no records.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Fault injection: the `nth` append from now (0 = the very next one)
+    /// fails with an injected I/O error instead of writing.
+    #[cfg(feature = "failpoints")]
+    pub fn fail_nth_append(&mut self, nth: u32) {
+        self.fail_append_in = Some(nth);
+    }
+
+    /// Fault injection: the next [`Wal::sync`] fails with an injected
+    /// I/O error.
+    #[cfg(feature = "failpoints")]
+    pub fn fail_next_sync(&mut self) {
+        self.fail_next_sync = true;
     }
 }
 
@@ -256,6 +332,58 @@ mod tests {
         drop(wal);
         let (_, replay) = Wal::open(&path).unwrap();
         assert_eq!(replay.records, vec![b"fresh".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_lands_at_tracked_len_after_cursor_drift() {
+        let path = temp("cursor.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"good").unwrap();
+        wal.sync().unwrap();
+        // Simulate a failed write_all that advanced the file cursor past
+        // the tracked length, leaving a torn partial frame behind.
+        wal.file.write_all(&[0xAA; 27]).unwrap();
+        // The next append must overwrite that garbage, not follow it.
+        wal.append(b"second").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"good".to_vec(), b"second".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_to_aborts_uncommitted_frames() {
+        let path = temp("abort.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let committed = wal.append(b"committed").unwrap();
+        wal.sync().unwrap();
+        wal.append(b"aborted").unwrap();
+        wal.truncate_to(committed).unwrap();
+        assert_eq!(wal.len(), committed);
+        wal.append(b"retried").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"committed".to_vec(), b"retried".to_vec()]);
+        assert_eq!(replay.truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_append_failure_fires_once() {
+        let path = temp("inject.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.fail_nth_append(1);
+        wal.append(b"before").unwrap();
+        assert!(wal.append(b"fails").is_err());
+        wal.append(b"after").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"before".to_vec(), b"after".to_vec()]);
         std::fs::remove_file(&path).ok();
     }
 

@@ -11,12 +11,12 @@ echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
 echo "== cargo clippy (failpoints) =="
-cargo clippy -p orion-storage -p orion-tests --all-targets --features failpoints -- -D warnings
+cargo clippy -p orion-storage -p orion-core -p orion-tests --all-targets --features failpoints -- -D warnings
 
 echo "== cargo test -q =="
 cargo test -q
 
 echo "== cargo test -q (fault injection, fixed seeds) =="
-cargo test -q -p orion-storage -p orion-tests --features failpoints
+cargo test -q -p orion-storage -p orion-core -p orion-tests --features failpoints
 
 echo "All checks passed."

@@ -97,6 +97,54 @@ fn wal_crash_matrix_recovers_committed_prefix_at_every_cut() {
 }
 
 #[test]
+fn post_checkpoint_wal_crash_matrix_never_replays_into_duplicates() {
+    // Like the WAL matrix above, but over a log that follows a checkpoint:
+    // the first frame is the epoch stamp, and recovery must yield the
+    // checkpointed tuples plus exactly the post-checkpoint commits that
+    // fit in the surviving prefix — never a duplicate.
+    use orion_core::durable::SNAPSHOT_FILE;
+    let src = temp_dir("ckpt_matrix_src");
+    {
+        let mut db = DurableDb::open(&src).unwrap();
+        db.create_table("readings", sensor_schema()).unwrap();
+        for i in 0..2 {
+            db.insert_simple(
+                "readings",
+                &[("id", Value::Int(i))],
+                &[("v", Pdf1::gaussian(i as f64, 1.0).unwrap())],
+            )
+            .unwrap();
+        }
+        db.checkpoint().unwrap();
+        for i in 2..5 {
+            db.insert_simple(
+                "readings",
+                &[("id", Value::Int(i))],
+                &[("v", Pdf1::gaussian(i as f64, 1.0).unwrap())],
+            )
+            .unwrap();
+        }
+    }
+    let snap = std::fs::read(src.join(SNAPSHOT_FILE)).unwrap();
+    let wal = std::fs::read(src.join(WAL_FILE)).unwrap();
+    assert!(!wal.is_empty());
+    let scratch = temp_dir("ckpt_matrix_cut");
+    for cut in 0..=wal.len() {
+        std::fs::remove_dir_all(&scratch).ok();
+        std::fs::create_dir_all(&scratch).unwrap();
+        std::fs::write(scratch.join(SNAPSHOT_FILE), &snap).unwrap();
+        std::fs::write(scratch.join(WAL_FILE), &wal[..cut]).unwrap();
+        let expect = 2 + committed_tuples(&wal, cut);
+        let db = DurableDb::open(&scratch).unwrap();
+        assert!(db.recovery().snapshot_loaded);
+        assert_eq!(db.table("readings").unwrap().len(), expect, "cut at byte {cut}");
+        db.check_invariants().unwrap_or_else(|e| panic!("invariants at cut {cut}: {e}"));
+    }
+    std::fs::remove_dir_all(&src).ok();
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
 fn checkpoint_then_crash_preserves_checkpointed_state() {
     let dir = temp_dir("ckpt_crash");
     {
@@ -148,6 +196,64 @@ fn leftover_tmp_snapshot_is_ignored_and_replaced() {
     let db = DurableDb::open(&dir).unwrap();
     assert!(db.recovery().snapshot_loaded);
     assert_eq!(db.table("readings").unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_wal_append_rolls_back_the_insert() {
+    // A WAL append failure must leave neither an in-memory tuple that
+    // recovery would never rebuild, nor registry garbage: the insert rolls
+    // back wholesale and a retry commits exactly once.
+    let dir = temp_dir("append_rollback");
+    let mut db = DurableDb::open(&dir).unwrap();
+    db.create_table("readings", sensor_schema()).unwrap();
+    let insert = |db: &mut DurableDb, i: i64| {
+        db.insert_simple(
+            "readings",
+            &[("id", Value::Int(i))],
+            &[("v", Pdf1::gaussian(i as f64, 1.0).unwrap())],
+        )
+    };
+    insert(&mut db, 0).unwrap();
+    let committed_len = db.wal_len();
+    let bases_before = db.registry().len();
+    // Fail each of the two appends an insert makes (base pdf, then tuple).
+    for nth in 0..2 {
+        db.inject_wal_append_failure(nth);
+        assert!(insert(&mut db, 99).is_err(), "injected failure at append {nth}");
+        assert_eq!(db.table("readings").unwrap().len(), 1, "tuple rolled back (append {nth})");
+        assert_eq!(db.registry().len(), bases_before, "bases rolled back (append {nth})");
+        assert_eq!(db.wal_len(), committed_len, "wal rolled back (append {nth})");
+        db.check_invariants().unwrap();
+    }
+    // Same for a sync failure: the commit point was never reached.
+    db.inject_wal_sync_failure();
+    assert!(insert(&mut db, 99).is_err());
+    assert_eq!(db.table("readings").unwrap().len(), 1);
+    assert_eq!(db.wal_len(), committed_len);
+    db.check_invariants().unwrap();
+    // A retry after the fault clears commits normally, exactly once.
+    insert(&mut db, 1).unwrap();
+    drop(db);
+    let db = DurableDb::open(&dir).unwrap();
+    assert_eq!(db.table("readings").unwrap().len(), 2, "recovery sees only committed inserts");
+    db.check_invariants().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_create_table_leaves_no_phantom_table() {
+    let dir = temp_dir("schema_rollback");
+    let mut db = DurableDb::open(&dir).unwrap();
+    db.inject_wal_append_failure(0);
+    assert!(db.create_table("readings", sensor_schema()).is_err());
+    assert!(db.table("readings").is_err(), "table not created in memory");
+    assert_eq!(db.wal_len(), 0, "wal rolled back");
+    // Retry succeeds and survives recovery.
+    db.create_table("readings", sensor_schema()).unwrap();
+    drop(db);
+    let db = DurableDb::open(&dir).unwrap();
+    assert!(db.table("readings").is_ok());
     std::fs::remove_dir_all(&dir).ok();
 }
 
