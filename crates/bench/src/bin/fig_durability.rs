@@ -1,0 +1,72 @@
+//! Regenerates the durability figure: group-commit fsync amortization vs
+//! writer count, and full vs incremental checkpoint cost.
+//!
+//! Usage: `fig_durability [--json PATH]`
+
+use orion_bench::durability::{run_checkpoints, run_group_commit, to_json, DurabilityConfig};
+use orion_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    let cfg = DurabilityConfig::default();
+    eprintln!(
+        "Durability figure: writers {:?}, {} inserts/writer, window {:?}",
+        cfg.writer_counts, cfg.inserts_per_writer, cfg.window
+    );
+    let gc = run_group_commit(&cfg);
+    let table: Vec<Vec<String>> = gc
+        .iter()
+        .map(|r| {
+            vec![
+                r.writers.to_string(),
+                r.mode.clone(),
+                r.commits.to_string(),
+                r.fsyncs.to_string(),
+                r.fsyncs_saved.to_string(),
+                format!("{:.2}", r.commits_per_fsync()),
+                report::fmt_secs(r.secs),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::text_table(
+            &["writers", "mode", "commits", "fsyncs", "saved", "commits/fsync", "time"],
+            &table
+        )
+    );
+
+    let dir = std::env::temp_dir().join("orion_fig_durability_bin");
+    let ckpt = run_checkpoints(&cfg, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+    let table: Vec<Vec<String>> = ckpt
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.clone(),
+                r.tuples.to_string(),
+                r.pages_copied.to_string(),
+                r.pages_skipped.to_string(),
+                report::fmt_secs(r.secs),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::text_table(
+            &["checkpoint", "tuples", "pages_copied", "pages_skipped", "time"],
+            &table
+        )
+    );
+
+    if let Some(p) = json_path {
+        report::write_json(&p, &to_json(&gc, &ckpt)).expect("write json");
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -28,24 +28,50 @@
 //! compares epochs and discards such a stale WAL instead of replaying it
 //! over state that already contains its records.
 //!
-//! **Recovery.** [`DurableDb::open`] loads the snapshot (if present),
-//! truncates any torn WAL tail, discards the whole WAL if its epoch
-//! predates the snapshot's, and otherwise replays every committed record
-//! through the same [`crate::persist::apply_record`] decoder the snapshot
-//! loader uses, reporting what it did in a [`RecoveryReport`]. Re-opening
-//! a recovered database is idempotent: the second open replays the same
-//! records and truncates nothing.
+//! **Recovery.** [`DurableDb::open`] folds the snapshot **chain** (base
+//! `snapshot.db` plus any incremental `delta-*.db` files, pages merged in
+//! epoch order before a single decode pass — see
+//! [`crate::persist::load_chain`]), truncates any torn WAL tail, discards
+//! the whole WAL if its epoch predates the chain's, and otherwise replays
+//! every committed record through the same
+//! [`crate::persist::apply_record`] decoder the snapshot loader uses,
+//! reporting what it did in a [`RecoveryReport`]. Re-opening a recovered
+//! database is idempotent: the second open replays the same records and
+//! truncates nothing.
+//!
+//! **Group commit.** The WAL is driven through
+//! [`orion_storage::GroupWal`]: each commit enqueues its framed records,
+//! one elected leader performs a single batched `append + fsync` for every
+//! queued commit, and followers block on their commit sequence number.
+//! [`DurableDb`]'s `&mut self` API commits solo (one fsync each);
+//! [`SharedDurableDb`] exposes the same database behind `&self` methods so
+//! concurrent writers actually share fsyncs. Tunables (batching window,
+//! max batch bytes) live in [`orion_storage::GroupCommitConfig`].
+//!
+//! **Incremental checkpoints.** [`DurableDb::checkpoint_incremental`]
+//! rebuilds the chain's pages in memory, appends only the records created
+//! since the last checkpoint, and writes the pages that mutation dirtied
+//! into an epoch-stamped [`orion_storage::DeltaFile`]
+//! (temp → fsync → rename): the cost scales with the new data, not the
+//! database. A full [`DurableDb::checkpoint`] rewrites the base and
+//! deletes the delta chain it subsumes.
 
 use crate::error::{EngineError, Result};
-use crate::history::HistoryRegistry;
+use crate::history::{HistoryRegistry, PdfId};
 use crate::persist::{self, LoadState};
 use crate::relation::Relation;
 use crate::schema::ProbSchema;
+use crate::tuple::ProbTuple;
 use crate::value::Value;
 use orion_pdf::prelude::{JointPdf, Pdf1};
-use orion_storage::Wal;
+use orion_storage::wal::WalStats;
+use orion_storage::{
+    DeltaFile, GroupCommitConfig, GroupWal, HeapFile, IoStats, PageStore, Wal, PAGE_SIZE,
+};
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Snapshot file name inside a [`DurableDb`] directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.db";
@@ -64,18 +90,47 @@ pub struct RecoveryReport {
     /// Records discarded because the whole WAL predated the snapshot's
     /// checkpoint epoch (crash between snapshot rename and WAL reset).
     pub stale_wal_records_discarded: u64,
+    /// Incremental delta files folded over the base snapshot.
+    pub deltas_folded: u64,
+    /// Delta files discarded because a full checkpoint had already
+    /// subsumed them (crash between snapshot rename and delta cleanup).
+    pub stale_deltas_removed: u64,
 }
 
 impl RecoveryReport {
     /// Stable JSON rendering for stats exporters and test grepping.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"snapshot_loaded\":{},\"wal_records_replayed\":{},\"wal_bytes_truncated\":{},\"stale_wal_records_discarded\":{}}}",
+            "{{\"snapshot_loaded\":{},\"wal_records_replayed\":{},\"wal_bytes_truncated\":{},\"stale_wal_records_discarded\":{},\"deltas_folded\":{},\"stale_deltas_removed\":{}}}",
             self.snapshot_loaded,
             self.wal_records_replayed,
             self.wal_bytes_truncated,
-            self.stale_wal_records_discarded
+            self.stale_wal_records_discarded,
+            self.deltas_folded,
+            self.stale_deltas_removed
         )
+    }
+}
+
+/// Where the last checkpoint left off: everything the persistent chain
+/// already contains, so an incremental checkpoint appends only what came
+/// after. Captured right after the chain fold at open (before WAL replay —
+/// replayed records are *not* in the chain) and after every checkpoint.
+#[derive(Debug, Clone, Default)]
+struct CkptMarks {
+    /// Highest base-pdf id in the chain; later registrations are new.
+    last_base: PdfId,
+    /// Per-table tuple count in the chain; presence of a key means the
+    /// table's schema record is already persisted.
+    tables: HashMap<String, usize>,
+}
+
+impl CkptMarks {
+    fn capture(tables: &HashMap<String, Relation>, reg: &HistoryRegistry) -> CkptMarks {
+        CkptMarks {
+            last_base: reg.last_id(),
+            tables: tables.iter().map(|(n, r)| (n.clone(), r.tuples.len())).collect(),
+        }
     }
 }
 
@@ -85,35 +140,47 @@ pub struct DurableDb {
     dir: PathBuf,
     tables: HashMap<String, Relation>,
     reg: HistoryRegistry,
-    wal: Wal,
-    /// Checkpoint epoch of the current snapshot (0 before any checkpoint).
-    /// WAL records only count at recovery if their log carries this epoch.
+    wal: GroupWal,
+    /// Checkpoint epoch of the current snapshot chain (0 before any
+    /// checkpoint). WAL records only count at recovery if their log
+    /// carries this epoch.
     epoch: u64,
+    marks: CkptMarks,
     recovery: RecoveryReport,
+    /// Checkpoint page accounting (`ckpt_pages_copied` / `_skipped`).
+    io: Arc<IoStats>,
 }
 
 impl DurableDb {
     /// Opens (creating if absent) the database in `dir`, running crash
-    /// recovery: snapshot load, torn-tail truncation, stale-WAL rejection,
-    /// WAL replay.
+    /// recovery: snapshot-chain fold, torn-tail truncation, stale-WAL
+    /// rejection, WAL replay. Group commit uses default tunables; see
+    /// [`DurableDb::open_with`].
     pub fn open(dir: &Path) -> Result<Self> {
+        Self::open_with(dir, GroupCommitConfig::default())
+    }
+
+    /// [`DurableDb::open`] with explicit group-commit tunables.
+    pub fn open_with(dir: &Path, cfg: GroupCommitConfig) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
         let snap = dir.join(SNAPSHOT_FILE);
         let mut state = LoadState::default();
-        let snapshot_loaded = snap.exists();
-        if snapshot_loaded {
-            persist::load_into(&snap, &mut state)?;
-        }
+        let chain = persist::load_chain(&snap, dir, &mut state)?;
         let snap_epoch = state.wal_epoch;
+        // Everything loaded so far lives in the persistent chain: that is
+        // what the next incremental checkpoint starts from. WAL records
+        // replayed below are new relative to it.
+        let marks = CkptMarks::capture(&state.tables, &state.reg);
         let (mut wal, replay) = Wal::open(&dir.join(WAL_FILE))?;
         let wal_epoch = replay.records.first().and_then(|r| persist::record_epoch(r)).unwrap_or(0);
         let mut replayed = 0u64;
         let mut stale_discarded = 0u64;
         if wal_epoch < snap_epoch {
             // The WAL predates the snapshot: a crash hit the window between
-            // a checkpoint's snapshot rename and its WAL reset. Every record
-            // here is already folded into the snapshot — replaying would
-            // duplicate tuples and double-count refcounts.
+            // a checkpoint's commit point (snapshot rename / delta rename)
+            // and its WAL reset. Every record here is already folded into
+            // the chain — replaying would duplicate tuples and
+            // double-count refcounts.
             stale_discarded = replay.records.len() as u64;
             if stale_discarded > 0 {
                 wal.reset()?;
@@ -127,36 +194,40 @@ impl DurableDb {
             }
         }
         let recovery = RecoveryReport {
-            snapshot_loaded,
+            snapshot_loaded: chain.snapshot_loaded,
             wal_records_replayed: replayed,
             wal_bytes_truncated: replay.truncated_bytes,
             stale_wal_records_discarded: stale_discarded,
+            deltas_folded: chain.deltas_folded,
+            stale_deltas_removed: chain.stale_deltas_removed,
         };
         let epoch = state.wal_epoch.max(snap_epoch);
         let (tables, reg) = state.finish();
-        Ok(DurableDb { dir: dir.to_path_buf(), tables, reg, wal, epoch, recovery })
+        let wal = GroupWal::new(wal, cfg);
+        set_epoch_stamp(&wal, epoch)?;
+        Ok(DurableDb {
+            dir: dir.to_path_buf(),
+            tables,
+            reg,
+            wal,
+            epoch,
+            marks,
+            recovery,
+            io: Arc::new(IoStats::default()),
+        })
     }
 
-    /// Creates a table and durably logs its schema. On failure the WAL is
-    /// rolled back to its pre-call length and the table is not created.
+    /// Creates a table and durably logs its schema. On failure nothing is
+    /// applied: the [`GroupWal`] truncates the failed batch away and the
+    /// table is not created.
     pub fn create_table(&mut self, name: &str, schema: ProbSchema) -> Result<()> {
         if self.tables.contains_key(name) {
             return Err(EngineError::Schema(format!("table '{name}' already exists")));
         }
         let rel = Relation::new(name, schema);
-        let wal_start = self.wal.len();
-        let logged: Result<()> = (|| {
-            self.ensure_epoch_stamp()?;
-            let mut buf = Vec::new();
-            persist::encode_schema(&rel, &mut buf);
-            self.wal.append(&buf)?;
-            self.wal.sync()?;
-            Ok(())
-        })();
-        if let Err(e) = logged {
-            let _ = self.wal.truncate_to(wal_start);
-            return Err(e);
-        }
+        let mut buf = Vec::new();
+        persist::encode_schema(&rel, &mut buf);
+        self.wal.commit(&[buf])?;
         self.tables.insert(name.to_string(), rel);
         Ok(())
     }
@@ -198,54 +269,23 @@ impl DurableDb {
         self.log_tail(table, before)
     }
 
-    /// Restamps an empty WAL with the current checkpoint epoch. Must run
-    /// before the first record after a checkpoint: recovery treats a WAL
-    /// whose epoch is below the snapshot's as stale, so records logged
-    /// without the stamp would be skipped. Written lazily (not inside
-    /// `checkpoint`) so a crash right after a checkpoint leaves a plain
-    /// empty log, and a failed stamp write is simply retried by the next
-    /// mutation.
-    fn ensure_epoch_stamp(&mut self) -> Result<()> {
-        if self.epoch > 0 && self.wal.is_empty() {
-            let mut buf = Vec::new();
-            persist::encode_epoch(self.epoch, &mut buf);
-            self.wal.append(&buf)?;
-        }
-        Ok(())
-    }
-
     /// Logs the base pdfs the last insert registered (ids in
-    /// `before..=last`), then the tuple record, then fsyncs — the tuple
-    /// record is the commit point. Any failure rolls back both the WAL
-    /// (truncated to its pre-insert length) and the in-memory mutation.
+    /// `before..=last`) and the tuple record as **one group-commit unit**
+    /// — the tuple record is the commit point. Any failure rolls back both
+    /// the WAL (the [`GroupWal`] truncates the failed batch) and the
+    /// in-memory mutation.
     fn log_tail(&mut self, table: &str, before: u64) -> Result<()> {
-        let wal_start = self.wal.len();
-        if let Err(e) = self.log_tail_inner(table, before) {
-            let _ = self.wal.truncate_to(wal_start);
-            self.rollback_last_insert(table, before);
-            return Err(e);
-        }
-        Ok(())
-    }
-
-    fn log_tail_inner(&mut self, table: &str, before: u64) -> Result<()> {
-        self.ensure_epoch_stamp()?;
-        let mut buf = Vec::new();
-        for id in before + 1..=self.reg.last_id() {
-            if let Ok(base) = self.reg.base(id) {
-                buf.clear();
-                persist::encode_base(id, base, &mut buf);
-                self.wal.append(&buf)?;
+        let payloads = match encode_insert_payloads(&self.tables, &self.reg, table, before) {
+            Ok(p) => p,
+            Err(e) => {
+                self.rollback_last_insert(table, before);
+                return Err(e);
             }
+        };
+        if let Err(e) = self.wal.commit(&payloads) {
+            self.rollback_last_insert(table, before);
+            return Err(e.into());
         }
-        let t = self.tables[table]
-            .tuples
-            .last()
-            .ok_or_else(|| EngineError::Operator("insert left no tuple to log".into()))?;
-        buf.clear();
-        persist::encode_tuple(table, t, &mut buf);
-        self.wal.append(&buf)?;
-        self.wal.sync()?;
         Ok(())
     }
 
@@ -267,19 +307,45 @@ impl DurableDb {
         }
     }
 
-    /// Checkpoints: atomically writes a fresh snapshot stamped with the
-    /// next epoch, then empties the WAL (whose records the snapshot now
-    /// subsumes). Crash-atomic at every point: until the snapshot rename
-    /// lands, recovery uses the old snapshot + full WAL; once it lands, a
-    /// WAL still carrying the old epoch is recognized as stale and
-    /// discarded instead of replayed. A checkpoint that returns an error
-    /// never corrupts state — at worst the WAL keeps accumulating.
+    /// Full checkpoint: atomically writes a fresh base snapshot stamped
+    /// with the next epoch, deletes the delta chain it subsumes, then
+    /// empties the WAL (whose records the snapshot now contains).
+    /// Crash-atomic at every point: until the snapshot rename lands,
+    /// recovery uses the old chain + full WAL; once it lands, leftover
+    /// deltas and a WAL still carrying the old epoch are recognized as
+    /// stale and discarded instead of replayed. A checkpoint that returns
+    /// an error never corrupts state — at worst the WAL keeps
+    /// accumulating.
     pub fn checkpoint(&mut self) -> Result<()> {
-        let new_epoch = self.epoch + 1;
-        persist::save_snapshot(&self.dir.join(SNAPSHOT_FILE), &self.tables, &self.reg, new_epoch)?;
-        self.epoch = new_epoch;
-        self.wal.reset()?;
-        Ok(())
+        checkpoint_full(
+            &self.dir,
+            &self.tables,
+            &self.reg,
+            &mut self.epoch,
+            &mut self.marks,
+            &self.wal,
+            &self.io,
+        )
+    }
+
+    /// Incremental checkpoint: folds the existing chain's pages in memory,
+    /// appends only the records created since the last checkpoint, and
+    /// writes the pages that dirtied into an epoch-stamped delta file
+    /// (temp → fsync → rename — the same crash-atomicity discipline as
+    /// the full path; the delta rename is the commit point). Falls back to
+    /// a full checkpoint when no base snapshot exists yet; a no-op when
+    /// nothing changed since the last checkpoint. Pages copied vs skipped
+    /// are counted in [`DurableDb::io_stats`].
+    pub fn checkpoint_incremental(&mut self) -> Result<()> {
+        checkpoint_incremental(
+            &self.dir,
+            &self.tables,
+            &self.reg,
+            &mut self.epoch,
+            &mut self.marks,
+            &self.wal,
+            &self.io,
+        )
     }
 
     /// The tables, for querying.
@@ -310,11 +376,11 @@ impl DurableDb {
         self.epoch
     }
 
-    /// Fault injection: the `nth` next WAL append (0 = the very next one)
-    /// fails with an injected I/O error.
+    /// Fault injection: the `nth` next WAL record (0 = the very next one)
+    /// fails its commit with an injected I/O error.
     #[cfg(feature = "failpoints")]
     pub fn inject_wal_append_failure(&mut self, nth: u32) {
-        self.wal.fail_nth_append(nth);
+        self.wal.fail_nth_record(nth);
     }
 
     /// Fault injection: the next WAL fsync fails with an injected I/O
@@ -334,21 +400,504 @@ impl DurableDb {
         self.wal.len()
     }
 
+    /// Group-commit counters (fsyncs, batches, fsyncs saved).
+    pub fn wal_stats(&self) -> Arc<WalStats> {
+        self.wal.stats()
+    }
+
+    /// Checkpoint I/O counters (`ckpt_pages_copied` / `_skipped`).
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.io)
+    }
+
+    /// Current group-commit tunables.
+    pub fn group_commit_config(&self) -> GroupCommitConfig {
+        self.wal.config()
+    }
+
+    /// Replaces the group-commit tunables (batching window, max batch
+    /// bytes, enable/disable).
+    pub fn set_group_commit_config(&mut self, cfg: GroupCommitConfig) {
+        self.wal.set_config(cfg);
+    }
+
     /// Recovery + size stats as JSON, for the observability exporters.
     pub fn stats_json(&self) -> String {
         format!(
-            "{{\"recovery\":{},\"wal_len\":{},\"epoch\":{},\"tables\":{},\"bases\":{}}}",
+            "{{\"recovery\":{},\"wal_len\":{},\"epoch\":{},\"tables\":{},\"bases\":{},\"wal\":{},\"io\":{}}}",
             self.recovery.to_json(),
             self.wal.len(),
             self.epoch,
             self.tables.len(),
-            self.reg.len()
+            self.reg.len(),
+            self.wal.stats().to_json().to_string_compact(),
+            self.io.snapshot().to_json().to_string_compact()
         )
     }
 
     /// Verifies structural invariants; see [`check_invariants`].
     pub fn check_invariants(&self) -> Result<()> {
         check_invariants(&self.tables, &self.reg)
+    }
+
+    /// Converts this exclusive handle into a [`SharedDurableDb`] whose
+    /// `&self` methods let concurrent writers share group-commit fsyncs.
+    pub fn into_shared(self) -> SharedDurableDb {
+        SharedDurableDb {
+            inner: Arc::new(SharedInner {
+                core: Mutex::new(SharedCore {
+                    dir: self.dir,
+                    tables: self.tables,
+                    reg: self.reg,
+                    epoch: self.epoch,
+                    marks: self.marks,
+                    in_flight: 0,
+                }),
+                drained: Condvar::new(),
+                wal: self.wal,
+                recovery: self.recovery,
+                io: self.io,
+            }),
+        }
+    }
+}
+
+/// (Re)arms the [`GroupWal`]'s epoch stamp: after any checkpoint, the
+/// first batch written to the (then empty) log is prefixed with the
+/// chain's epoch, so recovery can tell a live WAL from a stale one left by
+/// a crashed checkpoint. Epoch 0 (no checkpoint yet) writes no stamp.
+fn set_epoch_stamp(wal: &GroupWal, epoch: u64) -> Result<()> {
+    if epoch == 0 {
+        wal.set_stamp(None)?;
+    } else {
+        let mut buf = Vec::new();
+        persist::encode_epoch(epoch, &mut buf);
+        wal.set_stamp(Some(&buf))?;
+    }
+    Ok(())
+}
+
+/// Encodes one insert's WAL unit: the base records it registered (ids in
+/// `before+1..=last`) followed by the tuple record (the commit point).
+fn encode_insert_payloads(
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    table: &str,
+    before: PdfId,
+) -> Result<Vec<Vec<u8>>> {
+    let mut payloads = Vec::new();
+    for id in before + 1..=reg.last_id() {
+        if let Ok(base) = reg.base(id) {
+            let mut buf = Vec::new();
+            persist::encode_base(id, base, &mut buf);
+            payloads.push(buf);
+        }
+    }
+    let t = tables
+        .get(table)
+        .and_then(|rel| rel.tuples.last())
+        .ok_or_else(|| EngineError::Operator("insert left no tuple to log".into()))?;
+    let mut buf = Vec::new();
+    persist::encode_tuple(table, t, &mut buf);
+    payloads.push(buf);
+    Ok(payloads)
+}
+
+/// The full-checkpoint protocol shared by [`DurableDb::checkpoint`] and
+/// [`SharedDurableDb::checkpoint`]. See [`DurableDb::checkpoint`].
+fn checkpoint_full(
+    dir: &Path,
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    epoch: &mut u64,
+    marks: &mut CkptMarks,
+    wal: &GroupWal,
+    io: &IoStats,
+) -> Result<()> {
+    let new_epoch = *epoch + 1;
+    let snap = dir.join(SNAPSHOT_FILE);
+    persist::save_snapshot(&snap, tables, reg, new_epoch)?;
+    // A full checkpoint copies every page of the new base; the counter
+    // mirrors the incremental path's copied/skipped accounting.
+    let pages = std::fs::metadata(&snap).map(|m| m.len().div_ceil(PAGE_SIZE as u64)).unwrap_or(0);
+    io.ckpt_pages_copied.add(pages);
+    // The rename above is the commit point. Deltas subsumed by the new
+    // base are deleted afterwards; a crash in between leaves them behind
+    // with stale epochs, and recovery removes them.
+    DeltaFile::remove_all(dir)?;
+    *epoch = new_epoch;
+    *marks = CkptMarks::capture(tables, reg);
+    wal.reset()?;
+    set_epoch_stamp(wal, new_epoch)?;
+    Ok(())
+}
+
+/// The incremental-checkpoint protocol shared by
+/// [`DurableDb::checkpoint_incremental`] and
+/// [`SharedDurableDb::checkpoint_incremental`]. See the method docs.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_incremental(
+    dir: &Path,
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    epoch: &mut u64,
+    marks: &mut CkptMarks,
+    wal: &GroupWal,
+    io: &IoStats,
+) -> Result<()> {
+    let snap = dir.join(SNAPSHOT_FILE);
+    if !snap.exists() {
+        // Nothing to increment on — the first checkpoint is always full.
+        return checkpoint_full(dir, tables, reg, epoch, marks, wal, io);
+    }
+    let new_work = reg.last_id() > marks.last_base
+        || tables
+            .iter()
+            .any(|(n, r)| marks.tables.get(n).is_none_or(|&count| r.tuples.len() > count));
+    if !new_work {
+        return Ok(());
+    }
+    let new_epoch = *epoch + 1;
+    // Rebuild the chain's pages in memory, then append only the records
+    // the chain does not contain. The heap adopts the chain's tail page so
+    // appends fill its free space (that page is copied; untouched pages
+    // are skipped — the incremental win).
+    let (mem, _) = persist::fold_chain_pages(&snap, dir)?;
+    let mut heap = HeapFile::new(mem, 64);
+    heap.adopt_tail();
+    heap.pool().mark_checkpoint();
+    let mut buf = Vec::new();
+    persist::encode_epoch(new_epoch, &mut buf);
+    heap.insert(&buf)?;
+    let mut names: Vec<&String> = tables.keys().collect();
+    names.sort();
+    for name in &names {
+        if !marks.tables.contains_key(*name) {
+            buf.clear();
+            persist::encode_schema(&tables[*name], &mut buf);
+            heap.insert(&buf)?;
+        }
+    }
+    let mut bases: Vec<_> = reg.iter_bases().filter(|(id, _)| *id > marks.last_base).collect();
+    bases.sort_by_key(|(id, _)| *id);
+    for (id, base) in bases {
+        buf.clear();
+        persist::encode_base(id, base, &mut buf);
+        heap.insert(&buf)?;
+    }
+    for name in &names {
+        let from = marks.tables.get(*name).copied().unwrap_or(0);
+        for t in &tables[*name].tuples[from..] {
+            buf.clear();
+            persist::encode_tuple(name, t, &mut buf);
+            heap.insert(&buf)?;
+        }
+    }
+    heap.pool().flush()?;
+    let dirty = heap.pool().dirty_pages_since_mark();
+    let total = heap.page_count() as u64;
+    let mut store = heap.into_store()?;
+    let mut pages = Vec::with_capacity(dirty.len());
+    for pid in dirty {
+        let mut page = orion_storage::Page::new();
+        store.read_page(pid, &mut page)?;
+        pages.push((pid, page));
+    }
+    io.ckpt_pages_copied.add(pages.len() as u64);
+    io.ckpt_pages_skipped.add(total.saturating_sub(pages.len() as u64));
+    // The delta rename is the commit point of this checkpoint.
+    DeltaFile { epoch: new_epoch, pages }.write_atomic(dir)?;
+    *epoch = new_epoch;
+    *marks = CkptMarks::capture(tables, reg);
+    wal.reset()?;
+    set_epoch_stamp(wal, new_epoch)?;
+    Ok(())
+}
+
+/// Mutable database state behind [`SharedDurableDb`]'s core lock.
+#[derive(Debug)]
+struct SharedCore {
+    dir: PathBuf,
+    tables: HashMap<String, Relation>,
+    reg: HistoryRegistry,
+    epoch: u64,
+    marks: CkptMarks,
+    /// Inserts whose in-memory mutation has been applied but whose WAL
+    /// commit has not yet resolved. Checkpoints wait for zero: a snapshot
+    /// taken mid-commit could capture a tuple that then fails its commit
+    /// and rolls back — durable state would diverge from every replay.
+    in_flight: usize,
+}
+
+#[derive(Debug)]
+struct SharedInner {
+    core: Mutex<SharedCore>,
+    /// Signalled each time `in_flight` drops to zero.
+    drained: Condvar,
+    wal: GroupWal,
+    recovery: RecoveryReport,
+    io: Arc<IoStats>,
+}
+
+/// A [`DurableDb`] behind `&self` methods, safe to share across threads
+/// (`Clone` + `Send` + `Sync`): the in-memory mutation happens under a
+/// core mutex, but the WAL commit happens **outside** it, so concurrent
+/// inserts pile into the [`GroupWal`]'s batch and share fsyncs — the
+/// whole point of group commit. Obtain one via [`DurableDb::into_shared`].
+#[derive(Debug, Clone)]
+pub struct SharedDurableDb {
+    inner: Arc<SharedInner>,
+}
+
+impl SharedDurableDb {
+    /// Opens the database in `dir` directly in shared mode.
+    pub fn open(dir: &Path, cfg: GroupCommitConfig) -> Result<Self> {
+        Ok(DurableDb::open_with(dir, cfg)?.into_shared())
+    }
+
+    /// Converts back into an exclusive [`DurableDb`] handle. Fails if
+    /// other clones of this handle are still alive.
+    pub fn into_db(self) -> std::result::Result<DurableDb, SharedDurableDb> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => {
+                let core = inner.core.into_inner();
+                Ok(DurableDb {
+                    dir: core.dir,
+                    tables: core.tables,
+                    reg: core.reg,
+                    wal: inner.wal,
+                    epoch: core.epoch,
+                    marks: core.marks,
+                    recovery: inner.recovery,
+                    io: inner.io,
+                })
+            }
+            Err(inner) => Err(SharedDurableDb { inner }),
+        }
+    }
+
+    /// Creates a table and durably logs its schema. The core lock is held
+    /// across the commit so no concurrent insert into the new table can
+    /// enqueue its tuple record ahead of the schema record.
+    pub fn create_table(&self, name: &str, schema: ProbSchema) -> Result<()> {
+        let mut core = self.inner.core.lock();
+        if core.tables.contains_key(name) {
+            return Err(EngineError::Schema(format!("table '{name}' already exists")));
+        }
+        let rel = Relation::new(name, schema);
+        let mut buf = Vec::new();
+        persist::encode_schema(&rel, &mut buf);
+        self.inner.wal.commit(&[buf])?;
+        core.tables.insert(name.to_string(), rel);
+        Ok(())
+    }
+
+    /// Inserts a tuple (see [`Relation::insert`]) and commits it through
+    /// the group-commit pipeline. Blocks until the commit is durable; on
+    /// error the in-memory mutation is rolled back. Concurrent callers
+    /// share fsyncs.
+    pub fn insert(
+        &self,
+        table: &str,
+        certain: &[(&str, Value)],
+        uncertain: Vec<(Vec<&str>, JointPdf)>,
+    ) -> Result<()> {
+        self.insert_with(table, |rel, reg| rel.insert(reg, certain, uncertain))
+    }
+
+    /// Inserts a tuple of independent 1-D pdfs (see
+    /// [`Relation::insert_simple`]) through the group-commit pipeline.
+    pub fn insert_simple(
+        &self,
+        table: &str,
+        certain: &[(&str, Value)],
+        pdfs: &[(&str, Pdf1)],
+    ) -> Result<()> {
+        self.insert_with(table, |rel, reg| rel.insert_simple(reg, certain, pdfs))
+    }
+
+    fn insert_with(
+        &self,
+        table: &str,
+        mutate: impl FnOnce(&mut Relation, &mut HistoryRegistry) -> Result<()>,
+    ) -> Result<()> {
+        // Phase 1 (under the core lock): apply the in-memory mutation and
+        // encode its WAL unit.
+        let (payloads, before) = {
+            let mut core = self.inner.core.lock();
+            let core = &mut *core;
+            let before = core.reg.last_id();
+            let rel = core
+                .tables
+                .get_mut(table)
+                .ok_or_else(|| EngineError::Operator(format!("unknown table '{table}'")))?;
+            mutate(rel, &mut core.reg)?;
+            let payloads = match encode_insert_payloads(&core.tables, &core.reg, table, before) {
+                Ok(p) => p,
+                Err(e) => {
+                    rollback_insert(core, table, before, None);
+                    return Err(e);
+                }
+            };
+            core.in_flight += 1;
+            (payloads, before)
+        };
+        // Phase 2 (lock released): block in the group-commit pipeline.
+        // Other inserters run phase 1 meanwhile and join the same batch.
+        let committed = self.inner.wal.commit(&payloads);
+        // Phase 3: resolve. A failed commit rolls the mutation back by
+        // identity — other inserts may have appended tuples since.
+        let mut core = self.inner.core.lock();
+        if committed.is_err() {
+            let tuple_bytes = payloads.last().expect("insert unit has a tuple record");
+            rollback_insert(&mut core, table, before, Some(tuple_bytes));
+        }
+        core.in_flight -= 1;
+        if core.in_flight == 0 {
+            self.inner.drained.notify_all();
+        }
+        drop(core);
+        committed.map_err(EngineError::from)
+    }
+
+    /// Runs `f` with read access to the tables and registry (for queries).
+    /// Do not block inside `f`: the core lock stalls every writer.
+    pub fn with_tables<R>(
+        &self,
+        f: impl FnOnce(&HashMap<String, Relation>, &HistoryRegistry) -> R,
+    ) -> R {
+        let core = self.inner.core.lock();
+        f(&core.tables, &core.reg)
+    }
+
+    /// Full checkpoint (see [`DurableDb::checkpoint`]). Waits for every
+    /// in-flight insert to resolve first, so the snapshot never captures a
+    /// tuple whose commit could still fail and roll back.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut core = self.lock_drained();
+        let core = &mut *core;
+        checkpoint_full(
+            &core.dir,
+            &core.tables,
+            &core.reg,
+            &mut core.epoch,
+            &mut core.marks,
+            &self.inner.wal,
+            &self.inner.io,
+        )
+    }
+
+    /// Incremental checkpoint (see
+    /// [`DurableDb::checkpoint_incremental`]), after draining in-flight
+    /// inserts.
+    pub fn checkpoint_incremental(&self) -> Result<()> {
+        let mut core = self.lock_drained();
+        let core = &mut *core;
+        checkpoint_incremental(
+            &core.dir,
+            &core.tables,
+            &core.reg,
+            &mut core.epoch,
+            &mut core.marks,
+            &self.inner.wal,
+            &self.inner.io,
+        )
+    }
+
+    /// Acquires the core lock with no insert in flight. Holding the lock
+    /// keeps new inserts out of phase 1, so the WAL pipeline is drained
+    /// for as long as the guard lives.
+    fn lock_drained(&self) -> parking_lot::MutexGuard<'_, SharedCore> {
+        let mut core = self.inner.core.lock();
+        while core.in_flight > 0 {
+            self.inner.drained.wait(&mut core);
+        }
+        core
+    }
+
+    /// What recovery did when the underlying database was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.inner.recovery
+    }
+
+    /// Group-commit counters (fsyncs, batches, fsyncs saved).
+    pub fn wal_stats(&self) -> Arc<WalStats> {
+        self.inner.wal.stats()
+    }
+
+    /// Checkpoint I/O counters.
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.inner.io)
+    }
+
+    /// Current group-commit tunables.
+    pub fn group_commit_config(&self) -> GroupCommitConfig {
+        self.inner.wal.config()
+    }
+
+    /// Replaces the group-commit tunables.
+    pub fn set_group_commit_config(&self, cfg: GroupCommitConfig) {
+        self.inner.wal.set_config(cfg);
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.inner.wal.len()
+    }
+
+    /// Checkpoint epoch of the current snapshot chain.
+    pub fn epoch(&self) -> u64 {
+        self.inner.core.lock().epoch
+    }
+
+    /// Verifies structural invariants; see [`check_invariants`].
+    pub fn check_invariants(&self) -> Result<()> {
+        let core = self.inner.core.lock();
+        check_invariants(&core.tables, &core.reg)
+    }
+
+    /// Fault injection: the `nth` next WAL record fails its commit.
+    #[cfg(feature = "failpoints")]
+    pub fn inject_wal_append_failure(&self, nth: u32) {
+        self.inner.wal.fail_nth_record(nth);
+    }
+
+    /// Fault injection: the next WAL fsync fails, aborting its whole
+    /// batch.
+    #[cfg(feature = "failpoints")]
+    pub fn inject_wal_sync_failure(&self) {
+        self.inner.wal.fail_next_sync();
+    }
+}
+
+/// Undoes the in-memory effects of one shared-mode insert: removes its
+/// tuple **by identity** (re-encoding candidates and matching the exact
+/// WAL bytes — concurrent inserts may have appended later tuples, so "pop
+/// the last" would remove the wrong one), releases the references its
+/// nodes took, and deletes the bases it registered (`before+1..=last`,
+/// unique to this insert because id allocation is monotonic under the
+/// core lock). `tuple_bytes: None` skips the tuple search (the mutation
+/// failed before a tuple was encoded).
+fn rollback_insert(core: &mut SharedCore, table: &str, before: PdfId, tuple_bytes: Option<&[u8]>) {
+    if let Some(rel) = core.tables.get_mut(table) {
+        let popped: Option<ProbTuple> = tuple_bytes.and_then(|bytes| {
+            rel.tuples
+                .iter()
+                .rposition(|t| {
+                    let mut buf = Vec::new();
+                    persist::encode_tuple(table, t, &mut buf);
+                    buf == bytes
+                })
+                .map(|i| rel.tuples.remove(i))
+        });
+        if let Some(t) = popped {
+            for n in &t.nodes {
+                core.reg.release_refs(&n.ancestors);
+            }
+        }
+    }
+    for id in before + 1..=core.reg.last_id() {
+        core.reg.delete_base(id);
     }
 }
 
@@ -549,6 +1098,151 @@ mod tests {
         assert!(s.contains("\"wal_records_replayed\":0"));
         assert!(s.contains("\"snapshot_loaded\":false"));
         assert!(s.contains("\"bases\":1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_checkpoint_folds_deltas_on_recovery() {
+        let dir = temp_dir("incr_fold");
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 2);
+            // First incremental falls back to full (no base yet).
+            db.checkpoint_incremental().unwrap();
+            assert_eq!(db.epoch(), 1);
+            assert!(DeltaFile::list(&dir).unwrap().is_empty(), "first ckpt is full");
+            insert_n(&mut db, 2, 2);
+            db.checkpoint_incremental().unwrap();
+            assert_eq!(db.epoch(), 2);
+            assert_eq!(db.wal_len(), 0, "incremental ckpt resets the WAL");
+            insert_n(&mut db, 4, 1);
+            db.checkpoint_incremental().unwrap();
+            assert_eq!(DeltaFile::list(&dir).unwrap().len(), 2, "one delta per incremental");
+            let io = db.io_stats().snapshot();
+            assert!(io.ckpt_pages_copied > 0);
+            insert_n(&mut db, 5, 1); // tail insert riding only the WAL
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.recovery().deltas_folded, 2);
+        assert_eq!(db.recovery().wal_records_replayed, 2, "base + tuple after last ckpt");
+        assert_eq!(db.table("readings").unwrap().len(), 6);
+        db.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_checkpoint_skips_clean_pages() {
+        let dir = temp_dir("incr_skip");
+        let mut db = DurableDb::open(&dir).unwrap();
+        db.create_table("readings", schema()).unwrap();
+        // Enough tuples to span several pages.
+        insert_n(&mut db, 0, 400);
+        db.checkpoint().unwrap();
+        insert_n(&mut db, 400, 1);
+        db.checkpoint_incremental().unwrap();
+        let io = db.io_stats().snapshot();
+        assert!(
+            io.ckpt_pages_skipped > 0,
+            "one small insert must not re-copy the whole heap: {io:?}"
+        );
+        assert!(io.ckpt_pages_copied < io.ckpt_pages_copied + io.ckpt_pages_skipped);
+        // And the delta is much smaller than the base snapshot.
+        let (_, delta_path) = DeltaFile::list(&dir).unwrap().pop().unwrap();
+        let delta_len = std::fs::metadata(&delta_path).unwrap().len();
+        let base_len = std::fs::metadata(dir.join(SNAPSHOT_FILE)).unwrap().len();
+        assert!(delta_len < base_len, "delta {delta_len} >= base {base_len}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_checkpoint_is_noop_without_new_work() {
+        let dir = temp_dir("incr_noop");
+        let mut db = DurableDb::open(&dir).unwrap();
+        db.create_table("readings", schema()).unwrap();
+        insert_n(&mut db, 0, 1);
+        db.checkpoint().unwrap();
+        let epoch = db.epoch();
+        db.checkpoint_incremental().unwrap();
+        assert_eq!(db.epoch(), epoch, "nothing new → no epoch bump");
+        assert!(DeltaFile::list(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_checkpoint_subsumes_delta_chain() {
+        let dir = temp_dir("full_subsumes");
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 1);
+            db.checkpoint().unwrap();
+            insert_n(&mut db, 1, 1);
+            db.checkpoint_incremental().unwrap();
+            insert_n(&mut db, 2, 1);
+            db.checkpoint().unwrap();
+            assert!(DeltaFile::list(&dir).unwrap().is_empty(), "full ckpt removes deltas");
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.recovery().deltas_folded, 0);
+        assert_eq!(db.table("readings").unwrap().len(), 3);
+        db.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn new_table_after_checkpoint_lands_in_next_delta() {
+        let dir = temp_dir("incr_new_table");
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 1);
+            db.checkpoint().unwrap();
+            db.create_table("extra", schema()).unwrap();
+            db.insert_simple("extra", &[("id", Value::Int(9))], &[("v", Pdf1::certain(9.0))])
+                .unwrap();
+            db.checkpoint_incremental().unwrap();
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.recovery().deltas_folded, 1);
+        assert_eq!(db.table("extra").unwrap().len(), 1);
+        assert_eq!(db.table("readings").unwrap().len(), 1);
+        db.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_handle_round_trips_concurrent_inserts() {
+        let dir = temp_dir("shared");
+        let db = DurableDb::open(&dir).unwrap();
+        let shared = db.into_shared();
+        shared.create_table("readings", schema()).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = shared.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        s.insert_simple(
+                            "readings",
+                            &[("id", Value::Int(t * 100 + i))],
+                            &[("v", Pdf1::gaussian(i as f64, 1.0).unwrap())],
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in threads {
+            h.join().unwrap();
+        }
+        shared.check_invariants().unwrap();
+        shared.checkpoint_incremental().unwrap();
+        let db = shared.into_db().expect("sole handle");
+        assert_eq!(db.table("readings").unwrap().len(), 40);
+        drop(db);
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.table("readings").unwrap().len(), 40);
+        db.check_invariants().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,267 @@
+//! Incremental-checkpoint delta files: the pages dirtied since the last
+//! checkpoint, stamped with the epoch they advance the snapshot chain to.
+//!
+//! File layout (little-endian):
+//! ```text
+//! [0..4)    magic "ODLT"
+//! [4..8)    format version (u32)
+//! [8..16)   checkpoint epoch this delta advances to (u64)
+//! [16..20)  page count (u32)
+//! [20..24)  CRC32 of bytes [0..20) — header integrity
+//! then per page: [page id (u32)][PAGE_SIZE page image]
+//! ```
+//!
+//! Page images carry their ordinary CRC32 seals, so a torn page inside a
+//! delta is detected the same way a torn snapshot page is. Writing is
+//! crash-atomic with the PR 2 discipline: temp file → fsync → rename →
+//! directory fsync; a crash mid-write leaves only a `.tmp` that loaders
+//! ignore and checkpointers overwrite.
+//!
+//! Recovery folds the chain in epoch order: base snapshot pages first,
+//! each delta's pages overlaid on top (higher epoch wins per page), and
+//! only then is the folded store scanned as one heap — scanning base and
+//! deltas separately would double-count records living on a page that a
+//! delta re-images.
+
+use crate::checksum::crc32;
+use crate::file::PageId;
+use crate::page::{Page, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a delta file.
+pub const DELTA_MAGIC: [u8; 4] = *b"ODLT";
+
+/// Current delta format version.
+pub const DELTA_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 24;
+
+/// An incremental checkpoint: the dirty pages that, overlaid on the
+/// snapshot chain at `epoch − 1`, produce the state at `epoch`.
+#[derive(Clone)]
+pub struct DeltaFile {
+    /// Epoch this delta advances the chain to.
+    pub epoch: u64,
+    /// Re-imaged pages, sorted by id.
+    pub pages: Vec<(PageId, Page)>,
+}
+
+impl DeltaFile {
+    /// Canonical file name for the delta advancing to `epoch`.
+    pub fn file_name(epoch: u64) -> String {
+        format!("delta-{epoch:010}.db")
+    }
+
+    /// Canonical path of the delta advancing to `epoch` under `dir`.
+    pub fn path_for(dir: &Path, epoch: u64) -> PathBuf {
+        dir.join(Self::file_name(epoch))
+    }
+
+    /// Parses a canonical delta file name back to its epoch.
+    pub fn epoch_of(name: &str) -> Option<u64> {
+        let rest = name.strip_prefix("delta-")?.strip_suffix(".db")?;
+        rest.parse().ok()
+    }
+
+    /// Serializes the delta (header + page images).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.pages.len() * (4 + PAGE_SIZE));
+        out.extend_from_slice(&DELTA_MAGIC);
+        out.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.pages.len() as u32).to_le_bytes());
+        let hcrc = crc32(&out[..HEADER_LEN - 4]);
+        out.extend_from_slice(&hcrc.to_le_bytes());
+        for (id, page) in &self.pages {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(page.bytes());
+        }
+        out
+    }
+
+    /// Decodes and integrity-checks a serialized delta.
+    pub fn decode(bytes: &[u8]) -> std::io::Result<DeltaFile> {
+        let corrupt = |msg: &str| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("delta file: {msg}"))
+        };
+        let header = bytes.get(..HEADER_LEN).ok_or_else(|| corrupt("truncated header"))?;
+        if header[..4] != DELTA_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != DELTA_VERSION {
+            return Err(corrupt(&format!("unsupported version {version}")));
+        }
+        let epoch = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes"));
+        if crc32(&header[..HEADER_LEN - 4]) != stored_crc {
+            return Err(corrupt("header checksum mismatch"));
+        }
+        let body = &bytes[HEADER_LEN..];
+        let entry = 4 + PAGE_SIZE;
+        if body.len() != count * entry {
+            return Err(corrupt(&format!(
+                "body holds {} bytes, header promises {} pages",
+                body.len(),
+                count
+            )));
+        }
+        let mut pages = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = i * entry;
+            let id = u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes"));
+            let image: [u8; PAGE_SIZE] =
+                body[at + 4..at + entry].try_into().expect("PAGE_SIZE bytes");
+            let page = Page::from_bytes(&image);
+            if !page.checksum_ok() {
+                return Err(corrupt(&format!("torn page {id} inside delta")));
+            }
+            pages.push((id, page));
+        }
+        Ok(DeltaFile { epoch, pages })
+    }
+
+    /// Writes the delta crash-atomically under `dir`: temp file → fsync →
+    /// rename to the canonical name → directory fsync. Returns the final
+    /// path.
+    pub fn write_atomic(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let final_path = Self::path_for(dir, self.epoch);
+        let tmp_path = dir.join(format!("{}.tmp", Self::file_name(self.epoch)));
+        {
+            let mut f =
+                OpenOptions::new().write(true).create(true).truncate(true).open(&tmp_path)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        if let Ok(d) = File::open(dir) {
+            d.sync_all()?;
+        }
+        Ok(final_path)
+    }
+
+    /// Reads and validates the delta at `path`.
+    pub fn read(path: &Path) -> std::io::Result<DeltaFile> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Self::decode(&bytes)
+    }
+
+    /// Lists the canonical delta files under `dir`, sorted by epoch.
+    /// `.tmp` leftovers from a crashed checkpoint are ignored.
+    pub fn list(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(epoch) = Self::epoch_of(name) {
+                out.push((epoch, entry.path()));
+            }
+        }
+        out.sort_by_key(|(e, _)| *e);
+        Ok(out)
+    }
+
+    /// Deletes every delta file (and stale `.tmp`) under `dir` — a full
+    /// checkpoint has subsumed the chain. Best-effort on the `.tmp`s.
+    pub fn remove_all(dir: &Path) -> std::io::Result<usize> {
+        let mut removed = 0;
+        for (_, path) in Self::list(dir)? {
+            std::fs::remove_file(&path)?;
+            removed += 1;
+        }
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(name) = name.to_str() {
+                if name.starts_with("delta-") && name.ends_with(".tmp") {
+                    std::fs::remove_file(entry.path()).ok();
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: u64) -> DeltaFile {
+        let mut a = Page::new();
+        a.insert(b"page-a").unwrap();
+        a.seal();
+        let mut b = Page::new();
+        b.insert(b"page-b").unwrap();
+        b.seal();
+        DeltaFile { epoch, pages: vec![(0, a), (3, b)] }
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("orion_delta_test").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let d = sample(7);
+        let back = DeltaFile::decode(&d.encode()).unwrap();
+        assert_eq!(back.epoch, 7);
+        assert_eq!(back.pages.len(), 2);
+        assert_eq!(back.pages[0].0, 0);
+        assert_eq!(back.pages[1].0, 3);
+        assert_eq!(back.pages[1].1.get(0), Some(&b"page-b"[..]));
+    }
+
+    #[test]
+    fn every_truncation_and_corruption_is_detected() {
+        let bytes = sample(2).encode();
+        for cut in 0..bytes.len() {
+            assert!(DeltaFile::decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Flip each header byte: must never decode to a *different* valid
+        // delta silently (the header CRC catches it).
+        for i in 0..HEADER_LEN {
+            let mut b = bytes.clone();
+            b[i] ^= 0xFF;
+            assert!(DeltaFile::decode(&b).is_err(), "header byte {i} flip accepted");
+        }
+        // Flip a payload byte inside a page image: page seal catches it.
+        let mut b = bytes.clone();
+        let mid = HEADER_LEN + 4 + PAGE_SIZE / 2;
+        b[mid] ^= 0xFF;
+        assert!(DeltaFile::decode(&b).is_err());
+    }
+
+    #[test]
+    fn atomic_write_list_read_remove() {
+        let dir = tempdir("rw");
+        sample(1).write_atomic(&dir).unwrap();
+        sample(2).write_atomic(&dir).unwrap();
+        // A stale tmp from a crashed checkpoint is invisible to list().
+        std::fs::write(dir.join("delta-0000000003.db.tmp"), b"garbage").unwrap();
+        let listed = DeltaFile::list(&dir).unwrap();
+        assert_eq!(listed.iter().map(|(e, _)| *e).collect::<Vec<_>>(), vec![1, 2]);
+        let d = DeltaFile::read(&listed[1].1).unwrap();
+        assert_eq!(d.epoch, 2);
+        assert_eq!(DeltaFile::remove_all(&dir).unwrap(), 2);
+        assert!(DeltaFile::list(&dir).unwrap().is_empty());
+        assert!(!dir.join("delta-0000000003.db.tmp").exists(), "tmp swept");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_name_round_trip() {
+        assert_eq!(DeltaFile::file_name(42), "delta-0000000042.db");
+        assert_eq!(DeltaFile::epoch_of("delta-0000000042.db"), Some(42));
+        assert_eq!(DeltaFile::epoch_of("delta-junk.db"), None);
+        assert_eq!(DeltaFile::epoch_of("snapshot.db"), None);
+        assert_eq!(DeltaFile::epoch_of("delta-0000000042.db.tmp"), None);
+    }
+}

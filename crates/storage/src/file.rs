@@ -26,6 +26,11 @@ pub struct IoStats {
     pub torn_pages: Counter,
     /// Page writes that returned an I/O error (the frame stays dirty).
     pub write_errors: Counter,
+    /// Pages copied into an incremental checkpoint delta file.
+    pub ckpt_pages_copied: Counter,
+    /// Clean pages an incremental checkpoint skipped (the full-checkpoint
+    /// cost it avoided).
+    pub ckpt_pages_skipped: Counter,
 }
 
 impl IoStats {
@@ -38,6 +43,8 @@ impl IoStats {
         self.evictions.reset();
         self.torn_pages.reset();
         self.write_errors.reset();
+        self.ckpt_pages_copied.reset();
+        self.ckpt_pages_skipped.reset();
     }
 
     /// A point-in-time copy of the counters.
@@ -50,6 +57,8 @@ impl IoStats {
             evictions: self.evictions.get(),
             torn_pages: self.torn_pages.get(),
             write_errors: self.write_errors.get(),
+            ckpt_pages_copied: self.ckpt_pages_copied.get(),
+            ckpt_pages_skipped: self.ckpt_pages_skipped.get(),
         }
     }
 }
@@ -64,6 +73,8 @@ pub struct IoSnapshot {
     pub evictions: u64,
     pub torn_pages: u64,
     pub write_errors: u64,
+    pub ckpt_pages_copied: u64,
+    pub ckpt_pages_skipped: u64,
 }
 
 impl IoSnapshot {
@@ -77,6 +88,8 @@ impl IoSnapshot {
             .with("evictions", self.evictions)
             .with("torn_pages", self.torn_pages)
             .with("write_errors", self.write_errors)
+            .with("ckpt_pages_copied", self.ckpt_pages_copied)
+            .with("ckpt_pages_skipped", self.ckpt_pages_skipped)
     }
 }
 
@@ -309,5 +322,7 @@ mod tests {
         assert!(text.contains("\"cache_misses\":0"));
         assert!(text.contains("\"torn_pages\":2"));
         assert!(text.contains("\"write_errors\":0"));
+        assert!(text.contains("\"ckpt_pages_copied\":0"));
+        assert!(text.contains("\"ckpt_pages_skipped\":0"));
     }
 }

@@ -18,6 +18,7 @@
 pub mod buffer;
 pub mod checksum;
 pub mod codec;
+pub mod delta;
 #[cfg(feature = "failpoints")]
 pub mod faults;
 pub mod file;
@@ -26,9 +27,10 @@ pub mod page;
 pub mod wal;
 
 pub use buffer::BufferPool;
+pub use delta::DeltaFile;
 #[cfg(feature = "failpoints")]
 pub use faults::{Fault, FaultPlan, FaultyStore};
 pub use file::{FileStore, IoSnapshot, IoStats, MemStore, PageId, PageStore};
 pub use heap::{HeapFile, RecordId};
 pub use page::{ChecksumMismatch, Page, PAGE_SIZE};
-pub use wal::{Wal, WalReplay};
+pub use wal::{GroupCommitConfig, GroupWal, Wal, WalReplay, WalStats};

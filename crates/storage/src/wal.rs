@@ -16,11 +16,24 @@
 //! first incomplete or CRC-mismatched frame — the signature of a crash
 //! mid-append — then **truncates the file back to the last good frame**,
 //! discarding trailing garbage so later appends never interleave with it.
+//!
+//! **Group commit.** [`GroupWal`] wraps a [`Wal`] with a leader/follower
+//! commit pipeline: concurrent committers enqueue framed records under a
+//! queue mutex, exactly one of them becomes the *leader*, drains the whole
+//! queue, performs a single contiguous `append + fsync` for the group, and
+//! wakes the followers blocked on their commit sequence number through a
+//! condvar. While the leader is inside the fsync the queue mutex is free,
+//! so late arrivals keep enqueuing and naturally form the next group —
+//! under concurrency one fsync covers many commits.
 
 use crate::checksum::crc32;
+use orion_obs::{json, Counter};
+use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Frame header size: payload length + CRC32.
 pub const FRAME_HEADER: usize = 8;
@@ -125,21 +138,42 @@ impl Wal {
             }
             self.fail_append_in = Some(n - 1);
         }
+        // One contiguous write per frame: header and payload are assembled
+        // first so a crash can tear at most this single append.
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        Self::frame_into(payload, &mut frame)?;
+        self.append_frames(&frame)
+    }
+
+    /// Frames one payload (length + CRC32 header) into `out`, rejecting
+    /// payloads over [`MAX_RECORD`].
+    pub fn frame_into(payload: &[u8], out: &mut Vec<u8>) -> std::io::Result<()> {
         if payload.len() > MAX_RECORD {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 format!("wal record of {} bytes exceeds MAX_RECORD", payload.len()),
             ));
         }
-        // One contiguous write per frame: header and payload are assembled
-        // first so a crash can tear at most this single append.
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Appends pre-framed bytes (one or more [`Wal::frame_into`] frames) in
+    /// a **single contiguous write** — the physical half of group commit.
+    /// Not yet durable; see [`Wal::sync`]. Returns the log length after the
+    /// append. On a failed write the tracked length is unchanged, so the
+    /// next append overwrites the torn tail (see [`Wal::append`]).
+    pub fn append_frames(&mut self, frames: &[u8]) -> std::io::Result<u64> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "wal poisoned: a truncation failed and stale frames may remain on disk",
+            ));
+        }
         self.file.seek(SeekFrom::Start(self.len))?;
-        self.file.write_all(&frame)?;
-        self.len += frame.len() as u64;
+        self.file.write_all(frames)?;
+        self.len += frames.len() as u64;
         Ok(self.len)
     }
 
@@ -204,6 +238,355 @@ impl Wal {
     #[cfg(feature = "failpoints")]
     pub fn fail_next_sync(&mut self) {
         self.fail_next_sync = true;
+    }
+}
+
+/// Counters for the group-commit pipeline, shared with the stats JSON.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Caller records made durable (epoch stamps not counted).
+    pub records_appended: Counter,
+    /// Commit calls that went through the group pipeline.
+    pub group_commit_commits: Counter,
+    /// Leader flushes: one batched `append + fsync` per batch.
+    pub group_commit_batches: Counter,
+    /// Physical fsyncs issued (both group and per-commit modes).
+    pub fsyncs: Counter,
+    /// Fsyncs avoided by batching: `commits − 1` for every multi-commit
+    /// batch. The headline group-commit win.
+    pub fsyncs_saved: Counter,
+}
+
+impl WalStats {
+    /// Snapshot as a JSON object (keys are stable; tests grep them).
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object()
+            .with("records_appended", self.records_appended.get())
+            .with("group_commit_commits", self.group_commit_commits.get())
+            .with("group_commit_batches", self.group_commit_batches.get())
+            .with("fsyncs", self.fsyncs.get())
+            .with("fsyncs_saved", self.fsyncs_saved.get())
+    }
+}
+
+/// Tunables for the group-commit pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// When `false`, every commit performs its own `append + fsync`
+    /// (the PR 2 behaviour, and the bench baseline).
+    pub enabled: bool,
+    /// How long a leader waits for stragglers before flushing, **but only
+    /// when siblings are already queued** (cf. Postgres `commit_siblings`):
+    /// a lone committer flushes immediately, so sequential workloads pay
+    /// no latency tax. `Duration::ZERO` disables the wait entirely —
+    /// batching then comes only from commits arriving while a leader's
+    /// fsync is in flight, which is already most of the win.
+    pub window: Duration,
+    /// A leader flushes as soon as the queued frames reach this many
+    /// bytes, even inside the batching window.
+    pub max_batch_bytes: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig { enabled: true, window: Duration::ZERO, max_batch_bytes: 1 << 20 }
+    }
+}
+
+/// A commit range that failed its batched flush; each member commit
+/// reconstructs the error from `kind`/`msg` when it wakes.
+#[derive(Debug)]
+struct FailedRange {
+    lo: u64,
+    hi: u64,
+    kind: std::io::ErrorKind,
+    msg: String,
+    /// Commits in `[lo, hi]` that have not yet observed the failure; the
+    /// range is dropped when this reaches zero.
+    unclaimed: u64,
+}
+
+/// Queue state shared by all committers (guarded by `GroupWal::queue`).
+#[derive(Debug, Default)]
+struct Queue {
+    /// Framed bytes awaiting the next leader flush.
+    pending: Vec<u8>,
+    /// Caller records represented in `pending`.
+    pending_records: u64,
+    /// Commits represented in `pending`.
+    pending_commits: u64,
+    /// Sequence number handed to the most recent commit.
+    next_seq: u64,
+    /// Every commit `≤ durable_seq` has been resolved (flushed or failed).
+    durable_seq: u64,
+    /// Whether some committer is currently the leader (possibly doing I/O
+    /// with this mutex released).
+    leader: bool,
+    /// Framed epoch-stamp record a leader prepends when it finds the log
+    /// empty, so every WAL generation opens with its checkpoint epoch.
+    stamp: Option<Vec<u8>>,
+    /// Failed batches whose members have not all woken yet.
+    failed: Vec<FailedRange>,
+    #[cfg(feature = "failpoints")]
+    fail_record_in: Option<u32>,
+}
+
+impl Queue {
+    /// If `seq` belongs to a failed batch, claims and returns its error.
+    fn take_failure(&mut self, seq: u64) -> Option<std::io::Error> {
+        let idx = self.failed.iter().position(|r| r.lo <= seq && seq <= r.hi)?;
+        let range = &mut self.failed[idx];
+        let err = std::io::Error::new(range.kind, range.msg.clone());
+        range.unclaimed -= 1;
+        if range.unclaimed == 0 {
+            self.failed.swap_remove(idx);
+        }
+        Some(err)
+    }
+}
+
+/// A [`Wal`] wrapped in the leader/follower group-commit pipeline.
+///
+/// [`GroupWal::commit`] is all-or-nothing for one caller's record set: the
+/// records are framed, enqueued as a unit, flushed by whichever committer
+/// is elected leader, and on a failed flush the whole batch is truncated
+/// away — so callers never see a partially durable commit.
+#[derive(Debug)]
+pub struct GroupWal {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    io: Mutex<Wal>,
+    cfg: Mutex<GroupCommitConfig>,
+    stats: Arc<WalStats>,
+}
+
+impl GroupWal {
+    /// Wraps an open [`Wal`] with the given tunables.
+    pub fn new(wal: Wal, cfg: GroupCommitConfig) -> GroupWal {
+        GroupWal {
+            queue: Mutex::new(Queue::default()),
+            cond: Condvar::new(),
+            io: Mutex::new(wal),
+            cfg: Mutex::new(cfg),
+            stats: Arc::new(WalStats::default()),
+        }
+    }
+
+    /// Current tunables.
+    pub fn config(&self) -> GroupCommitConfig {
+        *self.cfg.lock()
+    }
+
+    /// Replaces the tunables (takes effect for subsequent commits).
+    pub fn set_config(&self, cfg: GroupCommitConfig) {
+        *self.cfg.lock() = cfg;
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> Arc<WalStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Sets (or clears) the epoch-stamp payload prepended to an empty log.
+    pub fn set_stamp(&self, payload: Option<&[u8]>) -> std::io::Result<()> {
+        let framed = match payload {
+            Some(p) => {
+                let mut f = Vec::with_capacity(FRAME_HEADER + p.len());
+                Wal::frame_into(p, &mut f)?;
+                Some(f)
+            }
+            None => None,
+        };
+        self.queue.lock().stamp = framed;
+        Ok(())
+    }
+
+    /// Commits `payloads` as one atomic unit: all records durable on `Ok`,
+    /// none durable on `Err`. Blocks until a leader (possibly this caller)
+    /// has flushed — or failed to flush — the batch containing them.
+    pub fn commit(&self, payloads: &[Vec<u8>]) -> std::io::Result<()> {
+        // Frame outside any lock; oversized payloads fail only this caller.
+        let mut frames = Vec::new();
+        for p in payloads {
+            Wal::frame_into(p, &mut frames)?;
+        }
+
+        let mut q = self.queue.lock();
+        // Injected failures are consumed per *record* at enqueue time so the
+        // nth-append failpoint keeps PR 2 semantics under batching.
+        #[cfg(feature = "failpoints")]
+        for _ in payloads {
+            if let Some(n) = q.fail_record_in {
+                if n == 0 {
+                    q.fail_record_in = None;
+                    return Err(std::io::Error::other("injected wal append failure"));
+                }
+                q.fail_record_in = Some(n - 1);
+            }
+        }
+        let cfg = *self.cfg.lock();
+        if !cfg.enabled {
+            let stamp = q.stamp.clone();
+            drop(q);
+            self.stats.group_commit_commits.inc();
+            return self.flush_solo(&stamp, &frames, payloads.len() as u64);
+        }
+
+        q.pending.extend_from_slice(&frames);
+        q.pending_records += payloads.len() as u64;
+        q.pending_commits += 1;
+        q.next_seq += 1;
+        let my_seq = q.next_seq;
+        self.stats.group_commit_commits.inc();
+
+        loop {
+            if let Some(err) = q.take_failure(my_seq) {
+                return Err(err);
+            }
+            if q.durable_seq >= my_seq {
+                return Ok(());
+            }
+            if q.leader {
+                // A leader is flushing (or gathering); wait for its wakeup.
+                self.cond.wait(&mut q);
+                continue;
+            }
+            // Become the leader for everything queued so far.
+            q.leader = true;
+            if !cfg.window.is_zero()
+                && q.pending_commits > 1
+                && q.pending.len() < cfg.max_batch_bytes
+            {
+                // Siblings are queued: linger briefly so stragglers join
+                // this fsync instead of paying for their own.
+                self.cond.wait_for(&mut q, cfg.window);
+            }
+            let batch = std::mem::take(&mut q.pending);
+            let nrecords = std::mem::take(&mut q.pending_records);
+            let ncommits = std::mem::take(&mut q.pending_commits);
+            let hi = q.next_seq;
+            let lo = q.durable_seq + 1;
+            let stamp = q.stamp.clone();
+            drop(q);
+
+            // I/O happens with the queue mutex released: late arrivals keep
+            // enqueuing during the fsync and form the next batch.
+            let res = {
+                let mut wal = self.io.lock();
+                let start = wal.len();
+                let r = (|| {
+                    if wal.is_empty() {
+                        if let Some(s) = &stamp {
+                            wal.append_frames(s)?;
+                        }
+                    }
+                    wal.append_frames(&batch)?;
+                    wal.sync()
+                })();
+                if r.is_err() {
+                    // Abort the whole batch; commits in it report failure.
+                    // (Ignore a secondary truncation error — truncate_to
+                    // poisons the log, so later appends are refused.)
+                    let _ = wal.truncate_to(start);
+                }
+                r
+            };
+
+            q = self.queue.lock();
+            q.leader = false;
+            q.durable_seq = hi;
+            match &res {
+                Ok(()) => {
+                    self.stats.records_appended.add(nrecords);
+                    self.stats.fsyncs.inc();
+                    self.stats.group_commit_batches.inc();
+                    self.stats.fsyncs_saved.add(ncommits.saturating_sub(1));
+                }
+                Err(e) => {
+                    q.failed.push(FailedRange {
+                        lo,
+                        hi,
+                        kind: e.kind(),
+                        msg: e.to_string(),
+                        unclaimed: hi - lo + 1,
+                    });
+                }
+            }
+            self.cond.notify_all();
+            // Loop: `my_seq ≤ hi`, so the next iteration resolves this
+            // commit via `durable_seq` or `take_failure`.
+        }
+    }
+
+    /// The `enabled: false` path: one `append + fsync` per commit, under
+    /// the I/O lock only.
+    fn flush_solo(
+        &self,
+        stamp: &Option<Vec<u8>>,
+        frames: &[u8],
+        nrecords: u64,
+    ) -> std::io::Result<()> {
+        let mut wal = self.io.lock();
+        let start = wal.len();
+        let res = (|| {
+            if wal.is_empty() {
+                if let Some(s) = stamp {
+                    wal.append_frames(s)?;
+                }
+            }
+            wal.append_frames(frames)?;
+            wal.sync()
+        })();
+        match res {
+            Ok(()) => {
+                self.stats.records_appended.add(nrecords);
+                self.stats.fsyncs.inc();
+                Ok(())
+            }
+            Err(e) => {
+                let _ = wal.truncate_to(start);
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks until no commit is queued or being flushed. Callers that have
+    /// externally stopped new commits (e.g. a checkpoint holding the engine
+    /// lock) use this to drain the pipeline.
+    pub fn quiesce(&self) {
+        let mut q = self.queue.lock();
+        while q.pending_commits > 0 || q.leader {
+            self.cond.wait(&mut q);
+        }
+    }
+
+    /// Empties the log (after a checkpoint made its records redundant).
+    pub fn reset(&self) -> std::io::Result<()> {
+        self.io.lock().reset()
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.io.lock().len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fault injection: the `nth` caller record from now (0 = the very
+    /// next) fails its commit before anything is enqueued.
+    #[cfg(feature = "failpoints")]
+    pub fn fail_nth_record(&self, nth: u32) {
+        self.queue.lock().fail_record_in = Some(nth);
+    }
+
+    /// Fault injection: the next physical [`Wal::sync`] fails, failing the
+    /// whole batch that triggered it.
+    #[cfg(feature = "failpoints")]
+    pub fn fail_next_sync(&self) {
+        self.io.lock().fail_next_sync();
     }
 }
 
@@ -393,6 +776,109 @@ mod tests {
         let (mut wal, _) = Wal::open(&path).unwrap();
         let err = wal.append(&vec![0u8; MAX_RECORD + 1]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_round_trips_all_records() {
+        let path = temp("group_roundtrip.wal");
+        let (wal, _) = Wal::open(&path).unwrap();
+        let group = GroupWal::new(wal, GroupCommitConfig::default());
+        group.commit(&[b"a".to_vec(), b"b".to_vec()]).unwrap();
+        group.commit(&[b"c".to_vec()]).unwrap();
+        assert_eq!(group.stats().records_appended.get(), 3);
+        drop(group);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_concurrent_batches_save_fsyncs() {
+        let path = temp("group_threads.wal");
+        let (wal, _) = Wal::open(&path).unwrap();
+        let cfg = GroupCommitConfig {
+            window: std::time::Duration::from_millis(2),
+            ..GroupCommitConfig::default()
+        };
+        let group = Arc::new(GroupWal::new(wal, cfg));
+        let threads = 8;
+        let per = 25;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let g = Arc::clone(&group);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        g.commit(&[format!("t{t}-r{i}").into_bytes()]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = group.stats();
+        assert_eq!(stats.records_appended.get(), threads * per);
+        assert_eq!(stats.group_commit_commits.get(), threads * per);
+        assert_eq!(
+            stats.fsyncs.get() + stats.fsyncs_saved.get(),
+            threads * per,
+            "every commit either fsynced or rode a leader's fsync"
+        );
+        drop(group);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records.len() as u64, threads * per);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_stamp_prefixes_every_wal_generation() {
+        let path = temp("group_stamp.wal");
+        let (wal, _) = Wal::open(&path).unwrap();
+        let group = GroupWal::new(wal, GroupCommitConfig::default());
+        group.set_stamp(Some(b"epoch:7")).unwrap();
+        group.commit(&[b"x".to_vec()]).unwrap();
+        group.commit(&[b"y".to_vec()]).unwrap();
+        group.reset().unwrap();
+        group.commit(&[b"z".to_vec()]).unwrap();
+        drop(group);
+        let (_, replay) = Wal::open(&path).unwrap();
+        // After the reset the stamp is re-prepended; before it, only once.
+        assert_eq!(replay.records, vec![b"epoch:7".to_vec(), b"z".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn group_commit_failed_sync_aborts_whole_batch() {
+        let path = temp("group_sync_fail.wal");
+        let (wal, _) = Wal::open(&path).unwrap();
+        let group = GroupWal::new(wal, GroupCommitConfig::default());
+        group.commit(&[b"keep".to_vec()]).unwrap();
+        group.fail_next_sync();
+        let err = group.commit(&[b"lost1".to_vec(), b"lost2".to_vec()]).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        group.commit(&[b"after".to_vec()]).unwrap();
+        drop(group);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"keep".to_vec(), b"after".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn group_commit_nth_record_failpoint_counts_across_commits() {
+        let path = temp("group_nth.wal");
+        let (wal, _) = Wal::open(&path).unwrap();
+        let group = GroupWal::new(wal, GroupCommitConfig::default());
+        group.fail_nth_record(2);
+        group.commit(&[b"r0".to_vec(), b"r1".to_vec()]).unwrap();
+        // Record #2 is the first record of this commit → whole commit fails.
+        assert!(group.commit(&[b"r2".to_vec(), b"r3".to_vec()]).is_err());
+        group.commit(&[b"r4".to_vec()]).unwrap();
+        drop(group);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![b"r0".to_vec(), b"r1".to_vec(), b"r4".to_vec()]);
         std::fs::remove_file(&path).ok();
     }
 }

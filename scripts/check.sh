@@ -19,4 +19,18 @@ cargo test -q
 echo "== cargo test -q (fault injection, fixed seeds) =="
 cargo test -q -p orion-storage -p orion-core -p orion-tests --features failpoints
 
+echo "== crash matrix + recovery oracle (3 pinned seeds) =="
+for seed in 0xA11CE 0xC0FFEE 0xDECADE; do
+    echo "-- ORION_ORACLE_SEED=$seed --"
+    ORION_ORACLE_SEED=$seed cargo test -q -p orion-tests --features failpoints \
+        --test crash_matrix --test recovery_oracle
+done
+
+echo "== proptest-regressions must be committed =="
+if [ -n "$(git status --porcelain -- '*proptest-regressions*')" ]; then
+    echo "error: uncommitted proptest-regressions changes:" >&2
+    git status --porcelain -- '*proptest-regressions*' >&2
+    exit 1
+fi
+
 echo "All checks passed."

@@ -1,0 +1,499 @@
+//! Crash-recovery oracle: a differential test between [`DurableDb`] and a
+//! plain in-memory model applying the identical workload.
+//!
+//! Each scenario runs a randomized (or scripted) sequence of operations —
+//! table creation, simple and joint-pdf inserts, full and incremental
+//! checkpoints — against both sides, recording the oracle's *canonical
+//! fingerprint* after every operation that commits a WAL record. It then
+//! simulates a crash at **every byte offset** of the surviving write-ahead
+//! log: for each cut it reconstructs the on-disk state (snapshot + delta
+//! chain + truncated WAL), recovers, and asserts the recovered database is
+//! bit-identical (relations, dependency-set joints, ancestor sets, base
+//! refcounts, existence masses) to the oracle at exactly the number of
+//! operations whose commit frame fits in the surviving prefix. Recovery
+//! must also be idempotent: a second open lands on the same fingerprint.
+//!
+//! The fingerprint canonicalizes identities that legitimately differ
+//! between two runs — attribute ids come from a process-global allocator
+//! and pdf ids are remapped to first-seen dense order — so the comparison
+//! checks logical state, not allocator accidents.
+//!
+//! Set `ORION_ORACLE_SEED` to replay `oracle_env_seeded_workload` with a
+//! specific seed (used by `scripts/check.sh` to pin three seeds in CI).
+
+use orion_core::durable::{DurableDb, SNAPSHOT_FILE, WAL_FILE};
+use orion_core::prelude::*;
+use orion_pdf::prelude::*;
+use orion_storage::codec::encode_joint;
+use orion_storage::DeltaFile;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique scratch directories across proptest cases within one process.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("orion_recovery_oracle").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn oracle_schema() -> ProbSchema {
+    ProbSchema::new(
+        vec![
+            ("id", ColumnType::Int, false),
+            ("x", ColumnType::Real, true),
+            ("y", ColumnType::Real, true),
+        ],
+        vec![],
+    )
+    .unwrap()
+}
+
+/// One step of the differential workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Create table `t{0}` (skipped on both sides if it already exists).
+    Create(u8),
+    /// Insert with two independent per-column pdfs.
+    Simple { table: u8, key: i64, mean: f64 },
+    /// Insert with one correlated two-dimensional dependency set whose
+    /// total mass is < 1 (a maybe-tuple, exercising existence mass).
+    Joint { table: u8, key: i64, p: f64 },
+    /// Full checkpoint: snapshot everything, drop the delta chain.
+    Full,
+    /// Incremental checkpoint: delta-file only the dirty pages.
+    Incremental,
+}
+
+fn table_name(i: u8) -> String {
+    format!("t{i}")
+}
+
+fn simple_pdfs(mean: f64) -> [(&'static str, Pdf1); 2] {
+    [
+        ("x", Pdf1::gaussian(mean, 1.0).unwrap()),
+        ("y", Pdf1::discrete(vec![(mean.floor(), 0.5), (mean.floor() + 1.0, 0.5)]).unwrap()),
+    ]
+}
+
+fn joint_pdf(key: i64, p: f64) -> JointPdf {
+    // Mass p < 1: the tuple only probably exists.
+    JointPdf::from_points(
+        JointDiscrete::from_points(
+            2,
+            vec![
+                (vec![key as f64, key as f64 + 1.0], p * 0.7),
+                (vec![key as f64 + 2.0, key as f64 - 1.0], p * 0.3),
+            ],
+        )
+        .unwrap(),
+    )
+}
+
+/// Applies `op` to the in-memory oracle. Returns `true` iff the same op
+/// commits a WAL record on the durable side.
+fn apply_oracle(
+    tables: &mut HashMap<String, Relation>,
+    reg: &mut HistoryRegistry,
+    op: &Op,
+) -> bool {
+    match op {
+        Op::Create(i) => {
+            let name = table_name(*i);
+            if tables.contains_key(&name) {
+                return false;
+            }
+            tables.insert(name.clone(), Relation::new(name, oracle_schema()));
+            true
+        }
+        Op::Simple { table, key, mean } => {
+            let Some(rel) = tables.get_mut(&table_name(*table)) else { return false };
+            let [x, y] = simple_pdfs(*mean);
+            rel.insert_simple(reg, &[("id", Value::Int(*key))], &[x, y]).unwrap();
+            true
+        }
+        Op::Joint { table, key, p } => {
+            let Some(rel) = tables.get_mut(&table_name(*table)) else { return false };
+            rel.insert(
+                reg,
+                &[("id", Value::Int(*key))],
+                vec![(vec!["x", "y"], joint_pdf(*key, *p))],
+            )
+            .unwrap();
+            true
+        }
+        Op::Full | Op::Incremental => false,
+    }
+}
+
+/// Applies `op` to the durable side, mirroring the oracle's skip rules.
+/// Returns `true` iff the op committed a WAL record.
+fn apply_db(db: &mut DurableDb, op: &Op) -> bool {
+    match op {
+        Op::Create(i) => {
+            let name = table_name(*i);
+            if db.tables().contains_key(&name) {
+                return false;
+            }
+            db.create_table(&name, oracle_schema()).unwrap();
+            true
+        }
+        Op::Simple { table, key, mean } => {
+            let name = table_name(*table);
+            if !db.tables().contains_key(&name) {
+                return false;
+            }
+            let [x, y] = simple_pdfs(*mean);
+            db.insert_simple(&name, &[("id", Value::Int(*key))], &[x, y]).unwrap();
+            true
+        }
+        Op::Joint { table, key, p } => {
+            let name = table_name(*table);
+            if !db.tables().contains_key(&name) {
+                return false;
+            }
+            db.insert(
+                &name,
+                &[("id", Value::Int(*key))],
+                vec![(vec!["x", "y"], joint_pdf(*key, *p))],
+            )
+            .unwrap();
+            true
+        }
+        Op::Full => {
+            db.checkpoint().unwrap();
+            false
+        }
+        Op::Incremental => {
+            db.checkpoint_incremental().unwrap();
+            false
+        }
+    }
+}
+
+/// Canonical fingerprint of a database state, invariant under the two
+/// identity allocators that differ across runs:
+///
+/// * attribute ids are replaced by `table.column` names;
+/// * pdf ids are remapped to dense first-seen order over a deterministic
+///   walk (tables by name, tuples in order, dims then ancestors).
+///
+/// Covers schemas, certain values, per-node joints (exact encoded bytes,
+/// so probability masses are compared bit-for-bit), ancestor sets, tuple
+/// existence masses, and — for every base reachable from some tuple — its
+/// attribute list, joint, phantom flag and refcount. Unreachable bases
+/// (a replayed base record whose tuple frame died in the crash) are
+/// deliberately invisible: they are logically unobservable garbage.
+fn fingerprint(tables: &HashMap<String, Relation>, reg: &HistoryRegistry) -> String {
+    let mut names: Vec<&String> = tables.keys().collect();
+    names.sort();
+    let mut attr_names: HashMap<AttrId, String> = HashMap::new();
+    for name in &names {
+        for c in tables[*name].schema.columns() {
+            attr_names.insert(c.id, format!("{name}.{}", c.name));
+        }
+    }
+    let col = |id: &AttrId| attr_names.get(id).cloned().unwrap_or_else(|| format!("?{id}"));
+
+    let mut remap: HashMap<PdfId, usize> = HashMap::new();
+    let mut seen: Vec<PdfId> = Vec::new();
+    let dense = |id: PdfId, remap: &mut HashMap<PdfId, usize>, seen: &mut Vec<PdfId>| {
+        *remap.entry(id).or_insert_with(|| {
+            seen.push(id);
+            seen.len() - 1
+        })
+    };
+
+    let mut out = String::new();
+    for name in &names {
+        let rel = &tables[*name];
+        write!(out, "table {name} schema=[").unwrap();
+        for c in rel.schema.columns() {
+            write!(out, "({} {:?} u={})", c.name, c.ty, c.uncertain).unwrap();
+        }
+        let deps: Vec<Vec<String>> =
+            rel.schema.deps().iter().map(|g| g.iter().map(&col).collect()).collect();
+        writeln!(out, "] deps={deps:?}").unwrap();
+        for t in &rel.tuples {
+            let mut nodes: Vec<String> = Vec::with_capacity(t.nodes.len());
+            for n in &t.nodes {
+                let dims: Vec<String> = n
+                    .dims
+                    .iter()
+                    .map(|d| {
+                        let base = dense(d.var.base, &mut remap, &mut seen);
+                        let vis = d.column.as_ref().map(&col);
+                        format!("b{base}.{}:{vis:?}", d.var.dim)
+                    })
+                    .collect();
+                let anc: Vec<usize> =
+                    n.ancestors.iter().map(|&a| dense(a, &mut remap, &mut seen)).collect();
+                let mut joint = Vec::new();
+                encode_joint(&n.joint, &mut joint);
+                nodes.push(format!("dims={dims:?} anc={anc:?} joint={}", hex(&joint)));
+            }
+            nodes.sort(); // node order within a tuple is not significant
+            writeln!(
+                out,
+                "  tuple certain={:?} exists={:.12e} nodes={nodes:?}",
+                t.certain,
+                t.naive_existence()
+            )
+            .unwrap();
+        }
+    }
+    for (i, raw) in seen.iter().enumerate() {
+        let b = reg.base(*raw).expect("reachable base must be registered");
+        let attrs: Vec<String> = b.attrs.iter().map(&col).collect();
+        let mut joint = Vec::new();
+        encode_joint(&b.joint, &mut joint);
+        writeln!(
+            out,
+            "base b{i} attrs={attrs:?} phantom={} refs={} joint={}",
+            b.phantom,
+            reg.ref_count(*raw),
+            hex(&joint)
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().fold(String::with_capacity(bytes.len() * 2), |mut s, b| {
+        write!(s, "{b:02x}").unwrap();
+        s
+    })
+}
+
+/// Number of operations whose *commit frame* (schema tag 1 or tuple tag 3)
+/// fits entirely inside `bytes[..cut]`. Mirrors the replay rule: parsing
+/// stops at the first incomplete frame; base (2) and epoch (4) frames do
+/// not complete an operation by themselves.
+fn committed_ops(bytes: &[u8], cut: usize) -> usize {
+    let mut off = 0usize;
+    let mut ops = 0;
+    while off + 8 <= cut {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        if off + 8 + len > cut {
+            break;
+        }
+        if matches!(bytes[off + 8], 1 | 3) {
+            ops += 1;
+        }
+        off += 8 + len;
+    }
+    ops
+}
+
+/// Runs `ops` against both sides under `dir`. Returns the oracle
+/// fingerprints indexed by *operations committed since the last
+/// checkpoint*: `fps[0]` is the state baked into the snapshot chain,
+/// `fps[k]` the state after `k` further committed operations (the WAL).
+fn run_workload(dir: &Path, ops: &[Op]) -> Vec<String> {
+    let mut db = DurableDb::open(dir).unwrap();
+    let mut tables: HashMap<String, Relation> = HashMap::new();
+    let mut reg = HistoryRegistry::new();
+    let mut fps = vec![fingerprint(&tables, &reg)];
+    for op in ops {
+        let committed = apply_db(&mut db, op);
+        match op {
+            Op::Full | Op::Incremental => {
+                // Checkpoints move the baseline: the WAL restarts empty.
+                fps = vec![fingerprint(&tables, &reg)];
+            }
+            _ => {
+                assert_eq!(committed, apply_oracle(&mut tables, &mut reg, op), "skip rules agree");
+                if committed {
+                    fps.push(fingerprint(&tables, &reg));
+                }
+            }
+        }
+    }
+    // Live database and oracle agree before any crash is simulated.
+    assert_eq!(
+        fingerprint(db.tables(), db.registry()),
+        *fps.last().unwrap(),
+        "live state diverged"
+    );
+    db.check_invariants().unwrap();
+    fps
+}
+
+/// The matrix itself: crash at every byte of the WAL left under `src` and
+/// assert recovery lands exactly on the oracle fingerprint for the
+/// surviving committed prefix — twice (idempotence).
+fn crash_matrix(src: &Path, fps: &[String], scratch: &Path) {
+    let wal = std::fs::read(src.join(WAL_FILE)).unwrap_or_default();
+    let snapshot = std::fs::read(src.join(SNAPSHOT_FILE)).ok();
+    let deltas: Vec<(PathBuf, Vec<u8>)> = DeltaFile::list(src)
+        .unwrap()
+        .into_iter()
+        .map(|(_, p)| {
+            let bytes = std::fs::read(&p).unwrap();
+            (PathBuf::from(p.file_name().unwrap()), bytes)
+        })
+        .collect();
+    for cut in 0..=wal.len() {
+        std::fs::remove_dir_all(scratch).ok();
+        std::fs::create_dir_all(scratch).unwrap();
+        if let Some(snap) = &snapshot {
+            std::fs::write(scratch.join(SNAPSHOT_FILE), snap).unwrap();
+        }
+        for (name, bytes) in &deltas {
+            std::fs::write(scratch.join(name), bytes).unwrap();
+        }
+        std::fs::write(scratch.join(WAL_FILE), &wal[..cut]).unwrap();
+        let k = committed_ops(&wal, cut);
+        let db = DurableDb::open(scratch)
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        assert_eq!(
+            fingerprint(db.tables(), db.registry()),
+            fps[k],
+            "recovered state != oracle after {k} ops (cut at byte {cut}/{})",
+            wal.len()
+        );
+        db.check_invariants().unwrap_or_else(|e| panic!("invariants at cut {cut}: {e}"));
+        drop(db);
+        let db = DurableDb::open(scratch).unwrap();
+        assert_eq!(
+            fingerprint(db.tables(), db.registry()),
+            fps[k],
+            "second recovery diverged (cut at byte {cut})"
+        );
+        assert_eq!(db.recovery().wal_bytes_truncated, 0, "second open must find a clean log");
+    }
+    std::fs::remove_dir_all(scratch).ok();
+}
+
+/// End-to-end: run the workload, then grind the matrix.
+fn run_oracle(name: &str, ops: &[Op]) {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let src = temp_dir(&format!("{name}_{n}_src"));
+    let scratch =
+        std::env::temp_dir().join("orion_recovery_oracle").join(format!("{name}_{n}_cut"));
+    let fps = run_workload(&src, ops);
+    crash_matrix(&src, &fps, &scratch);
+    std::fs::remove_dir_all(&src).ok();
+}
+
+#[test]
+fn oracle_wal_only_matrix() {
+    run_oracle(
+        "wal_only",
+        &[
+            Op::Create(0),
+            Op::Simple { table: 0, key: 1, mean: 0.5 },
+            Op::Joint { table: 0, key: 2, p: 0.8 },
+            Op::Create(1),
+            Op::Simple { table: 1, key: 3, mean: -2.0 },
+        ],
+    );
+}
+
+#[test]
+fn oracle_full_checkpoint_matrix() {
+    run_oracle(
+        "full_ckpt",
+        &[
+            Op::Create(0),
+            Op::Simple { table: 0, key: 1, mean: 1.0 },
+            Op::Joint { table: 0, key: 2, p: 0.6 },
+            Op::Full,
+            Op::Simple { table: 0, key: 3, mean: 2.0 },
+            Op::Create(1),
+            Op::Joint { table: 1, key: 4, p: 0.3 },
+        ],
+    );
+}
+
+#[test]
+fn oracle_incremental_chain_matrix() {
+    run_oracle(
+        "incr_chain",
+        &[
+            Op::Create(0),
+            Op::Simple { table: 0, key: 1, mean: 0.0 },
+            Op::Full,
+            Op::Simple { table: 0, key: 2, mean: 1.0 },
+            Op::Incremental,
+            Op::Create(1),
+            Op::Joint { table: 1, key: 3, p: 0.5 },
+            Op::Incremental,
+            Op::Simple { table: 1, key: 4, mean: -1.0 },
+            Op::Joint { table: 0, key: 5, p: 0.9 },
+        ],
+    );
+}
+
+#[test]
+fn oracle_incremental_without_base_matrix() {
+    // The first incremental checkpoint has no base snapshot and must fall
+    // back to a full one; the chain then grows from it.
+    run_oracle(
+        "incr_bootstrap",
+        &[
+            Op::Create(0),
+            Op::Joint { table: 0, key: 1, p: 0.7 },
+            Op::Incremental,
+            Op::Simple { table: 0, key: 2, mean: 3.0 },
+            Op::Incremental,
+            Op::Simple { table: 0, key: 3, mean: 4.0 },
+        ],
+    );
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..2).prop_map(|i| Op::Create(i as u8)),
+        (0u32..2, 0i64..100, -5.0..5.0f64).prop_map(|(table, key, mean)| Op::Simple {
+            table: table as u8,
+            key,
+            mean
+        }),
+        (0u32..2, 0i64..100, 0.05..0.95f64).prop_map(|(table, key, p)| Op::Joint {
+            table: table as u8,
+            key,
+            p
+        }),
+        Just(Op::Full),
+        Just(Op::Incremental),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn oracle_random_workloads_survive_every_cut(tail in prop::collection::vec(arb_op(), 3..10)) {
+        // Guarantee at least one table and one committed record so every
+        // case exercises the matrix, then append the random tail.
+        let mut ops = vec![Op::Create(0), Op::Simple { table: 0, key: -1, mean: 0.0 }];
+        ops.extend(tail);
+        run_oracle("random", &ops);
+    }
+}
+
+/// Seeded entry point for CI: `scripts/check.sh` runs this with three
+/// pinned `ORION_ORACLE_SEED` values; unset, it uses a fixed default.
+#[test]
+fn oracle_env_seeded_workload() {
+    let seed: u64 = std::env::var("ORION_ORACLE_SEED")
+        .ok()
+        .and_then(|s| match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => s.parse().ok(),
+        })
+        .unwrap_or(0xA11CE);
+    let mut rng = TestRng::deterministic(&format!("orion-oracle-{seed}"));
+    let strat = prop::collection::vec(arb_op(), 6..14);
+    let mut ops = vec![Op::Create(0), Op::Simple { table: 0, key: -1, mean: 0.0 }];
+    ops.extend(strat.generate(&mut rng));
+    run_oracle(&format!("env_seed_{seed}"), &ops);
+}

@@ -69,6 +69,69 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Result of a timed wait on a [`Condvar`] (mirrors `parking_lot`'s type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with this crate's [`Mutex`] (std-backed).
+///
+/// Matches the `parking_lot` API shape: `wait` takes `&mut MutexGuard`
+/// instead of consuming and returning the guard, and never reports poison.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the guarded lock and blocks until notified,
+    /// re-acquiring the lock before returning. Spurious wakeups are
+    /// possible, as with any condvar — callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes the guard; parking_lot's borrows it. Move the
+        // guard out and back without running Drop in between.
+        unsafe {
+            let g = std::ptr::read(guard);
+            let g = self.0.wait(g).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, g);
+        }
+    }
+
+    /// Like [`Condvar::wait`] but gives up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        unsafe {
+            let g = std::ptr::read(guard);
+            let (g, r) = self.0.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, g);
+            WaitTimeoutResult(r.timed_out())
+        }
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +162,34 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                c.wait(&mut g);
+            }
+            *g
+        });
+        {
+            let (m, c) = &*pair;
+            *m.lock() = true;
+            c.notify_all();
+        }
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let r = c.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
     }
 }
