@@ -60,11 +60,11 @@ fn bench_eager_vs_lazy_collapse(c: &mut Criterion) {
             b.iter(|| {
                 let mut reg = HistoryRegistry::new();
                 let base = joint_table(500, &mut reg);
-                let mut ta = project(&base, &["id", "a"], &mut reg).unwrap();
+                let mut ta = project(&base, &["id", "a"], &mut reg, &opts).unwrap();
                 ta.name = "Ta".into();
                 let sel =
                     select(&base, &Predicate::cmp("b", CmpOp::Gt, 20.0), &mut reg, &opts).unwrap();
-                let mut tb = project(&sel, &["id", "b"], &mut reg).unwrap();
+                let mut tb = project(&sel, &["id", "b"], &mut reg, &opts).unwrap();
                 tb.name = "Tb".into();
                 orion_core::join::join(
                     black_box(&ta),

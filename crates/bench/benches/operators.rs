@@ -88,7 +88,7 @@ fn bench_projection_and_threshold(c: &mut Criterion) {
     g.bench_function("project", |b| {
         b.iter(|| {
             let mut r = HistoryRegistry::new();
-            project(black_box(&rel), &["rid"], &mut r).unwrap()
+            project(black_box(&rel), &["rid"], &mut r, &opts).unwrap()
         })
     });
     let pred = Predicate::And(vec![

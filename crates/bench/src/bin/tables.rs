@@ -151,12 +151,12 @@ fn fig3() {
     )
     .unwrap();
     let opts = ExecOptions::default();
-    let mut ta = orion_core::project::project(&t, &["a"], &mut reg).unwrap();
+    let mut ta = orion_core::project::project(&t, &["a"], &mut reg, &opts).unwrap();
     ta.name = "Ta".to_string();
     let sel =
         orion_core::select::select(&t, &Predicate::cmp("b", CmpOp::Gt, 4i64), &mut reg, &opts)
             .unwrap();
-    let mut tb = orion_core::project::project(&sel, &["b"], &mut reg).unwrap();
+    let mut tb = orion_core::project::project(&sel, &["b"], &mut reg, &opts).unwrap();
     tb.name = "Tb".to_string();
     let joined = orion_core::join::join(&ta, &tb, None, &mut reg, &opts).unwrap();
     println!("  with histories (correct, the paper's T2):");

@@ -107,6 +107,10 @@ pub struct Fig5Row {
     /// Number of tuples whose probability in the first query range
     /// exceeded 0.5 (sanity output so work is not optimized away).
     pub matches: usize,
+    /// Worker threads in effect while the row was measured (the scan
+    /// itself is sequential I/O; recorded so runs on different
+    /// `ORION_THREADS` settings are distinguishable in the results).
+    pub threads: usize,
     /// Full buffer-pool counter snapshot for the query phase.
     pub io: IoSnapshot,
 }
@@ -123,6 +127,7 @@ impl Fig5Row {
             .with("physical_reads", self.physical_reads)
             .with("pages", self.pages)
             .with("matches", self.matches)
+            .with("threads", self.threads)
             .with("io", self.io.to_json())
     }
 }
@@ -212,6 +217,7 @@ pub fn run_one(cfg: &Fig5Config, n: usize, repr: Repr) -> std::io::Result<Fig5Ro
         physical_reads: stats.physical_reads,
         pages: heap.page_count(),
         matches,
+        threads: orion_core::exec_par::effective_threads(0),
         io: stats,
     };
     std::fs::remove_file(&path).ok();
@@ -279,6 +285,9 @@ mod tests {
         let cfg = tiny_cfg();
         let row = run_one(&cfg, 1_000, Repr::Histogram(5)).unwrap();
         assert_eq!(row.io.physical_reads, row.physical_reads);
+        assert!(row.threads >= 1);
+        let text = rows_to_json(std::slice::from_ref(&row)).to_string_compact();
+        assert!(text.contains("\"threads\""), "{text}");
         let text = stats_json(&[row]).to_string_compact();
         assert!(text.contains("\"physical_reads\""), "{text}");
         assert!(text.contains("\"cache_misses\""), "{text}");

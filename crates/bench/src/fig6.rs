@@ -198,10 +198,10 @@ fn join_query(
     let t0 = Instant::now();
     let base = &load_base(heap, reg);
     let sel_a = select(base, &Predicate::cmp("a", CmpOp::Lt, 80.0), reg, opts).expect("select a");
-    let mut ta = project(&sel_a, &["id", "a"], reg).expect("project a");
+    let mut ta = project(&sel_a, &["id", "a"], reg, opts).expect("project a");
     ta.name = "Ta".to_string();
     let sel_b = select(base, &Predicate::cmp("b", CmpOp::Gt, 20.0), reg, opts).expect("select b");
-    let mut tb = project(&sel_b, &["id", "b"], reg).expect("project b");
+    let mut tb = project(&sel_b, &["id", "b"], reg, opts).expect("project b");
     tb.name = "Tb".to_string();
     // The shared `id` column gets qualified by the view names.
     let join_pred = Predicate::cmp_cols("Ta.id", CmpOp::Eq, "Tb.id");
@@ -249,7 +249,7 @@ fn project_query(
     } else {
         joined.clone()
     };
-    let projected = project(&input, &[a_col.as_str()], reg).expect("project");
+    let projected = project(&input, &[a_col.as_str()], reg, opts).expect("project");
     let secs = t0.elapsed().as_secs_f64();
     (secs, projected.len())
 }

@@ -20,4 +20,5 @@ pub mod durability;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod parallel;
 pub mod report;

@@ -1,0 +1,379 @@
+//! Morsel-driven parallel execution (no external runtime).
+//!
+//! The relational operators are embarrassingly parallel across tuples: all
+//! per-tuple work (`product`, `floor`, `marginalize`, history collapses)
+//! reads the [`HistoryRegistry`] immutably, and the only registry mutation
+//! an operator performs is reference-count maintenance when a result tuple
+//! is pushed. Execution is therefore split into two phases:
+//!
+//! 1. **Parallel compute** — the input is cut into fixed-size *morsels*
+//!    (contiguous index ranges); a scoped-thread worker pool claims morsels
+//!    from an atomic cursor and evaluates the per-tuple closure into
+//!    per-morsel buffers.
+//! 2. **Ordered serial commit** — buffers are stitched back **in input
+//!    order**, and the caller applies registry side effects (`add_refs`,
+//!    ref transfers) tuple by tuple, exactly as serial execution would.
+//!
+//! Because phase 1 is pure and phase 2 replays the serial commit order,
+//! output tuples, pdf values and history ids are bit-identical to serial
+//! execution at any thread count. Errors are deterministic too: the error
+//! reported is the one the lowest-indexed failing tuple produced.
+//!
+//! Bulk insertion ([`insert_batch`]) extends the same protocol to history
+//! **id allocation**: phase 1 builds and validates rows in parallel, then
+//! the commit phase reserves one contiguous id range
+//! ([`HistoryRegistry::reserve_ids`]) and installs base pdfs in row order —
+//! the ids are exactly those a serial tuple-at-a-time load would have
+//! assigned.
+
+use crate::error::{EngineError, Result};
+use crate::history::{Ancestors, HistoryRegistry};
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::select::ExecOptions;
+use crate::tuple::{PdfNode, ProbTuple};
+use crate::value::Value;
+use orion_pdf::prelude::JointPdf;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Default tuples per morsel. Inputs no larger than one morsel run
+/// serially, so small relations (and the unit-test corpus) never pay
+/// thread spawn costs.
+pub const DEFAULT_MORSEL_SIZE: usize = 1024;
+
+/// Resolves a thread-count request: `0` means "auto" — the `ORION_THREADS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("ORION_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item, in parallel when the options ask for it,
+/// returning the results in input order (phase 1 of the two-phase
+/// protocol). `f` receives the item index and must not touch the registry;
+/// the caller commits side effects serially over the returned buffer.
+pub(crate) fn run_tuples<T, U, F>(items: &[T], opts: &ExecOptions, f: F) -> Result<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> Result<U> + Sync,
+{
+    let morsel = opts.morsel_size.max(1);
+    let threads = effective_threads(opts.threads);
+    if threads <= 1 || items.len() <= morsel {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let n_morsels = items.len().div_ceil(morsel);
+    let workers = threads.min(n_morsels);
+    let cursor = AtomicUsize::new(0);
+    // Finished morsels, tagged with their index for in-order stitching.
+    let done: Mutex<Vec<(usize, Result<Vec<U>>)>> = Mutex::new(Vec::with_capacity(n_morsels));
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (cursor, done, f) = (&cursor, &done, &f);
+            handles.push(scope.spawn(move || {
+                let start = Instant::now();
+                let mut claimed = 0u64;
+                loop {
+                    let m = cursor.fetch_add(1, Ordering::Relaxed);
+                    if m >= n_morsels {
+                        break;
+                    }
+                    claimed += 1;
+                    let lo = m * morsel;
+                    let hi = ((m + 1) * morsel).min(items.len());
+                    let mut buf = Vec::with_capacity(hi - lo);
+                    let mut res = Ok(());
+                    for (i, t) in items[lo..hi].iter().enumerate() {
+                        match f(lo + i, t) {
+                            Ok(u) => buf.push(u),
+                            Err(e) => {
+                                // Serial execution stops at the first
+                                // failing tuple of the morsel; so do we.
+                                res = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    done.lock().push((m, res.map(|()| buf)));
+                }
+                (w, claimed, start.elapsed())
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok((w, claimed, busy)) => {
+                    if let Some(s) = opts.stats_ref() {
+                        let nanos = u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX);
+                        s.record_worker(w, claimed, nanos);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Ordered stitch; the error from the lowest input index wins, matching
+    // what serial in-order evaluation would have reported.
+    let mut slots = done.into_inner();
+    slots.sort_unstable_by_key(|(m, _)| *m);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, r) in slots {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// One row of a bulk insert: certain values by column name, plus one joint
+/// pdf per dependency set (the set's columns in the pdf's dimension order)
+/// — the same shape [`Relation::insert`] takes.
+#[derive(Debug, Clone)]
+pub struct BulkRow {
+    /// Values for the certain columns.
+    pub certain: Vec<(String, Value)>,
+    /// One joint pdf per dependency set.
+    pub uncertain: Vec<(Vec<String>, JointPdf)>,
+}
+
+/// A validated row awaiting the commit phase: the full certain-value row
+/// and the attribute/joint prototype of each pdf node, in insertion order.
+struct StagedRow {
+    certain: Vec<Value>,
+    protos: Vec<(Vec<AttrId>, JointPdf)>,
+}
+
+/// Bulk-inserts `n_rows` rows built by `build(row_index)`, validating and
+/// materializing rows in parallel, then committing them — including
+/// history-id assignment — in row order. The resulting relation, registry
+/// contents **and pdf ids** are bit-identical to calling
+/// [`Relation::insert`] once per row, at any thread count.
+pub fn insert_batch<F>(
+    rel: &mut Relation,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+    n_rows: usize,
+    build: F,
+) -> Result<()>
+where
+    F: Fn(usize) -> BulkRow + Sync,
+{
+    // Phase 1: parallel build + validation against the (shared) schema.
+    let indices: Vec<usize> = (0..n_rows).collect();
+    let staged: Vec<StagedRow> = run_tuples(&indices, opts, |_, &i| stage_row(rel, build(i)))?;
+
+    // Phase 2: ordered serial commit. One contiguous reservation covers
+    // every base pdf; walking rows in order assigns exactly the ids a
+    // serial load would have produced.
+    let total: u64 = staged.iter().map(|r| r.protos.len() as u64).sum();
+    let mut id = reg.reserve_ids(total);
+    rel.tuples.reserve(staged.len());
+    for row in staged {
+        let mut nodes = Vec::with_capacity(row.protos.len());
+        for (attrs, joint) in row.protos {
+            reg.install_reserved(id, attrs.clone(), joint.clone());
+            let ancestors: Ancestors = [id].into_iter().collect();
+            reg.add_refs(&ancestors);
+            nodes.push(PdfNode::base(id, &attrs, joint, ancestors));
+            id += 1;
+        }
+        rel.tuples.push(ProbTuple { certain: row.certain, nodes });
+    }
+    Ok(())
+}
+
+/// Validates one bulk row against the relation's schema (mirroring
+/// [`Relation::insert`]) without touching the registry.
+fn stage_row(rel: &Relation, row: BulkRow) -> Result<StagedRow> {
+    let mut certain = vec![Value::Null; rel.schema.columns().len()];
+    for (name, v) in row.certain {
+        let idx = rel
+            .schema
+            .index_of(&name)
+            .ok_or_else(|| EngineError::Schema(format!("unknown column '{name}'")))?;
+        if rel.schema.columns()[idx].uncertain {
+            return Err(EngineError::Schema(format!(
+                "column '{name}' is uncertain; supply a pdf instead"
+            )));
+        }
+        certain[idx] = v;
+    }
+    let mut protos = Vec::with_capacity(row.uncertain.len());
+    let mut covered: Vec<AttrId> = Vec::new();
+    for (names, joint) in row.uncertain {
+        let mut attrs = Vec::with_capacity(names.len());
+        for name in &names {
+            let col = rel
+                .schema
+                .column(name)
+                .ok_or_else(|| EngineError::Schema(format!("unknown column '{name}'")))?;
+            if !col.uncertain {
+                return Err(EngineError::Schema(format!(
+                    "column '{name}' is certain; supply a value instead"
+                )));
+            }
+            attrs.push(col.id);
+        }
+        if joint.arity() != attrs.len() {
+            return Err(EngineError::Schema(format!(
+                "pdf arity {} does not match {} attributes",
+                joint.arity(),
+                attrs.len()
+            )));
+        }
+        covered.extend(&attrs);
+        protos.push((attrs, joint));
+    }
+    for c in rel.schema.columns() {
+        if c.uncertain && !covered.contains(&c.id) {
+            return Err(EngineError::Schema(format!("uncertain column '{}' has no pdf", c.name)));
+        }
+    }
+    Ok(StagedRow { certain, protos })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, ProbSchema};
+    use orion_pdf::prelude::*;
+
+    fn small_opts(threads: usize) -> ExecOptions {
+        ExecOptions { threads, morsel_size: 2, ..ExecOptions::default() }
+    }
+
+    #[test]
+    fn run_tuples_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 4, 8] {
+            let out =
+                run_tuples(&items, &small_opts(threads), |i, &x| Ok(x * 2 + i as u64)).unwrap();
+            let want: Vec<u64> = (0..100).map(|x| x * 3).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_tuples_reports_lowest_index_error() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 4, 8] {
+            let err = run_tuples(&items, &small_opts(threads), |i, _| {
+                if i >= 9 {
+                    Err(EngineError::Operator(format!("boom at {i}")))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("boom at 9"), "threads={threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn run_tuples_records_worker_lanes() {
+        let stats = std::sync::Arc::new(orion_obs::ExecStats::new());
+        let opts = ExecOptions { stats: Some(stats.clone()), ..small_opts(4) };
+        let items: Vec<u64> = (0..64).collect();
+        run_tuples(&items, &opts, |_, &x| Ok(x)).unwrap();
+        let snap = stats.snapshot();
+        assert!(!snap.workers.is_empty());
+        let morsels: u64 = snap.workers.iter().map(|l| l.morsels).sum();
+        assert_eq!(morsels, 32, "64 items / morsel_size 2");
+    }
+
+    #[test]
+    fn serial_path_records_no_lanes() {
+        let stats = std::sync::Arc::new(orion_obs::ExecStats::new());
+        let opts = ExecOptions { stats: Some(stats.clone()), threads: 1, ..ExecOptions::default() };
+        let items: Vec<u64> = (0..64).collect();
+        run_tuples(&items, &opts, |_, &x| Ok(x)).unwrap();
+        assert!(stats.snapshot().workers.is_empty());
+    }
+
+    fn bulk_schema() -> ProbSchema {
+        ProbSchema::new(vec![("id", ColumnType::Int, false), ("x", ColumnType::Real, true)], vec![])
+            .unwrap()
+    }
+
+    fn bulk_row(i: usize) -> BulkRow {
+        BulkRow {
+            certain: vec![("id".into(), Value::Int(i as i64))],
+            uncertain: vec![(
+                vec!["x".into()],
+                JointPdf::from_pdf1(Pdf1::gaussian(i as f64, 1.0).unwrap()),
+            )],
+        }
+    }
+
+    #[test]
+    fn insert_batch_matches_serial_insert_exactly() {
+        const N: usize = 23;
+        // One schema for every run: AttrIds are globally allocated, and the
+        // tuples record them.
+        let schema = bulk_schema();
+        let mut serial_reg = HistoryRegistry::new();
+        let mut serial = Relation::new("t", schema.clone());
+        for i in 0..N {
+            let row = bulk_row(i);
+            let certain: Vec<(&str, Value)> =
+                row.certain.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            let uncertain = row
+                .uncertain
+                .iter()
+                .map(|(ns, j)| (ns.iter().map(|s| s.as_str()).collect(), j.clone()))
+                .collect();
+            serial.insert(&mut serial_reg, &certain, uncertain).unwrap();
+        }
+
+        for threads in [1, 2, 4, 8] {
+            let mut reg = HistoryRegistry::new();
+            let mut rel = Relation::new("t", schema.clone());
+            insert_batch(&mut rel, &mut reg, &small_opts(threads), N, bulk_row).unwrap();
+            assert_eq!(rel.tuples, serial.tuples, "threads={threads}");
+            assert_eq!(reg.last_id(), serial_reg.last_id());
+            assert_eq!(reg.len(), serial_reg.len());
+            for (id, base) in serial_reg.iter_bases() {
+                let b = reg.base(id).unwrap();
+                assert_eq!(b.attrs, base.attrs);
+                assert_eq!(reg.ref_count(id), serial_reg.ref_count(id));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_validation_errors_are_deterministic() {
+        let mut reg = HistoryRegistry::new();
+        let mut rel = Relation::new("t", bulk_schema());
+        let err = insert_batch(&mut rel, &mut reg, &small_opts(4), 16, |i| {
+            if i >= 5 {
+                BulkRow { certain: vec![("nope".into(), Value::Int(0))], uncertain: vec![] }
+            } else {
+                bulk_row(i)
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+        assert!(rel.is_empty(), "failed batch leaves the relation untouched");
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn effective_threads_prefers_explicit_request() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+}

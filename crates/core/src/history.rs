@@ -56,6 +56,28 @@ impl HistoryRegistry {
         id
     }
 
+    /// Reserves `n` consecutive ids for a two-phase parallel bulk insert
+    /// and returns the first. The reserved range is exactly what `n`
+    /// successive [`register`](Self::register) calls would have allocated,
+    /// so a bulk load that installs its bases in row order produces ids
+    /// bit-identical to a serial tuple-at-a-time load. Every reserved id
+    /// must be claimed with [`install_reserved`](Self::install_reserved)
+    /// before the registry is used for queries.
+    pub fn reserve_ids(&mut self, n: u64) -> PdfId {
+        let first = self.next + 1;
+        self.next += n;
+        first
+    }
+
+    /// Installs a base pdf under an id previously handed out by
+    /// [`reserve_ids`](Self::reserve_ids) (the ordered-commit phase of a
+    /// parallel bulk insert).
+    pub fn install_reserved(&mut self, id: PdfId, attrs: Vec<AttrId>, joint: JointPdf) {
+        debug_assert!(id <= self.next, "id {id} was never reserved");
+        debug_assert!(!self.bases.contains_key(&id), "id {id} already installed");
+        self.bases.insert(id, BasePdf { attrs, joint, phantom: false });
+    }
+
     /// Looks up a base pdf.
     pub fn base(&self, id: PdfId) -> Result<&BasePdf> {
         self.bases.get(&id).ok_or_else(|| EngineError::Operator(format!("unknown base pdf {id}")))
@@ -172,6 +194,27 @@ mod tests {
         assert!(!HistoryRegistry::dependent(&a, &c));
         assert_eq!(HistoryRegistry::common(&a, &b), vec![3]);
         assert!(HistoryRegistry::common(&b, &c).is_empty());
+    }
+
+    #[test]
+    fn reserved_ids_match_serial_register_order() {
+        // The reservation protocol must hand out exactly the ids serial
+        // `register` calls would have produced.
+        let mut serial = HistoryRegistry::new();
+        serial.register(vec![1], joint());
+        let s1 = serial.register(vec![2], joint());
+        let s2 = serial.register(vec![3], joint());
+
+        let mut bulk = HistoryRegistry::new();
+        bulk.register(vec![1], joint());
+        let first = bulk.reserve_ids(2);
+        assert_eq!(first, s1);
+        bulk.install_reserved(first, vec![2], joint());
+        bulk.install_reserved(first + 1, vec![3], joint());
+        assert_eq!(bulk.last_id(), serial.last_id());
+        assert_eq!(bulk.base(s2).unwrap().attrs, serial.base(s2).unwrap().attrs);
+        // Ids keep advancing past the reserved range.
+        assert_eq!(bulk.register(vec![4], joint()), serial.register(vec![4], joint()));
     }
 
     #[test]

@@ -18,7 +18,10 @@ use crate::select::{select, ExecOptions};
 use crate::tuple::ProbTuple;
 
 /// Nested-loop join used as the correctness oracle for the hash path
-/// (exposed for tests and ablation benchmarks).
+/// (exposed for tests and ablation benchmarks). Pairs whose *certain*
+/// equi-join attributes already mismatch are skipped before any pdf work
+/// (counted as `pairs_pruned`); the full predicate is still applied to the
+/// survivors, so results are identical to an unfiltered cross + select.
 pub fn join_nested_loop(
     left: &Relation,
     right: &Relation,
@@ -26,7 +29,13 @@ pub fn join_nested_loop(
     reg: &mut HistoryRegistry,
     opts: &ExecOptions,
 ) -> Result<Relation> {
-    let crossed = cross(left, right, reg)?;
+    let template = cross(&left.clone_empty(), &right.clone_empty(), reg, opts)?;
+    let equalities = pred.map_or_else(Vec::new, |p| certain_equalities(&template.schema, p));
+    let crossed = if equalities.is_empty() {
+        cross(left, right, reg, opts)?
+    } else {
+        cross_prefiltered(left, right, &template, &equalities, reg, opts)?
+    };
     finish_join(crossed, pred, reg, opts)
 }
 
@@ -37,7 +46,12 @@ pub fn join_nested_loop(
 /// columns (their values simply appear twice — the Figure 3 pipeline);
 /// sharing an **uncertain** column is rejected because one pdf identity
 /// cannot occupy two result columns — alias (deep-copy) one side first.
-pub fn cross(left: &Relation, right: &Relation, reg: &mut HistoryRegistry) -> Result<Relation> {
+pub fn cross(
+    left: &Relation,
+    right: &Relation,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
     for cl in left.schema.columns().iter().filter(|c| c.uncertain) {
         if right.schema.columns().iter().any(|cr| cr.id == cl.id) {
             return Err(EngineError::Operator(format!(
@@ -66,17 +80,106 @@ pub fn cross(left: &Relation, right: &Relation, reg: &mut HistoryRegistry) -> Re
     let schema = ProbSchema::from_columns(columns, deps);
     let mut out = Relation::new(format!("({} x {})", left.name, right.name), schema);
 
+    // Phase 1 (parallel): pair materialization fans out over left tuples.
+    let groups = crate::exec_par::run_tuples(&left.tuples, opts, |_, tl| {
+        Ok(right.tuples.iter().map(|tr| pair_tuple(tl, tr)).collect::<Vec<_>>())
+    })?;
+    // Phase 2 (serial, in input order): reference-count commits.
     out.tuples.reserve(left.len() * right.len());
-    for tl in &left.tuples {
-        for tr in &right.tuples {
-            let mut certain = tl.certain.clone();
-            certain.extend(tr.certain.iter().cloned());
-            let mut nodes = tl.nodes.clone();
-            nodes.extend(tr.nodes.iter().cloned());
-            for n in &nodes {
+    for group in groups {
+        for t in group {
+            for n in &t.nodes {
                 reg.add_refs(&n.ancestors);
             }
-            out.tuples.push(ProbTuple { certain, nodes });
+            out.tuples.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Concatenates a left and a right tuple (no registry side effects).
+fn pair_tuple(tl: &ProbTuple, tr: &ProbTuple) -> ProbTuple {
+    let mut certain = tl.certain.clone();
+    certain.extend(tr.certain.iter().cloned());
+    let mut nodes = tl.nodes.clone();
+    nodes.extend(tr.nodes.iter().cloned());
+    ProbTuple { certain, nodes }
+}
+
+/// The certain-certain equality conjuncts of a join predicate, resolved
+/// against the crossed schema. These can be decided from certain values
+/// alone, so a mismatching pair can be skipped before any pdf work.
+fn certain_equalities(crossed_schema: &ProbSchema, pred: &Predicate) -> Vec<Predicate> {
+    pred.conjuncts()
+        .into_iter()
+        .filter(|conj| {
+            matches!(
+                conj,
+                Predicate::Cmp(
+                    crate::predicate::Scalar::Col(_),
+                    crate::predicate::CmpOp::Eq,
+                    crate::predicate::Scalar::Col(_),
+                )
+            ) && conj
+                .columns()
+                .iter()
+                .all(|c| crossed_schema.column(c).is_some_and(|col| !col.uncertain))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Nested-loop cross product that skips pairs whose certain equi-join
+/// attributes mismatch. Only a definite `false` prunes (three-valued
+/// logic: an equality involving NULL is unknown, and the full predicate
+/// applied afterwards is what decides those pairs), so the surviving pairs
+/// select to exactly the unfiltered result.
+fn cross_prefiltered(
+    left: &Relation,
+    right: &Relation,
+    template: &Relation,
+    equalities: &[Predicate],
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
+    let mut out = Relation::new(template.name.clone(), template.schema.clone());
+    let n_left = left.schema.columns().len();
+    // Phase 1 (parallel): evaluate the certain equalities per pair.
+    let groups = crate::exec_par::run_tuples(&left.tuples, opts, |_, tl| {
+        let mut matches = Vec::new();
+        let mut pruned = 0u64;
+        for tr in &right.tuples {
+            let lookup = |name: &str| {
+                template
+                    .schema
+                    .index_of(name)
+                    .map(|i| {
+                        if i < n_left {
+                            tl.certain[i].clone()
+                        } else {
+                            tr.certain[i - n_left].clone()
+                        }
+                    })
+                    .unwrap_or(crate::value::Value::Null)
+            };
+            if equalities.iter().any(|eq| eq.eval(&lookup) == Some(false)) {
+                pruned += 1;
+                continue;
+            }
+            matches.push(pair_tuple(tl, tr));
+        }
+        if let Some(s) = opts.stats_ref() {
+            s.pairs_pruned.add(pruned);
+        }
+        Ok(matches)
+    })?;
+    // Phase 2 (serial, in input order): reference-count commits.
+    for group in groups {
+        for t in group {
+            for n in &t.nodes {
+                reg.add_refs(&n.ancestors);
+            }
+            out.tuples.push(t);
         }
     }
     Ok(out)
@@ -118,13 +221,15 @@ fn equi_key(
 
 /// Hash-partitioned cross product: only pairs whose certain key columns
 /// match are materialized. The full predicate is still applied afterwards,
-/// so this is a pure optimization of `cross`.
+/// so this is a pure optimization of `cross`. Pairs the partitioning
+/// avoids are counted as `pairs_pruned`.
 fn cross_matching(
     left: &Relation,
     right: &Relation,
     template: &Relation,
     key: (usize, usize),
     reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
 ) -> Result<Relation> {
     use crate::pws::CanonValue;
     let mut out = Relation::new(template.name.clone(), template.schema.clone());
@@ -132,20 +237,24 @@ fn cross_matching(
     for (i, t) in right.tuples.iter().enumerate() {
         buckets.entry(CanonValue::from(&t.certain[key.1])).or_default().push(i);
     }
-    for tl in &left.tuples {
-        let Some(matches) = buckets.get(&CanonValue::from(&tl.certain[key.0])) else {
-            continue;
-        };
-        for &ri in matches {
-            let tr = &right.tuples[ri];
-            let mut certain = tl.certain.clone();
-            certain.extend(tr.certain.iter().cloned());
-            let mut nodes = tl.nodes.clone();
-            nodes.extend(tr.nodes.iter().cloned());
-            for n in &nodes {
+    // Phase 1 (parallel): probe the shared bucket table per left tuple.
+    let groups = crate::exec_par::run_tuples(&left.tuples, opts, |_, tl| {
+        let matches = buckets.get(&CanonValue::from(&tl.certain[key.0]));
+        let hits: Vec<ProbTuple> = matches
+            .map(|ms| ms.iter().map(|&ri| pair_tuple(tl, &right.tuples[ri])).collect())
+            .unwrap_or_default();
+        if let Some(s) = opts.stats_ref() {
+            s.pairs_pruned.add((right.tuples.len() - hits.len()) as u64);
+        }
+        Ok(hits)
+    })?;
+    // Phase 2 (serial, in input order): reference-count commits.
+    for group in groups {
+        for t in group {
+            for n in &t.nodes {
                 reg.add_refs(&n.ancestors);
             }
-            out.tuples.push(ProbTuple { certain, nodes });
+            out.tuples.push(t);
         }
     }
     Ok(out)
@@ -168,11 +277,11 @@ pub fn join(
     reg: &mut HistoryRegistry,
     opts: &ExecOptions,
 ) -> Result<Relation> {
-    let template = cross(&left.clone_empty(), &right.clone_empty(), reg)?;
+    let template = cross(&left.clone_empty(), &right.clone_empty(), reg, opts)?;
     let crossed =
         match pred.and_then(|p| equi_key(&template.schema, left.schema.columns().len(), p)) {
-            Some(key) => cross_matching(left, right, &template, key, reg)?,
-            None => cross(left, right, reg)?,
+            Some(key) => cross_matching(left, right, &template, key, reg, opts)?,
+            None => cross(left, right, reg, opts)?,
         };
     finish_join(crossed, pred, reg, opts)
 }
@@ -193,9 +302,15 @@ fn finish_join(
         None => crossed,
     };
     if opts.eager_collapse && opts.use_histories {
-        let mut collapsed = Vec::with_capacity(result.tuples.len());
-        for t in &result.tuples {
-            let c = collapse::collapse_tuple_with_stats(t, reg, opts.resolution, opts.stats_ref())?;
+        // Phase 1 (parallel): the history-aware collapse reads the
+        // registry immutably.
+        let reg_ref: &HistoryRegistry = reg;
+        let computed = crate::exec_par::run_tuples(&result.tuples, opts, |_, t| {
+            collapse::collapse_tuple_with_stats(t, reg_ref, opts.resolution, opts.stats_ref())
+        })?;
+        // Phase 2 (serial, in input order): reference transfers.
+        let mut collapsed = Vec::with_capacity(computed.len());
+        for (t, c) in result.tuples.iter().zip(computed) {
             if c.is_vacuous() {
                 // Historically impossible combination (e.g. Figure 3's
                 // phantom pairs): drop it.
@@ -259,7 +374,7 @@ mod tests {
     #[test]
     fn cross_product_concatenates() {
         let (r1, r2, mut reg) = sensors();
-        let c = cross(&r1, &r2, &mut reg).unwrap();
+        let c = cross(&r1, &r2, &mut reg, &ExecOptions::default()).unwrap();
         assert_eq!(c.len(), 1);
         assert_eq!(c.schema.columns().len(), 4);
         // Shared column name gets qualified.
@@ -326,9 +441,51 @@ mod tests {
     }
 
     #[test]
+    fn nested_loop_prunes_certain_mismatches_and_counts_them() {
+        // 4x4 pairs, only the 4 same-id ones survive the certain equality:
+        // the prefilter must skip the other 12 before any pdf work and
+        // still produce the same relation as an unfiltered cross + select.
+        let mut reg = HistoryRegistry::new();
+        let mk = |name: &str, col: &str, reg: &mut HistoryRegistry| {
+            let s = ProbSchema::new(
+                vec![("id", ColumnType::Int, false), (col, ColumnType::Real, true)],
+                vec![],
+            )
+            .unwrap();
+            let mut r = Relation::new(name, s);
+            for id in 1..=4i64 {
+                r.insert_simple(
+                    reg,
+                    &[("id", Value::Int(id))],
+                    &[(col, Pdf1::gaussian(id as f64, 1.0).unwrap())],
+                )
+                .unwrap();
+            }
+            r
+        };
+        let l = mk("L", "x", &mut reg);
+        let r = mk("R", "y", &mut reg);
+        let pred = Predicate::And(vec![
+            Predicate::cmp_cols("L.id", CmpOp::Eq, "R.id"),
+            Predicate::cmp_cols("x", CmpOp::Le, "y"),
+        ]);
+
+        let stats = std::sync::Arc::new(orion_obs::ExecStats::new());
+        let opts = ExecOptions { stats: Some(stats.clone()), ..ExecOptions::default() };
+        let pruned_out = join_nested_loop(&l, &r, Some(&pred), &mut reg, &opts).unwrap();
+        assert_eq!(stats.snapshot().pairs_pruned, 12);
+
+        // Oracle: full cross + selection, no prefilter.
+        let unfiltered =
+            finish_join(cross(&l, &r, &mut reg, &opts).unwrap(), Some(&pred), &mut reg, &opts)
+                .unwrap();
+        assert_eq!(pruned_out.tuples, unfiltered.tuples);
+    }
+
+    #[test]
     fn self_join_requires_alias() {
         let (r1, _, mut reg) = sensors();
-        assert!(cross(&r1, &r1, &mut reg).is_err());
+        assert!(cross(&r1, &r1, &mut reg, &ExecOptions::default()).is_err());
     }
 
     #[test]
@@ -369,9 +526,9 @@ mod tests {
         )
         .unwrap();
         let opts = ExecOptions::default();
-        let ta = project(&t, &["a"], &mut reg).unwrap();
+        let ta = project(&t, &["a"], &mut reg, &opts).unwrap();
         let sel = select(&t, &Predicate::cmp("b", CmpOp::Gt, 4i64), &mut reg, &opts).unwrap();
-        let tb = project(&sel, &["b"], &mut reg).unwrap();
+        let tb = project(&sel, &["b"], &mut reg, &opts).unwrap();
         assert_eq!(tb.len(), 1, "t2 fails b > 4 entirely");
 
         let joined = join(&ta, &tb, None, &mut reg, &opts).unwrap();
@@ -443,9 +600,9 @@ mod tests {
         )
         .unwrap();
         let opts = ExecOptions { use_histories: false, ..ExecOptions::default() };
-        let ta = project(&t, &["a"], &mut reg).unwrap();
+        let ta = project(&t, &["a"], &mut reg, &opts).unwrap();
         let sel = select(&t, &Predicate::cmp("b", CmpOp::Gt, 4i64), &mut reg, &opts).unwrap();
-        let tb = project(&sel, &["b"], &mut reg).unwrap();
+        let tb = project(&sel, &["b"], &mut reg, &opts).unwrap();
         let joined = join(&ta, &tb, None, &mut reg, &opts).unwrap();
         // Naive product: 1.0 (marginal a mass) * 0.9 (floored b mass) = 0.9
         // but distributed wrongly: P(a=4, b=5) = 0.81 and the phantom

@@ -18,6 +18,9 @@
 //!   (Section III-A) used to recombine after joins (Figure 3).
 //! * [`select`] / [`project`] / [`join`] — the PWS-closed operators
 //!   (Sections III-B/C/D), with symbolic floor fast paths.
+//! * [`exec_par`] — the morsel-driven parallel executor: scoped-thread
+//!   worker pool, two-phase compute/commit protocol, deterministic
+//!   history-id reservation for bulk loads.
 //! * [`threshold`] — operations on probability values (Section III-E).
 //! * [`pws`] — a brute-force possible-worlds reference engine used to
 //!   certify the operators against PWS on finite discrete inputs.
@@ -34,6 +37,7 @@ pub mod agg;
 pub mod collapse;
 pub mod durable;
 pub mod error;
+pub mod exec_par;
 pub mod history;
 pub mod index;
 pub mod interval_of_cmp;
@@ -56,6 +60,7 @@ pub mod prelude {
     pub use crate::collapse::{collapse_tuple, existence_prob, DEFAULT_RESOLUTION};
     pub use crate::durable::{check_invariants, DurableDb, RecoveryReport};
     pub use crate::error::{EngineError, Result as EngineResult};
+    pub use crate::exec_par::{effective_threads, insert_batch, BulkRow, DEFAULT_MORSEL_SIZE};
     pub use crate::history::{Ancestors, HistoryRegistry, PdfId};
     pub use crate::join::{cross, join};
     pub use crate::plan::Plan;

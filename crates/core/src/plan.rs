@@ -86,7 +86,7 @@ pub fn execute(
         Plan::Project(p, cols) => {
             let input = execute(p, tables, reg, opts)?;
             let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-            project(&input, &refs, reg)
+            project(&input, &refs, reg, opts)
         }
         Plan::Join(l, r, pred) => {
             let left = execute(l, tables, reg, opts)?;
@@ -141,7 +141,7 @@ pub fn execute_profiled(
             stats.tuples_in.add(input.len() as u64);
             let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
             let _t = stats.timer();
-            let out = project(&input, &refs, reg)?;
+            let out = project(&input, &refs, reg, &node_opts)?;
             (out, OpProfile::new("Project", cols.join(", ")).with_child(child))
         }
         Plan::Join(l, r, pred) => {

@@ -14,6 +14,7 @@ use crate::error::{EngineError, Result};
 use crate::history::HistoryRegistry;
 use crate::relation::Relation;
 use crate::schema::{AttrId, Column, ProbSchema};
+use crate::select::ExecOptions;
 use crate::tuple::ProbTuple;
 
 /// Mass slack under which a pdf still counts as "complete" for the
@@ -21,7 +22,12 @@ use crate::tuple::ProbTuple;
 const FULL_MASS_EPS: f64 = 1e-9;
 
 /// Evaluates Π_cols over a relation.
-pub fn project(rel: &Relation, cols: &[&str], reg: &mut HistoryRegistry) -> Result<Relation> {
+pub fn project(
+    rel: &Relation,
+    cols: &[&str],
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
     if cols.is_empty() {
         return Err(EngineError::Operator("projection onto zero columns".into()));
     }
@@ -53,7 +59,8 @@ pub fn project(rel: &Relation, cols: &[&str], reg: &mut HistoryRegistry) -> Resu
     let schema = ProbSchema::from_columns(new_cols, deps);
     let mut out = Relation::new(format!("pi({})", rel.name), schema);
 
-    for t in &rel.tuples {
+    // Phase 1 (parallel): narrowing a tuple is pure per-tuple work.
+    let projected = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
         let certain: Vec<_> = kept_idx.iter().map(|&i| t.certain[i].clone()).collect();
         let mut nodes = Vec::new();
         for n in &t.nodes {
@@ -67,11 +74,17 @@ pub fn project(rel: &Relation, cols: &[&str], reg: &mut HistoryRegistry) -> Resu
                     .filter_map(|d| d.column.filter(|a| !kept_ids.contains(a)))
                     .collect();
                 let kept = if hidden.is_empty() { n.clone() } else { n.hide_columns(&hidden) };
-                reg.add_refs(&kept.ancestors);
                 nodes.push(kept);
             }
         }
-        out.tuples.push(ProbTuple { certain, nodes });
+        Ok(ProbTuple { certain, nodes })
+    })?;
+    // Phase 2 (serial, in input order): reference-count commits.
+    for t in projected {
+        for n in &t.nodes {
+            reg.add_refs(&n.ancestors);
+        }
+        out.tuples.push(t);
     }
     Ok(out)
 }
@@ -112,7 +125,7 @@ mod tests {
     #[test]
     fn projection_narrows_schema() {
         let (rel, mut reg) = ab_relation();
-        let out = project(&rel, &["id", "a"], &mut reg).unwrap();
+        let out = project(&rel, &["id", "a"], &mut reg, &ExecOptions::default()).unwrap();
         assert_eq!(out.schema.columns().len(), 2);
         assert_eq!(out.len(), 1);
         assert_eq!(out.value(0, "id").unwrap(), &Value::Int(1));
@@ -131,7 +144,7 @@ mod tests {
         let sel =
             select(&rel, &Predicate::cmp("b", CmpOp::Gt, 1i64), &mut reg, &ExecOptions::default())
                 .unwrap();
-        let out = project(&sel, &["a"], &mut reg).unwrap();
+        let out = project(&sel, &["a"], &mut reg, &ExecOptions::default()).unwrap();
         assert_eq!(out.schema.columns().len(), 1);
         let t = &out.tuples[0];
         assert_eq!(t.nodes.len(), 2, "partial b node kept as phantom");
@@ -149,7 +162,7 @@ mod tests {
             &ExecOptions::default(),
         )
         .unwrap();
-        let out = project(&sel, &["a"], &mut reg).unwrap();
+        let out = project(&sel, &["a"], &mut reg, &ExecOptions::default()).unwrap();
         let t = &out.tuples[0];
         assert_eq!(t.nodes.len(), 1);
         assert_eq!(t.nodes[0].dims.len(), 2, "b retained as phantom dimension");
@@ -164,15 +177,15 @@ mod tests {
     #[test]
     fn projection_validation() {
         let (rel, mut reg) = ab_relation();
-        assert!(project(&rel, &[], &mut reg).is_err());
-        assert!(project(&rel, &["zzz"], &mut reg).is_err());
-        assert!(project(&rel, &["a", "a"], &mut reg).is_err());
+        assert!(project(&rel, &[], &mut reg, &ExecOptions::default()).is_err());
+        assert!(project(&rel, &["zzz"], &mut reg, &ExecOptions::default()).is_err());
+        assert!(project(&rel, &["a", "a"], &mut reg, &ExecOptions::default()).is_err());
     }
 
     #[test]
     fn projection_preserves_certain_columns_only() {
         let (rel, mut reg) = ab_relation();
-        let out = project(&rel, &["id"], &mut reg).unwrap();
+        let out = project(&rel, &["id"], &mut reg, &ExecOptions::default()).unwrap();
         assert_eq!(out.schema.columns().len(), 1);
         assert!(out.tuples[0].nodes.is_empty(), "full-mass pdfs dropped");
         assert!((out.tuples[0].naive_existence() - 1.0).abs() < 1e-12);

@@ -38,6 +38,15 @@ pub struct ExecOptions {
     /// history collapses) into it; tuple flow and wall time are recorded by
     /// the profiled executors, which know operator boundaries.
     pub stats: Option<Arc<ExecStats>>,
+    /// Worker threads for morsel-parallel operators. `0` (the default)
+    /// means auto: the `ORION_THREADS` environment variable if set,
+    /// otherwise the machine's available parallelism. Output is
+    /// bit-identical at any thread count (see [`crate::exec_par`]).
+    pub threads: usize,
+    /// Tuples per morsel. Inputs no larger than one morsel run serially,
+    /// so small relations never pay thread costs; tests shrink this to
+    /// force parallelism on tiny inputs.
+    pub morsel_size: usize,
 }
 
 impl Default for ExecOptions {
@@ -47,6 +56,8 @@ impl Default for ExecOptions {
             use_histories: true,
             eager_collapse: true,
             stats: None,
+            threads: 0,
+            morsel_size: crate::exec_par::DEFAULT_MORSEL_SIZE,
         }
     }
 }
@@ -81,12 +92,13 @@ pub fn select(
 
     let mut out = Relation::new(format!("sigma({})", rel.name), rel.schema.clone());
     if uncertain_cols.is_empty() {
-        // Case 1: certain-only predicate.
-        for t in &rel.tuples {
+        // Case 1: certain-only predicate. Parallel compute, ordered commit.
+        let kept = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
             let lookup = certain_lookup(rel, t);
-            if pred.eval(&lookup) == Some(true) {
-                push_tuple(&mut out, t.clone(), reg);
-            }
+            Ok((pred.eval(&lookup) == Some(true)).then(|| t.clone()))
+        })?;
+        for t in kept.into_iter().flatten() {
+            push_tuple(&mut out, t, reg);
         }
         return Ok(out);
     }
@@ -98,16 +110,17 @@ pub fn select(
     sets.push(a_ids.clone());
     out.schema.set_deps(closure(&sets));
 
+    // Phase 1 (parallel): per-tuple flooring reads the registry immutably.
     let fast = fast_path_atoms(rel, pred);
-    for t in &rel.tuples {
-        let new_t = match &fast {
-            Some(atoms) => select_tuple_fast(rel, t, atoms, opts.stats_ref())?,
-            None => select_tuple_general(rel, t, pred, &a_ids, reg, opts)?,
-        };
-        if let Some(nt) = new_t {
-            if !nt.is_vacuous() {
-                push_tuple(&mut out, nt, reg);
-            }
+    let reg_ref: &HistoryRegistry = reg;
+    let computed = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| match &fast {
+        Some(atoms) => select_tuple_fast(rel, t, atoms, opts.stats_ref()),
+        None => select_tuple_general(rel, t, pred, &a_ids, reg_ref, opts),
+    })?;
+    // Phase 2 (serial, in input order): reference-count commits.
+    for nt in computed.into_iter().flatten() {
+        if !nt.is_vacuous() {
+            push_tuple(&mut out, nt, reg);
         }
     }
     Ok(out)

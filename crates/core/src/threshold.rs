@@ -44,17 +44,21 @@ pub fn threshold_attrs(
         .collect::<Result<_>>()?;
 
     let mut out = Relation::new(format!("sigma_pr({})", rel.name), rel.schema.clone());
-    for t in &rel.tuples {
-        let prob = attr_set_probability(t, &ids, reg, opts)?;
-        if op.test(
-            prob.partial_cmp(&p)
-                .ok_or_else(|| EngineError::Operator("non-finite probability".into()))?,
-        ) {
-            for n in &t.nodes {
-                reg.add_refs(&n.ancestors);
-            }
-            out.tuples.push(t.clone());
+    // Phase 1 (parallel): probability evaluation reads the registry only.
+    let reg_ref: &HistoryRegistry = reg;
+    let kept = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
+        let prob = attr_set_probability(t, &ids, reg_ref, opts)?;
+        let cmp = prob
+            .partial_cmp(&p)
+            .ok_or_else(|| EngineError::Operator("non-finite probability".into()))?;
+        Ok(op.test(cmp).then(|| t.clone()))
+    })?;
+    // Phase 2 (serial, in input order): reference-count commits.
+    for t in kept.into_iter().flatten() {
+        for n in &t.nodes {
+            reg.add_refs(&n.ancestors);
         }
+        out.tuples.push(t);
     }
     Ok(out)
 }
@@ -102,17 +106,21 @@ pub fn threshold_pred(
 ) -> Result<Relation> {
     pred.validate(&rel.schema)?;
     let mut out = Relation::new(format!("sigma_prob({})", rel.name), rel.schema.clone());
-    for t in &rel.tuples {
-        let prob = predicate_probability(rel, t, pred, reg, opts)?;
-        if op.test(
-            prob.partial_cmp(&p)
-                .ok_or_else(|| EngineError::Operator("non-finite probability".into()))?,
-        ) {
-            for n in &t.nodes {
-                reg.add_refs(&n.ancestors);
-            }
-            out.tuples.push(t.clone());
+    // Phase 1 (parallel): Pr(θ) evaluation reads the registry only.
+    let reg_ref: &HistoryRegistry = reg;
+    let kept = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
+        let prob = predicate_probability(rel, t, pred, reg_ref, opts)?;
+        let cmp = prob
+            .partial_cmp(&p)
+            .ok_or_else(|| EngineError::Operator("non-finite probability".into()))?;
+        Ok(op.test(cmp).then(|| t.clone()))
+    })?;
+    // Phase 2 (serial, in input order): reference-count commits.
+    for t in kept.into_iter().flatten() {
+        for n in &t.nodes {
+            reg.add_refs(&n.ancestors);
         }
+        out.tuples.push(t);
     }
     Ok(out)
 }

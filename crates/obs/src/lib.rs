@@ -25,7 +25,7 @@ pub mod stats;
 
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer};
 pub use profile::OpProfile;
-pub use stats::{ExecStats, ExecStatsSnapshot, ExecTimer};
+pub use stats::{ExecStats, ExecStatsSnapshot, ExecTimer, WorkerLane};
 
 /// Formats a nanosecond count in adaptive human units (`412ns`, `3.1us`,
 /// `2.4ms`, `1.20s`).

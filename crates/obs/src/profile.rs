@@ -43,7 +43,7 @@ impl OpProfile {
 
     /// Sum of this node's and all descendants' counters.
     pub fn total(&self) -> ExecStatsSnapshot {
-        let mut acc = self.stats;
+        let mut acc = self.stats.clone();
         for c in &self.children {
             acc.merge(&c.total());
         }

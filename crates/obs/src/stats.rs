@@ -9,7 +9,21 @@
 
 use crate::metrics::Counter;
 use crate::{fmt_nanos, json};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Work done by one worker of a morsel-parallel operator: how many morsels
+/// it claimed and how long it was busy. Recorded by the parallel executor,
+/// rendered by `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerLane {
+    /// Worker index within the pool (0-based).
+    pub worker: usize,
+    /// Morsels this worker processed.
+    pub morsels: u64,
+    /// Wall time the worker spent computing, in nanoseconds.
+    pub busy_nanos: u64,
+}
 
 /// Atomic execution counters for one operator (or one whole query).
 #[derive(Debug, Default)]
@@ -27,8 +41,13 @@ pub struct ExecStats {
     pub pdf_marginalizations: Counter,
     /// History-dependent merges (the paper's Section III-D collapses).
     pub collapses: Counter,
+    /// Join pairs skipped before any pdf work because their certain
+    /// equi-join attributes already mismatch.
+    pub pairs_pruned: Counter,
     /// Wall time attributed to the operator, in nanoseconds.
     pub elapsed_nanos: Counter,
+    /// Per-worker morsel counts and busy time (empty for serial execution).
+    workers: Mutex<Vec<WorkerLane>>,
 }
 
 impl ExecStats {
@@ -42,6 +61,23 @@ impl ExecStats {
         ExecTimer { stats: self, start: Instant::now() }
     }
 
+    /// Adds one worker's contribution to the per-worker lanes. Lanes with
+    /// the same worker index accumulate (an operator may run several
+    /// parallel phases over one collector).
+    pub fn record_worker(&self, worker: usize, morsels: u64, busy_nanos: u64) {
+        let mut lanes = self.workers.lock().expect("worker lanes poisoned");
+        match lanes.iter_mut().find(|l| l.worker == worker) {
+            Some(l) => {
+                l.morsels += morsels;
+                l.busy_nanos += busy_nanos;
+            }
+            None => {
+                lanes.push(WorkerLane { worker, morsels, busy_nanos });
+                lanes.sort_by_key(|l| l.worker);
+            }
+        }
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> ExecStatsSnapshot {
         ExecStatsSnapshot {
@@ -51,7 +87,9 @@ impl ExecStats {
             pdf_floors: self.pdf_floors.get(),
             pdf_marginalizations: self.pdf_marginalizations.get(),
             collapses: self.collapses.get(),
+            pairs_pruned: self.pairs_pruned.get(),
             elapsed_nanos: self.elapsed_nanos.get(),
+            workers: self.workers.lock().expect("worker lanes poisoned").clone(),
         }
     }
 }
@@ -76,7 +114,7 @@ impl Drop for ExecTimer<'_> {
 }
 
 /// Plain-value copy of an [`ExecStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStatsSnapshot {
     /// Tuples entering the operator.
     pub tuples_in: u64,
@@ -90,8 +128,13 @@ pub struct ExecStatsSnapshot {
     pub pdf_marginalizations: u64,
     /// History-dependent merges.
     pub collapses: u64,
+    /// Join pairs pruned by the certain equi-key pre-filter.
+    pub pairs_pruned: u64,
     /// Attributed wall time in nanoseconds.
     pub elapsed_nanos: u64,
+    /// Per-worker morsel counts and busy time, sorted by worker index
+    /// (empty when the operator ran serially).
+    pub workers: Vec<WorkerLane>,
 }
 
 impl ExecStatsSnapshot {
@@ -103,25 +146,61 @@ impl ExecStatsSnapshot {
         self.pdf_floors += other.pdf_floors;
         self.pdf_marginalizations += other.pdf_marginalizations;
         self.collapses += other.collapses;
+        self.pairs_pruned += other.pairs_pruned;
         self.elapsed_nanos += other.elapsed_nanos;
+        for lane in &other.workers {
+            match self.workers.iter_mut().find(|l| l.worker == lane.worker) {
+                Some(l) => {
+                    l.morsels += lane.morsels;
+                    l.busy_nanos += lane.busy_nanos;
+                }
+                None => {
+                    self.workers.push(lane.clone());
+                    self.workers.sort_by_key(|l| l.worker);
+                }
+            }
+        }
     }
 
-    /// One-line rendering used by `EXPLAIN ANALYZE` rows.
+    /// One-line rendering used by `EXPLAIN ANALYZE` rows. The worker-lane
+    /// section appears only when the operator actually ran in parallel, so
+    /// serial plans render exactly as before.
     pub fn render(&self) -> String {
-        format!(
-            "in={} out={} products={} floors={} marginalize={} collapses={} time={}",
+        let mut line = format!(
+            "in={} out={} products={} floors={} marginalize={} collapses={} pruned={} time={}",
             self.tuples_in,
             self.tuples_out,
             self.pdf_products,
             self.pdf_floors,
             self.pdf_marginalizations,
             self.collapses,
+            self.pairs_pruned,
             fmt_nanos(self.elapsed_nanos),
-        )
+        );
+        if !self.workers.is_empty() {
+            line.push_str(" workers=[");
+            for (i, l) in self.workers.iter().enumerate() {
+                if i > 0 {
+                    line.push(' ');
+                }
+                line.push_str(&format!("{}:{}m/{}", l.worker, l.morsels, fmt_nanos(l.busy_nanos)));
+            }
+            line.push(']');
+        }
+        line
     }
 
     /// JSON form with one field per counter.
     pub fn to_json(&self) -> json::Value {
+        let mut workers = json::Value::array();
+        for l in &self.workers {
+            workers.push(
+                json::Value::object()
+                    .with("worker", l.worker as u64)
+                    .with("morsels", l.morsels)
+                    .with("busy_nanos", l.busy_nanos),
+            );
+        }
         json::Value::object()
             .with("tuples_in", self.tuples_in)
             .with("tuples_out", self.tuples_out)
@@ -129,7 +208,9 @@ impl ExecStatsSnapshot {
             .with("pdf_floors", self.pdf_floors)
             .with("pdf_marginalizations", self.pdf_marginalizations)
             .with("collapses", self.collapses)
+            .with("pairs_pruned", self.pairs_pruned)
             .with("elapsed_nanos", self.elapsed_nanos)
+            .with("workers", workers)
     }
 }
 
@@ -184,11 +265,53 @@ mod tests {
             pdf_floors: 4,
             pdf_marginalizations: 5,
             collapses: 6,
+            pairs_pruned: 7,
             elapsed_nanos: 1_500,
+            workers: Vec::new(),
         };
         assert_eq!(
             snap.render(),
-            "in=2 out=1 products=3 floors=4 marginalize=5 collapses=6 time=1.5us"
+            "in=2 out=1 products=3 floors=4 marginalize=5 collapses=6 pruned=7 time=1.5us"
+        );
+    }
+
+    #[test]
+    fn worker_lanes_accumulate_and_render() {
+        let s = ExecStats::new();
+        s.record_worker(1, 2, 500);
+        s.record_worker(0, 3, 1_000);
+        s.record_worker(1, 1, 500);
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.workers,
+            vec![
+                WorkerLane { worker: 0, morsels: 3, busy_nanos: 1_000 },
+                WorkerLane { worker: 1, morsels: 3, busy_nanos: 1_000 },
+            ]
+        );
+        assert!(snap.render().ends_with("workers=[0:3m/1.0us 1:3m/1.0us]"), "{}", snap.render());
+    }
+
+    #[test]
+    fn merge_sums_worker_lanes_by_index() {
+        let mut a = ExecStatsSnapshot {
+            workers: vec![WorkerLane { worker: 0, morsels: 1, busy_nanos: 10 }],
+            ..Default::default()
+        };
+        let b = ExecStatsSnapshot {
+            workers: vec![
+                WorkerLane { worker: 0, morsels: 2, busy_nanos: 5 },
+                WorkerLane { worker: 2, morsels: 4, busy_nanos: 7 },
+            ],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.workers,
+            vec![
+                WorkerLane { worker: 0, morsels: 3, busy_nanos: 15 },
+                WorkerLane { worker: 2, morsels: 4, busy_nanos: 7 },
+            ]
         );
     }
 }

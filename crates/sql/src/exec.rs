@@ -715,7 +715,7 @@ impl Database {
                 other => Err(SqlError::Exec(format!("unsupported select item {other:?}"))),
             })
             .collect::<Result<_>>()?;
-        let mut projected = project(&input, &cols, &mut self.reg)?;
+        let mut projected = project(&input, &cols, &mut self.reg, &self.opts)?;
         if distinct {
             // Probabilistic duplicate elimination induces complex
             // historical dependencies (the paper defers it as future
@@ -1172,14 +1172,47 @@ mod tests {
         assert_eq!(
             normalize_times(&profile.render(true)),
             "Project [l.id]  \
-             (in=1 out=1 products=0 floors=0 marginalize=0 collapses=0 time=_)\n\
+             (in=1 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n\
              └─ Join [x < y]  \
-             (in=2 out=1 products=1 floors=1 marginalize=0 collapses=0 time=_)\n\
+             (in=2 out=1 products=1 floors=1 marginalize=0 collapses=0 pruned=0 time=_)\n\
              \u{20}  ├─ Scan [l]  \
-             (in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 time=_)\n\
+             (in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n\
              \u{20}  └─ Scan [r]  \
-             (in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 time=_)\n"
+             (in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n"
         );
+    }
+
+    #[test]
+    fn explain_analyze_shows_worker_lanes_when_parallel() {
+        // Tiny morsels force the parallel path even on a 3-row table; the
+        // select node's stats must then carry per-worker lanes, and the
+        // result must match the serial run exactly.
+        let opts = ExecOptions { threads: 2, morsel_size: 1, ..ExecOptions::default() };
+        let mut db = Database::with_options(opts);
+        db.execute("CREATE TABLE readings (rid INT, value REAL UNCERTAIN)").unwrap();
+        db.execute(
+            "INSERT INTO readings VALUES (1, GAUSSIAN(20, 5)), (2, GAUSSIAN(25, 4)), \
+             (3, GAUSSIAN(13, 1))",
+        )
+        .unwrap();
+        let out = db.execute("EXPLAIN ANALYZE SELECT rid FROM readings WHERE value < 20").unwrap();
+        let Output::Explain { profile, .. } = out else { panic!("expected explain") };
+        let text = profile.render(true);
+        assert!(text.contains("workers=["), "no worker lanes in:\n{text}");
+
+        let mut serial = sensor_db();
+        let Output::Table(a) = db.execute("SELECT rid FROM readings WHERE value < 20").unwrap()
+        else {
+            panic!("expected table")
+        };
+        let Output::Table(b) = serial.execute("SELECT rid FROM readings WHERE value < 20").unwrap()
+        else {
+            panic!("expected table")
+        };
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.tuples.iter().zip(&b.tuples) {
+            assert_eq!(ta.certain, tb.certain);
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn main() {
     println!();
 
     banner("Projection keeps the correlated y as a phantom dimension");
-    let xs = project(&west, &["oid", "x"], &mut reg).unwrap();
+    let xs = project(&west, &["oid", "x"], &mut reg, &ExecOptions::default()).unwrap();
     let t = &xs.tuples[0];
     println!(
         "visible columns: {:?}",

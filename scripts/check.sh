@@ -13,8 +13,11 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo clippy (failpoints) =="
 cargo clippy -p orion-storage -p orion-core -p orion-tests --all-targets --features failpoints -- -D warnings
 
-echo "== cargo test -q =="
-cargo test -q
+echo "== cargo test -q (ORION_THREADS=1) =="
+ORION_THREADS=1 cargo test -q
+
+echo "== cargo test -q (ORION_THREADS=4) =="
+ORION_THREADS=4 cargo test -q
 
 echo "== cargo test -q (fault injection, fixed seeds) =="
 cargo test -q -p orion-storage -p orion-core -p orion-tests --features failpoints
@@ -25,6 +28,15 @@ for seed in 0xA11CE 0xC0FFEE 0xDECADE; do
     ORION_ORACLE_SEED=$seed cargo test -q -p orion-tests --features failpoints \
         --test crash_matrix --test recovery_oracle
 done
+
+echo "== morsel-parallel speedup gate =="
+CORES=$(nproc 2>/dev/null || echo 1)
+if [ "$CORES" -ge 4 ]; then
+    # 100K-tuple selection must reach 1.5x at 4 threads on a >=4-core host.
+    cargo run --release -p orion-bench --bin fig_parallel -- --quick --min-speedup 1.5
+else
+    echo "skipped: host has $CORES core(s); need >= 4 for a meaningful speedup gate"
+fi
 
 echo "== proptest-regressions must be committed =="
 if [ -n "$(git status --porcelain -- '*proptest-regressions*')" ]; then

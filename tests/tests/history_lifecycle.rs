@@ -39,7 +39,7 @@ fn derived_views_hold_references() {
     let rel = base_with_joint(&mut reg);
     let base_id = *rel.tuples[0].nodes[0].ancestors.iter().next().unwrap();
     assert_eq!(reg.ref_count(base_id), 1, "base tuple holds one reference");
-    let view = project(&rel, &["a"], &mut reg).unwrap();
+    let view = project(&rel, &["a"], &mut reg, &ExecOptions::default()).unwrap();
     assert_eq!(reg.ref_count(base_id), 2, "derived view adds one");
     view.release(&mut reg);
     assert_eq!(reg.ref_count(base_id), 1);
@@ -53,10 +53,10 @@ fn phantom_base_supports_late_recombination() {
     let mut rel = base_with_joint(&mut reg);
     let opts = ExecOptions::default();
 
-    let mut ta = project(&rel, &["id", "a"], &mut reg).unwrap();
+    let mut ta = project(&rel, &["id", "a"], &mut reg, &opts).unwrap();
     ta.name = "Ta".into();
     let sel = select(&rel, &Predicate::cmp("b", CmpOp::Gt, 4i64), &mut reg, &opts).unwrap();
-    let mut tb = project(&sel, &["id", "b"], &mut reg).unwrap();
+    let mut tb = project(&sel, &["id", "b"], &mut reg, &opts).unwrap();
     tb.name = "Tb".into();
     sel.release(&mut reg);
 
@@ -116,10 +116,10 @@ fn eager_and_lazy_collapse_agree() {
     let lazy = ExecOptions { eager_collapse: false, ..ExecOptions::default() };
 
     let build = |reg: &mut HistoryRegistry, opts: &ExecOptions| {
-        let mut ta = project(&rel, &["id", "a"], reg).unwrap();
+        let mut ta = project(&rel, &["id", "a"], reg, opts).unwrap();
         ta.name = "Ta".into();
         let sel = select(&rel, &Predicate::cmp("b", CmpOp::Gt, 4i64), reg, opts).unwrap();
-        let mut tb = project(&sel, &["id", "b"], reg).unwrap();
+        let mut tb = project(&sel, &["id", "b"], reg, opts).unwrap();
         tb.name = "Tb".into();
         orion_core::join::join(
             &ta,

@@ -123,7 +123,7 @@ fn figure3_complete_pipeline() {
         .unwrap();
     }
     let opts = ExecOptions::default();
-    let mut ta = orion_core::project::project(&t, &["a"], &mut reg).unwrap();
+    let mut ta = orion_core::project::project(&t, &["a"], &mut reg, &opts).unwrap();
     ta.name = "Ta".into();
     // Ta's marginals: Discrete(4:0.9, 2:0.1) and Discrete(7:0.7).
     let a_id = t.schema.column("a").unwrap().id;
@@ -135,7 +135,7 @@ fn figure3_complete_pipeline() {
     let sel =
         orion_core::select::select(&t, &Predicate::cmp("b", CmpOp::Gt, 4i64), &mut reg, &opts)
             .unwrap();
-    let mut tb = orion_core::project::project(&sel, &["b"], &mut reg).unwrap();
+    let mut tb = orion_core::project::project(&sel, &["b"], &mut reg, &opts).unwrap();
     tb.name = "Tb".into();
     assert_eq!(tb.len(), 1, "t2 fails b > 4");
     let mb = tb.marginal(0, "b").unwrap();
