@@ -107,25 +107,25 @@ fn pair_tuple(tl: &ProbTuple, tr: &ProbTuple) -> ProbTuple {
 }
 
 /// The certain-certain equality conjuncts of a join predicate, resolved
-/// against the crossed schema. These can be decided from certain values
-/// alone, so a mismatching pair can be skipped before any pdf work.
-fn certain_equalities(crossed_schema: &ProbSchema, pred: &Predicate) -> Vec<Predicate> {
+/// once against the crossed schema to value positions `(i, j)` into the
+/// crossed row. These can be decided from certain values alone, so a
+/// mismatching pair can be skipped before any pdf work — and resolving
+/// names here keeps string lookups off the per-pair hot path.
+fn certain_equalities(crossed_schema: &ProbSchema, pred: &Predicate) -> Vec<(usize, usize)> {
+    let certain_idx = |name: &str| -> Option<usize> {
+        let idx = crossed_schema.index_of(name)?;
+        (!crossed_schema.columns()[idx].uncertain).then_some(idx)
+    };
     pred.conjuncts()
         .into_iter()
-        .filter(|conj| {
-            matches!(
-                conj,
-                Predicate::Cmp(
-                    crate::predicate::Scalar::Col(_),
-                    crate::predicate::CmpOp::Eq,
-                    crate::predicate::Scalar::Col(_),
-                )
-            ) && conj
-                .columns()
-                .iter()
-                .all(|c| crossed_schema.column(c).is_some_and(|col| !col.uncertain))
+        .filter_map(|conj| match conj {
+            Predicate::Cmp(
+                crate::predicate::Scalar::Col(a),
+                crate::predicate::CmpOp::Eq,
+                crate::predicate::Scalar::Col(b),
+            ) => Some((certain_idx(a)?, certain_idx(b)?)),
+            _ => None,
         })
-        .cloned()
         .collect()
 }
 
@@ -138,31 +138,30 @@ fn cross_prefiltered(
     left: &Relation,
     right: &Relation,
     template: &Relation,
-    equalities: &[Predicate],
+    equalities: &[(usize, usize)],
     reg: &mut HistoryRegistry,
     opts: &ExecOptions,
 ) -> Result<Relation> {
     let mut out = Relation::new(template.name.clone(), template.schema.clone());
     let n_left = left.schema.columns().len();
-    // Phase 1 (parallel): evaluate the certain equalities per pair.
+    // Phase 1 (parallel): evaluate the pre-resolved certain equalities per
+    // pair. A comparison involving NULL (or incomparable types) yields
+    // `None` — UNKNOWN, never pruned — matching `Predicate::eval`.
     let groups = crate::exec_par::run_tuples(&left.tuples, opts, |_, tl| {
         let mut matches = Vec::new();
         let mut pruned = 0u64;
         for tr in &right.tuples {
-            let lookup = |name: &str| {
-                template
-                    .schema
-                    .index_of(name)
-                    .map(|i| {
-                        if i < n_left {
-                            tl.certain[i].clone()
-                        } else {
-                            tr.certain[i - n_left].clone()
-                        }
-                    })
-                    .unwrap_or(crate::value::Value::Null)
+            let val = |i: usize| {
+                if i < n_left {
+                    &tl.certain[i]
+                } else {
+                    &tr.certain[i - n_left]
+                }
             };
-            if equalities.iter().any(|eq| eq.eval(&lookup) == Some(false)) {
+            if equalities.iter().any(|&(ia, ib)| {
+                matches!(val(ia).compare(val(ib)),
+                         Some(ord) if ord != std::cmp::Ordering::Equal)
+            }) {
                 pruned += 1;
                 continue;
             }

@@ -70,6 +70,15 @@ fn key_of(table: &ConcreteTable, row: &[Value]) -> Vec<CanonValue> {
         .collect()
 }
 
+/// SplitMix64 finalizer: a bijective mixer on `u64`, used to derive
+/// statistically independent per-worker seeds from `base_seed ^ worker`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Monte-Carlo estimate: for each distinct certain-column key, the
 /// fraction of sampled worlds in which the query emits a row with that
 /// key. Keys never emitted are absent from the map.
@@ -104,8 +113,10 @@ pub fn mc_key_distribution(
 }
 
 /// Parallel Monte-Carlo estimate: samples are sharded across a scoped
-/// worker pool, each worker drawing from its own [`XorShift`] stream seeded
-/// with `base_seed + worker index`, and per-worker presence counts are
+/// worker pool, each worker drawing from its own [`XorShift`] stream whose
+/// seed is the worker index mixed into `base_seed` with [`splitmix64`]
+/// (additive seeding can collide after wrap-around clamping; the bijective
+/// mixer keeps the streams distinct), and per-worker presence counts are
 /// summed.
 ///
 /// **Determinism caveat:** the result is a pure function of
@@ -132,14 +143,18 @@ pub fn mc_key_distribution_par(
         return Err(EngineError::Operator("need at least one sample".into()));
     }
     let workers = crate::exec_par::effective_threads(threads).min(samples).max(1);
-    let per_worker = samples.div_ceil(workers);
     let shards: Result<Vec<HashMap<Vec<CanonValue>, usize>>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let lo = w * per_worker;
-            let n = per_worker.min(samples - lo);
+            // Balanced partition: shard w covers [w*samples/workers,
+            // (w+1)*samples/workers). Every bound is in range (no ceil-split
+            // underflow on the trailing shards) and, since workers <=
+            // samples, every shard is non-empty. u128 guards w * samples.
+            let lo = (w as u128 * samples as u128 / workers as u128) as usize;
+            let hi = ((w as u128 + 1) * samples as u128 / workers as u128) as usize;
+            let n = hi - lo;
             handles.push(scope.spawn(move || {
-                let mut rng = XorShift::new(base_seed.wrapping_add(w as u64).max(1));
+                let mut rng = XorShift::new(splitmix64(base_seed ^ w as u64));
                 let mut counts: HashMap<Vec<CanonValue>, usize> = HashMap::new();
                 for _ in 0..n {
                     let world = sample_world(tables, &mut rng);
@@ -387,6 +402,27 @@ mod tests {
         // Monte-Carlo error of the engine, not bit-identical to each other.
         let c = mc_key_distribution_par(&plan, &tables, SAMPLES, 42, 2).unwrap();
         assert!(key_distribution_distance(&c, &eng) < MC_TOL);
+    }
+
+    #[test]
+    fn parallel_sampler_uneven_shards_are_exact() {
+        let (tables, _) = gaussian_table();
+        let plan = Plan::scan("g");
+        // Shard splits where a ceil partition would run off the end
+        // (workers * per_worker > samples) and the worst-case seed for
+        // additive wrap-around: frequencies must stay exact multiples of
+        // 1/samples, and full-mass tuples must land on exactly 1.
+        for (samples, threads) in [(5, 4), (7, 3), (100, 64), (3, 8)] {
+            let d = mc_key_distribution_par(&plan, &tables, samples, u64::MAX, threads).unwrap();
+            assert_eq!(d.len(), 3, "samples={samples} threads={threads}");
+            for &p in d.values() {
+                assert!(
+                    (p - 1.0).abs() < 1e-12,
+                    "full-mass pdfs are present in every world; samples={samples} \
+                     threads={threads}: p={p}"
+                );
+            }
+        }
     }
 
     #[test]
