@@ -1,9 +1,10 @@
 //! Regenerates Figure 5: range-query runtime and physical reads over
 //! on-disk relations of uncertain tuples, per representation.
 //!
-//! Usage: `fig5_performance [--full] [--json PATH]`
+//! Usage: `fig5_performance [--full] [--json PATH] [--trace PATH]`
 //! Default is a 10x scaled-down sweep (50K-300K tuples); `--full` runs the
-//! paper's 0.5M-3M.
+//! paper's 0.5M-3M. `--trace PATH` records the sweep with the structured
+//! tracer and writes a Chrome trace-event file.
 
 use orion_bench::fig5::{cleanup, rows_to_json, run, stats_json, Fig5Config};
 use orion_bench::report;
@@ -16,6 +17,7 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let trace_path = report::trace_arg(&args);
 
     let cfg = if full { Fig5Config::default() } else { Fig5Config::quick() };
     eprintln!(
@@ -52,6 +54,9 @@ fn main() {
         let sp = report::stats_path(&p);
         report::write_json(&sp, &stats_json(&rows)).expect("write stats json");
         eprintln!("wrote {}", sp.display());
+    }
+    if let Some(p) = trace_path {
+        report::write_trace(&p);
     }
     cleanup(&cfg.dir);
 }

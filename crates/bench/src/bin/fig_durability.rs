@@ -1,7 +1,10 @@
 //! Regenerates the durability figure: group-commit fsync amortization vs
 //! writer count, and full vs incremental checkpoint cost.
 //!
-//! Usage: `fig_durability [--json PATH]`
+//! Usage: `fig_durability [--json PATH] [--trace PATH]`
+//!
+//! `--trace PATH` records the run with the structured tracer (WAL append /
+//! fsync spans, checkpoint spans) and writes a Chrome trace-event file.
 
 use orion_bench::durability::{run_checkpoints, run_group_commit, to_json, DurabilityConfig};
 use orion_bench::report;
@@ -13,6 +16,7 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let trace_path = report::trace_arg(&args);
 
     let cfg = DurabilityConfig::default();
     eprintln!(
@@ -68,5 +72,8 @@ fn main() {
     if let Some(p) = json_path {
         report::write_json(&p, &to_json(&gc, &ckpt)).expect("write json");
         eprintln!("wrote {}", p.display());
+    }
+    if let Some(p) = trace_path {
+        report::write_trace(&p);
     }
 }

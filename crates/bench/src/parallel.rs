@@ -10,10 +10,11 @@
 
 use orion_core::prelude::*;
 use orion_core::select::select;
-use orion_obs::json;
+use orion_obs::{json, ExecStats, ExecStatsSnapshot};
 use orion_pdf::prelude::JointPdf;
 use orion_workload::SensorWorkload;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration for the parallel-scaling sweep.
@@ -70,6 +71,10 @@ pub struct ParallelRow {
     pub host_cores: usize,
     /// Result cardinality (identical across thread counts by construction).
     pub out_tuples: usize,
+    /// Operator counters accumulated over the repeats, including the
+    /// per-worker morsel/busy-time lanes (empty for the serial row) —
+    /// the raw material for worker-skew analysis.
+    pub stats: ExecStatsSnapshot,
 }
 
 impl ParallelRow {
@@ -94,6 +99,22 @@ pub fn rows_to_json(rows: &[ParallelRow]) -> json::Value {
         arr.push(r.to_json());
     }
     arr
+}
+
+/// Operator-stats snapshot for the `.stats.json` sibling artifact: one
+/// entry per thread count carrying the full counter set, worker lanes
+/// included (so per-worker skew is inspectable after the run).
+pub fn stats_json(rows: &[ParallelRow]) -> json::Value {
+    let mut arr = json::Value::array();
+    for r in rows {
+        arr.push(
+            json::Value::object()
+                .with("threads", r.threads)
+                .with("morsel_size", r.morsel_size)
+                .with("stats", r.stats.to_json()),
+        );
+    }
+    json::Value::object().with("figure", "fig_parallel").with("rows", arr)
 }
 
 /// Builds the reading relation with the parallel bulk loader (ids are
@@ -141,7 +162,9 @@ pub fn run(cfg: &ParallelConfig) -> Vec<ParallelRow> {
         counts.insert(0, 1);
     }
     for threads in counts {
-        let opts = ExecOptions { threads, morsel_size: cfg.morsel_size, ..ExecOptions::default() };
+        let stats = Arc::new(ExecStats::new());
+        let opts = ExecOptions { threads, morsel_size: cfg.morsel_size, ..ExecOptions::default() }
+            .with_stats(Arc::clone(&stats));
         let mut best = f64::INFINITY;
         let mut out_len = 0usize;
         for _ in 0..cfg.repeats.max(1) {
@@ -172,6 +195,7 @@ pub fn run(cfg: &ParallelConfig) -> Vec<ParallelRow> {
             morsel_size: cfg.morsel_size,
             host_cores,
             out_tuples: out_len,
+            stats: stats.snapshot(),
         });
     }
     rows
@@ -206,6 +230,18 @@ mod tests {
         assert!(n > 0, "selection keeps some tuples");
         assert!(rows.iter().all(|r| r.out_tuples == n));
         assert!(rows.iter().all(|r| r.query_secs > 0.0 && r.speedup > 0.0));
+    }
+
+    #[test]
+    fn stats_snapshot_carries_worker_lanes() {
+        let rows = run(&tiny_cfg());
+        let par = rows.iter().find(|r| r.threads == 4).expect("4-thread row");
+        assert!(!par.stats.workers.is_empty(), "parallel row records worker lanes");
+        assert!(par.stats.pdf_floors > 0, "range selection floors pdfs");
+        let text = stats_json(&rows).to_string_compact();
+        assert!(text.contains("\"figure\":\"fig_parallel\""), "{text}");
+        assert!(text.contains("\"workers\""), "{text}");
+        assert!(text.contains("\"busy_nanos\""), "{text}");
     }
 
     #[test]

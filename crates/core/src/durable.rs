@@ -163,6 +163,12 @@ impl DurableDb {
     /// [`DurableDb::open`] with explicit group-commit tunables.
     pub fn open_with(dir: &Path, cfg: GroupCommitConfig) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
+        // Crash observability: flight-recorder dumps land next to the data
+        // they describe, and a panic anywhere in the process leaves one
+        // (both no-ops unless the recorder is enabled via ORION_TRACE=1 or
+        // recorder::set_enabled).
+        orion_obs::recorder::set_dump_dir(dir);
+        orion_obs::recorder::install_panic_hook();
         let snap = dir.join(SNAPSHOT_FILE);
         let mut state = LoadState::default();
         let chain = persist::load_chain(&snap, dir, &mut state)?;
@@ -440,6 +446,17 @@ impl DurableDb {
         check_invariants(&self.tables, &self.reg)
     }
 
+    /// Dumps the flight recorder's recent-span ring into this database's
+    /// directory on demand (the same dump a panic or a halt-on-fault kill
+    /// produces). Returns the written path, or `None` when the recorder is
+    /// disabled.
+    pub fn dump_flight(&self, reason: &str) -> Option<PathBuf> {
+        if !orion_obs::recorder::enabled() {
+            return None;
+        }
+        orion_obs::recorder::dump_to_dir(&self.dir, reason).ok()
+    }
+
     /// Converts this exclusive handle into a [`SharedDurableDb`] whose
     /// `&self` methods let concurrent writers share group-commit fsyncs.
     pub fn into_shared(self) -> SharedDurableDb {
@@ -503,6 +520,18 @@ fn encode_insert_payloads(
     Ok(payloads)
 }
 
+/// A span on the calling thread's `checkpoint` lane, inert while tracing
+/// is off. Checkpoints are serialized per database (they hold the engine
+/// lock), and thread-keying keeps concurrent databases off each other's
+/// lanes.
+fn ckpt_span(name: &'static str) -> orion_obs::Span {
+    let t = orion_obs::Tracer::global();
+    if !t.enabled() {
+        return orion_obs::Span::noop();
+    }
+    t.thread_lane("checkpoint").span(name, "checkpoint")
+}
+
 /// The full-checkpoint protocol shared by [`DurableDb::checkpoint`] and
 /// [`SharedDurableDb::checkpoint`]. See [`DurableDb::checkpoint`].
 fn checkpoint_full(
@@ -514,6 +543,7 @@ fn checkpoint_full(
     wal: &GroupWal,
     io: &IoStats,
 ) -> Result<()> {
+    let mut span = ckpt_span("checkpoint.full");
     let new_epoch = *epoch + 1;
     let snap = dir.join(SNAPSHOT_FILE);
     persist::save_snapshot(&snap, tables, reg, new_epoch)?;
@@ -521,6 +551,10 @@ fn checkpoint_full(
     // mirrors the incremental path's copied/skipped accounting.
     let pages = std::fs::metadata(&snap).map(|m| m.len().div_ceil(PAGE_SIZE as u64)).unwrap_or(0);
     io.ckpt_pages_copied.add(pages);
+    if span.is_recording() {
+        span.arg("epoch", new_epoch);
+        span.arg("pages_copied", pages);
+    }
     // The rename above is the commit point. Deltas subsumed by the new
     // base are deleted afterwards; a crash in between leaves them behind
     // with stale epochs, and recovery removes them.
@@ -557,6 +591,7 @@ fn checkpoint_incremental(
     if !new_work {
         return Ok(());
     }
+    let mut span = ckpt_span("checkpoint.incremental");
     let new_epoch = *epoch + 1;
     // Rebuild the chain's pages in memory, then append only the records
     // the chain does not contain. The heap adopts the chain's tail page so
@@ -605,6 +640,11 @@ fn checkpoint_incremental(
     }
     io.ckpt_pages_copied.add(pages.len() as u64);
     io.ckpt_pages_skipped.add(total.saturating_sub(pages.len() as u64));
+    if span.is_recording() {
+        span.arg("epoch", new_epoch);
+        span.arg("pages_copied", pages.len() as u64);
+        span.arg("pages_skipped", total.saturating_sub(pages.len() as u64));
+    }
     // The delta rename is the commit point of this checkpoint.
     DeltaFile { epoch: new_epoch, pages }.write_atomic(dir)?;
     *epoch = new_epoch;

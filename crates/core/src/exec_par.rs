@@ -33,6 +33,7 @@ use crate::schema::AttrId;
 use crate::select::ExecOptions;
 use crate::tuple::{PdfNode, ProbTuple};
 use crate::value::Value;
+use orion_obs::Span;
 use orion_pdf::prelude::JointPdf;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,14 +80,29 @@ where
     let n_morsels = items.len().div_ceil(morsel);
     let workers = threads.min(n_morsels);
     let cursor = AtomicUsize::new(0);
+    // Tracing is record-only: spans observe the claim loop but never feed
+    // back into scheduling or results (see `tests/parallel_equiv.rs`).
+    let tracer = opts.tracer().cloned();
     // Finished morsels, tagged with their index for in-order stitching.
     let done: Mutex<Vec<(usize, Result<Vec<U>>)>> = Mutex::new(Vec::with_capacity(n_morsels));
 
+    let mut p1 = match &tracer {
+        Some(t) => t.thread_lane("exec").span("phase1.compute", "exec"),
+        None => Span::noop(),
+    };
+    if p1.is_recording() {
+        p1.arg("morsels", n_morsels as u64);
+        p1.arg("workers", workers as u64);
+    }
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let (cursor, done, f) = (&cursor, &done, &f);
+            let (cursor, done, f, tracer) = (&cursor, &done, &f, &tracer);
             handles.push(scope.spawn(move || {
+                // One fresh trace lane per worker, one span per morsel
+                // claim. `unique_lane` keeps concurrent queries' workers
+                // (which may share display names) on distinct lanes.
+                let lane = tracer.as_ref().map(|t| t.unique_lane(&format!("worker-{w}")));
                 let start = Instant::now();
                 let mut claimed = 0u64;
                 loop {
@@ -97,6 +113,15 @@ where
                     claimed += 1;
                     let lo = m * morsel;
                     let hi = ((m + 1) * morsel).min(items.len());
+                    let mut mspan = match &lane {
+                        Some(l) => l.span("morsel", "exec"),
+                        None => Span::noop(),
+                    };
+                    if mspan.is_recording() {
+                        mspan.arg("morsel", m as u64);
+                        mspan.arg("lo", lo as u64);
+                        mspan.arg("hi", hi as u64);
+                    }
                     let mut buf = Vec::with_capacity(hi - lo);
                     let mut res = Ok(());
                     for (i, t) in items[lo..hi].iter().enumerate() {
@@ -127,9 +152,16 @@ where
             }
         }
     });
+    drop(p1);
 
     // Ordered stitch; the error from the lowest input index wins, matching
-    // what serial in-order evaluation would have reported.
+    // what serial in-order evaluation would have reported. The caller's
+    // serial registry commit happens over this buffer, so the phase-2 span
+    // marks the parallel/serial boundary in the trace.
+    let _p2 = match &tracer {
+        Some(t) => t.thread_lane("exec").span("phase2.stitch", "exec"),
+        None => Span::noop(),
+    };
     let mut slots = done.into_inner();
     slots.sort_unstable_by_key(|(m, _)| *m);
     let mut out = Vec::with_capacity(items.len());
@@ -179,6 +211,13 @@ where
     // Phase 2: ordered serial commit. One contiguous reservation covers
     // every base pdf; walking rows in order assigns exactly the ids a
     // serial load would have produced.
+    let mut p2 = match opts.tracer() {
+        Some(t) => t.thread_lane("exec").span("insert_batch.commit", "exec"),
+        None => Span::noop(),
+    };
+    if p2.is_recording() {
+        p2.arg("rows", staged.len() as u64);
+    }
     let total: u64 = staged.iter().map(|r| r.protos.len() as u64).sum();
     let mut id = reg.reserve_ids(total);
     rel.tuples.reserve(staged.len());

@@ -13,7 +13,7 @@ use crate::project::project;
 use crate::relation::Relation;
 use crate::select::{select, ExecOptions};
 use crate::threshold::{threshold_attrs, threshold_pred};
-use orion_obs::{ExecStats, OpProfile};
+use orion_obs::{ExecStats, OpProfile, Span};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -67,6 +67,31 @@ impl Plan {
     }
 }
 
+/// The operator name a plan node traces under.
+fn op_name(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan(_) => "Scan",
+        Plan::Select(..) => "Select",
+        Plan::Project(..) => "Project",
+        Plan::Join(..) => "Join",
+        Plan::ThresholdAttrs(..) => "ThresholdAttrs",
+        Plan::ThresholdPred(..) => "ThresholdPred",
+    }
+}
+
+/// A span on the driver's `exec` lane, inert when tracing is off (one
+/// relaxed atomic load). Operator spans open before child recursion, so
+/// they nest like the plan tree and cover inclusive time — self time lives
+/// in the `ExecStats` args the profiled executor attaches.
+fn op_span(opts: &ExecOptions, plan: &Plan) -> Span {
+    match opts.tracer() {
+        // Thread-keyed lane: concurrent queries on other threads get their
+        // own lanes, so operator spans always nest.
+        Some(t) => t.thread_lane("exec").span(op_name(plan), "exec"),
+        None => Span::noop(),
+    }
+}
+
 /// Executes a plan with the probabilistic operators.
 pub fn execute(
     plan: &Plan,
@@ -74,7 +99,8 @@ pub fn execute(
     reg: &mut HistoryRegistry,
     opts: &ExecOptions,
 ) -> Result<Relation> {
-    match plan {
+    let mut span = op_span(opts, plan);
+    let out = match plan {
         Plan::Scan(name) => tables
             .get(name)
             .cloned()
@@ -102,7 +128,11 @@ pub fn execute(
             let input = execute(p, tables, reg, opts)?;
             threshold_pred(&input, pred, *op, *prob, reg, opts)
         }
+    }?;
+    if span.is_recording() {
+        span.arg("tuples_out", out.len() as u64);
     }
+    Ok(out)
 }
 
 /// Executes a plan like [`execute`], additionally building an [`OpProfile`]
@@ -118,6 +148,7 @@ pub fn execute_profiled(
 ) -> Result<(Relation, OpProfile)> {
     let stats = Arc::new(ExecStats::new());
     let node_opts = ExecOptions { stats: Some(stats.clone()), ..opts.clone() };
+    let mut span = op_span(opts, plan);
     // Children run before each node's timer starts, so elapsed time is
     // per-operator (self time), not inclusive of inputs.
     let (rel, mut profile) = match plan {
@@ -176,6 +207,19 @@ pub fn execute_profiled(
     };
     stats.tuples_out.add(rel.len() as u64);
     profile.stats = stats.snapshot();
+    if span.is_recording() {
+        // The per-operator ExecStats delta rides on the span, so the trace
+        // alone explains where pdf work happened.
+        span.arg("detail", profile.detail.as_str());
+        span.arg("tuples_in", profile.stats.tuples_in);
+        span.arg("tuples_out", profile.stats.tuples_out);
+        span.arg("pdf_products", profile.stats.pdf_products);
+        span.arg("pdf_floors", profile.stats.pdf_floors);
+        span.arg("pdf_marginalizations", profile.stats.pdf_marginalizations);
+        span.arg("collapses", profile.stats.collapses);
+        span.arg("pairs_pruned", profile.stats.pairs_pruned);
+        span.arg("self_nanos", profile.stats.elapsed_nanos);
+    }
     Ok((rel, profile))
 }
 

@@ -19,7 +19,7 @@ use crate::relation::Relation;
 use crate::schema::{closure, AttrId};
 use crate::tuple::{PdfNode, ProbTuple};
 use crate::value::Value;
-use orion_obs::ExecStats;
+use orion_obs::{ExecStats, Tracer};
 use std::sync::Arc;
 
 /// Execution options shared by the relational operators.
@@ -47,6 +47,11 @@ pub struct ExecOptions {
     /// so small relations never pay thread costs; tests shrink this to
     /// force parallelism on tiny inputs.
     pub morsel_size: usize,
+    /// Span tracer for this execution. `None` (the default) falls back to
+    /// the process tracer ([`Tracer::global`]) *when that is enabled*, so
+    /// `ORION_TRACE=1` traces everything without plumbing. Tracing is
+    /// record-only and never affects results (see `tests/parallel_equiv.rs`).
+    pub trace: Option<Tracer>,
 }
 
 impl Default for ExecOptions {
@@ -58,6 +63,7 @@ impl Default for ExecOptions {
             stats: None,
             threads: 0,
             morsel_size: crate::exec_par::DEFAULT_MORSEL_SIZE,
+            trace: None,
         }
     }
 }
@@ -69,9 +75,28 @@ impl ExecOptions {
         self
     }
 
+    /// This options set with a span tracer attached.
+    pub fn with_trace(mut self, trace: Tracer) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Borrows the collector in the form the collapse helpers take.
     pub fn stats_ref(&self) -> Option<&ExecStats> {
         self.stats.as_deref()
+    }
+
+    /// The tracer in effect: an explicitly attached one wins; otherwise the
+    /// process tracer when it is enabled. Costs one relaxed atomic load
+    /// when tracing is off everywhere.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        match &self.trace {
+            Some(t) => t.enabled().then_some(t),
+            None => {
+                let g = Tracer::global();
+                g.enabled().then_some(g)
+            }
+        }
     }
 }
 

@@ -12,20 +12,33 @@
 //!   marginalizations, history collapses, wall time);
 //! * [`profile`] — the [`OpProfile`] tree rendered by `EXPLAIN ANALYZE`
 //!   and exported by the bench binaries;
-//! * [`json`] — a dependency-free JSON value builder and pretty printer
-//!   (the build environment is offline, so no `serde_json`).
+//! * [`json`] — a dependency-free JSON value builder, pretty printer, and
+//!   parser (the build environment is offline, so no `serde_json`);
+//! * [`trace`] — structured, query-scoped hierarchical spans recorded into
+//!   per-lane ring buffers, exported as Chrome trace-event JSON;
+//! * [`recorder`] — the crash flight recorder: a bounded process-wide ring
+//!   of recent spans dumped to `flight-<ts>.json` on panic or fault kills.
 //!
-//! Everything is instance-based: libraries never touch global state, and
-//! two engines in one process keep independent metrics.
+//! Engine-scoped state (stats, profiles, per-engine registries) stays
+//! instance-based, so two engines in one process keep independent metrics.
+//! Three deliberately process-wide pieces exist for cross-cutting
+//! observability: [`metrics::global`] (WAL/fsync histograms + Prometheus
+//! exposition), [`trace::Tracer::global`] (the tracer the storage layer
+//! records into, off unless `ORION_TRACE=1`), and the [`recorder`] flight
+//! ring. All three are record-only and cost one relaxed atomic load when
+//! disabled.
 
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod stats;
+pub mod trace;
 
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer};
 pub use profile::OpProfile;
 pub use stats::{ExecStats, ExecStatsSnapshot, ExecTimer, WorkerLane};
+pub use trace::{validate_chrome_trace, Lane, Span, TraceEvent, Tracer};
 
 /// Formats a nanosecond count in adaptive human units (`412ns`, `3.1us`,
 /// `2.4ms`, `1.20s`).

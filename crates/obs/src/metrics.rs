@@ -1,14 +1,27 @@
 //! Named counters, log2-bucketed latency histograms and the registry that
-//! holds them — all instance-based (no global state) and lock-free on the
-//! hot path: incrementing a counter or recording a latency touches only
-//! relaxed atomics; the registry lock is paid once at handle lookup.
+//! holds them — instance-based and lock-free on the hot path: incrementing
+//! a counter or recording a latency touches only relaxed atomics; the
+//! registry lock is paid once at handle lookup. One process-wide registry
+//! ([`global`]) exists for cross-cutting metrics (WAL batch sizes, fsync
+//! latencies) that no single engine instance owns; everything else stays
+//! instance-scoped.
 
 use crate::json;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The process-wide registry. The WAL and checkpoint paths record their
+/// batch-size and fsync-latency histograms here (they are always-on:
+/// histogram recording is cheap and independent of tracing), and
+/// [`MetricsRegistry::render_prometheus`] on this registry gives
+/// long-running processes a scrapeable text exposition.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
 
 /// A monotonically increasing atomic counter.
 #[derive(Debug, Default)]
@@ -239,6 +252,51 @@ impl MetricsRegistry {
         }
         json::Value::object().with("counters", counters).with("histograms", histograms)
     }
+
+    /// Prometheus text exposition (version 0.0.4) of every metric: counters
+    /// as `# TYPE <name> counter`, histograms as cumulative
+    /// `<name>_bucket{le="..."}` series (log2 upper bounds, `+Inf` last)
+    /// plus `_sum` and `_count`. Metric names are sanitized to
+    /// `[a-zA-Z0-9_:]` (dots become underscores), per the Prometheus data
+    /// model.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, c) in self.inner.counters.lock().iter() {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, h) in self.inner.histograms.lock().iter() {
+            let name = sanitize_metric_name(name);
+            let snap = h.snapshot();
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                cumulative += n;
+                // Only materialize boundaries up to the last non-empty
+                // bucket; +Inf carries the total regardless.
+                if n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        Histogram::bucket_upper_bound(i)
+                    );
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+            let _ = writeln!(out, "{name}_sum {}", snap.sum);
+            let _ = writeln!(out, "{name}_count {}", snap.count);
+        }
+        out
+    }
+}
+
+/// Maps a registry metric name onto the Prometheus charset: `[a-zA-Z0-9_:]`
+/// pass through, everything else (the registry's `.` separators) becomes
+/// `_`.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
 }
 
 /// RAII span timer: records the elapsed wall time into a histogram when
@@ -356,6 +414,27 @@ mod tests {
         let snap = reg.histogram("lat").snapshot();
         assert_eq!(snap.count, threads * per_thread);
         assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("wal.commits").add(3);
+        let h = reg.histogram("wal.fsync_nanos");
+        h.record(0);
+        h.record(5); // bucket 3, le=7
+        h.record(6);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE wal_commits counter\nwal_commits 3\n"), "{text}");
+        assert!(text.contains("# TYPE wal_fsync_nanos histogram"), "{text}");
+        // Cumulative buckets: le="0" sees the zero sample, le="7" all three.
+        assert!(text.contains("wal_fsync_nanos_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("wal_fsync_nanos_bucket{le=\"7\"} 3"), "{text}");
+        assert!(text.contains("wal_fsync_nanos_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("wal_fsync_nanos_sum 11"), "{text}");
+        assert!(text.contains("wal_fsync_nanos_count 3"), "{text}");
+        // Dots were sanitized away.
+        assert!(!text.contains("wal.commits"), "{text}");
     }
 
     #[test]

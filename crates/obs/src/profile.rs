@@ -1,6 +1,19 @@
 //! Per-query operator profiles: a tree mirroring the executed plan, one
 //! node per operator, each carrying an [`ExecStatsSnapshot`]. Rendered as
 //! text by `EXPLAIN ANALYZE` and exported as JSON by the bench binaries.
+//!
+//! # Relation to the structured tracer
+//!
+//! `OpProfile` is *not* a second timing path. It owns no clock: every
+//! number here — `elapsed_nanos` included — is an [`ExecStatsSnapshot`]
+//! delta measured by the executor. The tracer ([`crate::trace`]) consumes
+//! the *same* deltas: when tracing is enabled the executor opens one span
+//! per operator and attaches the identical snapshot as span args
+//! (`self_nanos`, `pdf_floors`, ...), so `EXPLAIN ANALYZE` output and a
+//! Chrome trace of the same query can never disagree about operator cost.
+//! The two differ only in shape: a profile is an aggregated per-operator
+//! tree; a trace additionally keeps per-worker lanes, per-morsel spans,
+//! and wall-clock placement.
 
 use crate::json;
 use crate::stats::ExecStatsSnapshot;

@@ -30,10 +30,12 @@ pub enum Statement {
     Delete { table: String, filter: Option<Pred> },
     /// `DROP TABLE name`.
     DropTable { name: String },
-    /// `EXPLAIN [ANALYZE] stmt` — renders the operator tree the statement
-    /// would run; with `ANALYZE`, executes it and annotates each operator
-    /// with its execution stats.
-    Explain { analyze: bool, inner: Box<Statement> },
+    /// `EXPLAIN [ANALYZE | TRACE] stmt` — renders the operator tree the
+    /// statement would run; with `ANALYZE`, executes it and annotates each
+    /// operator with its execution stats; with `TRACE`, executes it with
+    /// the global tracer enabled, writes a Chrome trace-event JSON file,
+    /// and reports the path plus the recorded span tree.
+    Explain { analyze: bool, trace: bool, inner: Box<Statement> },
 }
 
 /// A column definition.

@@ -11,9 +11,20 @@ use orion_core::prelude::*;
 use orion_core::project::project;
 use orion_core::select::select;
 use orion_core::threshold::{predicate_probability, threshold_attrs, threshold_pred};
-use orion_obs::OpProfile;
+use orion_obs::{OpProfile, Tracer};
 use orion_pdf::prelude::*;
 use std::collections::HashMap;
+
+/// Where an `EXPLAIN TRACE` query wrote its trace, plus a text rendering
+/// of the spans it recorded.
+#[derive(Debug, Clone)]
+pub struct ExplainTrace {
+    /// Path of the Chrome trace-event JSON file (open it in
+    /// `chrome://tracing` or Perfetto).
+    pub path: String,
+    /// The recorded span tree (lanes, nested spans, durations).
+    pub tree: String,
+}
 
 /// The result of executing one statement.
 #[derive(Debug, Clone)]
@@ -26,10 +37,10 @@ pub enum Output {
     Count(usize),
     /// Statement completed with nothing to return (CREATE / DROP).
     Ok,
-    /// The operator tree of an `EXPLAIN [ANALYZE]` statement. With
+    /// The operator tree of an `EXPLAIN [ANALYZE | TRACE]` statement. With
     /// `analyze` the profile carries real execution stats; without, only
-    /// the plan shape is meaningful.
-    Explain { profile: OpProfile, analyze: bool },
+    /// the plan shape is meaningful. `trace` is set by `EXPLAIN TRACE`.
+    Explain { profile: OpProfile, analyze: bool, trace: Option<ExplainTrace> },
 }
 
 /// An in-memory Orion SQL session.
@@ -184,17 +195,20 @@ impl Database {
                 rel.release(&mut self.reg);
                 Ok(Output::Ok)
             }
-            Statement::Explain { analyze, inner } => self.explain(analyze, *inner),
+            Statement::Explain { analyze, trace, inner } => self.explain(analyze, trace, *inner),
         }
     }
 
-    /// `EXPLAIN [ANALYZE] SELECT ...`: lowers the statement onto the core
-    /// plan algebra and executes it with per-operator profiling. Both forms
-    /// run the query (the result relation is discarded); the plain form
-    /// renders only the plan shape. Post-relational stages (DISTINCT,
-    /// ORDER BY, LIMIT, computed select items, aggregates) are not part of
-    /// the operator algebra and are rejected.
-    fn explain(&mut self, analyze: bool, inner: Statement) -> Result<Output> {
+    /// `EXPLAIN [ANALYZE | TRACE] SELECT ...`: lowers the statement onto
+    /// the core plan algebra and executes it with per-operator profiling.
+    /// All forms run the query (the result relation is discarded); the
+    /// plain form renders only the plan shape. `TRACE` additionally runs
+    /// with the global tracer enabled and writes a Chrome trace-event JSON
+    /// file (to `ORION_TRACE_FILE` if set, else the system temp dir).
+    /// Post-relational stages (DISTINCT, ORDER BY, LIMIT, computed select
+    /// items, aggregates) are not part of the operator algebra and are
+    /// rejected.
+    fn explain(&mut self, analyze: bool, trace: bool, inner: Statement) -> Result<Output> {
         let Statement::Select { items, from, filter, distinct, order_by, limit } = inner else {
             return Err(SqlError::Exec("EXPLAIN supports only SELECT statements".into()));
         };
@@ -259,8 +273,36 @@ impl Database {
         // The result relation is discarded like any undisplayed SELECT
         // output (a bare Scan result holds no refs of its own, so an
         // explicit release here could over-release the stored table).
-        let (_rel, profile) = execute_profiled(&plan, &self.tables, &mut self.reg, &self.opts)?;
-        Ok(Output::Explain { profile, analyze })
+        if !trace {
+            let (_rel, profile) = execute_profiled(&plan, &self.tables, &mut self.reg, &self.opts)?;
+            return Ok(Output::Explain { profile, analyze, trace: None });
+        }
+        let tracer = Tracer::global();
+        let was_enabled = tracer.enabled();
+        if !was_enabled {
+            // Ambient tracing was off: start from empty rings so the file
+            // holds exactly this query. When `ORION_TRACE=1` keep whatever
+            // the process recorded so far (WAL, checkpoints) — the query's
+            // spans are distinguished by their trace id.
+            tracer.clear();
+            tracer.set_enabled(true);
+        }
+        let query_id = tracer.begin_trace();
+        let result = execute_profiled(&plan, &self.tables, &mut self.reg, &self.opts);
+        if !was_enabled {
+            tracer.set_enabled(false);
+        }
+        let (_rel, profile) = result?;
+        let path = match std::env::var_os("ORION_TRACE_FILE") {
+            Some(p) => std::path::PathBuf::from(p),
+            None => std::env::temp_dir().join(format!("orion-trace-{query_id}.json")),
+        };
+        tracer
+            .write_chrome_trace(&path)
+            .map_err(|e| SqlError::Exec(format!("cannot write trace file {path:?}: {e}")))?;
+        let tree = tracer.render_span_tree(8);
+        let info = ExplainTrace { path: path.display().to_string(), tree };
+        Ok(Output::Explain { profile, analyze, trace: Some(info) })
     }
 
     fn insert_row(&mut self, table: &str, row: Vec<InsertValue>) -> Result<()> {
@@ -1165,7 +1207,7 @@ mod tests {
         db.execute("INSERT INTO l VALUES (1, DISCRETE(1:0.5, 3:0.5))").unwrap();
         db.execute("INSERT INTO r VALUES (2, DISCRETE(2:0.5, 4:0.5))").unwrap();
         let out = db.execute("EXPLAIN ANALYZE SELECT l.id FROM l JOIN r ON x < y").unwrap();
-        let Output::Explain { profile, analyze } = out else { panic!("expected explain") };
+        let Output::Explain { profile, analyze, .. } = out else { panic!("expected explain") };
         assert!(analyze);
         // x < y merges the two independent nodes (one product) and floors
         // the merged joint once per surviving crossed tuple.
@@ -1219,7 +1261,7 @@ mod tests {
     fn explain_without_analyze_shows_plan_shape() {
         let mut db = sensor_db();
         let out = db.execute("EXPLAIN SELECT rid FROM readings WHERE value < 20").unwrap();
-        let Output::Explain { profile, analyze } = out else { panic!("expected explain") };
+        let Output::Explain { profile, analyze, .. } = out else { panic!("expected explain") };
         assert!(!analyze);
         assert_eq!(
             profile.render(false),
@@ -1245,6 +1287,30 @@ mod tests {
         assert!(db.execute("EXPLAIN DROP TABLE readings").is_err());
         assert!(db.execute("EXPLAIN SELECT rid FROM readings LIMIT 1").is_err());
         assert!(db.execute("EXPLAIN SELECT ECOUNT(*) FROM readings").is_err());
+    }
+
+    #[test]
+    fn explain_trace_writes_validating_chrome_trace() {
+        let mut db = sensor_db();
+        let out = db.execute("EXPLAIN TRACE SELECT rid FROM readings WHERE value < 20").unwrap();
+        let Output::Explain { analyze, trace, .. } = out else { panic!("expected explain") };
+        assert!(!analyze, "TRACE is not ANALYZE");
+        let info = trace.expect("EXPLAIN TRACE carries trace info");
+        let text = std::fs::read_to_string(&info.path).unwrap();
+        let doc = orion_obs::json::parse(&text).unwrap();
+        orion_obs::validate_chrome_trace(&doc).unwrap();
+        // The span tree names the operators that ran.
+        assert!(info.tree.contains("Select"), "tree:\n{}", info.tree);
+        assert!(info.tree.contains("Scan"), "tree:\n{}", info.tree);
+        // Plain EXPLAIN carries no trace.
+        let out = db.execute("EXPLAIN SELECT rid FROM readings").unwrap();
+        let Output::Explain { trace, .. } = out else { panic!("expected explain") };
+        assert!(trace.is_none());
+        // Keep the file when CI pinned its location (check.sh validates it
+        // with trace_check after the test run).
+        if std::env::var_os("ORION_TRACE_FILE").is_none() {
+            std::fs::remove_file(&info.path).ok();
+        }
     }
 
     #[test]

@@ -97,8 +97,9 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("explain") {
             let analyze = self.eat_kw("analyze");
+            let trace = !analyze && self.eat_kw("trace");
             let inner = self.statement()?;
-            return Ok(Statement::Explain { analyze, inner: Box::new(inner) });
+            return Ok(Statement::Explain { analyze, trace, inner: Box::new(inner) });
         }
         if self.eat_kw("create") {
             self.create_table()

@@ -39,7 +39,14 @@ pub fn render_output(out: &Output) -> Result<String> {
         Output::Rows { header, rows } => Ok(render_grid(header, rows)),
         Output::Count(n) => Ok(format!("{n} tuple(s) affected")),
         Output::Ok => Ok("OK".to_string()),
-        Output::Explain { profile, analyze } => Ok(profile.render(*analyze)),
+        Output::Explain { profile, analyze, trace } => {
+            let mut text = profile.render(*analyze);
+            if let Some(t) = trace {
+                text.push_str(&format!("\ntrace: {}\n", t.path));
+                text.push_str(&t.tree);
+            }
+            Ok(text)
+        }
     }
 }
 

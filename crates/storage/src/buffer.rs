@@ -14,9 +14,10 @@
 
 use crate::file::{IoStats, PageId, PageStore};
 use crate::page::{ChecksumMismatch, Page};
+use orion_obs::{Lane, Span, Tracer};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 struct Frame {
     page: Page,
@@ -41,6 +42,10 @@ struct PoolInner<S: PageStore> {
 pub struct BufferPool<S: PageStore> {
     inner: Mutex<PoolInner<S>>,
     stats: Arc<IoStats>,
+    /// This pool's trace lane, created lazily when tracing is on. Every
+    /// span-opening path holds the `inner` mutex, so spans on the lane are
+    /// serialized; per-instance so concurrent pools never share a lane.
+    lane: OnceLock<Lane>,
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -56,7 +61,22 @@ impl<S: PageStore> BufferPool<S> {
                 ckpt_dirty: HashSet::new(),
             }),
             stats: Arc::new(IoStats::default()),
+            lane: OnceLock::new(),
         }
+    }
+
+    /// A span on this pool's lane, inert while tracing is off.
+    fn span(&self, name: &'static str, page: Option<PageId>) -> Span {
+        let t = Tracer::global();
+        if !t.enabled() {
+            return Span::noop();
+        }
+        let lane = self.lane.get_or_init(|| t.unique_lane("storage"));
+        let mut s = lane.span(name, "storage");
+        if let Some(id) = page {
+            s.arg("page", u64::from(id));
+        }
+        s
     }
 
     /// Handle to the pool's [`IoStats`] (orion-obs atomic counters):
@@ -79,7 +99,7 @@ impl<S: PageStore> BufferPool<S> {
         self.stats.physical_writes.inc();
         g.ckpt_dirty.insert(id);
         let stamp = Self::bump(&mut g);
-        Self::make_room(&mut g, &self.stats)?;
+        self.make_room(&mut g)?;
         g.frames.insert(id, Frame { page: Page::new(), dirty: false, last_used: stamp });
         Ok(id)
     }
@@ -89,7 +109,8 @@ impl<S: PageStore> BufferPool<S> {
         g.clock
     }
 
-    fn make_room(g: &mut PoolInner<S>, stats: &IoStats) -> std::io::Result<()> {
+    fn make_room(&self, g: &mut PoolInner<S>) -> std::io::Result<()> {
+        let stats = &self.stats;
         while g.frames.len() >= g.capacity {
             let Some(victim) = g.frames.iter().min_by_key(|(_, f)| f.last_used).map(|(&id, _)| id)
             else {
@@ -97,6 +118,7 @@ impl<S: PageStore> BufferPool<S> {
             };
             let Some(mut frame) = g.frames.remove(&victim) else { break };
             if frame.dirty {
+                let _s = self.span("page.write_back", Some(victim));
                 frame.page.seal();
                 if let Err(e) = g.store.write_page(victim, &frame.page) {
                     // Keep the data: the frame goes back in, still dirty, so
@@ -138,11 +160,13 @@ impl<S: PageStore> BufferPool<S> {
             return Ok(f(&frame.page));
         }
         self.stats.cache_misses.inc();
-        Self::make_room(&mut g, &self.stats)?;
+        let s = self.span("page.fault_in", Some(id));
+        self.make_room(&mut g)?;
         let mut page = Page::new();
         g.store.read_page(id, &mut page)?;
         self.stats.physical_reads.inc();
         Self::verify(&self.stats, id, &page)?;
+        drop(s);
         let r = f(&page);
         g.frames.insert(id, Frame { page, dirty: false, last_used: stamp });
         Ok(r)
@@ -164,11 +188,13 @@ impl<S: PageStore> BufferPool<S> {
             return Ok(f(&mut frame.page));
         }
         self.stats.cache_misses.inc();
-        Self::make_room(&mut g, &self.stats)?;
+        let s = self.span("page.fault_in", Some(id));
+        self.make_room(&mut g)?;
         let mut page = Page::new();
         g.store.read_page(id, &mut page)?;
         self.stats.physical_reads.inc();
         Self::verify(&self.stats, id, &page)?;
+        drop(s);
         let r = f(&mut page);
         g.frames.insert(id, Frame { page, dirty: true, last_used: stamp });
         Ok(r)
@@ -197,6 +223,10 @@ impl<S: PageStore> BufferPool<S> {
         let mut g = self.inner.lock();
         let dirty: Vec<PageId> =
             g.frames.iter().filter(|(_, f)| f.dirty).map(|(&id, _)| id).collect();
+        let mut s = self.span("pool.flush", None);
+        if s.is_recording() {
+            s.arg("dirty_pages", dirty.len() as u64);
+        }
         for id in dirty {
             let Some(frame) = g.frames.get_mut(&id) else { continue };
             frame.page.seal();

@@ -27,13 +27,33 @@
 //! under concurrency one fsync covers many commits.
 
 use crate::checksum::crc32;
-use orion_obs::{json, Counter};
+use orion_obs::{json, Counter, Histogram, Lane, Span, Tracer};
 use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Always-on durability histograms on the process-wide metrics registry.
+/// Recording a sample is two relaxed atomic adds, so these are not gated
+/// on tracing — `MetricsRegistry::render_prometheus` can expose fsync
+/// latency from any long-running process.
+struct WalHists {
+    batch_bytes: Arc<Histogram>,
+    fsync_nanos: Arc<Histogram>,
+}
+
+fn wal_hists() -> &'static WalHists {
+    static HISTS: OnceLock<WalHists> = OnceLock::new();
+    HISTS.get_or_init(|| {
+        let reg = orion_obs::metrics::global();
+        WalHists {
+            batch_bytes: reg.histogram("wal.batch_bytes"),
+            fsync_nanos: reg.histogram("wal.fsync_nanos"),
+        }
+    })
+}
 
 /// Frame header size: payload length + CRC32.
 pub const FRAME_HEADER: usize = 8;
@@ -358,6 +378,10 @@ pub struct GroupWal {
     io: Mutex<Wal>,
     cfg: Mutex<GroupCommitConfig>,
     stats: Arc<WalStats>,
+    /// This instance's trace lane, created lazily on the first flush with
+    /// tracing enabled. Per-instance (not a shared name) because two logs
+    /// flushing concurrently on one shared lane would interleave spans.
+    lane: OnceLock<Lane>,
 }
 
 impl GroupWal {
@@ -369,7 +393,16 @@ impl GroupWal {
             io: Mutex::new(wal),
             cfg: Mutex::new(cfg),
             stats: Arc::new(WalStats::default()),
+            lane: OnceLock::new(),
         }
+    }
+
+    /// The lane flush spans record on, `None` while tracing is off. Safe to
+    /// share across committer threads: only the leader (or a solo flusher)
+    /// opens spans, always under the `io` mutex.
+    fn lane(&self) -> Option<&Lane> {
+        let t = Tracer::global();
+        t.enabled().then(|| self.lane.get_or_init(|| t.unique_lane("wal")))
     }
 
     /// Current tunables.
@@ -474,14 +507,34 @@ impl GroupWal {
             let res = {
                 let mut wal = self.io.lock();
                 let start = wal.len();
+                let lane = self.lane();
+                wal_hists().batch_bytes.record(batch.len() as u64);
                 let r = (|| {
                     if wal.is_empty() {
                         if let Some(s) = &stamp {
                             wal.append_frames(s)?;
                         }
                     }
-                    wal.append_frames(&batch)?;
-                    wal.sync()
+                    {
+                        let mut s = match &lane {
+                            Some(l) => l.span("wal.append", "wal"),
+                            None => Span::noop(),
+                        };
+                        if s.is_recording() {
+                            s.arg("bytes", batch.len() as u64);
+                            s.arg("records", nrecords);
+                            s.arg("commits", ncommits);
+                        }
+                        wal.append_frames(&batch)?;
+                    }
+                    let _s = match &lane {
+                        Some(l) => l.span("wal.fsync", "wal"),
+                        None => Span::noop(),
+                    };
+                    let t0 = Instant::now();
+                    let r = wal.sync();
+                    wal_hists().fsync_nanos.record_duration(t0.elapsed());
+                    r
                 })();
                 if r.is_err() {
                     // Abort the whole batch; commits in it report failure.
@@ -528,14 +581,33 @@ impl GroupWal {
     ) -> std::io::Result<()> {
         let mut wal = self.io.lock();
         let start = wal.len();
+        let lane = self.lane();
+        wal_hists().batch_bytes.record(frames.len() as u64);
         let res = (|| {
             if wal.is_empty() {
                 if let Some(s) = stamp {
                     wal.append_frames(s)?;
                 }
             }
-            wal.append_frames(frames)?;
-            wal.sync()
+            {
+                let mut s = match &lane {
+                    Some(l) => l.span("wal.append", "wal"),
+                    None => Span::noop(),
+                };
+                if s.is_recording() {
+                    s.arg("bytes", frames.len() as u64);
+                    s.arg("records", nrecords);
+                }
+                wal.append_frames(frames)?;
+            }
+            let _s = match &lane {
+                Some(l) => l.span("wal.fsync", "wal"),
+                None => Span::noop(),
+            };
+            let t0 = Instant::now();
+            let r = wal.sync();
+            wal_hists().fsync_nanos.record_duration(t0.elapsed());
+            r
         })();
         match res {
             Ok(()) => {

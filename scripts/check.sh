@@ -16,8 +16,12 @@ cargo clippy -p orion-storage -p orion-core -p orion-tests --all-targets --featu
 echo "== cargo test -q (ORION_THREADS=1) =="
 ORION_THREADS=1 cargo test -q
 
-echo "== cargo test -q (ORION_THREADS=4) =="
-ORION_THREADS=4 cargo test -q
+echo "== cargo test -q (ORION_THREADS=4, ORION_TRACE=1) =="
+# Tier-1 runs once with tracing enabled: the traced path must stay green and
+# bit-identical, and the EXPLAIN TRACE unit test leaves its Chrome trace at
+# ORION_TRACE_FILE for the schema check below.
+ORION_THREADS=4 ORION_TRACE=1 ORION_TRACE_FILE="$PWD/target/trace-ci.trace.json" \
+    cargo test -q
 
 echo "== cargo test -q (fault injection, fixed seeds) =="
 cargo test -q -p orion-storage -p orion-core -p orion-tests --features failpoints
@@ -52,6 +56,12 @@ else
     cargo run --release -p orion-bench --bin fig_parallel -- --quick ||
         echo "warning: fig_parallel --quick failed (advisory only)" >&2
 fi
+
+echo "== trace schema check =="
+# Both the trace emitted by the tracing-enabled test pass above and the
+# committed example artifact must parse and pass the Chrome-trace validator.
+cargo run -q -p orion-bench --bin trace_check -- \
+    target/trace-ci.trace.json results/fig_parallel.trace.json
 
 echo "== proptest-regressions must be committed =="
 if [ -n "$(git status --porcelain -- '*proptest-regressions*')" ]; then

@@ -553,6 +553,53 @@ fn storage_crash_matrix_reads_clean_prefix_or_detects_torn_page() {
 }
 
 #[test]
+fn halt_on_fault_kill_leaves_parseable_flight_dump() {
+    // The black-box contract: a simulated kill (halt-on-fault) must leave
+    // a flight-recorder dump behind, and that dump must be parseable JSON
+    // carrying the kill reason and the spans recorded before the kill.
+    use orion_obs::{json, recorder, Tracer};
+    let dir = temp_dir("flight_dump");
+    let recorder_was = recorder::enabled();
+    recorder::set_enabled(true);
+    let tracer = Tracer::global();
+    let tracer_was = tracer.enabled();
+    tracer.set_enabled(true);
+    {
+        // Guarantee the flight ring holds at least one pre-kill span.
+        let lane = tracer.unique_lane("crash-workload");
+        let mut s = lane.span("before-kill", "test");
+        s.arg("note", "recorded before the simulated kill");
+    }
+    let path = dir.join("heap.dat");
+    // Concurrent tests may re-point the process-wide dump dir (every
+    // DurableDb::open does); re-arm and retry to make the race harmless.
+    let mut dump = None;
+    for _ in 0..5 {
+        recorder::set_dump_dir(&dir);
+        let (_inserted, fstats) = run_until_kill(&path, FaultPlan::new().fail_write(0));
+        assert!(fstats.faults_injected.get() > 0, "the kill must fire");
+        dump = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("flight-")));
+        if dump.is_some() {
+            break;
+        }
+    }
+    tracer.set_enabled(tracer_was);
+    recorder::set_enabled(recorder_was);
+    let dump = dump.expect("halt-on-fault kill wrote a flight dump");
+    let text = std::fs::read_to_string(&dump).unwrap();
+    let doc = json::parse(&text).expect("flight dump parses");
+    let reason = doc.get("reason").and_then(json::Value::as_str).expect("reason recorded");
+    assert!(reason.contains("halt-on-fault"), "reason: {reason}");
+    orion_obs::validate_chrome_trace(&doc)
+        .unwrap_or_else(|e| panic!("flight dump events malformed: {e}"));
+    assert!(text.contains("before-kill"), "pre-kill span survives in the dump");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn read_bit_flip_is_detected_by_the_pool() {
     let path = temp_dir("bit_flip").join("heap.dat");
     {

@@ -274,6 +274,32 @@ proptest! {
     }
 
     #[test]
+    fn tracing_is_bitwise_invisible(specs in arb_tuples(), pred in arb_pred()) {
+        // Tracing is record-only: a run with an enabled tracer attached
+        // must be bitwise identical to the untraced run — same tuples,
+        // same registry fingerprint — at serial and parallel thread
+        // counts, while still recording spans.
+        let schema = shared_schema();
+        let schemas = [("t", &schema)];
+        let plan = Plan::scan("t").select(pred).project(&["id", "a"]);
+        for threads in [1usize, 4] {
+            let (tables, mut reg) = build(&schemas, std::slice::from_ref(&specs));
+            let plain = execute(&plan, &tables, &mut reg, &opts_with(threads))
+                .expect("untraced run");
+            let plain_fp = registry_fingerprint(&reg);
+
+            let tracer = orion_obs::Tracer::new();
+            tracer.set_enabled(true);
+            let (tables, mut reg) = build(&schemas, std::slice::from_ref(&specs));
+            let opts = opts_with(threads).with_trace(tracer.clone());
+            let traced = execute(&plan, &tables, &mut reg, &opts).expect("traced run");
+            prop_assert_eq!(&traced.tuples, &plain.tuples);
+            prop_assert_eq!(registry_fingerprint(&reg), plain_fp);
+            prop_assert!(!tracer.events().is_empty(), "tracer recorded spans");
+        }
+    }
+
+    #[test]
     fn fig3_pipeline_is_thread_count_invariant(specs in arb_tuples(), thresh in 0i64..5) {
         // The history-heavy shape: two projections of the same table,
         // rejoined. Recombination through common ancestors must commute
