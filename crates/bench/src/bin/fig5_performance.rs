@@ -6,7 +6,7 @@
 //! paper's 0.5M-3M. `--trace PATH` records the sweep with the structured
 //! tracer and writes a Chrome trace-event file.
 
-use orion_bench::fig5::{cleanup, rows_to_json, run, stats_json, Fig5Config};
+use orion_bench::fig5::{cleanup, estimate_report, rows_to_json, run, stats_json, Fig5Config};
 use orion_bench::report;
 
 fn main() {
@@ -51,8 +51,21 @@ fn main() {
     if let Some(p) = json_path {
         report::write_json(&p, &rows_to_json(&rows)).expect("write json");
         eprintln!("wrote {}", p.display());
+        // Estimate-vs-actual for the workload's threshold query, before
+        // and after ANALYZE, rides along in the stats sidecar.
+        let est_n = 2_000;
+        let estimates =
+            vec![estimate_report(est_n, cfg.seed, false), estimate_report(est_n, cfg.seed, true)];
+        for r in &estimates {
+            if let Some(t) = r.threshold_op() {
+                eprintln!(
+                    "threshold estimate (analyzed={}): est {} actual {} rel_err {:.3}",
+                    r.analyzed, t.est_rows, t.actual_rows, t.rel_err
+                );
+            }
+        }
         let sp = report::stats_path(&p);
-        report::write_json(&sp, &stats_json(&rows)).expect("write stats json");
+        report::write_json(&sp, &stats_json(&rows, &estimates)).expect("write stats json");
         eprintln!("wrote {}", sp.display());
     }
     if let Some(p) = trace_path {

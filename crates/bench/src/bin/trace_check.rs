@@ -1,15 +1,18 @@
-//! CI schema check for Chrome trace-event files.
+//! CI schema check for Chrome trace-event files and crash flight dumps.
 //!
 //! Usage: `trace_check FILE [FILE ...]`
 //!
 //! Parses each file with the dependency-free JSON parser and runs the
 //! structural validator ([`orion_obs::validate_chrome_trace`]): required
 //! keys on every `"X"` event, monotone timestamps, well-nested spans per
-//! lane, and at least one complete event. Exits non-zero on the first
-//! unparseable or malformed trace, so `scripts/check.sh` fails loudly when
+//! lane, and at least one complete event. Files carrying a top-level
+//! `"reason"` key are flight-recorder dumps (`flight-*.json`) and go
+//! through [`orion_obs::validate_flight_dump`] instead, which additionally
+//! requires a non-empty crash reason. Exits non-zero on the first
+//! unparseable or malformed file, so `scripts/check.sh` fails loudly when
 //! instrumentation regresses.
 
-use orion_obs::{json, validate_chrome_trace};
+use orion_obs::{json, validate_chrome_trace, validate_flight_dump};
 
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +39,11 @@ fn main() {
 fn check(path: &str) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
-    validate_chrome_trace(&doc)?;
+    if doc.get("reason").is_some() {
+        validate_flight_dump(&doc)?;
+    } else {
+        validate_chrome_trace(&doc)?;
+    }
     let n = doc.get("traceEvents").and_then(json::Value::as_array).map(|a| a.len()).unwrap_or(0);
     Ok(n)
 }

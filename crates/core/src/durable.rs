@@ -61,6 +61,7 @@ use crate::history::{HistoryRegistry, PdfId};
 use crate::persist::{self, LoadState};
 use crate::relation::Relation;
 use crate::schema::ProbSchema;
+use crate::stats_catalog::{analyze_relation, StatsCatalog};
 use crate::tuple::ProbTuple;
 use crate::value::Value;
 use orion_pdf::prelude::{JointPdf, Pdf1};
@@ -123,13 +124,22 @@ struct CkptMarks {
     /// Per-table tuple count in the chain; presence of a key means the
     /// table's schema record is already persisted.
     tables: HashMap<String, usize>,
+    /// Canonical encoding of the stats catalog the chain contains. Stats
+    /// equality is defined as bitwise encoding equality, so comparing
+    /// bytes tells an incremental checkpoint whether `ANALYZE` ran since.
+    stats: Vec<u8>,
 }
 
 impl CkptMarks {
-    fn capture(tables: &HashMap<String, Relation>, reg: &HistoryRegistry) -> CkptMarks {
+    fn capture(
+        tables: &HashMap<String, Relation>,
+        reg: &HistoryRegistry,
+        stats: &StatsCatalog,
+    ) -> CkptMarks {
         CkptMarks {
             last_base: reg.last_id(),
             tables: tables.iter().map(|(n, r)| (n.clone(), r.tuples.len())).collect(),
+            stats: stats.encode(),
         }
     }
 }
@@ -147,6 +157,9 @@ pub struct DurableDb {
     epoch: u64,
     marks: CkptMarks,
     recovery: RecoveryReport,
+    /// Per-table statistics collected by [`DurableDb::analyze_table`],
+    /// persisted as WAL/snapshot records so they survive recovery.
+    stats: StatsCatalog,
     /// Checkpoint page accounting (`ckpt_pages_copied` / `_skipped`).
     io: Arc<IoStats>,
 }
@@ -176,7 +189,7 @@ impl DurableDb {
         // Everything loaded so far lives in the persistent chain: that is
         // what the next incremental checkpoint starts from. WAL records
         // replayed below are new relative to it.
-        let marks = CkptMarks::capture(&state.tables, &state.reg);
+        let marks = CkptMarks::capture(&state.tables, &state.reg, &state.stats);
         let (mut wal, replay) = Wal::open(&dir.join(WAL_FILE))?;
         let wal_epoch = replay.records.first().and_then(|r| persist::record_epoch(r)).unwrap_or(0);
         let mut replayed = 0u64;
@@ -208,6 +221,7 @@ impl DurableDb {
             stale_deltas_removed: chain.stale_deltas_removed,
         };
         let epoch = state.wal_epoch.max(snap_epoch);
+        let stats = state.take_stats();
         let (tables, reg) = state.finish();
         let wal = GroupWal::new(wal, cfg);
         set_epoch_stamp(&wal, epoch)?;
@@ -219,6 +233,7 @@ impl DurableDb {
             epoch,
             marks,
             recovery,
+            stats,
             io: Arc::new(IoStats::default()),
         })
     }
@@ -236,6 +251,30 @@ impl DurableDb {
         self.wal.commit(&[buf])?;
         self.tables.insert(name.to_string(), rel);
         Ok(())
+    }
+
+    /// Collects per-column statistics for `table` (see
+    /// [`crate::stats_catalog::analyze_relation`]) and durably logs the
+    /// resulting [`crate::stats_catalog::TableStats`] record. Replay is an
+    /// overwrite per table, so re-analyzing simply supersedes the old
+    /// record. On a failed commit nothing is applied — the in-memory
+    /// catalog keeps its previous entry (or none).
+    pub fn analyze_table(&mut self, table: &str) -> Result<()> {
+        let rel = self
+            .tables
+            .get(table)
+            .ok_or_else(|| EngineError::Operator(format!("unknown table '{table}'")))?;
+        let ts = analyze_relation(rel)?;
+        let mut buf = Vec::new();
+        persist::encode_stats(&ts, &mut buf);
+        self.wal.commit(&[buf])?;
+        self.stats.insert(ts);
+        Ok(())
+    }
+
+    /// The statistics catalog (empty until [`DurableDb::analyze_table`]).
+    pub fn stats_catalog(&self) -> &StatsCatalog {
+        &self.stats
     }
 
     /// Inserts a tuple (see [`Relation::insert`]) and commits it through
@@ -327,6 +366,7 @@ impl DurableDb {
             &self.dir,
             &self.tables,
             &self.reg,
+            &self.stats,
             &mut self.epoch,
             &mut self.marks,
             &self.wal,
@@ -347,6 +387,7 @@ impl DurableDb {
             &self.dir,
             &self.tables,
             &self.reg,
+            &self.stats,
             &mut self.epoch,
             &mut self.marks,
             &self.wal,
@@ -468,6 +509,7 @@ impl DurableDb {
                     reg: self.reg,
                     epoch: self.epoch,
                     marks: self.marks,
+                    stats: self.stats,
                     in_flight: 0,
                 }),
                 drained: Condvar::new(),
@@ -534,10 +576,12 @@ fn ckpt_span(name: &'static str) -> orion_obs::Span {
 
 /// The full-checkpoint protocol shared by [`DurableDb::checkpoint`] and
 /// [`SharedDurableDb::checkpoint`]. See [`DurableDb::checkpoint`].
+#[allow(clippy::too_many_arguments)]
 fn checkpoint_full(
     dir: &Path,
     tables: &HashMap<String, Relation>,
     reg: &HistoryRegistry,
+    stats: &StatsCatalog,
     epoch: &mut u64,
     marks: &mut CkptMarks,
     wal: &GroupWal,
@@ -546,7 +590,7 @@ fn checkpoint_full(
     let mut span = ckpt_span("checkpoint.full");
     let new_epoch = *epoch + 1;
     let snap = dir.join(SNAPSHOT_FILE);
-    persist::save_snapshot(&snap, tables, reg, new_epoch)?;
+    persist::save_snapshot_with_stats(&snap, tables, reg, stats, new_epoch)?;
     // A full checkpoint copies every page of the new base; the counter
     // mirrors the incremental path's copied/skipped accounting.
     let pages = std::fs::metadata(&snap).map(|m| m.len().div_ceil(PAGE_SIZE as u64)).unwrap_or(0);
@@ -560,7 +604,7 @@ fn checkpoint_full(
     // with stale epochs, and recovery removes them.
     DeltaFile::remove_all(dir)?;
     *epoch = new_epoch;
-    *marks = CkptMarks::capture(tables, reg);
+    *marks = CkptMarks::capture(tables, reg, stats);
     wal.reset()?;
     set_epoch_stamp(wal, new_epoch)?;
     Ok(())
@@ -574,6 +618,7 @@ fn checkpoint_incremental(
     dir: &Path,
     tables: &HashMap<String, Relation>,
     reg: &HistoryRegistry,
+    stats: &StatsCatalog,
     epoch: &mut u64,
     marks: &mut CkptMarks,
     wal: &GroupWal,
@@ -582,9 +627,11 @@ fn checkpoint_incremental(
     let snap = dir.join(SNAPSHOT_FILE);
     if !snap.exists() {
         // Nothing to increment on — the first checkpoint is always full.
-        return checkpoint_full(dir, tables, reg, epoch, marks, wal, io);
+        return checkpoint_full(dir, tables, reg, stats, epoch, marks, wal, io);
     }
-    let new_work = reg.last_id() > marks.last_base
+    let stats_changed = stats.encode() != marks.stats;
+    let new_work = stats_changed
+        || reg.last_id() > marks.last_base
         || tables
             .iter()
             .any(|(n, r)| marks.tables.get(n).is_none_or(|&count| r.tuples.len() > count));
@@ -628,6 +675,16 @@ fn checkpoint_incremental(
             heap.insert(&buf)?;
         }
     }
+    if stats_changed {
+        // Stats replay overwrites per table, so re-emitting the whole
+        // catalog is idempotent; the delta's records decode after the
+        // chain's and win.
+        for ts in stats.iter() {
+            buf.clear();
+            persist::encode_stats(ts, &mut buf);
+            heap.insert(&buf)?;
+        }
+    }
     heap.pool().flush()?;
     let dirty = heap.pool().dirty_pages_since_mark();
     let total = heap.page_count() as u64;
@@ -648,7 +705,7 @@ fn checkpoint_incremental(
     // The delta rename is the commit point of this checkpoint.
     DeltaFile { epoch: new_epoch, pages }.write_atomic(dir)?;
     *epoch = new_epoch;
-    *marks = CkptMarks::capture(tables, reg);
+    *marks = CkptMarks::capture(tables, reg, stats);
     wal.reset()?;
     set_epoch_stamp(wal, new_epoch)?;
     Ok(())
@@ -662,6 +719,7 @@ struct SharedCore {
     reg: HistoryRegistry,
     epoch: u64,
     marks: CkptMarks,
+    stats: StatsCatalog,
     /// Inserts whose in-memory mutation has been applied but whose WAL
     /// commit has not yet resolved. Checkpoints wait for zero: a snapshot
     /// taken mid-commit could capture a tuple that then fails its commit
@@ -709,6 +767,7 @@ impl SharedDurableDb {
                     epoch: core.epoch,
                     marks: core.marks,
                     recovery: inner.recovery,
+                    stats: core.stats,
                     io: inner.io,
                 })
             }
@@ -729,6 +788,23 @@ impl SharedDurableDb {
         persist::encode_schema(&rel, &mut buf);
         self.inner.wal.commit(&[buf])?;
         core.tables.insert(name.to_string(), rel);
+        Ok(())
+    }
+
+    /// Collects and durably logs statistics for `table` (see
+    /// [`DurableDb::analyze_table`]). The core lock is held across the
+    /// commit so the logged record matches the table state it summarizes.
+    pub fn analyze_table(&self, table: &str) -> Result<()> {
+        let mut core = self.inner.core.lock();
+        let rel = core
+            .tables
+            .get(table)
+            .ok_or_else(|| EngineError::Operator(format!("unknown table '{table}'")))?;
+        let ts = analyze_relation(rel)?;
+        let mut buf = Vec::new();
+        persist::encode_stats(&ts, &mut buf);
+        self.inner.wal.commit(&[buf])?;
+        core.stats.insert(ts);
         Ok(())
     }
 
@@ -820,6 +896,7 @@ impl SharedDurableDb {
             &core.dir,
             &core.tables,
             &core.reg,
+            &core.stats,
             &mut core.epoch,
             &mut core.marks,
             &self.inner.wal,
@@ -837,6 +914,7 @@ impl SharedDurableDb {
             &core.dir,
             &core.tables,
             &core.reg,
+            &core.stats,
             &mut core.epoch,
             &mut core.marks,
             &self.inner.wal,
@@ -1283,6 +1361,97 @@ mod tests {
         let db = DurableDb::open(&dir).unwrap();
         assert_eq!(db.table("readings").unwrap().len(), 40);
         db.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyzed_stats_survive_reopen_via_wal_replay() {
+        let dir = temp_dir("stats_wal");
+        let before;
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 5);
+            db.analyze_table("readings").unwrap();
+            before = db.stats_catalog().encode();
+            assert!(!before.is_empty());
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.stats_catalog().encode(), before, "stats replayed bitwise-identically");
+        assert_eq!(db.stats_catalog().get("readings").unwrap().rows, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyzed_stats_survive_full_and_incremental_checkpoints() {
+        let dir = temp_dir("stats_ckpt");
+        let before;
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 3);
+            db.analyze_table("readings").unwrap();
+            db.checkpoint().unwrap();
+            assert_eq!(db.wal_len(), 0);
+            // Re-analyze after more inserts; the new record rides a delta.
+            insert_n(&mut db, 3, 2);
+            db.analyze_table("readings").unwrap();
+            db.checkpoint_incremental().unwrap();
+            assert_eq!(db.wal_len(), 0);
+            before = db.stats_catalog().encode();
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.recovery().wal_records_replayed, 0, "stats live in the chain");
+        assert_eq!(db.stats_catalog().encode(), before);
+        assert_eq!(db.stats_catalog().get("readings").unwrap().rows, 5, "delta overwrote base");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reanalyze_alone_counts_as_checkpoint_work() {
+        let dir = temp_dir("stats_new_work");
+        let mut db = DurableDb::open(&dir).unwrap();
+        db.create_table("readings", schema()).unwrap();
+        insert_n(&mut db, 0, 2);
+        db.checkpoint().unwrap();
+        let epoch = db.epoch();
+        // No data change → no-op.
+        db.checkpoint_incremental().unwrap();
+        assert_eq!(db.epoch(), epoch);
+        // ANALYZE with no data change is still new work: the catalog went
+        // from empty to populated and must reach the chain.
+        db.analyze_table("readings").unwrap();
+        db.checkpoint_incremental().unwrap();
+        assert_eq!(db.epoch(), epoch + 1, "stats change bumps the chain");
+        let before = db.stats_catalog().encode();
+        drop(db);
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.recovery().wal_records_replayed, 0);
+        assert_eq!(db.stats_catalog().encode(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_handle_analyzes_and_round_trips_stats() {
+        let dir = temp_dir("stats_shared");
+        let db = DurableDb::open(&dir).unwrap();
+        let shared = db.into_shared();
+        shared.create_table("readings", schema()).unwrap();
+        shared
+            .insert_simple(
+                "readings",
+                &[("id", Value::Int(1))],
+                &[("v", Pdf1::gaussian(1.0, 1.0).unwrap())],
+            )
+            .unwrap();
+        shared.analyze_table("readings").unwrap();
+        shared.checkpoint_incremental().unwrap();
+        let db = shared.into_db().expect("sole handle");
+        let before = db.stats_catalog().encode();
+        assert!(!before.is_empty());
+        drop(db);
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.stats_catalog().encode(), before);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -51,6 +51,7 @@ pub mod pws;
 pub mod relation;
 pub mod schema;
 pub mod select;
+pub mod stats_catalog;
 pub mod threshold;
 pub mod tuple;
 pub mod value;
@@ -69,7 +70,9 @@ pub mod prelude {
     pub use crate::relation::Relation;
     pub use crate::schema::{closure, AttrId, Column, ColumnType, ProbSchema};
     pub use crate::select::{select, ExecOptions};
+    pub use crate::stats_catalog::{analyze_relation, StatsCatalog, TableStats};
     pub use crate::threshold::{threshold_attrs, threshold_pred};
     pub use crate::tuple::{PdfNode, ProbTuple};
     pub use crate::value::Value;
+    pub use orion_storage::{IoSnapshot, IoStats};
 }

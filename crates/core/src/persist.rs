@@ -10,6 +10,8 @@
 //!              (node = dims (VarId + optional column) + ancestors + joint)
 //! [4: epoch]   checkpoint epoch stamp (u64) — the fence recovery uses to
 //!              reject a stale WAL left by a crashed checkpoint
+//! [5: stats]   one table's ANALYZE statistics (versioned catalog codec);
+//!              replay overwrites per table, so it is idempotent
 //! ```
 //!
 //! Schemas are written first, then bases, then tuples, so a single pass
@@ -30,6 +32,7 @@ use crate::error::{EngineError, Result};
 use crate::history::{Ancestors, BasePdf, HistoryRegistry, PdfId};
 use crate::relation::Relation;
 use crate::schema::{ensure_attr_floor, AttrId, Column, ColumnType, ProbSchema};
+use crate::stats_catalog::{StatsCatalog, TableStats};
 use crate::tuple::{NodeDim, PdfNode, ProbTuple, VarId};
 use crate::value::Value;
 use bytes::{Buf, BufMut};
@@ -42,6 +45,7 @@ pub(crate) const TAG_SCHEMA: u8 = 1;
 pub(crate) const TAG_BASE: u8 = 2;
 pub(crate) const TAG_TUPLE: u8 = 3;
 pub(crate) const TAG_EPOCH: u8 = 4;
+pub(crate) const TAG_STATS: u8 = 5;
 
 fn put_str(s: &str, out: &mut impl BufMut) {
     out.put_u32_le(s.len() as u32);
@@ -211,6 +215,12 @@ pub(crate) fn encode_epoch(epoch: u64, out: &mut Vec<u8>) {
     out.put_u64_le(epoch);
 }
 
+/// Encodes one table's ANALYZE statistics as a tagged record.
+pub(crate) fn encode_stats(stats: &TableStats, out: &mut Vec<u8>) {
+    out.put_u8(TAG_STATS);
+    out.extend_from_slice(&stats.encode());
+}
+
 /// If `rec` is a checkpoint-epoch record, the epoch it carries.
 pub(crate) fn record_epoch(rec: &[u8]) -> Option<u64> {
     if rec.len() == 9 && rec[0] == TAG_EPOCH {
@@ -242,6 +252,20 @@ pub fn save_snapshot(
     path: &Path,
     tables: &HashMap<String, Relation>,
     reg: &HistoryRegistry,
+    epoch: u64,
+) -> Result<()> {
+    save_snapshot_with_stats(path, tables, reg, &StatsCatalog::new(), epoch)
+}
+
+/// [`save_snapshot`] that also persists the ANALYZE stats catalog: one
+/// stats record per analyzed table, written after the tuples so replay sees
+/// schemas first. An empty catalog writes nothing, matching the legacy
+/// format byte for byte.
+pub fn save_snapshot_with_stats(
+    path: &Path,
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    stats: &StatsCatalog,
     epoch: u64,
 ) -> Result<()> {
     let tmp = {
@@ -276,6 +300,11 @@ pub fn save_snapshot(
             heap.insert(&buf)?;
         }
     }
+    for ts in stats.iter() {
+        buf.clear();
+        encode_stats(ts, &mut buf);
+        heap.insert(&buf)?;
+    }
     heap.sync()?;
     drop(heap);
     std::fs::rename(&tmp, path)?;
@@ -307,6 +336,9 @@ pub struct LoadState {
     /// the fence below which WAL records are stale — see
     /// [`save_snapshot`].
     pub wal_epoch: u64,
+    /// ANALYZE statistics rebuilt so far (stats records overwrite per
+    /// table, so replay is idempotent).
+    pub stats: StatsCatalog,
 }
 
 impl LoadState {
@@ -316,6 +348,12 @@ impl LoadState {
     pub fn finish(self) -> (HashMap<String, Relation>, HistoryRegistry) {
         ensure_attr_floor(self.max_attr);
         (self.tables, self.reg)
+    }
+
+    /// Takes the rebuilt stats catalog out of the state (call before
+    /// [`LoadState::finish`]).
+    pub fn take_stats(&mut self) -> StatsCatalog {
+        std::mem::take(&mut self.stats)
     }
 }
 
@@ -415,6 +453,11 @@ pub fn apply_record(rec: &[u8], state: &mut LoadState) -> Result<()> {
             let e = get_u64c(buf, "checkpoint epoch").map_err(bad)?;
             state.wal_epoch = state.wal_epoch.max(e);
         }
+        TAG_STATS => {
+            let mut payload = vec![0u8; buf.remaining()];
+            buf.copy_to_slice(&mut payload);
+            state.stats.insert(TableStats::decode(&payload)?);
+        }
         t => return Err(EngineError::Corrupt(format!("unknown record tag {t}"))),
     }
     Ok(())
@@ -445,6 +488,29 @@ pub fn load_database(path: &Path) -> Result<(HashMap<String, Relation>, HistoryR
     let mut state = LoadState::default();
     load_into(path, &mut state)?;
     Ok(state.finish())
+}
+
+/// [`save_database`] that also persists the ANALYZE stats catalog, so a
+/// save → open round trip keeps every analyzed table's statistics.
+pub fn save_database_with_stats(
+    path: &Path,
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    stats: &StatsCatalog,
+) -> Result<()> {
+    save_snapshot_with_stats(path, tables, reg, stats, 0)
+}
+
+/// [`load_database`] that also returns the persisted ANALYZE stats
+/// catalog (empty for files written before stats records existed).
+pub fn load_database_with_stats(
+    path: &Path,
+) -> Result<(HashMap<String, Relation>, HistoryRegistry, StatsCatalog)> {
+    let mut state = LoadState::default();
+    load_into(path, &mut state)?;
+    let stats = state.take_stats();
+    let (tables, reg) = state.finish();
+    Ok((tables, reg, stats))
 }
 
 /// What [`load_chain`] found while folding the snapshot chain.
@@ -740,6 +806,42 @@ mod tests {
         assert_eq!(state.wal_epoch, 3);
         let err = apply_record(&rec[..5], &mut LoadState::default()).unwrap_err();
         assert!(err.is_corruption(), "truncated epoch record classifies as corruption");
+    }
+
+    #[test]
+    fn stats_records_round_trip_through_snapshot() {
+        use crate::stats_catalog::analyze_relation;
+        let (tables, reg) = sample_db();
+        let mut stats = StatsCatalog::new();
+        stats.insert(analyze_relation(&tables["readings"]).unwrap());
+        let path = temp("stats.db");
+        save_snapshot_with_stats(&path, &tables, &reg, &stats, 2).unwrap();
+        let mut state = LoadState::default();
+        load_into(&path, &mut state).unwrap();
+        let loaded = state.take_stats();
+        assert_eq!(loaded.encode(), stats.encode(), "bitwise-identical catalog after reload");
+        assert_eq!(loaded.get("readings").unwrap().rows, 1);
+        assert_eq!(state.wal_epoch, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_stats_records_error_without_panicking() {
+        use crate::stats_catalog::analyze_relation;
+        let (tables, _reg) = sample_db();
+        let mut rec = Vec::new();
+        encode_stats(&analyze_relation(&tables["readings"]).unwrap(), &mut rec);
+        let mut state = LoadState::default();
+        apply_record(&rec, &mut state).unwrap();
+        assert_eq!(state.stats.len(), 1);
+        // Replay is idempotent: a second apply overwrites, not duplicates.
+        apply_record(&rec, &mut state).unwrap();
+        assert_eq!(state.stats.len(), 1);
+        for cut in 1..rec.len() {
+            let r = apply_record(&rec[..cut], &mut LoadState::default());
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+            assert!(r.unwrap_err().is_corruption(), "prefix errors classify as corruption");
+        }
     }
 
     #[test]

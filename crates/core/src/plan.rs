@@ -12,6 +12,9 @@ use crate::predicate::{CmpOp, Predicate};
 use crate::project::project;
 use crate::relation::Relation;
 use crate::select::{select, ExecOptions};
+use crate::stats_catalog::{
+    StatsCatalog, TableStats, MAGIC_ROWS, MAGIC_SELECTIVITY, MAGIC_THRESHOLD_SELECTIVITY,
+};
 use crate::threshold::{threshold_attrs, threshold_pred};
 use orion_obs::{ExecStats, OpProfile, Span};
 use std::collections::HashMap;
@@ -63,6 +66,80 @@ impl Plan {
             Plan::Select(p, _) | Plan::Project(p, _) => p.has_threshold(),
             Plan::Join(l, r, _) => l.has_threshold() || r.has_threshold(),
             Plan::ThresholdAttrs(..) | Plan::ThresholdPred(..) => true,
+        }
+    }
+}
+
+/// Estimated output cardinality of `plan` against a [`StatsCatalog`],
+/// bottom-up. Scans of analyzed tables use collected row counts; selects
+/// and thresholds scale by histogram/cdf-sketch selectivities; anything
+/// the catalog cannot answer falls back to the textbook magic constants
+/// ([`MAGIC_ROWS`], [`MAGIC_SELECTIVITY`], [`MAGIC_THRESHOLD_SELECTIVITY`]).
+/// Returns the estimate plus the table stats in scope (lost after joins,
+/// which merge columns from both sides).
+fn estimate_node<'a>(plan: &Plan, catalog: &'a StatsCatalog) -> (f64, Option<&'a TableStats>) {
+    match plan {
+        Plan::Scan(name) => match catalog.get(name) {
+            Some(ts) => (ts.rows as f64, Some(ts)),
+            None => (MAGIC_ROWS as f64, None),
+        },
+        Plan::Select(p, pred) => {
+            let (rows, ctx) = estimate_node(p, catalog);
+            let sel = ctx.map_or(MAGIC_SELECTIVITY, |ts| ts.est_select(pred));
+            (rows * sel, ctx)
+        }
+        Plan::Project(p, _) => estimate_node(p, catalog),
+        Plan::Join(l, r, pred) => {
+            let (lr, _) = estimate_node(l, catalog);
+            let (rr, _) = estimate_node(r, catalog);
+            let sel = if pred.is_some() { MAGIC_SELECTIVITY } else { 1.0 };
+            (lr * rr * sel, None)
+        }
+        Plan::ThresholdAttrs(p, attrs, op, prob) => {
+            let (rows, ctx) = estimate_node(p, catalog);
+            let sel = ctx.map_or(MAGIC_THRESHOLD_SELECTIVITY, |ts| {
+                ts.est_threshold_attrs(attrs, *op, *prob)
+            });
+            (rows * sel, ctx)
+        }
+        Plan::ThresholdPred(p, pred, op, prob) => {
+            let (rows, ctx) = estimate_node(p, catalog);
+            let sel = ctx
+                .map_or(MAGIC_THRESHOLD_SELECTIVITY, |ts| ts.est_threshold_pred(pred, *op, *prob));
+            (rows * sel, ctx)
+        }
+    }
+}
+
+/// Estimated output cardinality of `plan`, rounded to whole rows.
+pub fn estimate_rows(plan: &Plan, catalog: &StatsCatalog) -> u64 {
+    estimate_node(plan, catalog).0.round().max(0.0) as u64
+}
+
+/// Attaches `est_rows` to every node of a profile tree produced by
+/// [`execute_profiled`] over the same plan. The profile mirrors the plan
+/// shape (one node per operator, children in input order), so the walk is
+/// positional.
+pub fn annotate_estimates(profile: &mut OpProfile, plan: &Plan, catalog: &StatsCatalog) {
+    profile.est_rows = Some(estimate_rows(plan, catalog));
+    match plan {
+        Plan::Scan(_) => {}
+        Plan::Select(p, _)
+        | Plan::Project(p, _)
+        | Plan::ThresholdAttrs(p, ..)
+        | Plan::ThresholdPred(p, ..) => {
+            if let Some(child) = profile.children.first_mut() {
+                annotate_estimates(child, p, catalog);
+            }
+        }
+        Plan::Join(l, r, _) => {
+            let mut kids = profile.children.iter_mut();
+            if let Some(lp) = kids.next() {
+                annotate_estimates(lp, l, catalog);
+            }
+            if let Some(rp) = kids.next() {
+                annotate_estimates(rp, r, catalog);
+            }
         }
     }
 }
@@ -301,6 +378,44 @@ mod tests {
     fn unknown_table_errors() {
         let (tables, mut reg) = db();
         assert!(execute(&Plan::scan("nope"), &tables, &mut reg, &ExecOptions::default()).is_err());
+    }
+
+    #[test]
+    fn estimates_use_magic_constants_when_unanalyzed() {
+        let plan = Plan::scan("t").select(Predicate::cmp("x", CmpOp::Lt, 8.0));
+        let catalog = StatsCatalog::new();
+        let est = estimate_rows(&plan, &catalog);
+        assert_eq!(est, (MAGIC_ROWS as f64 * MAGIC_SELECTIVITY).round() as u64);
+        let t = Plan::ThresholdPred(
+            Box::new(Plan::scan("t")),
+            Predicate::cmp("x", CmpOp::Lt, 8.0),
+            CmpOp::Gt,
+            0.5,
+        );
+        assert_eq!(
+            estimate_rows(&t, &catalog),
+            (MAGIC_ROWS as f64 * MAGIC_THRESHOLD_SELECTIVITY).round() as u64
+        );
+    }
+
+    #[test]
+    fn estimates_track_analyzed_tables_and_annotate_profiles() {
+        let (tables, mut reg) = db();
+        let mut catalog = StatsCatalog::new();
+        catalog.insert(crate::stats_catalog::analyze_relation(&tables["t"]).unwrap());
+        let scan = Plan::scan("t");
+        assert_eq!(estimate_rows(&scan, &catalog), 2, "analyzed scan uses real row count");
+        let plan = scan.select(Predicate::cmp("x", CmpOp::Lt, 8.0)).project(&["id"]);
+        let (_, mut profile) =
+            execute_profiled(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
+        annotate_estimates(&mut profile, &plan, &catalog);
+        assert!(profile.est_rows.is_some());
+        let sel = &profile.children[0];
+        let scan_node = &sel.children[0];
+        assert_eq!(scan_node.est_rows, Some(2));
+        // Symbolic selects keep maybe-tuples, so actual out is 2; the
+        // histogram estimate must be within the table size.
+        assert!(sel.est_rows.unwrap() <= 2);
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod trace;
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer};
 pub use profile::OpProfile;
 pub use stats::{ExecStats, ExecStatsSnapshot, ExecTimer, WorkerLane};
-pub use trace::{validate_chrome_trace, Lane, Span, TraceEvent, Tracer};
+pub use trace::{
+    validate_chrome_trace, validate_flight_dump, Lane, LaneStats, Span, TraceEvent, Tracer,
+};
 
 /// Formats a nanosecond count in adaptive human units (`412ns`, `3.1us`,
 /// `2.4ms`, `1.20s`).

@@ -233,6 +233,17 @@ impl MetricsRegistry {
         self.inner.counters.lock().get(name).map_or(0, |c| c.get())
     }
 
+    /// Name-sorted snapshot of every counter — the row source for the
+    /// `orion.metrics` virtual table.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner.counters.lock().iter().map(|(n, c)| (n.clone(), c.get())).collect()
+    }
+
+    /// Name-sorted snapshot of every histogram.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner.histograms.lock().iter().map(|(n, h)| (n.clone(), h.snapshot())).collect()
+    }
+
     /// Starts an RAII timer recording into the histogram named `name` when
     /// dropped.
     pub fn span(&self, name: &str) -> SpanTimer {

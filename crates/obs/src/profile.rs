@@ -27,6 +27,9 @@ pub struct OpProfile {
     pub detail: String,
     /// Counters recorded while this operator ran (children excluded).
     pub stats: ExecStatsSnapshot,
+    /// Planner cardinality estimate for this operator's output, from the
+    /// stats catalog (`None` when the planner attached no estimate).
+    pub est_rows: Option<u64>,
     /// Input operators.
     pub children: Vec<OpProfile>,
 }
@@ -38,8 +41,24 @@ impl OpProfile {
             name: name.into(),
             detail: detail.into(),
             stats: ExecStatsSnapshot::default(),
+            est_rows: None,
             children: Vec::new(),
         }
+    }
+
+    /// Builder: attaches a planner cardinality estimate.
+    pub fn with_est_rows(mut self, est: u64) -> OpProfile {
+        self.est_rows = Some(est);
+        self
+    }
+
+    /// Relative error of the estimate against the actual output
+    /// cardinality (`|est - actual| / max(actual, 1)`), `None` when no
+    /// estimate was attached.
+    pub fn est_error(&self) -> Option<f64> {
+        let est = self.est_rows? as f64;
+        let actual = self.stats.tuples_out as f64;
+        Some((est - actual).abs() / actual.max(1.0))
     }
 
     /// Builder: attaches a child input.
@@ -82,8 +101,18 @@ impl OpProfile {
         }
         if with_stats {
             out.push_str("  (");
+            if let Some(est) = self.est_rows {
+                // The est-vs-actual feedback line the cost model trains on.
+                out.push_str(&format!(
+                    "est={est} actual={} err={:.2} ",
+                    self.stats.tuples_out,
+                    self.est_error().unwrap_or(0.0)
+                ));
+            }
             out.push_str(&self.stats.render());
             out.push(')');
+        } else if let Some(est) = self.est_rows {
+            out.push_str(&format!("  (est_rows={est})"));
         }
         out.push('\n');
         for (i, child) in self.children.iter().enumerate() {
@@ -104,11 +133,17 @@ impl OpProfile {
         for c in &self.children {
             children.push(c.to_json());
         }
-        json::Value::object()
+        let mut v = json::Value::object()
             .with("operator", self.name.as_str())
             .with("detail", self.detail.as_str())
             .with("stats", self.stats.to_json())
-            .with("children", children)
+            .with("children", children);
+        // Appended after the stable keys so existing consumers keep their
+        // prefix shape.
+        if let Some(est) = self.est_rows {
+            v.set("est_rows", est);
+        }
+        v
     }
 }
 
@@ -173,5 +208,20 @@ mod tests {
         let text = v.to_string_compact();
         assert!(text.starts_with(r#"{"operator":"Project","detail":"a","stats":{"tuples_in":1"#));
         assert!(text.contains(r#""operator":"Scan"#));
+        assert!(!text.contains("est_rows"), "no estimate attached → key absent");
+    }
+
+    #[test]
+    fn est_rows_renders_in_both_forms_and_exports() {
+        let p = OpProfile::new("Select", "v < 3")
+            .with_stats(ExecStatsSnapshot { tuples_in: 10, tuples_out: 4, ..Default::default() })
+            .with_est_rows(6);
+        assert_eq!(p.render(false), "Select [v < 3]  (est_rows=6)\n");
+        let analyzed = p.render(true);
+        assert!(analyzed.contains("est=6 actual=4 err=0.50"), "{analyzed}");
+        assert!(p.to_json().to_string_compact().contains(r#""est_rows":6"#));
+        // err uses max(actual, 1) so empty outputs divide cleanly.
+        let empty = OpProfile::new("Select", "x").with_est_rows(3);
+        assert!((empty.est_error().unwrap() - 3.0).abs() < 1e-12);
     }
 }

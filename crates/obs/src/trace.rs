@@ -246,6 +246,24 @@ impl Tracer {
         self.inner.lanes.lock().iter().map(|l| l.state.lock().dropped).sum()
     }
 
+    /// Per-lane accounting in registration order — the row source for the
+    /// `orion.trace_lanes` virtual table.
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        let lanes = self.inner.lanes.lock();
+        lanes
+            .iter()
+            .map(|l| {
+                let st = l.state.lock();
+                LaneStats {
+                    name: l.name.clone(),
+                    tid: l.tid,
+                    events: st.ring.len() as u64,
+                    dropped: st.dropped,
+                }
+            })
+            .collect()
+    }
+
     /// Exports the recorded spans as a Chrome trace-event JSON document:
     /// `{"traceEvents": [...]}` with one `"M"` thread-name metadata event
     /// per lane and one `"X"` complete event per span, sorted by start
@@ -387,6 +405,19 @@ pub fn env_trace_enabled() -> bool {
         Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on"),
         Err(_) => false,
     }
+}
+
+/// Point-in-time accounting for one lane (see [`Tracer::lane_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Lane display name.
+    pub name: String,
+    /// Lane id (the Chrome `tid`).
+    pub tid: u64,
+    /// Events currently held in the ring.
+    pub events: u64,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
 }
 
 /// A handle onto one lane of a tracer: cheap to clone, `Send + Sync`, and
@@ -560,6 +591,20 @@ pub fn validate_chrome_trace(doc: &json::Value) -> Result<(), String> {
         return Err("no \"X\" (complete) events in trace".into());
     }
     Ok(())
+}
+
+/// Validates a flight-recorder dump document (`flight-*.json`): the same
+/// Chrome trace-event checks as [`validate_chrome_trace`], plus the
+/// recorder's own contract — a non-empty top-level `"reason"` string
+/// saying why the dump was taken. Used by the `trace_check` CI binary and
+/// the crash-matrix spot-check.
+pub fn validate_flight_dump(doc: &json::Value) -> Result<(), String> {
+    match doc.get("reason").and_then(json::Value::as_str) {
+        None => return Err("missing top-level \"reason\" string".into()),
+        Some("") => return Err("empty \"reason\"".into()),
+        Some(_) => {}
+    }
+    validate_chrome_trace(doc)
 }
 
 #[cfg(test)]
@@ -737,6 +782,38 @@ mod tests {
         }
         let doc = json::Value::object().with("traceEvents", arr);
         assert!(validate_chrome_trace(&doc).unwrap_err().contains("escapes"));
+    }
+
+    #[test]
+    fn lane_stats_track_events_and_drops() {
+        let t = Tracer::with_capacity(2);
+        t.set_enabled(true);
+        let lane = t.lane("exec");
+        for i in 0..5 {
+            let _s = lane.span(format!("s{i}"), "test");
+        }
+        let stats = t.lane_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "exec");
+        assert_eq!(stats[0].tid, 1);
+        assert_eq!(stats[0].events, 2);
+        assert_eq!(stats[0].dropped, 3);
+    }
+
+    #[test]
+    fn flight_dump_validator_requires_reason() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _s = t.lane("main").span("work", "test");
+        }
+        let trace = t.export_chrome_json();
+        // A valid trace without a reason is not a valid flight dump.
+        assert!(validate_flight_dump(&trace).unwrap_err().contains("reason"));
+        let dump = trace.clone().with("reason", "panic: boom");
+        validate_flight_dump(&dump).unwrap();
+        let empty = trace.with("reason", "");
+        assert!(validate_flight_dump(&empty).is_err());
     }
 
     #[test]

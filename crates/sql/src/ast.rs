@@ -30,6 +30,12 @@ pub enum Statement {
     Delete { table: String, filter: Option<Pred> },
     /// `DROP TABLE name`.
     DropTable { name: String },
+    /// `ANALYZE name` — collects per-column statistics (equi-depth
+    /// histograms over certain values / expected values, cdf-bound
+    /// summaries for uncertain columns, a tuple-existence histogram) into
+    /// the engine's stats catalog for use by `EXPLAIN` cardinality
+    /// estimates and the `orion.stats` virtual table.
+    Analyze { table: String },
     /// `EXPLAIN [ANALYZE | TRACE] stmt` — renders the operator tree the
     /// statement would run; with `ANALYZE`, executes it and annotates each
     /// operator with its execution stats; with `TRACE`, executes it with

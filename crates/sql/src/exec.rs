@@ -6,14 +6,18 @@ use crate::error::{Result, SqlError};
 use crate::parser::parse;
 use orion_core::agg;
 use orion_core::join::join;
-use orion_core::plan::{execute_profiled, Plan};
+use orion_core::plan::{annotate_estimates, execute_profiled, Plan};
 use orion_core::prelude::*;
 use orion_core::project::project;
 use orion_core::select::select;
 use orion_core::threshold::{predicate_probability, threshold_attrs, threshold_pred};
-use orion_obs::{OpProfile, Tracer};
+use orion_obs::{MetricsRegistry, OpProfile, Tracer};
 use orion_pdf::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Name prefix of the read-only system (virtual) tables.
+pub const SYS_PREFIX: &str = "orion.";
 
 /// Where an `EXPLAIN TRACE` query wrote its trace, plus a text rendering
 /// of the spans it recorded.
@@ -37,6 +41,9 @@ pub enum Output {
     Count(usize),
     /// Statement completed with nothing to return (CREATE / DROP).
     Ok,
+    /// The statistics collected by `ANALYZE <table>` (a copy of what was
+    /// installed into the session's stats catalog).
+    Analyze(TableStats),
     /// The operator tree of an `EXPLAIN [ANALYZE | TRACE]` statement. With
     /// `analyze` the profile carries real execution stats; without, only
     /// the plan shape is meaningful. `trace` is set by `EXPLAIN TRACE`.
@@ -48,6 +55,9 @@ pub struct Database {
     tables: HashMap<String, Relation>,
     reg: HistoryRegistry,
     opts: ExecOptions,
+    stats: StatsCatalog,
+    metrics: MetricsRegistry,
+    io: Arc<IoStats>,
 }
 
 impl Default for Database {
@@ -59,16 +69,38 @@ impl Default for Database {
 impl Database {
     /// An empty database with default execution options.
     pub fn new() -> Self {
-        Database {
-            tables: HashMap::new(),
-            reg: HistoryRegistry::new(),
-            opts: ExecOptions::default(),
-        }
+        Self::with_options(ExecOptions::default())
     }
 
     /// Overrides execution options (resolution, history maintenance, ...).
     pub fn with_options(opts: ExecOptions) -> Self {
-        Database { tables: HashMap::new(), reg: HistoryRegistry::new(), opts }
+        Database {
+            tables: HashMap::new(),
+            reg: HistoryRegistry::new(),
+            opts,
+            stats: StatsCatalog::new(),
+            metrics: orion_obs::metrics::global().clone(),
+            io: Arc::new(IoStats::default()),
+        }
+    }
+
+    /// The session's stats catalog, filled by `ANALYZE` and surfaced by
+    /// `orion.stats` / `EXPLAIN` cardinality estimates.
+    pub fn stats_catalog(&self) -> &StatsCatalog {
+        &self.stats
+    }
+
+    /// Replaces the registry behind `orion.metrics` (defaults to the
+    /// process-wide one; cloning a registry shares its metrics).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
+    }
+
+    /// Attaches the buffer-pool counters behind `orion.io` (e.g. a durable
+    /// engine's [`DurableDb::io_stats`](orion_core::durable::DurableDb::io_stats);
+    /// defaults to a detached all-zero instance).
+    pub fn set_io_stats(&mut self, io: Arc<IoStats>) {
+        self.io = io;
     }
 
     /// Direct access to a stored relation.
@@ -92,9 +124,10 @@ impl Database {
         &mut self.reg
     }
 
-    /// Saves every table and the history registry to one file.
+    /// Saves every table, the history registry, and the ANALYZE stats
+    /// catalog to one file.
     pub fn save(&self, path: &std::path::Path) -> Result<()> {
-        orion_core::persist::save_database(path, &self.tables, &self.reg)?;
+        orion_core::persist::save_database_with_stats(path, &self.tables, &self.reg, &self.stats)?;
         Ok(())
     }
 
@@ -105,8 +138,12 @@ impl Database {
 
     /// Opens a saved database with specific execution options.
     pub fn open_with_options(path: &std::path::Path, opts: ExecOptions) -> Result<Self> {
-        let (tables, reg) = orion_core::persist::load_database(path)?;
-        Ok(Database { tables, reg, opts })
+        let (tables, reg, stats) = orion_core::persist::load_database_with_stats(path)?;
+        let mut db = Self::with_options(opts);
+        db.tables = tables;
+        db.reg = reg;
+        db.stats = stats;
+        Ok(db)
     }
 
     /// Parses and executes one statement.
@@ -118,6 +155,11 @@ impl Database {
     fn run(&mut self, stmt: Statement) -> Result<Output> {
         match stmt {
             Statement::CreateTable { name, columns, correlated } => {
+                if name.starts_with(SYS_PREFIX) {
+                    return Err(SqlError::Exec(format!(
+                        "the '{SYS_PREFIX}' namespace is reserved for system tables"
+                    )));
+                }
                 if self.tables.contains_key(&name) {
                     return Err(SqlError::Exec(format!("table '{name}' already exists")));
                 }
@@ -193,7 +235,17 @@ impl Database {
                     .remove(&name)
                     .ok_or_else(|| SqlError::Exec(format!("unknown table '{name}'")))?;
                 rel.release(&mut self.reg);
+                self.stats.remove(&name);
                 Ok(Output::Ok)
+            }
+            Statement::Analyze { table } => {
+                let rel = self
+                    .tables
+                    .get(&table)
+                    .ok_or_else(|| SqlError::Exec(format!("unknown table '{table}'")))?;
+                let ts = analyze_relation(rel)?;
+                self.stats.insert(ts.clone());
+                Ok(Output::Analyze(ts))
             }
             Statement::Explain { analyze, trace, inner } => self.explain(analyze, trace, *inner),
         }
@@ -219,6 +271,10 @@ impl Database {
                     .into(),
             ));
         }
+        let scan_names: Vec<String> = match &from {
+            FromClause::Table(name) => vec![name.clone()],
+            FromClause::Join { left, right, .. } => vec![left.clone(), right.clone()],
+        };
         let mut plan = match from {
             FromClause::Table(name) => Plan::Scan(name),
             FromClause::Join { left, right, on } => Plan::Join(
@@ -270,11 +326,21 @@ impl Database {
                 .collect::<Result<_>>()?;
             plan = Plan::Project(Box::new(plan), cols);
         }
+        // System tables join the plan like any stored relation: materialize
+        // them into a merged table map scoped to this query.
+        let mut vtables: Option<HashMap<String, Relation>> = None;
+        for n in &scan_names {
+            if let Some(rel) = self.virtual_table(n)? {
+                vtables.get_or_insert_with(|| self.tables.clone()).insert(n.clone(), rel);
+            }
+        }
+        let tables = vtables.as_ref().unwrap_or(&self.tables);
         // The result relation is discarded like any undisplayed SELECT
         // output (a bare Scan result holds no refs of its own, so an
         // explicit release here could over-release the stored table).
         if !trace {
-            let (_rel, profile) = execute_profiled(&plan, &self.tables, &mut self.reg, &self.opts)?;
+            let (_rel, mut profile) = execute_profiled(&plan, tables, &mut self.reg, &self.opts)?;
+            annotate_estimates(&mut profile, &plan, &self.stats);
             return Ok(Output::Explain { profile, analyze, trace: None });
         }
         let tracer = Tracer::global();
@@ -288,11 +354,12 @@ impl Database {
             tracer.set_enabled(true);
         }
         let query_id = tracer.begin_trace();
-        let result = execute_profiled(&plan, &self.tables, &mut self.reg, &self.opts);
+        let result = execute_profiled(&plan, tables, &mut self.reg, &self.opts);
         if !was_enabled {
             tracer.set_enabled(false);
         }
-        let (_rel, profile) = result?;
+        let (_rel, mut profile) = result?;
+        annotate_estimates(&mut profile, &plan, &self.stats);
         let path = match std::env::var_os("ORION_TRACE_FILE") {
             Some(p) => std::path::PathBuf::from(p),
             None => std::env::temp_dir().join(format!("orion-trace-{query_id}.json")),
@@ -303,6 +370,223 @@ impl Database {
         let tree = tracer.render_span_tree(8);
         let info = ExplainTrace { path: path.display().to_string(), tree };
         Ok(Output::Explain { profile, analyze, trace: Some(info) })
+    }
+
+    /// Resolves a FROM name: system tables first, then stored relations.
+    fn source(&self, name: &str) -> Result<Relation> {
+        if let Some(rel) = self.virtual_table(name)? {
+            return Ok(rel);
+        }
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SqlError::Exec(format!("unknown table '{name}'")))
+    }
+
+    /// Materializes a system (`orion.*`) relation, `None` when `name` is
+    /// outside the system namespace. The rows are a point-in-time snapshot;
+    /// re-query to observe newer state.
+    fn virtual_table(&self, name: &str) -> Result<Option<Relation>> {
+        if !name.starts_with(SYS_PREFIX) {
+            return Ok(None);
+        }
+        let rel = match name {
+            "orion.tables" => self.sys_tables()?,
+            "orion.columns" => self.sys_columns()?,
+            "orion.stats" => self.sys_stats()?,
+            "orion.metrics" => self.sys_metrics()?,
+            "orion.io" => self.sys_io()?,
+            "orion.trace_lanes" => self.sys_trace_lanes()?,
+            other => {
+                return Err(SqlError::Exec(format!(
+                    "unknown system table '{other}' (available: orion.tables, orion.columns, \
+                     orion.stats, orion.metrics, orion.io, orion.trace_lanes)"
+                )))
+            }
+        };
+        Ok(Some(rel))
+    }
+
+    /// Stored relations in name order (system-table row order is stable).
+    fn sorted_user_tables(&self) -> Vec<&Relation> {
+        let mut rels: Vec<&Relation> = self.tables.values().collect();
+        rels.sort_by(|a, b| a.name.cmp(&b.name));
+        rels
+    }
+
+    /// `orion.tables`: one row per stored table.
+    fn sys_tables(&self) -> Result<Relation> {
+        let mut rows = Vec::new();
+        for rel in self.sorted_user_tables() {
+            let analyzed = self.stats.get(&rel.name);
+            rows.push(vec![
+                Value::Text(rel.name.clone()),
+                Value::Int(rel.len() as i64),
+                Value::Int(rel.schema.columns().len() as i64),
+                Value::Bool(analyzed.is_some()),
+                analyzed.map_or(Value::Null, |ts| Value::Real(ts.exist_sum)),
+            ]);
+        }
+        system_rel(
+            "orion.tables",
+            &[
+                ("tbl", ColumnType::Text),
+                ("rows", ColumnType::Int),
+                ("cols", ColumnType::Int),
+                ("analyzed", ColumnType::Bool),
+                ("exist_sum", ColumnType::Real),
+            ],
+            rows,
+        )
+    }
+
+    /// `orion.columns`: one row per column of every stored table.
+    fn sys_columns(&self) -> Result<Relation> {
+        let mut rows = Vec::new();
+        for rel in self.sorted_user_tables() {
+            for c in rel.schema.columns() {
+                rows.push(vec![
+                    Value::Text(rel.name.clone()),
+                    Value::Text(c.name.clone()),
+                    Value::Text(column_type_name(c.ty).to_string()),
+                    Value::Bool(c.uncertain),
+                ]);
+            }
+        }
+        system_rel(
+            "orion.columns",
+            &[
+                ("tbl", ColumnType::Text),
+                ("col", ColumnType::Text),
+                ("ty", ColumnType::Text),
+                ("uncertain", ColumnType::Bool),
+            ],
+            rows,
+        )
+    }
+
+    /// `orion.stats`: one row per analyzed column. `lo`/`hi` come from the
+    /// cdf-bound summary for uncertain columns (histogram bounds otherwise);
+    /// `width_mean` is the mean effective-support width (NULL for certain).
+    fn sys_stats(&self) -> Result<Relation> {
+        let mut rows = Vec::new();
+        for ts in self.stats.iter() {
+            for c in &ts.columns {
+                let (lo, hi) = match (&c.bounds, c.hist.bounds.first(), c.hist.bounds.last()) {
+                    (Some(b), _, _) => (Value::Real(b.lo_min), Value::Real(b.hi_max)),
+                    (None, Some(&lo), Some(&hi)) => (Value::Real(lo), Value::Real(hi)),
+                    _ => (Value::Null, Value::Null),
+                };
+                rows.push(vec![
+                    Value::Text(ts.table.clone()),
+                    Value::Text(c.name.clone()),
+                    Value::Text(if c.uncertain { "uncertain" } else { "certain" }.to_string()),
+                    Value::Int(ts.rows as i64),
+                    Value::Int(c.distinct as i64),
+                    Value::Int(c.nulls as i64),
+                    lo,
+                    hi,
+                    c.bounds.as_ref().map_or(Value::Null, |b| Value::Real(b.width_mean)),
+                ]);
+            }
+        }
+        system_rel(
+            "orion.stats",
+            &[
+                ("tbl", ColumnType::Text),
+                ("col", ColumnType::Text),
+                ("kind", ColumnType::Text),
+                ("rows", ColumnType::Int),
+                ("ndv", ColumnType::Int),
+                ("nulls", ColumnType::Int),
+                ("lo", ColumnType::Real),
+                ("hi", ColumnType::Real),
+                ("width_mean", ColumnType::Real),
+            ],
+            rows,
+        )
+    }
+
+    /// `orion.metrics`: one row per counter / histogram of the session's
+    /// registry; values agree with `render_prometheus` on the same registry.
+    fn sys_metrics(&self) -> Result<Relation> {
+        let mut rows = Vec::new();
+        for (name, v) in self.metrics.counters() {
+            rows.push(vec![
+                Value::Text(name),
+                Value::Text("counter".to_string()),
+                Value::Int(v as i64),
+                Value::Null,
+            ]);
+        }
+        for (name, h) in self.metrics.histograms() {
+            rows.push(vec![
+                Value::Text(name),
+                Value::Text("histogram".to_string()),
+                Value::Int(h.count as i64),
+                Value::Real(h.sum as f64),
+            ]);
+        }
+        system_rel(
+            "orion.metrics",
+            &[
+                ("name", ColumnType::Text),
+                ("kind", ColumnType::Text),
+                ("count", ColumnType::Int),
+                ("sum", ColumnType::Real),
+            ],
+            rows,
+        )
+    }
+
+    /// `orion.io`: one row per buffer-pool counter.
+    fn sys_io(&self) -> Result<Relation> {
+        let s = self.io.snapshot();
+        let counters: [(&str, u64); 9] = [
+            ("physical_reads", s.physical_reads),
+            ("physical_writes", s.physical_writes),
+            ("cache_hits", s.cache_hits),
+            ("cache_misses", s.cache_misses),
+            ("evictions", s.evictions),
+            ("torn_pages", s.torn_pages),
+            ("write_errors", s.write_errors),
+            ("ckpt_pages_copied", s.ckpt_pages_copied),
+            ("ckpt_pages_skipped", s.ckpt_pages_skipped),
+        ];
+        system_rel(
+            "orion.io",
+            &[("counter", ColumnType::Text), ("value", ColumnType::Int)],
+            counters
+                .into_iter()
+                .map(|(n, v)| vec![Value::Text(n.to_string()), Value::Int(v as i64)])
+                .collect(),
+        )
+    }
+
+    /// `orion.trace_lanes`: one row per registered tracer lane.
+    fn sys_trace_lanes(&self) -> Result<Relation> {
+        let rows = Tracer::global()
+            .lane_stats()
+            .into_iter()
+            .map(|l| {
+                vec![
+                    Value::Text(l.name),
+                    Value::Int(l.tid as i64),
+                    Value::Int(l.events as i64),
+                    Value::Int(l.dropped as i64),
+                ]
+            })
+            .collect();
+        system_rel(
+            "orion.trace_lanes",
+            &[
+                ("lane", ColumnType::Text),
+                ("tid", ColumnType::Int),
+                ("events", ColumnType::Int),
+                ("dropped", ColumnType::Int),
+            ],
+            rows,
+        )
     }
 
     fn insert_row(&mut self, table: &str, row: Vec<InsertValue>) -> Result<()> {
@@ -521,24 +805,12 @@ impl Database {
         order_by: Option<(String, bool)>,
         limit: Option<usize>,
     ) -> Result<Output> {
-        // Build the input relation.
+        // Build the input relation (system tables resolve like stored ones).
         let mut input = match from {
-            FromClause::Table(name) => self
-                .tables
-                .get(&name)
-                .cloned()
-                .ok_or_else(|| SqlError::Exec(format!("unknown table '{name}'")))?,
+            FromClause::Table(name) => self.source(&name)?,
             FromClause::Join { left, right, on } => {
-                let l = self
-                    .tables
-                    .get(&left)
-                    .cloned()
-                    .ok_or_else(|| SqlError::Exec(format!("unknown table '{left}'")))?;
-                let r = self
-                    .tables
-                    .get(&right)
-                    .cloned()
-                    .ok_or_else(|| SqlError::Exec(format!("unknown table '{right}'")))?;
+                let l = self.source(&left)?;
+                let r = self.source(&right)?;
                 let on_pred = on.map(|p| translate_pred(&p)).transpose()?;
                 join(&l, &r, on_pred.as_ref(), &mut self.reg, &self.opts)?
             }
@@ -789,6 +1061,31 @@ impl Database {
         }
         Ok(Output::Table(projected))
     }
+}
+
+/// Display name of a column type (`orion.columns.ty` cells).
+fn column_type_name(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Int => "INT",
+        ColumnType::Real => "REAL",
+        ColumnType::Text => "TEXT",
+        ColumnType::Bool => "BOOL",
+    }
+}
+
+/// Builds one certain-only system relation from plain rows.
+fn system_rel(name: &str, cols: &[(&str, ColumnType)], rows: Vec<Vec<Value>>) -> Result<Relation> {
+    let defs: Vec<(&str, ColumnType, bool)> = cols.iter().map(|&(n, t)| (n, t, false)).collect();
+    let schema = ProbSchema::new(defs, vec![])?;
+    let mut rel = Relation::new(name, schema);
+    // Certain-only rows register no pdfs, so a throwaway registry keeps the
+    // session's history registry untouched.
+    let mut reg = HistoryRegistry::new();
+    for row in rows {
+        let certain: Vec<(&str, Value)> = cols.iter().map(|&(n, _)| n).zip(row).collect();
+        rel.insert_simple(&mut reg, &certain, &[])?;
+    }
+    Ok(rel)
 }
 
 /// Evaluates a per-tuple statistic over an uncertain column's marginal,
@@ -1182,6 +1479,32 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    #[test]
+    fn save_and_open_round_trip_keeps_analyze_stats() {
+        let dir = std::env::temp_dir().join("orion_sql_persist_stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.orion");
+        let saved = {
+            let mut db = sensor_db();
+            db.execute("ANALYZE readings").unwrap();
+            db.save(&path).unwrap();
+            db.stats_catalog().get("readings").unwrap().clone()
+        };
+        let mut db = Database::open(&path).unwrap();
+        let loaded = db.stats_catalog().get("readings").expect("stats survive save/open");
+        assert_eq!(loaded, &saved);
+        assert_eq!(loaded.encode(), saved.encode());
+        // The reopened catalog feeds the virtual tables and the planner.
+        let out = db.execute("SELECT analyzed FROM orion.tables WHERE tbl = 'readings'").unwrap();
+        match out {
+            Output::Table(rel) => {
+                assert_eq!(rel.value(0, "analyzed").unwrap(), &Value::Bool(true));
+            }
+            other => panic!("wrong output: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
     /// Replaces the variable `time=...` token of each EXPLAIN ANALYZE row
     /// with `time=_` so the rest of the line can be compared exactly.
     fn normalize_times(text: &str) -> String {
@@ -1210,17 +1533,19 @@ mod tests {
         let Output::Explain { profile, analyze, .. } = out else { panic!("expected explain") };
         assert!(analyze);
         // x < y merges the two independent nodes (one product) and floors
-        // the merged joint once per surviving crossed tuple.
+        // the merged joint once per surviving crossed tuple. Neither table
+        // was analyzed, so the estimates are the documented magic defaults:
+        // 1000 rows per scan, selectivity 1/3 for the join predicate.
         assert_eq!(
             normalize_times(&profile.render(true)),
-            "Project [l.id]  \
-             (in=1 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n\
-             └─ Join [x < y]  \
-             (in=2 out=1 products=1 floors=1 marginalize=0 collapses=0 pruned=0 time=_)\n\
-             \u{20}  ├─ Scan [l]  \
-             (in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n\
-             \u{20}  └─ Scan [r]  \
-             (in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n"
+            "Project [l.id]  (est=333333 actual=1 err=333332.00 \
+             in=1 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n\
+             └─ Join [x < y]  (est=333333 actual=1 err=333332.00 \
+             in=2 out=1 products=1 floors=1 marginalize=0 collapses=0 pruned=0 time=_)\n\
+             \u{20}  ├─ Scan [l]  (est=1000 actual=1 err=999.00 \
+             in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n\
+             \u{20}  └─ Scan [r]  (est=1000 actual=1 err=999.00 \
+             in=0 out=1 products=0 floors=0 marginalize=0 collapses=0 pruned=0 time=_)\n"
         );
     }
 
@@ -1260,12 +1585,27 @@ mod tests {
     #[test]
     fn explain_without_analyze_shows_plan_shape() {
         let mut db = sensor_db();
+        // Un-analyzed: magic constants (1000 rows, selectivity 1/3).
         let out = db.execute("EXPLAIN SELECT rid FROM readings WHERE value < 20").unwrap();
         let Output::Explain { profile, analyze, .. } = out else { panic!("expected explain") };
         assert!(!analyze);
         assert_eq!(
             profile.render(false),
-            "Project [rid]\n└─ Select [value < 20]\n   └─ Scan [readings]\n"
+            "Project [rid]  (est_rows=333)\n\
+             └─ Select [value < 20]  (est_rows=333)\n\
+             \u{20}  └─ Scan [readings]  (est_rows=1000)\n"
+        );
+        // Analyzed: the scan knows its 3 rows and the selection estimate
+        // comes from the expected-value histogram ({13, 20, 25} → 2 below
+        // 20 with the equal-point correction).
+        db.execute("ANALYZE readings").unwrap();
+        let out = db.execute("EXPLAIN SELECT rid FROM readings WHERE value < 20").unwrap();
+        let Output::Explain { profile, .. } = out else { panic!("expected explain") };
+        assert_eq!(
+            profile.render(false),
+            "Project [rid]  (est_rows=2)\n\
+             └─ Select [value < 20]  (est_rows=2)\n\
+             \u{20}  └─ Scan [readings]  (est_rows=3)\n"
         );
     }
 
@@ -1318,5 +1658,184 @@ mod tests {
         let mut db = sensor_db();
         assert!(db.execute("SELECT *, rid FROM readings").is_err());
         assert!(db.execute("SELECT ECOUNT(*), rid FROM readings").is_err());
+    }
+
+    #[test]
+    fn analyze_statement_collects_and_installs_stats() {
+        let mut db = sensor_db();
+        let Output::Analyze(ts) = db.execute("ANALYZE readings").unwrap() else {
+            panic!("expected analyze output")
+        };
+        assert_eq!(ts.table, "readings");
+        assert_eq!(ts.rows, 3);
+        assert_eq!(db.stats_catalog().get("readings").unwrap(), &ts);
+        assert!(db.execute("ANALYZE missing").is_err());
+        // DROP TABLE drops the stats along with the data.
+        db.execute("DROP TABLE readings").unwrap();
+        assert!(db.stats_catalog().get("readings").is_none());
+    }
+
+    #[test]
+    fn every_system_table_is_queryable_with_stable_schema() {
+        let mut db = sensor_db();
+        db.execute("ANALYZE readings").unwrap();
+        let expect: &[(&str, &[&str])] = &[
+            ("orion.tables", &["tbl", "rows", "cols", "analyzed", "exist_sum"]),
+            ("orion.columns", &["tbl", "col", "ty", "uncertain"]),
+            (
+                "orion.stats",
+                &["tbl", "col", "kind", "rows", "ndv", "nulls", "lo", "hi", "width_mean"],
+            ),
+            ("orion.metrics", &["name", "kind", "count", "sum"]),
+            ("orion.io", &["counter", "value"]),
+            ("orion.trace_lanes", &["lane", "tid", "events", "dropped"]),
+        ];
+        for (table, cols) in expect {
+            let Output::Table(rel) = db.execute(&format!("SELECT * FROM {table}")).unwrap() else {
+                panic!("expected table from {table}")
+            };
+            let got: Vec<&str> = rel.schema.columns().iter().map(|c| c.name.as_str()).collect();
+            assert_eq!(&got, cols, "{table}");
+        }
+        // Unknown system names error instead of falling through to user
+        // tables, and the namespace is reserved against CREATE.
+        assert!(db.execute("SELECT * FROM orion.nope").is_err());
+        assert!(db.execute("CREATE TABLE orion.mine (a INT)").is_err());
+    }
+
+    #[test]
+    fn orion_tables_and_columns_golden_rows() {
+        let mut db = sensor_db();
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.tables").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.value(0, "tbl").unwrap(), &Value::Text("readings".into()));
+        assert_eq!(rel.value(0, "rows").unwrap(), &Value::Int(3));
+        assert_eq!(rel.value(0, "cols").unwrap(), &Value::Int(2));
+        assert_eq!(rel.value(0, "analyzed").unwrap(), &Value::Bool(false));
+        assert_eq!(rel.value(0, "exist_sum").unwrap(), &Value::Null);
+        db.execute("ANALYZE readings").unwrap();
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.tables").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.value(0, "analyzed").unwrap(), &Value::Bool(true));
+        assert_eq!(rel.value(0, "exist_sum").unwrap(), &Value::Real(3.0));
+
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.columns").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.value(0, "col").unwrap(), &Value::Text("rid".into()));
+        assert_eq!(rel.value(0, "ty").unwrap(), &Value::Text("INT".into()));
+        assert_eq!(rel.value(0, "uncertain").unwrap(), &Value::Bool(false));
+        assert_eq!(rel.value(1, "col").unwrap(), &Value::Text("value".into()));
+        assert_eq!(rel.value(1, "ty").unwrap(), &Value::Text("REAL".into()));
+        assert_eq!(rel.value(1, "uncertain").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn orion_stats_reflects_analyze_and_joins_with_user_tables() {
+        let mut db = sensor_db();
+        // Before ANALYZE the stats table is empty; after, one row per column.
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.stats").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 0);
+        db.execute("ANALYZE readings").unwrap();
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.stats").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.value(0, "kind").unwrap(), &Value::Text("certain".into()));
+        assert_eq!(rel.value(0, "ndv").unwrap(), &Value::Int(3));
+        assert_eq!(rel.value(1, "kind").unwrap(), &Value::Text("uncertain".into()));
+        let Value::Real(w) = rel.value(1, "width_mean").unwrap() else {
+            panic!("uncertain column carries a width")
+        };
+        assert!(*w > 0.0);
+
+        // System relations participate in ordinary joins with user tables.
+        db.execute("CREATE TABLE cal (colname TEXT, factor REAL)").unwrap();
+        db.execute("INSERT INTO cal VALUES ('value', 2.0)").unwrap();
+        let Output::Table(rel) = db
+            .execute("SELECT col, kind, factor FROM orion.stats JOIN cal ON col = colname")
+            .unwrap()
+        else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.value(0, "col").unwrap(), &Value::Text("value".into()));
+        assert_eq!(rel.value(0, "kind").unwrap(), &Value::Text("uncertain".into()));
+    }
+
+    #[test]
+    fn orion_metrics_rows_match_prometheus_export() {
+        let mut db = sensor_db();
+        // A private registry keeps this deterministic under parallel tests.
+        let reg = MetricsRegistry::new();
+        reg.counter("probe_a").add(7);
+        reg.counter("probe_b").add(0);
+        reg.histogram("probe_lat").record(5);
+        db.set_metrics(reg.clone());
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.metrics").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 3);
+        // Every row must agree with the Prometheus exposition of the same
+        // registry (the check.sh consistency gate).
+        let prom = reg.render_prometheus();
+        for ti in 0..rel.len() {
+            let Value::Text(name) = rel.value(ti, "name").unwrap() else { panic!("text name") };
+            let Value::Text(kind) = rel.value(ti, "kind").unwrap() else { panic!("text kind") };
+            let Value::Int(count) = rel.value(ti, "count").unwrap() else { panic!("int count") };
+            let sanitized: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' })
+                .collect();
+            let needle = match kind.as_str() {
+                "counter" => format!("\n{sanitized} {count}\n"),
+                _ => format!("{sanitized}_count {count}\n"),
+            };
+            assert!(prom.contains(&needle), "row {name}={count} not in exposition:\n{prom}");
+        }
+    }
+
+    #[test]
+    fn orion_io_and_trace_lanes_are_queryable() {
+        let mut db = sensor_db();
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.io").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 9, "one row per buffer-pool counter");
+        assert_eq!(rel.value(0, "counter").unwrap(), &Value::Text("physical_reads".into()));
+        assert_eq!(rel.value(0, "value").unwrap(), &Value::Int(0), "detached io defaults to zero");
+        // Attached counters surface through the same query.
+        let io = Arc::new(IoStats::default());
+        io.cache_hits.add(5);
+        db.set_io_stats(Arc::clone(&io));
+        let Output::Table(rel) =
+            db.execute("SELECT value FROM orion.io WHERE counter = 'cache_hits'").unwrap()
+        else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.value(0, "value").unwrap(), &Value::Int(5));
+        // trace_lanes executes with a stable schema regardless of whether
+        // the global tracer has registered lanes in this process.
+        let Output::Table(_) = db.execute("SELECT * FROM orion.trace_lanes").unwrap() else {
+            panic!("expected table")
+        };
+    }
+
+    #[test]
+    fn explain_analyze_over_system_table_estimates() {
+        let mut db = sensor_db();
+        db.execute("ANALYZE readings").unwrap();
+        // Virtual scans work under EXPLAIN ANALYZE; est falls back to the
+        // magic constant because system tables are never analyzed.
+        let out = db.execute("EXPLAIN ANALYZE SELECT col FROM orion.stats").unwrap();
+        let Output::Explain { profile, .. } = out else { panic!("expected explain") };
+        assert_eq!(profile.stats.tuples_out, 2);
+        assert_eq!(profile.est_rows, Some(1000));
     }
 }

@@ -17,9 +17,19 @@
 //! * `UPDATE`, `DELETE`, `ORDER BY` (expectation order for uncertain
 //!   columns), `LIMIT`, certain-only `DISTINCT`, and whole-database
 //!   `save`/`open` persistence;
-//! * `EXPLAIN [ANALYZE] SELECT ...` — the executed operator tree, with
-//!   per-operator tuple counts, pdf-operation counts, and wall time under
-//!   `ANALYZE` (both forms execute the query).
+//! * `ANALYZE <table>` — collects per-column statistics (equi-depth
+//!   histograms, cdf-bound summaries and per-tuple cdf sketches for
+//!   uncertain columns, a tuple-existence histogram) into the session's
+//!   stats catalog;
+//! * read-only system virtual tables in the reserved `orion.` namespace
+//!   (`orion.tables`, `orion.columns`, `orion.stats`, `orion.metrics`,
+//!   `orion.io`, `orion.trace_lanes`), queryable and joinable like any
+//!   user table;
+//! * `EXPLAIN [ANALYZE] SELECT ...` — the executed operator tree with
+//!   planner cardinality estimates from the stats catalog (`est_rows`),
+//!   and, under `ANALYZE`, per-operator tuple counts, estimate-vs-actual
+//!   relative error, pdf-operation counts, and wall time (both forms
+//!   execute the query).
 //!
 //! ```
 //! use orion_sql::{Database, Output};

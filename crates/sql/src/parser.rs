@@ -130,6 +130,9 @@ impl Parser {
             self.expect_kw("table")?;
             let name = self.ident("table name")?;
             Ok(Statement::DropTable { name })
+        } else if self.eat_kw("analyze") {
+            let table = self.ident("table name")?;
+            Ok(Statement::Analyze { table })
         } else {
             Err(SqlError::Parse(format!("unknown statement start: {:?}", self.peek())))
         }
@@ -783,6 +786,22 @@ mod tests {
         }
         assert!(parse("SELECT a FROM t LIMIT 2.5").is_err());
         assert!(parse("SELECT a FROM t ORDER a").is_err());
+    }
+
+    #[test]
+    fn analyze_statement_parses() {
+        assert_eq!(
+            parse("ANALYZE readings;").unwrap(),
+            Statement::Analyze { table: "readings".into() }
+        );
+        // EXPLAIN ANALYZE still binds ANALYZE as the explain modifier.
+        match parse("EXPLAIN ANALYZE SELECT * FROM t").unwrap() {
+            Statement::Explain { analyze: true, trace: false, inner } => {
+                assert!(matches!(*inner, Statement::Select { .. }));
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        assert!(parse("ANALYZE").is_err());
     }
 
     #[test]

@@ -47,7 +47,42 @@ pub fn render_output(out: &Output) -> Result<String> {
             }
             Ok(text)
         }
+        Output::Analyze(ts) => Ok(render_table_stats(ts)),
     }
+}
+
+/// Renders the summary of one `ANALYZE <table>`: a headline with row count
+/// and expected cardinality, then one grid row per column.
+fn render_table_stats(ts: &orion_core::prelude::TableStats) -> String {
+    let header: Vec<String> =
+        ["col", "kind", "ndv", "nulls", "lo", "hi"].iter().map(|s| s.to_string()).collect();
+    let fmt_f = |v: f64| format!("{v:.3}");
+    let rows: Vec<Vec<String>> = ts
+        .columns
+        .iter()
+        .map(|c| {
+            let (lo, hi) = match (&c.bounds, c.hist.bounds.first(), c.hist.bounds.last()) {
+                (Some(b), _, _) => (fmt_f(b.lo_min), fmt_f(b.hi_max)),
+                (None, Some(&lo), Some(&hi)) => (fmt_f(lo), fmt_f(hi)),
+                _ => ("NULL".to_string(), "NULL".to_string()),
+            };
+            vec![
+                c.name.clone(),
+                if c.uncertain { "uncertain" } else { "certain" }.to_string(),
+                c.distinct.to_string(),
+                c.nulls.to_string(),
+                lo,
+                hi,
+            ]
+        })
+        .collect();
+    format!(
+        "ANALYZE {}: {} rows (expected cardinality {:.3})\n{}",
+        ts.table,
+        ts.rows,
+        ts.exist_sum,
+        render_grid(&header, &rows)
+    )
 }
 
 /// Aligns a header and rows into a text grid.
@@ -116,6 +151,18 @@ mod tests {
         let text = render_output(&out).unwrap();
         assert!(text.contains("Pr(exists)"), "{text}");
         assert!(text.contains("0.4000"), "{text}");
+    }
+
+    #[test]
+    fn renders_analyze_summary() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE r (rid INT, v REAL UNCERTAIN)").unwrap();
+        db.execute("INSERT INTO r VALUES (1, GAUSSIAN(20, 5)), (2, GAUSSIAN(30, 5))").unwrap();
+        let out = db.execute("ANALYZE r").unwrap();
+        let text = render_output(&out).unwrap();
+        assert!(text.starts_with("ANALYZE r: 2 rows (expected cardinality 2.000)"), "{text}");
+        assert!(text.contains("uncertain"), "{text}");
+        assert!(text.contains("| rid"), "{text}");
     }
 
     #[test]

@@ -23,6 +23,15 @@ echo "== cargo test -q (ORION_THREADS=4, ORION_TRACE=1) =="
 ORION_THREADS=4 ORION_TRACE=1 ORION_TRACE_FILE="$PWD/target/trace-ci.trace.json" \
     cargo test -q
 
+echo "== ANALYZE + system-table smoke =="
+# Queryable introspection must stay wired end to end: ANALYZE stats
+# collection, the schema-stable orion.* virtual tables, and the gate that
+# fails when orion.metrics rows disagree with the render_prometheus
+# exposition of the same registry.
+cargo test -q -p orion-sql analyze_statement_collects_and_installs_stats
+cargo test -q -p orion-sql every_system_table_is_queryable_with_stable_schema
+cargo test -q -p orion-sql orion_metrics_rows_match_prometheus_export
+
 echo "== cargo test -q (fault injection, fixed seeds) =="
 cargo test -q -p orion-storage -p orion-core -p orion-tests --features failpoints
 

@@ -593,8 +593,9 @@ fn halt_on_fault_kill_leaves_parseable_flight_dump() {
     let doc = json::parse(&text).expect("flight dump parses");
     let reason = doc.get("reason").and_then(json::Value::as_str).expect("reason recorded");
     assert!(reason.contains("halt-on-fault"), "reason: {reason}");
-    orion_obs::validate_chrome_trace(&doc)
-        .unwrap_or_else(|e| panic!("flight dump events malformed: {e}"));
+    // The dedicated validator (also behind the `trace_check` binary)
+    // checks the reason string plus the trace-event structure.
+    orion_obs::validate_flight_dump(&doc).unwrap_or_else(|e| panic!("flight dump malformed: {e}"));
     assert!(text.contains("before-kill"), "pre-kill span survives in the dump");
     std::fs::remove_dir_all(&dir).ok();
 }

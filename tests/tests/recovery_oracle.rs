@@ -2,8 +2,9 @@
 //! plain in-memory model applying the identical workload.
 //!
 //! Each scenario runs a randomized (or scripted) sequence of operations —
-//! table creation, simple and joint-pdf inserts, full and incremental
-//! checkpoints — against both sides, recording the oracle's *canonical
+//! table creation, simple and joint-pdf inserts, `ANALYZE` stats
+//! collection, full and incremental checkpoints — against both sides,
+//! recording the oracle's *canonical
 //! fingerprint* after every operation that commits a WAL record. It then
 //! simulates a crash at **every byte offset** of the surviving write-ahead
 //! log: for each cut it reconstructs the on-disk state (snapshot + delta
@@ -65,6 +66,9 @@ enum Op {
     /// Insert with one correlated two-dimensional dependency set whose
     /// total mass is < 1 (a maybe-tuple, exercising existence mass).
     Joint { table: u8, key: i64, p: f64 },
+    /// `ANALYZE t{0}`: collect stats into the catalog (WAL tag 5; skipped
+    /// on both sides if the table does not exist).
+    Analyze(u8),
     /// Full checkpoint: snapshot everything, drop the delta chain.
     Full,
     /// Incremental checkpoint: delta-file only the dirty pages.
@@ -101,6 +105,7 @@ fn joint_pdf(key: i64, p: f64) -> JointPdf {
 fn apply_oracle(
     tables: &mut HashMap<String, Relation>,
     reg: &mut HistoryRegistry,
+    stats: &mut StatsCatalog,
     op: &Op,
 ) -> bool {
     match op {
@@ -126,6 +131,11 @@ fn apply_oracle(
                 vec![(vec!["x", "y"], joint_pdf(*key, *p))],
             )
             .unwrap();
+            true
+        }
+        Op::Analyze(i) => {
+            let Some(rel) = tables.get(&table_name(*i)) else { return false };
+            stats.insert(analyze_relation(rel).unwrap());
             true
         }
         Op::Full | Op::Incremental => false,
@@ -166,6 +176,14 @@ fn apply_db(db: &mut DurableDb, op: &Op) -> bool {
             .unwrap();
             true
         }
+        Op::Analyze(i) => {
+            let name = table_name(*i);
+            if !db.tables().contains_key(&name) {
+                return false;
+            }
+            db.analyze_table(&name).unwrap();
+            true
+        }
         Op::Full => {
             db.checkpoint().unwrap();
             false
@@ -190,7 +208,11 @@ fn apply_db(db: &mut DurableDb, op: &Op) -> bool {
 /// attribute list, joint, phantom flag and refcount. Unreachable bases
 /// (a replayed base record whose tuple frame died in the crash) are
 /// deliberately invisible: they are logically unobservable garbage.
-fn fingerprint(tables: &HashMap<String, Relation>, reg: &HistoryRegistry) -> String {
+fn fingerprint(
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    stats: &StatsCatalog,
+) -> String {
     let mut names: Vec<&String> = tables.keys().collect();
     names.sort();
     let mut attr_names: HashMap<AttrId, String> = HashMap::new();
@@ -262,6 +284,9 @@ fn fingerprint(tables: &HashMap<String, Relation>, reg: &HistoryRegistry) -> Str
         )
         .unwrap();
     }
+    // The stats catalog must survive crashes bitwise: compare its exact
+    // snapshot encoding.
+    writeln!(out, "stats {}", hex(&stats.encode())).unwrap();
     out
 }
 
@@ -272,10 +297,10 @@ fn hex(bytes: &[u8]) -> String {
     })
 }
 
-/// Number of operations whose *commit frame* (schema tag 1 or tuple tag 3)
-/// fits entirely inside `bytes[..cut]`. Mirrors the replay rule: parsing
-/// stops at the first incomplete frame; base (2) and epoch (4) frames do
-/// not complete an operation by themselves.
+/// Number of operations whose *commit frame* (schema tag 1, tuple tag 3,
+/// or stats tag 5) fits entirely inside `bytes[..cut]`. Mirrors the replay
+/// rule: parsing stops at the first incomplete frame; base (2) and epoch
+/// (4) frames do not complete an operation by themselves.
 fn committed_ops(bytes: &[u8], cut: usize) -> usize {
     let mut off = 0usize;
     let mut ops = 0;
@@ -284,7 +309,7 @@ fn committed_ops(bytes: &[u8], cut: usize) -> usize {
         if off + 8 + len > cut {
             break;
         }
-        if matches!(bytes[off + 8], 1 | 3) {
+        if matches!(bytes[off + 8], 1 | 3 | 5) {
             ops += 1;
         }
         off += 8 + len;
@@ -300,25 +325,30 @@ fn run_workload(dir: &Path, ops: &[Op]) -> Vec<String> {
     let mut db = DurableDb::open(dir).unwrap();
     let mut tables: HashMap<String, Relation> = HashMap::new();
     let mut reg = HistoryRegistry::new();
-    let mut fps = vec![fingerprint(&tables, &reg)];
+    let mut stats = StatsCatalog::new();
+    let mut fps = vec![fingerprint(&tables, &reg, &stats)];
     for op in ops {
         let committed = apply_db(&mut db, op);
         match op {
             Op::Full | Op::Incremental => {
                 // Checkpoints move the baseline: the WAL restarts empty.
-                fps = vec![fingerprint(&tables, &reg)];
+                fps = vec![fingerprint(&tables, &reg, &stats)];
             }
             _ => {
-                assert_eq!(committed, apply_oracle(&mut tables, &mut reg, op), "skip rules agree");
+                assert_eq!(
+                    committed,
+                    apply_oracle(&mut tables, &mut reg, &mut stats, op),
+                    "skip rules agree"
+                );
                 if committed {
-                    fps.push(fingerprint(&tables, &reg));
+                    fps.push(fingerprint(&tables, &reg, &stats));
                 }
             }
         }
     }
     // Live database and oracle agree before any crash is simulated.
     assert_eq!(
-        fingerprint(db.tables(), db.registry()),
+        fingerprint(db.tables(), db.registry(), db.stats_catalog()),
         *fps.last().unwrap(),
         "live state diverged"
     );
@@ -354,7 +384,7 @@ fn crash_matrix(src: &Path, fps: &[String], scratch: &Path) {
         let db = DurableDb::open(scratch)
             .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
         assert_eq!(
-            fingerprint(db.tables(), db.registry()),
+            fingerprint(db.tables(), db.registry(), db.stats_catalog()),
             fps[k],
             "recovered state != oracle after {k} ops (cut at byte {cut}/{})",
             wal.len()
@@ -363,7 +393,7 @@ fn crash_matrix(src: &Path, fps: &[String], scratch: &Path) {
         drop(db);
         let db = DurableDb::open(scratch).unwrap();
         assert_eq!(
-            fingerprint(db.tables(), db.registry()),
+            fingerprint(db.tables(), db.registry(), db.stats_catalog()),
             fps[k],
             "second recovery diverged (cut at byte {cut})"
         );
@@ -433,6 +463,29 @@ fn oracle_incremental_chain_matrix() {
 }
 
 #[test]
+fn oracle_analyze_survives_every_cut() {
+    // ANALYZE → crash → recover must yield a bitwise-identical stats
+    // catalog at every WAL cut: stats committed via tag-5 frames replay
+    // like data, re-ANALYZE after more inserts overwrites, and a full
+    // checkpoint bakes the catalog into the snapshot.
+    run_oracle(
+        "analyze",
+        &[
+            Op::Create(0),
+            Op::Simple { table: 0, key: 1, mean: 0.5 },
+            Op::Joint { table: 0, key: 2, p: 0.8 },
+            Op::Analyze(0),
+            Op::Simple { table: 0, key: 3, mean: 2.5 },
+            Op::Analyze(0),
+            Op::Full,
+            Op::Create(1),
+            Op::Analyze(1),
+            Op::Simple { table: 1, key: 4, mean: -1.0 },
+        ],
+    );
+}
+
+#[test]
 fn oracle_incremental_without_base_matrix() {
     // The first incremental checkpoint has no base snapshot and must fall
     // back to a full one; the chain then grows from it.
@@ -462,6 +515,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
             key,
             p
         }),
+        (0u32..2).prop_map(|i| Op::Analyze(i as u8)),
         Just(Op::Full),
         Just(Op::Incremental),
     ]

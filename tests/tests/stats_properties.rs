@@ -1,0 +1,133 @@
+//! Property tests for the `ANALYZE` statistics collector
+//! (`orion_core::stats_catalog`): conservation of histogram mass, the
+//! cdf-bound summaries bracketing every per-tuple expectation, and the
+//! catalog codec round-tripping bitwise.
+
+use orion_core::prelude::*;
+use orion_core::stats_catalog::{EXIST_BUCKETS, SAMPLE_CAP};
+use orion_pdf::prelude::Pdf1;
+use proptest::prelude::*;
+
+/// One generated uncertain value.
+#[derive(Debug, Clone)]
+enum GenPdf {
+    Gaussian {
+        mean: f64,
+        var: f64,
+    },
+    Uniform {
+        lo: f64,
+        width: f64,
+    },
+    /// Two-point pmf with total mass `p` (< 1 makes a maybe-tuple).
+    Discrete {
+        v: f64,
+        p: f64,
+    },
+}
+
+impl GenPdf {
+    fn build(&self) -> Pdf1 {
+        match *self {
+            GenPdf::Gaussian { mean, var } => Pdf1::gaussian(mean, var).unwrap(),
+            GenPdf::Uniform { lo, width } => Pdf1::uniform(lo, lo + width).unwrap(),
+            GenPdf::Discrete { v, p } => {
+                Pdf1::discrete(vec![(v, p * 0.6), (v + 1.5, p * 0.4)]).unwrap()
+            }
+        }
+    }
+}
+
+fn arb_pdf() -> impl Strategy<Value = GenPdf> {
+    prop_oneof![
+        (-50.0..50.0f64, 0.1..9.0f64).prop_map(|(mean, var)| GenPdf::Gaussian { mean, var }),
+        (-50.0..50.0f64, 0.5..20.0f64).prop_map(|(lo, width)| GenPdf::Uniform { lo, width }),
+        (-50.0..50.0f64, 0.2..1.0f64).prop_map(|(v, p)| GenPdf::Discrete { v, p }),
+    ]
+}
+
+/// Builds `readings(id INT, v REAL UNCERTAIN)` with one row per pdf.
+fn build_relation(pdfs: &[GenPdf]) -> Relation {
+    let schema = ProbSchema::new(
+        vec![("id", ColumnType::Int, false), ("v", ColumnType::Real, true)],
+        vec![],
+    )
+    .unwrap();
+    let mut rel = Relation::new("readings", schema);
+    let mut reg = HistoryRegistry::new();
+    for (i, g) in pdfs.iter().enumerate() {
+        rel.insert_simple(&mut reg, &[("id", Value::Int(i as i64))], &[("v", g.build())]).unwrap();
+    }
+    rel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every histogram collected by ANALYZE accounts for
+    /// each live row exactly once — `hist.total + nulls == rows` per
+    /// column, and the tuple-existence histogram sums to the row count.
+    #[test]
+    fn histogram_mass_equals_live_row_count(pdfs in prop::collection::vec(arb_pdf(), 0..40)) {
+        let rel = build_relation(&pdfs);
+        let ts = analyze_relation(&rel).unwrap();
+        prop_assert_eq!(ts.rows, pdfs.len() as u64);
+        prop_assert_eq!(ts.exist_hist.len(), EXIST_BUCKETS);
+        prop_assert_eq!(ts.exist_hist.iter().sum::<u64>(), ts.rows);
+        for c in &ts.columns {
+            prop_assert!(
+                c.hist.total + c.nulls == ts.rows,
+                "column {} histogram loses/duplicates rows", &c.name
+            );
+            prop_assert_eq!(c.hist.counts.iter().sum::<u64>(), c.hist.total);
+        }
+        // Expected cardinality never exceeds the physical row count.
+        prop_assert!(ts.exist_sum <= ts.rows as f64 + 1e-9);
+    }
+
+    /// The cdf-bound summary brackets reality: every per-tuple expected
+    /// value lies inside `[lo_min, hi_max]`, the retained-mass counts are
+    /// monotone non-increasing across threshold levels, and the sketch
+    /// samples at most `SAMPLE_CAP` tuples.
+    #[test]
+    fn cdf_bounds_contain_expected_values(pdfs in prop::collection::vec(arb_pdf(), 1..40)) {
+        let rel = build_relation(&pdfs);
+        let ts = analyze_relation(&rel).unwrap();
+        let c = ts.columns.iter().find(|c| c.name == "v").unwrap();
+        prop_assert!(c.uncertain);
+        let b = c.bounds.as_ref().expect("uncertain column has a bounds summary");
+        prop_assert!(b.lo_min <= b.hi_max);
+        prop_assert!(b.width_mean >= 0.0);
+        for ti in 0..rel.len() {
+            let ev = rel.marginal(ti, "v").unwrap().expected_value().unwrap();
+            prop_assert!(
+                b.lo_min - 1e-9 <= ev && ev <= b.hi_max + 1e-9,
+                "expected value {} outside [{}, {}]", ev, b.lo_min, b.hi_max
+            );
+        }
+        for w in b.mass_at.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "levels ascend");
+            prop_assert!(w[0].1 >= w[1].1, "higher threshold keeps fewer tuples");
+        }
+        let s = c.sketch.as_ref().expect("uncertain column has a cdf sketch");
+        prop_assert!(s.rows.len() <= SAMPLE_CAP);
+        prop_assert!(!s.rows.is_empty());
+        for row in 0..s.rows.len() {
+            // Each sketch row is a cdf: monotone over the grid.
+            for g in s.rows[row].windows(2) {
+                prop_assert!(g[0] <= g[1] + 1e-9, "cdf row not monotone");
+            }
+        }
+    }
+
+    /// The catalog codec round-trips bitwise (the property recovery
+    /// depends on for snapshot/WAL replay of stats records).
+    #[test]
+    fn table_stats_roundtrip_bitwise(pdfs in prop::collection::vec(arb_pdf(), 0..20)) {
+        let rel = build_relation(&pdfs);
+        let ts = analyze_relation(&rel).unwrap();
+        let decoded = TableStats::decode(&ts.encode()).unwrap();
+        prop_assert_eq!(&decoded, &ts);
+        prop_assert_eq!(decoded.encode(), ts.encode());
+    }
+}
