@@ -96,19 +96,25 @@ pub struct RecoveryReport {
     /// Delta files discarded because a full checkpoint had already
     /// subsumed them (crash between snapshot rename and delta cleanup).
     pub stale_deltas_removed: u64,
+    /// Records belonging to a transaction whose commit marker never
+    /// reached stable storage (crash mid-transaction) or that was
+    /// explicitly aborted — discarded wholesale so no partial transaction
+    /// is ever visible after recovery.
+    pub incomplete_txn_records_discarded: u64,
 }
 
 impl RecoveryReport {
     /// Stable JSON rendering for stats exporters and test grepping.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"snapshot_loaded\":{},\"wal_records_replayed\":{},\"wal_bytes_truncated\":{},\"stale_wal_records_discarded\":{},\"deltas_folded\":{},\"stale_deltas_removed\":{}}}",
+            "{{\"snapshot_loaded\":{},\"wal_records_replayed\":{},\"wal_bytes_truncated\":{},\"stale_wal_records_discarded\":{},\"deltas_folded\":{},\"stale_deltas_removed\":{},\"incomplete_txn_records_discarded\":{}}}",
             self.snapshot_loaded,
             self.wal_records_replayed,
             self.wal_bytes_truncated,
             self.stale_wal_records_discarded,
             self.deltas_folded,
-            self.stale_deltas_removed
+            self.stale_deltas_removed,
+            self.incomplete_txn_records_discarded
         )
     }
 }
@@ -118,7 +124,7 @@ impl RecoveryReport {
 /// after. Captured right after the chain fold at open (before WAL replay —
 /// replayed records are *not* in the chain) and after every checkpoint.
 #[derive(Debug, Clone, Default)]
-struct CkptMarks {
+pub(crate) struct CkptMarks {
     /// Highest base-pdf id in the chain; later registrations are new.
     last_base: PdfId,
     /// Per-table tuple count in the chain; presence of a key means the
@@ -128,6 +134,11 @@ struct CkptMarks {
     /// equality is defined as bitwise encoding equality, so comparing
     /// bytes tells an incremental checkpoint whether `ANALYZE` ran since.
     stats: Vec<u8>,
+    /// Whether a delete or update ran since the last checkpoint. Such
+    /// mutations break the append-only assumption the incremental
+    /// record-diff relies on (tuple counts can shrink, existing tuples can
+    /// change in place), so the next checkpoint must be full.
+    pub(crate) mutated: bool,
 }
 
 impl CkptMarks {
@@ -140,6 +151,7 @@ impl CkptMarks {
             last_base: reg.last_id(),
             tables: tables.iter().map(|(n, r)| (n.clone(), r.tuples.len())).collect(),
             stats: stats.encode(),
+            mutated: false,
         }
     }
 }
@@ -194,6 +206,7 @@ impl DurableDb {
         let wal_epoch = replay.records.first().and_then(|r| persist::record_epoch(r)).unwrap_or(0);
         let mut replayed = 0u64;
         let mut stale_discarded = 0u64;
+        let mut incomplete_discarded = 0u64;
         if wal_epoch < snap_epoch {
             // The WAL predates the snapshot: a crash hit the window between
             // a checkpoint's commit point (snapshot rename / delta rename)
@@ -205,11 +218,54 @@ impl DurableDb {
                 wal.reset()?;
             }
         } else {
+            // Transaction framing: records between a begin marker and its
+            // commit marker are buffered and applied only when the commit
+            // is seen — all-or-nothing. An abort marker, or a begin whose
+            // commit never reached stable storage (crash mid-transaction),
+            // discards the buffered records wholesale.
+            let mut txn_buf: Option<(u64, Vec<&[u8]>)> = None;
             for rec in &replay.records {
-                persist::apply_record(rec, &mut state)?;
-                if persist::record_epoch(rec).is_none() {
-                    replayed += 1;
+                if let Some(marker) = persist::txn_marker(rec) {
+                    match (marker, &mut txn_buf) {
+                        (persist::TxnMarker::Begin(id), None) => txn_buf = Some((id, Vec::new())),
+                        (persist::TxnMarker::Begin(_), Some(_)) => {
+                            return Err(EngineError::Corrupt(
+                                "nested transaction begin in WAL".into(),
+                            ))
+                        }
+                        (persist::TxnMarker::Commit(id), Some((txid, buffered))) if id == *txid => {
+                            for r in buffered.drain(..) {
+                                persist::apply_record(r, &mut state)?;
+                                replayed += 1;
+                            }
+                            txn_buf = None;
+                        }
+                        (persist::TxnMarker::Abort(id), Some((txid, buffered))) if id == *txid => {
+                            incomplete_discarded += buffered.len() as u64;
+                            txn_buf = None;
+                        }
+                        (m, _) => {
+                            return Err(EngineError::Corrupt(format!(
+                                "transaction marker {m:?} without matching begin"
+                            )))
+                        }
+                    }
+                    continue;
                 }
+                match &mut txn_buf {
+                    Some((_, buffered)) => buffered.push(rec),
+                    None => {
+                        persist::apply_record(rec, &mut state)?;
+                        if persist::record_epoch(rec).is_none() {
+                            replayed += 1;
+                        }
+                    }
+                }
+            }
+            if let Some((_, buffered)) = txn_buf {
+                // Crash after the begin but before the commit made it to
+                // stable storage: the transaction never committed.
+                incomplete_discarded += buffered.len() as u64;
             }
         }
         let recovery = RecoveryReport {
@@ -219,6 +275,7 @@ impl DurableDb {
             stale_wal_records_discarded: stale_discarded,
             deltas_folded: chain.deltas_folded,
             stale_deltas_removed: chain.stale_deltas_removed,
+            incomplete_txn_records_discarded: incomplete_discarded,
         };
         let epoch = state.wal_epoch.max(snap_epoch);
         let stats = state.take_stats();
@@ -511,11 +568,13 @@ impl DurableDb {
                     marks: self.marks,
                     stats: self.stats,
                     in_flight: 0,
+                    commit_seq: 0,
                 }),
                 drained: Condvar::new(),
                 wal: self.wal,
                 recovery: self.recovery,
                 io: self.io,
+                txns: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -629,6 +688,12 @@ fn checkpoint_incremental(
         // Nothing to increment on — the first checkpoint is always full.
         return checkpoint_full(dir, tables, reg, stats, epoch, marks, wal, io);
     }
+    if marks.mutated {
+        // A delete or update ran since the last checkpoint: the chain's
+        // records are no longer a prefix of the current state, so the
+        // append-only diff below would be wrong. Rewrite the base.
+        return checkpoint_full(dir, tables, reg, stats, epoch, marks, wal, io);
+    }
     let stats_changed = stats.encode() != marks.stats;
     let new_work = stats_changed
         || reg.last_id() > marks.last_base
@@ -713,28 +778,46 @@ fn checkpoint_incremental(
 
 /// Mutable database state behind [`SharedDurableDb`]'s core lock.
 #[derive(Debug)]
-struct SharedCore {
+pub(crate) struct SharedCore {
     dir: PathBuf,
-    tables: HashMap<String, Relation>,
-    reg: HistoryRegistry,
-    epoch: u64,
-    marks: CkptMarks,
-    stats: StatsCatalog,
+    pub(crate) tables: HashMap<String, Relation>,
+    pub(crate) reg: HistoryRegistry,
+    pub(crate) epoch: u64,
+    pub(crate) marks: CkptMarks,
+    pub(crate) stats: StatsCatalog,
     /// Inserts whose in-memory mutation has been applied but whose WAL
     /// commit has not yet resolved. Checkpoints wait for zero: a snapshot
     /// taken mid-commit could capture a tuple that then fails its commit
     /// and rolls back — durable state would diverge from every replay.
     in_flight: usize,
+    /// Monotonic transaction-commit sequence: bumped once per committed
+    /// transaction, under the core lock, so observers can order commits.
+    pub(crate) commit_seq: u64,
+}
+
+/// One live transaction's introspection row (the `orion.txns` table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveTxnInfo {
+    /// Transaction id (process-global, monotonic).
+    pub id: u64,
+    /// Checkpoint epoch of the chain when the snapshot was taken.
+    pub snapshot_epoch: u64,
+    /// Current write-set size (DML ops staged so far).
+    pub writes: usize,
 }
 
 #[derive(Debug)]
-struct SharedInner {
-    core: Mutex<SharedCore>,
+pub(crate) struct SharedInner {
+    pub(crate) core: Mutex<SharedCore>,
     /// Signalled each time `in_flight` drops to zero.
     drained: Condvar,
-    wal: GroupWal,
+    pub(crate) wal: GroupWal,
     recovery: RecoveryReport,
     io: Arc<IoStats>,
+    /// Live transactions: id → (snapshot epoch, shared write-set counter).
+    /// A side table (not under the core lock) so `orion.txns` can be read
+    /// without stalling writers.
+    pub(crate) txns: Mutex<HashMap<u64, (u64, Arc<std::sync::atomic::AtomicUsize>)>>,
 }
 
 /// A [`DurableDb`] behind `&self` methods, safe to share across threads
@@ -744,7 +827,7 @@ struct SharedInner {
 /// whole point of group commit. Obtain one via [`DurableDb::into_shared`].
 #[derive(Debug, Clone)]
 pub struct SharedDurableDb {
-    inner: Arc<SharedInner>,
+    pub(crate) inner: Arc<SharedInner>,
 }
 
 impl SharedDurableDb {
@@ -922,10 +1005,31 @@ impl SharedDurableDb {
         )
     }
 
+    /// Live transactions (id, snapshot epoch, current write-set size),
+    /// sorted by id — the rows of the `orion.txns` system table.
+    pub fn active_txns(&self) -> Vec<ActiveTxnInfo> {
+        let txns = self.inner.txns.lock();
+        let mut rows: Vec<ActiveTxnInfo> = txns
+            .iter()
+            .map(|(&id, (epoch, writes))| ActiveTxnInfo {
+                id,
+                snapshot_epoch: *epoch,
+                writes: writes.load(std::sync::atomic::Ordering::Relaxed),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.id);
+        rows
+    }
+
+    /// Number of transactions committed through this handle since open.
+    pub fn commit_seq(&self) -> u64 {
+        self.inner.core.lock().commit_seq
+    }
+
     /// Acquires the core lock with no insert in flight. Holding the lock
     /// keeps new inserts out of phase 1, so the WAL pipeline is drained
     /// for as long as the guard lives.
-    fn lock_drained(&self) -> parking_lot::MutexGuard<'_, SharedCore> {
+    pub(crate) fn lock_drained(&self) -> parking_lot::MutexGuard<'_, SharedCore> {
         let mut core = self.inner.core.lock();
         while core.in_flight > 0 {
             self.inner.drained.wait(&mut core);

@@ -24,12 +24,19 @@ pub enum EngineError {
     /// record. Retrying cannot help; recovery must re-read from a good
     /// snapshot/WAL prefix.
     Corrupt(String),
+    /// Snapshot-isolation commit conflict: another transaction committed a
+    /// change to a row (or table name) this transaction wrote, between this
+    /// transaction's snapshot and its commit. First committer wins; the
+    /// loser may retry on a fresh snapshot.
+    TxnConflict(String),
 }
 
 impl EngineError {
     /// Whether the failed operation may succeed if simply retried.
+    /// Transaction conflicts are retryable by definition: a fresh attempt
+    /// runs on a fresh snapshot and may no longer collide.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, EngineError::IoRetryable(_))
+        matches!(self, EngineError::IoRetryable(_) | EngineError::TxnConflict(_))
     }
 
     /// Whether this error signals on-disk corruption (torn page, bad
@@ -49,6 +56,7 @@ impl fmt::Display for EngineError {
             EngineError::Io(m) => write!(f, "io error: {m}"),
             EngineError::IoRetryable(m) => write!(f, "transient io error: {m}"),
             EngineError::Corrupt(m) => write!(f, "corruption detected: {m}"),
+            EngineError::TxnConflict(m) => write!(f, "transaction conflict: {m}"),
         }
     }
 }
@@ -122,5 +130,13 @@ mod tests {
         assert!(!eof.is_corruption());
         assert!(!eof.is_retryable());
         assert!(eof.to_string().starts_with("io error"));
+    }
+
+    #[test]
+    fn txn_conflicts_are_retryable() {
+        let c = EngineError::TxnConflict("row changed since snapshot".into());
+        assert!(c.is_retryable());
+        assert!(!c.is_corruption());
+        assert!(c.to_string().starts_with("transaction conflict"));
     }
 }

@@ -34,7 +34,9 @@ pub struct BasePdf {
 }
 
 /// The history registry: base pdfs, reference counts, and dependency tests.
-#[derive(Debug, Default)]
+/// `Clone` deep-copies the whole registry — transactions use this for their
+/// private snapshot, preserving every committed id.
+#[derive(Debug, Default, Clone)]
 pub struct HistoryRegistry {
     next: PdfId,
     bases: HashMap<PdfId, BasePdf>,

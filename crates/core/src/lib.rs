@@ -32,6 +32,8 @@
 //! * [`persist`] / [`durable`] — atomic snapshots, a write-ahead log with
 //!   fsync'd commits, and crash recovery that replays the WAL over the
 //!   last good snapshot.
+//! * [`txn`] — snapshot-isolation transactions (private snapshot views,
+//!   first-committer-wins validation, atomic all-or-nothing WAL commit).
 
 pub mod agg;
 pub mod collapse;
@@ -54,12 +56,15 @@ pub mod select;
 pub mod stats_catalog;
 pub mod threshold;
 pub mod tuple;
+pub mod txn;
 pub mod value;
 
 /// Commonly used types, re-exported for ergonomic imports.
 pub mod prelude {
     pub use crate::collapse::{collapse_tuple, existence_prob, DEFAULT_RESOLUTION};
-    pub use crate::durable::{check_invariants, DurableDb, RecoveryReport};
+    pub use crate::durable::{
+        check_invariants, ActiveTxnInfo, DurableDb, RecoveryReport, SharedDurableDb,
+    };
     pub use crate::error::{EngineError, Result as EngineResult};
     pub use crate::exec_par::{effective_threads, insert_batch, BulkRow, DEFAULT_MORSEL_SIZE};
     pub use crate::history::{Ancestors, HistoryRegistry, PdfId};
@@ -73,6 +78,7 @@ pub mod prelude {
     pub use crate::stats_catalog::{analyze_relation, StatsCatalog, TableStats};
     pub use crate::threshold::{threshold_attrs, threshold_pred};
     pub use crate::tuple::{PdfNode, ProbTuple};
+    pub use crate::txn::Txn;
     pub use crate::value::Value;
-    pub use orion_storage::{IoSnapshot, IoStats};
+    pub use orion_storage::{GroupCommitConfig, IoSnapshot, IoStats};
 }

@@ -12,7 +12,22 @@
 //!              reject a stale WAL left by a crashed checkpoint
 //! [5: stats]   one table's ANALYZE statistics (versioned catalog codec);
 //!              replay overwrites per table, so it is idempotent
+//! [6: begin]   transaction begin marker (txn id) — WAL only
+//! [7: commit]  transaction commit marker (txn id) — WAL only
+//! [8: abort]   transaction abort marker (txn id) — WAL only
+//! [9: delete]  delete one tuple, identified by its exact encoded tuple
+//!              record (content-addressed: base ids make live tuples
+//!              unique; byte-equal duplicates are interchangeable)
+//! [10: update] replace one tuple in place: the old tuple's encoded bytes
+//!              plus the full replacement tuple record
 //! ```
+//!
+//! Records 6–8 never reach [`apply_record`]: WAL replay intercepts them
+//! ([`txn_marker`]) and buffers the records between a begin and its commit,
+//! applying the group atomically — a begin whose commit never made it to
+//! stable storage (crash mid-transaction) or that is followed by an abort
+//! marker is discarded wholesale. Snapshots contain only committed state
+//! and therefore never carry tags 6–10.
 //!
 //! Schemas are written first, then bases, then tuples, so a single pass
 //! loads everything. Reference counts are rebuilt from the loaded tuples'
@@ -46,6 +61,11 @@ pub(crate) const TAG_BASE: u8 = 2;
 pub(crate) const TAG_TUPLE: u8 = 3;
 pub(crate) const TAG_EPOCH: u8 = 4;
 pub(crate) const TAG_STATS: u8 = 5;
+pub(crate) const TAG_TXN_BEGIN: u8 = 6;
+pub(crate) const TAG_TXN_COMMIT: u8 = 7;
+pub(crate) const TAG_TXN_ABORT: u8 = 8;
+pub(crate) const TAG_DELETE: u8 = 9;
+pub(crate) const TAG_UPDATE: u8 = 10;
 
 fn put_str(s: &str, out: &mut impl BufMut) {
     out.put_u32_le(s.len() as u32);
@@ -230,6 +250,66 @@ pub(crate) fn record_epoch(rec: &[u8]) -> Option<u64> {
     }
 }
 
+/// A transaction framing marker found in the WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxnMarker {
+    /// Start buffering: records until the matching commit belong to txn.
+    Begin(u64),
+    /// Apply the buffered records atomically.
+    Commit(u64),
+    /// Discard the buffered records.
+    Abort(u64),
+}
+
+/// Encodes a 9-byte transaction marker record (begin/commit/abort).
+pub(crate) fn encode_txn_marker(tag: u8, txid: u64, out: &mut Vec<u8>) {
+    debug_assert!(matches!(tag, TAG_TXN_BEGIN | TAG_TXN_COMMIT | TAG_TXN_ABORT));
+    out.put_u8(tag);
+    out.put_u64_le(txid);
+}
+
+/// If `rec` is a transaction marker, which one. Strict like
+/// [`record_epoch`]: a truncated marker is not a marker.
+pub(crate) fn txn_marker(rec: &[u8]) -> Option<TxnMarker> {
+    if rec.len() != 9 {
+        return None;
+    }
+    let id = u64::from_le_bytes(rec[1..9].try_into().expect("8 bytes"));
+    match rec[0] {
+        TAG_TXN_BEGIN => Some(TxnMarker::Begin(id)),
+        TAG_TXN_COMMIT => Some(TxnMarker::Commit(id)),
+        TAG_TXN_ABORT => Some(TxnMarker::Abort(id)),
+        _ => None,
+    }
+}
+
+/// Encodes a content-addressed delete: the target tuple is identified by
+/// its exact encoded tuple record. Base-pdf ids make live tuples unique;
+/// byte-equal duplicates (certain-only rows) are interchangeable, so
+/// removing the latest match is deterministic.
+pub(crate) fn encode_delete(table: &str, old_tuple_rec: &[u8], out: &mut Vec<u8>) {
+    out.put_u8(TAG_DELETE);
+    put_str(table, out);
+    out.put_u32_le(old_tuple_rec.len() as u32);
+    out.put_slice(old_tuple_rec);
+}
+
+/// Encodes an in-place replacement: the old tuple's encoded record (the
+/// content address) followed by the full replacement tuple record.
+pub(crate) fn encode_update(
+    table: &str,
+    old_tuple_rec: &[u8],
+    new_tuple_rec: &[u8],
+    out: &mut Vec<u8>,
+) {
+    out.put_u8(TAG_UPDATE);
+    put_str(table, out);
+    out.put_u32_le(old_tuple_rec.len() as u32);
+    out.put_slice(old_tuple_rec);
+    out.put_u32_le(new_tuple_rec.len() as u32);
+    out.put_slice(new_tuple_rec);
+}
+
 /// Saves every relation and the registry into one file at `path`
 /// **atomically**: the snapshot is written to a `.tmp` sibling, fsynced,
 /// and renamed over `path`, so a crash at any point leaves either the old
@@ -318,6 +398,83 @@ pub fn save_snapshot_with_stats(
 
 fn bad(e: DecodeError) -> EngineError {
     EngineError::Corrupt(e.to_string())
+}
+
+fn get_blob(buf: &mut impl Buf, what: &str) -> std::result::Result<Vec<u8>, DecodeError> {
+    let n = get_u32c(buf, what)? as usize;
+    need(buf, n, what)?;
+    let mut bytes = vec![0u8; n];
+    buf.copy_to_slice(&mut bytes);
+    Ok(bytes)
+}
+
+/// Decodes the body of a tuple record (everything after the tag byte) into
+/// its owning table name and the tuple — **without** touching any table or
+/// reference count. `max_attr` accumulates the highest attribute id seen.
+fn decode_tuple_body(buf: &mut impl Buf, max_attr: &mut AttrId) -> Result<(String, ProbTuple)> {
+    let table = get_str(buf).map_err(bad)?;
+    let ncert = get_count(buf, 1, "certain values").map_err(bad)?;
+    let mut certain = Vec::with_capacity(ncert);
+    for _ in 0..ncert {
+        certain.push(get_value(buf).map_err(bad)?);
+    }
+    let nnodes = get_count(buf, 8, "pdf nodes").map_err(bad)?;
+    let mut nodes = Vec::with_capacity(nnodes);
+    for _ in 0..nnodes {
+        // Dim: base(8) + dim(2) + column flag(1) minimum.
+        let ndims = get_count(buf, 11, "node dims").map_err(bad)?;
+        let mut dims = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            let base = get_u64c(buf, "dim base").map_err(bad)?;
+            let dim = get_u16c(buf, "dim index").map_err(bad)?;
+            let column = if get_u8c(buf, "dim column flag").map_err(bad)? != 0 {
+                let a = get_u64c(buf, "dim column").map_err(bad)?;
+                *max_attr = (*max_attr).max(a);
+                Some(a)
+            } else {
+                None
+            };
+            dims.push(NodeDim { var: VarId { base, dim }, column });
+        }
+        let nanc = get_count(buf, 8, "ancestors").map_err(bad)?;
+        let mut ancestors = Ancestors::new();
+        for _ in 0..nanc {
+            ancestors.insert(get_u64c(buf, "ancestor id").map_err(bad)?);
+        }
+        let joint = decode_joint(buf).map_err(bad)?;
+        nodes.push(PdfNode::new(dims, joint, ancestors));
+    }
+    Ok((table, ProbTuple { certain, nodes }))
+}
+
+/// Decodes a full tuple record (tag byte included) without applying it.
+/// Update records embed their replacement tuple as one of these blobs.
+pub(crate) fn decode_tuple_record(
+    rec: &[u8],
+    max_attr: &mut AttrId,
+) -> Result<(String, ProbTuple)> {
+    let mut buf = rec;
+    let buf = &mut buf;
+    let tag = get_u8c(buf, "record tag").map_err(bad)?;
+    if tag != TAG_TUPLE {
+        return Err(EngineError::Corrupt(format!("expected tuple record, got tag {tag}")));
+    }
+    decode_tuple_body(buf, max_attr)
+}
+
+/// Index of the **latest** tuple in `rel` whose encoding equals `old`.
+/// Base-pdf ids make pdf-carrying tuples unique; byte-equal certain-only
+/// duplicates are interchangeable, so "latest match" is deterministic.
+fn find_tuple_by_bytes(table: &str, rel: &Relation, old: &[u8]) -> Result<usize> {
+    let mut probe = Vec::with_capacity(old.len());
+    rel.tuples
+        .iter()
+        .rposition(|t| {
+            probe.clear();
+            encode_tuple(table, t, &mut probe);
+            probe == old
+        })
+        .ok_or_else(|| EngineError::Corrupt(format!("delete/update target not found in '{table}'")))
 }
 
 /// State threaded through [`apply_record`] across a load or WAL replay:
@@ -411,43 +568,73 @@ pub fn apply_record(rec: &[u8], state: &mut LoadState) -> Result<()> {
             state.reg.restore(id, BasePdf { attrs, joint, phantom });
         }
         TAG_TUPLE => {
-            let table = get_str(buf).map_err(bad)?;
-            let ncert = get_count(buf, 1, "certain values").map_err(bad)?;
-            let mut certain = Vec::with_capacity(ncert);
-            for _ in 0..ncert {
-                certain.push(get_value(buf).map_err(bad)?);
-            }
-            let nnodes = get_count(buf, 8, "pdf nodes").map_err(bad)?;
-            let mut nodes = Vec::with_capacity(nnodes);
-            for _ in 0..nnodes {
-                // Dim: base(8) + dim(2) + column flag(1) minimum.
-                let ndims = get_count(buf, 11, "node dims").map_err(bad)?;
-                let mut dims = Vec::with_capacity(ndims);
-                for _ in 0..ndims {
-                    let base = get_u64c(buf, "dim base").map_err(bad)?;
-                    let dim = get_u16c(buf, "dim index").map_err(bad)?;
-                    let column = if get_u8c(buf, "dim column flag").map_err(bad)? != 0 {
-                        let a = get_u64c(buf, "dim column").map_err(bad)?;
-                        state.max_attr = state.max_attr.max(a);
-                        Some(a)
-                    } else {
-                        None
-                    };
-                    dims.push(NodeDim { var: VarId { base, dim }, column });
-                }
-                let nanc = get_count(buf, 8, "ancestors").map_err(bad)?;
-                let mut ancestors = Ancestors::new();
-                for _ in 0..nanc {
-                    ancestors.insert(get_u64c(buf, "ancestor id").map_err(bad)?);
-                }
-                let joint = decode_joint(buf).map_err(bad)?;
-                state.reg.add_refs(&ancestors);
-                nodes.push(PdfNode::new(dims, joint, ancestors));
+            let (table, t) = decode_tuple_body(buf, &mut state.max_attr)?;
+            for n in &t.nodes {
+                state.reg.add_refs(&n.ancestors);
             }
             let rel = state.tables.get_mut(&table).ok_or_else(|| {
                 EngineError::Corrupt(format!("tuple for unknown table '{table}'"))
             })?;
-            rel.tuples.push(ProbTuple { certain, nodes });
+            rel.tuples.push(t);
+        }
+        TAG_DELETE => {
+            let table = get_str(buf).map_err(bad)?;
+            let old = get_blob(buf, "old tuple record").map_err(bad)?;
+            let rel = state.tables.get_mut(&table).ok_or_else(|| {
+                EngineError::Corrupt(format!("delete for unknown table '{table}'"))
+            })?;
+            let idx = find_tuple_by_bytes(&table, rel, &old)?;
+            let t = rel.tuples.remove(idx);
+            // Mirror `Relation::delete_where`: drop the tuple's references
+            // and reclaim its own base pdfs (sole-ancestor nodes); bases
+            // still referenced by derived tuples survive as phantoms.
+            for n in &t.nodes {
+                state.reg.release_refs(&n.ancestors);
+                if n.ancestors.len() == 1 {
+                    let id = *n.ancestors.iter().next().expect("len checked");
+                    state.reg.delete_base(id);
+                }
+            }
+        }
+        TAG_UPDATE => {
+            let table = get_str(buf).map_err(bad)?;
+            let old = get_blob(buf, "old tuple record").map_err(bad)?;
+            let newb = get_blob(buf, "new tuple record").map_err(bad)?;
+            let (ntable, new_t) = decode_tuple_record(&newb, &mut state.max_attr)?;
+            if ntable != table {
+                return Err(EngineError::Corrupt(format!(
+                    "update record for '{table}' carries a tuple for '{ntable}'"
+                )));
+            }
+            let rel = state.tables.get_mut(&table).ok_or_else(|| {
+                EngineError::Corrupt(format!("update for unknown table '{table}'"))
+            })?;
+            let idx = find_tuple_by_bytes(&table, rel, &old)?;
+            let old_t = std::mem::replace(&mut rel.tuples[idx], new_t);
+            let new_nodes = &rel.tuples[idx].nodes;
+            for i in 0..old_t.nodes.len().max(new_nodes.len()) {
+                if old_t.nodes.get(i) == new_nodes.get(i) {
+                    continue; // unchanged node: history untouched
+                }
+                // Take the new node's references before releasing the old
+                // one's, so a base shared by both sides can never
+                // transiently hit refcount zero and be reclaimed.
+                if let Some(nw) = new_nodes.get(i) {
+                    state.reg.add_refs(&nw.ancestors);
+                }
+                if let Some(o) = old_t.nodes.get(i) {
+                    state.reg.release_refs(&o.ancestors);
+                    if o.ancestors.len() == 1 {
+                        let id = *o.ancestors.iter().next().expect("len checked");
+                        state.reg.delete_base(id);
+                    }
+                }
+            }
+        }
+        TAG_TXN_BEGIN | TAG_TXN_COMMIT | TAG_TXN_ABORT => {
+            return Err(EngineError::Corrupt(
+                "transaction marker reached apply_record (replay must intercept framing)".into(),
+            ))
         }
         TAG_EPOCH => {
             let e = get_u64c(buf, "checkpoint epoch").map_err(bad)?;
@@ -841,6 +1028,136 @@ mod tests {
             let r = apply_record(&rec[..cut], &mut LoadState::default());
             assert!(r.is_err(), "prefix of {cut} bytes must not decode");
             assert!(r.unwrap_err().is_corruption(), "prefix errors classify as corruption");
+        }
+    }
+
+    /// Rebuilds a [`LoadState`] from a database by applying its encoded
+    /// records, exactly as snapshot load / WAL replay would.
+    fn state_of(tables: &HashMap<String, Relation>, reg: &HistoryRegistry) -> LoadState {
+        let mut state = LoadState::default();
+        let mut buf = Vec::new();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        for name in &names {
+            buf.clear();
+            encode_schema(&tables[*name], &mut buf);
+            apply_record(&buf, &mut state).unwrap();
+        }
+        let mut bases: Vec<_> = reg.iter_bases().collect();
+        bases.sort_by_key(|(id, _)| *id);
+        for (id, base) in bases {
+            buf.clear();
+            encode_base(id, base, &mut buf);
+            apply_record(&buf, &mut state).unwrap();
+        }
+        for name in &names {
+            for t in &tables[*name].tuples {
+                buf.clear();
+                encode_tuple(name, t, &mut buf);
+                apply_record(&buf, &mut state).unwrap();
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn txn_markers_decode_strictly() {
+        let mut rec = Vec::new();
+        encode_txn_marker(TAG_TXN_BEGIN, 42, &mut rec);
+        assert_eq!(txn_marker(&rec), Some(TxnMarker::Begin(42)));
+        assert_eq!(txn_marker(&rec[..5]), None, "truncated marker is not a marker");
+        assert_eq!(txn_marker(b"xx"), None);
+        let mut c = Vec::new();
+        encode_txn_marker(TAG_TXN_COMMIT, 42, &mut c);
+        assert_eq!(txn_marker(&c), Some(TxnMarker::Commit(42)));
+        let mut a = Vec::new();
+        encode_txn_marker(TAG_TXN_ABORT, 7, &mut a);
+        assert_eq!(txn_marker(&a), Some(TxnMarker::Abort(7)));
+        // Markers are WAL framing, not state records: reaching apply_record
+        // means the replay loop failed to intercept them.
+        for rec in [&rec, &c, &a] {
+            let err = apply_record(rec, &mut LoadState::default()).unwrap_err();
+            assert!(err.is_corruption(), "marker in apply_record classifies as corruption");
+        }
+    }
+
+    #[test]
+    fn delete_records_apply_like_delete_where() {
+        let (tables, reg) = sample_db();
+        let mut state = state_of(&tables, &reg);
+        let regs_before = state.reg.len();
+        let mut old = Vec::new();
+        encode_tuple("objects", &tables["objects"].tuples[0], &mut old);
+        let mut rec = Vec::new();
+        encode_delete("objects", &old, &mut rec);
+        apply_record(&rec, &mut state).unwrap();
+        assert!(state.tables["objects"].tuples.is_empty(), "tuple removed");
+        assert_eq!(state.reg.len(), regs_before - 1, "sole-ancestor base pdf reclaimed");
+        // Deleting again: the content address no longer matches anything.
+        let err = apply_record(&rec, &mut state).unwrap_err();
+        assert!(err.is_corruption(), "missing delete target classifies as corruption");
+        // Every strict prefix errors without panicking or mutating state.
+        for cut in 0..rec.len() {
+            let mut s = state_of(&tables, &reg);
+            let r = apply_record(&rec[..cut], &mut s);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+            assert!(r.unwrap_err().is_corruption(), "prefix errors classify as corruption");
+            assert_eq!(s.tables["objects"].tuples.len(), 1, "failed delete leaves state intact");
+        }
+    }
+
+    #[test]
+    fn update_records_replace_in_place_and_swap_history() {
+        let (tables, reg) = sample_db();
+        let make_state = || state_of(&tables, &reg);
+        let mut state = make_state();
+        // A replacement pdf registered the way a txn commit would do it:
+        // its base record precedes the update record.
+        let vattr = tables["readings"].schema.column("v").unwrap().id;
+        let new_id = state.reg.last_id() + 1;
+        let joint = JointPdf::from_pdf1(Pdf1::gaussian(30.0, 2.0).unwrap());
+        let mut base_rec = Vec::new();
+        encode_base(
+            new_id,
+            &BasePdf { attrs: vec![vattr], joint: joint.clone(), phantom: false },
+            &mut base_rec,
+        );
+        let old_t = tables["readings"].tuples[0].clone();
+        let old_base = *old_t.nodes[0].ancestors.iter().next().unwrap();
+        let mut new_t = old_t.clone();
+        new_t.nodes[0] = PdfNode::new(
+            vec![NodeDim { var: VarId { base: new_id, dim: 0 }, column: Some(vattr) }],
+            joint,
+            [new_id].into_iter().collect(),
+        );
+        let mut oldb = Vec::new();
+        encode_tuple("readings", &old_t, &mut oldb);
+        let mut newb = Vec::new();
+        encode_tuple("readings", &new_t, &mut newb);
+        let mut rec = Vec::new();
+        encode_update("readings", &oldb, &newb, &mut rec);
+
+        apply_record(&base_rec, &mut state).unwrap();
+        apply_record(&rec, &mut state).unwrap();
+        assert_eq!(state.tables["readings"].tuples.len(), 1, "in-place replacement");
+        assert_eq!(state.tables["readings"].tuples[0], new_t);
+        assert_eq!(state.reg.ref_count(new_id), 1, "replacement node referenced");
+        assert!(state.reg.base(old_base).is_err(), "replaced node's base reclaimed");
+
+        // An update record whose embedded tuple names a different table is
+        // corruption, caught before any lookup.
+        let mut cross = Vec::new();
+        encode_update("objects", &oldb, &newb, &mut cross);
+        assert!(apply_record(&cross, &mut make_state()).unwrap_err().is_corruption());
+
+        // Every strict prefix errors without panicking or mutating state.
+        for cut in 0..rec.len() {
+            let mut s = make_state();
+            apply_record(&base_rec, &mut s).unwrap();
+            let r = apply_record(&rec[..cut], &mut s);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+            assert!(r.unwrap_err().is_corruption(), "prefix errors classify as corruption");
+            assert_eq!(s.tables["readings"].tuples[0], old_t, "failed update leaves state intact");
         }
     }
 

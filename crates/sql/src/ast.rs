@@ -42,6 +42,13 @@ pub enum Statement {
     /// the global tracer enabled, writes a Chrome trace-event JSON file,
     /// and reports the path plus the recorded span tree.
     Explain { analyze: bool, trace: bool, inner: Box<Statement> },
+    /// `BEGIN [TRANSACTION | WORK]` — opens a snapshot-isolation
+    /// transaction (durable sessions only).
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]`.
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]`.
+    Rollback,
 }
 
 /// A column definition.

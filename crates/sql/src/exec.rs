@@ -58,6 +58,7 @@ pub struct Database {
     stats: StatsCatalog,
     metrics: MetricsRegistry,
     io: Arc<IoStats>,
+    txn_db: Option<SharedDurableDb>,
 }
 
 impl Default for Database {
@@ -81,6 +82,7 @@ impl Database {
             stats: StatsCatalog::new(),
             metrics: orion_obs::metrics::global().clone(),
             io: Arc::new(IoStats::default()),
+            txn_db: None,
         }
     }
 
@@ -101,6 +103,18 @@ impl Database {
     /// defaults to a detached all-zero instance).
     pub fn set_io_stats(&mut self, io: Arc<IoStats>) {
         self.io = io;
+    }
+
+    /// Attaches a durable engine behind `orion.txns` (its live transaction
+    /// registry; defaults to none, rendering an empty table).
+    pub fn set_txn_db(&mut self, db: SharedDurableDb) {
+        self.txn_db = Some(db);
+    }
+
+    /// Replaces the session's ANALYZE stats catalog (durable sessions seed
+    /// their per-statement query databases with the session-held catalog).
+    pub fn set_stats_catalog(&mut self, stats: StatsCatalog) {
+        self.stats = stats;
     }
 
     /// Direct access to a stored relation.
@@ -152,7 +166,7 @@ impl Database {
         self.run(stmt)
     }
 
-    fn run(&mut self, stmt: Statement) -> Result<Output> {
+    pub(crate) fn run(&mut self, stmt: Statement) -> Result<Output> {
         match stmt {
             Statement::CreateTable { name, columns, correlated } => {
                 if name.starts_with(SYS_PREFIX) {
@@ -200,31 +214,9 @@ impl Database {
                         all
                     }
                     Some(p) => {
-                        for c in p.columns() {
-                            match schema.column(&c) {
-                                None => {
-                                    return Err(SqlError::Exec(format!("unknown column '{c}'")))
-                                }
-                                Some(col) if col.uncertain => {
-                                    return Err(SqlError::Exec(format!(
-                                        "DELETE predicates must use certain columns \
-                                         ('{c}' is uncertain); use PROB() thresholds \
-                                         with SELECT instead"
-                                    )))
-                                }
-                                Some(_) => {}
-                            }
-                        }
+                        check_certain_pred(&schema, &p, "DELETE")?;
                         let reg = &mut self.reg;
-                        rel.delete_where(reg, |t| {
-                            let lookup = |name: &str| -> Value {
-                                schema
-                                    .index_of(name)
-                                    .map(|i| t.certain[i].clone())
-                                    .unwrap_or(Value::Null)
-                            };
-                            p.eval(&lookup) == Some(true)
-                        })
+                        rel.delete_where(reg, |t| certain_eval(&schema, t, &p))
                     }
                 };
                 Ok(Output::Count(removed))
@@ -248,6 +240,9 @@ impl Database {
                 Ok(Output::Analyze(ts))
             }
             Statement::Explain { analyze, trace, inner } => self.explain(analyze, trace, *inner),
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(SqlError::Exec(
+                "transactions need a durable session (open one with DurableSession::open)".into(),
+            )),
         }
     }
 
@@ -397,10 +392,11 @@ impl Database {
             "orion.metrics" => self.sys_metrics()?,
             "orion.io" => self.sys_io()?,
             "orion.trace_lanes" => self.sys_trace_lanes()?,
+            "orion.txns" => self.sys_txns()?,
             other => {
                 return Err(SqlError::Exec(format!(
                     "unknown system table '{other}' (available: orion.tables, orion.columns, \
-                     orion.stats, orion.metrics, orion.io, orion.trace_lanes)"
+                     orion.stats, orion.metrics, orion.io, orion.trace_lanes, orion.txns)"
                 )))
             }
         };
@@ -589,77 +585,40 @@ impl Database {
         )
     }
 
+    /// `orion.txns`: one row per live transaction of the attached durable
+    /// engine (empty for detached in-memory sessions).
+    fn sys_txns(&self) -> Result<Relation> {
+        let rows = match &self.txn_db {
+            None => Vec::new(),
+            Some(db) => db
+                .active_txns()
+                .into_iter()
+                .map(|t| {
+                    vec![
+                        Value::Int(t.id as i64),
+                        Value::Int(t.snapshot_epoch as i64),
+                        Value::Int(t.writes as i64),
+                    ]
+                })
+                .collect(),
+        };
+        system_rel(
+            "orion.txns",
+            &[
+                ("id", ColumnType::Int),
+                ("snapshot_epoch", ColumnType::Int),
+                ("writes", ColumnType::Int),
+            ],
+            rows,
+        )
+    }
+
     fn insert_row(&mut self, table: &str, row: Vec<InsertValue>) -> Result<()> {
         let rel = self
             .tables
             .get_mut(table)
             .ok_or_else(|| SqlError::Exec(format!("unknown table '{table}'")))?;
-        let schema = rel.schema.clone();
-        // Walk columns in order; a correlated group consumes ONE value (a
-        // JOINT constructor) at the position of its first column.
-        let mut certain: Vec<(String, Value)> = Vec::new();
-        let mut uncertain: Vec<(Vec<String>, JointPdf)> = Vec::new();
-        let mut vals = row.into_iter();
-        let mut consumed: Vec<AttrId> = Vec::new();
-        for col in schema.columns() {
-            if consumed.contains(&col.id) {
-                continue;
-            }
-            let v = vals.next().ok_or_else(|| SqlError::Exec("too few values in INSERT".into()))?;
-            if !col.uncertain {
-                let val = match v {
-                    InsertValue::Null => Value::Null,
-                    InsertValue::Number(n) => match col.ty {
-                        ColumnType::Int => Value::Int(n as i64),
-                        _ => Value::Real(n),
-                    },
-                    InsertValue::Text(s) => Value::Text(s),
-                    InsertValue::Bool(b) => Value::Bool(b),
-                    InsertValue::Pdf(_) => {
-                        return Err(SqlError::Exec(format!(
-                            "column '{}' is certain; got a pdf",
-                            col.name
-                        )))
-                    }
-                };
-                certain.push((col.name.clone(), val));
-                continue;
-            }
-            // Uncertain: which dependency group does this column lead?
-            let group: Vec<AttrId> = schema
-                .deps()
-                .iter()
-                .find(|g| g.contains(&col.id))
-                .cloned()
-                .unwrap_or_else(|| vec![col.id]);
-            let names: Vec<String> = group
-                .iter()
-                .map(|id| schema.column_by_id(*id).expect("dep attr visible").name.clone())
-                .collect();
-            consumed.extend(&group);
-            let joint = match v {
-                InsertValue::Pdf(expr) => build_joint(&expr, group.len())?,
-                InsertValue::Number(n) => {
-                    if group.len() != 1 {
-                        return Err(SqlError::Exec(format!(
-                            "correlated group led by '{}' needs a JOINT(...) value",
-                            col.name
-                        )));
-                    }
-                    JointPdf::from_pdf1(Pdf1::certain(n))
-                }
-                other => {
-                    return Err(SqlError::Exec(format!(
-                        "uncertain column '{}' needs a pdf, got {other:?}",
-                        col.name
-                    )))
-                }
-            };
-            uncertain.push((names, joint));
-        }
-        if vals.next().is_some() {
-            return Err(SqlError::Exec("too many values in INSERT".into()));
-        }
+        let (certain, uncertain) = translate_insert_row(&rel.schema, row)?;
         let certain_refs: Vec<(&str, Value)> =
             certain.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
         let uncertain_refs: Vec<(Vec<&str>, JointPdf)> = uncertain
@@ -688,82 +647,14 @@ impl Database {
             .ok_or_else(|| SqlError::Exec(format!("unknown table '{table}'")))?;
         let schema = rel.schema.clone();
         if let Some(p) = &pred {
-            for c in p.columns() {
-                match schema.column(&c) {
-                    None => return Err(SqlError::Exec(format!("unknown column '{c}'"))),
-                    Some(col) if col.uncertain => {
-                        return Err(SqlError::Exec(format!(
-                            "UPDATE predicates must use certain columns ('{c}' is uncertain)"
-                        )))
-                    }
-                    Some(_) => {}
-                }
-            }
+            check_certain_pred(&schema, p, "UPDATE")?;
         }
-        // Pre-validate and pre-build the assignments.
-        enum Assign {
-            Certain(usize, Value),
-            Node(Vec<AttrId>, Vec<String>, JointPdf),
-        }
-        let mut assigns = Vec::with_capacity(sets.len());
-        for (col_name, v) in &sets {
-            let col = schema
-                .column(col_name)
-                .ok_or_else(|| SqlError::Exec(format!("unknown column '{col_name}'")))?;
-            if !col.uncertain {
-                let val = match v {
-                    InsertValue::Null => Value::Null,
-                    InsertValue::Number(n) => match col.ty {
-                        ColumnType::Int => Value::Int(*n as i64),
-                        _ => Value::Real(*n),
-                    },
-                    InsertValue::Text(s) => Value::Text(s.clone()),
-                    InsertValue::Bool(b) => Value::Bool(*b),
-                    InsertValue::Pdf(_) => {
-                        return Err(SqlError::Exec(format!(
-                            "column '{col_name}' is certain; got a pdf"
-                        )))
-                    }
-                };
-                assigns
-                    .push(Assign::Certain(schema.index_of(col_name).expect("column exists"), val));
-                continue;
-            }
-            let group: Vec<AttrId> = schema
-                .deps()
-                .iter()
-                .find(|g| g.contains(&col.id))
-                .cloned()
-                .unwrap_or_else(|| vec![col.id]);
-            let names: Vec<String> = group
-                .iter()
-                .map(|id| schema.column_by_id(*id).expect("visible").name.clone())
-                .collect();
-            let joint = match v {
-                InsertValue::Pdf(expr) => build_joint(expr, group.len())?,
-                InsertValue::Number(n) if group.len() == 1 => {
-                    JointPdf::from_pdf1(Pdf1::certain(*n))
-                }
-                other => {
-                    return Err(SqlError::Exec(format!(
-                        "uncertain column '{col_name}' needs a pdf \
-                         (its correlated group has {} columns), got {other:?}",
-                        group.len()
-                    )))
-                }
-            };
-            assigns.push(Assign::Node(group, names, joint));
-        }
+        let assigns = translate_assignments(&schema, &sets)?;
         let mut updated = 0usize;
         for t in &mut rel.tuples {
             let keep = match &pred {
                 None => true,
-                Some(p) => {
-                    let lookup = |name: &str| -> Value {
-                        schema.index_of(name).map(|i| t.certain[i].clone()).unwrap_or(Value::Null)
-                    };
-                    p.eval(&lookup) == Some(true)
-                }
+                Some(p) => certain_eval(&schema, t, p),
             };
             if !keep {
                 continue;
@@ -772,7 +663,7 @@ impl Database {
             for a in &assigns {
                 match a {
                     Assign::Certain(idx, v) => t.certain[*idx] = v.clone(),
-                    Assign::Node(group, _names, joint) => {
+                    Assign::Node(group, joint) => {
                         // Replace the node covering the group with a fresh
                         // base pdf, releasing the old history.
                         let ni = t.node_index_for(group[0]).ok_or_else(|| {
@@ -1126,6 +1017,160 @@ fn render_cell(rel: &Relation, tuple: usize, col: &str) -> Result<String> {
     } else {
         Ok(rel.tuples[tuple].certain[rel.schema.index_of(col).expect("col")].to_string())
     }
+}
+
+/// The uncertain half of a translated INSERT row: one `(column names,
+/// joint pdf)` entry per dependency group.
+pub(crate) type UncertainGroups = Vec<(Vec<String>, JointPdf)>;
+
+/// Translates one INSERT row against a schema into the `(certain,
+/// uncertain)` pairs [`Relation::insert`] expects. Walks columns in order;
+/// a correlated group consumes ONE value (a JOINT constructor) at the
+/// position of its first column. Shared by the in-memory [`Database`] and
+/// the durable transactional session.
+pub(crate) fn translate_insert_row(
+    schema: &ProbSchema,
+    row: Vec<InsertValue>,
+) -> Result<(Vec<(String, Value)>, UncertainGroups)> {
+    let mut certain: Vec<(String, Value)> = Vec::new();
+    let mut uncertain: Vec<(Vec<String>, JointPdf)> = Vec::new();
+    let mut vals = row.into_iter();
+    let mut consumed: Vec<AttrId> = Vec::new();
+    for col in schema.columns() {
+        if consumed.contains(&col.id) {
+            continue;
+        }
+        let v = vals.next().ok_or_else(|| SqlError::Exec("too few values in INSERT".into()))?;
+        if !col.uncertain {
+            certain.push((col.name.clone(), certain_literal(&v, col)?));
+            continue;
+        }
+        // Uncertain: which dependency group does this column lead?
+        let group = dep_group(schema, col.id);
+        let names: Vec<String> = group
+            .iter()
+            .map(|id| schema.column_by_id(*id).expect("dep attr visible").name.clone())
+            .collect();
+        consumed.extend(&group);
+        let joint = match v {
+            InsertValue::Pdf(expr) => build_joint(&expr, group.len())?,
+            InsertValue::Number(n) => {
+                if group.len() != 1 {
+                    return Err(SqlError::Exec(format!(
+                        "correlated group led by '{}' needs a JOINT(...) value",
+                        col.name
+                    )));
+                }
+                JointPdf::from_pdf1(Pdf1::certain(n))
+            }
+            other => {
+                return Err(SqlError::Exec(format!(
+                    "uncertain column '{}' needs a pdf, got {other:?}",
+                    col.name
+                )))
+            }
+        };
+        uncertain.push((names, joint));
+    }
+    if vals.next().is_some() {
+        return Err(SqlError::Exec("too many values in INSERT".into()));
+    }
+    Ok((certain, uncertain))
+}
+
+/// One pre-validated UPDATE assignment.
+pub(crate) enum Assign {
+    /// Overwrite the certain value at this tuple index.
+    Certain(usize, Value),
+    /// Replace the node covering this dependency group with a fresh base
+    /// pdf (new history).
+    Node(Vec<AttrId>, JointPdf),
+}
+
+/// Pre-validates and pre-builds UPDATE assignments against a schema.
+/// Updating one member of a correlated group is rejected — supply the
+/// whole group via JOINT.
+pub(crate) fn translate_assignments(
+    schema: &ProbSchema,
+    sets: &[(String, InsertValue)],
+) -> Result<Vec<Assign>> {
+    let mut assigns = Vec::with_capacity(sets.len());
+    for (col_name, v) in sets {
+        let col = schema
+            .column(col_name)
+            .ok_or_else(|| SqlError::Exec(format!("unknown column '{col_name}'")))?;
+        if !col.uncertain {
+            let val = certain_literal(v, col)?;
+            assigns.push(Assign::Certain(schema.index_of(col_name).expect("column exists"), val));
+            continue;
+        }
+        let group = dep_group(schema, col.id);
+        let joint = match v {
+            InsertValue::Pdf(expr) => build_joint(expr, group.len())?,
+            InsertValue::Number(n) if group.len() == 1 => JointPdf::from_pdf1(Pdf1::certain(*n)),
+            other => {
+                return Err(SqlError::Exec(format!(
+                    "uncertain column '{col_name}' needs a pdf \
+                     (its correlated group has {} columns), got {other:?}",
+                    group.len()
+                )))
+            }
+        };
+        assigns.push(Assign::Node(group, joint));
+    }
+    Ok(assigns)
+}
+
+/// Coerces an INSERT/UPDATE literal for a certain column.
+fn certain_literal(v: &InsertValue, col: &Column) -> Result<Value> {
+    Ok(match v {
+        InsertValue::Null => Value::Null,
+        InsertValue::Number(n) => match col.ty {
+            ColumnType::Int => Value::Int(*n as i64),
+            _ => Value::Real(*n),
+        },
+        InsertValue::Text(s) => Value::Text(s.clone()),
+        InsertValue::Bool(b) => Value::Bool(*b),
+        InsertValue::Pdf(_) => {
+            return Err(SqlError::Exec(format!("column '{}' is certain; got a pdf", col.name)))
+        }
+    })
+}
+
+/// The dependency group a column belongs to (itself when independent).
+fn dep_group(schema: &ProbSchema, id: AttrId) -> Vec<AttrId> {
+    schema.deps().iter().find(|g| g.contains(&id)).cloned().unwrap_or_else(|| vec![id])
+}
+
+/// Rejects DML predicates that touch uncertain columns (a tuple is either
+/// affected or not; probabilistic DML would need user-specified
+/// semantics).
+pub(crate) fn check_certain_pred(schema: &ProbSchema, p: &Predicate, stmt: &str) -> Result<()> {
+    for c in p.columns() {
+        match schema.column(&c) {
+            None => return Err(SqlError::Exec(format!("unknown column '{c}'"))),
+            Some(col) if col.uncertain => {
+                let hint = if stmt == "DELETE" {
+                    "; use PROB() thresholds with SELECT instead"
+                } else {
+                    ""
+                };
+                return Err(SqlError::Exec(format!(
+                    "{stmt} predicates must use certain columns ('{c}' is uncertain){hint}"
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates a certain-column predicate against one tuple.
+pub(crate) fn certain_eval(schema: &ProbSchema, t: &ProbTuple, p: &Predicate) -> bool {
+    let lookup = |name: &str| -> Value {
+        schema.index_of(name).map(|i| t.certain[i].clone()).unwrap_or(Value::Null)
+    };
+    p.eval(&lookup) == Some(true)
 }
 
 /// Splits a predicate's top-level AND into conjuncts.
@@ -1689,6 +1734,7 @@ mod tests {
             ("orion.metrics", &["name", "kind", "count", "sum"]),
             ("orion.io", &["counter", "value"]),
             ("orion.trace_lanes", &["lane", "tid", "events", "dropped"]),
+            ("orion.txns", &["id", "snapshot_epoch", "writes"]),
         ];
         for (table, cols) in expect {
             let Output::Table(rel) = db.execute(&format!("SELECT * FROM {table}")).unwrap() else {

@@ -23,8 +23,11 @@
 //!   stats catalog;
 //! * read-only system virtual tables in the reserved `orion.` namespace
 //!   (`orion.tables`, `orion.columns`, `orion.stats`, `orion.metrics`,
-//!   `orion.io`, `orion.trace_lanes`), queryable and joinable like any
-//!   user table;
+//!   `orion.io`, `orion.trace_lanes`, `orion.txns`), queryable and
+//!   joinable like any user table;
+//! * `BEGIN` / `COMMIT` / `ROLLBACK` snapshot-isolation transactions on a
+//!   durable engine via [`DurableSession`] (DML outside a transaction
+//!   auto-commits with bounded conflict retry);
 //! * `EXPLAIN [ANALYZE] SELECT ...` — the executed operator tree with
 //!   planner cardinality estimates from the stats catalog (`est_rows`),
 //!   and, under `ANALYZE`, per-operator tuple counts, estimate-vs-actual
@@ -49,9 +52,11 @@ pub mod error;
 pub mod exec;
 pub mod parser;
 pub mod render;
+pub mod session;
 pub mod token;
 
 pub use error::{Result, SqlError};
 pub use exec::{Database, Output};
 pub use parser::parse;
 pub use render::{render_output, render_relation};
+pub use session::DurableSession;

@@ -94,6 +94,14 @@ impl Parser {
         }
     }
 
+    /// Swallows the optional `TRANSACTION` / `WORK` noise word after
+    /// `BEGIN` / `COMMIT` / `ROLLBACK`.
+    fn eat_txn_noise(&mut self) {
+        if !self.eat_kw("transaction") {
+            self.eat_kw("work");
+        }
+    }
+
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("explain") {
             let analyze = self.eat_kw("analyze");
@@ -133,6 +141,15 @@ impl Parser {
         } else if self.eat_kw("analyze") {
             let table = self.ident("table name")?;
             Ok(Statement::Analyze { table })
+        } else if self.eat_kw("begin") {
+            self.eat_txn_noise();
+            Ok(Statement::Begin)
+        } else if self.eat_kw("commit") {
+            self.eat_txn_noise();
+            Ok(Statement::Commit)
+        } else if self.eat_kw("rollback") {
+            self.eat_txn_noise();
+            Ok(Statement::Rollback)
         } else {
             Err(SqlError::Parse(format!("unknown statement start: {:?}", self.peek())))
         }

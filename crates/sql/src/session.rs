@@ -1,0 +1,426 @@
+//! Durable transactional SQL sessions.
+//!
+//! A [`DurableSession`] runs the Orion SQL dialect against a
+//! [`SharedDurableDb`] with snapshot-isolation transactions:
+//!
+//! * `BEGIN` / `COMMIT` / `ROLLBACK` bracket an explicit transaction; all
+//!   DML inside it stages into one [`Txn`] and reaches the WAL as a single
+//!   atomic group at `COMMIT`.
+//! * DML outside an explicit transaction auto-commits: each statement runs
+//!   in its own transaction, retried with bounded exponential backoff when
+//!   a concurrent committer wins (retryable
+//!   [`EngineError::TxnConflict`](orion_core::prelude::EngineError)).
+//!   An explicit `COMMIT` is **not** auto-retried — replaying a
+//!   multi-statement transaction needs the client's logic, so the conflict
+//!   surfaces to the caller (who may BEGIN again).
+//! * Reads (`SELECT`, `EXPLAIN`, system tables) run on a point-in-time
+//!   copy of the session's current view: the private transaction snapshot
+//!   when one is open — so a transaction reads its own writes — and the
+//!   latest committed state otherwise.
+//!
+//! `DROP TABLE` is not supported durably, and `ANALYZE` cannot run inside
+//! a transaction (statistics are session/engine state, not row data).
+
+use crate::ast::Statement;
+use crate::error::{Result, SqlError};
+use crate::exec::{
+    certain_eval, check_certain_pred, translate_assignments, translate_insert_row, translate_pred,
+    Assign, Database, Output, SYS_PREFIX,
+};
+use crate::parser::parse;
+use orion_core::prelude::*;
+use orion_core::tuple::PdfNode;
+use std::path::Path;
+use std::time::Duration;
+
+/// Auto-commit conflict retries before giving up (first-committer-wins
+/// losers re-run on a fresh snapshot).
+const AUTOCOMMIT_RETRIES: u32 = 5;
+
+/// Base backoff before an auto-commit retry; doubles per attempt.
+const RETRY_BACKOFF: Duration = Duration::from_micros(100);
+
+/// A SQL session over a durable engine, with transactions.
+pub struct DurableSession {
+    db: SharedDurableDb,
+    txn: Option<Txn>,
+    /// Session-held ANALYZE results, seeded into every per-statement query
+    /// database (the durable engine persists its own copy via the WAL).
+    stats: StatsCatalog,
+}
+
+impl DurableSession {
+    /// Opens (or creates) a durable database directory with default group
+    /// commit settings.
+    pub fn open(dir: &Path) -> Result<Self> {
+        Self::open_with(dir, GroupCommitConfig::default())
+    }
+
+    /// Opens with explicit group-commit tuning.
+    pub fn open_with(dir: &Path, cfg: GroupCommitConfig) -> Result<Self> {
+        let db = SharedDurableDb::open(dir, cfg)?;
+        Ok(DurableSession { db, txn: None, stats: StatsCatalog::new() })
+    }
+
+    /// Wraps an already-open shared engine.
+    pub fn from_db(db: SharedDurableDb) -> Self {
+        DurableSession { db, txn: None, stats: StatsCatalog::new() }
+    }
+
+    /// The underlying shared engine.
+    pub fn db(&self) -> &SharedDurableDb {
+        &self.db
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Output> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(SqlError::Exec("a transaction is already open".into()));
+                }
+                self.txn = Some(Txn::begin(&self.db));
+                Ok(Output::Ok)
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| SqlError::Exec("COMMIT outside a transaction".into()))?;
+                txn.commit()?;
+                Ok(Output::Ok)
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| SqlError::Exec("ROLLBACK outside a transaction".into()))?;
+                txn.rollback();
+                Ok(Output::Ok)
+            }
+            dml @ (Statement::CreateTable { .. }
+            | Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. }) => match self.txn.as_mut() {
+                Some(txn) => apply_dml(txn, dml),
+                None => self.autocommit(dml),
+            },
+            Statement::DropTable { .. } => Err(SqlError::Exec(
+                "DROP TABLE is not supported on durable sessions (deleted base tuples may \
+                 still anchor histories of derived data)"
+                    .into(),
+            )),
+            Statement::Analyze { table } => {
+                if self.txn.is_some() {
+                    return Err(SqlError::Exec(
+                        "ANALYZE cannot run inside a transaction (statistics are engine \
+                         state, not transactional row data)"
+                            .into(),
+                    ));
+                }
+                self.db.analyze_table(&table)?;
+                let ts = self
+                    .db
+                    .with_tables(|tables, _| tables.get(&table).map(analyze_relation))
+                    .ok_or_else(|| SqlError::Exec(format!("unknown table '{table}'")))??;
+                self.stats.insert(ts.clone());
+                Ok(Output::Analyze(ts))
+            }
+            read => self.query_db().run(read),
+        }
+    }
+
+    /// Runs one DML statement as its own transaction, retrying conflicts
+    /// with bounded exponential backoff.
+    fn autocommit(&mut self, stmt: Statement) -> Result<Output> {
+        let mut attempt = 0u32;
+        loop {
+            let mut txn = Txn::begin(&self.db);
+            let out = apply_dml(&mut txn, stmt.clone())?;
+            match txn.commit() {
+                Ok(_) => return Ok(out),
+                Err(e) if e.is_retryable() && attempt < AUTOCOMMIT_RETRIES => {
+                    attempt += 1;
+                    std::thread::sleep(RETRY_BACKOFF * 2u32.pow(attempt - 1));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Builds the per-statement query database: a point-in-time copy of
+    /// the current view (transaction snapshot or committed state) with the
+    /// session's stats catalog and the engine's IO / transaction registries
+    /// attached for the `orion.*` system tables.
+    fn query_db(&mut self) -> Database {
+        let (tables, reg) = match self.txn.as_mut() {
+            Some(txn) => txn.with_view(|t, r| (t.clone(), r.clone())),
+            None => self.db.with_tables(|t, r| (t.clone(), r.clone())),
+        };
+        let mut qdb = Database::new();
+        for rel in tables.into_values() {
+            qdb.register_table(rel);
+        }
+        *qdb.registry_mut() = reg;
+        qdb.set_stats_catalog(self.stats.clone());
+        qdb.set_io_stats(self.db.io_stats());
+        qdb.set_txn_db(self.db.clone());
+        qdb
+    }
+}
+
+/// Stages one DML statement into a transaction.
+fn apply_dml(txn: &mut Txn, stmt: Statement) -> Result<Output> {
+    match stmt {
+        Statement::CreateTable { name, columns, correlated } => {
+            if name.starts_with(SYS_PREFIX) {
+                return Err(SqlError::Exec(format!(
+                    "the '{SYS_PREFIX}' namespace is reserved for system tables"
+                )));
+            }
+            let cols: Vec<(&str, ColumnType, bool)> =
+                columns.iter().map(|c| (c.name.as_str(), c.ty, c.uncertain)).collect();
+            let groups: Vec<Vec<&str>> =
+                correlated.iter().map(|g| g.iter().map(|s| s.as_str()).collect()).collect();
+            let schema = ProbSchema::new(cols, groups)?;
+            txn.create_table(&name, schema)?;
+            Ok(Output::Ok)
+        }
+        Statement::Insert { table, rows } => {
+            let n = rows.len();
+            let schema = txn.table(&table)?.schema.clone();
+            for row in rows {
+                let (certain, uncertain) = translate_insert_row(&schema, row)?;
+                let certain_refs: Vec<(&str, Value)> =
+                    certain.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                let uncertain_refs: Vec<(Vec<&str>, orion_pdf::prelude::JointPdf)> = uncertain
+                    .iter()
+                    .map(|(ns, j)| (ns.iter().map(|s| s.as_str()).collect(), j.clone()))
+                    .collect();
+                txn.insert(&table, &certain_refs, uncertain_refs)?;
+            }
+            Ok(Output::Count(n))
+        }
+        Statement::Delete { table, filter } => {
+            let pred = filter.map(|p| translate_pred(&p)).transpose()?;
+            let schema = txn.table(&table)?.schema.clone();
+            let removed = match pred {
+                None => txn.delete_where(&table, |_| true)?,
+                Some(p) => {
+                    check_certain_pred(&schema, &p, "DELETE")?;
+                    txn.delete_where(&table, |t| certain_eval(&schema, t, &p))?
+                }
+            };
+            Ok(Output::Count(removed))
+        }
+        Statement::Update { table, sets, filter } => {
+            let pred = filter.map(|p| translate_pred(&p)).transpose()?;
+            let schema = txn.table(&table)?.schema.clone();
+            if let Some(p) = &pred {
+                check_certain_pred(&schema, p, "UPDATE")?;
+            }
+            let assigns = translate_assignments(&schema, &sets)?;
+            let sel_schema = schema.clone();
+            let updated = txn.update_where(
+                &table,
+                move |t| match &pred {
+                    None => true,
+                    Some(p) => certain_eval(&sel_schema, t, p),
+                },
+                move |t, reg| {
+                    for a in &assigns {
+                        match a {
+                            Assign::Certain(idx, v) => t.certain[*idx] = v.clone(),
+                            Assign::Node(group, joint) => {
+                                // Fresh base pdf, fresh history. No add_refs
+                                // here: Txn::update_where diffs old vs new
+                                // nodes and does the reference bookkeeping,
+                                // exactly like WAL replay.
+                                let ni = t.node_index_for(group[0]).ok_or_else(|| {
+                                    EngineError::Operator("uncertain column lost its node".into())
+                                })?;
+                                let id = reg.register(group.clone(), joint.clone());
+                                t.nodes[ni] = PdfNode::base(
+                                    id,
+                                    group,
+                                    joint.clone(),
+                                    [id].into_iter().collect(),
+                                );
+                            }
+                        }
+                    }
+                    Ok(())
+                },
+            )?;
+            Ok(Output::Count(updated))
+        }
+        other => unreachable!("apply_dml only receives DML, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("orion_session_test").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn int_cell(out: &Output, col: &str) -> i64 {
+        let Output::Table(rel) = out else { panic!("expected table, got {out:?}") };
+        let Value::Int(v) = rel.value(0, col).unwrap() else { panic!("expected int") };
+        *v
+    }
+
+    #[test]
+    fn dml_autocommits_and_survives_reopen() {
+        let dir = temp_dir("autocommit");
+        {
+            let mut s = DurableSession::open(&dir).unwrap();
+            s.execute("CREATE TABLE readings (rid INT, value REAL UNCERTAIN)").unwrap();
+            s.execute("INSERT INTO readings VALUES (1, GAUSSIAN(20, 5)), (2, GAUSSIAN(25, 4))")
+                .unwrap();
+            s.execute("UPDATE readings SET value = GAUSSIAN(99, 1) WHERE rid = 2").unwrap();
+            s.execute("DELETE FROM readings WHERE rid = 1").unwrap();
+        }
+        let mut s = DurableSession::open(&dir).unwrap();
+        let out = s.execute("SELECT * FROM readings").unwrap();
+        let Output::Table(rel) = out else { panic!("expected table") };
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.value(0, "rid").unwrap(), &Value::Int(2));
+        assert_eq!(rel.marginal(0, "value").unwrap().to_string(), "Gaus(99,1)");
+        s.db().check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn begin_commit_groups_statements_atomically() {
+        let dir = temp_dir("explicit");
+        let mut s = DurableSession::open(&dir).unwrap();
+        s.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+        let wal_before = s.db().wal_len();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (1, UNIFORM(0, 1))").unwrap();
+        s.execute("INSERT INTO t VALUES (2, UNIFORM(1, 2))").unwrap();
+        // Inside the txn, the session reads its own writes...
+        assert_eq!(int_cell(&s.execute("SELECT a FROM t WHERE a = 2").unwrap(), "a"), 2);
+        // ...but nothing reached the log or the shared state yet.
+        assert_eq!(s.db().wal_len(), wal_before);
+        s.db().with_tables(|tables, _| assert_eq!(tables["t"].len(), 0));
+        s.execute("COMMIT").unwrap();
+        assert!(s.db().wal_len() > wal_before);
+        s.db().with_tables(|tables, _| assert_eq!(tables["t"].len(), 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rollback_discards_everything() {
+        let dir = temp_dir("rollback");
+        let mut s = DurableSession::open(&dir).unwrap();
+        s.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, UNIFORM(0, 1))").unwrap();
+        s.execute("BEGIN TRANSACTION").unwrap();
+        s.execute("INSERT INTO t VALUES (2, UNIFORM(0, 1))").unwrap();
+        s.execute("DELETE FROM t WHERE a = 1").unwrap();
+        s.execute("ROLLBACK").unwrap();
+        let Output::Table(rel) = s.execute("SELECT * FROM t").unwrap() else { panic!("table") };
+        assert_eq!(rel.len(), 1, "rollback left the committed row alone");
+        assert_eq!(rel.value(0, "a").unwrap(), &Value::Int(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn txn_statement_errors() {
+        let dir = temp_dir("errors");
+        let mut s = DurableSession::open(&dir).unwrap();
+        assert!(s.execute("COMMIT").is_err(), "commit outside txn");
+        assert!(s.execute("ROLLBACK").is_err(), "rollback outside txn");
+        s.execute("BEGIN").unwrap();
+        assert!(s.execute("BEGIN").is_err(), "nested begin");
+        assert!(s.execute("ANALYZE t").is_err(), "analyze inside txn");
+        s.execute("ROLLBACK").unwrap();
+        assert!(s.execute("DROP TABLE t").is_err(), "drop unsupported");
+        // Plain in-memory Database refuses transaction statements.
+        let mut mem = Database::new();
+        assert!(mem.execute("BEGIN").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orion_txns_reflects_open_transaction() {
+        let dir = temp_dir("sys_txns");
+        let mut s = DurableSession::open(&dir).unwrap();
+        s.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+        let Output::Table(rel) = s.execute("SELECT * FROM orion.txns").unwrap() else {
+            panic!("table")
+        };
+        assert_eq!(rel.len(), 0, "no transaction open");
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (1, UNIFORM(0, 1))").unwrap();
+        let out = s.execute("SELECT * FROM orion.txns").unwrap();
+        let Output::Table(rel) = out else { panic!("table") };
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.value(0, "writes").unwrap(), &Value::Int(1));
+        s.execute("COMMIT").unwrap();
+        let Output::Table(rel) = s.execute("SELECT * FROM orion.txns").unwrap() else {
+            panic!("table")
+        };
+        assert_eq!(rel.len(), 0, "committed transaction left the registry");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conflicting_explicit_commit_surfaces_retryable_error() {
+        let dir = temp_dir("conflict");
+        let mut a = DurableSession::open(&dir).unwrap();
+        a.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+        a.execute("INSERT INTO t VALUES (1, UNIFORM(0, 1))").unwrap();
+        let mut b = DurableSession::from_db(a.db().clone());
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("DELETE FROM t WHERE a = 1").unwrap();
+        b.execute("DELETE FROM t WHERE a = 1").unwrap();
+        a.execute("COMMIT").unwrap();
+        let err = b.execute("COMMIT").unwrap_err();
+        let SqlError::Engine(e) = &err else { panic!("expected engine error, got {err:?}") };
+        assert!(e.is_retryable(), "losers may retry: {e}");
+        // The loser retries on a fresh snapshot and succeeds.
+        b.execute("BEGIN").unwrap();
+        b.execute("INSERT INTO t VALUES (2, UNIFORM(0, 1))").unwrap();
+        b.execute("COMMIT").unwrap();
+        let Output::Table(rel) = a.execute("SELECT * FROM t").unwrap() else { panic!("table") };
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.value(0, "a").unwrap(), &Value::Int(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_feeds_session_stats_and_explain() {
+        let dir = temp_dir("analyze");
+        let mut s = DurableSession::open(&dir).unwrap();
+        s.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, UNIFORM(0, 1)), (2, UNIFORM(1, 2))").unwrap();
+        let Output::Analyze(ts) = s.execute("ANALYZE t").unwrap() else { panic!("analyze") };
+        assert_eq!(ts.rows, 2);
+        // The stats feed EXPLAIN estimates (scan knows its 2 rows) and
+        // orion.stats on later statements.
+        let Output::Explain { profile, .. } = s.execute("EXPLAIN SELECT a FROM t").unwrap() else {
+            panic!("explain")
+        };
+        assert!(profile.render(false).contains("est_rows=2"), "{}", profile.render(false));
+        let Output::Table(rel) = s.execute("SELECT * FROM orion.stats").unwrap() else {
+            panic!("table")
+        };
+        assert_eq!(rel.len(), 2, "one stats row per column");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

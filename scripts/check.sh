@@ -35,11 +35,16 @@ cargo test -q -p orion-sql orion_metrics_rows_match_prometheus_export
 echo "== cargo test -q (fault injection, fixed seeds) =="
 cargo test -q -p orion-storage -p orion-core -p orion-tests --features failpoints
 
-echo "== crash matrix + recovery oracle (3 pinned seeds) =="
+echo "== crash matrix + recovery oracle + txn consistency (3 pinned seeds) =="
+# Each seed runs the byte-level crash matrices, the recovery oracle, and
+# the Jepsen-style transaction consistency checker — once with fault
+# injection armed (failpoints) and once against the plain build.
 for seed in 0xA11CE 0xC0FFEE 0xDECADE; do
-    echo "-- ORION_ORACLE_SEED=$seed --"
+    echo "-- ORION_ORACLE_SEED=$seed (failpoints) --"
     ORION_ORACLE_SEED=$seed cargo test -q -p orion-tests --features failpoints \
-        --test crash_matrix --test recovery_oracle
+        --test crash_matrix --test recovery_oracle --test txn_consistency
+    echo "-- ORION_ORACLE_SEED=$seed (plain) --"
+    ORION_ORACLE_SEED=$seed cargo test -q -p orion-tests --test txn_consistency
 done
 
 echo "== morsel-parallel speedup check =="

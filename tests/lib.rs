@@ -2,7 +2,9 @@
 
 use orion_core::prelude::*;
 use orion_pdf::prelude::*;
+use orion_storage::codec::encode_joint;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// Builds the paper's Table II relation and its registry.
 pub fn table2() -> (HashMap<String, Relation>, HistoryRegistry) {
@@ -25,4 +27,110 @@ pub fn table2() -> (HashMap<String, Relation>, HistoryRegistry) {
     let mut tables = HashMap::new();
     tables.insert("T".to_string(), rel);
     (tables, reg)
+}
+
+/// Canonical fingerprint of a database state, invariant under the two
+/// identity allocators that differ across runs:
+///
+/// * attribute ids are replaced by `table.column` names;
+/// * pdf ids are remapped to dense first-seen order over a deterministic
+///   walk (tables by name, tuples in order, dims then ancestors).
+///
+/// Covers schemas, certain values, per-node joints (exact encoded bytes,
+/// so probability masses are compared bit-for-bit), ancestor sets, tuple
+/// existence masses, and — for every base reachable from some tuple — its
+/// attribute list, joint, phantom flag and refcount. Unreachable bases
+/// (a replayed base record whose tuple frame died in a crash) are
+/// deliberately invisible: they are logically unobservable garbage.
+///
+/// Shared by the crash-recovery oracle and the transaction consistency
+/// checker so both compare the exact same notion of logical state.
+pub fn fingerprint(
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    stats: &StatsCatalog,
+) -> String {
+    let mut names: Vec<&String> = tables.keys().collect();
+    names.sort();
+    let mut attr_names: HashMap<AttrId, String> = HashMap::new();
+    for name in &names {
+        for c in tables[*name].schema.columns() {
+            attr_names.insert(c.id, format!("{name}.{}", c.name));
+        }
+    }
+    let col = |id: &AttrId| attr_names.get(id).cloned().unwrap_or_else(|| format!("?{id}"));
+
+    let mut remap: HashMap<PdfId, usize> = HashMap::new();
+    let mut seen: Vec<PdfId> = Vec::new();
+    let dense = |id: PdfId, remap: &mut HashMap<PdfId, usize>, seen: &mut Vec<PdfId>| {
+        *remap.entry(id).or_insert_with(|| {
+            seen.push(id);
+            seen.len() - 1
+        })
+    };
+
+    let mut out = String::new();
+    for name in &names {
+        let rel = &tables[*name];
+        write!(out, "table {name} schema=[").unwrap();
+        for c in rel.schema.columns() {
+            write!(out, "({} {:?} u={})", c.name, c.ty, c.uncertain).unwrap();
+        }
+        let deps: Vec<Vec<String>> =
+            rel.schema.deps().iter().map(|g| g.iter().map(&col).collect()).collect();
+        writeln!(out, "] deps={deps:?}").unwrap();
+        for t in &rel.tuples {
+            let mut nodes: Vec<String> = Vec::with_capacity(t.nodes.len());
+            for n in &t.nodes {
+                let dims: Vec<String> = n
+                    .dims
+                    .iter()
+                    .map(|d| {
+                        let base = dense(d.var.base, &mut remap, &mut seen);
+                        let vis = d.column.as_ref().map(&col);
+                        format!("b{base}.{}:{vis:?}", d.var.dim)
+                    })
+                    .collect();
+                let anc: Vec<usize> =
+                    n.ancestors.iter().map(|&a| dense(a, &mut remap, &mut seen)).collect();
+                let mut joint = Vec::new();
+                encode_joint(&n.joint, &mut joint);
+                nodes.push(format!("dims={dims:?} anc={anc:?} joint={}", hex(&joint)));
+            }
+            nodes.sort(); // node order within a tuple is not significant
+            writeln!(
+                out,
+                "  tuple certain={:?} exists={:.12e} nodes={nodes:?}",
+                t.certain,
+                t.naive_existence()
+            )
+            .unwrap();
+        }
+    }
+    for (i, raw) in seen.iter().enumerate() {
+        let b = reg.base(*raw).expect("reachable base must be registered");
+        let attrs: Vec<String> = b.attrs.iter().map(&col).collect();
+        let mut joint = Vec::new();
+        encode_joint(&b.joint, &mut joint);
+        writeln!(
+            out,
+            "base b{i} attrs={attrs:?} phantom={} refs={} joint={}",
+            b.phantom,
+            reg.ref_count(*raw),
+            hex(&joint)
+        )
+        .unwrap();
+    }
+    // The stats catalog must survive crashes bitwise: compare its exact
+    // snapshot encoding.
+    writeln!(out, "stats {}", hex(&stats.encode())).unwrap();
+    out
+}
+
+/// Lowercase hex of a byte string.
+pub fn hex(bytes: &[u8]) -> String {
+    bytes.iter().fold(String::with_capacity(bytes.len() * 2), |mut s, b| {
+        write!(s, "{b:02x}").unwrap();
+        s
+    })
 }

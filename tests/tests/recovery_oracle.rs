@@ -25,12 +25,11 @@
 use orion_core::durable::{DurableDb, SNAPSHOT_FILE, WAL_FILE};
 use orion_core::prelude::*;
 use orion_pdf::prelude::*;
-use orion_storage::codec::encode_joint;
 use orion_storage::DeltaFile;
+use orion_tests::fingerprint;
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -195,122 +194,36 @@ fn apply_db(db: &mut DurableDb, op: &Op) -> bool {
     }
 }
 
-/// Canonical fingerprint of a database state, invariant under the two
-/// identity allocators that differ across runs:
+/// Number of operations whose *commit frame* fits entirely inside
+/// `bytes[..cut]`, mirroring the replay rule: parsing stops at the first
+/// incomplete frame; base (2) and epoch (4) frames do not complete an
+/// operation by themselves.
 ///
-/// * attribute ids are replaced by `table.column` names;
-/// * pdf ids are remapped to dense first-seen order over a deterministic
-///   walk (tables by name, tuples in order, dims then ancestors).
-///
-/// Covers schemas, certain values, per-node joints (exact encoded bytes,
-/// so probability masses are compared bit-for-bit), ancestor sets, tuple
-/// existence masses, and — for every base reachable from some tuple — its
-/// attribute list, joint, phantom flag and refcount. Unreachable bases
-/// (a replayed base record whose tuple frame died in the crash) are
-/// deliberately invisible: they are logically unobservable garbage.
-fn fingerprint(
-    tables: &HashMap<String, Relation>,
-    reg: &HistoryRegistry,
-    stats: &StatsCatalog,
-) -> String {
-    let mut names: Vec<&String> = tables.keys().collect();
-    names.sort();
-    let mut attr_names: HashMap<AttrId, String> = HashMap::new();
-    for name in &names {
-        for c in tables[*name].schema.columns() {
-            attr_names.insert(c.id, format!("{name}.{}", c.name));
-        }
-    }
-    let col = |id: &AttrId| attr_names.get(id).cloned().unwrap_or_else(|| format!("?{id}"));
-
-    let mut remap: HashMap<PdfId, usize> = HashMap::new();
-    let mut seen: Vec<PdfId> = Vec::new();
-    let dense = |id: PdfId, remap: &mut HashMap<PdfId, usize>, seen: &mut Vec<PdfId>| {
-        *remap.entry(id).or_insert_with(|| {
-            seen.push(id);
-            seen.len() - 1
-        })
-    };
-
-    let mut out = String::new();
-    for name in &names {
-        let rel = &tables[*name];
-        write!(out, "table {name} schema=[").unwrap();
-        for c in rel.schema.columns() {
-            write!(out, "({} {:?} u={})", c.name, c.ty, c.uncertain).unwrap();
-        }
-        let deps: Vec<Vec<String>> =
-            rel.schema.deps().iter().map(|g| g.iter().map(&col).collect()).collect();
-        writeln!(out, "] deps={deps:?}").unwrap();
-        for t in &rel.tuples {
-            let mut nodes: Vec<String> = Vec::with_capacity(t.nodes.len());
-            for n in &t.nodes {
-                let dims: Vec<String> = n
-                    .dims
-                    .iter()
-                    .map(|d| {
-                        let base = dense(d.var.base, &mut remap, &mut seen);
-                        let vis = d.column.as_ref().map(&col);
-                        format!("b{base}.{}:{vis:?}", d.var.dim)
-                    })
-                    .collect();
-                let anc: Vec<usize> =
-                    n.ancestors.iter().map(|&a| dense(a, &mut remap, &mut seen)).collect();
-                let mut joint = Vec::new();
-                encode_joint(&n.joint, &mut joint);
-                nodes.push(format!("dims={dims:?} anc={anc:?} joint={}", hex(&joint)));
-            }
-            nodes.sort(); // node order within a tuple is not significant
-            writeln!(
-                out,
-                "  tuple certain={:?} exists={:.12e} nodes={nodes:?}",
-                t.certain,
-                t.naive_existence()
-            )
-            .unwrap();
-        }
-    }
-    for (i, raw) in seen.iter().enumerate() {
-        let b = reg.base(*raw).expect("reachable base must be registered");
-        let attrs: Vec<String> = b.attrs.iter().map(&col).collect();
-        let mut joint = Vec::new();
-        encode_joint(&b.joint, &mut joint);
-        writeln!(
-            out,
-            "base b{i} attrs={attrs:?} phantom={} refs={} joint={}",
-            b.phantom,
-            reg.ref_count(*raw),
-            hex(&joint)
-        )
-        .unwrap();
-    }
-    // The stats catalog must survive crashes bitwise: compare its exact
-    // snapshot encoding.
-    writeln!(out, "stats {}", hex(&stats.encode())).unwrap();
-    out
-}
-
-fn hex(bytes: &[u8]) -> String {
-    bytes.iter().fold(String::with_capacity(bytes.len() * 2), |mut s, b| {
-        write!(s, "{b:02x}").unwrap();
-        s
-    })
-}
-
-/// Number of operations whose *commit frame* (schema tag 1, tuple tag 3,
-/// or stats tag 5) fits entirely inside `bytes[..cut]`. Mirrors the replay
-/// rule: parsing stops at the first incomplete frame; base (2) and epoch
-/// (4) frames do not complete an operation by themselves.
+/// Outside a transaction group, a schema (1), tuple (3), stats (5),
+/// delete (9) or update (10) frame each completes one operation. Between a
+/// txn-begin (6) marker and its commit (7), data frames are buffered: they
+/// count — all at once — only when the commit marker frame itself survives
+/// the cut. An abort marker (8) or a cut before the commit discards the
+/// whole group, exactly as recovery does.
 fn committed_ops(bytes: &[u8], cut: usize) -> usize {
     let mut off = 0usize;
     let mut ops = 0;
+    let mut pending: Option<usize> = None; // ops buffered in an open txn group
     while off + 8 <= cut {
         let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         if off + 8 + len > cut {
             break;
         }
-        if matches!(bytes[off + 8], 1 | 3 | 5) {
-            ops += 1;
+        match (bytes[off + 8], &mut pending) {
+            (6, _) => pending = Some(0),
+            (7, Some(n)) => {
+                ops += *n;
+                pending = None;
+            }
+            (8, _) | (7, None) => pending = None,
+            (1 | 3 | 5 | 9 | 10, Some(n)) => *n += 1,
+            (1 | 3 | 5 | 9 | 10, None) => ops += 1,
+            _ => {}
         }
         off += 8 + len;
     }
@@ -532,6 +445,314 @@ proptest! {
         ops.extend(tail);
         run_oracle("random", &ops);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-op transactions: the same byte-level crash matrix, but with WAL
+// records grouped between txn-begin/commit markers. Recovery must apply a
+// transaction *all or none* — a cut anywhere inside the group rolls the
+// whole transaction back.
+// ---------------------------------------------------------------------------
+
+/// One DML statement inside (or outside) a transaction. Scripts keep keys
+/// unique per table so each step maps to exactly one WAL data record —
+/// the unit `committed_ops` counts.
+#[derive(Debug, Clone)]
+enum TxnStep {
+    /// Create table `t{0}`.
+    Create(u8),
+    /// Insert one row with two independent per-column pdfs.
+    Insert { table: u8, key: i64, mean: f64 },
+    /// Delete the (single) row with `id == key`.
+    Delete { table: u8, key: i64 },
+    /// Replace the (single) `id == key` row's `x` node with `certain(val)`.
+    Update { table: u8, key: i64, val: f64 },
+}
+
+/// One entry of a transactional workload script.
+#[derive(Debug, Clone)]
+enum Step {
+    /// A transaction holding `steps`, committed or rolled back atomically.
+    Txn { steps: Vec<TxnStep>, commit: bool },
+    /// A plain auto-committed statement outside any transaction.
+    Plain(TxnStep),
+    /// Full checkpoint: snapshot everything, reset the WAL.
+    Checkpoint,
+}
+
+fn key_is(key: i64) -> impl Fn(&ProbTuple) -> bool {
+    move |t: &ProbTuple| t.certain[0] == Value::Int(key)
+}
+
+fn stage_txn_step(txn: &mut Txn, step: &TxnStep) {
+    match step {
+        TxnStep::Create(i) => txn.create_table(&table_name(*i), oracle_schema()).unwrap(),
+        TxnStep::Insert { table, key, mean } => {
+            let [x, y] = simple_pdfs(*mean);
+            txn.insert_simple(&table_name(*table), &[("id", Value::Int(*key))], &[x, y]).unwrap();
+        }
+        TxnStep::Delete { table, key } => {
+            let n = txn.delete_where(&table_name(*table), key_is(*key)).unwrap();
+            assert_eq!(n, 1, "script keys are unique: delete hits one row");
+        }
+        TxnStep::Update { table, key, val } => {
+            let v = *val;
+            let n = txn
+                .update_where(&table_name(*table), key_is(*key), |t, reg| {
+                    let attr = t.nodes[0].dims[0].column.expect("x is visible");
+                    let joint = JointPdf::from_pdf1(Pdf1::certain(v));
+                    let id = reg.register(vec![attr], joint.clone());
+                    t.nodes[0] = PdfNode::base(id, &[attr], joint, [id].into_iter().collect());
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(n, 1, "script keys are unique: update hits one row");
+        }
+    }
+}
+
+/// Oracle-side mirror of one step, with the exact reference bookkeeping
+/// WAL replay performs for the corresponding record.
+fn oracle_txn_step(
+    tables: &mut HashMap<String, Relation>,
+    reg: &mut HistoryRegistry,
+    step: &TxnStep,
+) {
+    match step {
+        TxnStep::Create(i) => {
+            let name = table_name(*i);
+            tables.insert(name.clone(), Relation::new(name, oracle_schema()));
+        }
+        TxnStep::Insert { table, key, mean } => {
+            let [x, y] = simple_pdfs(*mean);
+            tables
+                .get_mut(&table_name(*table))
+                .unwrap()
+                .insert_simple(reg, &[("id", Value::Int(*key))], &[x, y])
+                .unwrap();
+        }
+        TxnStep::Delete { table, key } => {
+            let n = tables.get_mut(&table_name(*table)).unwrap().delete_where(reg, key_is(*key));
+            assert_eq!(n, 1, "oracle delete hits one row");
+        }
+        TxnStep::Update { table, key, val } => {
+            let rel = tables.get_mut(&table_name(*table)).unwrap();
+            let sel = key_is(*key);
+            let idx = rel.tuples.iter().position(sel).expect("oracle update finds its row");
+            let mut new_t = rel.tuples[idx].clone();
+            let attr = new_t.nodes[0].dims[0].column.expect("x is visible");
+            let joint = JointPdf::from_pdf1(Pdf1::certain(*val));
+            let id = reg.register(vec![attr], joint.clone());
+            new_t.nodes[0] = PdfNode::base(id, &[attr], joint, [id].into_iter().collect());
+            let old_t = std::mem::replace(&mut rel.tuples[idx], new_t);
+            let new_nodes = rel.tuples[idx].nodes.clone();
+            // Position-wise node diff, new refs before old releases — the
+            // same bookkeeping `apply_record` runs for an update record.
+            for i in 0..old_t.nodes.len().max(new_nodes.len()) {
+                if old_t.nodes.get(i) == new_nodes.get(i) {
+                    continue;
+                }
+                if let Some(nw) = new_nodes.get(i) {
+                    reg.add_refs(&nw.ancestors);
+                }
+                if let Some(o) = old_t.nodes.get(i) {
+                    reg.release_refs(&o.ancestors);
+                    if o.ancestors.len() == 1 {
+                        let id = *o.ancestors.iter().next().expect("len checked");
+                        reg.delete_base(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs a transactional script against a shared durable handle and the
+/// oracle. Returns fingerprints indexed by committed-records-since-last-
+/// checkpoint, matching `committed_ops`: a committed transaction
+/// contributes one entry per step (all indexed past its commit marker), a
+/// rolled-back one contributes nothing.
+fn run_txn_workload(dir: &Path, script: &[Step]) -> Vec<String> {
+    let db = SharedDurableDb::open(dir, GroupCommitConfig::default()).unwrap();
+    let mut tables: HashMap<String, Relation> = HashMap::new();
+    let mut reg = HistoryRegistry::new();
+    let stats = StatsCatalog::new();
+    let mut fps = vec![fingerprint(&tables, &reg, &stats)];
+    for step in script {
+        match step {
+            Step::Checkpoint => {
+                db.checkpoint().unwrap();
+                fps = vec![fingerprint(&tables, &reg, &stats)];
+            }
+            Step::Plain(st) => {
+                match st {
+                    TxnStep::Create(i) => {
+                        db.create_table(&table_name(*i), oracle_schema()).unwrap()
+                    }
+                    TxnStep::Insert { table, key, mean } => {
+                        let [x, y] = simple_pdfs(*mean);
+                        db.insert_simple(&table_name(*table), &[("id", Value::Int(*key))], &[x, y])
+                            .unwrap();
+                    }
+                    other => panic!("plain steps are create/insert only, got {other:?}"),
+                }
+                oracle_txn_step(&mut tables, &mut reg, st);
+                fps.push(fingerprint(&tables, &reg, &stats));
+            }
+            Step::Txn { steps, commit } => {
+                let mut txn = Txn::begin(&db);
+                for st in steps {
+                    stage_txn_step(&mut txn, st);
+                }
+                if *commit {
+                    txn.commit().unwrap();
+                    for st in steps {
+                        oracle_txn_step(&mut tables, &mut reg, st);
+                        fps.push(fingerprint(&tables, &reg, &stats));
+                    }
+                } else {
+                    let wal_before = db.wal_len();
+                    txn.rollback();
+                    assert_eq!(db.wal_len(), wal_before, "rollback leaves no WAL trace");
+                }
+            }
+        }
+    }
+    let live = db.with_tables(|t, r| fingerprint(t, r, &stats));
+    assert_eq!(live, *fps.last().unwrap(), "live state diverged from the oracle");
+    db.check_invariants().unwrap();
+    fps
+}
+
+fn run_txn_oracle(name: &str, script: &[Step]) {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let src = temp_dir(&format!("{name}_{n}_src"));
+    let scratch =
+        std::env::temp_dir().join("orion_recovery_oracle").join(format!("{name}_{n}_cut"));
+    let fps = run_txn_workload(&src, script);
+    crash_matrix(&src, &fps, &scratch);
+    std::fs::remove_dir_all(&src).ok();
+}
+
+#[test]
+fn oracle_txn_groups_recover_all_or_none() {
+    run_txn_oracle(
+        "txn_groups",
+        &[
+            Step::Txn {
+                steps: vec![
+                    TxnStep::Create(0),
+                    TxnStep::Insert { table: 0, key: 1, mean: 0.5 },
+                    TxnStep::Insert { table: 0, key: 2, mean: 1.5 },
+                ],
+                commit: true,
+            },
+            Step::Plain(TxnStep::Insert { table: 0, key: 3, mean: -2.0 }),
+            Step::Txn {
+                steps: vec![
+                    TxnStep::Update { table: 0, key: 1, val: 5.0 },
+                    TxnStep::Delete { table: 0, key: 2 },
+                    TxnStep::Insert { table: 0, key: 4, mean: 2.0 },
+                ],
+                commit: true,
+            },
+            // A rolled-back transaction must be invisible at every cut.
+            Step::Txn {
+                steps: vec![
+                    TxnStep::Insert { table: 0, key: 9, mean: 9.0 },
+                    TxnStep::Delete { table: 0, key: 3 },
+                ],
+                commit: false,
+            },
+            Step::Txn {
+                steps: vec![
+                    TxnStep::Create(1),
+                    TxnStep::Insert { table: 1, key: 5, mean: 1.0 },
+                    TxnStep::Delete { table: 0, key: 3 },
+                ],
+                commit: true,
+            },
+            Step::Plain(TxnStep::Insert { table: 1, key: 6, mean: -1.0 }),
+        ],
+    );
+}
+
+#[test]
+fn oracle_txn_after_checkpoint_recovers() {
+    // A checkpoint mid-script: later transaction groups replay over the
+    // snapshot; earlier ones are baked in.
+    run_txn_oracle(
+        "txn_ckpt",
+        &[
+            Step::Txn {
+                steps: vec![
+                    TxnStep::Create(0),
+                    TxnStep::Insert { table: 0, key: 1, mean: 0.0 },
+                    TxnStep::Insert { table: 0, key: 2, mean: 1.0 },
+                ],
+                commit: true,
+            },
+            Step::Checkpoint,
+            Step::Txn {
+                steps: vec![
+                    TxnStep::Update { table: 0, key: 2, val: 7.5 },
+                    TxnStep::Insert { table: 0, key: 3, mean: 3.0 },
+                ],
+                commit: true,
+            },
+            Step::Txn { steps: vec![TxnStep::Delete { table: 0, key: 1 }], commit: true },
+        ],
+    );
+}
+
+#[test]
+fn oracle_conflicted_txn_leaves_no_wal_trace() {
+    // First-committer-wins: the losing transaction's failed commit must
+    // not write a single WAL byte, so every crash cut recovers to a chain
+    // state that never contains its writes.
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let src = temp_dir(&format!("txn_conflict_{n}_src"));
+    let scratch =
+        std::env::temp_dir().join("orion_recovery_oracle").join(format!("txn_conflict_{n}_cut"));
+    let db = SharedDurableDb::open(&src, GroupCommitConfig::default()).unwrap();
+    let mut tables: HashMap<String, Relation> = HashMap::new();
+    let mut reg = HistoryRegistry::new();
+    let stats = StatsCatalog::new();
+    let mut fps = vec![fingerprint(&tables, &reg, &stats)];
+    let setup = [
+        TxnStep::Create(0),
+        TxnStep::Insert { table: 0, key: 1, mean: 0.5 },
+        TxnStep::Insert { table: 0, key: 2, mean: 1.5 },
+    ];
+    let mut t0 = Txn::begin(&db);
+    for st in &setup {
+        stage_txn_step(&mut t0, st);
+    }
+    t0.commit().unwrap();
+    for st in &setup {
+        oracle_txn_step(&mut tables, &mut reg, st);
+        fps.push(fingerprint(&tables, &reg, &stats));
+    }
+
+    // Two overlapping transactions race to delete the same row.
+    let mut loser = Txn::begin(&db);
+    let mut winner = Txn::begin(&db);
+    stage_txn_step(&mut winner, &TxnStep::Delete { table: 0, key: 1 });
+    winner.commit().unwrap();
+    oracle_txn_step(&mut tables, &mut reg, &TxnStep::Delete { table: 0, key: 1 });
+    fps.push(fingerprint(&tables, &reg, &stats));
+
+    stage_txn_step(&mut loser, &TxnStep::Delete { table: 0, key: 1 });
+    let wal_before = db.wal_len();
+    let err = loser.commit().expect_err("second deleter must conflict");
+    assert!(err.is_retryable(), "conflicts are retryable: {err}");
+    assert_eq!(db.wal_len(), wal_before, "conflicted commit leaves no WAL trace");
+    let live = db.with_tables(|t, r| fingerprint(t, r, &stats));
+    assert_eq!(live, *fps.last().unwrap(), "conflicted commit mutated live state");
+    db.check_invariants().unwrap();
+    drop(db);
+    crash_matrix(&src, &fps, &scratch);
+    std::fs::remove_dir_all(&src).ok();
 }
 
 /// Seeded entry point for CI: `scripts/check.sh` runs this with three

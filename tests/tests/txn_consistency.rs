@@ -1,0 +1,637 @@
+//! Jepsen-style consistency checker for snapshot-isolation transactions.
+//!
+//! Four (or more) concurrent clients run seeded insert/update/delete mixes
+//! through [`Txn`] against one [`SharedDurableDb`]. Each client records,
+//! for every transaction that **committed**, its commit sequence number
+//! and the *resolved* effects it staged (updates as **deltas** against the
+//! balance its snapshot read), plus the `(uid, balance)` set its snapshot
+//! observed at begin. Conflicted transactions retry with bounded backoff
+//! and record only their final successful resolution.
+//!
+//! After the threads join, the checker replays the committed effects —
+//! serially, in commit order — into a plain in-memory oracle built from
+//! the same `Relation`/`HistoryRegistry` primitives and asserts:
+//!
+//! * **no dirty reads / no partial visibility**: every snapshot a client
+//!   observed equals some state in the committed chain `S_0, S_1, …` — a
+//!   half-applied transaction or an uncommitted write would produce a set
+//!   matching no chain state;
+//! * **no lost updates**: because updates replay as deltas against the
+//!   oracle's own serial balance, two commits built on the same base value
+//!   (a first-committer-wins failure) make the balances — and hence the
+//!   canonical fingerprints — diverge;
+//! * **serial equivalence**: the live database is bitwise identical
+//!   (certain values, pdf bytes, ancestor sets, refcounts) to the oracle,
+//!   via the shared [`orion_tests::fingerprint`];
+//! * **durability**: reopening from disk reproduces the same fingerprint
+//!   and a second open finds a clean log;
+//! * **all-or-none recovery**: killing the database at *every byte* of the
+//!   surviving WAL recovers exactly the first `k` fully-committed
+//!   transactions — never a torn one (`txn_kill_matrix`);
+//! * under `--features failpoints`, the same workload runs against
+//!   injected fsync and append failures: failed commits abort cleanly,
+//!   leave no WAL trace, and never corrupt later commits.
+//!
+//! Set `ORION_ORACLE_SEED` to replay `txn_consistency_env_seeded` with a
+//! specific seed (`scripts/check.sh` pins three seeds in CI).
+
+use orion_core::durable::{DurableDb, SNAPSHOT_FILE, WAL_FILE};
+use orion_core::prelude::*;
+use orion_pdf::prelude::*;
+use orion_storage::DeltaFile;
+use orion_tests::fingerprint;
+use proptest::test_runner::TestRng;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Unique scratch directories across tests within one process.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+const TABLE: &str = "acct";
+/// Small shared key space so clients collide on rows and exercise
+/// first-committer-wins validation, not just disjoint appends.
+const KEYS: u64 = 8;
+const MAX_ATTEMPTS: u32 = 200;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("orion_txn_consistency").join(format!("{name}_{n}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn acct_schema() -> ProbSchema {
+    ProbSchema::new(
+        vec![
+            ("id", ColumnType::Int, false),
+            ("uid", ColumnType::Int, false),
+            ("bal", ColumnType::Real, false),
+            ("v", ColumnType::Real, true),
+        ],
+        vec![],
+    )
+    .unwrap()
+}
+
+fn uid_of(t: &ProbTuple) -> i64 {
+    match t.certain[1] {
+        Value::Int(u) => u,
+        _ => panic!("uid is a certain int"),
+    }
+}
+
+fn bal_of(t: &ProbTuple) -> f64 {
+    match t.certain[2] {
+        Value::Real(b) => b,
+        _ => panic!("bal is a certain real"),
+    }
+}
+
+type RowArgs = ([(&'static str, Value); 3], Vec<(Vec<&'static str>, JointPdf)>);
+
+fn row_args(key: i64, uid: i64, val: f64) -> RowArgs {
+    (
+        [("id", Value::Int(key)), ("uid", Value::Int(uid)), ("bal", Value::Real(val))],
+        vec![(vec!["v"], JointPdf::from_pdf1(Pdf1::gaussian(val, 1.0).unwrap()))],
+    )
+}
+
+/// Sets a row's balance: the certain column and the uncertain `v` node
+/// (replaced by a fresh certain base registered in `reg` — no `add_refs`;
+/// the caller owns the reference bookkeeping).
+fn set_balance(t: &mut ProbTuple, reg: &mut HistoryRegistry, new_bal: f64) {
+    t.certain[2] = Value::Real(new_bal);
+    let attr = t.nodes[0].dims[0].column.expect("v is visible");
+    let joint = JointPdf::from_pdf1(Pdf1::certain(new_bal));
+    let id = reg.register(vec![attr], joint.clone());
+    t.nodes[0] = PdfNode::base(id, &[attr], joint, [id].into_iter().collect());
+}
+
+/// One resolved write of a committed transaction. Updates carry the
+/// *delta*, not the absolute balance: the oracle re-derives the absolute
+/// value from its own serial state, so lost updates are detectable.
+#[derive(Debug, Clone)]
+enum Effect {
+    Insert { key: i64, uid: i64, val: f64 },
+    Delete { uid: i64 },
+    Update { uid: i64, delta: f64 },
+}
+
+/// Stages one effect on an open transaction.
+fn stage(txn: &mut Txn, e: &Effect) -> EngineResult<()> {
+    match e {
+        Effect::Insert { key, uid, val } => {
+            let (certain, uncertain) = row_args(*key, *uid, *val);
+            txn.insert(TABLE, &certain, uncertain)
+        }
+        Effect::Delete { uid } => {
+            let u = *uid;
+            let n = txn.delete_where(TABLE, |t| uid_of(t) == u)?;
+            assert_eq!(n, 1, "resolved delete targets exactly one private row");
+            Ok(())
+        }
+        Effect::Update { uid, delta } => {
+            let (u, d) = (*uid, *delta);
+            let n = txn.update_where(
+                TABLE,
+                |t| uid_of(t) == u,
+                |t, reg| {
+                    let new_bal = bal_of(t) + d;
+                    set_balance(t, reg, new_bal);
+                    Ok(())
+                },
+            )?;
+            assert_eq!(n, 1, "resolved update targets exactly one private row");
+            Ok(())
+        }
+    }
+}
+
+/// Applies one committed effect to the serial in-memory oracle, mirroring
+/// exactly the reference bookkeeping WAL replay performs.
+fn oracle_apply(tables: &mut HashMap<String, Relation>, reg: &mut HistoryRegistry, e: &Effect) {
+    let rel = tables.get_mut(TABLE).expect("oracle table exists");
+    match e {
+        Effect::Insert { key, uid, val } => {
+            let (certain, uncertain) = row_args(*key, *uid, *val);
+            rel.insert(reg, &certain, uncertain).unwrap();
+        }
+        Effect::Delete { uid } => {
+            let u = *uid;
+            let n = rel.delete_where(reg, |t| uid_of(t) == u);
+            assert_eq!(n, 1, "committed delete of uid {u} must find its row in the serial oracle");
+        }
+        Effect::Update { uid, delta } => {
+            let idx = rel
+                .tuples
+                .iter()
+                .position(|t| uid_of(t) == *uid)
+                .unwrap_or_else(|| panic!("committed update of uid {uid} lost its row"));
+            let mut new_t = rel.tuples[idx].clone();
+            let new_bal = bal_of(&new_t) + delta;
+            set_balance(&mut new_t, reg, new_bal);
+            let old_t = std::mem::replace(&mut rel.tuples[idx], new_t);
+            let new_nodes = rel.tuples[idx].nodes.clone();
+            // Position-wise node diff, same as `persist::apply_record` for
+            // an update record: take new references before releasing old.
+            for i in 0..old_t.nodes.len().max(new_nodes.len()) {
+                if old_t.nodes.get(i) == new_nodes.get(i) {
+                    continue;
+                }
+                if let Some(nw) = new_nodes.get(i) {
+                    reg.add_refs(&nw.ancestors);
+                }
+                if let Some(o) = old_t.nodes.get(i) {
+                    reg.release_refs(&o.ancestors);
+                    if o.ancestors.len() == 1 {
+                        let id = *o.ancestors.iter().next().expect("len checked");
+                        reg.delete_base(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A snapshot observation: the sorted `(uid, balance-bits)` set a
+/// transaction saw at begin.
+type Observation = Vec<(i64, u64)>;
+
+fn observe(txn: &mut Txn) -> Observation {
+    let mut rows: Observation = txn.with_view(|tables, _| {
+        tables[TABLE].tuples.iter().map(|t| (uid_of(t), bal_of(t).to_bits())).collect()
+    });
+    rows.sort_unstable();
+    rows
+}
+
+fn oracle_observation(tables: &HashMap<String, Relation>) -> Observation {
+    let mut rows: Observation =
+        tables[TABLE].tuples.iter().map(|t| (uid_of(t), bal_of(t).to_bits())).collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// What one client saw and did.
+#[derive(Debug, Default)]
+struct ClientReport {
+    /// `(commit_seq, resolved effects)` for every committed transaction.
+    committed: Vec<(u64, Vec<Effect>)>,
+    /// Snapshot observations, one per begin (including retries).
+    observations: Vec<Observation>,
+    /// Deliberate rollbacks (client chose to abort).
+    rolled_back: usize,
+    /// Commits that failed on an injected I/O fault (chaos runs only).
+    io_aborted: usize,
+}
+
+/// Runs one client's seeded transaction mix. Conflicts retry with bounded
+/// exponential-ish backoff; with `tolerate_io_errors`, a non-retryable
+/// commit failure counts as an abort instead of a panic.
+fn run_client(
+    db: &SharedDurableDb,
+    seed: u64,
+    cid: usize,
+    txns: usize,
+    tolerate_io_errors: bool,
+) -> ClientReport {
+    let mut rng = TestRng::deterministic(&format!("txn-consistency-{seed}-client-{cid}"));
+    let mut report = ClientReport::default();
+    let mut uid_counter: i64 = 0;
+    for _ in 0..txns {
+        let read_only = rng.below(8) == 0;
+        let n_ops = if read_only { 0 } else { 1 + rng.below(3) as usize };
+        let roll = !read_only && rng.below(10) == 0;
+        let mut attempt = 0u32;
+        'retry: loop {
+            attempt += 1;
+            assert!(attempt <= MAX_ATTEMPTS, "client {cid} livelocked on conflicts");
+            let mut txn = Txn::begin(db);
+            report.observations.push(observe(&mut txn));
+            let mut effects = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                let rows: Vec<i64> =
+                    txn.with_view(|tables, _| tables[TABLE].tuples.iter().map(uid_of).collect());
+                let dice = rng.below(10);
+                let e = if rows.is_empty() || dice < 4 {
+                    uid_counter += 1;
+                    Effect::Insert {
+                        key: rng.below(KEYS) as i64,
+                        uid: (cid as i64 + 1) * 1_000_000 + uid_counter,
+                        val: rng.below(400) as f64 / 4.0,
+                    }
+                } else if dice < 8 {
+                    Effect::Update {
+                        uid: rows[rng.below(rows.len() as u64) as usize],
+                        delta: (1 + rng.below(16)) as f64 / 4.0,
+                    }
+                } else {
+                    Effect::Delete { uid: rows[rng.below(rows.len() as u64) as usize] }
+                };
+                stage(&mut txn, &e).unwrap();
+                effects.push(e);
+                // Read-your-writes sanity: every staged insert is visible
+                // in this transaction's own private view.
+                if let Effect::Insert { uid, .. } = effects.last().unwrap() {
+                    let u = *uid;
+                    assert!(
+                        txn.with_view(|tables, _| tables[TABLE]
+                            .tuples
+                            .iter()
+                            .any(|t| uid_of(t) == u)),
+                        "own insert invisible to its transaction"
+                    );
+                }
+            }
+            if roll {
+                txn.rollback();
+                report.rolled_back += 1;
+                break 'retry;
+            }
+            // A fully self-cancelled transaction (insert + delete of the
+            // same private row) commits via the read-only path without a
+            // sequence bump; its net effect is nothing, so it is not part
+            // of the serial order.
+            let wrote = txn.write_count() > 0;
+            match txn.commit() {
+                Ok(seq) => {
+                    if wrote {
+                        report.committed.push((seq, effects));
+                    }
+                    break 'retry;
+                }
+                Err(e) if e.is_retryable() => {
+                    std::thread::sleep(Duration::from_micros(50 * u64::from(attempt.min(10))));
+                    continue 'retry;
+                }
+                Err(e) if tolerate_io_errors => {
+                    // Injected fault: the commit must have applied nothing;
+                    // the next transaction proves the engine stays usable.
+                    let _ = e;
+                    report.io_aborted += 1;
+                    break 'retry;
+                }
+                Err(e) => panic!("client {cid} commit failed: {e}"),
+            }
+        }
+    }
+    report
+}
+
+/// Everything the serial replay derives from the client reports.
+struct OracleVerdict {
+    /// Canonical fingerprints: `fps[0]` is the setup state, `fps[k]` the
+    /// state after the first `k` committed transactions in commit order.
+    fps: Vec<String>,
+    committed_txns: usize,
+}
+
+/// Replays the committed effects serially and checks every invariant that
+/// does not need the on-disk files.
+fn check_against_oracle(
+    db: &SharedDurableDb,
+    reports: &[ClientReport],
+    oracle_tables: &mut HashMap<String, Relation>,
+    oracle_reg: &mut HistoryRegistry,
+    base_seq: u64,
+) -> OracleVerdict {
+    let stats = StatsCatalog::new();
+    // Total commit order: commit_seq is allocated under the engine's core
+    // lock, so it is unique per writing transaction.
+    let mut by_seq: BTreeMap<u64, &Vec<Effect>> = BTreeMap::new();
+    for r in reports {
+        for (seq, effects) in &r.committed {
+            assert!(
+                by_seq.insert(*seq, effects).is_none(),
+                "two transactions claim commit_seq {seq}"
+            );
+        }
+    }
+    // No gaps: every sequence bump the engine handed out is accounted for
+    // by exactly one recorded transaction (nothing committed untracked).
+    let seqs: Vec<u64> = by_seq.keys().copied().collect();
+    let expect: Vec<u64> = (base_seq + 1..=base_seq + seqs.len() as u64).collect();
+    assert_eq!(seqs, expect, "commit sequence numbers must be contiguous");
+
+    let mut valid_states: HashSet<Observation> = HashSet::new();
+    valid_states.insert(oracle_observation(oracle_tables));
+    let mut fps = vec![fingerprint(oracle_tables, oracle_reg, &stats)];
+    for effects in by_seq.values() {
+        for e in *effects {
+            oracle_apply(oracle_tables, oracle_reg, e);
+        }
+        valid_states.insert(oracle_observation(oracle_tables));
+        fps.push(fingerprint(oracle_tables, oracle_reg, &stats));
+    }
+
+    // No dirty reads, no partial visibility: every snapshot equals some
+    // committed state of the serial chain.
+    for (cid, r) in reports.iter().enumerate() {
+        for (i, obs) in r.observations.iter().enumerate() {
+            assert!(
+                valid_states.contains(obs),
+                "client {cid} observation {i} matches no committed state: {obs:?}"
+            );
+        }
+    }
+
+    // Serial equivalence of the live engine state, bitwise.
+    let live = db.with_tables(|tables, reg| fingerprint(tables, reg, &stats));
+    assert_eq!(live, *fps.last().unwrap(), "live state diverged from the serial oracle");
+    db.check_invariants().unwrap();
+    assert!(db.active_txns().is_empty(), "no transaction may remain registered");
+    OracleVerdict { committed_txns: by_seq.len(), fps }
+}
+
+/// Number of transactions whose **commit marker frame** (tag 7) fits
+/// entirely inside `bytes[..cut]` — the all-or-none unit of recovery.
+fn committed_txn_groups(bytes: &[u8], cut: usize) -> usize {
+    let mut off = 0usize;
+    let mut k = 0;
+    while off + 8 <= cut {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        if off + 8 + len > cut {
+            break;
+        }
+        if bytes[off + 8] == 7 {
+            k += 1;
+        }
+        off += 8 + len;
+    }
+    k
+}
+
+fn fp_db(db: &DurableDb) -> String {
+    fingerprint(db.tables(), db.registry(), db.stats_catalog())
+}
+
+/// Kills the database at every byte of the surviving WAL: recovery must
+/// land exactly on the oracle state after the first `k` fully-committed
+/// transactions — a transaction is never applied partially — and must be
+/// idempotent.
+fn kill_matrix(src: &Path, fps: &[String], scratch: &Path) {
+    let wal = std::fs::read(src.join(WAL_FILE)).unwrap_or_default();
+    let snapshot = std::fs::read(src.join(SNAPSHOT_FILE)).ok();
+    let deltas: Vec<(PathBuf, Vec<u8>)> = DeltaFile::list(src)
+        .unwrap()
+        .into_iter()
+        .map(|(_, p)| {
+            let bytes = std::fs::read(&p).unwrap();
+            (PathBuf::from(p.file_name().unwrap()), bytes)
+        })
+        .collect();
+    for cut in 0..=wal.len() {
+        std::fs::remove_dir_all(scratch).ok();
+        std::fs::create_dir_all(scratch).unwrap();
+        if let Some(snap) = &snapshot {
+            std::fs::write(scratch.join(SNAPSHOT_FILE), snap).unwrap();
+        }
+        for (name, bytes) in &deltas {
+            std::fs::write(scratch.join(name), bytes).unwrap();
+        }
+        std::fs::write(scratch.join(WAL_FILE), &wal[..cut]).unwrap();
+        let k = committed_txn_groups(&wal, cut);
+        let db = DurableDb::open(scratch)
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        assert_eq!(
+            fp_db(&db),
+            fps[k],
+            "recovered state != oracle after {k} whole transactions (cut at byte {cut}/{})",
+            wal.len()
+        );
+        db.check_invariants().unwrap_or_else(|e| panic!("invariants at cut {cut}: {e}"));
+        drop(db);
+        let db = DurableDb::open(scratch).unwrap();
+        assert_eq!(fp_db(&db), fps[k], "second recovery diverged (cut at byte {cut})");
+        assert_eq!(db.recovery().wal_bytes_truncated, 0, "second open must find a clean log");
+    }
+    std::fs::remove_dir_all(scratch).ok();
+}
+
+/// Opens a database, seeds it (one committed setup transaction, then a
+/// checkpoint so the WAL holds only workload transactions) and mirrors the
+/// setup into the oracle.
+fn setup(dir: &Path) -> (SharedDurableDb, HashMap<String, Relation>, HistoryRegistry, u64) {
+    let db = SharedDurableDb::open(dir, GroupCommitConfig::default()).unwrap();
+    let mut oracle_tables: HashMap<String, Relation> = HashMap::new();
+    let mut oracle_reg = HistoryRegistry::new();
+    oracle_tables.insert(TABLE.to_string(), Relation::new(TABLE, acct_schema()));
+
+    let mut txn = Txn::begin(&db);
+    txn.create_table(TABLE, acct_schema()).unwrap();
+    for i in 0..4i64 {
+        let e = Effect::Insert { key: i % KEYS as i64, uid: i + 1, val: 10.0 * (i + 1) as f64 };
+        stage(&mut txn, &e).unwrap();
+        oracle_apply(&mut oracle_tables, &mut oracle_reg, &e);
+    }
+    txn.commit().unwrap();
+    db.checkpoint().unwrap();
+    let base_seq = db.commit_seq();
+    (db, oracle_tables, oracle_reg, base_seq)
+}
+
+/// The full checker: concurrent seeded clients, serial oracle replay,
+/// durability reopen, and (optionally) the byte-level kill matrix.
+fn run_checker(name: &str, seed: u64, clients: usize, txns: usize, matrix: bool) {
+    assert!(clients >= 4, "the checker needs real concurrency");
+    let dir = temp_dir(&format!("{name}_{seed}"));
+    let (db, mut oracle_tables, mut oracle_reg, base_seq) = setup(&dir);
+
+    let reports: Vec<ClientReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|cid| {
+                let db = &db;
+                s.spawn(move || run_client(db, seed, cid, txns, false))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+
+    let verdict =
+        check_against_oracle(&db, &reports, &mut oracle_tables, &mut oracle_reg, base_seq);
+    assert!(verdict.committed_txns > 0, "workload must commit something");
+
+    // Durability: a clean reopen reproduces the exact oracle state.
+    drop(db);
+    let re = DurableDb::open(&dir).unwrap();
+    assert_eq!(fp_db(&re), *verdict.fps.last().unwrap(), "reopen diverged from the oracle");
+    assert_eq!(re.recovery().wal_bytes_truncated, 0, "clean shutdown leaves a clean log");
+    re.check_invariants().unwrap();
+    drop(re);
+
+    if matrix {
+        let scratch =
+            std::env::temp_dir().join("orion_txn_consistency").join(format!("{name}_{seed}_cut"));
+        kill_matrix(&dir, &verdict.fps, &scratch);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn txn_consistency_four_clients() {
+    run_checker("four_clients", 0xA11CE, 4, 12, false);
+}
+
+#[test]
+fn txn_kill_matrix_all_or_none() {
+    // Smaller workload: the matrix recovers at every single WAL byte.
+    run_checker("kill_matrix", 0xBEEF, 4, 3, true);
+}
+
+/// Seeded entry point for CI: `scripts/check.sh` runs this with three
+/// pinned `ORION_ORACLE_SEED` values; unset, it uses a fixed default.
+#[test]
+fn txn_consistency_env_seeded() {
+    let seed: u64 = std::env::var("ORION_ORACLE_SEED")
+        .ok()
+        .and_then(|s| match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => s.parse().ok(),
+        })
+        .unwrap_or(0xA11CE);
+    run_checker("env_seeded", seed, 4, 4, true);
+}
+
+/// The same checker under injected faults: a nemesis thread keeps arming
+/// fsync and append failpoints while the clients run. Faulted commits
+/// must abort without trace and later transactions must stay correct;
+/// recovery from the surviving log must land on the serial oracle.
+#[cfg(feature = "failpoints")]
+#[test]
+fn txn_chaos_survives_injected_faults() {
+    use std::sync::atomic::AtomicBool;
+
+    let seed = 0xFA17;
+    let dir = temp_dir("chaos");
+    let (db, mut oracle_tables, mut oracle_reg, base_seq) = setup(&dir);
+
+    let done = AtomicBool::new(false);
+    let reports: Vec<ClientReport> = std::thread::scope(|s| {
+        let nemesis = {
+            let db = &db;
+            let done = &done;
+            s.spawn(move || {
+                let mut i = 0u32;
+                while !done.load(Ordering::Relaxed) {
+                    if i.is_multiple_of(2) {
+                        db.inject_wal_sync_failure();
+                    } else {
+                        db.inject_wal_append_failure(i % 3);
+                    }
+                    i = i.wrapping_add(1);
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|cid| {
+                let db = &db;
+                s.spawn(move || run_client(db, seed, cid, 10, true))
+            })
+            .collect();
+        let reports = handles.into_iter().map(|h| h.join().expect("client panicked")).collect();
+        done.store(true, Ordering::Relaxed);
+        nemesis.join().expect("nemesis panicked");
+        reports
+    });
+
+    // The chain check runs first: the probes below commit after every
+    // client observation and would otherwise disturb the serial order.
+    let verdict =
+        check_against_oracle(&db, &reports, &mut oracle_tables, &mut oracle_reg, base_seq);
+    assert!(verdict.committed_txns > 0, "chaos run must still commit transactions");
+
+    // The nemesis may have left failpoints armed (one sync flag, one
+    // append counter). Two probe commits consume whatever is pending —
+    // each either commits (feed the oracle) or aborts without trace.
+    let stats = StatsCatalog::new();
+    for (i, uid) in [888_000_001i64, 888_000_002].into_iter().enumerate() {
+        let e = Effect::Insert { key: i as i64, uid, val: 2.0 + i as f64 };
+        let mut probe = Txn::begin(&db);
+        stage(&mut probe, &e).unwrap();
+        if probe.commit().is_ok() {
+            oracle_apply(&mut oracle_tables, &mut oracle_reg, &e);
+        }
+        assert_eq!(
+            db.with_tables(|tables, reg| fingerprint(tables, reg, &stats)),
+            fingerprint(&oracle_tables, &oracle_reg, &stats),
+            "probe {i} diverged engine and oracle"
+        );
+    }
+
+    // Deterministic fault coverage (independent of nemesis timing): arm a
+    // sync failure, prove the commit fails and leaves no trace anywhere,
+    // then prove the engine stays usable.
+    let wal_before = db.wal_len();
+    let fp_before = db.with_tables(|tables, reg| fingerprint(tables, reg, &stats));
+    db.inject_wal_sync_failure();
+    let doomed_row = Effect::Insert { key: 0, uid: 999_999_999, val: 1.0 };
+    let mut doomed = Txn::begin(&db);
+    stage(&mut doomed, &doomed_row).unwrap();
+    assert!(doomed.commit().is_err(), "armed sync failpoint must fail the commit");
+    assert_eq!(db.wal_len(), wal_before, "failed commit must leave no WAL trace");
+    assert_eq!(
+        db.with_tables(|tables, reg| fingerprint(tables, reg, &stats)),
+        fp_before,
+        "failed commit must leave no in-memory trace"
+    );
+    let mut retry = Txn::begin(&db);
+    stage(&mut retry, &doomed_row).unwrap();
+    retry.commit().expect("engine must stay usable after an injected fault");
+    oracle_apply(&mut oracle_tables, &mut oracle_reg, &doomed_row);
+    db.check_invariants().unwrap();
+
+    // Recovery from the surviving log lands exactly on the oracle.
+    let expect = fingerprint(&oracle_tables, &oracle_reg, &stats);
+    drop(db);
+    let re = DurableDb::open(&dir).unwrap();
+    assert_eq!(fp_db(&re), expect, "post-chaos recovery diverged from the oracle");
+    re.check_invariants().unwrap();
+    drop(re);
+    let re = DurableDb::open(&dir).unwrap();
+    assert_eq!(re.recovery().wal_bytes_truncated, 0, "second open must find a clean log");
+    std::fs::remove_dir_all(&dir).ok();
+}
