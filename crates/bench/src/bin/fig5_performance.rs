@@ -1,17 +1,45 @@
 //! Regenerates Figure 5: range-query runtime and physical reads over
 //! on-disk relations of uncertain tuples, per representation.
 //!
-//! Usage: `fig5_performance [--full] [--json PATH] [--trace PATH]`
+//! Usage: `fig5_performance [--full] [--mode row|batch] [--compare]
+//! [--min-speedup X] [--json PATH] [--trace PATH]`
+//!
 //! Default is a 10x scaled-down sweep (50K-300K tuples); `--full` runs the
-//! paper's 0.5M-3M. `--trace PATH` records the sweep with the structured
-//! tracer and writes a Chrome trace-event file.
+//! paper's 0.5M-3M. `--mode batch` runs the query phase through the
+//! columnar batch kernels instead of the scalar row path. `--compare`
+//! builds each relation once and times the query phase in both modes,
+//! reporting the row/batch speedup (with `--min-speedup X` the process
+//! exits non-zero if the widest representation's aggregate speedup —
+//! fig5's `Discrete(25)`, where the columnar layout has the most bytes to
+//! win — falls below `X`). `--trace
+//! PATH` records the sweep with the structured tracer and writes a
+//! Chrome trace-event file.
 
-use orion_bench::fig5::{cleanup, estimate_report, rows_to_json, run, stats_json, Fig5Config};
+use orion_bench::fig5::{
+    aggregate_speedup, cleanup, compare, compare_to_json, estimate_report, rows_to_json, run_mode,
+    stats_json, wide_repr_speedup, Fig5Config,
+};
 use orion_bench::report;
+use orion_core::batch::ExecMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
+    let compare_modes = args.iter().any(|a| a == "--compare");
+    let mode = match args.iter().position(|a| a == "--mode").and_then(|i| args.get(i + 1)) {
+        Some(m) if m.eq_ignore_ascii_case("batch") => ExecMode::Batch,
+        Some(m) if m.eq_ignore_ascii_case("row") => ExecMode::Row,
+        Some(m) => {
+            eprintln!("unknown --mode '{m}' (expected row or batch)");
+            std::process::exit(2);
+        }
+        None => ExecMode::Row,
+    };
+    let min_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--min-speedup expects a number"));
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -21,18 +49,64 @@ fn main() {
 
     let cfg = if full { Fig5Config::default() } else { Fig5Config::quick() };
     eprintln!(
-        "Figure 5: tuples {:?}, pool {} pages, reprs {:?}",
+        "Figure 5: tuples {:?}, pool {} pages, reprs {:?}, mode {}",
         cfg.tuple_counts,
         cfg.pool_pages,
-        cfg.reprs.iter().map(|r| r.label()).collect::<Vec<_>>()
+        cfg.reprs.iter().map(|r| r.label()).collect::<Vec<_>>(),
+        if compare_modes { "row-vs-batch".to_string() } else { mode.to_string() }
     );
-    let rows = run(&cfg).expect("sweep");
+
+    if compare_modes {
+        let rows = compare(&cfg).expect("compare sweep");
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n_tuples.to_string(),
+                    r.repr.clone(),
+                    report::fmt_secs(r.row_query_secs),
+                    report::fmt_secs(r.batch_query_secs),
+                    format!("{:.2}x", r.speedup),
+                    r.matches.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            report::text_table(
+                &["tuples", "repr", "row_query", "batch_query", "speedup", "matches"],
+                &table
+            )
+        );
+        let agg = aggregate_speedup(&rows);
+        let wide = wide_repr_speedup(&rows);
+        eprintln!("aggregate speedup (total row query time / total batch): {agg:.2}x");
+        eprintln!("wide-representation aggregate speedup (gate metric): {wide:.2}x");
+        if let Some(p) = json_path {
+            report::write_json(&p, &compare_to_json(&rows)).expect("write json");
+            eprintln!("wrote {}", p.display());
+        }
+        if let Some(p) = trace_path {
+            report::write_trace(&p);
+        }
+        cleanup(&cfg.dir);
+        if let Some(min) = min_speedup {
+            if wide < min {
+                eprintln!("wide-representation speedup {wide:.2}x below required {min:.2}x");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let rows = run_mode(&cfg, mode).expect("sweep");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
                 r.n_tuples.to_string(),
                 r.repr.clone(),
+                r.mode.clone(),
                 report::fmt_secs(r.build_secs),
                 report::fmt_secs(r.query_secs),
                 r.physical_reads.to_string(),
@@ -44,7 +118,7 @@ fn main() {
     print!(
         "{}",
         report::text_table(
-            &["tuples", "repr", "build", "query", "phys_reads", "pages", "matches"],
+            &["tuples", "repr", "mode", "build", "query", "phys_reads", "pages", "matches"],
             &table
         )
     );

@@ -12,14 +12,20 @@
 //! original) and measures a cold full-scan range query plus the physical
 //! reads it triggers.
 
+use orion_core::batch::ExecMode;
 use orion_obs::{json, OpProfile};
-use orion_pdf::prelude::{Interval, Pdf1};
+use orion_pdf::prelude::{Interval, Pdf1, Pdf1Batch};
 use orion_sql::{Database, Output};
-use orion_storage::codec::{decode_pdf1, encode_pdf1};
+use orion_storage::codec::{decode_pdf1, decode_pdf1_into, encode_pdf1};
 use orion_storage::{FileStore, HeapFile, IoSnapshot};
 use orion_workload::SensorWorkload;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Records accumulated per batch in the batch-mode scan — one morsel's
+/// worth, matching the executor's default morsel size.
+const SCAN_BATCH: usize = 1024;
 
 /// The three physical representations compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +103,8 @@ impl Fig5Config {
 pub struct Fig5Row {
     pub n_tuples: usize,
     pub repr: String,
+    /// Execution mode of the query phase (`row` or `batch`).
+    pub mode: String,
     /// Time to build (discretize + write) the relation.
     pub build_secs: f64,
     /// Cold full-scan range-query time.
@@ -123,6 +131,7 @@ impl Fig5Row {
         json::Value::object()
             .with("n_tuples", self.n_tuples)
             .with("repr", self.repr.as_str())
+            .with("mode", self.mode.as_str())
             .with("build_secs", self.build_secs)
             .with("query_secs", self.query_secs)
             .with("physical_reads", self.physical_reads)
@@ -257,15 +266,22 @@ pub fn estimates_json(reports: &[EstimateReport]) -> json::Value {
     arr
 }
 
-/// Builds one on-disk relation and runs the range-query scan.
-pub fn run_one(cfg: &Fig5Config, n: usize, repr: Repr) -> std::io::Result<Fig5Row> {
+/// Build phase: generate, convert, encode, append. Returns the heap, the
+/// build time, the relation's path, and the sweep's range queries. The
+/// workload RNG stream (queries first, then readings) is identical to the
+/// original single-mode runner, so matches are comparable across modes and
+/// with historical results.
+fn build_relation(
+    cfg: &Fig5Config,
+    n: usize,
+    repr: Repr,
+) -> std::io::Result<(HeapFile<FileStore>, f64, PathBuf, Vec<Interval>)> {
     std::fs::create_dir_all(&cfg.dir)?;
     let path: PathBuf = cfg.dir.join(format!("readings_{}_{}.dat", n, repr.label()));
     let mut workload = SensorWorkload::new(cfg.seed);
     let queries: Vec<Interval> =
         workload.range_queries(cfg.n_queries).iter().map(|q| q.interval()).collect();
 
-    // Build phase: generate, convert, encode, append.
     let build_start = Instant::now();
     let mut heap = HeapFile::new(FileStore::create(&path)?, cfg.pool_pages);
     let mut buf = Vec::with_capacity(512);
@@ -279,39 +295,112 @@ pub fn run_one(cfg: &Fig5Config, n: usize, repr: Repr) -> std::io::Result<Fig5Ro
     }
     heap.pool().flush()?;
     let build_secs = build_start.elapsed().as_secs_f64();
+    Ok((heap, build_secs, path, queries))
+}
 
-    // Query phase: cold scan, evaluate every query against every tuple.
+/// Evaluates every range query over every surviving pdf of one batch,
+/// counting first-query matches (`p > 0.5`), then resets the batch for
+/// reuse. The batched kernels are bitwise-identical to the scalar
+/// `Pdf1::range_prob`, so the count matches row mode exactly.
+fn flush_batch(batch: &mut Pdf1Batch, queries: &[Interval], probs: &mut Vec<f64>) -> usize {
+    let mut matches = 0usize;
+    for (qi, q) in queries.iter().enumerate() {
+        batch.range_prob_into(q, probs);
+        if qi == 0 {
+            matches += probs.iter().filter(|&&p| p > 0.5).count();
+        }
+    }
+    batch.clear();
+    matches
+}
+
+/// Query phase: cold scan, evaluate every query against every tuple.
+/// Row mode decodes each record into a scalar [`Pdf1`] and probes it;
+/// batch mode appends ~[`SCAN_BATCH`] records into a reusable arena-backed
+/// [`Pdf1Batch`] and probes them with the flat-loop kernels.
+fn query_phase(
+    heap: &HeapFile<FileStore>,
+    queries: &[Interval],
+    mode: ExecMode,
+) -> std::io::Result<(f64, usize, IoSnapshot)> {
     heap.pool().clear_cache()?;
     heap.pool().stats().reset();
     let query_start = Instant::now();
     let mut matches = 0usize;
     let mut scan_err: Option<std::io::Error> = None;
-    heap.scan(|_, rec| {
-        let mut slice = &rec[8..];
-        match decode_pdf1(&mut slice) {
-            Ok(pdf) => {
-                for (qi, q) in queries.iter().enumerate() {
-                    let p = pdf.range_prob(q);
-                    if qi == 0 && p > 0.5 {
-                        matches += 1;
+    match mode {
+        ExecMode::Row => {
+            heap.scan(|_, rec| {
+                let mut slice = &rec[8..];
+                match decode_pdf1(&mut slice) {
+                    Ok(pdf) => {
+                        for (qi, q) in queries.iter().enumerate() {
+                            let p = pdf.range_prob(q);
+                            if qi == 0 && p > 0.5 {
+                                matches += 1;
+                            }
+                        }
+                        true
+                    }
+                    Err(e) => {
+                        scan_err = Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                        false
                     }
                 }
-                true
-            }
-            Err(e) => {
-                scan_err = Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
-                false
+            })?;
+        }
+        ExecMode::Batch => {
+            // The batch path scans through the pool's scan-resistant bulk
+            // reader (no per-page LRU maintenance) and decodes straight
+            // into a reusable columnar arena.
+            let mut batch = Pdf1Batch::new();
+            let mut probs: Vec<f64> = Vec::with_capacity(SCAN_BATCH);
+            heap.scan_bulk(|_, rec| {
+                let mut slice = &rec[8..];
+                match decode_pdf1_into(&mut slice, &mut batch) {
+                    Ok(()) => {
+                        if batch.len() >= SCAN_BATCH {
+                            matches += flush_batch(&mut batch, queries, &mut probs);
+                        }
+                        true
+                    }
+                    Err(e) => {
+                        scan_err = Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                        false
+                    }
+                }
+            })?;
+            if scan_err.is_none() {
+                matches += flush_batch(&mut batch, queries, &mut probs);
             }
         }
-    })?;
+    }
     if let Some(e) = scan_err {
         return Err(e);
     }
-    let query_secs = query_start.elapsed().as_secs_f64();
-    let stats = heap.pool().stats().snapshot();
-    let row = Fig5Row {
+    Ok((query_start.elapsed().as_secs_f64(), matches, heap.pool().stats().snapshot()))
+}
+
+/// Builds one on-disk relation and runs the range-query scan in row mode.
+pub fn run_one(cfg: &Fig5Config, n: usize, repr: Repr) -> std::io::Result<Fig5Row> {
+    run_one_mode(cfg, n, repr, ExecMode::Row)
+}
+
+/// Builds one on-disk relation and runs the range-query scan in `mode`.
+pub fn run_one_mode(
+    cfg: &Fig5Config,
+    n: usize,
+    repr: Repr,
+    mode: ExecMode,
+) -> std::io::Result<Fig5Row> {
+    let (heap, build_secs, path, queries) = build_relation(cfg, n, repr)?;
+    let result = query_phase(&heap, &queries, mode);
+    std::fs::remove_file(&path).ok();
+    let (query_secs, matches, stats) = result?;
+    Ok(Fig5Row {
         n_tuples: n,
         repr: repr.label(),
+        mode: mode.to_string(),
         build_secs,
         query_secs,
         physical_reads: stats.physical_reads,
@@ -319,17 +408,148 @@ pub fn run_one(cfg: &Fig5Config, n: usize, repr: Repr) -> std::io::Result<Fig5Ro
         matches,
         threads: orion_core::exec_par::effective_threads(0),
         io: stats,
-    };
-    std::fs::remove_file(&path).ok();
-    Ok(row)
+    })
 }
 
-/// Runs the full sweep.
+/// Runs the full sweep in row mode.
 pub fn run(cfg: &Fig5Config) -> std::io::Result<Vec<Fig5Row>> {
+    run_mode(cfg, ExecMode::Row)
+}
+
+/// Runs the full sweep in `mode`.
+pub fn run_mode(cfg: &Fig5Config, mode: ExecMode) -> std::io::Result<Vec<Fig5Row>> {
     let mut rows = Vec::new();
     for &n in &cfg.tuple_counts {
         for &repr in &cfg.reprs {
-            rows.push(run_one(cfg, n, repr)?);
+            rows.push(run_one_mode(cfg, n, repr, mode)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// One row-vs-batch measurement over the same on-disk relation: the heap
+/// is built once and the query phase runs cold in each mode.
+#[derive(Debug, Clone)]
+pub struct Fig5Compare {
+    pub n_tuples: usize,
+    pub repr: String,
+    pub row_query_secs: f64,
+    pub batch_query_secs: f64,
+    /// `row_query_secs / batch_query_secs`.
+    pub speedup: f64,
+    /// First-query match count — identical across modes by construction
+    /// (the batch kernels are bitwise-equal to the scalar path), verified
+    /// on every run.
+    pub matches: usize,
+    pub threads: usize,
+    /// On-disk footprint per tuple (pages × page size / tuples) — orders
+    /// the representations by width for [`wide_repr_speedup`].
+    pub record_bytes: usize,
+}
+
+impl Fig5Compare {
+    /// JSON form, one field per measurement.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object()
+            .with("n_tuples", self.n_tuples)
+            .with("repr", self.repr.as_str())
+            .with("row_query_secs", self.row_query_secs)
+            .with("batch_query_secs", self.batch_query_secs)
+            .with("speedup", self.speedup)
+            .with("matches", self.matches)
+            .with("threads", self.threads)
+            .with("record_bytes", self.record_bytes)
+    }
+}
+
+/// JSON array over a compare sweep, with the aggregate speedups attached
+/// (overall and per representation).
+pub fn compare_to_json(rows: &[Fig5Compare]) -> json::Value {
+    let mut arr = json::Value::array();
+    for r in rows {
+        arr.push(r.to_json());
+    }
+    let mut per_repr = json::Value::object();
+    for repr in rows.iter().map(|r| r.repr.as_str()).collect::<BTreeSet<_>>() {
+        let subset: Vec<Fig5Compare> = rows.iter().filter(|r| r.repr == repr).cloned().collect();
+        per_repr = per_repr.with(repr, aggregate_speedup(&subset));
+    }
+    json::Value::object()
+        .with("figure", "fig5_batch")
+        .with("aggregate_speedup", aggregate_speedup(rows))
+        .with("repr_aggregate_speedups", per_repr)
+        .with("wide_repr_aggregate_speedup", wide_repr_speedup(rows))
+        .with("rows", arr)
+}
+
+/// Aggregate speedup of the representation where the columnar layout has
+/// the most to win: the one with the largest encoded tuples (most bytes
+/// per record — fig5's `Discrete(25)`). This is the number the check
+/// script's ≥3x gate reads; narrow representations bottleneck on the same
+/// scalar `erf`/`exp` in both modes and dilute the sweep-wide aggregate.
+pub fn wide_repr_speedup(rows: &[Fig5Compare]) -> f64 {
+    let Some(widest) =
+        rows.iter().max_by(|a, b| a.record_bytes.cmp(&b.record_bytes)).map(|r| r.repr.clone())
+    else {
+        return f64::INFINITY;
+    };
+    let subset: Vec<Fig5Compare> = rows.iter().filter(|r| r.repr == widest).cloned().collect();
+    aggregate_speedup(&subset)
+}
+
+/// Sweep-level speedup: total row query time over total batch query time
+/// (time-weighted, so large configurations dominate — the same weighting
+/// the figure's wall clock has).
+pub fn aggregate_speedup(rows: &[Fig5Compare]) -> f64 {
+    let row: f64 = rows.iter().map(|r| r.row_query_secs).sum();
+    let batch: f64 = rows.iter().map(|r| r.batch_query_secs).sum();
+    if batch > 0.0 {
+        row / batch
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Builds one relation and measures the query phase in both modes.
+/// Returns an error if the modes disagree on the match count — they are
+/// bitwise-identical by construction, so a mismatch is a kernel bug, not
+/// noise.
+pub fn compare_one(cfg: &Fig5Config, n: usize, repr: Repr) -> std::io::Result<Fig5Compare> {
+    let (heap, _build_secs, path, queries) = build_relation(cfg, n, repr)?;
+    let result = (|| {
+        let (row_secs, row_matches, _) = query_phase(&heap, &queries, ExecMode::Row)?;
+        let (batch_secs, batch_matches, _) = query_phase(&heap, &queries, ExecMode::Batch)?;
+        if row_matches != batch_matches {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "mode mismatch on {} x {}: row matched {row_matches}, batch {batch_matches}",
+                    n,
+                    repr.label()
+                ),
+            ));
+        }
+        Ok(Fig5Compare {
+            n_tuples: n,
+            repr: repr.label(),
+            row_query_secs: row_secs,
+            batch_query_secs: batch_secs,
+            speedup: if batch_secs > 0.0 { row_secs / batch_secs } else { f64::INFINITY },
+            matches: row_matches,
+            threads: orion_core::exec_par::effective_threads(0),
+            record_bytes: heap.page_count() as usize * orion_storage::PAGE_SIZE / n.max(1),
+        })
+    })();
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+/// Row-vs-batch compare over the whole sweep.
+pub fn compare(cfg: &Fig5Config) -> std::io::Result<Vec<Fig5Compare>> {
+    let mut rows = Vec::new();
+    for &n in &cfg.tuple_counts {
+        for &repr in &cfg.reprs {
+            rows.push(compare_one(cfg, n, repr)?);
         }
     }
     Ok(rows)
@@ -378,6 +598,57 @@ mod tests {
         assert!((hist.matches as i64 - symb.matches as i64).unsigned_abs() < tol as u64);
         assert!((disc.matches as i64 - symb.matches as i64).unsigned_abs() < tol as u64);
         cleanup(&cfg.dir);
+    }
+
+    #[test]
+    fn batch_mode_matches_row_mode_per_repr() {
+        // The batched range-probe kernels must agree with the scalar path
+        // exactly: compare_one errors out on any match-count divergence.
+        let cfg = tiny_cfg();
+        for repr in [Repr::Histogram(5), Repr::Discrete(25), Repr::Symbolic] {
+            let cmp = compare_one(&cfg, 2_000, repr).unwrap();
+            assert!(cmp.matches > 0, "{}: degenerate workload", cmp.repr);
+            assert!(cmp.speedup > 0.0);
+        }
+        cleanup(&cfg.dir);
+    }
+
+    #[test]
+    fn run_one_mode_reports_its_mode() {
+        let cfg = tiny_cfg();
+        let row = run_one_mode(&cfg, 1_000, Repr::Histogram(5), ExecMode::Row).unwrap();
+        let batch = run_one_mode(&cfg, 1_000, Repr::Histogram(5), ExecMode::Batch).unwrap();
+        assert_eq!(row.mode, "row");
+        assert_eq!(batch.mode, "batch");
+        assert_eq!(row.matches, batch.matches, "modes must agree bitwise");
+        let text = rows_to_json(&[batch]).to_string_compact();
+        assert!(text.contains("\"mode\":\"batch\""), "{text}");
+        cleanup(&cfg.dir);
+    }
+
+    #[test]
+    fn compare_json_carries_aggregate_speedup() {
+        let mk = |repr: &str, row: f64, batch: f64, bytes: usize| Fig5Compare {
+            n_tuples: 10,
+            repr: repr.into(),
+            row_query_secs: row,
+            batch_query_secs: batch,
+            speedup: row / batch,
+            matches: 3,
+            threads: 1,
+            record_bytes: bytes,
+        };
+        let rows = vec![mk("hist-5", 2.0, 1.0, 70), mk("disc-25", 8.0, 2.0, 413)];
+        assert!((aggregate_speedup(&rows) - 10.0 / 3.0).abs() < 1e-12);
+        // The gate metric follows the widest representation, not the sweep.
+        assert!((wide_repr_speedup(&rows) - 4.0).abs() < 1e-12);
+        let text = compare_to_json(&rows).to_string_compact();
+        assert!(text.contains("\"figure\":\"fig5_batch\""), "{text}");
+        assert!(text.contains("\"aggregate_speedup\""), "{text}");
+        assert!(text.contains("\"repr_aggregate_speedups\""), "{text}");
+        assert!(text.contains("\"wide_repr_aggregate_speedup\":4"), "{text}");
+        assert!(text.contains("\"disc-25\":4"), "{text}");
+        assert!(text.contains("\"speedup\""), "{text}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! the ids are exactly those a serial tuple-at-a-time load would have
 //! assigned.
 
+use crate::batch::ExecMode;
 use crate::error::{EngineError, Result};
 use crate::history::{Ancestors, HistoryRegistry};
 use crate::relation::Relation;
@@ -169,6 +170,138 @@ where
         out.extend(r?);
     }
     Ok(out)
+}
+
+/// Applies `f` to every morsel-sized chunk of `items` — one morsel becomes
+/// one batch — returning the per-chunk results stitched in input order.
+/// `f` receives the morsel index, the chunk's starting item index, and the
+/// chunk itself; like [`run_tuples`] it must not touch the registry. Batch
+/// counters (`batches`, `batch_rows`) are recorded per chunk in both the
+/// serial and the parallel path, so `EXPLAIN ANALYZE` can report batch
+/// geometry. Error semantics match [`run_tuples`]: the error from the
+/// lowest-indexed failing chunk wins.
+pub(crate) fn run_batches<T, U, F>(items: &[T], opts: &ExecOptions, f: F) -> Result<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, usize, &[T]) -> Result<Vec<U>> + Sync,
+{
+    let morsel = opts.morsel_size.max(1);
+    let threads = effective_threads(opts.threads);
+    let record = |chunk: &[T]| {
+        if let Some(s) = opts.stats_ref() {
+            s.batches.inc();
+            s.batch_rows.add(chunk.len() as u64);
+        }
+    };
+    if threads <= 1 || items.len() <= morsel {
+        // Serial execution still chunks into batches: batch-mode compute
+        // (and its counters) must not depend on the thread count.
+        let mut out = Vec::with_capacity(items.len());
+        let mut lo = 0;
+        let mut m = 0;
+        while lo < items.len() {
+            let hi = (lo + morsel).min(items.len());
+            let chunk = &items[lo..hi];
+            record(chunk);
+            out.extend(f(m, lo, chunk)?);
+            lo = hi;
+            m += 1;
+        }
+        return Ok(out);
+    }
+
+    let n_morsels = items.len().div_ceil(morsel);
+    let workers = threads.min(n_morsels);
+    let cursor = AtomicUsize::new(0);
+    let tracer = opts.tracer().cloned();
+    let done: Mutex<Vec<(usize, Result<Vec<U>>)>> = Mutex::new(Vec::with_capacity(n_morsels));
+
+    let mut p1 = match &tracer {
+        Some(t) => t.thread_lane("exec").span("phase1.compute", "exec"),
+        None => Span::noop(),
+    };
+    if p1.is_recording() {
+        p1.arg("morsels", n_morsels as u64);
+        p1.arg("workers", workers as u64);
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (cursor, done, f, tracer, record) = (&cursor, &done, &f, &tracer, &record);
+            handles.push(scope.spawn(move || {
+                let lane = tracer.as_ref().map(|t| t.unique_lane(&format!("worker-{w}")));
+                let start = Instant::now();
+                let mut claimed = 0u64;
+                loop {
+                    let m = cursor.fetch_add(1, Ordering::Relaxed);
+                    if m >= n_morsels {
+                        break;
+                    }
+                    claimed += 1;
+                    let lo = m * morsel;
+                    let hi = ((m + 1) * morsel).min(items.len());
+                    let mut mspan = match &lane {
+                        Some(l) => l.span("morsel", "exec"),
+                        None => Span::noop(),
+                    };
+                    if mspan.is_recording() {
+                        mspan.arg("morsel", m as u64);
+                        mspan.arg("lo", lo as u64);
+                        mspan.arg("hi", hi as u64);
+                    }
+                    let chunk = &items[lo..hi];
+                    record(chunk);
+                    done.lock().push((m, f(m, lo, chunk)));
+                }
+                (w, claimed, start.elapsed())
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok((w, claimed, busy)) => {
+                    if let Some(s) = opts.stats_ref() {
+                        let nanos = u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX);
+                        s.record_worker(w, claimed, nanos);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    drop(p1);
+
+    let _p2 = match &tracer {
+        Some(t) => t.thread_lane("exec").span("phase2.stitch", "exec"),
+        None => Span::noop(),
+    };
+    let mut slots = done.into_inner();
+    slots.sort_unstable_by_key(|(m, _)| *m);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, r) in slots {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Mode dispatch for the per-tuple operators: row mode runs [`run_tuples`];
+/// batch mode runs [`run_batches`] with the same per-tuple closure applied
+/// across each chunk. Within a chunk, tuples are evaluated in input order
+/// and evaluation stops at the first failing tuple — exactly the row-mode
+/// morsel semantics — so results, stats counts, and reported errors are
+/// bit-identical across modes.
+pub(crate) fn run_tuples_mode<T, U, F>(items: &[T], opts: &ExecOptions, f: F) -> Result<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> Result<U> + Sync,
+{
+    match opts.mode {
+        ExecMode::Row => run_tuples(items, opts, f),
+        ExecMode::Batch => run_batches(items, opts, |_, lo, chunk| {
+            chunk.iter().enumerate().map(|(k, t)| f(lo + k, t)).collect()
+        }),
+    }
 }
 
 /// One row of a bulk insert: certain values by column name, plus one joint
@@ -341,6 +474,84 @@ mod tests {
         let items: Vec<u64> = (0..64).collect();
         run_tuples(&items, &opts, |_, &x| Ok(x)).unwrap();
         assert!(stats.snapshot().workers.is_empty());
+    }
+
+    #[test]
+    fn run_batches_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = run_batches(&items, &small_opts(threads), |_, lo, chunk| {
+                Ok(chunk.iter().enumerate().map(|(k, &x)| x * 2 + (lo + k) as u64).collect())
+            })
+            .unwrap();
+            let want: Vec<u64> = (0..100).map(|x| x * 3).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_batches_reports_lowest_chunk_error() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 4, 8] {
+            let err = run_batches(&items, &small_opts(threads), |m, _, _| {
+                if m >= 3 {
+                    Err(EngineError::Operator(format!("boom at morsel {m}")))
+                } else {
+                    Ok(Vec::<u64>::new())
+                }
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("boom at morsel 3"), "threads={threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn run_batches_counts_batches_in_both_paths() {
+        let items: Vec<u64> = (0..65).collect();
+        for threads in [1, 4] {
+            let stats = std::sync::Arc::new(orion_obs::ExecStats::new());
+            let opts = ExecOptions { stats: Some(stats.clone()), ..small_opts(threads) };
+            run_batches(&items, &opts, |_, _, chunk| Ok(chunk.to_vec())).unwrap();
+            let snap = stats.snapshot();
+            assert_eq!(snap.batches, 33, "threads={threads}: 65 items / morsel_size 2");
+            assert_eq!(snap.batch_rows, 65, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_tuples_mode_dispatch_is_equivalent() {
+        let items: Vec<u64> = (0..50).collect();
+        let row = run_tuples_mode(&items, &small_opts(4), |i, &x| Ok(x + i as u64)).unwrap();
+        for threads in [1, 2, 4] {
+            let stats = std::sync::Arc::new(orion_obs::ExecStats::new());
+            let opts = ExecOptions {
+                mode: ExecMode::Batch,
+                stats: Some(stats.clone()),
+                ..small_opts(threads)
+            };
+            let batch = run_tuples_mode(&items, &opts, |i, &x| Ok(x + i as u64)).unwrap();
+            assert_eq!(batch, row, "threads={threads}");
+            assert_eq!(stats.snapshot().batches, 25, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_tuples_mode_batch_stops_at_first_failing_tuple() {
+        // Within a chunk, batch mode must report the same (lowest-index)
+        // error row mode would.
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 4] {
+            let opts = ExecOptions { mode: ExecMode::Batch, ..small_opts(threads) };
+            let err = run_tuples_mode(&items, &opts, |i, _| {
+                if i >= 9 {
+                    Err(EngineError::Operator(format!("boom at {i}")))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("boom at 9"), "threads={threads}: {err}");
+        }
     }
 
     fn bulk_schema() -> ProbSchema {

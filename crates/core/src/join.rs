@@ -16,6 +16,7 @@ use crate::relation::Relation;
 use crate::schema::{Column, ProbSchema};
 use crate::select::{select, ExecOptions};
 use crate::tuple::ProbTuple;
+use crate::value::Value;
 
 /// Nested-loop join used as the correctness oracle for the hash path
 /// (exposed for tests and ablation benchmarks). Pairs whose *certain*
@@ -81,7 +82,7 @@ pub fn cross(
     let mut out = Relation::new(format!("({} x {})", left.name, right.name), schema);
 
     // Phase 1 (parallel): pair materialization fans out over left tuples.
-    let groups = crate::exec_par::run_tuples(&left.tuples, opts, |_, tl| {
+    let groups = crate::exec_par::run_tuples_mode(&left.tuples, opts, |_, tl| {
         Ok(right.tuples.iter().map(|tr| pair_tuple(tl, tr)).collect::<Vec<_>>())
     })?;
     // Phase 2 (serial, in input order): reference-count commits.
@@ -95,6 +96,19 @@ pub fn cross(
         }
     }
     Ok(out)
+}
+
+/// Reads crossed-row position `i` from an (unmaterialized) left/right pair
+/// — the first `n_left` positions come from the left tuple. This is the
+/// single access path the certain-equality prefilter uses in both row and
+/// batch mode, equivalent to indexing `pair_tuple(tl, tr).certain[i]`
+/// without materializing the pair.
+fn crossed_value<'a>(tl: &'a ProbTuple, tr: &'a ProbTuple, n_left: usize, i: usize) -> &'a Value {
+    if i < n_left {
+        &tl.certain[i]
+    } else {
+        &tr.certain[i - n_left]
+    }
 }
 
 /// Concatenates a left and a right tuple (no registry side effects).
@@ -146,21 +160,19 @@ fn cross_prefiltered(
     let n_left = left.schema.columns().len();
     // Phase 1 (parallel): evaluate the pre-resolved certain equalities per
     // pair. A comparison involving NULL (or incomparable types) yields
-    // `None` — UNKNOWN, never pruned — matching `Predicate::eval`.
-    let groups = crate::exec_par::run_tuples(&left.tuples, opts, |_, tl| {
+    // `None` — UNKNOWN, never pruned — matching `Predicate::eval`. Both
+    // execution modes run this same closure through `run_tuples_mode`, so
+    // pair access goes through one path (`crossed_value`) rather than a
+    // row-mode-only shortcut into the relation.
+    let groups = crate::exec_par::run_tuples_mode(&left.tuples, opts, |_, tl| {
         let mut matches = Vec::new();
         let mut pruned = 0u64;
         for tr in &right.tuples {
-            let val = |i: usize| {
-                if i < n_left {
-                    &tl.certain[i]
-                } else {
-                    &tr.certain[i - n_left]
-                }
-            };
             if equalities.iter().any(|&(ia, ib)| {
-                matches!(val(ia).compare(val(ib)),
-                         Some(ord) if ord != std::cmp::Ordering::Equal)
+                matches!(
+                    crossed_value(tl, tr, n_left, ia).compare(crossed_value(tl, tr, n_left, ib)),
+                    Some(ord) if ord != std::cmp::Ordering::Equal
+                )
             }) {
                 pruned += 1;
                 continue;
@@ -237,7 +249,7 @@ fn cross_matching(
         buckets.entry(CanonValue::from(&t.certain[key.1])).or_default().push(i);
     }
     // Phase 1 (parallel): probe the shared bucket table per left tuple.
-    let groups = crate::exec_par::run_tuples(&left.tuples, opts, |_, tl| {
+    let groups = crate::exec_par::run_tuples_mode(&left.tuples, opts, |_, tl| {
         let matches = buckets.get(&CanonValue::from(&tl.certain[key.0]));
         let hits: Vec<ProbTuple> = matches
             .map(|ms| ms.iter().map(|&ri| pair_tuple(tl, &right.tuples[ri])).collect())
@@ -304,7 +316,7 @@ fn finish_join(
         // Phase 1 (parallel): the history-aware collapse reads the
         // registry immutably.
         let reg_ref: &HistoryRegistry = reg;
-        let computed = crate::exec_par::run_tuples(&result.tuples, opts, |_, t| {
+        let computed = crate::exec_par::run_tuples_mode(&result.tuples, opts, |_, t| {
             collapse::collapse_tuple_with_stats(t, reg_ref, opts.resolution, opts.stats_ref())
         })?;
         // Phase 2 (serial, in input order): reference transfers.
@@ -479,6 +491,61 @@ mod tests {
             finish_join(cross(&l, &r, &mut reg, &opts).unwrap(), Some(&pred), &mut reg, &opts)
                 .unwrap();
         assert_eq!(pruned_out.tuples, unfiltered.tuples);
+    }
+
+    #[test]
+    fn null_keys_never_pruned_in_batch_mode() {
+        // 3VL regression: a certain-equality involving NULL is UNKNOWN, so
+        // the prefilter must not prune the pair in either mode — the full
+        // predicate decides it (UNKNOWN -> filtered, but via select, with
+        // the same counters).
+        use crate::batch::ExecMode;
+        let mut reg = HistoryRegistry::new();
+        let mk = |name: &str, col: &str, ids: &[Option<i64>], reg: &mut HistoryRegistry| {
+            let s = ProbSchema::new(
+                vec![("id", ColumnType::Int, false), (col, ColumnType::Real, true)],
+                vec![],
+            )
+            .unwrap();
+            let mut r = Relation::new(name, s);
+            for (k, id) in ids.iter().enumerate() {
+                let idv = id.map(Value::Int).unwrap_or(Value::Null);
+                r.insert_simple(
+                    reg,
+                    &[("id", idv)],
+                    &[(col, Pdf1::gaussian(k as f64, 1.0).unwrap())],
+                )
+                .unwrap();
+            }
+            r
+        };
+        let l = mk("L", "x", &[Some(1), None, Some(3)], &mut reg);
+        let r = mk("R", "y", &[Some(1), Some(2), None], &mut reg);
+        let pred = Predicate::cmp_cols("L.id", CmpOp::Eq, "R.id");
+
+        let run = |mode: ExecMode, reg0: &HistoryRegistry| {
+            let mut reg = reg0.clone();
+            let stats = std::sync::Arc::new(orion_obs::ExecStats::new());
+            let opts = ExecOptions {
+                mode,
+                stats: Some(stats.clone()),
+                morsel_size: 2,
+                ..ExecOptions::default()
+            };
+            let out = join_nested_loop(&l, &r, Some(&pred), &mut reg, &opts).unwrap();
+            (out, stats.snapshot().pairs_pruned, reg)
+        };
+        let (row, row_pruned, reg_row) = run(ExecMode::Row, &reg);
+        let (batch, batch_pruned, reg_batch) = run(ExecMode::Batch, &reg);
+        // Only definite mismatches prune: the 3 pairs of non-NULL unequal
+        // ids — (1,2), (3,1), (3,2); the 5 NULL-involving pairs all
+        // survive to the full predicate.
+        assert_eq!(row_pruned, 3);
+        assert_eq!(batch_pruned, row_pruned);
+        assert_eq!(row.len(), 1, "only the (1,1) pair joins");
+        assert_eq!(batch.tuples, row.tuples, "modes agree bitwise");
+        assert_eq!(reg_batch.len(), reg_row.len());
+        assert_eq!(reg_batch.last_id(), reg_row.last_id());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //!   first-committer-wins validation, atomic all-or-nothing WAL commit).
 
 pub mod agg;
+pub mod batch;
 pub mod collapse;
 pub mod durable;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod value;
 
 /// Commonly used types, re-exported for ergonomic imports.
 pub mod prelude {
+    pub use crate::batch::ExecMode;
     pub use crate::collapse::{collapse_tuple, existence_prob, DEFAULT_RESOLUTION};
     pub use crate::durable::{
         check_invariants, ActiveTxnInfo, DurableDb, RecoveryReport, SharedDurableDb,

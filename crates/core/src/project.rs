@@ -60,7 +60,7 @@ pub fn project(
     let mut out = Relation::new(format!("pi({})", rel.name), schema);
 
     // Phase 1 (parallel): narrowing a tuple is pure per-tuple work.
-    let projected = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
+    let projected = crate::exec_par::run_tuples_mode(&rel.tuples, opts, |_, t| {
         let certain: Vec<_> = kept_idx.iter().map(|&i| t.certain[i].clone()).collect();
         let mut nodes = Vec::new();
         for n in &t.nodes {

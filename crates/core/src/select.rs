@@ -11,6 +11,7 @@
 //! Floor{[5,∞]}]` instead of a materialized histogram) — the paper's
 //! Section III-A optimization.
 
+use crate::batch::{CertainLanes, ExecMode, TriVec};
 use crate::collapse;
 use crate::error::{EngineError, Result};
 use crate::history::HistoryRegistry;
@@ -52,6 +53,12 @@ pub struct ExecOptions {
     /// `ORION_TRACE=1` traces everything without plumbing. Tracing is
     /// record-only and never affects results (see `tests/parallel_equiv.rs`).
     pub trace: Option<Tracer>,
+    /// Row- or batch-at-a-time execution. The default honors the
+    /// `ORION_MODE` environment variable (`batch` selects batch mode).
+    /// Both modes are bit-identical (see `tests/batch_equiv.rs`); batch
+    /// mode vectorizes certain-column predicate work and reports batch
+    /// counters through [`ExecStats`].
+    pub mode: crate::batch::ExecMode,
 }
 
 impl Default for ExecOptions {
@@ -64,6 +71,7 @@ impl Default for ExecOptions {
             threads: 0,
             morsel_size: crate::exec_par::DEFAULT_MORSEL_SIZE,
             trace: None,
+            mode: crate::batch::ExecMode::from_env(),
         }
     }
 }
@@ -118,10 +126,21 @@ pub fn select(
     let mut out = Relation::new(format!("sigma({})", rel.name), rel.schema.clone());
     if uncertain_cols.is_empty() {
         // Case 1: certain-only predicate. Parallel compute, ordered commit.
-        let kept = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
-            let lookup = certain_lookup(rel, t);
-            Ok((pred.eval(&lookup) == Some(true)).then(|| t.clone()))
-        })?;
+        // Batch mode evaluates the predicate over columnar lanes, one
+        // chunk at a time; the lane evaluator reproduces `Predicate::eval`
+        // exactly (see `crate::batch`), so the kept set is identical.
+        let kept = match opts.mode {
+            ExecMode::Row => crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
+                let lookup = certain_lookup(rel, t);
+                Ok((pred.eval(&lookup) == Some(true)).then(|| t.clone()))
+            })?,
+            ExecMode::Batch => crate::exec_par::run_batches(&rel.tuples, opts, |_, _, chunk| {
+                let lanes = CertainLanes::build(rel, chunk, &pred_cols);
+                let tri = lanes.eval(pred);
+                Ok(chunk.iter().zip(tri).map(|(t, k)| (k == 1).then(|| t.clone())).collect())
+            })?,
+        };
+        record_selected(opts, &kept);
         for t in kept.into_iter().flatten() {
             push_tuple(&mut out, t, reg);
         }
@@ -138,10 +157,21 @@ pub fn select(
     // Phase 1 (parallel): per-tuple flooring reads the registry immutably.
     let fast = fast_path_atoms(rel, pred);
     let reg_ref: &HistoryRegistry = reg;
-    let computed = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| match &fast {
-        Some(atoms) => select_tuple_fast(rel, t, atoms, opts.stats_ref()),
-        None => select_tuple_general(rel, t, pred, &a_ids, reg_ref, opts),
-    })?;
+    let computed = match (&fast, opts.mode) {
+        // Batch fast path: certain atoms evaluated as chunk-wide lane
+        // vectors, floors applied tuple-major — same arithmetic, same
+        // order, same counters as the row path.
+        (Some(atoms), ExecMode::Batch) => {
+            crate::exec_par::run_batches(&rel.tuples, opts, |_, _, chunk| {
+                select_chunk_fast(rel, chunk, atoms, opts.stats_ref())
+            })?
+        }
+        _ => crate::exec_par::run_tuples_mode(&rel.tuples, opts, |_, t| match &fast {
+            Some(atoms) => select_tuple_fast(rel, t, atoms, opts.stats_ref()),
+            None => select_tuple_general(rel, t, pred, &a_ids, reg_ref, opts),
+        })?,
+    };
+    record_selected(opts, &computed);
     // Phase 2 (serial, in input order): reference-count commits.
     for nt in computed.into_iter().flatten() {
         if !nt.is_vacuous() {
@@ -149,6 +179,17 @@ pub fn select(
         }
     }
     Ok(out)
+}
+
+/// Records batch selection density (`Some` entries of the computed vector,
+/// before the vacuity check) — the `sel=…%` figure `EXPLAIN ANALYZE`
+/// prints. Row mode reports no batch counters.
+fn record_selected(opts: &ExecOptions, computed: &[Option<ProbTuple>]) {
+    if opts.mode.is_batch() {
+        if let Some(s) = opts.stats_ref() {
+            s.batch_selected.add(computed.iter().filter(|t| t.is_some()).count() as u64);
+        }
+    }
 }
 
 fn push_tuple(out: &mut Relation, t: ProbTuple, reg: &mut HistoryRegistry) {
@@ -235,6 +276,65 @@ fn select_tuple_fast(
         }
     }
     Ok(Some(nt))
+}
+
+/// Batch fast path over one chunk. Certain atoms are pure functions of the
+/// (immutable) certain values, so their tri-state vectors are precomputed
+/// chunk-wide over columnar lanes; the tuple-major walk then replays
+/// [`select_tuple_fast`]'s atom sequence per tuple — identical
+/// short-circuiting, identical floor order, identical `pdf_floors` counts,
+/// and errors surface at the same tuple position as row mode.
+fn select_chunk_fast(
+    rel: &Relation,
+    chunk: &[ProbTuple],
+    atoms: &[FastAtom],
+    stats: Option<&ExecStats>,
+) -> Result<Vec<Option<ProbTuple>>> {
+    let tri: Vec<Option<TriVec>> = atoms
+        .iter()
+        .map(|a| match a {
+            FastAtom::Certain(p) => {
+                let lanes = CertainLanes::build(rel, chunk, &p.columns());
+                Some(lanes.eval(p))
+            }
+            FastAtom::Floor { .. } => None,
+        })
+        .collect();
+    let mut out = Vec::with_capacity(chunk.len());
+    'tuples: for (i, t) in chunk.iter().enumerate() {
+        // Flooring never touches certain values, so the precomputed
+        // tri-states stay valid throughout the walk.
+        let mut nt = t.clone();
+        for (k, atom) in atoms.iter().enumerate() {
+            match atom {
+                FastAtom::Certain(_) => {
+                    if tri[k].as_ref().expect("certain atom has a tri vector")[i] != 1 {
+                        out.push(None);
+                        continue 'tuples;
+                    }
+                }
+                FastAtom::Floor { col, region } => {
+                    let attr = rel
+                        .schema
+                        .column(col)
+                        .ok_or_else(|| EngineError::Predicate(format!("unknown column '{col}'")))?
+                        .id;
+                    let ni = nt
+                        .node_index_for(attr)
+                        .ok_or_else(|| EngineError::Operator(format!("no pdf node for '{col}'")))?;
+                    let node = &nt.nodes[ni];
+                    let dim = node.dim_of(attr).expect("node covers attr");
+                    if let Some(s) = stats {
+                        s.pdf_floors.inc();
+                    }
+                    let floored = node.joint.floor_axis(dim, region);
+                    nt.nodes[ni] = PdfNode::new(node.dims.clone(), floored, node.ancestors.clone());
+                }
+            }
+        }
+        out.push(Some(nt));
+    }
+    Ok(out)
 }
 
 /// General path (Case 2(b)): merge the dependency sets intersecting the
@@ -605,6 +705,93 @@ mod tests {
         for &x in &[-1.5, -0.5, 0.0, 0.5, 1.5] {
             assert!((ma.density(x) - mb.density(x)).abs() < 1e-15);
         }
+    }
+
+    /// Row and batch mode must agree bit-for-bit on every select path.
+    fn assert_modes_agree(build: impl Fn() -> (Relation, HistoryRegistry), pred: &Predicate) {
+        // One relation, two cloned registries: AttrIds are globally
+        // allocated, so separate builds would not be comparable.
+        let (rel, reg0) = build();
+        let mut reg = reg0.clone();
+        let row = select(
+            &rel,
+            pred,
+            &mut reg,
+            &ExecOptions { mode: ExecMode::Row, ..ExecOptions::default() },
+        )
+        .unwrap();
+        let mut reg_b = reg0.clone();
+        let stats = std::sync::Arc::new(orion_obs::ExecStats::new());
+        let opts = ExecOptions {
+            mode: ExecMode::Batch,
+            stats: Some(stats.clone()),
+            ..ExecOptions::default()
+        };
+        let batch = select(&rel, pred, &mut reg_b, &opts).unwrap();
+        assert_eq!(batch.tuples, row.tuples, "{pred}");
+        assert_eq!(reg_b.len(), reg.len());
+        assert_eq!(reg_b.last_id(), reg.last_id());
+        for (id, _) in reg.iter_bases() {
+            assert_eq!(reg_b.ref_count(id), reg.ref_count(id), "ref count of {id}");
+        }
+        let snap = stats.snapshot();
+        assert!(snap.batches > 0, "batch mode must record batches");
+        assert_eq!(snap.batch_rows, rel.len() as u64);
+    }
+
+    #[test]
+    fn batch_mode_matches_row_mode_on_all_paths() {
+        // Case 1 (certain-only), fast path (symbolic floors + mixed certain
+        // conjuncts), and the general path (OR over an uncertain column).
+        assert_modes_agree(table2, &Predicate::cmp_cols("a", CmpOp::Lt, "b"));
+        assert_modes_agree(table2, &Predicate::cmp("a", CmpOp::Lt, 5i64));
+        assert_modes_agree(
+            table2,
+            &Predicate::Or(vec![
+                Predicate::cmp("a", CmpOp::Eq, 0i64),
+                Predicate::cmp("a", CmpOp::Eq, 7i64),
+            ]),
+        );
+        let certain_rel = || {
+            let schema = ProbSchema::new(
+                vec![("id", ColumnType::Int, false), ("loc", ColumnType::Real, true)],
+                vec![],
+            )
+            .unwrap();
+            let mut rel = Relation::new("readings", schema);
+            let mut reg = HistoryRegistry::new();
+            for (id, m, v) in [(1, 20.0, 5.0), (2, 25.0, 4.0), (3, 13.0, 1.0)] {
+                rel.insert_simple(
+                    &mut reg,
+                    &[("id", Value::Int(id))],
+                    &[("loc", Pdf1::gaussian(m, v).unwrap())],
+                )
+                .unwrap();
+            }
+            (rel, reg)
+        };
+        assert_modes_agree(certain_rel, &Predicate::cmp("id", CmpOp::Le, 2i64));
+        assert_modes_agree(
+            certain_rel,
+            &Predicate::And(vec![
+                Predicate::cmp("id", CmpOp::Le, 2i64),
+                Predicate::cmp("loc", CmpOp::Ge, 20.0),
+            ]),
+        );
+    }
+
+    #[test]
+    fn batch_mode_counts_floors_like_row_mode() {
+        // The plan-level regression pins exact pdf_floors counts; the batch
+        // fast path must count per tuple exactly as the row path does.
+        let count = |mode: ExecMode| {
+            let (rel, mut reg) = table2();
+            let stats = std::sync::Arc::new(orion_obs::ExecStats::new());
+            let opts = ExecOptions { mode, stats: Some(stats.clone()), ..ExecOptions::default() };
+            select(&rel, &Predicate::cmp("a", CmpOp::Lt, 5i64), &mut reg, &opts).unwrap();
+            stats.snapshot().pdf_floors
+        };
+        assert_eq!(count(ExecMode::Batch), count(ExecMode::Row));
     }
 
     #[test]

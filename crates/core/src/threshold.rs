@@ -46,7 +46,7 @@ pub fn threshold_attrs(
     let mut out = Relation::new(format!("sigma_pr({})", rel.name), rel.schema.clone());
     // Phase 1 (parallel): probability evaluation reads the registry only.
     let reg_ref: &HistoryRegistry = reg;
-    let kept = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
+    let kept = crate::exec_par::run_tuples_mode(&rel.tuples, opts, |_, t| {
         let prob = attr_set_probability(t, &ids, reg_ref, opts)?;
         let cmp = prob
             .partial_cmp(&p)
@@ -108,7 +108,7 @@ pub fn threshold_pred(
     let mut out = Relation::new(format!("sigma_prob({})", rel.name), rel.schema.clone());
     // Phase 1 (parallel): Pr(θ) evaluation reads the registry only.
     let reg_ref: &HistoryRegistry = reg;
-    let kept = crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
+    let kept = crate::exec_par::run_tuples_mode(&rel.tuples, opts, |_, t| {
         let prob = predicate_probability(rel, t, pred, reg_ref, opts)?;
         let cmp = prob
             .partial_cmp(&p)

@@ -44,6 +44,12 @@ pub struct ExecStats {
     /// Join pairs skipped before any pdf work because their certain
     /// equi-join attributes already mismatch.
     pub pairs_pruned: Counter,
+    /// Columnar batches processed (zero when the operator ran row-at-a-time).
+    pub batches: Counter,
+    /// Tuples entering those batches (for rows-per-batch diagnostics).
+    pub batch_rows: Counter,
+    /// Tuples surviving batch-level selection (selection-vector density).
+    pub batch_selected: Counter,
     /// Wall time attributed to the operator, in nanoseconds.
     pub elapsed_nanos: Counter,
     /// Per-worker morsel counts and busy time (empty for serial execution).
@@ -88,6 +94,9 @@ impl ExecStats {
             pdf_marginalizations: self.pdf_marginalizations.get(),
             collapses: self.collapses.get(),
             pairs_pruned: self.pairs_pruned.get(),
+            batches: self.batches.get(),
+            batch_rows: self.batch_rows.get(),
+            batch_selected: self.batch_selected.get(),
             elapsed_nanos: self.elapsed_nanos.get(),
             workers: self.workers.lock().expect("worker lanes poisoned").clone(),
         }
@@ -130,6 +139,12 @@ pub struct ExecStatsSnapshot {
     pub collapses: u64,
     /// Join pairs pruned by the certain equi-key pre-filter.
     pub pairs_pruned: u64,
+    /// Columnar batches processed (zero for row-at-a-time execution).
+    pub batches: u64,
+    /// Tuples entering those batches.
+    pub batch_rows: u64,
+    /// Tuples surviving batch-level selection.
+    pub batch_selected: u64,
     /// Attributed wall time in nanoseconds.
     pub elapsed_nanos: u64,
     /// Per-worker morsel counts and busy time, sorted by worker index
@@ -147,6 +162,9 @@ impl ExecStatsSnapshot {
         self.pdf_marginalizations += other.pdf_marginalizations;
         self.collapses += other.collapses;
         self.pairs_pruned += other.pairs_pruned;
+        self.batches += other.batches;
+        self.batch_rows += other.batch_rows;
+        self.batch_selected += other.batch_selected;
         self.elapsed_nanos += other.elapsed_nanos;
         for lane in &other.workers {
             match self.workers.iter_mut().find(|l| l.worker == lane.worker) {
@@ -177,6 +195,17 @@ impl ExecStatsSnapshot {
             self.pairs_pruned,
             fmt_nanos(self.elapsed_nanos),
         );
+        if self.batches > 0 {
+            let sel_pct = (self.batch_selected * 100).checked_div(self.batch_rows).unwrap_or(0);
+            line.push_str(&format!(
+                " mode=batch batches={} rows/batch={} sel={}%",
+                self.batches,
+                self.batch_rows / self.batches,
+                sel_pct,
+            ));
+        } else {
+            line.push_str(" mode=row");
+        }
         if !self.workers.is_empty() {
             line.push_str(" workers=[");
             for (i, l) in self.workers.iter().enumerate() {
@@ -209,6 +238,9 @@ impl ExecStatsSnapshot {
             .with("pdf_marginalizations", self.pdf_marginalizations)
             .with("collapses", self.collapses)
             .with("pairs_pruned", self.pairs_pruned)
+            .with("batches", self.batches)
+            .with("batch_rows", self.batch_rows)
+            .with("batch_selected", self.batch_selected)
             .with("elapsed_nanos", self.elapsed_nanos)
             .with("workers", workers)
     }
@@ -266,13 +298,40 @@ mod tests {
             pdf_marginalizations: 5,
             collapses: 6,
             pairs_pruned: 7,
+            batches: 0,
+            batch_rows: 0,
+            batch_selected: 0,
             elapsed_nanos: 1_500,
             workers: Vec::new(),
         };
         assert_eq!(
             snap.render(),
-            "in=2 out=1 products=3 floors=4 marginalize=5 collapses=6 pruned=7 time=1.5us"
+            "in=2 out=1 products=3 floors=4 marginalize=5 collapses=6 pruned=7 time=1.5us mode=row"
         );
+    }
+
+    #[test]
+    fn render_reports_batch_counters() {
+        let snap = ExecStatsSnapshot {
+            tuples_in: 100,
+            tuples_out: 25,
+            batches: 4,
+            batch_rows: 100,
+            batch_selected: 25,
+            ..Default::default()
+        };
+        assert!(
+            snap.render().ends_with("mode=batch batches=4 rows/batch=25 sel=25%"),
+            "{}",
+            snap.render()
+        );
+        // Empty batches render without dividing by zero.
+        let empty = ExecStatsSnapshot { batches: 2, ..Default::default() };
+        assert!(empty.render().ends_with("mode=batch batches=2 rows/batch=0 sel=0%"));
+        // Batch counters merge like the rest.
+        let mut a = snap.clone();
+        a.merge(&empty);
+        assert_eq!((a.batches, a.batch_rows, a.batch_selected), (6, 100, 25));
     }
 
     #[test]

@@ -48,6 +48,14 @@ impl DiscretePdf {
         Ok(DiscretePdf { points: merged })
     }
 
+    /// Reassembles a discrete pdf from already sorted/merged points (used by
+    /// the columnar batch arena to reconstruct records bit-for-bit — unlike
+    /// [`DiscretePdf::from_points`], zero-probability points produced by
+    /// `scale(0.0)` are preserved, matching the scalar operators).
+    pub(crate) fn from_sorted_points_unchecked(points: Vec<(f64, f64)>) -> Self {
+        DiscretePdf { points }
+    }
+
     /// A certain (probability-1) single value.
     pub fn certain(v: f64) -> Self {
         DiscretePdf { points: vec![(v, 1.0)] }

@@ -48,6 +48,13 @@ impl Histogram {
         Ok(Histogram { lo, width, masses })
     }
 
+    /// Reassembles a histogram from parts already validated by
+    /// [`Histogram::from_masses`] (used by the columnar batch arena to
+    /// reconstruct records bit-for-bit, including zero-probability buckets).
+    pub(crate) fn from_parts_unchecked(lo: f64, width: f64, masses: Vec<f64>) -> Self {
+        Histogram { lo, width, masses }
+    }
+
     /// Builds a histogram by binning an arbitrary cdf over `[lo, hi]` into
     /// `bins` equi-width buckets; bucket mass is the exact cdf difference.
     pub fn from_cdf(lo: f64, hi: f64, bins: usize, cdf: impl Fn(f64) -> f64) -> Result<Self> {

@@ -36,6 +36,7 @@
 //! assert!((after.mass() - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod batch;
 pub mod discrete;
 pub mod error;
 pub mod histogram;
@@ -49,6 +50,7 @@ pub mod symbolic;
 
 /// Commonly used types, re-exported for ergonomic imports.
 pub mod prelude {
+    pub use crate::batch::{Pdf1Batch, PdfKind};
     pub use crate::discrete::DiscretePdf;
     pub use crate::error::{PdfError, Result as PdfResult};
     pub use crate::histogram::Histogram;

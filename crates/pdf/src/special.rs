@@ -89,6 +89,20 @@ fn erfc_cody_tail(y: f64) -> f64 {
     (-ysq * ysq).exp() * (-del).exp() * result
 }
 
+/// Core of Cody's algorithm: erf(x) for `|x| <= 0.46875`.
+#[inline]
+fn erf_core(x: f64) -> f64 {
+    let y = x.abs();
+    let z = if y > 1e-300 { y * y } else { 0.0 };
+    let mut num = ERF_A[4] * z;
+    let mut den = z;
+    for i in 0..3 {
+        num = (num + ERF_A[i]) * z;
+        den = (den + ERF_B[i]) * z;
+    }
+    x * (num + ERF_A[3]) / (den + ERF_B[3])
+}
+
 /// The error function `erf(x) = 2/sqrt(pi) * \int_0^x e^{-t^2} dt`.
 pub fn erf(x: f64) -> f64 {
     if x.is_nan() {
@@ -96,14 +110,7 @@ pub fn erf(x: f64) -> f64 {
     }
     let y = x.abs();
     if y <= 0.46875 {
-        let z = if y > 1e-300 { y * y } else { 0.0 };
-        let mut num = ERF_A[4] * z;
-        let mut den = z;
-        for i in 0..3 {
-            num = (num + ERF_A[i]) * z;
-            den = (den + ERF_B[i]) * z;
-        }
-        return x * (num + ERF_A[3]) / (den + ERF_B[3]);
+        return erf_core(x);
     }
     if y >= 6.0 {
         return x.signum();
@@ -232,6 +239,44 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// Standard normal cumulative distribution function `Phi(z)`.
 pub fn std_normal_cdf(z: f64) -> f64 {
     0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Vectorized standard normal cdf: fills `out[i] = std_normal_cdf(zs[i])`,
+/// **bitwise-identical** to the scalar function for every element.
+///
+/// Elements are classified once into the scalar path's branches (Cody core
+/// polynomial, Cody tail, saturation, NaN), then each class runs as a flat
+/// loop over the collected indices — the per-class polynomial loops carry no
+/// branches, so they autovectorize. Used by the columnar batch kernels.
+///
+/// Panics if `zs` and `out` differ in length.
+pub fn std_normal_cdf_slice(zs: &[f64], out: &mut [f64]) {
+    assert_eq!(zs.len(), out.len(), "std_normal_cdf_slice length mismatch");
+    // Scratch index lists per branch; resolved values are written inline.
+    let mut core: Vec<u32> = Vec::new();
+    let mut tail: Vec<u32> = Vec::new();
+    for (i, (&z, o)) in zs.iter().zip(out.iter_mut()).enumerate() {
+        let w = -z / std::f64::consts::SQRT_2;
+        if w.is_nan() {
+            *o = f64::NAN;
+        } else if w.abs() <= 0.46875 {
+            core.push(i as u32);
+        } else if w.abs() > 26.6 {
+            // Saturated (includes ±inf): matches the scalar erfc cutoffs.
+            *o = if w > 0.0 { 0.0 } else { 1.0 };
+        } else {
+            tail.push(i as u32);
+        }
+    }
+    for &i in &core {
+        let w = -zs[i as usize] / std::f64::consts::SQRT_2;
+        out[i as usize] = 0.5 * (1.0 - erf_core(w));
+    }
+    for &i in &tail {
+        let w = -zs[i as usize] / std::f64::consts::SQRT_2;
+        let r = erfc_cody_tail(w.abs());
+        out[i as usize] = 0.5 * if w < 0.0 { 2.0 - r } else { r };
+    }
 }
 
 /// Standard normal density `phi(z)`.
@@ -385,6 +430,45 @@ mod tests {
         }
         assert_eq!(std_normal_quantile(0.0), f64::NEG_INFINITY);
         assert_eq!(std_normal_quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn normal_cdf_slice_bitwise_matches_scalar() {
+        // Dense grid crossing every branch boundary of the scalar path:
+        // core polynomial, Cody tail, saturation, both signs.
+        let mut zs: Vec<f64> = Vec::new();
+        let mut z = -45.0;
+        while z <= 45.0 {
+            zs.push(z);
+            z += 0.0625;
+        }
+        zs.extend_from_slice(&[
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            0.46875 * std::f64::consts::SQRT_2,
+            -0.46875 * std::f64::consts::SQRT_2,
+            26.6 * std::f64::consts::SQRT_2,
+            -26.6 * std::f64::consts::SQRT_2,
+            1e-300,
+            -1e-300,
+        ]);
+        let mut out = vec![0.0; zs.len()];
+        std_normal_cdf_slice(&zs, &mut out);
+        for (&z, &got) in zs.iter().zip(&out) {
+            let want = std_normal_cdf(z);
+            assert_eq!(got.to_bits(), want.to_bits(), "z = {z}");
+        }
+    }
+
+    #[test]
+    fn normal_cdf_slice_empty_and_single() {
+        std_normal_cdf_slice(&[], &mut []);
+        let mut out = [0.0];
+        std_normal_cdf_slice(&[1.25], &mut out);
+        assert_eq!(out[0].to_bits(), std_normal_cdf(1.25).to_bits());
     }
 
     #[test]

@@ -218,6 +218,84 @@ pub fn decode_pdf1(buf: &mut impl Buf) -> Result<Pdf1> {
     }
 }
 
+/// Decodes a 1-D pdf straight into a columnar [`Pdf1Batch`], skipping the
+/// per-record `Pdf1` materialization (the batch scan's decode path).
+///
+/// Accepts exactly the inputs [`decode_pdf1`] accepts and raises equal
+/// errors; the appended record reconstructs (via [`Pdf1Batch::get`])
+/// bit-for-bit identical to what `decode_pdf1` would have returned. On
+/// error nothing is appended, though the buffer may be left mid-record.
+pub fn decode_pdf1_into(buf: &mut impl Buf, out: &mut Pdf1Batch) -> Result<()> {
+    need(buf, 1, "pdf tag")?;
+    let tag = buf.get_u8();
+    match tag {
+        P_SYMBOLIC => {
+            let dist = decode_symbolic(buf)?;
+            let floor = decode_region(buf)?;
+            need(buf, 8, "pdf scale")?;
+            let scale = buf.get_f64_le();
+            out.push_symbolic(dist, floor.intervals(), scale);
+            Ok(())
+        }
+        P_HISTOGRAM => {
+            need(buf, 20, "histogram header")?;
+            let lo = buf.get_f64_le();
+            let width = buf.get_f64_le();
+            let bins = buf.get_u32_le() as usize;
+            let bytes = checked_size(bins, 8, "histogram")?;
+            need(buf, bytes, "histogram masses")?;
+            // Contiguous fast path: feed the validator straight from the
+            // underlying slice. Per-element `get_f64_le` advances the
+            // buffer through a `&mut` indirection, which forces a
+            // write-back per read and defeats vectorization in the hot
+            // batch-scan decode loop.
+            if buf.chunk().len() >= bytes {
+                let res = out.push_histogram_checked(lo, width, f64_lanes(buf.chunk(), bytes));
+                buf.advance(bytes);
+                res.map_err(|e| DecodeError(e.to_string()))
+            } else {
+                out.push_histogram_checked(lo, width, (0..bins).map(|_| buf.get_f64_le()))
+                    .map_err(|e| DecodeError(e.to_string()))
+            }
+        }
+        P_DISCRETE => {
+            need(buf, 4, "discrete length")?;
+            let n = buf.get_u32_le() as usize;
+            let bytes = checked_size(n, 16, "discrete")?;
+            need(buf, bytes, "discrete points")?;
+            if buf.chunk().len() >= bytes {
+                let res = out.push_discrete_checked_bulk(pair_lanes(buf.chunk(), bytes));
+                buf.advance(bytes);
+                res.map_err(|e| DecodeError(e.to_string()))
+            } else {
+                out.push_discrete_checked((0..n).map(|_| {
+                    let v = buf.get_f64_le();
+                    let p = buf.get_f64_le();
+                    (v, p)
+                }))
+                .map_err(|e| DecodeError(e.to_string()))
+            }
+        }
+        other => Err(DecodeError(format!("unknown pdf tag {other}"))),
+    }
+}
+
+/// Little-endian `f64` lane over the first `bytes` of a contiguous slice.
+fn f64_lanes(chunk: &[u8], bytes: usize) -> impl Iterator<Item = f64> + '_ {
+    chunk[..bytes].chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+}
+
+/// Little-endian `(f64, f64)` pair lane over the first `bytes` of a
+/// contiguous slice.
+fn pair_lanes(chunk: &[u8], bytes: usize) -> impl Iterator<Item = (f64, f64)> + Clone + '_ {
+    chunk[..bytes].chunks_exact(16).map(|c| {
+        (
+            f64::from_le_bytes(c[..8].try_into().expect("8-byte half")),
+            f64::from_le_bytes(c[8..].try_into().expect("8-byte half")),
+        )
+    })
+}
+
 const B_UNI: u8 = 20;
 const B_POINTS: u8 = 21;
 const B_GRID: u8 = 22;
@@ -418,6 +496,57 @@ mod tests {
             assert!(decode_pdf1(&mut &buf[..cut]).is_err(), "cut at {cut}");
         }
         assert!(decode_pdf1(&mut &[99u8][..]).is_err(), "unknown tag");
+    }
+
+    #[test]
+    fn decode_into_batch_matches_scalar_decode() {
+        let g = Pdf1::gaussian(5.0, 1.0)
+            .unwrap()
+            .floor_region(&RegionSet::from_interval(Interval::at_least(5.0)))
+            .scale(0.9);
+        let h = Pdf1::histogram(0.0, 1.0, vec![0.25, 0.5, 0.25]).unwrap();
+        let d = Pdf1::discrete(vec![(0.0, 0.1), (1.0, 0.9)]).unwrap();
+        let mut buf = Vec::new();
+        for p in [&g, &h, &d] {
+            encode_pdf1(p, &mut buf);
+        }
+        let mut batch = Pdf1Batch::new();
+        let mut slice = &buf[..];
+        for _ in 0..3 {
+            decode_pdf1_into(&mut slice, &mut batch).unwrap();
+        }
+        assert!(slice.is_empty(), "no trailing bytes");
+        let mut slice = &buf[..];
+        for i in 0..3 {
+            assert_eq!(batch.get(i), decode_pdf1(&mut slice).unwrap(), "record {i}");
+        }
+    }
+
+    #[test]
+    fn decode_into_batch_matches_scalar_errors() {
+        let g = Pdf1::gaussian(0.0, 1.0).unwrap();
+        let mut buf = Vec::new();
+        encode_pdf1(&g, &mut buf);
+        for cut in [0, 1, 5, buf.len() - 1] {
+            let mut batch = Pdf1Batch::new();
+            let want = decode_pdf1(&mut &buf[..cut]).unwrap_err();
+            let got = decode_pdf1_into(&mut &buf[..cut], &mut batch).unwrap_err();
+            assert_eq!(got, want, "cut at {cut}");
+            assert!(batch.is_empty(), "nothing appended on error");
+        }
+        // Semantically invalid payloads surface the constructor's error text.
+        let mut bad_hist = Vec::new();
+        bad_hist.push(11u8); // P_HISTOGRAM
+        bad_hist.extend_from_slice(&0.0f64.to_le_bytes());
+        bad_hist.extend_from_slice(&1.0f64.to_le_bytes());
+        bad_hist.extend_from_slice(&2u32.to_le_bytes());
+        bad_hist.extend_from_slice(&0.7f64.to_le_bytes());
+        bad_hist.extend_from_slice(&0.7f64.to_le_bytes());
+        let mut batch = Pdf1Batch::new();
+        let want = decode_pdf1(&mut &bad_hist[..]).unwrap_err();
+        let got = decode_pdf1_into(&mut &bad_hist[..], &mut batch).unwrap_err();
+        assert_eq!(got, want);
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::page::{Page, PAGE_SIZE};
 use orion_obs::{json, Counter};
 use std::fs::{File, OpenOptions};
+#[cfg(not(unix))]
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
@@ -103,6 +104,16 @@ pub trait PageStore: Send {
     fn page_count(&self) -> u32;
     /// Reads page `id` into `page`.
     fn read_page(&mut self, id: PageId, page: &mut Page) -> std::io::Result<()>;
+    /// Reads the consecutive run `first .. first + out.len()` of allocated
+    /// pages, one per element of `out`. Backends with positional I/O serve
+    /// the whole run with a single read (the bulk-scan fast path); the
+    /// default loops [`PageStore::read_page`].
+    fn read_pages(&mut self, first: PageId, out: &mut [Page]) -> std::io::Result<()> {
+        for (k, page) in out.iter_mut().enumerate() {
+            self.read_page(first + k as PageId, page)?;
+        }
+        Ok(())
+    }
     /// Writes `page` at `id` (which must be allocated).
     fn write_page(&mut self, id: PageId, page: &Page) -> std::io::Result<()>;
     /// Allocates a fresh zeroed page, returning its id.
@@ -118,6 +129,8 @@ pub trait PageStore: Send {
 pub struct FileStore {
     file: File,
     pages: u32,
+    /// Reusable flat buffer for multi-page run reads (`read_pages`).
+    scratch: Vec<u8>,
 }
 
 impl FileStore {
@@ -125,14 +138,14 @@ impl FileStore {
     pub fn create(path: &Path) -> std::io::Result<Self> {
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        Ok(FileStore { file, pages: 0 })
+        Ok(FileStore { file, pages: 0, scratch: Vec::new() })
     }
 
     /// Opens an existing page file.
     pub fn open(path: &Path) -> std::io::Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        Ok(FileStore { file, pages: (len / PAGE_SIZE as u64) as u32 })
+        Ok(FileStore { file, pages: (len / PAGE_SIZE as u64) as u32, scratch: Vec::new() })
     }
 }
 
@@ -141,14 +154,18 @@ impl PageStore for FileStore {
         self.pages
     }
 
+    /// Reads page `id` **into the caller's buffer** (positional read on
+    /// unix: one syscall, no seek, no intermediate allocation — the
+    /// buffer-pool fault path and the bulk scan's scratch frame both reuse
+    /// one `Page`). On error the buffer contents are unspecified; callers
+    /// discard the page.
     fn read_page(&mut self, id: PageId, page: &mut Page) -> std::io::Result<()> {
-        let mut buf = [0u8; PAGE_SIZE];
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        let offset = id as u64 * PAGE_SIZE as u64;
         // A short read of an *allocated* page means the file shrank under
         // us — a torn/lost write of the tail page. Report it as integrity
         // failure (`InvalidData`, like a checksum mismatch) so the engine
         // classifies it as corruption, not as a bare EOF.
-        self.file.read_exact(&mut buf).map_err(|e| {
+        let torn = |e: std::io::Error| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -157,23 +174,72 @@ impl PageStore for FileStore {
             } else {
                 e
             }
-        })?;
-        *page = Page::from_bytes(&buf);
-        Ok(())
+        };
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(page.bytes_mut(), offset).map_err(torn)
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.seek(SeekFrom::Start(offset))?;
+            self.file.read_exact(page.bytes_mut()).map_err(torn)
+        }
+    }
+
+    /// Serves a whole run with **one** positional read into a reusable flat
+    /// buffer, then splits it into the callers' pages — the bulk scan's way
+    /// of amortizing syscall cost over dozens of pages. A short read falls
+    /// back to the per-page loop so the torn-page error names the exact
+    /// page, same as single reads.
+    #[cfg(unix)]
+    fn read_pages(&mut self, first: PageId, out: &mut [Page]) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        if out.len() < 2 {
+            return match out.first_mut() {
+                Some(page) => self.read_page(first, page),
+                None => Ok(()),
+            };
+        }
+        let bytes = out.len() * PAGE_SIZE;
+        self.scratch.resize(bytes, 0);
+        let offset = first as u64 * PAGE_SIZE as u64;
+        match self.file.read_exact_at(&mut self.scratch[..bytes], offset) {
+            Ok(()) => {
+                for (page, chunk) in out.iter_mut().zip(self.scratch.chunks_exact(PAGE_SIZE)) {
+                    page.bytes_mut().copy_from_slice(chunk);
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                for (k, page) in out.iter_mut().enumerate() {
+                    self.read_page(first + k as PageId, page)?;
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn write_page(&mut self, id: PageId, page: &Page) -> std::io::Result<()> {
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(page.bytes())?;
-        Ok(())
+        let offset = id as u64 * PAGE_SIZE as u64;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(page.bytes(), offset)
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.seek(SeekFrom::Start(offset))?;
+            self.file.write_all(page.bytes())
+        }
     }
 
     fn allocate(&mut self) -> std::io::Result<PageId> {
         let id = self.pages;
         let mut fresh = Page::new();
         fresh.seal();
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(fresh.bytes())?;
+        self.write_page(id, &fresh)?;
         self.pages += 1;
         Ok(id)
     }
@@ -204,7 +270,9 @@ impl PageStore for MemStore {
     fn read_page(&mut self, id: PageId, page: &mut Page) -> std::io::Result<()> {
         match self.pages.get(id as usize) {
             Some(p) => {
-                *page = p.clone();
+                // Fill the caller's buffer in place (no per-read allocation),
+                // mirroring the `FileStore` positional-read contract.
+                page.bytes_mut().copy_from_slice(p.bytes());
                 Ok(())
             }
             None => Err(std::io::Error::new(
@@ -273,6 +341,53 @@ mod tests {
         s.read_page(b, &mut q).unwrap();
         assert_eq!(q.get(0), Some(&b"on disk"[..]));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_pages_matches_single_reads() {
+        let dir = std::env::temp_dir().join("orion_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runs.dat");
+        let mut s = FileStore::create(&path).unwrap();
+        for i in 0..7u8 {
+            let id = s.allocate().unwrap();
+            let mut p = Page::new();
+            p.insert(&[i; 16]).unwrap();
+            s.write_page(id, &p).unwrap();
+        }
+        let mut run = vec![Page::new(); 5];
+        s.read_pages(1, &mut run).unwrap();
+        for (k, got) in run.iter().enumerate() {
+            let mut single = Page::new();
+            s.read_page(1 + k as PageId, &mut single).unwrap();
+            assert_eq!(got.bytes()[..], single.bytes()[..], "page {}", 1 + k);
+        }
+        // An empty run and a one-page run are served too.
+        s.read_pages(0, &mut []).unwrap();
+        s.read_pages(6, &mut run[..1]).unwrap();
+        assert_eq!(run[0].get(0), Some(&[6u8; 16][..]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_pages_past_eof_names_the_torn_page() {
+        let dir = std::env::temp_dir().join("orion_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runs_torn.dat");
+        let mut s = FileStore::create(&path).unwrap();
+        for _ in 0..4 {
+            s.allocate().unwrap();
+        }
+        s.sync().unwrap();
+        // The file loses its last page and a half behind the store's back.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(2 * PAGE_SIZE as u64 + PAGE_SIZE as u64 / 2).unwrap();
+        drop(f);
+        let mut run = vec![Page::new(); 4];
+        let err = s.read_pages(0, &mut run).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("torn page 2"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

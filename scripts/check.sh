@@ -23,6 +23,25 @@ echo "== cargo test -q (ORION_THREADS=4, ORION_TRACE=1) =="
 ORION_THREADS=4 ORION_TRACE=1 ORION_TRACE_FILE="$PWD/target/trace-ci.trace.json" \
     cargo test -q
 
+echo "== cargo test -q (ORION_MODE=batch, ORION_THREADS=1) =="
+# Tier-1 runs again through the columnar batch executor: every test that
+# executes a plan now routes morsels through the batch kernels instead of
+# the scalar row path, and must stay green with bit-identical results.
+ORION_MODE=batch ORION_THREADS=1 cargo test -q
+
+echo "== cargo test -q (ORION_MODE=batch, ORION_THREADS=4) =="
+ORION_MODE=batch ORION_THREADS=4 cargo test -q
+
+echo "== batch differential oracle (3 pinned seeds) =="
+# Replays the serial-vs-batch pipeline oracle with pinned generator seeds,
+# mirroring the recovery oracle's replay protocol: row-serial, row-parallel,
+# batch-serial and batch-parallel runs must agree bit-for-bit.
+for seed in 0xBA7C4 0xDEAD 42; do
+    echo "-- ORION_ORACLE_SEED=$seed --"
+    ORION_ORACLE_SEED=$seed cargo test -q -p orion-tests \
+        --test batch_equiv --test batch_kernels
+done
+
 echo "== ANALYZE + system-table smoke =="
 # Queryable introspection must stay wired end to end: ANALYZE stats
 # collection, the schema-stable orion.* virtual tables, and the gate that
@@ -69,6 +88,23 @@ else
     # intermittently, so report the scaling curve without failing the build.
     cargo run --release -p orion-bench --bin fig_parallel -- --quick ||
         echo "warning: fig_parallel --quick failed (advisory only)" >&2
+fi
+
+echo "== columnar batch speedup check (fig5 row vs batch) =="
+if [ "$CORES" -lt 2 ]; then
+    echo "skipped: effective cores $CORES < 2; timings would be meaningless"
+elif [ "${ORION_SPEEDUP_GATE:-0}" = "1" ]; then
+    # Opt-in hard gate (dedicated hardware): batch mode must reach 3x over
+    # the row path on the widest representation (Discrete(25)), where the
+    # columnar layout has the most bytes to win. The narrow symbolic sweep
+    # is erf-bound in both modes and is reported but not gated.
+    cargo run --release -p orion-bench --bin fig5_performance -- \
+        --compare --min-speedup 3
+else
+    # Advisory by default, same convention as the morsel speedup check.
+    cargo run --release -p orion-bench --bin fig5_performance -- \
+        --compare --min-speedup 3 ||
+        echo "warning: fig5 --compare speedup below 3x (advisory only)" >&2
 fi
 
 echo "== trace schema check =="

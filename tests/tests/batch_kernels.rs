@@ -1,0 +1,356 @@
+//! Per-kernel differential properties: every columnar pdf kernel in
+//! [`Pdf1Batch`] must be **bit-identical** to looping its scalar
+//! counterpart over the same records. Where the batch-level oracle
+//! (`batch_equiv.rs`) checks whole pipelines, these tests isolate one
+//! kernel at a time — mass, selection-vector mass, independence products,
+//! range probability, cumulative, floor regions, scaling, marginalization
+//! folds, and the shared Gaussian cdf lane — over randomly generated
+//! mixed batches (symbolic with floors and partial scales, histograms,
+//! discrete lists), plus the degenerate shapes vectorized code gets
+//! wrong: the empty batch, the all-filtered selection vector, and the
+//! single-element batch.
+
+use orion_pdf::prelude::*;
+use orion_pdf::special::{std_normal_cdf, std_normal_cdf_slice};
+use proptest::prelude::*;
+
+/// Bitwise f64 equality: distinguishes `0.0` from `-0.0` and treats equal
+/// NaN payloads as equal, so a reordered reduction or a skipped lane can
+/// never hide inside `==` tolerance.
+fn assert_bits_eq(batch: f64, scalar: f64, ctx: &str) {
+    assert!(
+        batch.to_bits() == scalar.to_bits(),
+        "{ctx}: batch {batch:?} ({:#018x}) != scalar {scalar:?} ({:#018x})",
+        batch.to_bits(),
+        scalar.to_bits()
+    );
+}
+
+/// A small discrete pdf: up to 4 strictly increasing support points whose
+/// probabilities may sum below 1 (partial pdf → probabilistic existence).
+fn arb_discrete() -> impl Strategy<Value = Pdf1> {
+    (prop::collection::vec((0i64..12, 1u32..5), 1..4), prop::bool::ANY).prop_map(
+        |(raw, partial)| {
+            let denom: u32 = raw.iter().map(|(_, w)| w).sum::<u32>() + 2 * u32::from(partial);
+            let mut pts: Vec<(f64, f64)> =
+                raw.into_iter().map(|(v, w)| (v as f64, w as f64 / denom as f64)).collect();
+            pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            pts.dedup_by_key(|p| p.0);
+            Pdf1::discrete(pts).expect("valid discrete pdf")
+        },
+    )
+}
+
+/// A histogram over `[lo, lo + n*width)` with possibly-partial mass and
+/// occasional empty buckets.
+fn arb_histogram() -> impl Strategy<Value = Pdf1> {
+    (-4.0f64..4.0, 0.25f64..2.0, prop::collection::vec(0u32..4, 1..5)).prop_map(
+        |(lo, width, weights)| {
+            let denom: u32 = weights.iter().sum::<u32>().max(1) + 1;
+            let masses: Vec<f64> = weights.iter().map(|&w| w as f64 / denom as f64).collect();
+            Pdf1::histogram(lo, width, masses).expect("valid histogram")
+        },
+    )
+}
+
+/// A symbolic pdf (Gaussian, uniform, or exponential), optionally floored
+/// over a random region and scaled below full mass — exercising the
+/// floor/scale lanes of the symbolic arena.
+fn arb_symbolic() -> impl Strategy<Value = Pdf1> {
+    let dist = prop_oneof![
+        (-3.0f64..3.0, 0.25f64..4.0).prop_map(|(m, v)| Pdf1::gaussian(m, v).unwrap()),
+        (-3.0f64..0.0, 0.5f64..3.0).prop_map(|(lo, w)| Pdf1::uniform(lo, lo + w).unwrap()),
+        (0.25f64..2.0).prop_map(|r| Pdf1::symbolic(Symbolic::exponential(r).unwrap())),
+    ];
+    (dist, arb_region(), 0u32..3).prop_map(|(p, region, shrink)| {
+        let floored = p.floor_region(&region);
+        if shrink == 0 {
+            floored.scale(0.75)
+        } else {
+            floored
+        }
+    })
+}
+
+fn arb_pdf() -> impl Strategy<Value = Pdf1> {
+    prop_oneof![arb_discrete(), arb_histogram(), arb_symbolic()]
+}
+
+/// A mixed batch of 0..8 records — empty batches are generated
+/// organically alongside the dedicated edge-case tests below.
+fn arb_pdfs() -> impl Strategy<Value = Vec<Pdf1>> {
+    prop::collection::vec(arb_pdf(), 0..8)
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        (-5.0f64..10.0, 0.0f64..6.0).prop_map(|(lo, w)| Interval::new(lo, lo + w)),
+        (-5.0f64..10.0).prop_map(Interval::at_least),
+        (-5.0f64..10.0).prop_map(Interval::at_most),
+        (0.0f64..8.0).prop_map(Interval::point),
+    ]
+}
+
+fn arb_region() -> impl Strategy<Value = RegionSet> {
+    prop::collection::vec((-4.0f64..8.0, 0.0f64..3.0), 0..3).prop_map(|ivs| {
+        RegionSet::from_intervals(
+            ivs.into_iter().map(|(lo, w)| Interval::new(lo, lo + w)).collect(),
+        )
+    })
+}
+
+/// Packs scalar pdfs into a columnar batch via the row-side entry point.
+fn pack(pdfs: &[Pdf1]) -> Pdf1Batch {
+    let mut b = Pdf1Batch::new();
+    for p in pdfs {
+        b.push(p);
+    }
+    b
+}
+
+/// Turns a per-record keep mask into a selection vector; an all-false
+/// mask yields the empty (all-filtered) vector.
+fn sel_from_mask(mask: &[bool]) -> Vec<u32> {
+    mask.iter().enumerate().filter(|(_, &keep)| keep).map(|(i, _)| i as u32).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mass_kernel_matches_scalar(pdfs in arb_pdfs()) {
+        let batch = pack(&pdfs);
+        let mut out = Vec::new();
+        batch.mass_into(&mut out);
+        prop_assert_eq!(out.len(), pdfs.len());
+        for (i, p) in pdfs.iter().enumerate() {
+            assert_bits_eq(out[i], p.mass(), &format!("mass[{i}] of {p:?}"));
+            assert_bits_eq(batch.mass_at(i), p.mass(), &format!("mass_at({i})"));
+        }
+    }
+
+    #[test]
+    fn mass_sel_kernel_matches_scalar(
+        pdfs in prop::collection::vec(arb_pdf(), 1..8),
+        mask in prop::collection::vec(prop::bool::ANY, 8..9),
+    ) {
+        let batch = pack(&pdfs);
+        let sel = sel_from_mask(&mask[..pdfs.len()]);
+        let mut out = Vec::new();
+        batch.mass_sel_into(&sel, &mut out);
+        prop_assert_eq!(out.len(), sel.len());
+        for (j, &i) in sel.iter().enumerate() {
+            assert_bits_eq(out[j], pdfs[i as usize].mass(), &format!("mass_sel slot {j} rec {i}"));
+        }
+    }
+
+    #[test]
+    fn product_mass_kernel_matches_scalar(
+        pairs in prop::collection::vec((arb_pdf(), arb_pdf()), 0..6),
+    ) {
+        let left = pack(&pairs.iter().map(|(a, _)| a.clone()).collect::<Vec<_>>());
+        let right = pack(&pairs.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>());
+        let mut out = Vec::new();
+        left.product_mass_into(&right, &mut out);
+        prop_assert_eq!(out.len(), pairs.len());
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            assert_bits_eq(out[i], a.mass() * b.mass(), &format!("product_mass[{i}]"));
+        }
+    }
+
+    #[test]
+    fn range_prob_kernel_matches_scalar(pdfs in arb_pdfs(), iv in arb_interval()) {
+        let batch = pack(&pdfs);
+        let mut out = Vec::new();
+        batch.range_prob_into(&iv, &mut out);
+        prop_assert_eq!(out.len(), pdfs.len());
+        for (i, p) in pdfs.iter().enumerate() {
+            assert_bits_eq(out[i], p.range_prob(&iv), &format!("range_prob[{i}] over {iv:?}"));
+        }
+    }
+
+    #[test]
+    fn range_prob_sel_kernel_matches_scalar(
+        pdfs in prop::collection::vec(arb_pdf(), 1..8),
+        mask in prop::collection::vec(prop::bool::ANY, 8..9),
+        iv in arb_interval(),
+    ) {
+        let batch = pack(&pdfs);
+        let sel = sel_from_mask(&mask[..pdfs.len()]);
+        let mut out = Vec::new();
+        batch.range_prob_sel_into(&iv, &sel, &mut out);
+        prop_assert_eq!(out.len(), sel.len());
+        for (j, &i) in sel.iter().enumerate() {
+            assert_bits_eq(
+                out[j],
+                pdfs[i as usize].range_prob(&iv),
+                &format!("range_prob_sel slot {j} rec {i}"),
+            );
+        }
+    }
+
+    #[test]
+    fn cumulative_kernel_matches_scalar(pdfs in arb_pdfs(), x in -6.0f64..12.0) {
+        let batch = pack(&pdfs);
+        let mut out = Vec::new();
+        batch.cumulative_into(x, &mut out);
+        prop_assert_eq!(out.len(), pdfs.len());
+        for (i, p) in pdfs.iter().enumerate() {
+            assert_bits_eq(out[i], p.cumulative(x), &format!("cumulative[{i}] at {x}"));
+        }
+    }
+
+    #[test]
+    fn floor_region_kernel_matches_scalar(pdfs in arb_pdfs(), region in arb_region()) {
+        let batch = pack(&pdfs);
+        let mut out = Pdf1Batch::new();
+        batch.floor_region_batch(&region, &mut out);
+        prop_assert_eq!(out.len(), pdfs.len());
+        for (i, p) in pdfs.iter().enumerate() {
+            assert_eq!(out.get(i), p.floor_region(&region), "floor_region[{i}] over {region:?}");
+        }
+    }
+
+    #[test]
+    fn scale_kernel_matches_scalar(pdfs in arb_pdfs(), factor in 0.0f64..1.0) {
+        let mut batch = pack(&pdfs);
+        batch.scale_all(factor);
+        for (i, p) in pdfs.iter().enumerate() {
+            assert_eq!(batch.get(i), p.scale(factor), "scale_all[{i}] by {factor}");
+        }
+    }
+
+    #[test]
+    fn marginalize_fold_matches_scalar(
+        pdfs in arb_pdfs(),
+        raw_dm in prop::collection::vec(-0.5f64..1.5, 8..9),
+    ) {
+        let mut batch = pack(&pdfs);
+        let dm = &raw_dm[..pdfs.len()];
+        batch.marginalize_fold(dm);
+        for (i, p) in pdfs.iter().enumerate() {
+            // The scalar fold used by `JointPdf::marginalize`: dropped
+            // blocks scale the kept pdf only when they lose mass.
+            let expect = if dm[i] < 1.0 { p.scale(dm[i].max(0.0)) } else { p.clone() };
+            assert_eq!(batch.get(i), expect, "marginalize_fold[{}] dm {}", i, dm[i]);
+        }
+    }
+
+    #[test]
+    fn cdf_lane_matches_scalar(zs in prop::collection::vec(-40.0f64..40.0, 0..32)) {
+        let mut out = vec![0.0; zs.len()];
+        std_normal_cdf_slice(&zs, &mut out);
+        for (i, &z) in zs.iter().enumerate() {
+            assert_bits_eq(out[i], std_normal_cdf(z), &format!("std_normal_cdf({z})"));
+        }
+    }
+}
+
+/// The cdf lane must route non-finite inputs through the same branches as
+/// the scalar function (NaN propagation included, compared bitwise).
+#[test]
+fn cdf_lane_handles_non_finite() {
+    let zs = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 1e-300, -37.6, 37.6];
+    let mut out = vec![0.0; zs.len()];
+    std_normal_cdf_slice(&zs, &mut out);
+    for (i, &z) in zs.iter().enumerate() {
+        assert_bits_eq(out[i], std_normal_cdf(z), &format!("non-finite lane {z}"));
+    }
+}
+
+/// One record of each representation, so every kernel's per-kind arm runs
+/// with a batch too small to amortize anything.
+fn singletons() -> Vec<Pdf1> {
+    vec![
+        Pdf1::discrete(vec![(1.0, 0.25), (3.0, 0.5)]).unwrap(),
+        Pdf1::histogram(0.0, 1.0, vec![0.25, 0.0, 0.5]).unwrap(),
+        Pdf1::gaussian(1.0, 2.0)
+            .unwrap()
+            .floor_region(&RegionSet::from_interval(Interval::new(0.0, 0.5))),
+    ]
+}
+
+#[test]
+fn empty_batch_kernels_produce_empty_outputs() {
+    let batch = Pdf1Batch::new();
+    let iv = Interval::new(0.0, 2.0);
+    let region = RegionSet::from_interval(Interval::at_least(1.0));
+
+    let mut out = vec![0.0; 7];
+    batch.mass_into(&mut out);
+    assert!(out.is_empty(), "mass_into must clear stale output");
+    out.push(9.0);
+    batch.mass_sel_into(&[], &mut out);
+    assert!(out.is_empty());
+    out.push(9.0);
+    batch.product_mass_into(&Pdf1Batch::new(), &mut out);
+    assert!(out.is_empty());
+    out.push(9.0);
+    batch.range_prob_into(&iv, &mut out);
+    assert!(out.is_empty());
+    out.push(9.0);
+    batch.range_prob_sel_into(&iv, &[], &mut out);
+    assert!(out.is_empty());
+    out.push(9.0);
+    batch.cumulative_into(0.5, &mut out);
+    assert!(out.is_empty());
+
+    let mut floored = pack(&singletons());
+    batch.floor_region_batch(&region, &mut floored);
+    assert!(floored.is_empty(), "floor_region_batch must clear the output batch");
+
+    let mut mutate = Pdf1Batch::new();
+    mutate.scale_all(0.5);
+    mutate.marginalize_fold(&[]);
+    assert!(mutate.is_empty());
+}
+
+#[test]
+fn all_filtered_selection_vector_yields_nothing() {
+    // A non-empty batch with an empty selection vector: the sel kernels
+    // must not touch any record (a panic or stale output here would mean
+    // the kernel ignores the selection and scans the whole batch).
+    let batch = pack(&singletons());
+    let iv = Interval::new(0.0, 2.0);
+    let mut out = vec![1.0, 2.0, 3.0];
+    batch.mass_sel_into(&[], &mut out);
+    assert!(out.is_empty());
+    out.push(9.0);
+    batch.range_prob_sel_into(&iv, &[], &mut out);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn single_element_batches_match_scalar() {
+    let iv = Interval::new(0.5, 2.5);
+    let region = RegionSet::from_interval(Interval::new(1.0, 2.0));
+    for p in singletons() {
+        let batch = pack(std::slice::from_ref(&p));
+        let mut out = Vec::new();
+
+        batch.mass_into(&mut out);
+        assert_bits_eq(out[0], p.mass(), "single mass");
+        batch.mass_sel_into(&[0], &mut out);
+        assert_bits_eq(out[0], p.mass(), "single mass_sel");
+        batch.range_prob_into(&iv, &mut out);
+        assert_bits_eq(out[0], p.range_prob(&iv), "single range_prob");
+        batch.range_prob_sel_into(&iv, &[0], &mut out);
+        assert_bits_eq(out[0], p.range_prob(&iv), "single range_prob_sel");
+        batch.cumulative_into(1.5, &mut out);
+        assert_bits_eq(out[0], p.cumulative(1.5), "single cumulative");
+        batch.product_mass_into(&batch, &mut out);
+        assert_bits_eq(out[0], p.mass() * p.mass(), "single product_mass");
+
+        let mut floored = Pdf1Batch::new();
+        batch.floor_region_batch(&region, &mut floored);
+        assert_eq!(floored.get(0), p.floor_region(&region), "single floor_region");
+
+        let mut scaled = pack(std::slice::from_ref(&p));
+        scaled.scale_all(0.5);
+        assert_eq!(scaled.get(0), p.scale(0.5), "single scale_all");
+
+        let mut folded = pack(std::slice::from_ref(&p));
+        folded.marginalize_fold(&[0.25]);
+        assert_eq!(folded.get(0), p.scale(0.25), "single marginalize_fold");
+    }
+}
