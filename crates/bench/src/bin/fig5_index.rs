@@ -1,0 +1,95 @@
+//! Regenerates the fig5 index variant: threshold-query runtime through a
+//! persistent cdf-summary index vs the seed full scan, per selectivity,
+//! in row and batch execution modes.
+//!
+//! Usage: `fig5_index [--full] [--n N] [--selectivity S] [--queries Q]
+//! [--min-speedup X] [--json PATH]`
+//!
+//! Default sweeps selectivities 0.02/0.05/0.1 over 20K tuples; `--full`
+//! raises the relation to 100K. `--selectivity S` restricts the sweep to
+//! one point. With `--min-speedup X` the process exits non-zero when the
+//! smallest steady-state speedup at selectivity ≤ 0.1 falls below `X`.
+//! Results are bitwise-identical across paths by construction — the sweep
+//! aborts on any divergence.
+
+use orion_bench::fig5_index::{min_query_speedup, rows_to_json, run, FigIndexConfig};
+use orion_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = if args.iter().any(|a| a == "--full") {
+        FigIndexConfig::full()
+    } else {
+        FigIndexConfig::default()
+    };
+    if let Some(n) = args.iter().position(|a| a == "--n").and_then(|i| args.get(i + 1)) {
+        cfg.n_tuples = n.parse().expect("--n expects a tuple count");
+    }
+    if let Some(s) = args.iter().position(|a| a == "--selectivity").and_then(|i| args.get(i + 1)) {
+        cfg.selectivities = vec![s.parse().expect("--selectivity expects a fraction")];
+    }
+    if let Some(q) = args.iter().position(|a| a == "--queries").and_then(|i| args.get(i + 1)) {
+        cfg.n_queries = q.parse().expect("--queries expects a count");
+    }
+    let min_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-speedup")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--min-speedup expects a number"));
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    eprintln!(
+        "fig5 index variant: {} tuples, selectivities {:?}, {} queries each, p = {}",
+        cfg.n_tuples, cfg.selectivities, cfg.n_queries, cfg.p
+    );
+    let rows = run(&cfg).expect("index-vs-scan sweep");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.3}", r.target_selectivity),
+                r.mode.clone(),
+                r.matches.to_string(),
+                report::fmt_secs(r.build_secs),
+                report::fmt_secs(r.scan_secs),
+                report::fmt_secs(r.index_secs),
+                format!("{:.2}x", r.query_speedup),
+                format!("{:.2}x", r.total_speedup),
+                r.pruned.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::text_table(
+            &[
+                "selectivity",
+                "mode",
+                "matches",
+                "build",
+                "scan",
+                "index",
+                "q_speedup",
+                "t_speedup",
+                "pruned"
+            ],
+            &table
+        )
+    );
+    let min = min_query_speedup(&rows);
+    eprintln!("min steady-state speedup at selectivity <= 0.1: {min:.2}x");
+    if let Some(p) = json_path {
+        report::write_json(&p, &rows_to_json(&rows)).expect("write json");
+        eprintln!("wrote {}", p.display());
+    }
+    if let Some(gate) = min_speedup {
+        if min < gate {
+            eprintln!("index speedup {min:.2}x below required {gate:.2}x");
+            std::process::exit(1);
+        }
+    }
+}

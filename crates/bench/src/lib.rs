@@ -19,6 +19,7 @@
 pub mod durability;
 pub mod fig4;
 pub mod fig5;
+pub mod fig5_index;
 pub mod fig6;
 pub mod parallel;
 pub mod report;

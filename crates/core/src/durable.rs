@@ -59,6 +59,7 @@
 use crate::error::{EngineError, Result};
 use crate::history::{HistoryRegistry, PdfId};
 use crate::persist::{self, LoadState};
+use crate::pindex::{IndexCatalog, IndexDef, IndexHandle, IndexKind};
 use crate::relation::Relation;
 use crate::schema::ProbSchema;
 use crate::stats_catalog::{analyze_relation, StatsCatalog};
@@ -134,6 +135,10 @@ pub(crate) struct CkptMarks {
     /// equality is defined as bitwise encoding equality, so comparing
     /// bytes tells an incremental checkpoint whether `ANALYZE` ran since.
     stats: Vec<u8>,
+    /// Canonical encoding of the index definitions the chain contains
+    /// (same byte-compare discipline as `stats`): tells an incremental
+    /// checkpoint whether `CREATE INDEX` ran since.
+    indexes: Vec<u8>,
     /// Whether a delete or update ran since the last checkpoint. Such
     /// mutations break the append-only assumption the incremental
     /// record-diff relies on (tuple counts can shrink, existing tuples can
@@ -146,11 +151,13 @@ impl CkptMarks {
         tables: &HashMap<String, Relation>,
         reg: &HistoryRegistry,
         stats: &StatsCatalog,
+        indexes: &IndexCatalog,
     ) -> CkptMarks {
         CkptMarks {
             last_base: reg.last_id(),
             tables: tables.iter().map(|(n, r)| (n.clone(), r.tuples.len())).collect(),
             stats: stats.encode(),
+            indexes: indexes.encode(),
             mutated: false,
         }
     }
@@ -172,6 +179,10 @@ pub struct DurableDb {
     /// Per-table statistics collected by [`DurableDb::analyze_table`],
     /// persisted as WAL/snapshot records so they survive recovery.
     stats: StatsCatalog,
+    /// Secondary-index catalog: definitions are durable (WAL + snapshot
+    /// records), trees are rebuilt lazily. Shared with query executors
+    /// via [`DurableDb::indexes`].
+    indexes: IndexHandle,
     /// Checkpoint page accounting (`ckpt_pages_copied` / `_skipped`).
     io: Arc<IoStats>,
 }
@@ -201,7 +212,7 @@ impl DurableDb {
         // Everything loaded so far lives in the persistent chain: that is
         // what the next incremental checkpoint starts from. WAL records
         // replayed below are new relative to it.
-        let marks = CkptMarks::capture(&state.tables, &state.reg, &state.stats);
+        let marks = CkptMarks::capture(&state.tables, &state.reg, &state.stats, &state.indexes);
         let (mut wal, replay) = Wal::open(&dir.join(WAL_FILE))?;
         let wal_epoch = replay.records.first().and_then(|r| persist::record_epoch(r)).unwrap_or(0);
         let mut replayed = 0u64;
@@ -279,6 +290,7 @@ impl DurableDb {
         };
         let epoch = state.wal_epoch.max(snap_epoch);
         let stats = state.take_stats();
+        let indexes = IndexHandle::from_catalog(state.take_indexes());
         let (tables, reg) = state.finish();
         let wal = GroupWal::new(wal, cfg);
         set_epoch_stamp(&wal, epoch)?;
@@ -291,6 +303,7 @@ impl DurableDb {
             marks,
             recovery,
             stats,
+            indexes,
             io: Arc::new(IoStats::default()),
         })
     }
@@ -334,6 +347,47 @@ impl DurableDb {
         &self.stats
     }
 
+    /// Creates a secondary index and durably logs its definition. `kind`
+    /// defaults by column certainty (`cdf` for uncertain, `evx` for
+    /// certain). Only the definition is persisted — the tree is rebuilt
+    /// lazily on first use. On a failed commit nothing is applied.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        column: &str,
+        kind: Option<IndexKind>,
+    ) -> Result<()> {
+        let def = validate_index_def(&self.tables, &self.indexes, name, table, column, kind)?;
+        let mut buf = Vec::new();
+        persist::encode_index_def(&def, &mut buf);
+        self.wal.commit(&[buf])?;
+        self.indexes.lock().create(def)
+    }
+
+    /// Drops a secondary index and durably logs the drop. On a failed
+    /// commit nothing is applied.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        if self.indexes.lock().get(name).is_none() {
+            return Err(EngineError::Operator(format!("unknown index '{name}'")));
+        }
+        let mut buf = Vec::new();
+        persist::encode_index_drop(name, &mut buf);
+        self.wal.commit(&[buf])?;
+        let _ = self.indexes.lock().drop_index(name);
+        // The chain may still carry this index's definition record; an
+        // append-only delta cannot retract it, so the next checkpoint
+        // must rewrite the base.
+        self.marks.mutated = true;
+        Ok(())
+    }
+
+    /// The shared index catalog handle (seed it into
+    /// [`crate::select::ExecOptions::indexes`] so the planner sees it).
+    pub fn indexes(&self) -> IndexHandle {
+        self.indexes.clone()
+    }
+
     /// Inserts a tuple (see [`Relation::insert`]) and commits it through
     /// the WAL. On return the insert is durable; on error nothing is
     /// applied — a failed WAL append/sync rolls the in-memory mutation
@@ -350,7 +404,9 @@ impl DurableDb {
             .get_mut(table)
             .ok_or_else(|| EngineError::Operator(format!("unknown table '{table}'")))?;
         rel.insert(&mut self.reg, certain, uncertain)?;
-        self.log_tail(table, before)
+        self.log_tail(table, before)?;
+        self.indexes.lock().note_mutation(table);
+        Ok(())
     }
 
     /// Inserts a tuple of independent 1-D pdfs (see
@@ -368,7 +424,9 @@ impl DurableDb {
             .get_mut(table)
             .ok_or_else(|| EngineError::Operator(format!("unknown table '{table}'")))?;
         rel.insert_simple(&mut self.reg, certain, pdfs)?;
-        self.log_tail(table, before)
+        self.log_tail(table, before)?;
+        self.indexes.lock().note_mutation(table);
+        Ok(())
     }
 
     /// Logs the base pdfs the last insert registered (ids in
@@ -424,6 +482,7 @@ impl DurableDb {
             &self.tables,
             &self.reg,
             &self.stats,
+            &self.indexes,
             &mut self.epoch,
             &mut self.marks,
             &self.wal,
@@ -445,6 +504,7 @@ impl DurableDb {
             &self.tables,
             &self.reg,
             &self.stats,
+            &self.indexes,
             &mut self.epoch,
             &mut self.marks,
             &self.wal,
@@ -567,6 +627,7 @@ impl DurableDb {
                     epoch: self.epoch,
                     marks: self.marks,
                     stats: self.stats,
+                    indexes: self.indexes,
                     in_flight: 0,
                     commit_seq: 0,
                 }),
@@ -593,6 +654,46 @@ fn set_epoch_stamp(wal: &GroupWal, epoch: u64) -> Result<()> {
         wal.set_stamp(Some(&buf))?;
     }
     Ok(())
+}
+
+/// Validates a CREATE INDEX against the live tables and catalog, resolving
+/// the key layout (`cdf` for uncertain columns, `evx` for certain ones
+/// when not forced). The same kind/column compatibility check
+/// [`crate::pindex::BuiltIndex::build`] applies runs here, so an
+/// unbuildable definition is never logged.
+pub fn validate_index_def(
+    tables: &HashMap<String, Relation>,
+    indexes: &IndexHandle,
+    name: &str,
+    table: &str,
+    column: &str,
+    kind: Option<IndexKind>,
+) -> Result<IndexDef> {
+    if indexes.lock().get(name).is_some() {
+        return Err(EngineError::Operator(format!("index '{name}' already exists")));
+    }
+    let rel = tables
+        .get(table)
+        .ok_or_else(|| EngineError::Operator(format!("unknown table '{table}'")))?;
+    let col = rel
+        .schema
+        .column(column)
+        .ok_or_else(|| EngineError::Schema(format!("unknown column '{column}'")))?;
+    let kind = kind.unwrap_or(if col.uncertain { IndexKind::Cdf } else { IndexKind::Evx });
+    match kind {
+        IndexKind::Evx if col.uncertain => {
+            return Err(EngineError::Operator(format!(
+                "evx index needs a certain column ('{column}' is uncertain); use USING cdf"
+            )))
+        }
+        IndexKind::Cdf if !col.uncertain => {
+            return Err(EngineError::Operator(format!(
+                "cdf index needs an uncertain column ('{column}' is certain); use USING evx"
+            )))
+        }
+        _ => {}
+    }
+    Ok(IndexDef { name: name.into(), table: table.into(), column: column.into(), kind })
 }
 
 /// Encodes one insert's WAL unit: the base records it registered (ids in
@@ -641,6 +742,7 @@ fn checkpoint_full(
     tables: &HashMap<String, Relation>,
     reg: &HistoryRegistry,
     stats: &StatsCatalog,
+    indexes: &IndexHandle,
     epoch: &mut u64,
     marks: &mut CkptMarks,
     wal: &GroupWal,
@@ -649,7 +751,8 @@ fn checkpoint_full(
     let mut span = ckpt_span("checkpoint.full");
     let new_epoch = *epoch + 1;
     let snap = dir.join(SNAPSHOT_FILE);
-    persist::save_snapshot_with_stats(&snap, tables, reg, stats, new_epoch)?;
+    let cat = indexes.lock();
+    persist::save_snapshot_full(&snap, tables, reg, stats, &cat, new_epoch)?;
     // A full checkpoint copies every page of the new base; the counter
     // mirrors the incremental path's copied/skipped accounting.
     let pages = std::fs::metadata(&snap).map(|m| m.len().div_ceil(PAGE_SIZE as u64)).unwrap_or(0);
@@ -663,7 +766,8 @@ fn checkpoint_full(
     // with stale epochs, and recovery removes them.
     DeltaFile::remove_all(dir)?;
     *epoch = new_epoch;
-    *marks = CkptMarks::capture(tables, reg, stats);
+    *marks = CkptMarks::capture(tables, reg, stats, &cat);
+    drop(cat);
     wal.reset()?;
     set_epoch_stamp(wal, new_epoch)?;
     Ok(())
@@ -678,6 +782,7 @@ fn checkpoint_incremental(
     tables: &HashMap<String, Relation>,
     reg: &HistoryRegistry,
     stats: &StatsCatalog,
+    indexes: &IndexHandle,
     epoch: &mut u64,
     marks: &mut CkptMarks,
     wal: &GroupWal,
@@ -686,16 +791,19 @@ fn checkpoint_incremental(
     let snap = dir.join(SNAPSHOT_FILE);
     if !snap.exists() {
         // Nothing to increment on — the first checkpoint is always full.
-        return checkpoint_full(dir, tables, reg, stats, epoch, marks, wal, io);
+        return checkpoint_full(dir, tables, reg, stats, indexes, epoch, marks, wal, io);
     }
     if marks.mutated {
-        // A delete or update ran since the last checkpoint: the chain's
-        // records are no longer a prefix of the current state, so the
-        // append-only diff below would be wrong. Rewrite the base.
-        return checkpoint_full(dir, tables, reg, stats, epoch, marks, wal, io);
+        // A delete, update, or index drop ran since the last checkpoint:
+        // the chain's records are no longer a prefix of the current state,
+        // so the append-only diff below would be wrong. Rewrite the base.
+        return checkpoint_full(dir, tables, reg, stats, indexes, epoch, marks, wal, io);
     }
+    let cat = indexes.lock();
     let stats_changed = stats.encode() != marks.stats;
+    let indexes_changed = cat.encode() != marks.indexes;
     let new_work = stats_changed
+        || indexes_changed
         || reg.last_id() > marks.last_base
         || tables
             .iter()
@@ -750,6 +858,17 @@ fn checkpoint_incremental(
             heap.insert(&buf)?;
         }
     }
+    if indexes_changed {
+        // Index replay installs-by-name, so re-emitting every definition
+        // is idempotent. Only creates reach this path — a drop sets the
+        // `mutated` mark and forces a full checkpoint, because an
+        // append-only delta cannot retract the chain's create record.
+        for def in cat.defs() {
+            buf.clear();
+            persist::encode_index_def(def, &mut buf);
+            heap.insert(&buf)?;
+        }
+    }
     heap.pool().flush()?;
     let dirty = heap.pool().dirty_pages_since_mark();
     let total = heap.page_count() as u64;
@@ -770,7 +889,8 @@ fn checkpoint_incremental(
     // The delta rename is the commit point of this checkpoint.
     DeltaFile { epoch: new_epoch, pages }.write_atomic(dir)?;
     *epoch = new_epoch;
-    *marks = CkptMarks::capture(tables, reg, stats);
+    *marks = CkptMarks::capture(tables, reg, stats, &cat);
+    drop(cat);
     wal.reset()?;
     set_epoch_stamp(wal, new_epoch)?;
     Ok(())
@@ -785,6 +905,7 @@ pub(crate) struct SharedCore {
     pub(crate) epoch: u64,
     pub(crate) marks: CkptMarks,
     pub(crate) stats: StatsCatalog,
+    pub(crate) indexes: IndexHandle,
     /// Inserts whose in-memory mutation has been applied but whose WAL
     /// commit has not yet resolved. Checkpoints wait for zero: a snapshot
     /// taken mid-commit could capture a tuple that then fails its commit
@@ -851,6 +972,7 @@ impl SharedDurableDb {
                     marks: core.marks,
                     recovery: inner.recovery,
                     stats: core.stats,
+                    indexes: core.indexes,
                     io: inner.io,
                 })
             }
@@ -889,6 +1011,47 @@ impl SharedDurableDb {
         self.inner.wal.commit(&[buf])?;
         core.stats.insert(ts);
         Ok(())
+    }
+
+    /// Creates a secondary index and durably logs its definition (see
+    /// [`DurableDb::create_index`]). The core lock is held across the
+    /// commit so the definition matches the schema it was validated
+    /// against.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table: &str,
+        column: &str,
+        kind: Option<IndexKind>,
+    ) -> Result<()> {
+        let core = self.inner.core.lock();
+        let def = validate_index_def(&core.tables, &core.indexes, name, table, column, kind)?;
+        let mut buf = Vec::new();
+        persist::encode_index_def(&def, &mut buf);
+        self.inner.wal.commit(&[buf])?;
+        let created = core.indexes.lock().create(def);
+        created
+    }
+
+    /// Drops a secondary index and durably logs the drop (see
+    /// [`DurableDb::drop_index`]).
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        let mut core = self.inner.core.lock();
+        if core.indexes.lock().get(name).is_none() {
+            return Err(EngineError::Operator(format!("unknown index '{name}'")));
+        }
+        let mut buf = Vec::new();
+        persist::encode_index_drop(name, &mut buf);
+        self.inner.wal.commit(&[buf])?;
+        let _ = core.indexes.lock().drop_index(name);
+        // An append-only delta cannot retract the chain's create record.
+        core.marks.mutated = true;
+        Ok(())
+    }
+
+    /// The shared index catalog handle (see [`DurableDb::indexes`]).
+    pub fn indexes(&self) -> IndexHandle {
+        self.inner.core.lock().indexes.clone()
     }
 
     /// Inserts a tuple (see [`Relation::insert`]) and commits it through
@@ -950,6 +1113,8 @@ impl SharedDurableDb {
         if committed.is_err() {
             let tuple_bytes = payloads.last().expect("insert unit has a tuple record");
             rollback_insert(&mut core, table, before, Some(tuple_bytes));
+        } else {
+            core.indexes.lock().note_mutation(table);
         }
         core.in_flight -= 1;
         if core.in_flight == 0 {
@@ -980,6 +1145,7 @@ impl SharedDurableDb {
             &core.tables,
             &core.reg,
             &core.stats,
+            &core.indexes,
             &mut core.epoch,
             &mut core.marks,
             &self.inner.wal,
@@ -998,6 +1164,7 @@ impl SharedDurableDb {
             &core.tables,
             &core.reg,
             &core.stats,
+            &core.indexes,
             &mut core.epoch,
             &mut core.marks,
             &self.inner.wal,
@@ -1556,6 +1723,105 @@ mod tests {
         drop(db);
         let db = DurableDb::open(&dir).unwrap();
         assert_eq!(db.stats_catalog().encode(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_defs_survive_reopen_via_wal_replay() {
+        let dir = temp_dir("index_wal");
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 3);
+            db.create_index("ix_v", "readings", "v", None).unwrap();
+            db.create_index("ix_id", "readings", "id", None).unwrap();
+            // Kind is resolved by column certainty when not forced.
+            let cat = db.indexes();
+            let cat = cat.lock();
+            assert_eq!(cat.get("ix_v").unwrap().kind, IndexKind::Cdf);
+            assert_eq!(cat.get("ix_id").unwrap().kind, IndexKind::Evx);
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        let handle = db.indexes();
+        let cat = handle.lock();
+        assert_eq!(cat.defs().count(), 2, "defs replayed from the WAL");
+        assert_eq!(cat.get("ix_v").unwrap().column, "v");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_defs_survive_checkpoints_and_drop_forces_full() {
+        let dir = temp_dir("index_ckpt");
+        let encoded;
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 2);
+            db.checkpoint().unwrap();
+            // CREATE INDEX alone counts as incremental-checkpoint work.
+            let epoch = db.epoch();
+            db.create_index("ix_v", "readings", "v", None).unwrap();
+            db.checkpoint_incremental().unwrap();
+            assert_eq!(db.epoch(), epoch + 1, "index DDL bumps the chain");
+            assert_eq!(db.wal_len(), 0);
+            encoded = db.indexes().lock().encode();
+        }
+        {
+            let db = DurableDb::open(&dir).unwrap();
+            assert_eq!(db.recovery().wal_records_replayed, 0, "defs live in the chain");
+            assert_eq!(db.indexes().lock().encode(), encoded, "bitwise-identical defs");
+        }
+        {
+            // Dropping retracts the def durably even though the chain still
+            // carries its create record: the drop rides the WAL, and the
+            // next checkpoint is forced full.
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.drop_index("ix_v").unwrap();
+            db.checkpoint_incremental().unwrap();
+            assert!(DeltaFile::list(&dir).unwrap().is_empty(), "drop forces a full ckpt");
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.indexes().lock().defs().count(), 0, "drop survived recovery");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_index_validates_before_logging() {
+        let dir = temp_dir("index_validate");
+        let mut db = DurableDb::open(&dir).unwrap();
+        db.create_table("readings", schema()).unwrap();
+        assert!(db.create_index("ix", "nope", "v", None).is_err(), "unknown table");
+        assert!(db.create_index("ix", "readings", "nope", None).is_err(), "unknown column");
+        assert!(
+            db.create_index("ix", "readings", "v", Some(IndexKind::Evx)).is_err(),
+            "evx over uncertain column"
+        );
+        assert!(
+            db.create_index("ix", "readings", "id", Some(IndexKind::Cdf)).is_err(),
+            "cdf over certain column"
+        );
+        db.create_index("ix", "readings", "v", None).unwrap();
+        assert!(db.create_index("ix", "readings", "id", None).is_err(), "duplicate name");
+        assert!(db.drop_index("ghost").is_err(), "unknown index drop");
+        assert!(db.wal_len() > 0);
+        // None of the failed DDL reached the log: recovery sees one def.
+        drop(db);
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.indexes().lock().defs().count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dml_bumps_index_staleness_epoch() {
+        let dir = temp_dir("index_epoch");
+        let mut db = DurableDb::open(&dir).unwrap();
+        db.create_table("readings", schema()).unwrap();
+        insert_n(&mut db, 0, 1);
+        // No index defined yet: inserts do not track epochs.
+        assert_eq!(db.indexes().lock().epoch("readings"), 0);
+        db.create_index("ix_v", "readings", "v", None).unwrap();
+        insert_n(&mut db, 1, 2);
+        assert_eq!(db.indexes().lock().epoch("readings"), 2, "one bump per insert");
         std::fs::remove_dir_all(&dir).ok();
     }
 

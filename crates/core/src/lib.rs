@@ -47,6 +47,7 @@ pub mod interval_of_cmp;
 pub mod join;
 pub mod monte_carlo;
 pub mod persist;
+pub mod pindex;
 pub mod plan;
 pub mod predicate;
 pub mod project;
@@ -71,14 +72,17 @@ pub mod prelude {
     pub use crate::exec_par::{effective_threads, insert_batch, BulkRow, DEFAULT_MORSEL_SIZE};
     pub use crate::history::{Ancestors, HistoryRegistry, PdfId};
     pub use crate::join::{cross, join};
-    pub use crate::plan::Plan;
+    pub use crate::pindex::{
+        BuiltIndex, IndexCatalog, IndexDef, IndexHandle, IndexKind, PlannerMode,
+    };
+    pub use crate::plan::{AccessPlan, CostModel, Plan};
     pub use crate::predicate::{CmpOp, Predicate, Scalar};
     pub use crate::project::project;
     pub use crate::relation::Relation;
     pub use crate::schema::{closure, AttrId, Column, ColumnType, ProbSchema};
-    pub use crate::select::{select, ExecOptions};
+    pub use crate::select::{select, select_masked, ExecOptions};
     pub use crate::stats_catalog::{analyze_relation, StatsCatalog, TableStats};
-    pub use crate::threshold::{threshold_attrs, threshold_pred};
+    pub use crate::threshold::{threshold_attrs, threshold_pred, threshold_pred_masked};
     pub use crate::tuple::{PdfNode, ProbTuple};
     pub use crate::txn::Txn;
     pub use crate::value::Value;

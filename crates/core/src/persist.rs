@@ -20,6 +20,10 @@
 //!              unique; byte-equal duplicates are interchangeable)
 //! [10: update] replace one tuple in place: the old tuple's encoded bytes
 //!              plus the full replacement tuple record
+//! [11: index]  one secondary-index definition (name, table, column, kind);
+//!              replay installs-or-overwrites by name, so it is idempotent
+//! [12: index drop] drop one index definition by name; dropping an unknown
+//!              name is a no-op, so replay is idempotent
 //! ```
 //!
 //! Records 6–8 never reach [`apply_record`]: WAL replay intercepts them
@@ -45,6 +49,7 @@
 
 use crate::error::{EngineError, Result};
 use crate::history::{Ancestors, BasePdf, HistoryRegistry, PdfId};
+use crate::pindex::{IndexCatalog, IndexDef};
 use crate::relation::Relation;
 use crate::schema::{ensure_attr_floor, AttrId, Column, ColumnType, ProbSchema};
 use crate::stats_catalog::{StatsCatalog, TableStats};
@@ -66,6 +71,8 @@ pub(crate) const TAG_TXN_COMMIT: u8 = 7;
 pub(crate) const TAG_TXN_ABORT: u8 = 8;
 pub(crate) const TAG_DELETE: u8 = 9;
 pub(crate) const TAG_UPDATE: u8 = 10;
+pub(crate) const TAG_INDEX: u8 = 11;
+pub(crate) const TAG_INDEX_DROP: u8 = 12;
 
 fn put_str(s: &str, out: &mut impl BufMut) {
     out.put_u32_le(s.len() as u32);
@@ -241,6 +248,18 @@ pub(crate) fn encode_stats(stats: &TableStats, out: &mut Vec<u8>) {
     out.extend_from_slice(&stats.encode());
 }
 
+/// Encodes one secondary-index definition as a tagged record.
+pub(crate) fn encode_index_def(def: &IndexDef, out: &mut Vec<u8>) {
+    out.put_u8(TAG_INDEX);
+    def.encode_into(out);
+}
+
+/// Encodes an index drop (by name) as a tagged record.
+pub(crate) fn encode_index_drop(name: &str, out: &mut Vec<u8>) {
+    out.put_u8(TAG_INDEX_DROP);
+    put_str(name, out);
+}
+
 /// If `rec` is a checkpoint-epoch record, the epoch it carries.
 pub(crate) fn record_epoch(rec: &[u8]) -> Option<u64> {
     if rec.len() == 9 && rec[0] == TAG_EPOCH {
@@ -348,6 +367,22 @@ pub fn save_snapshot_with_stats(
     stats: &StatsCatalog,
     epoch: u64,
 ) -> Result<()> {
+    save_snapshot_full(path, tables, reg, stats, &IndexCatalog::new(), epoch)
+}
+
+/// [`save_snapshot_with_stats`] that also persists the secondary-index
+/// catalog: one index record per definition, written last (after stats).
+/// Only definitions are durable — trees are rebuilt deterministically on
+/// first use. An empty catalog writes nothing, matching the legacy format
+/// byte for byte.
+pub fn save_snapshot_full(
+    path: &Path,
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    stats: &StatsCatalog,
+    indexes: &IndexCatalog,
+    epoch: u64,
+) -> Result<()> {
     let tmp = {
         let mut os = path.as_os_str().to_os_string();
         os.push(".tmp");
@@ -383,6 +418,11 @@ pub fn save_snapshot_with_stats(
     for ts in stats.iter() {
         buf.clear();
         encode_stats(ts, &mut buf);
+        heap.insert(&buf)?;
+    }
+    for def in indexes.defs() {
+        buf.clear();
+        encode_index_def(def, &mut buf);
         heap.insert(&buf)?;
     }
     heap.sync()?;
@@ -496,6 +536,9 @@ pub struct LoadState {
     /// ANALYZE statistics rebuilt so far (stats records overwrite per
     /// table, so replay is idempotent).
     pub stats: StatsCatalog,
+    /// Secondary-index definitions rebuilt so far (index records install
+    /// by name and drops ignore unknown names, so replay is idempotent).
+    pub indexes: IndexCatalog,
 }
 
 impl LoadState {
@@ -511,6 +554,13 @@ impl LoadState {
     /// [`LoadState::finish`]).
     pub fn take_stats(&mut self) -> StatsCatalog {
         std::mem::take(&mut self.stats)
+    }
+
+    /// Takes the rebuilt index catalog out of the state (call before
+    /// [`LoadState::finish`]). Only definitions are durable — the trees
+    /// themselves are rebuilt deterministically on first use.
+    pub fn take_indexes(&mut self) -> IndexCatalog {
+        std::mem::take(&mut self.indexes)
     }
 }
 
@@ -644,6 +694,26 @@ pub fn apply_record(rec: &[u8], state: &mut LoadState) -> Result<()> {
             let mut payload = vec![0u8; buf.remaining()];
             buf.copy_to_slice(&mut payload);
             state.stats.insert(TableStats::decode(&payload)?);
+        }
+        TAG_INDEX => {
+            let mut payload = vec![0u8; buf.remaining()];
+            buf.copy_to_slice(&mut payload);
+            let (def, used) = IndexDef::decode(&payload)?;
+            if used != payload.len() {
+                return Err(EngineError::Corrupt(format!(
+                    "index record has {} trailing bytes",
+                    payload.len() - used
+                )));
+            }
+            // Install-or-overwrite by name: replay is idempotent.
+            state.indexes.install(def);
+        }
+        TAG_INDEX_DROP => {
+            let name = get_str(buf).map_err(bad)?;
+            // Dropping an unknown name is a no-op: a snapshot taken after
+            // the drop no longer carries the definition, so WAL replay of
+            // the drop record over that snapshot must not error.
+            let _ = state.indexes.drop_index(&name);
         }
         t => return Err(EngineError::Corrupt(format!("unknown record tag {t}"))),
     }
@@ -1028,6 +1098,59 @@ mod tests {
             let r = apply_record(&rec[..cut], &mut LoadState::default());
             assert!(r.is_err(), "prefix of {cut} bytes must not decode");
             assert!(r.unwrap_err().is_corruption(), "prefix errors classify as corruption");
+        }
+    }
+
+    #[test]
+    fn index_records_round_trip_and_replay_idempotently() {
+        use crate::pindex::IndexKind;
+        let (tables, reg) = sample_db();
+        let mut indexes = IndexCatalog::new();
+        indexes
+            .create(IndexDef {
+                name: "ix_v".into(),
+                table: "readings".into(),
+                column: "v".into(),
+                kind: IndexKind::Cdf,
+            })
+            .unwrap();
+        indexes
+            .create(IndexDef {
+                name: "ix_rid".into(),
+                table: "readings".into(),
+                column: "rid".into(),
+                kind: IndexKind::Evx,
+            })
+            .unwrap();
+        let path = temp("indexes.db");
+        save_snapshot_full(&path, &tables, &reg, &StatsCatalog::new(), &indexes, 3).unwrap();
+        let mut state = LoadState::default();
+        load_into(&path, &mut state).unwrap();
+        let loaded = state.take_indexes();
+        assert_eq!(loaded.encode(), indexes.encode(), "bitwise-identical defs after reload");
+        assert_eq!(state.wal_epoch, 3);
+        std::fs::remove_file(&path).ok();
+
+        // Replay idempotency: applying the same index record twice installs
+        // once; dropping twice (or over a snapshot that never had it) is a
+        // no-op, never an error.
+        let def = indexes.get("ix_v").unwrap().clone();
+        let mut rec = Vec::new();
+        encode_index_def(&def, &mut rec);
+        let mut state = LoadState::default();
+        apply_record(&rec, &mut state).unwrap();
+        apply_record(&rec, &mut state).unwrap();
+        assert_eq!(state.indexes.defs().count(), 1);
+        let mut drop_rec = Vec::new();
+        encode_index_drop("ix_v", &mut drop_rec);
+        apply_record(&drop_rec, &mut state).unwrap();
+        apply_record(&drop_rec, &mut state).unwrap();
+        assert_eq!(state.indexes.defs().count(), 0);
+
+        // Every strict prefix of an index record errors as corruption.
+        for cut in 1..rec.len() {
+            let r = apply_record(&rec[..cut], &mut LoadState::default());
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
         }
     }
 

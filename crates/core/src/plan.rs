@@ -8,15 +8,18 @@
 use crate::error::{EngineError, Result};
 use crate::history::HistoryRegistry;
 use crate::join::join;
+use crate::pindex::{IndexKind, PlannerMode, MIN_PRUNABLE_P};
 use crate::predicate::{CmpOp, Predicate};
 use crate::project::project;
 use crate::relation::Relation;
-use crate::select::{select, ExecOptions};
+use crate::select::{select_masked, ExecOptions};
 use crate::stats_catalog::{
-    StatsCatalog, TableStats, MAGIC_ROWS, MAGIC_SELECTIVITY, MAGIC_THRESHOLD_SELECTIVITY,
+    pred_interval, StatsCatalog, TableStats, MAGIC_ROWS, MAGIC_SELECTIVITY,
+    MAGIC_THRESHOLD_SELECTIVITY,
 };
-use crate::threshold::{threshold_attrs, threshold_pred};
-use orion_obs::{ExecStats, OpProfile, Span};
+use crate::threshold::{threshold_attrs, threshold_pred, threshold_pred_masked};
+use orion_obs::{AltPath, ExecStats, OpProfile, Span};
+use orion_pdf::prelude::Interval;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -144,6 +147,178 @@ pub fn annotate_estimates(profile: &mut OpProfile, plan: &Plan, catalog: &StatsC
     }
 }
 
+/// Abstract per-operation cost constants for the access-path planner.
+///
+/// The units are arbitrary but the *ratios* are calibrated from orion-obs
+/// counters on the fig5 sensor workload (`elapsed_nanos` attributed per
+/// counter increment): one pdf floor-and-collapse costs on the order of
+/// microseconds, per-tuple plumbing and an index-page fault-in cost tens to
+/// hundreds of nanoseconds, and a candidate-mask probe costs a few
+/// nanoseconds. Setting `cpu_tuple = 1` as the unit gives the defaults
+/// below.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Faulting one 8 KiB index page through the buffer pool.
+    pub io_page: f64,
+    /// Per-tuple executor plumbing (clone, refcount, dispatch).
+    pub cpu_tuple: f64,
+    /// Evaluating one tuple's predicate probability (floor + collapse).
+    pub cpu_pdf: f64,
+    /// Checking one tuple against an index candidate mask.
+    pub cpu_probe: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel { io_page: 10.0, cpu_tuple: 1.0, cpu_pdf: 50.0, cpu_probe: 0.05 }
+    }
+}
+
+/// The outcome of an access-path decision: the candidate mask to execute
+/// with (`None` means full scan) and every alternative the planner priced,
+/// winner flagged, for `EXPLAIN` and the profile tree.
+#[derive(Debug, Clone, Default)]
+pub struct AccessPlan {
+    /// Candidate mask from the chosen index path (`None` for scan).
+    pub mask: Option<Vec<bool>>,
+    /// Priced alternatives (empty when no index path was applicable, so
+    /// un-indexed plans render exactly as before).
+    pub alternatives: Vec<AltPath>,
+}
+
+/// Chooses the access path for `σ_{Pr(θ) ⊙ p}` over `rel`: full scan vs an
+/// index-assisted threshold through a persistent cdf-summary index.
+///
+/// * scan cost: `N · (cpu_tuple + cpu_pdf)`
+/// * index cost: `rebuild + pages · io_page + N · cpu_probe +
+///   C · (cpu_tuple + cpu_pdf)` where `C` is the catalog's threshold
+///   estimate (magic `N/3` when unanalyzed) and `rebuild = N · cpu_tuple`
+///   when the cached build is stale.
+///
+/// [`PlannerMode::Rule`] always takes a usable index; [`PlannerMode::Cost`]
+/// compares the two totals. Either way the returned mask is a *sound
+/// superset* of the passing set, so execution results are bitwise identical
+/// to the scan.
+pub fn plan_threshold_access(
+    rel: &Relation,
+    pred: &Predicate,
+    op: CmpOp,
+    p: f64,
+    catalog: Option<&StatsCatalog>,
+    opts: &ExecOptions,
+) -> Result<AccessPlan> {
+    let Some(handle) = opts.indexes.as_ref() else { return Ok(AccessPlan::default()) };
+    if !matches!(op, CmpOp::Gt | CmpOp::Ge) || p.is_nan() || p < MIN_PRUNABLE_P {
+        return Ok(AccessPlan::default());
+    }
+    let Some((col, lo, hi)) = pred_interval(pred) else { return Ok(AccessPlan::default()) };
+    if lo > hi {
+        return Ok(AccessPlan::default());
+    }
+    let mut cat = handle.lock();
+    let Some(def) =
+        cat.find(&rel.name, Some(&col)).into_iter().find(|d| d.kind == IndexKind::Cdf).cloned()
+    else {
+        return Ok(AccessPlan::default());
+    };
+    let cm = CostModel::default();
+    let n = rel.len() as f64;
+    let scan_cost = n * (cm.cpu_tuple + cm.cpu_pdf);
+    let sel = catalog
+        .and_then(|c| c.get(&rel.name))
+        .map_or(MAGIC_SELECTIVITY, |ts| ts.est_threshold_pred(pred, op, p));
+    let fresh = cat.is_fresh(&def.name, rel.len());
+    let pages = if fresh { cat.built_pages(&def.name) as f64 } else { (n / 100.0).ceil().max(1.0) };
+    let rebuild = if fresh { 0.0 } else { n * cm.cpu_tuple };
+    let index_cost =
+        rebuild + pages * cm.io_page + n * cm.cpu_probe + sel * n * (cm.cpu_tuple + cm.cpu_pdf);
+    let use_index = match opts.planner {
+        PlannerMode::Rule => true,
+        PlannerMode::Cost => index_cost < scan_cost,
+    };
+    let mut alternatives = vec![
+        AltPath { path: "scan".into(), cost: scan_cost, chosen: !use_index },
+        AltPath {
+            path: format!("index-threshold({})", def.name),
+            cost: index_cost,
+            chosen: use_index,
+        },
+    ];
+    if !use_index {
+        return Ok(AccessPlan { mask: None, alternatives });
+    }
+    let built = cat.ensure_built(&def.name, rel)?;
+    drop(cat);
+    match built.threshold_mask(&Interval::new(lo, hi), op, p)? {
+        Some((mask, _probes)) => Ok(AccessPlan { mask: Some(mask), alternatives }),
+        None => {
+            // The built index declined (not prunable after all): execute as
+            // a scan and report that in the decision record.
+            alternatives[0].chosen = true;
+            alternatives[1].chosen = false;
+            Ok(AccessPlan { mask: None, alternatives })
+        }
+    }
+}
+
+/// Chooses the access path for `σ_θ` with a certain-column range predicate:
+/// full scan vs an index-range scan through a persistent expected-value
+/// index. Cost formulas mirror [`plan_threshold_access`] minus the pdf
+/// term (`scan = N · cpu_tuple`, `index = rebuild + pages · io_page +
+/// N · cpu_probe + C · cpu_tuple`).
+///
+/// Masks are only ever produced for predicates confined to one *certain*
+/// column — for uncertain predicates, flooring leaves residual mass an
+/// index bound cannot decide, so those always scan.
+pub fn plan_select_access(
+    rel: &Relation,
+    pred: &Predicate,
+    catalog: Option<&StatsCatalog>,
+    opts: &ExecOptions,
+) -> Result<AccessPlan> {
+    let Some(handle) = opts.indexes.as_ref() else { return Ok(AccessPlan::default()) };
+    let Some((col, lo, hi)) = pred_interval(pred) else { return Ok(AccessPlan::default()) };
+    if lo > hi || rel.schema.column(&col).is_none_or(|c| c.uncertain) {
+        return Ok(AccessPlan::default());
+    }
+    let mut cat = handle.lock();
+    let Some(def) =
+        cat.find(&rel.name, Some(&col)).into_iter().find(|d| d.kind == IndexKind::Evx).cloned()
+    else {
+        return Ok(AccessPlan::default());
+    };
+    let cm = CostModel::default();
+    let n = rel.len() as f64;
+    let scan_cost = n * cm.cpu_tuple;
+    let sel =
+        catalog.and_then(|c| c.get(&rel.name)).map_or(MAGIC_SELECTIVITY, |ts| ts.est_select(pred));
+    let fresh = cat.is_fresh(&def.name, rel.len());
+    let pages = if fresh { cat.built_pages(&def.name) as f64 } else { (n / 100.0).ceil().max(1.0) };
+    let rebuild = if fresh { 0.0 } else { n * cm.cpu_tuple };
+    let index_cost = rebuild + pages * cm.io_page + n * cm.cpu_probe + sel * n * cm.cpu_tuple;
+    let use_index = match opts.planner {
+        PlannerMode::Rule => true,
+        PlannerMode::Cost => index_cost < scan_cost,
+    };
+    let mut alternatives = vec![
+        AltPath { path: "scan".into(), cost: scan_cost, chosen: !use_index },
+        AltPath { path: format!("index-range({})", def.name), cost: index_cost, chosen: use_index },
+    ];
+    if !use_index {
+        return Ok(AccessPlan { mask: None, alternatives });
+    }
+    let built = cat.ensure_built(&def.name, rel)?;
+    drop(cat);
+    match built.range_mask(lo, hi)? {
+        Some((mask, _probes)) => Ok(AccessPlan { mask: Some(mask), alternatives }),
+        None => {
+            alternatives[0].chosen = true;
+            alternatives[1].chosen = false;
+            Ok(AccessPlan { mask: None, alternatives })
+        }
+    }
+}
+
 /// The operator name a plan node traces under.
 fn op_name(plan: &Plan) -> &'static str {
     match plan {
@@ -184,7 +359,8 @@ pub fn execute(
             .ok_or_else(|| EngineError::Operator(format!("unknown table '{name}'"))),
         Plan::Select(p, pred) => {
             let input = execute(p, tables, reg, opts)?;
-            select(&input, pred, reg, opts)
+            let ap = plan_select_access(&input, pred, None, opts)?;
+            select_masked(&input, pred, ap.mask.as_deref(), reg, opts)
         }
         Plan::Project(p, cols) => {
             let input = execute(p, tables, reg, opts)?;
@@ -203,7 +379,14 @@ pub fn execute(
         }
         Plan::ThresholdPred(p, pred, op, prob) => {
             let input = execute(p, tables, reg, opts)?;
-            threshold_pred(&input, pred, *op, *prob, reg, opts)
+            let ap = plan_threshold_access(&input, pred, *op, *prob, None, opts)?;
+            match &ap.mask {
+                Some(m) => threshold_pred_masked(&input, pred, *op, *prob, Some(m), reg, opts),
+                // No persistent index chose to serve this: the transient
+                // support-interval fallback inside threshold_pred may
+                // still prune.
+                None => threshold_pred(&input, pred, *op, *prob, reg, opts),
+            }
         }
     }?;
     if span.is_recording() {
@@ -223,6 +406,20 @@ pub fn execute_profiled(
     reg: &mut HistoryRegistry,
     opts: &ExecOptions,
 ) -> Result<(Relation, OpProfile)> {
+    execute_profiled_with(plan, tables, reg, opts, None)
+}
+
+/// [`execute_profiled`] with a stats catalog for the access-path planner:
+/// alternative costs in the profile tree use catalog estimates instead of
+/// the magic fallback constants. Path choice never changes results — only
+/// which (bitwise-identical) execution strategy pays for them.
+pub fn execute_profiled_with(
+    plan: &Plan,
+    tables: &HashMap<String, Relation>,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+    catalog: Option<&StatsCatalog>,
+) -> Result<(Relation, OpProfile)> {
     let stats = Arc::new(ExecStats::new());
     let node_opts = ExecOptions { stats: Some(stats.clone()), ..opts.clone() };
     let mut span = op_span(opts, plan);
@@ -238,14 +435,20 @@ pub fn execute_profiled(
             (rel, OpProfile::new("Scan", name.as_str()))
         }
         Plan::Select(p, pred) => {
-            let (input, child) = execute_profiled(p, tables, reg, opts)?;
+            let (input, child) = execute_profiled_with(p, tables, reg, opts, catalog)?;
             stats.tuples_in.add(input.len() as u64);
+            let ap = plan_select_access(&input, pred, catalog, opts)?;
             let _t = stats.timer();
-            let out = select(&input, pred, reg, &node_opts)?;
-            (out, OpProfile::new("Select", pred.to_string()).with_child(child))
+            let out = select_masked(&input, pred, ap.mask.as_deref(), reg, &node_opts)?;
+            (
+                out,
+                OpProfile::new("Select", pred.to_string())
+                    .with_alternatives(ap.alternatives)
+                    .with_child(child),
+            )
         }
         Plan::Project(p, cols) => {
-            let (input, child) = execute_profiled(p, tables, reg, opts)?;
+            let (input, child) = execute_profiled_with(p, tables, reg, opts, catalog)?;
             stats.tuples_in.add(input.len() as u64);
             let refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
             let _t = stats.timer();
@@ -253,8 +456,8 @@ pub fn execute_profiled(
             (out, OpProfile::new("Project", cols.join(", ")).with_child(child))
         }
         Plan::Join(l, r, pred) => {
-            let (left, lp) = execute_profiled(l, tables, reg, opts)?;
-            let (right, rp) = execute_profiled(r, tables, reg, opts)?;
+            let (left, lp) = execute_profiled_with(l, tables, reg, opts, catalog)?;
+            let (right, rp) = execute_profiled_with(r, tables, reg, opts, catalog)?;
             stats.tuples_in.add((left.len() + right.len()) as u64);
             let _t = stats.timer();
             let out = join(&left, &right, pred.as_ref(), reg, &node_opts)?;
@@ -265,7 +468,7 @@ pub fn execute_profiled(
             (out, OpProfile::new("Join", detail).with_child(lp).with_child(rp))
         }
         Plan::ThresholdAttrs(p, attrs, op, prob) => {
-            let (input, child) = execute_profiled(p, tables, reg, opts)?;
+            let (input, child) = execute_profiled_with(p, tables, reg, opts, catalog)?;
             stats.tuples_in.add(input.len() as u64);
             let refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
             let _t = stats.timer();
@@ -274,12 +477,23 @@ pub fn execute_profiled(
             (out, OpProfile::new("ThresholdAttrs", detail).with_child(child))
         }
         Plan::ThresholdPred(p, pred, op, prob) => {
-            let (input, child) = execute_profiled(p, tables, reg, opts)?;
+            let (input, child) = execute_profiled_with(p, tables, reg, opts, catalog)?;
             stats.tuples_in.add(input.len() as u64);
+            let ap = plan_threshold_access(&input, pred, *op, *prob, catalog, opts)?;
             let _t = stats.timer();
-            let out = threshold_pred(&input, pred, *op, *prob, reg, &node_opts)?;
+            let out = match &ap.mask {
+                Some(m) => {
+                    threshold_pred_masked(&input, pred, *op, *prob, Some(m), reg, &node_opts)?
+                }
+                None => threshold_pred(&input, pred, *op, *prob, reg, &node_opts)?,
+            };
             let detail = format!("Pr({pred}) {op} {prob}");
-            (out, OpProfile::new("ThresholdPred", detail).with_child(child))
+            (
+                out,
+                OpProfile::new("ThresholdPred", detail)
+                    .with_alternatives(ap.alternatives)
+                    .with_child(child),
+            )
         }
     };
     stats.tuples_out.add(rel.len() as u64);
@@ -416,6 +630,130 @@ mod tests {
         // Symbolic selects keep maybe-tuples, so actual out is 2; the
         // histogram estimate must be within the table size.
         assert!(sel.est_rows.unwrap() <= 2);
+    }
+
+    #[test]
+    fn cost_planner_chooses_cdf_index_and_matches_scan() {
+        use crate::pindex::{IndexDef, IndexHandle, IndexKind};
+        use orion_pdf::sample::XorShift;
+        let schema = ProbSchema::new(
+            vec![("rid", ColumnType::Int, false), ("v", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("r", schema);
+        let mut reg = HistoryRegistry::new();
+        let mut rng = XorShift::new(31);
+        for rid in 1..=200i64 {
+            let mean = rng.next_f64() * 100.0;
+            let sd = 1.0 + rng.next_f64() * 2.0;
+            rel.insert_simple(
+                &mut reg,
+                &[("rid", Value::Int(rid))],
+                &[("v", Pdf1::gaussian(mean, sd * sd).unwrap())],
+            )
+            .unwrap();
+        }
+        let mut tables = HashMap::new();
+        tables.insert("r".to_string(), rel);
+        let pred = Predicate::And(vec![
+            Predicate::cmp("v", CmpOp::Ge, 40.0),
+            Predicate::cmp("v", CmpOp::Le, 45.0),
+        ]);
+        let plan = Plan::ThresholdPred(Box::new(Plan::scan("r")), pred, CmpOp::Gt, 0.5);
+        let ids = |r: &Relation| -> Vec<Value> {
+            r.tuples.iter().map(|t| t.certain[0].clone()).collect()
+        };
+        let base = execute(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
+
+        let handle = IndexHandle::new();
+        handle
+            .lock()
+            .create(IndexDef {
+                name: "ix_v".into(),
+                table: "r".into(),
+                column: "v".into(),
+                kind: IndexKind::Cdf,
+            })
+            .unwrap();
+        for mode in [PlannerMode::Cost, PlannerMode::Rule] {
+            let opts = ExecOptions {
+                planner: mode,
+                indexes: Some(handle.clone()),
+                ..ExecOptions::default()
+            };
+            let (out, profile) =
+                execute_profiled_with(&plan, &tables, &mut reg, &opts, None).unwrap();
+            assert_eq!(ids(&out), ids(&base), "mode {mode:?} must match the scan bitwise");
+            assert_eq!(profile.alternatives.len(), 2, "scan and index both priced");
+            assert!(profile.alternatives[1].chosen, "index path wins under {mode:?}");
+            assert!(profile.alternatives[1].cost < profile.alternatives[0].cost);
+            assert_eq!(profile.stats.index_probes, 200);
+            assert!(profile.stats.index_pruned > 100, "selective query prunes most tuples");
+        }
+    }
+
+    #[test]
+    fn select_planner_weighs_rebuild_and_prefers_index_when_fresh() {
+        use crate::pindex::{IndexDef, IndexHandle, IndexKind};
+        let schema = ProbSchema::new(
+            vec![("rid", ColumnType::Int, false), ("x", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("r", schema);
+        let mut reg = HistoryRegistry::new();
+        for rid in 1..=100i64 {
+            rel.insert_simple(
+                &mut reg,
+                &[("rid", Value::Int(rid))],
+                &[("x", Pdf1::uniform(0.0, 1.0).unwrap())],
+            )
+            .unwrap();
+        }
+        let mut tables = HashMap::new();
+        tables.insert("r".to_string(), rel);
+        let plan = Plan::scan("r").select(Predicate::cmp("rid", CmpOp::Le, 10.0));
+        let ids = |r: &Relation| -> Vec<Value> {
+            r.tuples.iter().map(|t| t.certain[0].clone()).collect()
+        };
+        let base = execute(&plan, &tables, &mut reg, &ExecOptions::default()).unwrap();
+        assert_eq!(base.len(), 10);
+
+        let handle = IndexHandle::new();
+        handle
+            .lock()
+            .create(IndexDef {
+                name: "ix_rid".into(),
+                table: "r".into(),
+                column: "rid".into(),
+                kind: IndexKind::Evx,
+            })
+            .unwrap();
+        // Cold cache under Cost: the rebuild term makes the scan cheaper
+        // for a certain-only (pdf-free) predicate.
+        let cost_opts = ExecOptions {
+            planner: PlannerMode::Cost,
+            indexes: Some(handle.clone()),
+            ..ExecOptions::default()
+        };
+        let (out, profile) =
+            execute_profiled_with(&plan, &tables, &mut reg, &cost_opts, None).unwrap();
+        assert_eq!(ids(&out), ids(&base));
+        assert!(profile.alternatives[0].chosen, "cold build: scan wins on cost");
+        // Rule mode forces the index (building it as a side effect) ...
+        let rule_opts = ExecOptions { planner: PlannerMode::Rule, ..cost_opts.clone() };
+        let (out, profile) =
+            execute_profiled_with(&plan, &tables, &mut reg, &rule_opts, None).unwrap();
+        assert_eq!(ids(&out), ids(&base));
+        assert!(profile.alternatives[1].chosen, "rule mode always takes a usable index");
+        assert_eq!(profile.stats.index_probes, 100);
+        assert_eq!(profile.stats.index_pruned, 90);
+        // ... after which the Cost planner flips to the now-fresh index.
+        let (out, profile) =
+            execute_profiled_with(&plan, &tables, &mut reg, &cost_opts, None).unwrap();
+        assert_eq!(ids(&out), ids(&base));
+        assert!(profile.alternatives[1].chosen, "fresh build: index-range wins on cost");
     }
 
     #[test]

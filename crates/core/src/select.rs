@@ -59,6 +59,15 @@ pub struct ExecOptions {
     /// mode vectorizes certain-column predicate work and reports batch
     /// counters through [`ExecStats`].
     pub mode: crate::batch::ExecMode,
+    /// Access-path policy: cost-based (estimate scan vs index and pick the
+    /// cheaper) or rule-based (always prefer a usable index). The default
+    /// honors the `ORION_PLANNER` environment variable. Either way results
+    /// are bit-identical — only the access path differs.
+    pub planner: crate::pindex::PlannerMode,
+    /// Shared secondary-index catalog. `None` (the default) plans pure
+    /// scans; sessions attach their catalog so threshold and certain-range
+    /// operators can consult persistent indexes.
+    pub indexes: Option<crate::pindex::IndexHandle>,
 }
 
 impl Default for ExecOptions {
@@ -72,6 +81,8 @@ impl Default for ExecOptions {
             morsel_size: crate::exec_par::DEFAULT_MORSEL_SIZE,
             trace: None,
             mode: crate::batch::ExecMode::from_env(),
+            planner: crate::pindex::PlannerMode::from_env(),
+            indexes: None,
         }
     }
 }
@@ -115,7 +126,29 @@ pub fn select(
     reg: &mut HistoryRegistry,
     opts: &ExecOptions,
 ) -> Result<Relation> {
+    select_masked(rel, pred, None, reg, opts)
+}
+
+/// σ_θ with an optional index-supplied candidate mask: tuples with
+/// `mask[i] == false` are skipped without evaluation. The access-path
+/// planner only supplies masks over *certain-only* predicates (an `evx`
+/// index probe), where the mask is a proven superset of the passing set —
+/// a skipped tuple would have failed `Predicate::eval` anyway, so masked
+/// and unmasked runs are bitwise identical. Predicates touching uncertain
+/// columns ignore the mask: flooring leaves residual mass an index bound
+/// cannot decide, so every tuple must be floored.
+pub fn select_masked(
+    rel: &Relation,
+    pred: &Predicate,
+    mask: Option<&[bool]>,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
     pred.validate(&rel.schema)?;
+    if let (Some(m), Some(s)) = (mask, opts.stats_ref()) {
+        s.index_probes.add(m.len() as u64);
+        s.index_pruned.add(m.iter().filter(|&&keep| !keep).count() as u64);
+    }
     let pred_cols = pred.columns();
     let uncertain_cols: Vec<&str> = pred_cols
         .iter()
@@ -130,14 +163,27 @@ pub fn select(
         // chunk at a time; the lane evaluator reproduces `Predicate::eval`
         // exactly (see `crate::batch`), so the kept set is identical.
         let kept = match opts.mode {
-            ExecMode::Row => crate::exec_par::run_tuples(&rel.tuples, opts, |_, t| {
+            ExecMode::Row => crate::exec_par::run_tuples(&rel.tuples, opts, |i, t| {
+                if mask.is_some_and(|m| !m[i]) {
+                    return Ok(None);
+                }
                 let lookup = certain_lookup(rel, t);
                 Ok((pred.eval(&lookup) == Some(true)).then(|| t.clone()))
             })?,
-            ExecMode::Batch => crate::exec_par::run_batches(&rel.tuples, opts, |_, _, chunk| {
+            ExecMode::Batch => crate::exec_par::run_batches(&rel.tuples, opts, |_, lo, chunk| {
+                // The index mask composes with the lane verdicts: a masked
+                // -out tuple is dropped regardless (it could not pass), so
+                // the kept set matches the unmasked scan exactly.
                 let lanes = CertainLanes::build(rel, chunk, &pred_cols);
                 let tri = lanes.eval(pred);
-                Ok(chunk.iter().zip(tri).map(|(t, k)| (k == 1).then(|| t.clone())).collect())
+                Ok(chunk
+                    .iter()
+                    .enumerate()
+                    .zip(tri)
+                    .map(|((j, t), k)| {
+                        (k == 1 && mask.is_none_or(|m| m[lo + j])).then(|| t.clone())
+                    })
+                    .collect())
             })?,
         };
         record_selected(opts, &kept);

@@ -324,8 +324,11 @@ fn analyze_uncertain(rel: &Relation, name: &str) -> Result<ColumnStats> {
 }
 
 /// The closed value interval in which `pred` holds, if `pred` constrains a
-/// single column by numeric comparisons (conjunctions intersect).
-fn pred_interval(pred: &Predicate) -> Option<(String, f64, f64)> {
+/// single column by numeric comparisons (conjunctions intersect). The
+/// access-path planner reuses this to turn a threshold predicate into an
+/// index probe range — the interval is a superset of the passing region,
+/// so index candidate sets stay sound.
+pub(crate) fn pred_interval(pred: &Predicate) -> Option<(String, f64, f64)> {
     match pred {
         Predicate::Cmp(a, op, b) => {
             let (col, op, v) = match (a, b) {

@@ -96,6 +96,12 @@ pub fn attr_set_probability(
 /// `σ_{Pr(θ) ⊙ p}`: keeps tuples for which the probability that θ holds
 /// (and the tuple exists) satisfies the comparison. This is the paper's
 /// probabilistic threshold range query when θ is a range predicate.
+///
+/// When the session carries an index catalog ([`ExecOptions::indexes`]) but
+/// no persistent index covers the predicate's column, a transient
+/// [`crate::index::SupportIndex`] prunes tuples whose support interval or
+/// total mass already rules them out; surviving candidates pay exactly the
+/// scan's probability machinery, so results are bitwise identical.
 pub fn threshold_pred(
     rel: &Relation,
     pred: &Predicate,
@@ -104,17 +110,55 @@ pub fn threshold_pred(
     reg: &mut HistoryRegistry,
     opts: &ExecOptions,
 ) -> Result<Relation> {
+    let mask = support_fallback_mask(rel, pred, op, p, opts);
+    threshold_pred_masked(rel, pred, op, p, mask.as_deref(), reg, opts)
+}
+
+/// [`threshold_pred`] with an optional candidate mask from an access-path
+/// decision. `mask[i] == false` asserts tuple `i` cannot satisfy the
+/// threshold (a *sound* claim the index layer must guarantee); such tuples
+/// never enter probability evaluation. The iteration set is compacted to
+/// the candidate indices up front — phase 1 is pure and candidates keep
+/// their ascending input order, so the surviving tuples arrive at the
+/// serial commit in exactly the order a full scan would deliver them, and
+/// the output is bitwise identical to the unmasked run.
+pub fn threshold_pred_masked(
+    rel: &Relation,
+    pred: &Predicate,
+    op: CmpOp,
+    p: f64,
+    mask: Option<&[bool]>,
+    reg: &mut HistoryRegistry,
+    opts: &ExecOptions,
+) -> Result<Relation> {
     pred.validate(&rel.schema)?;
+    if let (Some(m), Some(s)) = (mask, opts.stats_ref()) {
+        s.index_probes.add(m.len() as u64);
+        s.index_pruned.add(m.iter().filter(|&&keep| !keep).count() as u64);
+    }
     let mut out = Relation::new(format!("sigma_prob({})", rel.name), rel.schema.clone());
     // Phase 1 (parallel): Pr(θ) evaluation reads the registry only.
     let reg_ref: &HistoryRegistry = reg;
-    let kept = crate::exec_par::run_tuples_mode(&rel.tuples, opts, |_, t| {
+    let eval = |t: &ProbTuple| -> Result<Option<ProbTuple>> {
         let prob = predicate_probability(rel, t, pred, reg_ref, opts)?;
         let cmp = prob
             .partial_cmp(&p)
             .ok_or_else(|| EngineError::Operator("non-finite probability".into()))?;
         Ok(op.test(cmp).then(|| t.clone()))
-    })?;
+    };
+    let kept = match mask {
+        // Compacting to the candidate set (rather than early-returning
+        // `None` per masked-out tuple) keeps the index path's cost
+        // proportional to the candidates, not the relation: a dense
+        // `Option<ProbTuple>` buffer over all N tuples costs more than the
+        // pruned evaluations save at low selectivities.
+        Some(m) => {
+            let cands: Vec<usize> =
+                m.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect();
+            crate::exec_par::run_tuples_mode(&cands, opts, |_, &ti| eval(&rel.tuples[ti]))?
+        }
+        None => crate::exec_par::run_tuples_mode(&rel.tuples, opts, |_, t| eval(t))?,
+    };
     // Phase 2 (serial, in input order): reference-count commits.
     for t in kept.into_iter().flatten() {
         for n in &t.nodes {
@@ -123,6 +167,47 @@ pub fn threshold_pred(
         out.tuples.push(t);
     }
     Ok(out)
+}
+
+/// Builds a candidate mask from a transient support-interval index when no
+/// persistent index covers the predicate's column.
+///
+/// Engages only when the session has index infrastructure at all
+/// (`opts.indexes` is `Some`): plain library callers keep the exact scan
+/// cost profile they always had. Pruning is restricted to `>`/`>=`
+/// thresholds at `p ≥` [`crate::pindex::MIN_PRUNABLE_P`], where the
+/// effective-support tail (≤ 1e-9 mass) cannot flip a verdict. Tuples with
+/// NULL/missing pdf nodes make [`crate::index::SupportIndex::build`] fail,
+/// which disables the fallback wholesale — three-valued logic stays in the
+/// per-tuple evaluator, never in the index.
+pub(crate) fn support_fallback_mask(
+    rel: &Relation,
+    pred: &Predicate,
+    op: CmpOp,
+    p: f64,
+    opts: &ExecOptions,
+) -> Option<Vec<bool>> {
+    if !matches!(op, CmpOp::Gt | CmpOp::Ge) || p.is_nan() || p < crate::pindex::MIN_PRUNABLE_P {
+        return None;
+    }
+    let handle = opts.indexes.as_ref()?;
+    let (col, lo, hi) = crate::stats_catalog::pred_interval(pred)?;
+    if lo > hi {
+        return None; // contradictory conjunction; let the scan report it
+    }
+    if !handle.lock().find(&rel.name, Some(&col)).is_empty() {
+        return None; // a persistent index exists — the planner owns this path
+    }
+    if !rel.schema.column(&col)?.uncertain {
+        return None;
+    }
+    let idx = crate::index::SupportIndex::build(rel, &col).ok()?;
+    let min_mass = if op == CmpOp::Gt { p } else { p - 1e-12 };
+    let mut mask = vec![false; rel.len()];
+    for ti in idx.candidates(&orion_pdf::prelude::Interval::new(lo, hi), min_mass) {
+        mask[ti] = true;
+    }
+    Some(mask)
 }
 
 /// `Pr(θ ∧ tuple exists)` for one tuple: floors a scratch copy and takes
@@ -229,6 +314,76 @@ mod tests {
         assert!(threshold_attrs(&rel, &[], CmpOp::Gt, 0.5, &mut reg, &opts).is_err());
         assert!(threshold_attrs(&rel, &["id"], CmpOp::Gt, 0.5, &mut reg, &opts).is_err());
         assert!(threshold_attrs(&rel, &["nope"], CmpOp::Gt, 0.5, &mut reg, &opts).is_err());
+    }
+
+    #[test]
+    fn support_fallback_prunes_without_changing_results() {
+        use std::sync::Arc;
+        // Mixed relation: an in-range gaussian (kept), a far-away gaussian
+        // (support-pruned), and a partial mass-0.4 maybe-tuple carrying a
+        // NULL certain key (mass-pruned for p = 0.5).
+        let schema = ProbSchema::new(
+            vec![("id", ColumnType::Int, false), ("v", ColumnType::Real, true)],
+            vec![],
+        )
+        .unwrap();
+        let mut rel = Relation::new("r", schema);
+        let mut reg = HistoryRegistry::new();
+        rel.insert_simple(
+            &mut reg,
+            &[("id", Value::Int(1))],
+            &[("v", Pdf1::gaussian(20.0, 4.0).unwrap())],
+        )
+        .unwrap();
+        rel.insert_simple(
+            &mut reg,
+            &[("id", Value::Int(2))],
+            &[("v", Pdf1::gaussian(500.0, 1.0).unwrap())],
+        )
+        .unwrap();
+        rel.insert_simple(
+            &mut reg,
+            &[("id", Value::Null)],
+            &[("v", Pdf1::discrete(vec![(21.0, 0.4)]).unwrap())],
+        )
+        .unwrap();
+        let pred = Predicate::And(vec![
+            Predicate::cmp("v", CmpOp::Ge, 18.0),
+            Predicate::cmp("v", CmpOp::Le, 22.0),
+        ]);
+        let ids = |r: &Relation| -> Vec<String> {
+            r.tuples.iter().map(|t| format!("{:?}", t.certain[0])).collect()
+        };
+        // Plain scan: no index infrastructure attached.
+        let scan =
+            threshold_pred(&rel, &pred, CmpOp::Gt, 0.5, &mut reg, &ExecOptions::default()).unwrap();
+        // Fallback path: a session-level catalog exists but holds no
+        // persistent index for this column.
+        let stats = Arc::new(orion_obs::ExecStats::new());
+        let opts = ExecOptions {
+            indexes: Some(crate::pindex::IndexHandle::new()),
+            ..ExecOptions::default().with_stats(stats.clone())
+        };
+        let pruned = threshold_pred(&rel, &pred, CmpOp::Gt, 0.5, &mut reg, &opts).unwrap();
+        assert_eq!(ids(&scan), vec!["Int(1)"]);
+        assert_eq!(ids(&scan), ids(&pruned));
+        let snap = stats.snapshot();
+        assert_eq!(snap.index_probes, 3, "whole relation examined against the mask");
+        assert_eq!(snap.index_pruned, 2, "far support and low mass skip evaluation");
+        // A conjunct on the NULL-bearing certain column spans two columns,
+        // so no interval extracts and the fallback stands down — NULL
+        // three-valued logic stays entirely in the per-tuple evaluator,
+        // and both paths agree the NULL row fails.
+        let pred3 = Predicate::And(vec![
+            Predicate::cmp("id", CmpOp::Eq, 1i64),
+            Predicate::cmp("v", CmpOp::Le, 22.0),
+        ]);
+        let a = threshold_pred(&rel, &pred3, CmpOp::Gt, 0.1, &mut reg, &ExecOptions::default())
+            .unwrap();
+        let b = threshold_pred(&rel, &pred3, CmpOp::Gt, 0.1, &mut reg, &opts).unwrap();
+        assert_eq!(ids(&a), vec!["Int(1)"]);
+        assert_eq!(ids(&a), ids(&b));
+        assert_eq!(stats.snapshot().index_probes, 3, "fallback did not engage for pred3");
     }
 
     #[test]

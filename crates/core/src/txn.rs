@@ -441,20 +441,24 @@ impl Txn {
             payloads.push(std::mem::take(&mut buf));
         }
         let mut mutated = false;
+        let mut touched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for op in &live {
             match op {
                 WriteOp::CreateTable { name, schema } => {
                     persist::encode_schema(&Relation::new(name.clone(), schema.clone()), &mut buf);
                 }
                 WriteOp::Insert { table, tuple } => {
+                    touched.insert(table.clone());
                     persist::encode_tuple(table, &remap_tuple(tuple, &map), &mut buf);
                 }
                 WriteOp::Delete { table, old } => {
                     mutated = true;
+                    touched.insert(table.clone());
                     persist::encode_delete(table, old, &mut buf);
                 }
                 WriteOp::Update { table, old, new } => {
                     mutated = true;
+                    touched.insert(table.clone());
                     let mut new_rec = Vec::new();
                     persist::encode_tuple(table, &remap_tuple(new, &map), &mut new_rec);
                     persist::encode_update(table, old, &new_rec, &mut buf);
@@ -497,6 +501,14 @@ impl Txn {
         }
         if mutated {
             core.marks.mutated = true;
+        }
+        // Invalidate secondary indexes over every table this transaction
+        // wrote: built trees carry tuple positions, which DML shifts.
+        {
+            let mut cat = core.indexes.lock();
+            for table in &touched {
+                cat.note_mutation(table);
+            }
         }
         core.commit_seq += 1;
         let seq = core.commit_seq;

@@ -36,7 +36,7 @@ pub mod stats;
 pub mod trace;
 
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer};
-pub use profile::OpProfile;
+pub use profile::{AltPath, OpProfile};
 pub use stats::{ExecStats, ExecStatsSnapshot, ExecTimer, WorkerLane};
 pub use trace::{
     validate_chrome_trace, validate_flight_dump, Lane, LaneStats, Span, TraceEvent, Tracer,

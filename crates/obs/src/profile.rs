@@ -18,6 +18,19 @@
 use crate::json;
 use crate::stats::ExecStatsSnapshot;
 
+/// One access path the cost-based planner priced for an operator. A node
+/// records every alternative it considered — `EXPLAIN` shows the losers
+/// next to the winner so cost-model regressions are visible in plan text.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AltPath {
+    /// Access-path name (`scan`, `index-range(ix)`, `index-threshold(ix)`).
+    pub path: String,
+    /// Estimated cost in the planner's abstract cost units.
+    pub cost: f64,
+    /// Whether the planner picked this path.
+    pub chosen: bool,
+}
+
 /// One operator node of an executed plan, with its children (inputs).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct OpProfile {
@@ -30,6 +43,9 @@ pub struct OpProfile {
     /// Planner cardinality estimate for this operator's output, from the
     /// stats catalog (`None` when the planner attached no estimate).
     pub est_rows: Option<u64>,
+    /// Access paths the planner priced for this operator (empty when no
+    /// access-path decision applied).
+    pub alternatives: Vec<AltPath>,
     /// Input operators.
     pub children: Vec<OpProfile>,
 }
@@ -42,8 +58,15 @@ impl OpProfile {
             detail: detail.into(),
             stats: ExecStatsSnapshot::default(),
             est_rows: None,
+            alternatives: Vec::new(),
             children: Vec::new(),
         }
+    }
+
+    /// Builder: records the access paths the planner priced.
+    pub fn with_alternatives(mut self, alts: Vec<AltPath>) -> OpProfile {
+        self.alternatives = alts;
+        self
     }
 
     /// Builder: attaches a planner cardinality estimate.
@@ -115,6 +138,19 @@ impl OpProfile {
             out.push_str(&format!("  (est_rows={est})"));
         }
         out.push('\n');
+        // Priced alternatives render on their own annotation line (only
+        // when an access-path decision applied), winner starred.
+        if !self.alternatives.is_empty() {
+            out.push_str(child_prefix);
+            out.push_str("   paths:");
+            for a in &self.alternatives {
+                out.push_str(&format!(" {}={:.1}", a.path, a.cost));
+                if a.chosen {
+                    out.push('*');
+                }
+            }
+            out.push('\n');
+        }
         for (i, child) in self.children.iter().enumerate() {
             let last = i + 1 == self.children.len();
             let (branch, extend) = if last { ("└─ ", "   ") } else { ("├─ ", "│  ") };
@@ -142,6 +178,18 @@ impl OpProfile {
         // prefix shape.
         if let Some(est) = self.est_rows {
             v.set("est_rows", est);
+        }
+        if !self.alternatives.is_empty() {
+            let mut alts = json::Value::array();
+            for a in &self.alternatives {
+                alts.push(
+                    json::Value::object()
+                        .with("path", a.path.as_str())
+                        .with("cost", a.cost)
+                        .with("chosen", a.chosen),
+                );
+            }
+            v.set("alternatives", alts);
         }
         v
     }
@@ -223,5 +271,23 @@ mod tests {
         // err uses max(actual, 1) so empty outputs divide cleanly.
         let empty = OpProfile::new("Select", "x").with_est_rows(3);
         assert!((empty.est_error().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternatives_render_winner_starred_and_export() {
+        let p = OpProfile::new("ThresholdPred", "Pr(v in [1,2]) > 0.5").with_alternatives(vec![
+            AltPath { path: "scan".into(), cost: 300.0, chosen: false },
+            AltPath { path: "index-threshold(ix_v)".into(), cost: 42.5, chosen: true },
+        ]);
+        let text = p.render(false);
+        assert!(text.contains("paths: scan=300.0 index-threshold(ix_v)=42.5*"), "{text}");
+        let j = p.to_json().to_string_compact();
+        assert!(j.contains(r#""alternatives":[{"path":"scan","cost":300,"chosen":false}"#), "{j}");
+        // Nodes without alternatives keep the historical single-line form.
+        assert_eq!(OpProfile::new("Scan", "T").render(false), "Scan [T]\n");
+        assert!(!OpProfile::new("Scan", "T")
+            .to_json()
+            .to_string_compact()
+            .contains("alternatives"));
     }
 }

@@ -50,6 +50,11 @@ pub struct ExecStats {
     pub batch_rows: Counter,
     /// Tuples surviving batch-level selection (selection-vector density).
     pub batch_selected: Counter,
+    /// Tuples an index access path examined against a candidate mask
+    /// (zero when the operator ran without index support).
+    pub index_probes: Counter,
+    /// Tuples an index access path pruned before probability evaluation.
+    pub index_pruned: Counter,
     /// Wall time attributed to the operator, in nanoseconds.
     pub elapsed_nanos: Counter,
     /// Per-worker morsel counts and busy time (empty for serial execution).
@@ -97,6 +102,8 @@ impl ExecStats {
             batches: self.batches.get(),
             batch_rows: self.batch_rows.get(),
             batch_selected: self.batch_selected.get(),
+            index_probes: self.index_probes.get(),
+            index_pruned: self.index_pruned.get(),
             elapsed_nanos: self.elapsed_nanos.get(),
             workers: self.workers.lock().expect("worker lanes poisoned").clone(),
         }
@@ -145,6 +152,10 @@ pub struct ExecStatsSnapshot {
     pub batch_rows: u64,
     /// Tuples surviving batch-level selection.
     pub batch_selected: u64,
+    /// Tuples examined against an index candidate mask.
+    pub index_probes: u64,
+    /// Tuples pruned by an index before probability evaluation.
+    pub index_pruned: u64,
     /// Attributed wall time in nanoseconds.
     pub elapsed_nanos: u64,
     /// Per-worker morsel counts and busy time, sorted by worker index
@@ -165,6 +176,8 @@ impl ExecStatsSnapshot {
         self.batches += other.batches;
         self.batch_rows += other.batch_rows;
         self.batch_selected += other.batch_selected;
+        self.index_probes += other.index_probes;
+        self.index_pruned += other.index_pruned;
         self.elapsed_nanos += other.elapsed_nanos;
         for lane in &other.workers {
             match self.workers.iter_mut().find(|l| l.worker == lane.worker) {
@@ -206,6 +219,14 @@ impl ExecStatsSnapshot {
         } else {
             line.push_str(" mode=row");
         }
+        // Index counters render only when an index path actually ran, so
+        // un-indexed plans keep their exact historical rendering.
+        if self.index_probes > 0 {
+            line.push_str(&format!(
+                " idx_probes={} idx_pruned={}",
+                self.index_probes, self.index_pruned
+            ));
+        }
         if !self.workers.is_empty() {
             line.push_str(" workers=[");
             for (i, l) in self.workers.iter().enumerate() {
@@ -243,6 +264,10 @@ impl ExecStatsSnapshot {
             .with("batch_selected", self.batch_selected)
             .with("elapsed_nanos", self.elapsed_nanos)
             .with("workers", workers)
+            // Appended after the stable keys so existing consumers keep
+            // their prefix shape.
+            .with("index_probes", self.index_probes)
+            .with("index_pruned", self.index_pruned)
     }
 }
 
@@ -301,6 +326,8 @@ mod tests {
             batches: 0,
             batch_rows: 0,
             batch_selected: 0,
+            index_probes: 0,
+            index_pruned: 0,
             elapsed_nanos: 1_500,
             workers: Vec::new(),
         };
@@ -308,6 +335,19 @@ mod tests {
             snap.render(),
             "in=2 out=1 products=3 floors=4 marginalize=5 collapses=6 pruned=7 time=1.5us mode=row"
         );
+    }
+
+    #[test]
+    fn index_counters_render_only_when_probed() {
+        let quiet = ExecStatsSnapshot::default();
+        assert!(!quiet.render().contains("idx_probes"), "{}", quiet.render());
+        let probed =
+            ExecStatsSnapshot { index_probes: 100, index_pruned: 93, ..Default::default() };
+        assert!(probed.render().contains("idx_probes=100 idx_pruned=93"), "{}", probed.render());
+        let mut merged = probed.clone();
+        merged.merge(&probed);
+        assert_eq!((merged.index_probes, merged.index_pruned), (200, 186));
+        assert!(probed.to_json().to_string_compact().contains(r#""index_probes":100"#));
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum Statement {
     Delete { table: String, filter: Option<Pred> },
     /// `DROP TABLE name`.
     DropTable { name: String },
+    /// `CREATE INDEX name ON table (col) [USING evx|cdf]` — a persistent
+    /// secondary index; the kind defaults by column certainty (`cdf` for
+    /// uncertain columns, `evx` for certain ones).
+    CreateIndex { name: String, table: String, column: String, kind: Option<String> },
+    /// `DROP INDEX name`.
+    DropIndex { name: String },
     /// `ANALYZE name` — collects per-column statistics (equi-depth
     /// histograms over certain values / expected values, cdf-bound
     /// summaries for uncertain columns, a tuple-existence histogram) into

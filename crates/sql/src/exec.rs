@@ -6,11 +6,15 @@ use crate::error::{Result, SqlError};
 use crate::parser::parse;
 use orion_core::agg;
 use orion_core::join::join;
-use orion_core::plan::{annotate_estimates, execute_profiled, Plan};
+use orion_core::plan::{
+    annotate_estimates, execute_profiled_with, plan_select_access, plan_threshold_access, Plan,
+};
 use orion_core::prelude::*;
 use orion_core::project::project;
-use orion_core::select::select;
-use orion_core::threshold::{predicate_probability, threshold_attrs, threshold_pred};
+use orion_core::select::select_masked;
+use orion_core::threshold::{
+    predicate_probability, threshold_attrs, threshold_pred, threshold_pred_masked,
+};
 use orion_obs::{MetricsRegistry, OpProfile, Tracer};
 use orion_pdf::prelude::*;
 use std::collections::HashMap;
@@ -74,7 +78,12 @@ impl Database {
     }
 
     /// Overrides execution options (resolution, history maintenance, ...).
-    pub fn with_options(opts: ExecOptions) -> Self {
+    /// A session without an index catalog gets a fresh private one, so
+    /// `CREATE INDEX` and the access-path planner work out of the box.
+    pub fn with_options(mut opts: ExecOptions) -> Self {
+        if opts.indexes.is_none() {
+            opts.indexes = Some(IndexHandle::new());
+        }
         Database {
             tables: HashMap::new(),
             reg: HistoryRegistry::new(),
@@ -117,6 +126,26 @@ impl Database {
         self.stats = stats;
     }
 
+    /// Replaces the session's index catalog handle (durable sessions seed
+    /// per-statement query databases with a snapshot of the engine's
+    /// catalog; see [`IndexCatalog::snapshot`]).
+    pub fn set_index_handle(&mut self, indexes: IndexHandle) {
+        self.opts.indexes = Some(indexes);
+    }
+
+    /// The session's index catalog handle.
+    pub fn index_handle(&self) -> IndexHandle {
+        self.opts.indexes.clone().expect("seeded at construction")
+    }
+
+    /// Bumps the staleness epoch of every index over `table` (DML makes
+    /// built trees unsound: they carry tuple positions).
+    fn note_index_mutation(&self, table: &str) {
+        if let Some(h) = &self.opts.indexes {
+            h.lock().note_mutation(table);
+        }
+    }
+
     /// Direct access to a stored relation.
     pub fn table(&self, name: &str) -> Option<&Relation> {
         self.tables.get(name)
@@ -138,10 +167,23 @@ impl Database {
         &mut self.reg
     }
 
-    /// Saves every table, the history registry, and the ANALYZE stats
-    /// catalog to one file.
+    /// Saves every table, the history registry, the ANALYZE stats catalog,
+    /// and the secondary-index definitions to one file. Only index
+    /// definitions are persisted — trees are rebuilt deterministically on
+    /// first use after reopening.
     pub fn save(&self, path: &std::path::Path) -> Result<()> {
-        orion_core::persist::save_database_with_stats(path, &self.tables, &self.reg, &self.stats)?;
+        let indexes = match &self.opts.indexes {
+            Some(h) => h.lock().snapshot(),
+            None => orion_core::pindex::IndexCatalog::new(),
+        };
+        orion_core::persist::save_snapshot_full(
+            path,
+            &self.tables,
+            &self.reg,
+            &self.stats,
+            &indexes,
+            0,
+        )?;
         Ok(())
     }
 
@@ -150,13 +192,25 @@ impl Database {
         Self::open_with_options(path, ExecOptions::default())
     }
 
-    /// Opens a saved database with specific execution options.
+    /// Opens a saved database with specific execution options. Persisted
+    /// index definitions are installed into the session's index handle (the
+    /// caller-supplied one, if `opts` carries one).
     pub fn open_with_options(path: &std::path::Path, opts: ExecOptions) -> Result<Self> {
-        let (tables, reg, stats) = orion_core::persist::load_database_with_stats(path)?;
+        let mut state = orion_core::persist::LoadState::default();
+        orion_core::persist::load_into(path, &mut state)?;
+        let stats = state.take_stats();
+        let indexes = state.take_indexes();
+        let (tables, reg) = state.finish();
         let mut db = Self::with_options(opts);
         db.tables = tables;
         db.reg = reg;
         db.stats = stats;
+        if let Some(h) = &db.opts.indexes {
+            let mut cat = h.lock();
+            for def in indexes.defs() {
+                cat.install(def.clone());
+            }
+        }
         Ok(db)
     }
 
@@ -190,6 +244,7 @@ impl Database {
                 for row in rows {
                     self.insert_row(&table, row)?;
                 }
+                self.note_index_mutation(&table);
                 Ok(Output::Count(n))
             }
             Statement::Select { items, from, filter, distinct, order_by, limit } => {
@@ -219,6 +274,7 @@ impl Database {
                         rel.delete_where(reg, |t| certain_eval(&schema, t, &p))
                     }
                 };
+                self.note_index_mutation(&table);
                 Ok(Output::Count(removed))
             }
             Statement::DropTable { name } => {
@@ -228,6 +284,27 @@ impl Database {
                     .ok_or_else(|| SqlError::Exec(format!("unknown table '{name}'")))?;
                 rel.release(&mut self.reg);
                 self.stats.remove(&name);
+                if let Some(h) = &self.opts.indexes {
+                    h.lock().drop_table(&name);
+                }
+                Ok(Output::Ok)
+            }
+            Statement::CreateIndex { name, table, column, kind } => {
+                let kind = translate_index_kind(kind.as_deref())?;
+                let handle = self.index_handle();
+                let def = orion_core::durable::validate_index_def(
+                    &self.tables,
+                    &handle,
+                    &name,
+                    &table,
+                    &column,
+                    kind,
+                )?;
+                handle.lock().create(def)?;
+                Ok(Output::Ok)
+            }
+            Statement::DropIndex { name } => {
+                self.index_handle().lock().drop_index(&name)?;
                 Ok(Output::Ok)
             }
             Statement::Analyze { table } => {
@@ -334,7 +411,8 @@ impl Database {
         // output (a bare Scan result holds no refs of its own, so an
         // explicit release here could over-release the stored table).
         if !trace {
-            let (_rel, mut profile) = execute_profiled(&plan, tables, &mut self.reg, &self.opts)?;
+            let (_rel, mut profile) =
+                execute_profiled_with(&plan, tables, &mut self.reg, &self.opts, Some(&self.stats))?;
             annotate_estimates(&mut profile, &plan, &self.stats);
             return Ok(Output::Explain { profile, analyze, trace: None });
         }
@@ -349,7 +427,8 @@ impl Database {
             tracer.set_enabled(true);
         }
         let query_id = tracer.begin_trace();
-        let result = execute_profiled(&plan, tables, &mut self.reg, &self.opts);
+        let result =
+            execute_profiled_with(&plan, tables, &mut self.reg, &self.opts, Some(&self.stats));
         if !was_enabled {
             tracer.set_enabled(false);
         }
@@ -389,6 +468,7 @@ impl Database {
             "orion.tables" => self.sys_tables()?,
             "orion.columns" => self.sys_columns()?,
             "orion.stats" => self.sys_stats()?,
+            "orion.indexes" => self.sys_indexes()?,
             "orion.metrics" => self.sys_metrics()?,
             "orion.io" => self.sys_io()?,
             "orion.trace_lanes" => self.sys_trace_lanes()?,
@@ -396,7 +476,8 @@ impl Database {
             other => {
                 return Err(SqlError::Exec(format!(
                     "unknown system table '{other}' (available: orion.tables, orion.columns, \
-                     orion.stats, orion.metrics, orion.io, orion.trace_lanes, orion.txns)"
+                     orion.stats, orion.indexes, orion.metrics, orion.io, orion.trace_lanes, \
+                     orion.txns)"
                 )))
             }
         };
@@ -498,6 +579,44 @@ impl Database {
                 ("lo", ColumnType::Real),
                 ("hi", ColumnType::Real),
                 ("width_mean", ColumnType::Real),
+            ],
+            rows,
+        )
+    }
+
+    /// `orion.indexes`: one row per secondary-index definition of the
+    /// session's catalog. `pages` is the page count of the current built
+    /// tree (0 when not built or stale); `epoch` is the owning table's
+    /// staleness epoch (bumped by every DML batch against it).
+    fn sys_indexes(&self) -> Result<Relation> {
+        let mut rows = Vec::new();
+        if let Some(handle) = &self.opts.indexes {
+            let cat = handle.lock();
+            for def in cat.defs() {
+                let rel_len = self.tables.get(&def.table).map(|r| r.len());
+                let pages = match rel_len {
+                    Some(n) if cat.is_fresh(&def.name, n) => cat.built_pages(&def.name),
+                    _ => 0,
+                };
+                rows.push(vec![
+                    Value::Text(def.name.clone()),
+                    Value::Text(def.table.clone()),
+                    Value::Text(def.column.clone()),
+                    Value::Text(def.kind.as_str().to_string()),
+                    Value::Int(pages as i64),
+                    Value::Int(cat.epoch(&def.table) as i64),
+                ]);
+            }
+        }
+        system_rel(
+            "orion.indexes",
+            &[
+                ("name", ColumnType::Text),
+                ("tbl", ColumnType::Text),
+                ("col", ColumnType::Text),
+                ("kind", ColumnType::Text),
+                ("pages", ColumnType::Int),
+                ("epoch", ColumnType::Int),
             ],
             rows,
         )
@@ -684,6 +803,7 @@ impl Database {
                 }
             }
         }
+        self.note_index_mutation(&table);
         Ok(Output::Count(updated))
     }
 
@@ -725,13 +845,42 @@ impl Database {
                 } else {
                     Predicate::And(pws_parts)
                 };
-                input = select(&input, &pred, &mut self.reg, &self.opts)?;
+                // Access-path decision: an evx index over a certain-column
+                // range predicate may supply a candidate mask (a proven
+                // superset of the passing set, so results are unchanged).
+                let ap = plan_select_access(&input, &pred, Some(&self.stats), &self.opts)?;
+                input =
+                    select_masked(&input, &pred, ap.mask.as_deref(), &mut self.reg, &self.opts)?;
             }
             for t in thresholds {
                 input = match t {
                     Pred::ProbThreshold(inner, op, p) => {
                         let pred = translate_pred(&inner)?;
-                        threshold_pred(&input, &pred, op, p, &mut self.reg, &self.opts)?
+                        // Scan vs cdf-index threshold; a declined or
+                        // unindexed path falls back to threshold_pred's
+                        // transient support-interval pruning.
+                        let ap = plan_threshold_access(
+                            &input,
+                            &pred,
+                            op,
+                            p,
+                            Some(&self.stats),
+                            &self.opts,
+                        )?;
+                        match ap.mask {
+                            Some(m) => threshold_pred_masked(
+                                &input,
+                                &pred,
+                                op,
+                                p,
+                                Some(&m),
+                                &mut self.reg,
+                                &self.opts,
+                            )?,
+                            None => {
+                                threshold_pred(&input, &pred, op, p, &mut self.reg, &self.opts)?
+                            }
+                        }
                     }
                     Pred::AttrThreshold(attrs, op, p) => {
                         let refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
@@ -1142,6 +1291,16 @@ fn dep_group(schema: &ProbSchema, id: AttrId) -> Vec<AttrId> {
     schema.deps().iter().find(|g| g.contains(&id)).cloned().unwrap_or_else(|| vec![id])
 }
 
+/// Resolves an optional `USING <kind>` clause to an [`IndexKind`].
+pub(crate) fn translate_index_kind(kind: Option<&str>) -> Result<Option<IndexKind>> {
+    match kind {
+        None => Ok(None),
+        Some(s) => IndexKind::parse(s).map(Some).ok_or_else(|| {
+            SqlError::Exec(format!("unknown index kind '{s}' (expected 'evx' or 'cdf')"))
+        }),
+    }
+}
+
 /// Rejects DML predicates that touch uncertain columns (a tuple is either
 /// affected or not; probabilistic DML would need user-specified
 /// semantics).
@@ -1525,6 +1684,36 @@ mod tests {
     }
 
     #[test]
+    fn save_and_open_keeps_index_definitions() {
+        let dir = std::env::temp_dir().join("orion_sql_persist_ix");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.orion");
+        {
+            let mut db = sensor_db();
+            db.execute("CREATE INDEX ix_val ON readings (value) USING cdf").unwrap();
+            db.execute("CREATE INDEX ix_rid ON readings (rid)").unwrap();
+            db.execute("DROP INDEX ix_rid").unwrap();
+            db.save(&path).unwrap();
+        }
+        let mut db = Database::open(&path).unwrap();
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.indexes").unwrap() else {
+            panic!("expected a table");
+        };
+        assert_eq!(rel.len(), 1, "only the surviving definition reloads");
+        assert_eq!(rel.value(0, "name").unwrap(), &Value::Text("ix_val".into()));
+        assert_eq!(rel.value(0, "kind").unwrap(), &Value::Text("cdf".into()));
+        // The reloaded definition is usable: the planner can build and
+        // probe it for a threshold query on the indexed column.
+        let Output::Table(rel) =
+            db.execute("SELECT rid FROM readings WHERE PROB(value > 18) >= 0.5").unwrap()
+        else {
+            panic!("expected a table");
+        };
+        assert!(!rel.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn save_and_open_round_trip_keeps_analyze_stats() {
         let dir = std::env::temp_dir().join("orion_sql_persist_stats");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1731,6 +1920,7 @@ mod tests {
                 "orion.stats",
                 &["tbl", "col", "kind", "rows", "ndv", "nulls", "lo", "hi", "width_mean"],
             ),
+            ("orion.indexes", &["name", "tbl", "col", "kind", "pages", "epoch"]),
             ("orion.metrics", &["name", "kind", "count", "sum"]),
             ("orion.io", &["counter", "value"]),
             ("orion.trace_lanes", &["lane", "tid", "events", "dropped"]),
@@ -1883,5 +2073,90 @@ mod tests {
         let Output::Explain { profile, .. } = out else { panic!("expected explain") };
         assert_eq!(profile.stats.tuples_out, 2);
         assert_eq!(profile.est_rows, Some(1000));
+    }
+
+    #[test]
+    fn index_ddl_lifecycle_and_vtable() {
+        let mut db = sensor_db();
+        // Kind defaults by column certainty; explicit kinds are validated.
+        db.execute("CREATE INDEX ix_val ON readings (value)").unwrap();
+        db.execute("CREATE INDEX ix_rid ON readings (rid) USING evx").unwrap();
+        assert!(db.execute("CREATE INDEX ix_val ON readings (value)").is_err(), "dup name");
+        assert!(db.execute("CREATE INDEX ix2 ON readings (value) USING evx").is_err());
+        assert!(db.execute("CREATE INDEX ix2 ON readings (rid) USING cdf").is_err());
+        assert!(db.execute("CREATE INDEX ix2 ON readings (nope)").is_err(), "unknown column");
+        assert!(db.execute("CREATE INDEX ix2 ON missing (rid)").is_err(), "unknown table");
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.indexes").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 2, "name-ordered rows");
+        assert_eq!(rel.value(0, "name").unwrap(), &Value::Text("ix_rid".into()));
+        assert_eq!(rel.value(0, "kind").unwrap(), &Value::Text("evx".into()));
+        assert_eq!(rel.value(1, "name").unwrap(), &Value::Text("ix_val".into()));
+        assert_eq!(rel.value(1, "kind").unwrap(), &Value::Text("cdf".into()));
+        assert_eq!(rel.value(1, "epoch").unwrap(), &Value::Int(0));
+        // DML bumps the staleness epoch of every index over the table.
+        db.execute("INSERT INTO readings VALUES (4, GAUSSIAN(30, 2))").unwrap();
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.indexes").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.value(1, "epoch").unwrap(), &Value::Int(1));
+        db.execute("DROP INDEX ix_val").unwrap();
+        assert!(db.execute("DROP INDEX ix_val").is_err(), "already dropped");
+        // DROP TABLE sweeps the catalog.
+        db.execute("DROP TABLE readings").unwrap();
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.indexes").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 0);
+    }
+
+    /// The access-path planner never changes results: an indexed threshold
+    /// query returns exactly what the seed scan returns, under both planner
+    /// modes, and EXPLAIN surfaces the priced alternatives.
+    #[test]
+    fn indexed_threshold_matches_scan_and_explains_paths() {
+        let rows: Vec<String> =
+            (0..60).map(|i| format!("({i}, GAUSSIAN({}, 2))", (i % 20) * 10)).collect();
+        let sql_insert = format!("INSERT INTO t VALUES {}", rows.join(", "));
+        let run = |planner: PlannerMode, indexed: bool| -> Vec<i64> {
+            let opts = ExecOptions { planner, ..ExecOptions::default() };
+            let mut db = Database::with_options(opts);
+            db.execute("CREATE TABLE t (rid INT, v REAL UNCERTAIN)").unwrap();
+            db.execute(&sql_insert).unwrap();
+            db.execute("ANALYZE t").unwrap();
+            if indexed {
+                db.execute("CREATE INDEX ix_v ON t (v) USING cdf").unwrap();
+            }
+            let out = db.execute("SELECT rid FROM t WHERE PROB(v > 150) > 0.5").unwrap();
+            let Output::Table(rel) = out else { panic!("expected table") };
+            (0..rel.len())
+                .map(|i| match rel.value(i, "rid").unwrap() {
+                    Value::Int(v) => *v,
+                    other => panic!("expected int, got {other:?}"),
+                })
+                .collect()
+        };
+        let scan = run(PlannerMode::Cost, false);
+        assert!(!scan.is_empty() && scan.len() < 60, "selective query: {scan:?}");
+        assert_eq!(run(PlannerMode::Cost, true), scan);
+        assert_eq!(run(PlannerMode::Rule, true), scan);
+        // EXPLAIN prices both paths on the indexed session.
+        let mut db = Database::with_options(ExecOptions {
+            planner: PlannerMode::Cost,
+            ..Default::default()
+        });
+        db.execute("CREATE TABLE t (rid INT, v REAL UNCERTAIN)").unwrap();
+        db.execute(&sql_insert).unwrap();
+        db.execute("ANALYZE t").unwrap();
+        db.execute("CREATE INDEX ix_v ON t (v) USING cdf").unwrap();
+        let Output::Explain { profile, .. } =
+            db.execute("EXPLAIN SELECT * FROM t WHERE PROB(v > 150) > 0.5").unwrap()
+        else {
+            panic!("expected explain")
+        };
+        let rendered = profile.render(false);
+        assert!(rendered.contains("paths: scan="), "{rendered}");
+        assert!(rendered.contains("index-threshold(ix_v)"), "{rendered}");
     }
 }

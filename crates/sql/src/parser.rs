@@ -110,7 +110,11 @@ impl Parser {
             return Ok(Statement::Explain { analyze, trace, inner: Box::new(inner) });
         }
         if self.eat_kw("create") {
-            self.create_table()
+            if self.eat_kw("index") {
+                self.create_index()
+            } else {
+                self.create_table()
+            }
         } else if self.eat_kw("insert") {
             self.insert()
         } else if self.eat_kw("select") {
@@ -135,9 +139,14 @@ impl Parser {
             let filter = if self.eat_kw("where") { Some(self.pred()?) } else { None };
             Ok(Statement::Delete { table, filter })
         } else if self.eat_kw("drop") {
-            self.expect_kw("table")?;
-            let name = self.ident("table name")?;
-            Ok(Statement::DropTable { name })
+            if self.eat_kw("index") {
+                let name = self.ident("index name")?;
+                Ok(Statement::DropIndex { name })
+            } else {
+                self.expect_kw("table")?;
+                let name = self.ident("table name")?;
+                Ok(Statement::DropTable { name })
+            }
         } else if self.eat_kw("analyze") {
             let table = self.ident("table name")?;
             Ok(Statement::Analyze { table })
@@ -196,6 +205,17 @@ impl Parser {
         }
         self.expect(&Token::RParen, "')'")?;
         Ok(Statement::CreateTable { name, columns, correlated })
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.ident("index name")?;
+        self.expect_kw("on")?;
+        let table = self.ident("table name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let column = self.ident("column name")?;
+        self.expect(&Token::RParen, "')'")?;
+        let kind = if self.eat_kw("using") { Some(self.ident("index kind")?) } else { None };
+        Ok(Statement::CreateIndex { name, table, column, kind })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -819,6 +839,32 @@ mod tests {
             other => panic!("wrong statement: {other:?}"),
         }
         assert!(parse("ANALYZE").is_err());
+    }
+
+    #[test]
+    fn index_ddl_parses() {
+        assert_eq!(
+            parse("CREATE INDEX ix_v ON readings (v) USING cdf").unwrap(),
+            Statement::CreateIndex {
+                name: "ix_v".into(),
+                table: "readings".into(),
+                column: "v".into(),
+                kind: Some("cdf".into()),
+            }
+        );
+        assert_eq!(
+            parse("CREATE INDEX ix_rid ON readings (rid);").unwrap(),
+            Statement::CreateIndex {
+                name: "ix_rid".into(),
+                table: "readings".into(),
+                column: "rid".into(),
+                kind: None,
+            }
+        );
+        assert_eq!(parse("DROP INDEX ix_v").unwrap(), Statement::DropIndex { name: "ix_v".into() });
+        assert!(parse("CREATE INDEX ix ON t").is_err(), "missing column list");
+        assert!(parse("CREATE INDEX ON t (v)").is_err(), "missing name");
+        assert!(parse("DROP INDEX").is_err());
     }
 
     #[test]

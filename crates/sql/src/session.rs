@@ -116,6 +116,17 @@ impl DurableSession {
                  still anchor histories of derived data)"
                     .into(),
             )),
+            Statement::CreateIndex { name, table, column, kind } => {
+                self.reject_in_txn("CREATE INDEX")?;
+                let kind = crate::exec::translate_index_kind(kind.as_deref())?;
+                self.db.create_index(&name, &table, &column, kind)?;
+                Ok(Output::Ok)
+            }
+            Statement::DropIndex { name } => {
+                self.reject_in_txn("DROP INDEX")?;
+                self.db.drop_index(&name)?;
+                Ok(Output::Ok)
+            }
             Statement::Analyze { table } => {
                 if self.txn.is_some() {
                     return Err(SqlError::Exec(
@@ -134,6 +145,19 @@ impl DurableSession {
             }
             read => self.query_db().run(read),
         }
+    }
+
+    /// Index DDL is engine state logged at its own WAL commit point, not
+    /// transactional row data — like ANALYZE it cannot run inside an open
+    /// transaction.
+    fn reject_in_txn(&self, stmt: &str) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(SqlError::Exec(format!(
+                "{stmt} cannot run inside a transaction (index definitions are engine \
+                 state, logged at their own WAL commit point)"
+            )));
+        }
+        Ok(())
     }
 
     /// Runs one DML statement as its own transaction, retrying conflicts
@@ -171,6 +195,12 @@ impl DurableSession {
         qdb.set_stats_catalog(self.stats.clone());
         qdb.set_io_stats(self.db.io_stats());
         qdb.set_txn_db(self.db.clone());
+        // A defs+epochs snapshot of the engine catalog (no built cache):
+        // any tree the statement builds comes from its own point-in-time
+        // table copy and is never cached back into the shared catalog, so
+        // a commit racing this statement cannot poison freshness.
+        let cat = self.db.indexes().lock().snapshot();
+        qdb.set_index_handle(IndexHandle::from_catalog(cat));
         qdb
     }
 }
@@ -400,6 +430,36 @@ mod tests {
         let Output::Table(rel) = a.execute("SELECT * FROM t").unwrap() else { panic!("table") };
         assert_eq!(rel.len(), 1);
         assert_eq!(rel.value(0, "a").unwrap(), &Value::Int(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_ddl_is_durable_and_rejected_inside_txn() {
+        let dir = temp_dir("index_ddl");
+        {
+            let mut s = DurableSession::open(&dir).unwrap();
+            s.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+            s.execute("INSERT INTO t VALUES (1, UNIFORM(0, 1)), (2, UNIFORM(1, 2))").unwrap();
+            s.execute("CREATE INDEX ix_x ON t (x)").unwrap();
+            s.execute("CREATE INDEX ix_a ON t (a) USING evx").unwrap();
+            s.execute("DROP INDEX ix_a").unwrap();
+            s.execute("BEGIN").unwrap();
+            assert!(s.execute("CREATE INDEX ix2 ON t (a)").is_err(), "DDL inside txn");
+            assert!(s.execute("DROP INDEX ix_x").is_err(), "DDL inside txn");
+            s.execute("ROLLBACK").unwrap();
+        }
+        // The definition replays from the WAL; the dropped one stays gone.
+        let mut s = DurableSession::open(&dir).unwrap();
+        let Output::Table(rel) = s.execute("SELECT * FROM orion.indexes").unwrap() else {
+            panic!("table")
+        };
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.value(0, "name").unwrap(), &Value::Text("ix_x".into()));
+        assert_eq!(rel.value(0, "kind").unwrap(), &Value::Text("cdf".into()));
+        // Indexed and scan-only sessions agree on threshold results.
+        let out = s.execute("SELECT a FROM t WHERE PROB(x > 0.5) > 0.4").unwrap();
+        let Output::Table(rel) = out else { panic!("table") };
+        assert_eq!(rel.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,6 +15,7 @@
 //! commits through. With the `failpoints` feature, [`faults::FaultyStore`]
 //! injects deterministic write/read faults for crash-matrix testing.
 
+pub mod btree;
 pub mod buffer;
 pub mod checksum;
 pub mod codec;
@@ -26,6 +27,7 @@ pub mod heap;
 pub mod page;
 pub mod wal;
 
+pub use btree::BTree;
 pub use buffer::BufferPool;
 pub use delta::DeltaFile;
 #[cfg(feature = "failpoints")]

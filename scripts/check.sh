@@ -32,6 +32,12 @@ ORION_MODE=batch ORION_THREADS=1 cargo test -q
 echo "== cargo test -q (ORION_MODE=batch, ORION_THREADS=4) =="
 ORION_MODE=batch ORION_THREADS=4 cargo test -q
 
+echo "== cargo test -q (ORION_PLANNER=rule) =="
+# Tier-1 runs once more with the rule-based planner, which takes a usable
+# secondary index unconditionally: every indexed query path must stay green
+# and bit-identical even when the cost model would have chosen the scan.
+ORION_PLANNER=rule ORION_THREADS=1 cargo test -q
+
 echo "== batch differential oracle (3 pinned seeds) =="
 # Replays the serial-vs-batch pipeline oracle with pinned generator seeds,
 # mirroring the recovery oracle's replay protocol: row-serial, row-parallel,
@@ -55,15 +61,20 @@ echo "== cargo test -q (fault injection, fixed seeds) =="
 cargo test -q -p orion-storage -p orion-core -p orion-tests --features failpoints
 
 echo "== crash matrix + recovery oracle + txn consistency (3 pinned seeds) =="
-# Each seed runs the byte-level crash matrices, the recovery oracle, and
-# the Jepsen-style transaction consistency checker — once with fault
-# injection armed (failpoints) and once against the plain build.
+# Each seed runs the byte-level crash matrices, the recovery oracle (whose
+# workloads now interleave CREATE/DROP INDEX and assert recovered index
+# definitions answer like a fresh rebuild at every WAL cut), the
+# index-vs-scan differential oracle, and the Jepsen-style transaction
+# consistency checker — once with fault injection armed (failpoints) and
+# once against the plain build.
 for seed in 0xA11CE 0xC0FFEE 0xDECADE; do
     echo "-- ORION_ORACLE_SEED=$seed (failpoints) --"
     ORION_ORACLE_SEED=$seed cargo test -q -p orion-tests --features failpoints \
-        --test crash_matrix --test recovery_oracle --test txn_consistency
+        --test crash_matrix --test recovery_oracle --test txn_consistency \
+        --test index_equiv
     echo "-- ORION_ORACLE_SEED=$seed (plain) --"
-    ORION_ORACLE_SEED=$seed cargo test -q -p orion-tests --test txn_consistency
+    ORION_ORACLE_SEED=$seed cargo test -q -p orion-tests \
+        --test txn_consistency --test index_equiv
 done
 
 echo "== morsel-parallel speedup check =="
@@ -105,6 +116,18 @@ else
     cargo run --release -p orion-bench --bin fig5_performance -- \
         --compare --min-speedup 3 ||
         echo "warning: fig5 --compare speedup below 3x (advisory only)" >&2
+fi
+
+echo "== threshold-index speedup check (fig5_index) =="
+if [ "${ORION_SPEEDUP_GATE:-0}" = "1" ]; then
+    # Opt-in hard gate (dedicated hardware): the persistent cdf-summary
+    # index must answer fig5-style threshold queries at selectivity <= 0.1
+    # at least 5x faster than the seed full scan, bitwise-identical results.
+    cargo run --release -p orion-bench --bin fig5_index -- --min-speedup 5
+else
+    # Advisory by default, same convention as the other speedup checks.
+    cargo run --release -p orion-bench --bin fig5_index -- --min-speedup 5 ||
+        echo "warning: fig5_index speedup below 5x (advisory only)" >&2
 fi
 
 echo "== trace schema check =="

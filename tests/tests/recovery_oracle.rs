@@ -10,9 +10,13 @@
 //! log: for each cut it reconstructs the on-disk state (snapshot + delta
 //! chain + truncated WAL), recovers, and asserts the recovered database is
 //! bit-identical (relations, dependency-set joints, ancestor sets, base
-//! refcounts, existence masses) to the oracle at exactly the number of
-//! operations whose commit frame fits in the surviving prefix. Recovery
-//! must also be idempotent: a second open lands on the same fingerprint.
+//! refcounts, existence masses, secondary-index definitions) to the oracle
+//! at exactly the number of operations whose commit frame fits in the
+//! surviving prefix. Recovery must also be idempotent: a second open lands
+//! on the same fingerprint. Every index definition that survives a cut
+//! must additionally *answer* exactly like a fresh rebuild over the
+//! recovered data — trees are never persisted, so this pins the
+//! rebuild-on-recovery path itself.
 //!
 //! The fingerprint canonicalizes identities that legitimately differ
 //! between two runs — attribute ids come from a process-global allocator
@@ -23,6 +27,7 @@
 //! specific seed (used by `scripts/check.sh` to pin three seeds in CI).
 
 use orion_core::durable::{DurableDb, SNAPSHOT_FILE, WAL_FILE};
+use orion_core::pindex::{BuiltIndex, IndexCatalog, IndexDef, IndexKind};
 use orion_core::prelude::*;
 use orion_pdf::prelude::*;
 use orion_storage::DeltaFile;
@@ -68,6 +73,11 @@ enum Op {
     /// `ANALYZE t{0}`: collect stats into the catalog (WAL tag 5; skipped
     /// on both sides if the table does not exist).
     Analyze(u8),
+    /// `CREATE INDEX` on `t{table}` (WAL tag 11; skipped if the table does
+    /// not exist or the derived name is already taken).
+    CreateIndex { table: u8, column: u8 },
+    /// `DROP INDEX` (WAL tag 12; skipped if the derived name is unknown).
+    DropIndex { table: u8, column: u8 },
     /// Full checkpoint: snapshot everything, drop the delta chain.
     Full,
     /// Incremental checkpoint: delta-file only the dirty pages.
@@ -76,6 +86,21 @@ enum Op {
 
 fn table_name(i: u8) -> String {
     format!("t{i}")
+}
+
+/// Index target columns reachable from the oracle schema: `id` is certain
+/// (`evx` key layout), `x` uncertain (`cdf` summaries).
+fn index_target(column: u8) -> (&'static str, IndexKind) {
+    if column.is_multiple_of(2) {
+        ("id", IndexKind::Evx)
+    } else {
+        ("x", IndexKind::Cdf)
+    }
+}
+
+fn index_name(table: u8, column: u8) -> String {
+    let (col, _) = index_target(column);
+    format!("ix_t{table}_{col}")
 }
 
 fn simple_pdfs(mean: f64) -> [(&'static str, Pdf1); 2] {
@@ -105,6 +130,7 @@ fn apply_oracle(
     tables: &mut HashMap<String, Relation>,
     reg: &mut HistoryRegistry,
     stats: &mut StatsCatalog,
+    ix: &mut IndexCatalog,
     op: &Op,
 ) -> bool {
     match op {
@@ -135,6 +161,24 @@ fn apply_oracle(
         Op::Analyze(i) => {
             let Some(rel) = tables.get(&table_name(*i)) else { return false };
             stats.insert(analyze_relation(rel).unwrap());
+            true
+        }
+        Op::CreateIndex { table, column } => {
+            let name = index_name(*table, *column);
+            if !tables.contains_key(&table_name(*table)) || ix.get(&name).is_some() {
+                return false;
+            }
+            let (col, kind) = index_target(*column);
+            ix.create(IndexDef { name, table: table_name(*table), column: col.into(), kind })
+                .unwrap();
+            true
+        }
+        Op::DropIndex { table, column } => {
+            let name = index_name(*table, *column);
+            if ix.get(&name).is_none() {
+                return false;
+            }
+            ix.drop_index(&name).unwrap();
             true
         }
         Op::Full | Op::Incremental => false,
@@ -183,6 +227,24 @@ fn apply_db(db: &mut DurableDb, op: &Op) -> bool {
             db.analyze_table(&name).unwrap();
             true
         }
+        Op::CreateIndex { table, column } => {
+            let tname = table_name(*table);
+            let name = index_name(*table, *column);
+            if !db.tables().contains_key(&tname) || db.indexes().lock().get(&name).is_some() {
+                return false;
+            }
+            let (col, kind) = index_target(*column);
+            db.create_index(&name, &tname, col, Some(kind)).unwrap();
+            true
+        }
+        Op::DropIndex { table, column } => {
+            let name = index_name(*table, *column);
+            if db.indexes().lock().get(&name).is_none() {
+                return false;
+            }
+            db.drop_index(&name).unwrap();
+            true
+        }
         Op::Full => {
             db.checkpoint().unwrap();
             false
@@ -200,7 +262,8 @@ fn apply_db(db: &mut DurableDb, op: &Op) -> bool {
 /// operation by themselves.
 ///
 /// Outside a transaction group, a schema (1), tuple (3), stats (5),
-/// delete (9) or update (10) frame each completes one operation. Between a
+/// delete (9), update (10), index-create (11) or index-drop (12) frame
+/// each completes one operation. Between a
 /// txn-begin (6) marker and its commit (7), data frames are buffered: they
 /// count — all at once — only when the commit marker frame itself survives
 /// the cut. An abort marker (8) or a cut before the commit discards the
@@ -221,13 +284,30 @@ fn committed_ops(bytes: &[u8], cut: usize) -> usize {
                 pending = None;
             }
             (8, _) | (7, None) => pending = None,
-            (1 | 3 | 5 | 9 | 10, Some(n)) => *n += 1,
-            (1 | 3 | 5 | 9 | 10, None) => ops += 1,
+            (1 | 3 | 5 | 9 | 10 | 11 | 12, Some(n)) => *n += 1,
+            (1 | 3 | 5 | 9 | 10 | 11 | 12, None) => ops += 1,
             _ => {}
         }
         off += 8 + len;
     }
     ops
+}
+
+/// The oracle fingerprint extended with the byte-encoded index-definition
+/// catalog: a definition lost (or resurrected) by recovery fails the
+/// comparison exactly like lost tuple data.
+fn fp_ix(
+    tables: &HashMap<String, Relation>,
+    reg: &HistoryRegistry,
+    stats: &StatsCatalog,
+    ix: &IndexCatalog,
+) -> String {
+    let mut s = fingerprint(tables, reg, stats);
+    s.push_str("|ix:");
+    for b in ix.encode() {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
 }
 
 /// Runs `ops` against both sides under `dir`. Returns the oracle
@@ -239,34 +319,58 @@ fn run_workload(dir: &Path, ops: &[Op]) -> Vec<String> {
     let mut tables: HashMap<String, Relation> = HashMap::new();
     let mut reg = HistoryRegistry::new();
     let mut stats = StatsCatalog::new();
-    let mut fps = vec![fingerprint(&tables, &reg, &stats)];
+    let mut ix = IndexCatalog::new();
+    let mut fps = vec![fp_ix(&tables, &reg, &stats, &ix)];
     for op in ops {
         let committed = apply_db(&mut db, op);
         match op {
             Op::Full | Op::Incremental => {
                 // Checkpoints move the baseline: the WAL restarts empty.
-                fps = vec![fingerprint(&tables, &reg, &stats)];
+                fps = vec![fp_ix(&tables, &reg, &stats, &ix)];
             }
             _ => {
                 assert_eq!(
                     committed,
-                    apply_oracle(&mut tables, &mut reg, &mut stats, op),
+                    apply_oracle(&mut tables, &mut reg, &mut stats, &mut ix, op),
                     "skip rules agree"
                 );
                 if committed {
-                    fps.push(fingerprint(&tables, &reg, &stats));
+                    fps.push(fp_ix(&tables, &reg, &stats, &ix));
                 }
             }
         }
     }
     // Live database and oracle agree before any crash is simulated.
-    assert_eq!(
-        fingerprint(db.tables(), db.registry(), db.stats_catalog()),
-        *fps.last().unwrap(),
-        "live state diverged"
-    );
+    let live_ix = db.indexes();
+    let live = fp_ix(db.tables(), db.registry(), db.stats_catalog(), &live_ix.lock());
+    assert_eq!(live, *fps.last().unwrap(), "live state diverged");
     db.check_invariants().unwrap();
     fps
+}
+
+/// Deterministic probe answers over a built index — the observable the
+/// recovered-vs-fresh-rebuild comparison runs on. The masks and probe
+/// counts fix the tree's keyed entries, payloads, and unkeyed set, so
+/// equality here means the recovered definition materializes the same
+/// index a from-scratch build does.
+fn probe_battery(ix: &BuiltIndex) -> String {
+    let mut s = format!("{:?}|len={}|rows={}|pages={}", ix.def, ix.len(), ix.rows, ix.pages());
+    match ix.def.kind {
+        IndexKind::Evx => {
+            for (lo, hi) in
+                [(f64::NEG_INFINITY, f64::INFINITY), (-2.0, 3.0), (1.0, 1.0), (50.0, 60.0)]
+            {
+                s.push_str(&format!("|{:?}", ix.range_mask(lo, hi).unwrap()));
+            }
+        }
+        IndexKind::Cdf => {
+            for (lo, p) in [(0.0, 0.5), (-3.0, 0.9), (2.5, 0.2)] {
+                let m = ix.threshold_mask(&Interval::new(lo, f64::INFINITY), CmpOp::Gt, p).unwrap();
+                s.push_str(&format!("|{m:?}"));
+            }
+        }
+    }
+    s
 }
 
 /// The matrix itself: crash at every byte of the WAL left under `src` and
@@ -296,17 +400,34 @@ fn crash_matrix(src: &Path, fps: &[String], scratch: &Path) {
         let k = committed_ops(&wal, cut);
         let db = DurableDb::open(scratch)
             .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        let handle = db.indexes();
         assert_eq!(
-            fingerprint(db.tables(), db.registry(), db.stats_catalog()),
+            fp_ix(db.tables(), db.registry(), db.stats_catalog(), &handle.lock()),
             fps[k],
             "recovered state != oracle after {k} ops (cut at byte {cut}/{})",
             wal.len()
         );
+        // Every surviving definition must answer exactly like a fresh
+        // from-scratch build over the recovered relation — the tree is
+        // never persisted, so this is the rebuild path recovery relies on.
+        let defs: Vec<IndexDef> = handle.lock().defs().cloned().collect();
+        for def in &defs {
+            let rel = &db.tables()[&def.table];
+            let recovered = handle.lock().ensure_built(&def.name, rel).unwrap();
+            let fresh = BuiltIndex::build(def, rel, recovered.epoch).unwrap();
+            assert_eq!(
+                probe_battery(&recovered),
+                probe_battery(&fresh),
+                "recovered index '{}' != fresh rebuild (cut at byte {cut})",
+                def.name
+            );
+        }
         db.check_invariants().unwrap_or_else(|e| panic!("invariants at cut {cut}: {e}"));
         drop(db);
         let db = DurableDb::open(scratch).unwrap();
+        let handle = db.indexes();
         assert_eq!(
-            fingerprint(db.tables(), db.registry(), db.stats_catalog()),
+            fp_ix(db.tables(), db.registry(), db.stats_catalog(), &handle.lock()),
             fps[k],
             "second recovery diverged (cut at byte {cut})"
         );
@@ -415,6 +536,35 @@ fn oracle_incremental_without_base_matrix() {
     );
 }
 
+#[test]
+fn oracle_index_defs_survive_every_cut() {
+    // CREATE INDEX / DROP INDEX interleaved with inserts and checkpoints:
+    // at every WAL cut the surviving definitions must match the oracle
+    // (tag-11/12 frames replay like data, defs bake into snapshots, a drop
+    // forces the next checkpoint to rewrite the base), and every surviving
+    // definition must rebuild into the same tree a fresh build produces.
+    run_oracle(
+        "index_defs",
+        &[
+            Op::Create(0),
+            Op::Simple { table: 0, key: 1, mean: 0.5 },
+            Op::CreateIndex { table: 0, column: 1 }, // cdf on x
+            Op::Joint { table: 0, key: 2, p: 0.8 },
+            Op::CreateIndex { table: 0, column: 0 }, // evx on id
+            Op::CreateIndex { table: 0, column: 1 }, // duplicate: skipped on both sides
+            Op::Full,
+            Op::Simple { table: 0, key: 3, mean: 2.0 },
+            Op::DropIndex { table: 0, column: 0 },
+            Op::Create(1),
+            Op::CreateIndex { table: 1, column: 1 },
+            Op::Incremental,
+            Op::Simple { table: 1, key: 4, mean: -1.0 },
+            Op::DropIndex { table: 1, column: 1 },
+            Op::CreateIndex { table: 1, column: 1 }, // recreate after drop
+        ],
+    );
+}
+
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u32..2).prop_map(|i| Op::Create(i as u8)),
@@ -429,6 +579,12 @@ fn arb_op() -> impl Strategy<Value = Op> {
             p
         }),
         (0u32..2).prop_map(|i| Op::Analyze(i as u8)),
+        (0u32..2, 0u32..2).prop_map(|(table, column)| Op::CreateIndex {
+            table: table as u8,
+            column: column as u8
+        }),
+        (0u32..2, 0u32..2)
+            .prop_map(|(table, column)| Op::DropIndex { table: table as u8, column: column as u8 }),
         Just(Op::Full),
         Just(Op::Incremental),
     ]
@@ -577,12 +733,13 @@ fn run_txn_workload(dir: &Path, script: &[Step]) -> Vec<String> {
     let mut tables: HashMap<String, Relation> = HashMap::new();
     let mut reg = HistoryRegistry::new();
     let stats = StatsCatalog::new();
-    let mut fps = vec![fingerprint(&tables, &reg, &stats)];
+    let ix = IndexCatalog::new(); // txn scripts define no indexes
+    let mut fps = vec![fp_ix(&tables, &reg, &stats, &ix)];
     for step in script {
         match step {
             Step::Checkpoint => {
                 db.checkpoint().unwrap();
-                fps = vec![fingerprint(&tables, &reg, &stats)];
+                fps = vec![fp_ix(&tables, &reg, &stats, &ix)];
             }
             Step::Plain(st) => {
                 match st {
@@ -597,7 +754,7 @@ fn run_txn_workload(dir: &Path, script: &[Step]) -> Vec<String> {
                     other => panic!("plain steps are create/insert only, got {other:?}"),
                 }
                 oracle_txn_step(&mut tables, &mut reg, st);
-                fps.push(fingerprint(&tables, &reg, &stats));
+                fps.push(fp_ix(&tables, &reg, &stats, &ix));
             }
             Step::Txn { steps, commit } => {
                 let mut txn = Txn::begin(&db);
@@ -608,7 +765,7 @@ fn run_txn_workload(dir: &Path, script: &[Step]) -> Vec<String> {
                     txn.commit().unwrap();
                     for st in steps {
                         oracle_txn_step(&mut tables, &mut reg, st);
-                        fps.push(fingerprint(&tables, &reg, &stats));
+                        fps.push(fp_ix(&tables, &reg, &stats, &ix));
                     }
                 } else {
                     let wal_before = db.wal_len();
@@ -618,7 +775,7 @@ fn run_txn_workload(dir: &Path, script: &[Step]) -> Vec<String> {
             }
         }
     }
-    let live = db.with_tables(|t, r| fingerprint(t, r, &stats));
+    let live = db.with_tables(|t, r| fp_ix(t, r, &stats, &ix));
     assert_eq!(live, *fps.last().unwrap(), "live state diverged from the oracle");
     db.check_invariants().unwrap();
     fps
@@ -718,7 +875,8 @@ fn oracle_conflicted_txn_leaves_no_wal_trace() {
     let mut tables: HashMap<String, Relation> = HashMap::new();
     let mut reg = HistoryRegistry::new();
     let stats = StatsCatalog::new();
-    let mut fps = vec![fingerprint(&tables, &reg, &stats)];
+    let ix = IndexCatalog::new();
+    let mut fps = vec![fp_ix(&tables, &reg, &stats, &ix)];
     let setup = [
         TxnStep::Create(0),
         TxnStep::Insert { table: 0, key: 1, mean: 0.5 },
@@ -731,7 +889,7 @@ fn oracle_conflicted_txn_leaves_no_wal_trace() {
     t0.commit().unwrap();
     for st in &setup {
         oracle_txn_step(&mut tables, &mut reg, st);
-        fps.push(fingerprint(&tables, &reg, &stats));
+        fps.push(fp_ix(&tables, &reg, &stats, &ix));
     }
 
     // Two overlapping transactions race to delete the same row.
@@ -740,14 +898,14 @@ fn oracle_conflicted_txn_leaves_no_wal_trace() {
     stage_txn_step(&mut winner, &TxnStep::Delete { table: 0, key: 1 });
     winner.commit().unwrap();
     oracle_txn_step(&mut tables, &mut reg, &TxnStep::Delete { table: 0, key: 1 });
-    fps.push(fingerprint(&tables, &reg, &stats));
+    fps.push(fp_ix(&tables, &reg, &stats, &ix));
 
     stage_txn_step(&mut loser, &TxnStep::Delete { table: 0, key: 1 });
     let wal_before = db.wal_len();
     let err = loser.commit().expect_err("second deleter must conflict");
     assert!(err.is_retryable(), "conflicts are retryable: {err}");
     assert_eq!(db.wal_len(), wal_before, "conflicted commit leaves no WAL trace");
-    let live = db.with_tables(|t, r| fingerprint(t, r, &stats));
+    let live = db.with_tables(|t, r| fp_ix(t, r, &stats, &ix));
     assert_eq!(live, *fps.last().unwrap(), "conflicted commit mutated live state");
     db.check_invariants().unwrap();
     drop(db);
@@ -768,7 +926,13 @@ fn oracle_env_seeded_workload() {
         .unwrap_or(0xA11CE);
     let mut rng = TestRng::deterministic(&format!("orion-oracle-{seed}"));
     let strat = prop::collection::vec(arb_op(), 6..14);
-    let mut ops = vec![Op::Create(0), Op::Simple { table: 0, key: -1, mean: 0.0 }];
+    // The fixed preamble guarantees a table, a data record, and a tag-11
+    // index record in every seeded run.
+    let mut ops = vec![
+        Op::Create(0),
+        Op::Simple { table: 0, key: -1, mean: 0.0 },
+        Op::CreateIndex { table: 0, column: 1 },
+    ];
     ops.extend(strat.generate(&mut rng));
     run_oracle(&format!("env_seed_{seed}"), &ops);
 }
