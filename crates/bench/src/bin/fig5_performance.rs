@@ -17,7 +17,7 @@
 
 use orion_bench::fig5::{
     aggregate_speedup, cleanup, compare, compare_to_json, estimate_report, rows_to_json, run_mode,
-    stats_json, wide_repr_speedup, Fig5Config,
+    stats_json, wide_repr_speedup, workload_report, Fig5Config,
 };
 use orion_bench::report;
 use orion_core::batch::ExecMode;
@@ -138,8 +138,12 @@ fn main() {
                 );
             }
         }
+        // The per-statement workload repository over the same query shape
+        // becomes the sidecar's `statements` section.
+        let statements = workload_report(est_n, cfg.seed);
         let sp = report::stats_path(&p);
-        report::write_json(&sp, &stats_json(&rows, &estimates)).expect("write stats json");
+        report::write_json(&sp, &stats_json(&rows, &estimates, statements))
+            .expect("write stats json");
         eprintln!("wrote {}", sp.display());
     }
     if let Some(p) = trace_path {

@@ -1,4 +1,5 @@
-//! CI schema check for Chrome trace-event files and crash flight dumps.
+//! CI schema check for Chrome trace-event files, crash flight dumps, and
+//! slow-query dumps.
 //!
 //! Usage: `trace_check FILE [FILE ...]`
 //!
@@ -6,13 +7,15 @@
 //! structural validator ([`orion_obs::validate_chrome_trace`]): required
 //! keys on every `"X"` event, monotone timestamps, well-nested spans per
 //! lane, and at least one complete event. Files carrying a top-level
-//! `"reason"` key are flight-recorder dumps (`flight-*.json`) and go
-//! through [`orion_obs::validate_flight_dump`] instead, which additionally
-//! requires a non-empty crash reason. Exits non-zero on the first
-//! unparseable or malformed file, so `scripts/check.sh` fails loudly when
-//! instrumentation regresses.
+//! `"kind": "slow_queries"` are workload-repository slow-query dumps
+//! (`slow-*.json`) and go through [`orion_obs::validate_slow_dump`]; files
+//! carrying a top-level `"reason"` key are flight-recorder dumps
+//! (`flight-*.json`) and go through [`orion_obs::validate_flight_dump`],
+//! which additionally requires a non-empty crash reason. Exits non-zero on
+//! the first unparseable or malformed file, so `scripts/check.sh` fails
+//! loudly when instrumentation regresses.
 
-use orion_obs::{json, validate_chrome_trace, validate_flight_dump};
+use orion_obs::{json, validate_chrome_trace, validate_flight_dump, validate_slow_dump};
 
 fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
@@ -35,10 +38,14 @@ fn main() {
     }
 }
 
-/// Validates one file; returns the number of `traceEvents` entries.
+/// Validates one file; returns the number of `traceEvents` entries (or
+/// captured queries for a slow-query dump).
 fn check(path: &str) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if doc.get("kind").and_then(json::Value::as_str) == Some("slow_queries") {
+        return validate_slow_dump(&doc);
+    }
     if doc.get("reason").is_some() {
         validate_flight_dump(&doc)?;
     } else {

@@ -15,7 +15,7 @@
 use orion_core::batch::ExecMode;
 use orion_obs::{json, OpProfile};
 use orion_pdf::prelude::{Interval, Pdf1, Pdf1Batch};
-use orion_sql::{Database, Output};
+use orion_sql::{Database, DurableSession, Output};
 use orion_storage::codec::{decode_pdf1, decode_pdf1_into, encode_pdf1};
 use orion_storage::{FileStore, HeapFile, IoSnapshot};
 use orion_workload::SensorWorkload;
@@ -155,7 +155,11 @@ pub fn rows_to_json(rows: &[Fig5Row]) -> json::Value {
 /// to its results: the per-configuration buffer-pool counters that explain
 /// the figure's read curve, plus the planner's estimate-vs-actual record
 /// for the workload's threshold query (un-analyzed and analyzed).
-pub fn stats_json(rows: &[Fig5Row], estimates: &[EstimateReport]) -> json::Value {
+pub fn stats_json(
+    rows: &[Fig5Row],
+    estimates: &[EstimateReport],
+    statements: json::Value,
+) -> json::Value {
     let mut arr = json::Value::array();
     for r in rows {
         arr.push(
@@ -169,6 +173,43 @@ pub fn stats_json(rows: &[Fig5Row], estimates: &[EstimateReport]) -> json::Value
         .with("figure", "fig5")
         .with("buffer_pool", arr)
         .with("estimates", estimates_json(estimates))
+        .with("statements", statements)
+}
+
+/// Runs the figure's threshold-query shape through a durable session with
+/// the workload repository enabled, and returns the per-statement
+/// repository plus the planner-feedback summaries as the `statements`
+/// section of the `.stats.json` sidecar.
+pub fn workload_report(n: usize, seed: u64) -> json::Value {
+    let dir = std::env::temp_dir().join(format!("orion_fig5_workload_{n}_{seed}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut s = DurableSession::open(&dir).expect("open durable session");
+    let repo = s.db().workload();
+    repo.set_enabled(true);
+    s.execute("CREATE TABLE readings (rid INT, value REAL UNCERTAIN)").expect("create");
+    let mut workload = SensorWorkload::new(seed);
+    for chunk in workload.readings(n).chunks(256) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|r| format!("({}, GAUSSIAN({}, {}))", r.rid, r.mean, r.sd * r.sd))
+            .collect();
+        s.execute(&format!("INSERT INTO readings VALUES {}", values.join(", "))).expect("insert");
+    }
+    s.execute("ANALYZE readings").expect("analyze");
+    // Literal variations collapse onto one fingerprint in the repository.
+    for thr in [30, 50, 70] {
+        s.execute(&format!("SELECT rid FROM readings WHERE PROB(value < {thr}) > 0.5"))
+            .expect("threshold query");
+    }
+    // A profiled run folds est-vs-actual into the planner-feedback store.
+    s.execute("EXPLAIN ANALYZE SELECT rid FROM readings WHERE PROB(value < 50) > 0.5")
+        .expect("profiled run");
+    let out = json::Value::object()
+        .with("workload", repo.to_json())
+        .with("plan_feedback", s.db().plan_feedback().to_json());
+    drop(s);
+    std::fs::remove_dir_all(&dir).ok();
+    out
 }
 
 /// One operator's estimate-vs-actual record from a profiled plan.
@@ -659,12 +700,42 @@ mod tests {
         assert!(row.threads >= 1);
         let text = rows_to_json(std::slice::from_ref(&row)).to_string_compact();
         assert!(text.contains("\"threads\""), "{text}");
-        let text = stats_json(&[row], &[]).to_string_compact();
+        let text = stats_json(&[row], &[], json::Value::object()).to_string_compact();
         assert!(text.contains("\"physical_reads\""), "{text}");
         assert!(text.contains("\"cache_misses\""), "{text}");
         assert!(text.contains("\"evictions\""), "{text}");
         assert!(text.contains("\"estimates\""), "{text}");
+        assert!(text.contains("\"statements\""), "{text}");
         cleanup(&cfg.dir);
+    }
+
+    #[test]
+    fn workload_report_populates_statements_and_feedback() {
+        let doc = workload_report(500, 42);
+        let text = doc.to_string_compact();
+        assert!(text.contains("\"workload\""), "{text}");
+        assert!(text.contains("\"plan_feedback\""), "{text}");
+        // The three literal variants collapsed onto one SELECT entry.
+        let stmts = doc
+            .get("workload")
+            .and_then(|w| w.get("statements"))
+            .and_then(json::Value::as_array)
+            .expect("statements array");
+        let sel = stmts
+            .iter()
+            .find(|s| {
+                s.get("text")
+                    .and_then(json::Value::as_str)
+                    .is_some_and(|t| t.starts_with("SELECT rid FROM readings"))
+            })
+            .expect("SELECT entry");
+        assert_eq!(sel.get("calls").and_then(json::Value::as_u64), Some(3));
+        let fb = doc
+            .get("plan_feedback")
+            .and_then(|f| f.get("feedback"))
+            .and_then(json::Value::as_array)
+            .expect("feedback array");
+        assert!(!fb.is_empty(), "profiled run folded q-errors");
     }
 
     #[test]

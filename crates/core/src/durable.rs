@@ -60,11 +60,13 @@ use crate::error::{EngineError, Result};
 use crate::history::{HistoryRegistry, PdfId};
 use crate::persist::{self, LoadState};
 use crate::pindex::{IndexCatalog, IndexDef, IndexHandle, IndexKind};
+use crate::plan_feedback::PlanFeedbackStore;
 use crate::relation::Relation;
 use crate::schema::ProbSchema;
 use crate::stats_catalog::{analyze_relation, StatsCatalog};
 use crate::tuple::ProbTuple;
 use crate::value::Value;
+use orion_obs::workload::WorkloadRepo;
 use orion_pdf::prelude::{JointPdf, Pdf1};
 use orion_storage::wal::WalStats;
 use orion_storage::{
@@ -185,6 +187,12 @@ pub struct DurableDb {
     indexes: IndexHandle,
     /// Checkpoint page accounting (`ckpt_pages_copied` / `_skipped`).
     io: Arc<IoStats>,
+    /// Per-statement workload repository fed by the SQL session layer;
+    /// persisted to a [`WORKLOAD_FILE`] sidecar at checkpoint when
+    /// `ORION_STATEMENTS_PERSIST=1`.
+    workload: Arc<WorkloadRepo>,
+    /// Planner cardinality-feedback store folded from profiled executions.
+    feedback: Arc<PlanFeedbackStore>,
 }
 
 impl DurableDb {
@@ -294,6 +302,9 @@ impl DurableDb {
         let (tables, reg) = state.finish();
         let wal = GroupWal::new(wal, cfg);
         set_epoch_stamp(&wal, epoch)?;
+        let workload = Arc::new(WorkloadRepo::from_env());
+        let feedback = Arc::new(PlanFeedbackStore::new());
+        load_workload_sidecar(dir, &workload, &feedback);
         Ok(DurableDb {
             dir: dir.to_path_buf(),
             tables,
@@ -305,6 +316,8 @@ impl DurableDb {
             stats,
             indexes,
             io: Arc::new(IoStats::default()),
+            workload,
+            feedback,
         })
     }
 
@@ -487,7 +500,9 @@ impl DurableDb {
             &mut self.marks,
             &self.wal,
             &self.io,
-        )
+        )?;
+        persist_workload_sidecar(&self.dir, &self.workload, &self.feedback);
+        Ok(())
     }
 
     /// Incremental checkpoint: folds the existing chain's pages in memory,
@@ -509,7 +524,9 @@ impl DurableDb {
             &mut self.marks,
             &self.wal,
             &self.io,
-        )
+        )?;
+        persist_workload_sidecar(&self.dir, &self.workload, &self.feedback);
+        Ok(())
     }
 
     /// The tables, for querying.
@@ -574,6 +591,18 @@ impl DurableDb {
         Arc::clone(&self.io)
     }
 
+    /// The per-statement workload repository (shared with SQL sessions; the
+    /// row source for `orion.statements` / `orion.slow_queries`).
+    pub fn workload(&self) -> Arc<WorkloadRepo> {
+        Arc::clone(&self.workload)
+    }
+
+    /// The planner cardinality-feedback store (the row source for
+    /// `orion.plan_feedback`).
+    pub fn plan_feedback(&self) -> Arc<PlanFeedbackStore> {
+        Arc::clone(&self.feedback)
+    }
+
     /// Current group-commit tunables.
     pub fn group_commit_config(&self) -> GroupCommitConfig {
         self.wal.config()
@@ -635,9 +664,46 @@ impl DurableDb {
                 wal: self.wal,
                 recovery: self.recovery,
                 io: self.io,
+                workload: self.workload,
+                feedback: self.feedback,
                 txns: Mutex::new(HashMap::new()),
             }),
         }
+    }
+}
+
+/// Name of the workload-repository sidecar written next to the snapshot
+/// chain when `ORION_STATEMENTS_PERSIST=1`.
+pub const WORKLOAD_FILE: &str = "workload.json";
+
+/// Best-effort write of the workload repository + planner feedback into the
+/// [`WORKLOAD_FILE`] sidecar (temp → rename), gated on the repository's
+/// `persist` knob. Observability data: a failure here must never fail the
+/// checkpoint that triggered it, so errors are swallowed.
+fn persist_workload_sidecar(dir: &Path, workload: &WorkloadRepo, feedback: &PlanFeedbackStore) {
+    if !workload.config().persist {
+        return;
+    }
+    let doc = orion_obs::json::Value::object()
+        .with("workload", workload.to_json())
+        .with("plan_feedback", feedback.to_json());
+    let tmp = dir.join(format!("{WORKLOAD_FILE}.tmp"));
+    if std::fs::write(&tmp, doc.to_string_pretty()).is_ok() {
+        let _ = std::fs::rename(&tmp, dir.join(WORKLOAD_FILE));
+    }
+}
+
+/// Best-effort load of the [`WORKLOAD_FILE`] sidecar on open: counters
+/// merge into the fresh stores. Unconditional — a repository persisted by a
+/// previous process is picked up even when this process won't persist.
+fn load_workload_sidecar(dir: &Path, workload: &WorkloadRepo, feedback: &PlanFeedbackStore) {
+    let Ok(text) = std::fs::read_to_string(dir.join(WORKLOAD_FILE)) else { return };
+    let Ok(doc) = orion_obs::json::parse(&text) else { return };
+    if let Some(w) = doc.get("workload") {
+        let _ = workload.load_json(w);
+    }
+    if let Some(f) = doc.get("plan_feedback") {
+        let _ = feedback.load_json(f);
     }
 }
 
@@ -935,6 +1001,8 @@ pub(crate) struct SharedInner {
     pub(crate) wal: GroupWal,
     recovery: RecoveryReport,
     io: Arc<IoStats>,
+    workload: Arc<WorkloadRepo>,
+    feedback: Arc<PlanFeedbackStore>,
     /// Live transactions: id → (snapshot epoch, shared write-set counter).
     /// A side table (not under the core lock) so `orion.txns` can be read
     /// without stalling writers.
@@ -974,6 +1042,8 @@ impl SharedDurableDb {
                     stats: core.stats,
                     indexes: core.indexes,
                     io: inner.io,
+                    workload: inner.workload,
+                    feedback: inner.feedback,
                 })
             }
             Err(inner) => Err(SharedDurableDb { inner }),
@@ -1150,7 +1220,9 @@ impl SharedDurableDb {
             &mut core.marks,
             &self.inner.wal,
             &self.inner.io,
-        )
+        )?;
+        persist_workload_sidecar(&core.dir, &self.inner.workload, &self.inner.feedback);
+        Ok(())
     }
 
     /// Incremental checkpoint (see
@@ -1169,7 +1241,9 @@ impl SharedDurableDb {
             &mut core.marks,
             &self.inner.wal,
             &self.inner.io,
-        )
+        )?;
+        persist_workload_sidecar(&core.dir, &self.inner.workload, &self.inner.feedback);
+        Ok(())
     }
 
     /// Live transactions (id, snapshot epoch, current write-set size),
@@ -1217,6 +1291,17 @@ impl SharedDurableDb {
     /// Checkpoint I/O counters.
     pub fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.inner.io)
+    }
+
+    /// The per-statement workload repository (see [`DurableDb::workload`]).
+    pub fn workload(&self) -> Arc<WorkloadRepo> {
+        Arc::clone(&self.inner.workload)
+    }
+
+    /// The planner cardinality-feedback store (see
+    /// [`DurableDb::plan_feedback`]).
+    pub fn plan_feedback(&self) -> Arc<PlanFeedbackStore> {
+        Arc::clone(&self.inner.feedback)
     }
 
     /// Current group-commit tunables.
@@ -1355,6 +1440,47 @@ mod tests {
             )
             .unwrap();
         }
+    }
+
+    #[test]
+    fn workload_sidecar_round_trips_across_checkpoint_and_reopen() {
+        use orion_obs::workload::{ExecSample, WorkloadConfig};
+        let dir = temp_dir("workload_sidecar");
+        {
+            let mut db = DurableDb::open(&dir).unwrap();
+            db.create_table("readings", schema()).unwrap();
+            insert_n(&mut db, 0, 2);
+            let repo = db.workload();
+            repo.set_config(WorkloadConfig { persist: true, ..WorkloadConfig::default() });
+            repo.record(&ExecSample {
+                fingerprint: 0x42,
+                text: "SELECT id FROM readings WHERE v < ?".to_string(),
+                nanos: 1_500,
+                rows: 2,
+                ..Default::default()
+            });
+            db.plan_feedback().observe("readings", "Scan", 10, 20);
+            db.checkpoint().unwrap();
+            assert!(dir.join(WORKLOAD_FILE).exists());
+        }
+        let db = DurableDb::open(&dir).unwrap();
+        let stats = db.workload().statements();
+        assert_eq!(stats.len(), 1);
+        assert_eq!((stats[0].fingerprint, stats[0].calls), (0x42, 1));
+        let fb = db.plan_feedback().summaries();
+        assert_eq!(fb.len(), 1);
+        assert_eq!((fb[0].last_est, fb[0].last_actual), (10, 20));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_sidecar_not_written_without_persist_knob() {
+        let dir = temp_dir("workload_sidecar_off");
+        let mut db = DurableDb::open(&dir).unwrap();
+        db.create_table("readings", schema()).unwrap();
+        db.checkpoint().unwrap();
+        assert!(!dir.join(WORKLOAD_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

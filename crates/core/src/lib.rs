@@ -49,6 +49,7 @@ pub mod monte_carlo;
 pub mod persist;
 pub mod pindex;
 pub mod plan;
+pub mod plan_feedback;
 pub mod predicate;
 pub mod project;
 pub mod pws;
@@ -66,7 +67,7 @@ pub mod prelude {
     pub use crate::batch::ExecMode;
     pub use crate::collapse::{collapse_tuple, existence_prob, DEFAULT_RESOLUTION};
     pub use crate::durable::{
-        check_invariants, ActiveTxnInfo, DurableDb, RecoveryReport, SharedDurableDb,
+        check_invariants, ActiveTxnInfo, DurableDb, RecoveryReport, SharedDurableDb, WORKLOAD_FILE,
     };
     pub use crate::error::{EngineError, Result as EngineResult};
     pub use crate::exec_par::{effective_threads, insert_batch, BulkRow, DEFAULT_MORSEL_SIZE};
@@ -76,6 +77,7 @@ pub mod prelude {
         BuiltIndex, IndexCatalog, IndexDef, IndexHandle, IndexKind, PlannerMode,
     };
     pub use crate::plan::{AccessPlan, CostModel, Plan};
+    pub use crate::plan_feedback::{q_error, FeedbackSummary, PlanFeedbackStore};
     pub use crate::predicate::{CmpOp, Predicate, Scalar};
     pub use crate::project::project;
     pub use crate::relation::Relation;

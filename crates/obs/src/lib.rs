@@ -17,7 +17,10 @@
 //! * [`trace`] — structured, query-scoped hierarchical spans recorded into
 //!   per-lane ring buffers, exported as Chrome trace-event JSON;
 //! * [`recorder`] — the crash flight recorder: a bounded process-wide ring
-//!   of recent spans dumped to `flight-<ts>.json` on panic or fault kills.
+//!   of recent spans dumped to `flight-<ts>.json` on panic or fault kills;
+//! * [`workload`] — the pg_stat_statements-style statement repository:
+//!   per-fingerprint call/latency/IO counters plus the bounded slow-query
+//!   ring with captured plans, fed by the SQL session layer.
 //!
 //! Engine-scoped state (stats, profiles, per-engine registries) stays
 //! instance-based, so two engines in one process keep independent metrics.
@@ -34,12 +37,17 @@ pub mod profile;
 pub mod recorder;
 pub mod stats;
 pub mod trace;
+pub mod workload;
 
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer};
 pub use profile::{AltPath, OpProfile};
 pub use stats::{ExecStats, ExecStatsSnapshot, ExecTimer, WorkerLane};
 pub use trace::{
     validate_chrome_trace, validate_flight_dump, Lane, LaneStats, Span, TraceEvent, Tracer,
+};
+pub use workload::{
+    validate_slow_dump, ExecSample, SlowCause, SlowQuery, SlowTicket, StatementStats,
+    WorkloadConfig, WorkloadRepo,
 };
 
 /// Formats a nanosecond count in adaptive human units (`412ns`, `3.1us`,

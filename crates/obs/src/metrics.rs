@@ -266,10 +266,11 @@ impl MetricsRegistry {
 
     /// Prometheus text exposition (version 0.0.4) of every metric: counters
     /// as `# TYPE <name> counter`, histograms as cumulative
-    /// `<name>_bucket{le="..."}` series (log2 upper bounds, `+Inf` last)
-    /// plus `_sum` and `_count`. Metric names are sanitized to
-    /// `[a-zA-Z0-9_:]` (dots become underscores), per the Prometheus data
-    /// model.
+    /// `<name>_bucket{le="..."}` series plus `_sum` and `_count`. Every log2
+    /// upper bound up to the last non-empty bucket is emitted (cumulative
+    /// counts, so empty buckets repeat the running total), then `+Inf`.
+    /// Metric names are sanitized to `[a-zA-Z0-9_:]` (dots become
+    /// underscores), per the Prometheus data model.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -282,12 +283,14 @@ impl MetricsRegistry {
             let name = sanitize_metric_name(name);
             let snap = h.snapshot();
             let _ = writeln!(out, "# TYPE {name} histogram");
+            // Every boundary up to the last non-empty bucket appears, so the
+            // cumulative `le` ladder is dense and monotone (empty buckets
+            // repeat the running total instead of vanishing); boundaries past
+            // the data are elided and +Inf carries the total regardless.
             let mut cumulative = 0u64;
-            for (i, &n) in snap.buckets.iter().enumerate() {
-                cumulative += n;
-                // Only materialize boundaries up to the last non-empty
-                // bucket; +Inf carries the total regardless.
-                if n > 0 {
+            if let Some(last) = snap.buckets.iter().rposition(|&n| n > 0) {
+                for (i, &n) in snap.buckets.iter().enumerate().take(last + 1) {
+                    cumulative += n;
                     let _ = writeln!(
                         out,
                         "{name}_bucket{{le=\"{}\"}} {cumulative}",
@@ -446,6 +449,43 @@ mod tests {
         assert!(text.contains("wal_fsync_nanos_count 3"), "{text}");
         // Dots were sanitized away.
         assert!(!text.contains("wal.commits"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let reg = MetricsRegistry::new();
+        reg.counter("wal.commits").add(3);
+        let h = reg.histogram("wal.fsync_nanos");
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        // The `le` ladder is dense up to the last non-empty bucket: the empty
+        // le="1" boundary still appears, repeating the cumulative count, and
+        // boundaries past le="7" are elided in favor of +Inf.
+        let golden = "\
+# TYPE wal_commits counter
+wal_commits 3
+# TYPE wal_fsync_nanos histogram
+wal_fsync_nanos_bucket{le=\"0\"} 1
+wal_fsync_nanos_bucket{le=\"1\"} 1
+wal_fsync_nanos_bucket{le=\"3\"} 1
+wal_fsync_nanos_bucket{le=\"7\"} 3
+wal_fsync_nanos_bucket{le=\"+Inf\"} 3
+wal_fsync_nanos_sum 11
+wal_fsync_nanos_count 3
+";
+        assert_eq!(reg.render_prometheus(), golden);
+    }
+
+    #[test]
+    fn prometheus_empty_histogram_emits_only_inf() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("idle");
+        let text = reg.render_prometheus();
+        assert_eq!(
+            text,
+            "# TYPE idle histogram\nidle_bucket{le=\"+Inf\"} 0\nidle_sum 0\nidle_count 0\n"
+        );
     }
 
     #[test]

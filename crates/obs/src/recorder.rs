@@ -89,6 +89,14 @@ pub fn clear() {
     flight().ring.lock().clear();
 }
 
+/// The most recent `n` events, oldest first — the slow-query log attaches
+/// these as a context snippet next to a captured plan.
+pub fn recent(n: usize) -> Vec<TraceEvent> {
+    let ring = flight().ring.lock();
+    let skip = ring.len().saturating_sub(n);
+    ring.iter().skip(skip).cloned().collect()
+}
+
 /// Dumps the ring to the registered dump directory. Returns the written
 /// path, or `None` when the recorder is disabled, no directory is
 /// registered, or the write fails (a crash dump must never crash harder).
@@ -166,6 +174,10 @@ mod tests {
             record(&event("e", i * 1_000, i * 1_000 + 500));
         }
         assert_eq!(len(), FLIGHT_CAPACITY);
+        let tail = recent(3);
+        assert_eq!(tail.len(), 3);
+        // Oldest-first: the last element is the newest event recorded.
+        assert_eq!(tail[2].start_ns, (FLIGHT_CAPACITY as u64 + 9) * 1_000);
 
         let dir = std::env::temp_dir().join("orion_obs_test").join("recorder");
         let path = dump_to_dir(&dir, "unit-test").unwrap();

@@ -15,7 +15,7 @@ use orion_core::select::select_masked;
 use orion_core::threshold::{
     predicate_probability, threshold_attrs, threshold_pred, threshold_pred_masked,
 };
-use orion_obs::{MetricsRegistry, OpProfile, Tracer};
+use orion_obs::{ExecStats, MetricsRegistry, OpProfile, Tracer, WorkloadRepo};
 use orion_pdf::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -63,6 +63,8 @@ pub struct Database {
     metrics: MetricsRegistry,
     io: Arc<IoStats>,
     txn_db: Option<SharedDurableDb>,
+    workload: Option<Arc<WorkloadRepo>>,
+    feedback: Arc<PlanFeedbackStore>,
 }
 
 impl Default for Database {
@@ -92,6 +94,8 @@ impl Database {
             metrics: orion_obs::metrics::global().clone(),
             io: Arc::new(IoStats::default()),
             txn_db: None,
+            workload: None,
+            feedback: Arc::new(PlanFeedbackStore::new()),
         }
     }
 
@@ -136,6 +140,32 @@ impl Database {
     /// The session's index catalog handle.
     pub fn index_handle(&self) -> IndexHandle {
         self.opts.indexes.clone().expect("seeded at construction")
+    }
+
+    /// Attaches the workload repository behind `orion.statements` /
+    /// `orion.slow_queries` (durable sessions share the engine's instance;
+    /// defaults to none, rendering empty tables).
+    pub fn set_workload(&mut self, repo: Arc<WorkloadRepo>) {
+        self.workload = Some(repo);
+    }
+
+    /// Replaces the planner-feedback store behind `orion.plan_feedback`.
+    /// Defaults to a private instance; durable sessions attach the engine's
+    /// so feedback accumulates across statements and sessions.
+    pub fn set_plan_feedback(&mut self, store: Arc<PlanFeedbackStore>) {
+        self.feedback = store;
+    }
+
+    /// The planner-feedback store profiled executions fold into.
+    pub fn plan_feedback(&self) -> Arc<PlanFeedbackStore> {
+        Arc::clone(&self.feedback)
+    }
+
+    /// Attaches a per-statement operator-stats collector: operators count
+    /// pdf products/floors/marginalizations and index probes into it, and
+    /// the session layer reads the deltas for the workload repository.
+    pub fn set_exec_stats(&mut self, stats: Arc<ExecStats>) {
+        self.opts.stats = Some(stats);
     }
 
     /// Bumps the staleness epoch of every index over `table` (DML makes
@@ -414,6 +444,7 @@ impl Database {
             let (_rel, mut profile) =
                 execute_profiled_with(&plan, tables, &mut self.reg, &self.opts, Some(&self.stats))?;
             annotate_estimates(&mut profile, &plan, &self.stats);
+            self.feedback.fold(&profile, &plan);
             return Ok(Output::Explain { profile, analyze, trace: None });
         }
         let tracer = Tracer::global();
@@ -434,6 +465,7 @@ impl Database {
         }
         let (_rel, mut profile) = result?;
         annotate_estimates(&mut profile, &plan, &self.stats);
+        self.feedback.fold(&profile, &plan);
         let path = match std::env::var_os("ORION_TRACE_FILE") {
             Some(p) => std::path::PathBuf::from(p),
             None => std::env::temp_dir().join(format!("orion-trace-{query_id}.json")),
@@ -473,11 +505,14 @@ impl Database {
             "orion.io" => self.sys_io()?,
             "orion.trace_lanes" => self.sys_trace_lanes()?,
             "orion.txns" => self.sys_txns()?,
+            "orion.statements" => self.sys_statements()?,
+            "orion.slow_queries" => self.sys_slow_queries()?,
+            "orion.plan_feedback" => self.sys_plan_feedback()?,
             other => {
                 return Err(SqlError::Exec(format!(
                     "unknown system table '{other}' (available: orion.tables, orion.columns, \
                      orion.stats, orion.indexes, orion.metrics, orion.io, orion.trace_lanes, \
-                     orion.txns)"
+                     orion.txns, orion.statements, orion.slow_queries, orion.plan_feedback)"
                 )))
             }
         };
@@ -727,6 +762,126 @@ impl Database {
                 ("id", ColumnType::Int),
                 ("snapshot_epoch", ColumnType::Int),
                 ("writes", ColumnType::Int),
+            ],
+            rows,
+        )
+    }
+
+    /// `orion.statements`: one row per statement fingerprint in the
+    /// attached workload repository, heaviest (total latency) first.
+    fn sys_statements(&self) -> Result<Relation> {
+        let rows = match &self.workload {
+            None => Vec::new(),
+            Some(repo) => repo
+                .statements()
+                .into_iter()
+                .map(|s| {
+                    vec![
+                        Value::Text(format!("{:016x}", s.fingerprint)),
+                        Value::Text(s.text.clone()),
+                        Value::Int(s.calls as i64),
+                        Value::Int(s.errors as i64),
+                        Value::Int(s.rows as i64),
+                        Value::Real(s.total_nanos as f64 / 1e6),
+                        Value::Real(s.mean_nanos() / 1e6),
+                        Value::Real(s.p99_nanos() as f64 / 1e6),
+                        Value::Int(s.pages_read as i64),
+                        Value::Int(s.pdf_ops as i64),
+                        Value::Int(s.index_probes as i64),
+                        Value::Int(s.txn_retries as i64),
+                    ]
+                })
+                .collect(),
+        };
+        system_rel(
+            "orion.statements",
+            &[
+                ("fingerprint", ColumnType::Text),
+                ("stmt", ColumnType::Text),
+                ("calls", ColumnType::Int),
+                ("errors", ColumnType::Int),
+                ("rows", ColumnType::Int),
+                ("total_ms", ColumnType::Real),
+                ("mean_ms", ColumnType::Real),
+                ("p99_ms", ColumnType::Real),
+                ("pages_read", ColumnType::Int),
+                ("pdf_ops", ColumnType::Int),
+                ("index_probes", ColumnType::Int),
+                ("txn_retries", ColumnType::Int),
+            ],
+            rows,
+        )
+    }
+
+    /// `orion.slow_queries`: the attached repository's capture ring, oldest
+    /// first, with the rendered `EXPLAIN ANALYZE` plan (chosen-vs-rejected
+    /// access paths included) and the flight-recorder snippet.
+    fn sys_slow_queries(&self) -> Result<Relation> {
+        let rows = match &self.workload {
+            None => Vec::new(),
+            Some(repo) => repo
+                .slow_queries()
+                .into_iter()
+                .map(|q| {
+                    vec![
+                        Value::Int(q.seq as i64),
+                        Value::Text(format!("{:016x}", q.fingerprint)),
+                        Value::Text(q.text.clone()),
+                        Value::Real(q.nanos as f64 / 1e6),
+                        Value::Int(q.rows as i64),
+                        Value::Text(q.cause.as_str().to_string()),
+                        Value::Text(q.plan.clone()),
+                        Value::Text(q.trace.clone()),
+                    ]
+                })
+                .collect(),
+        };
+        system_rel(
+            "orion.slow_queries",
+            &[
+                ("seq", ColumnType::Int),
+                ("fingerprint", ColumnType::Text),
+                ("stmt", ColumnType::Text),
+                ("ms", ColumnType::Real),
+                ("rows", ColumnType::Int),
+                ("cause", ColumnType::Text),
+                ("plan", ColumnType::Text),
+                ("trace", ColumnType::Text),
+            ],
+            rows,
+        )
+    }
+
+    /// `orion.plan_feedback`: per-(table, operator) cardinality-misestimate
+    /// summaries (q-error) from the session's feedback store, sorted by
+    /// table then operator.
+    fn sys_plan_feedback(&self) -> Result<Relation> {
+        let rows = self
+            .feedback
+            .summaries()
+            .into_iter()
+            .map(|s| {
+                vec![
+                    Value::Text(s.table.clone()),
+                    Value::Text(s.op.clone()),
+                    Value::Int(s.n as i64),
+                    Value::Real(s.max_q),
+                    Value::Real(s.mean_q()),
+                    Value::Int(s.last_est as i64),
+                    Value::Int(s.last_actual as i64),
+                ]
+            })
+            .collect();
+        system_rel(
+            "orion.plan_feedback",
+            &[
+                ("tbl", ColumnType::Text),
+                ("op", ColumnType::Text),
+                ("n", ColumnType::Int),
+                ("max_q", ColumnType::Real),
+                ("mean_q", ColumnType::Real),
+                ("last_est", ColumnType::Int),
+                ("last_actual", ColumnType::Int),
             ],
             rows,
         )
@@ -1925,6 +2080,31 @@ mod tests {
             ("orion.io", &["counter", "value"]),
             ("orion.trace_lanes", &["lane", "tid", "events", "dropped"]),
             ("orion.txns", &["id", "snapshot_epoch", "writes"]),
+            (
+                "orion.statements",
+                &[
+                    "fingerprint",
+                    "stmt",
+                    "calls",
+                    "errors",
+                    "rows",
+                    "total_ms",
+                    "mean_ms",
+                    "p99_ms",
+                    "pages_read",
+                    "pdf_ops",
+                    "index_probes",
+                    "txn_retries",
+                ],
+            ),
+            (
+                "orion.slow_queries",
+                &["seq", "fingerprint", "stmt", "ms", "rows", "cause", "plan", "trace"],
+            ),
+            (
+                "orion.plan_feedback",
+                &["tbl", "op", "n", "max_q", "mean_q", "last_est", "last_actual"],
+            ),
         ];
         for (table, cols) in expect {
             let Output::Table(rel) = db.execute(&format!("SELECT * FROM {table}")).unwrap() else {
@@ -1937,6 +2117,49 @@ mod tests {
         // tables, and the namespace is reserved against CREATE.
         assert!(db.execute("SELECT * FROM orion.nope").is_err());
         assert!(db.execute("CREATE TABLE orion.mine (a INT)").is_err());
+    }
+
+    #[test]
+    fn workload_vtables_surface_attached_stores() {
+        let mut db = sensor_db();
+        db.execute("ANALYZE readings").unwrap();
+        let repo = Arc::new(WorkloadRepo::default());
+        repo.record(&orion_obs::ExecSample {
+            fingerprint: 0xfeed,
+            text: "SELECT rid FROM readings WHERE PROB(value < ?) > ?".to_string(),
+            nanos: 2_000_000,
+            rows: 3,
+            ..Default::default()
+        });
+        db.set_workload(Arc::clone(&repo));
+        // Detached database: the new vtables render empty, not error.
+        let mut bare = Database::new();
+        let Output::Table(rel) = bare.execute("SELECT * FROM orion.statements").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 0);
+
+        let Output::Table(rel) = db.execute("SELECT * FROM orion.statements").unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.value(0, "fingerprint").unwrap(), &Value::Text("000000000000feed".into()));
+        assert_eq!(rel.value(0, "calls").unwrap(), &Value::Int(1));
+        assert_eq!(rel.value(0, "rows").unwrap(), &Value::Int(3));
+        assert_eq!(rel.value(0, "total_ms").unwrap(), &Value::Real(2.0));
+
+        // A profiled execution folds est-vs-actual into the feedback store.
+        db.execute("EXPLAIN ANALYZE SELECT rid FROM readings WHERE PROB(value < 50) > 0.5")
+            .unwrap();
+        let Output::Table(fb) = db.execute("SELECT * FROM orion.plan_feedback").unwrap() else {
+            panic!("expected table")
+        };
+        assert!(fb.len() >= 2, "Scan + ThresholdPred at least, got {}", fb.len());
+        for i in 0..fb.len() {
+            assert_eq!(fb.value(i, "tbl").unwrap(), &Value::Text("readings".into()));
+            let Value::Real(q) = fb.value(i, "max_q").unwrap() else { panic!("max_q type") };
+            assert!(*q >= 1.0, "q-error is >= 1");
+        }
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //!   stats catalog;
 //! * read-only system virtual tables in the reserved `orion.` namespace
 //!   (`orion.tables`, `orion.columns`, `orion.stats`, `orion.metrics`,
-//!   `orion.io`, `orion.trace_lanes`, `orion.txns`), queryable and
-//!   joinable like any user table;
+//!   `orion.io`, `orion.trace_lanes`, `orion.txns`, `orion.indexes`,
+//!   `orion.statements`, `orion.slow_queries`, `orion.plan_feedback`),
+//!   queryable and joinable like any user table;
 //! * `BEGIN` / `COMMIT` / `ROLLBACK` snapshot-isolation transactions on a
 //!   durable engine via [`DurableSession`] (DML outside a transaction
 //!   auto-commits with bounded conflict retry);
@@ -50,6 +51,7 @@
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod parser;
 pub mod render;
 pub mod session;
@@ -57,6 +59,7 @@ pub mod token;
 
 pub use error::{Result, SqlError};
 pub use exec::{Database, Output};
+pub use fingerprint::fingerprint;
 pub use parser::parse;
 pub use render::{render_output, render_relation};
 pub use session::DurableSession;

@@ -85,8 +85,19 @@ fn render_table_stats(ts: &orion_core::prelude::TableStats) -> String {
     )
 }
 
-/// Aligns a header and rows into a text grid.
+/// Aligns a header and rows into a text grid. Embedded newlines and tabs
+/// (e.g. the captured plan text in `orion.slow_queries`) are escaped so
+/// every cell occupies exactly one grid line and alignment survives.
 fn render_grid(header: &[String], rows: &[Vec<String>]) -> String {
+    let escape = |c: &String| -> String {
+        if c.contains(['\n', '\t']) {
+            c.replace('\n', "\\n").replace('\t', "\\t")
+        } else {
+            c.clone()
+        }
+    };
+    let rows: Vec<Vec<String>> = rows.iter().map(|r| r.iter().map(escape).collect()).collect();
+    let rows = &rows;
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -177,6 +188,15 @@ mod tests {
             &["a".to_string(), "long_header".to_string()],
             &[vec!["xxxx".to_string(), "y".to_string()]],
         );
+        for l in g.lines() {
+            assert_eq!(l.len(), g.lines().next().unwrap().len(), "aligned: {g}");
+        }
+    }
+
+    #[test]
+    fn grid_escapes_multiline_cells() {
+        let g = render_grid(&["plan".to_string()], &[vec!["Scan t\n  ThresholdPred".to_string()]]);
+        assert!(g.contains("Scan t\\n  ThresholdPred"), "{g}");
         for l in g.lines() {
             assert_eq!(l.len(), g.lines().next().unwrap().len(), "aligned: {g}");
         }

@@ -27,11 +27,14 @@ use crate::exec::{
     certain_eval, check_certain_pred, translate_assignments, translate_insert_row, translate_pred,
     Assign, Database, Output, SYS_PREFIX,
 };
+use crate::fingerprint::fingerprint;
 use crate::parser::parse;
 use orion_core::prelude::*;
 use orion_core::tuple::PdfNode;
+use orion_obs::{recorder, ExecSample, ExecStats, SlowQuery};
 use std::path::Path;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Auto-commit conflict retries before giving up (first-committer-wins
 /// losers re-run on a fresh snapshot).
@@ -40,6 +43,9 @@ const AUTOCOMMIT_RETRIES: u32 = 5;
 /// Base backoff before an auto-commit retry; doubles per attempt.
 const RETRY_BACKOFF: Duration = Duration::from_micros(100);
 
+/// How many recent flight-recorder events a slow-query capture keeps.
+const SLOW_TRACE_EVENTS: usize = 16;
+
 /// A SQL session over a durable engine, with transactions.
 pub struct DurableSession {
     db: SharedDurableDb,
@@ -47,6 +53,10 @@ pub struct DurableSession {
     /// Session-held ANALYZE results, seeded into every per-statement query
     /// database (the durable engine persists its own copy via the WAL).
     stats: StatsCatalog,
+    /// Per-session operator counters (pdf ops, index probes), attached to
+    /// every query database when the workload repository is enabled so the
+    /// statement repository can charge pdf work to statements.
+    exec_stats: Arc<ExecStats>,
 }
 
 impl DurableSession {
@@ -59,12 +69,17 @@ impl DurableSession {
     /// Opens with explicit group-commit tuning.
     pub fn open_with(dir: &Path, cfg: GroupCommitConfig) -> Result<Self> {
         let db = SharedDurableDb::open(dir, cfg)?;
-        Ok(DurableSession { db, txn: None, stats: StatsCatalog::new() })
+        Ok(Self::from_db(db))
     }
 
     /// Wraps an already-open shared engine.
     pub fn from_db(db: SharedDurableDb) -> Self {
-        DurableSession { db, txn: None, stats: StatsCatalog::new() }
+        DurableSession {
+            db,
+            txn: None,
+            stats: StatsCatalog::new(),
+            exec_stats: Arc::new(ExecStats::new()),
+        }
     }
 
     /// The underlying shared engine.
@@ -77,9 +92,68 @@ impl DurableSession {
         self.txn.is_some()
     }
 
-    /// Parses and executes one statement.
+    /// Parses and executes one statement, recording it into the engine's
+    /// workload repository when enabled (one relaxed atomic load when not).
     pub fn execute(&mut self, sql: &str) -> Result<Output> {
         let stmt = parse(sql)?;
+        let workload = self.db.workload();
+        let mut retries = 0u64;
+        if !workload.enabled() {
+            return self.dispatch(stmt, &mut retries);
+        }
+        let (fp, text) = fingerprint(&stmt);
+        // Only reads can be re-run for a captured plan: re-executing DML
+        // would apply its effects twice.
+        let candidate = match &stmt {
+            Statement::Select { .. } => Some(stmt.clone()),
+            _ => None,
+        };
+        let stats_before = self.exec_stats.snapshot();
+        let io_before = self.db.io_stats().snapshot();
+        let start = Instant::now();
+        let result = self.dispatch(stmt, &mut retries);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let stats_after = self.exec_stats.snapshot();
+        let io_after = self.db.io_stats().snapshot();
+        let rows = match &result {
+            Ok(Output::Table(rel)) => rel.len() as u64,
+            Ok(Output::Rows { rows, .. }) => rows.len() as u64,
+            Ok(Output::Count(n)) => *n as u64,
+            _ => 0,
+        };
+        let pdf_ops = (stats_after.pdf_products - stats_before.pdf_products)
+            + (stats_after.pdf_floors - stats_before.pdf_floors)
+            + (stats_after.pdf_marginalizations - stats_before.pdf_marginalizations);
+        let sample = ExecSample {
+            fingerprint: fp,
+            text,
+            nanos,
+            rows,
+            error: result.is_err(),
+            pages_read: io_after.physical_reads.saturating_sub(io_before.physical_reads),
+            pdf_ops,
+            index_probes: stats_after.index_probes.saturating_sub(stats_before.index_probes),
+            txn_retries: retries,
+        };
+        if let Some(ticket) = workload.record(&sample) {
+            let plan = candidate.map(|inner| self.capture_plan(inner)).unwrap_or_default();
+            workload.record_slow(SlowQuery {
+                seq: ticket.seq,
+                fingerprint: fp,
+                text: sample.text,
+                nanos,
+                rows,
+                cause: ticket.cause,
+                plan,
+                trace: trace_snippet(),
+            });
+        }
+        result
+    }
+
+    /// Routes one parsed statement; `retries` counts auto-commit conflict
+    /// re-runs for the workload repository.
+    fn dispatch(&mut self, stmt: Statement, retries: &mut u64) -> Result<Output> {
         match stmt {
             Statement::Begin => {
                 if self.txn.is_some() {
@@ -109,7 +183,7 @@ impl DurableSession {
             | Statement::Update { .. }
             | Statement::Delete { .. }) => match self.txn.as_mut() {
                 Some(txn) => apply_dml(txn, dml),
-                None => self.autocommit(dml),
+                None => self.autocommit(dml, retries),
             },
             Statement::DropTable { .. } => Err(SqlError::Exec(
                 "DROP TABLE is not supported on durable sessions (deleted base tuples may \
@@ -161,8 +235,9 @@ impl DurableSession {
     }
 
     /// Runs one DML statement as its own transaction, retrying conflicts
-    /// with bounded exponential backoff.
-    fn autocommit(&mut self, stmt: Statement) -> Result<Output> {
+    /// with bounded exponential backoff. `retries` reports the number of
+    /// conflict re-runs to the workload repository.
+    fn autocommit(&mut self, stmt: Statement, retries: &mut u64) -> Result<Output> {
         let mut attempt = 0u32;
         loop {
             let mut txn = Txn::begin(&self.db);
@@ -171,10 +246,25 @@ impl DurableSession {
                 Ok(_) => return Ok(out),
                 Err(e) if e.is_retryable() && attempt < AUTOCOMMIT_RETRIES => {
                     attempt += 1;
+                    *retries += 1;
                     std::thread::sleep(RETRY_BACKOFF * 2u32.pow(attempt - 1));
                 }
                 Err(e) => return Err(e.into()),
             }
+        }
+    }
+
+    /// Re-runs a read as `EXPLAIN ANALYZE` on a fresh point-in-time query
+    /// database to capture the operator tree for the slow-query log. The
+    /// re-run also folds a second estimate-vs-actual observation into the
+    /// planner-feedback store, which is the point: slow statements deserve
+    /// the planner's attention.
+    fn capture_plan(&mut self, inner: Statement) -> String {
+        let explain = Statement::Explain { analyze: true, trace: false, inner: Box::new(inner) };
+        match self.query_db().run(explain) {
+            Ok(Output::Explain { profile, .. }) => profile.render(true),
+            Ok(_) => String::new(),
+            Err(e) => format!("<plan capture failed: {e}>"),
         }
     }
 
@@ -201,8 +291,31 @@ impl DurableSession {
         // a commit racing this statement cannot poison freshness.
         let cat = self.db.indexes().lock().snapshot();
         qdb.set_index_handle(IndexHandle::from_catalog(cat));
+        let workload = self.db.workload();
+        if workload.enabled() {
+            // Operator-level counters (pdf ops, index probes) cost atomic
+            // increments in the hot loops, so they are only attached when
+            // the workload repository will read them.
+            qdb.set_exec_stats(Arc::clone(&self.exec_stats));
+        }
+        qdb.set_workload(workload);
+        qdb.set_plan_feedback(self.db.plan_feedback());
         qdb
     }
+}
+
+/// Formats the tail of the flight-recorder ring as one line per span for
+/// slow-query captures. Empty when the recorder is disabled.
+fn trace_snippet() -> String {
+    let events = recorder::recent(SLOW_TRACE_EVENTS);
+    let mut out = String::new();
+    for e in &events {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("[{}] {} {}ns", e.cat, e.name, e.end_ns.saturating_sub(e.start_ns)));
+    }
+    out
 }
 
 /// Stages one DML statement into a transaction.
@@ -460,6 +573,62 @@ mod tests {
         let out = s.execute("SELECT a FROM t WHERE PROB(x > 0.5) > 0.4").unwrap();
         let Output::Table(rel) = out else { panic!("table") };
         assert_eq!(rel.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_repo_records_statements_and_slow_captures() {
+        let dir = temp_dir("workload");
+        let mut s = DurableSession::open(&dir).unwrap();
+        let repo = s.db().workload();
+        let mut cfg = repo.config();
+        cfg.slow_nanos = 0; // capture every statement into the slow log
+        repo.set_config(cfg);
+        s.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, GAUSSIAN(20, 5)), (2, GAUSSIAN(25, 4))").unwrap();
+        s.execute("SELECT a FROM t WHERE PROB(x < 30) > 0.1").unwrap();
+        s.execute("SELECT a FROM t WHERE PROB(x < 99) > 0.2").unwrap();
+        assert!(s.execute("SELECT a FROM missing").is_err());
+
+        let stmts = repo.statements();
+        // The two SELECTs differ only in literals and share one fingerprint.
+        let sel = stmts.iter().find(|st| st.text.starts_with("SELECT a FROM t")).unwrap();
+        assert_eq!(sel.calls, 2);
+        assert_eq!(sel.rows, 4);
+        assert_eq!(sel.errors, 0);
+        let err = stmts.iter().find(|st| st.text.contains("missing")).unwrap();
+        assert_eq!(err.errors, 1);
+        assert_eq!(repo.total_calls(), 5);
+
+        let slow = repo.slow_queries();
+        assert_eq!(slow.len(), 5, "slow_nanos=0 captures everything");
+        let sq = slow.iter().find(|q| q.text.starts_with("SELECT a FROM t")).unwrap();
+        assert!(sq.plan.contains("Scan"), "captured plan has operators: {:?}", sq.plan);
+        assert!(sq.plan.contains("actual="), "EXPLAIN ANALYZE form: {:?}", sq.plan);
+        // The EXPLAIN ANALYZE re-run folded estimate-vs-actual feedback.
+        assert!(!s.db().plan_feedback().summaries().is_empty());
+
+        // The same stores back the orion.* vtables.
+        let Output::Table(rel) = s.execute("SELECT * FROM orion.statements").unwrap() else {
+            panic!("table")
+        };
+        assert!(rel.len() >= 4, "one row per fingerprint, got {}", rel.len());
+        let Output::Table(rel) = s.execute("SELECT * FROM orion.slow_queries").unwrap() else {
+            panic!("table")
+        };
+        assert!(rel.len() >= 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_workload_repo_records_nothing() {
+        let dir = temp_dir("workload_off");
+        let mut s = DurableSession::open(&dir).unwrap();
+        s.db().workload().set_enabled(false);
+        s.execute("CREATE TABLE t (a INT, x REAL UNCERTAIN)").unwrap();
+        s.execute("SELECT a FROM t").unwrap();
+        assert_eq!(s.db().workload().total_calls(), 0);
+        assert!(s.db().workload().statements().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

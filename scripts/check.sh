@@ -130,11 +130,36 @@ else
         echo "warning: fig5_index speedup below 5x (advisory only)" >&2
 fi
 
+echo "== workload repository smoke + overhead gate =="
+# The functional assertions (orion.statements populated, counter
+# conservation, plan_feedback q-error matching EXPLAIN ANALYZE, slow dump
+# validating) always hard-fail. The <5% enabled-vs-disabled overhead gate
+# reports exit 3, advisory on shared runners, hard under
+# ORION_SPEEDUP_GATE=1.
+set +e
+SMOKE_OUT=$(cargo run --release -p orion-bench --bin workload_smoke -- \
+    --dump-dir "$PWD/target/workload-dumps" --max-overhead 5)
+SMOKE_RC=$?
+set -e
+echo "$SMOKE_OUT"
+if [ "$SMOKE_RC" = "3" ] && [ "${ORION_SPEEDUP_GATE:-0}" != "1" ]; then
+    echo "warning: workload repository overhead above 5% (advisory only)" >&2
+elif [ "$SMOKE_RC" != "0" ]; then
+    echo "error: workload_smoke failed (exit $SMOKE_RC)" >&2
+    exit 1
+fi
+SLOW_DUMP=$(echo "$SMOKE_OUT" | sed -n 's/^SLOW_DUMP //p' | head -n 1)
+if [ -z "$SLOW_DUMP" ]; then
+    echo "error: workload_smoke printed no SLOW_DUMP path" >&2
+    exit 1
+fi
+
 echo "== trace schema check =="
-# Both the trace emitted by the tracing-enabled test pass above and the
-# committed example artifact must parse and pass the Chrome-trace validator.
+# The trace emitted by the tracing-enabled test pass above, the committed
+# example artifact, and the slow-query dump from the workload smoke must
+# all parse and pass their structural validators.
 cargo run -q -p orion-bench --bin trace_check -- \
-    target/trace-ci.trace.json results/fig_parallel.trace.json
+    target/trace-ci.trace.json results/fig_parallel.trace.json "$SLOW_DUMP"
 
 echo "== proptest-regressions must be committed =="
 if [ -n "$(git status --porcelain -- '*proptest-regressions*')" ]; then
